@@ -1,0 +1,69 @@
+// Ablation (paper §5 footnote 1): the exact search "can be easily modified
+// so that it only guarantees an approximate nearest neighbor, which reduces
+// search time". Sweep the approximation factor eps and report the work
+// saved against the observed error (which is typically far below the
+// worst-case (1+eps) guarantee).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bruteforce/bf.hpp"
+#include "rbc/rbc.hpp"
+
+int main() {
+  using namespace rbc;
+  bench::print_header(
+      "Ablation: (1+eps)-approximate exact search (footnote 1)");
+
+  const index_t nq = bench::num_queries();
+
+  for (const auto& name : {std::string("bio"), std::string("tiny16")}) {
+    const bench::BenchData bd = bench::load(name, nq);
+
+    // Ground truth for error measurement (on a subset of queries).
+    const index_t nq_eval = std::min<index_t>(bench::num_eval_queries(),
+                                              bd.queries.rows());
+    Matrix<float> eval_q(nq_eval, bd.queries.cols());
+    for (index_t i = 0; i < nq_eval; ++i)
+      eval_q.copy_row_from(bd.queries, i, i);
+    const KnnResult truth = bf_knn(eval_q, bd.database, 1);
+
+    std::printf("--- %s (n=%u, d=%u) ---\n", name.c_str(), bd.n,
+                bd.spec.dim);
+    std::printf("%8s %9s %10s %14s %14s\n", "eps", "t(s)", "evals/q",
+                "mean_ratio", "max_ratio");
+
+    for (const float eps : {0.0f, 0.1f, 0.25f, 0.5f, 1.0f, 2.0f}) {
+      RbcParams params;
+      params.seed = 1;
+      params.approx_eps = eps;
+      RbcExactIndex<> index;
+      index.build(bd.database, params);
+
+      SearchStats stats;
+      const auto [t, w] = bench::timed(
+          [&] { (void)index.search(bd.queries, 1, &stats); });
+      (void)w;
+
+      // Observed distance ratio vs ground truth.
+      const KnnResult got = index.search(eval_q, 1);
+      double sum_ratio = 0.0, max_ratio = 1.0;
+      index_t counted = 0;
+      for (index_t i = 0; i < nq_eval; ++i) {
+        const float td = truth.dists.at(i, 0);
+        if (td <= 0.0f) continue;
+        const double ratio = got.dists.at(i, 0) / td;
+        sum_ratio += ratio;
+        max_ratio = std::max(max_ratio, ratio);
+        ++counted;
+      }
+      std::printf("%8.2f %9.3f %10.0f %14.4f %14.4f\n", eps, t,
+                  stats.dist_evals_per_query(),
+                  counted ? sum_ratio / counted : 1.0, max_ratio);
+    }
+    std::printf("\n");
+  }
+  std::printf("guarantee: returned distance <= (1+eps) x true distance;\n"
+              "observed error is typically far smaller than the bound.\n");
+  return 0;
+}

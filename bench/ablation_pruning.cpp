@@ -1,0 +1,69 @@
+// Ablation (ours, motivated by §5.2): the paper notes that "the simultaneous
+// use of both inequalities improved the empirical performance". This harness
+// quantifies the marginal value of each pruning component of the exact
+// search: rule (1) ball-overlap, rule (2) Lemma-1, the sorted-list early
+// exit (Claim 2), and the annulus lower bound (our extension).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rbc/rbc.hpp"
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool overlap, lemma, early, annulus;
+};
+
+constexpr Config kConfigs[] = {
+    {"none (scan all lists)", false, false, false, false},
+    {"rule1 only", true, false, false, false},
+    {"rule2 only", false, true, false, false},
+    {"rule1+rule2", true, true, false, false},
+    {"rule1+rule2+early_exit (paper)", true, true, true, false},
+    {"all + annulus (extension)", true, true, true, true},
+};
+
+}  // namespace
+
+int main() {
+  using namespace rbc;
+  bench::print_header("Ablation: exact-search pruning components");
+
+  const index_t nq = bench::num_queries();
+
+  for (const auto& name : {std::string("bio"), std::string("robot"),
+                           std::string("tiny16")}) {
+    const bench::BenchData bd = bench::load(name, nq);
+    std::printf("--- %s (n=%u, d=%u, nr=auto) ---\n", name.c_str(), bd.n,
+                bd.spec.dim);
+    std::printf("%-32s %9s %10s %12s %12s\n", "config", "t(s)", "evals/q",
+                "pruned_r1/q", "pruned_r2/q");
+
+    for (const Config& cfg : kConfigs) {
+      RbcParams params;
+      params.seed = 1;
+      params.use_overlap_rule = cfg.overlap;
+      params.use_lemma_rule = cfg.lemma;
+      params.use_early_exit = cfg.early;
+      params.use_annulus_bound = cfg.annulus;
+
+      RbcExactIndex<> index;
+      index.build(bd.database, params);
+
+      SearchStats stats;
+      const auto [t, w] = bench::timed(
+          [&] { (void)index.search(bd.queries, 1, &stats); });
+      (void)w;
+
+      std::printf("%-32s %9.3f %10.0f %12.1f %12.1f\n", cfg.name, t,
+                  stats.dist_evals_per_query(),
+                  static_cast<double>(stats.reps_pruned_overlap) /
+                      stats.queries,
+                  static_cast<double>(stats.reps_pruned_lemma) /
+                      stats.queries);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared infrastructure for the paper-reproduction benchmark harnesses.
+//
+// Dataset sizes are the paper's Table 1 sizes divided by RBC_BENCH_SCALE
+// (default 50) and clamped to [RBC_BENCH_MIN_N, RBC_BENCH_MAX_N], so the
+// suite finishes in minutes on a small machine; set RBC_BENCH_SCALE=1 (and
+// raise RBC_BENCH_MAX_N) to run at paper scale. Every harness reports both
+// wall-clock speedup and distance-evaluation ("work") speedup; the latter is
+// machine-independent and is the quantity the paper's theory bounds (see
+// DESIGN.md §2).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "data/generators.hpp"
+#include "parallel/runtime.hpp"
+
+namespace rbc::bench {
+
+/// Scaled database size for a paper dataset.
+inline index_t scaled_n(const data::DatasetSpec& spec) {
+  const auto scale = static_cast<double>(env_or("RBC_BENCH_SCALE", std::int64_t{50}));
+  const auto min_n = static_cast<index_t>(env_or("RBC_BENCH_MIN_N", std::int64_t{12000}));
+  const auto max_n = static_cast<index_t>(env_or("RBC_BENCH_MAX_N", std::int64_t{100000}));
+  auto n = static_cast<index_t>(static_cast<double>(spec.paper_n) / scale);
+  if (n < min_n) n = min_n;
+  if (n > max_n) n = max_n;
+  return n;
+}
+
+/// Number of timed queries (paper uses 10k; scaled down by default).
+inline index_t num_queries() {
+  return static_cast<index_t>(env_or("RBC_BENCH_QUERIES", std::int64_t{2000}));
+}
+
+/// Number of queries used for rank-error evaluation (each costs a full
+/// database scan, so this is kept smaller than num_queries()).
+inline index_t num_eval_queries() {
+  return static_cast<index_t>(env_or("RBC_BENCH_EVAL_QUERIES", std::int64_t{200}));
+}
+
+/// A dataset instance ready for benchmarking.
+struct BenchData {
+  data::DatasetSpec spec;
+  index_t n = 0;
+  Matrix<float> database;
+  Matrix<float> queries;
+};
+
+inline BenchData load(const std::string& name, index_t nq) {
+  BenchData bd;
+  bd.spec = data::dataset_by_name(name);
+  bd.n = scaled_n(bd.spec);
+  data::DataSplit split =
+      data::make_benchmark_data(bd.spec, bd.n, nq, /*seed=*/20'120'513);
+  bd.database = std::move(split.database);
+  bd.queries = std::move(split.queries);
+  return bd;
+}
+
+/// All eight dataset names in the paper's presentation order.
+inline std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : data::paper_datasets()) names.push_back(spec.name);
+  return names;
+}
+
+/// Times `body()` and returns {seconds, distance evals}.
+template <class F>
+std::pair<double, std::uint64_t> timed(F&& body) {
+  counters::Scope scope;
+  WallTimer timer;
+  body();
+  return {timer.seconds(), scope.delta()};
+}
+
+inline void print_header(const char* title) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("threads=%d  scale=%lld  (set RBC_BENCH_SCALE=1 for paper-sized runs)\n",
+              max_threads(),
+              static_cast<long long>(env_or("RBC_BENCH_SCALE", std::int64_t{50})));
+  std::printf("================================================================\n");
+}
+
+}  // namespace rbc::bench

@@ -1,0 +1,126 @@
+// Micro-benchmarks: SIMD vs scalar distance kernels and the tiled pairwise
+// primitive (google-benchmark). The distance kernel is the innermost loop of
+// everything in this library; these benches document the vectorization win
+// and catch regressions.
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "distance/kernels.hpp"
+#include "distance/pairwise.hpp"
+#include "distance/pairwise_gemm.hpp"
+
+namespace {
+
+using namespace rbc;
+
+Matrix<float> make_points(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix<float> m(rows, cols);
+  Rng rng(seed);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j)
+      m.at(i, j) = rng.uniform_float(-1.0f, 1.0f);
+  return m;
+}
+
+// The paper's dataset dimensionalities: robot=21, cov=54, bio=74, plus a
+// power of two.
+void BM_SqL2_Simd(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const Matrix<float> pts = make_points(2, d, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kernels::sq_l2(pts.row(0), pts.row(1), d));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SqL2_Simd)->Arg(21)->Arg(54)->Arg(74)->Arg(128);
+
+void BM_SqL2_Scalar(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const Matrix<float> pts = make_points(2, d, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        kernels::sq_l2_scalar(pts.row(0), pts.row(1), d));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SqL2_Scalar)->Arg(21)->Arg(54)->Arg(74)->Arg(128);
+
+void BM_L1_Simd(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const Matrix<float> pts = make_points(2, d, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kernels::l1(pts.row(0), pts.row(1), d));
+}
+BENCHMARK(BM_L1_Simd)->Arg(74);
+
+void BM_L1_Scalar(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const Matrix<float> pts = make_points(2, d, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kernels::l1_scalar(pts.row(0), pts.row(1), d));
+}
+BENCHMARK(BM_L1_Scalar)->Arg(74);
+
+// One query row against a database tile: the shape of the BF inner loop.
+void BM_QueryRowScan(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const index_t rows = 1024;
+  const Matrix<float> db = make_points(rows, d, 3);
+  const Matrix<float> q = make_points(1, d, 4);
+  for (auto _ : state) {
+    float best = kInfDist;
+    for (index_t j = 0; j < rows; ++j) {
+      const float dist = kernels::sq_l2(q.row(0), db.row(j), d);
+      if (dist < best) best = dist;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_QueryRowScan)->Arg(21)->Arg(74);
+
+void BM_PairwiseTile(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const Matrix<float> a = make_points(kTileQ, d, 5);
+  const Matrix<float> b = make_points(kTileX, d, 6);
+  Matrix<float> out(kTileQ, kTileX);
+  for (auto _ : state) {
+    pairwise_tile(a, 0, kTileQ, b, 0, kTileX, SqEuclidean{}, out.row(0),
+                  out.stride());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kTileQ *
+                          kTileX);
+}
+BENCHMARK(BM_PairwiseTile)->Arg(21)->Arg(74);
+
+// Direct tiled pairwise vs the GEMM (norms + dot) formulation, the paper
+// §3 "same structure as matrix-matrix multiply" observation.
+void BM_PairwiseDirect(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const Matrix<float> q = make_points(64, d, 7);
+  const Matrix<float> x = make_points(2048, d, 8);
+  for (auto _ : state) {
+    const Matrix<float> out = pairwise_all(q, x, SqEuclidean{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 *
+                          2048);
+}
+BENCHMARK(BM_PairwiseDirect)->Arg(21)->Arg(74)->Unit(benchmark::kMillisecond);
+
+void BM_PairwiseGemm(benchmark::State& state) {
+  const auto d = static_cast<index_t>(state.range(0));
+  const Matrix<float> q = make_points(64, d, 7);
+  const Matrix<float> x = make_points(2048, d, 8);
+  for (auto _ : state) {
+    const Matrix<float> out = pairwise_sq_l2_gemm(q, x);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 *
+                          2048);
+}
+BENCHMARK(BM_PairwiseGemm)->Arg(21)->Arg(74)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

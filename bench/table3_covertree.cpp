@@ -1,0 +1,73 @@
+// Table 3 — "Comparison of the Cover Tree and the exact RBC algorithm on a
+// quad-core desktop machine. Times shown are the total query time in seconds
+// for 10k queries."
+//
+// Per the paper's protocol the Cover Tree queries on ONE core (its available
+// implementation is single-core and a p-way split would only improve an
+// O(log n) search by O(log p)), while the RBC uses the whole machine.
+#include <cstdio>
+
+#include "baselines/covertree.hpp"
+#include "bench_util.hpp"
+#include "rbc/rbc.hpp"
+
+int main() {
+  using namespace rbc;
+  bench::print_header(
+      "Table 3: Cover Tree (1 core) vs exact RBC (all cores), total query time");
+
+  const index_t nq = bench::num_queries();
+
+  std::printf("%-8s %9s %12s %12s %12s %14s\n", "dataset", "n",
+              "covertree(s)", "rbc(s)", "ratio", "ct_evals/q");
+
+  for (const auto& name : bench::all_names()) {
+    const bench::BenchData bd = bench::load(name, nq);
+
+    CoverTree<> tree;
+    tree.build(bd.database);
+
+    RbcExactIndex<> index;
+    index.build(bd.database, {.seed = 1});
+
+    // Cover tree: single core, as in the paper.
+    double t_ct = 0.0;
+    std::uint64_t w_ct = 0;
+    {
+      ThreadLimit one(1);
+      const auto [t, w] = bench::timed([&] {
+        TopK top(1);
+        for (index_t qi = 0; qi < bd.queries.rows(); ++qi) {
+          top.reset();
+          tree.knn(bd.queries.row(qi), 1, top);
+        }
+      });
+      t_ct = t;
+      w_ct = w;
+    }
+
+    const auto [t_rbc, w_rbc] =
+        bench::timed([&] { (void)index.search(bd.queries, 1); });
+    (void)w_rbc;
+
+    std::printf("%-8s %9u %12.3f %12.3f %11.1fx %14.0f\n", name.c_str(),
+                bd.n, t_ct, t_rbc, t_ct / t_rbc,
+                static_cast<double>(w_ct) / bd.queries.rows());
+  }
+
+  std::printf(
+      "\npaper reference (Table 3, seconds for 10k queries):\n"
+      "  dataset   covertree   rbc\n"
+      "  bio           18.9    6.4\n"
+      "  cov            0.4    1.1\n"
+      "  phy            1.9    1.7\n"
+      "  robot          4.6    5.1\n"
+      "  tiny4          0.5    1.2\n"
+      "  tiny8         14.6    3.3\n"
+      "  tiny16       178.9   25.1\n"
+      "  tiny32       387.0   67.9\n"
+      "shape to reproduce: RBC wins clearly on the larger/higher-dimensional\n"
+      "sets (bio, tiny8-32); the Cover Tree wins on the very low-dimensional\n"
+      "ones (tiny4, cov).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Distributed deployment (the paper's §8 direction): shard a database over
+// a simulated worker cluster by representative, serve exact queries, and
+// read off the communication/balance metrics the paper lists as the open
+// questions ("I/O and communication costs").
+//
+//   ./distributed_search [n_points] [workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.hpp"
+#include "data/generators.hpp"
+#include "dist/distributed_rbc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbc;
+  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
+                             : 100'000;
+  const index_t workers =
+      argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 8;
+
+  data::DataSplit split = data::make_benchmark_data(
+      data::dataset_by_name("bio"), n, 500, /*seed=*/3);
+
+  dist::DistributedRbc cluster;
+  WallTimer build_timer;
+  cluster.build(split.database, workers, {.seed = 4});
+  const auto ingest = cluster.network().total();
+  std::printf("sharded %u points over %u workers in %.2fs "
+              "(%u representatives, %.1f MB shipped at ingest)\n",
+              n, workers, build_timer.seconds(), cluster.num_reps(),
+              static_cast<double>(ingest.bytes) / 1e6);
+  for (index_t w = 0; w < workers; ++w)
+    std::printf("  worker %u: %u points\n", w, cluster.worker_points(w));
+
+  dist::DistStats stats;
+  WallTimer search_timer;
+  const KnnResult result = cluster.search(split.queries, 3, &stats);
+  (void)result;
+  const auto total = cluster.network().total();
+
+  std::printf("\n500 exact 3-NN queries in %.3fs\n", search_timer.seconds());
+  std::printf("workers contacted per query: %.2f of %u\n",
+              stats.workers_contacted_per_query(), workers);
+  std::printf("query-phase traffic: %.1f KB total (%.2f KB/query)\n",
+              static_cast<double>(total.bytes - ingest.bytes) / 1e3,
+              static_cast<double>(total.bytes - ingest.bytes) / 1e3 / 500);
+  std::printf("stage-2 work per query (sum over workers): %.0f distance evals\n",
+              static_cast<double>(stats.list_dist_evals) / stats.queries);
+  std::printf("per-worker scan work: ");
+  for (index_t w = 0; w < workers; ++w)
+    std::printf("%llu ",
+                static_cast<unsigned long long>(cluster.worker_list_evals(w)));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Image-descriptor similarity search — the TinyImages workload of the
+// paper's evaluation (§7.1): high-dimensional descriptors reduced by random
+// projection, then searched with the one-shot RBC at an accuracy/speed
+// trade-off chosen by the caller.
+//
+//   ./image_search [n_images] [target_dim]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.hpp"
+#include "data/generators.hpp"
+#include "data/random_projection.hpp"
+#include "data/rank_error.hpp"
+#include "rbc/rbc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbc;
+  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
+                             : 100'000;
+  const index_t d_out =
+      argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 16;
+
+  // 1. "Raw" descriptors on a low-dimensional scene manifold (a stand-in
+  //    for GIST descriptors of the 80M Tiny Images set).
+  std::printf("generating %u synthetic image descriptors...\n", n + 500);
+  Matrix<float> raw = data::make_image_descriptors(n + 500, 128, 7);
+
+  // 2. Random projection to d_out — the paper's preprocessing step. The JL
+  //    lemma says pairwise distances survive the projection.
+  std::printf("random projection 128 -> %u dims\n", d_out);
+  Matrix<float> projected = data::random_projection(raw, d_out, 8);
+
+  // Hold out 500 rows as queries.
+  Matrix<float> database(n, d_out);
+  Matrix<float> queries(500, d_out);
+  for (index_t i = 0; i < n; ++i) database.copy_row_from(projected, i, i);
+  for (index_t i = 0; i < 500; ++i)
+    queries.copy_row_from(projected, n + i, i);
+
+  // 3. One-shot RBC tuned for ~90% recall: nr = s = 2 sqrt(n).
+  const auto param = static_cast<index_t>(
+      2.0 * std::sqrt(static_cast<double>(n)));
+  RbcOneShotIndex<> index;
+  WallTimer build_timer;
+  index.build(database, {.num_reps = param, .points_per_rep = param,
+                         .seed = 9});
+  std::printf("one-shot index built in %.2fs (nr = s = %u, %.1f MB)\n",
+              build_timer.seconds(), param,
+              static_cast<double>(index.memory_bytes()) / 1e6);
+
+  // 4. Query: top-10 similar images per query descriptor.
+  SearchStats stats;
+  WallTimer search_timer;
+  const KnnResult top10 = index.search(queries, 10, &stats);
+  const double elapsed = search_timer.seconds();
+  std::printf("500 queries x top-10 in %.3fs (%.1f us/query, %.0f evals/query)\n",
+              elapsed, elapsed / 500 * 1e6, stats.dist_evals_per_query());
+
+  // 5. Quality: mean rank of the returned best match.
+  Matrix<float> eval_q(100, d_out);
+  for (index_t i = 0; i < 100; ++i) eval_q.copy_row_from(queries, i, i);
+  KnnResult eval(100, 1);
+  for (index_t i = 0; i < 100; ++i) {
+    eval.ids.at(i, 0) = top10.ids.at(i, 0);
+    eval.dists.at(i, 0) = top10.dists.at(i, 0);
+  }
+  std::printf("quality over 100 queries: mean rank %.3f, recall@1 %.2f\n",
+              data::mean_rank(eval_q, database, eval),
+              data::recall_at_1(eval_q, database, eval));
+
+  std::printf("nearest images to query 0: ");
+  for (index_t j = 0; j < 5; ++j) std::printf("#%u ", top10.ids.at(0, j));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// rbc_tool — command-line driver for the library: generate datasets, build
+// and persist indexes, run searches, and evaluate accuracy, all from files.
+//
+//   rbc_tool gen <dataset> <n> <out.bin>
+//   rbc_tool build <db.bin> <index.rbc> [exact|oneshot] [num_reps]
+//   rbc_tool search <db-or-index path> <queries.bin> <k>
+//   rbc_tool eval <db.bin> <queries.bin> <index.rbc>
+//
+// Matrices are the binary format of data::save_matrix; indexes are the
+// save()/load() format of the RBC classes (magic-tagged, so `search` and
+// `eval` detect the index kind automatically).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/timer.hpp"
+#include "data/generators.hpp"
+#include "data/io.hpp"
+#include "data/rank_error.hpp"
+#include "rbc/rbc.hpp"
+#include "rbc/serialize_io.hpp"
+
+namespace {
+
+using namespace rbc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rbc_tool gen <bio|cov|phy|robot|tiny4|tiny8|tiny16|tiny32> "
+               "<n> <out.bin>\n"
+               "  rbc_tool build <db.bin> <index.rbc> [exact|oneshot] "
+               "[num_reps]\n"
+               "  rbc_tool search <index.rbc> <queries.bin> <k>\n"
+               "  rbc_tool eval <db.bin> <queries.bin> <index.rbc>\n");
+  return 2;
+}
+
+std::uint32_t peek_magic(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return is ? magic : 0;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const auto& spec = data::dataset_by_name(argv[2]);
+  const auto n = static_cast<index_t>(std::strtoul(argv[3], nullptr, 10));
+  WallTimer timer;
+  const Matrix<float> X = data::make_dataset(spec, n, /*seed=*/1);
+  data::save_matrix(X, argv[4]);
+  std::printf("wrote %u x %u (%s surrogate) to %s in %.2fs\n", X.rows(),
+              X.cols(), spec.name.c_str(), argv[4], timer.seconds());
+  return 0;
+}
+
+int cmd_build(int argc, char** argv) {
+  if (argc < 4 || argc > 6) return usage();
+  const Matrix<float> X = data::load_matrix(argv[2]);
+  const std::string kind = argc >= 5 ? argv[4] : "exact";
+  RbcParams params;
+  if (argc == 6)
+    params.num_reps =
+        static_cast<index_t>(std::strtoul(argv[5], nullptr, 10));
+
+  std::ofstream os(argv[3], std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  WallTimer timer;
+  if (kind == "oneshot") {
+    RbcOneShotIndex<> index;
+    index.build(X, params);
+    index.save(os);
+    std::printf("one-shot index: nr=%u s=%u, %.1f MB, built in %.2fs\n",
+                index.num_reps(), index.points_per_rep(),
+                static_cast<double>(index.memory_bytes()) / 1e6,
+                timer.seconds());
+  } else if (kind == "exact") {
+    RbcExactIndex<> index;
+    index.build(X, params);
+    index.save(os);
+    std::printf("exact index: nr=%u, %.1f MB, built in %.2fs\n",
+                index.num_reps(),
+                static_cast<double>(index.memory_bytes()) / 1e6,
+                timer.seconds());
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
+int cmd_search(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const Matrix<float> Q = data::load_matrix(argv[3]);
+  const auto k = static_cast<index_t>(std::strtoul(argv[4], nullptr, 10));
+
+  std::ifstream is(argv[2], std::ios::binary);
+  const std::uint32_t magic = peek_magic(argv[2]);
+  KnnResult result;
+  SearchStats stats;
+  WallTimer timer;
+  double elapsed = 0.0;
+  if (magic == io::kMagicExact) {
+    const auto index = RbcExactIndex<>::load(is);
+    timer.reset();
+    result = index.search(Q, k, &stats);
+    elapsed = timer.seconds();
+  } else if (magic == io::kMagicOneShot) {
+    const auto index = RbcOneShotIndex<>::load(is);
+    timer.reset();
+    result = index.search(Q, k, &stats);
+    elapsed = timer.seconds();
+  } else {
+    std::fprintf(stderr, "%s is not an rbc index\n", argv[2]);
+    return 1;
+  }
+
+  std::printf("%u queries x %u-NN in %.3fs (%.1f us/query, %.0f evals/query)\n",
+              Q.rows(), k, elapsed, elapsed / Q.rows() * 1e6,
+              stats.dist_evals_per_query());
+  const index_t show = std::min<index_t>(Q.rows(), 5);
+  for (index_t qi = 0; qi < show; ++qi) {
+    std::printf("q%u:", qi);
+    for (index_t j = 0; j < k; ++j)
+      std::printf(" (%u, %.4f)", result.ids.at(qi, j),
+                  result.dists.at(qi, j));
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const Matrix<float> X = data::load_matrix(argv[2]);
+  const Matrix<float> Q = data::load_matrix(argv[3]);
+
+  std::ifstream is(argv[4], std::ios::binary);
+  const std::uint32_t magic = peek_magic(argv[4]);
+  KnnResult result;
+  if (magic == io::kMagicExact) {
+    result = RbcExactIndex<>::load(is).search(Q, 1);
+  } else if (magic == io::kMagicOneShot) {
+    result = RbcOneShotIndex<>::load(is).search(Q, 1);
+  } else {
+    std::fprintf(stderr, "%s is not an rbc index\n", argv[4]);
+    return 1;
+  }
+  std::printf("mean rank: %.4f\nrecall@1:  %.4f\n",
+              data::mean_rank(Q, X, result), data::recall_at_1(Q, X, result));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "build") return cmd_build(argc, argv);
+    if (cmd == "search") return cmd_search(argc, argv);
+    if (cmd == "eval") return cmd_eval(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,75 @@
+// Robot-arm state lookup — the paper's Robot workload ([22]: learning
+// inverse dynamics for a Barrett WAM arm). Model-based controllers look up
+// the nearest previously-seen arm states (q, qdot, qddot) to predict torques;
+// the lookup must be exact (a wrong neighbor means a wrong torque) and fast
+// (control loops run at hundreds of Hz), which is precisely the exact-RBC
+// use case.
+//
+//   ./robot_arm [n_states]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.hpp"
+#include "data/generators.hpp"
+#include "rbc/rbc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbc;
+  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
+                             : 200'000;
+
+  std::printf("simulating %u arm states (7 joints x [q, qdot, qddot])...\n",
+              n + 1'000);
+  Matrix<float> all = data::make_robot_arm(n + 1'000, 11);
+
+  Matrix<float> database(n, all.cols());
+  Matrix<float> live(1'000, all.cols());  // "incoming" states to look up
+  // Interleave: hold out every (n/1000)-th state as a live query so queries
+  // come from the same trajectories as the database.
+  const index_t stride = (n + 1'000) / 1'000;
+  index_t qi = 0, di = 0;
+  for (index_t i = 0; i < n + 1'000; ++i) {
+    if (i % stride == 0 && qi < 1'000)
+      live.copy_row_from(all, i, qi++);
+    else if (di < n)
+      database.copy_row_from(all, i, di++);
+  }
+
+  RbcExactIndex<> index;
+  WallTimer build_timer;
+  index.build(database, {.seed = 3});
+  std::printf("exact index: nr=%u, built in %.2fs\n", index.num_reps(),
+              build_timer.seconds());
+
+  // Control-loop style: one state at a time, 5-NN for local regression.
+  RbcExactIndex<>::Scratch scratch;
+  TopK top(5);
+  SearchStats stats;
+  WallTimer loop_timer;
+  for (index_t i = 0; i < live.rows(); ++i) {
+    top.reset();
+    index.search_one(live.row(i), 5, top, scratch, &stats);
+  }
+  const double elapsed = loop_timer.seconds();
+  std::printf("%u single-state lookups in %.3fs -> %.0f us/lookup "
+              "(%.0f Hz control budget), %.0f evals/lookup\n",
+              live.rows(), elapsed, elapsed / live.rows() * 1e6,
+              live.rows() / elapsed, stats.dist_evals_per_query());
+
+  // Show one lookup in detail.
+  top.reset();
+  index.search_one(live.row(0), 5, top, scratch);
+  std::vector<dist_t> d(5);
+  std::vector<index_t> ids(5);
+  top.extract_sorted(d.data(), ids.data());
+  std::printf("5 nearest stored states to live state 0:\n");
+  for (int j = 0; j < 5; ++j)
+    std::printf("  state %-8u distance %.4f\n", ids[j], d[j]);
+
+  // Batch mode for offline training-set cleanup: all queries at once.
+  WallTimer batch_timer;
+  (void)index.search(live, 1);
+  std::printf("batch mode: %u lookups in %.3fs (all cores)\n", live.rows(),
+              batch_timer.seconds());
+  return 0;
+}

@@ -1,0 +1,8 @@
+#include "baselines/balltree.hpp"
+
+namespace rbc {
+
+template class BallTree<Euclidean>;
+template class BallTree<L1>;
+
+}  // namespace rbc

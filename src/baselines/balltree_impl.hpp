@@ -1,0 +1,155 @@
+// Template implementations for balltree.hpp. Include balltree.hpp instead.
+#pragma once
+
+#include <algorithm>
+
+#include "common/counters.hpp"
+
+namespace rbc {
+
+template <DenseMetric M>
+void BallTree<M>::build(const Matrix<float>& X, index_t leaf_size, M metric,
+                        std::uint64_t seed) {
+  db_ = &X;
+  metric_ = metric;
+  nodes_.clear();
+  order_.resize(X.rows());
+  for (index_t i = 0; i < X.rows(); ++i) order_[i] = i;
+  if (X.rows() > 0) {
+    Rng rng(seed);
+    build_node(0, X.rows(), std::max<index_t>(leaf_size, 1), rng);
+  }
+}
+
+template <DenseMetric M>
+std::int32_t BallTree<M>::build_node(index_t begin, index_t end,
+                                     index_t leaf_size, Rng& rng) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  const index_t d = db_->cols();
+  const index_t count = end - begin;
+
+  // Center: the member closest to the others would be ideal; a cheap
+  // proxy — the farthest-point pivot p1 below — serves as the split seed,
+  // while the node center is simply the first member (any member works;
+  // the radius is computed exactly).
+  const index_t center = order_[begin];
+  dist_t radius = 0;
+  for (index_t i = begin; i < end; ++i)
+    radius = std::max(radius,
+                      metric_(db_->row(center), db_->row(order_[i]), d));
+  counters::add_dist_evals(count);
+  nodes_[id].center = center;
+  nodes_[id].radius = radius;
+  nodes_[id].begin = begin;
+  nodes_[id].end = end;
+
+  if (count <= leaf_size || radius == 0) return id;  // leaf (or all dupes)
+
+  // Pivot pair: p1 = farthest from a random seed, p2 = farthest from p1.
+  const index_t seed_pt = order_[begin + rng.uniform_index(count)];
+  index_t p1 = seed_pt;
+  dist_t best = -1;
+  for (index_t i = begin; i < end; ++i) {
+    const dist_t dist = metric_(db_->row(seed_pt), db_->row(order_[i]), d);
+    if (dist > best) {
+      best = dist;
+      p1 = order_[i];
+    }
+  }
+  index_t p2 = p1;
+  best = -1;
+  for (index_t i = begin; i < end; ++i) {
+    const dist_t dist = metric_(db_->row(p1), db_->row(order_[i]), d);
+    if (dist > best) {
+      best = dist;
+      p2 = order_[i];
+    }
+  }
+  counters::add_dist_evals(2ull * count);
+
+  // Partition by nearer pivot (ties toward p1 for determinism).
+  const auto mid_it = std::partition(
+      order_.begin() + begin, order_.begin() + end, [&](index_t x) {
+        const dist_t d1 = metric_(db_->row(p1), db_->row(x), d);
+        const dist_t d2 = metric_(db_->row(p2), db_->row(x), d);
+        return d1 <= d2;
+      });
+  counters::add_dist_evals(2ull * count);
+  auto mid = static_cast<index_t>(mid_it - order_.begin());
+  // Degenerate split (all points equidistant): force a balanced cut.
+  if (mid == begin || mid == end) mid = begin + count / 2;
+
+  const std::int32_t left = build_node(begin, mid, leaf_size, rng);
+  const std::int32_t right = build_node(mid, end, leaf_size, rng);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+template <DenseMetric M>
+void BallTree<M>::knn(const float* q, index_t k, TopK& out) const {
+  (void)k;  // capacity lives in `out`
+  if (db_ == nullptr || db_->rows() == 0) return;
+  const dist_t d0 = metric_(q, db_->row(nodes_[0].center), db_->cols());
+  counters::add_dist_evals(1);
+  knn_descend(0, d0, q, out);
+}
+
+template <DenseMetric M>
+void BallTree<M>::knn_descend(std::int32_t node, dist_t dist_to_center,
+                              const float* q, TopK& out) const {
+  const Node& x = nodes_[static_cast<std::size_t>(node)];
+  const index_t d = db_->cols();
+
+  if (x.leaf()) {
+    for (index_t i = x.begin; i < x.end; ++i)
+      out.push(metric_(q, db_->row(order_[i]), d), order_[i]);
+    counters::add_dist_evals(x.end - x.begin);
+    return;
+  }
+
+  const Node& l = nodes_[static_cast<std::size_t>(x.left)];
+  const Node& r = nodes_[static_cast<std::size_t>(x.right)];
+  const dist_t dl = metric_(q, db_->row(l.center), d);
+  const dist_t dr = metric_(q, db_->row(r.center), d);
+  counters::add_dist_evals(2);
+
+  // Visit the nearer ball first; prune when the ball's lower bound
+  // strictly exceeds the current k-th best (ties always visited, keeping
+  // results identical to brute force).
+  const auto visit = [&](std::int32_t child, dist_t dist) {
+    const Node& c = nodes_[static_cast<std::size_t>(child)];
+    if (dist - c.radius > out.worst()) return;
+    knn_descend(child, dist, q, out);
+  };
+  if (dl <= dr) {
+    visit(x.left, dl);
+    visit(x.right, dr);
+  } else {
+    visit(x.right, dr);
+    visit(x.left, dl);
+  }
+}
+
+template <DenseMetric M>
+bool BallTree<M>::check_invariants() const {
+  if (nodes_.empty()) return db_ == nullptr || db_->rows() == 0;
+  const index_t d = db_->cols();
+  for (const Node& node : nodes_) {
+    for (index_t i = node.begin; i < node.end; ++i) {
+      const dist_t dist =
+          metric_(db_->row(node.center), db_->row(order_[i]), d);
+      if (dist > node.radius) return false;
+    }
+    if (!node.leaf()) {
+      const Node& l = nodes_[static_cast<std::size_t>(node.left)];
+      const Node& r = nodes_[static_cast<std::size_t>(node.right)];
+      if (l.begin != node.begin || l.end != r.begin || r.end != node.end)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rbc

@@ -1,0 +1,8 @@
+#include "baselines/covertree.hpp"
+
+namespace rbc {
+
+template class CoverTree<Euclidean>;
+template class CoverTree<L1>;
+
+}  // namespace rbc

@@ -1,0 +1,153 @@
+// Template implementations for covertree.hpp. Include covertree.hpp instead.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/counters.hpp"
+
+namespace rbc {
+
+template <DenseMetric M>
+void CoverTree<M>::build(const Matrix<float>& X, M metric) {
+  db_ = &X;
+  metric_ = metric;
+  nodes_.clear();
+  root_ = kInvalidIndex;
+  size_ = X.rows();
+  nodes_.reserve(X.rows());
+  for (index_t i = 0; i < X.rows(); ++i) insert(i);
+  compute_maxdist();
+}
+
+template <DenseMetric M>
+void CoverTree<M>::insert(index_t db_row) {
+  const float* p = db_->row(db_row);
+  const index_t d = db_->cols();
+
+  if (root_ == kInvalidIndex) {
+    nodes_.push_back(Node{db_row, 0, 0.0f, kInvalidIndex, {}, {}});
+    root_ = 0;
+    return;
+  }
+
+  // Raise the root's level until its cover ball contains p. Growing
+  // covdist(root) preserves the covering invariant for existing children.
+  dist_t d_root = metric_(p, db_->row(nodes_[root_].point), d);
+  counters::add_dist_evals(1);
+  while (d_root > covdist(nodes_[root_].level)) ++nodes_[root_].level;
+
+  // Descend: follow any child whose cover ball contains p (nearest such
+  // child, for a more balanced tree); stop when none does.
+  index_t current = root_;
+  dist_t d_current = d_root;
+  while (true) {
+    if (d_current == 0.0f) {  // exact duplicate: fold, no new node
+      nodes_[current].duplicates.push_back(db_row);
+      return;
+    }
+    index_t best_child = kInvalidIndex;
+    dist_t best_dist = kInfDist;
+    for (const index_t c : nodes_[current].children) {
+      const dist_t dc = metric_(p, db_->row(nodes_[c].point), d);
+      counters::add_dist_evals(1);
+      if (dc <= covdist(nodes_[c].level) && dc < best_dist) {
+        best_dist = dc;
+        best_child = c;
+      }
+    }
+    if (best_child == kInvalidIndex) break;
+    current = best_child;
+    d_current = best_dist;
+  }
+
+  // p becomes a new child of `current`, one level down.
+  const auto node_id = static_cast<index_t>(nodes_.size());
+  nodes_.push_back(
+      Node{db_row, nodes_[current].level - 1, 0.0f, current, {}, {}});
+  nodes_[current].children.push_back(node_id);
+}
+
+template <DenseMetric M>
+void CoverTree<M>::compute_maxdist() {
+  const index_t d = db_->cols();
+  // For every node, push its point's distance into every ancestor's maxdist.
+  // O(n * depth) distance evaluations, done once at build.
+  for (index_t v = 0; v < nodes_.size(); ++v) {
+    const float* pv = db_->row(nodes_[v].point);
+    index_t a = nodes_[v].parent;
+    while (a != kInvalidIndex) {
+      const dist_t dav = metric_(db_->row(nodes_[a].point), pv, d);
+      counters::add_dist_evals(1);
+      if (dav > nodes_[a].maxdist) nodes_[a].maxdist = dav;
+      a = nodes_[a].parent;
+    }
+  }
+}
+
+template <DenseMetric M>
+void CoverTree<M>::knn(const float* q, index_t k, TopK& out) const {
+  (void)k;  // capacity lives in `out`; parameter kept for API symmetry
+  if (root_ == kInvalidIndex) return;
+  const dist_t d_root = metric_(q, db_->row(nodes_[root_].point), db_->cols());
+  counters::add_dist_evals(1);
+  knn_descend(root_, d_root, q, out);
+}
+
+template <DenseMetric M>
+void CoverTree<M>::knn_descend(index_t node, dist_t dist_to_node,
+                               const float* q, TopK& out) const {
+  const Node& x = nodes_[node];
+  out.push(dist_to_node, x.point);
+  for (const index_t dup : x.duplicates) out.push(dist_to_node, dup);
+
+  if (x.children.empty()) return;
+
+  // Compute child distances once, then visit in ascending order so the
+  // bound tightens as early as possible (classic branch-and-bound order).
+  struct Visit {
+    dist_t dist;
+    index_t child;
+  };
+  std::vector<Visit> visits;
+  visits.reserve(x.children.size());
+  for (const index_t c : x.children) {
+    visits.push_back(
+        {metric_(q, db_->row(nodes_[c].point), db_->cols()), c});
+  }
+  counters::add_dist_evals(x.children.size());
+  std::sort(visits.begin(), visits.end(), [](const Visit& a, const Visit& b) {
+    return a.dist < b.dist || (a.dist == b.dist && a.child < b.child);
+  });
+
+  for (const Visit& v : visits) {
+    // Lower bound on any point in c's subtree: rho(q,c) - maxdist(c).
+    // Strict >: a subtree that could still tie the current k-th best (and
+    // win on id) is always visited, keeping results identical to brute
+    // force.
+    if (v.dist - nodes_[v.child].maxdist > out.worst()) continue;
+    knn_descend(v.child, v.dist, q, out);
+  }
+}
+
+template <DenseMetric M>
+bool CoverTree<M>::check_invariants() const {
+  if (root_ == kInvalidIndex) return nodes_.empty();
+  const index_t d = db_->cols();
+  for (index_t v = 0; v < nodes_.size(); ++v) {
+    const Node& x = nodes_[v];
+    for (const index_t c : x.children) {
+      if (nodes_[c].level >= x.level) return false;  // levels must decrease
+      if (nodes_[c].parent != v) return false;
+      const dist_t dc = metric_(db_->row(x.point), db_->row(nodes_[c].point), d);
+      if (dc > covdist(x.level)) return false;  // covering
+      if (dc > x.maxdist) return false;         // maxdist upper-bounds child
+    }
+    for (const index_t dup : x.duplicates) {
+      if (metric_(db_->row(x.point), db_->row(dup), d) != 0.0f) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rbc

@@ -1,0 +1,115 @@
+#include "baselines/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/counters.hpp"
+#include "distance/kernels.hpp"
+
+namespace rbc {
+
+void KdTree::build(const Matrix<float>& X, index_t leaf_size) {
+  db_ = &X;
+  nodes_.clear();
+  order_.resize(X.rows());
+  for (index_t i = 0; i < X.rows(); ++i) order_[i] = i;
+  if (X.rows() > 0) build_node(0, X.rows(), std::max<index_t>(leaf_size, 1));
+}
+
+std::int32_t KdTree::build_node(index_t begin, index_t end,
+                                index_t leaf_size) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  if (end - begin <= leaf_size) {
+    nodes_[id].begin = begin;
+    nodes_[id].end = end;
+    return id;
+  }
+
+  // Split on the dimension with the widest spread over this cell.
+  const index_t d = db_->cols();
+  int best_dim = 0;
+  float best_spread = -1.0f;
+  for (index_t j = 0; j < d; ++j) {
+    float lo = db_->at(order_[begin], j), hi = lo;
+    for (index_t i = begin + 1; i < end; ++i) {
+      const float v = db_->at(order_[i], j);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = static_cast<int>(j);
+    }
+  }
+  if (best_spread <= 0.0f) {  // all points identical: force a leaf
+    nodes_[id].begin = begin;
+    nodes_[id].end = end;
+    return id;
+  }
+
+  // Median split for a balanced tree.
+  const index_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](index_t a, index_t b) {
+                     const float va = db_->at(a, static_cast<index_t>(best_dim));
+                     const float vb = db_->at(b, static_cast<index_t>(best_dim));
+                     return va < vb || (va == vb && a < b);
+                   });
+  const float split_val = db_->at(order_[mid], static_cast<index_t>(best_dim));
+
+  nodes_[id].split_dim = best_dim;
+  nodes_[id].split_val = split_val;
+  const std::int32_t left = build_node(begin, mid, leaf_size);
+  const std::int32_t right = build_node(mid, end, leaf_size);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void KdTree::knn(const float* q, index_t k, TopK& out) const {
+  (void)k;  // capacity lives in `out`
+  if (db_ == nullptr || db_->rows() == 0) return;
+  std::vector<float> plane_dists(db_->cols(), 0.0f);
+  knn_descend(0, q, 0.0f, plane_dists, out);
+}
+
+void KdTree::knn_descend(std::int32_t node, const float* q,
+                         dist_t sq_plane_dist, std::vector<float>& plane_dists,
+                         TopK& out) const {
+  const Node& x = nodes_[static_cast<std::size_t>(node)];
+  const index_t d = db_->cols();
+
+  if (x.leaf()) {
+    for (index_t i = x.begin; i < x.end; ++i) {
+      const index_t row = order_[i];
+      out.push(std::sqrt(kernels::sq_l2(q, db_->row(row), d)), row);
+    }
+    counters::add_dist_evals(x.end - x.begin);
+    return;
+  }
+
+  const auto dim = static_cast<index_t>(x.split_dim);
+  const float delta = q[dim] - x.split_val;
+  const std::int32_t near = delta <= 0.0f ? x.left : x.right;
+  const std::int32_t far = delta <= 0.0f ? x.right : x.left;
+
+  knn_descend(near, q, sq_plane_dist, plane_dists, out);
+
+  // Lower bound on any point in the far cell: the accumulated squared
+  // distance to the splitting planes crossed so far, with this node's plane
+  // replacing any previous contribution of the same dimension.
+  const float old = plane_dists[dim];
+  const float updated = sq_plane_dist - old * old + delta * delta;
+  const dist_t lower = std::sqrt(std::max(0.0f, updated));
+  // Strict >: far cells that could tie the current k-th best are visited,
+  // keeping results identical to brute force under the (distance, id) order.
+  if (lower > out.worst()) return;
+
+  plane_dists[dim] = std::fabs(delta);
+  knn_descend(far, q, updated, plane_dists, out);
+  plane_dists[dim] = old;
+}
+
+}  // namespace rbc

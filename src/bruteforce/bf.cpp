@@ -1,0 +1,21 @@
+// Explicit instantiations of the brute-force primitive for the shipped
+// metrics, so common configurations compile once instead of in every TU.
+#include "bruteforce/bf.hpp"
+
+namespace rbc {
+
+template KnnResult bf_knn<Euclidean>(const Matrix<float>&,
+                                     const Matrix<float>&, index_t, Euclidean);
+template KnnResult bf_knn<SqEuclidean>(const Matrix<float>&,
+                                       const Matrix<float>&, index_t,
+                                       SqEuclidean);
+template KnnResult bf_knn<L1>(const Matrix<float>&, const Matrix<float>&,
+                              index_t, L1);
+template KnnResult bf_knn<LInf>(const Matrix<float>&, const Matrix<float>&,
+                                index_t, LInf);
+
+template void bf_knn_stream<Euclidean>(const float*, const Matrix<float>&,
+                                       Euclidean, TopK&);
+template void bf_knn_stream<L1>(const float*, const Matrix<float>&, L1, TopK&);
+
+}  // namespace rbc

@@ -1,0 +1,89 @@
+// BF(Q, X) — the brute-force primitive (paper §3).
+//
+// "Given a set of queries Q and a database X ... finding the NNs for all q
+//  can be achieved by a series of linear scans."
+//
+// Both of the paper's parallel decompositions are implemented:
+//   * batch mode  — many queries: parallelize across queries (the
+//     matrix-matrix-multiply-shaped case);
+//   * stream mode — one query: parallelize across database chunks with
+//     per-thread heaps and a final reduce (the matrix-vector case plus the
+//     inverted-binary-tree comparison step).
+//
+// Subset search BF(q, X[L]) — the building block of both RBC search
+// algorithms — is provided in gather form (indirect ids into X) and in
+// contiguous form (a packed row range), the latter being what the RBC
+// indexes use on their permuted copies of the database.
+#pragma once
+
+#include <cstdint>
+
+#include "bruteforce/topk.hpp"
+#include "common/counters.hpp"
+#include "common/matrix.hpp"
+#include "distance/metrics.hpp"
+
+namespace rbc {
+
+/// k-NN results for a batch of queries: row i holds query i's neighbors in
+/// ascending (distance, id) order, padded with (inf, kInvalidIndex) when the
+/// database has fewer than k points.
+struct KnnResult {
+  Matrix<dist_t> dists;  // nq x k
+  Matrix<index_t> ids;   // nq x k
+
+  KnnResult() = default;
+  KnnResult(index_t nq, index_t k) : dists(nq, k), ids(nq, k) {}
+};
+
+/// Scans database rows [x_begin, x_end) for query q, offering every point to
+/// `out`. Ids pushed are the raw row indices (callers remap if X is a packed
+/// permutation). Serial; adds to the distance-eval counter.
+template <DenseMetric M>
+void bf_scan_rows(const float* q, const Matrix<float>& X, index_t x_begin,
+                  index_t x_end, M metric, TopK& out) {
+  const index_t d = X.cols();
+  for (index_t j = x_begin; j < x_end; ++j)
+    out.push(metric(q, X.row(j), d), j);
+  counters::add_dist_evals(x_end - x_begin);
+}
+
+/// BF(q, X[subset]): scans the `count` database rows whose indices are given
+/// by `subset`, pushing (distance, subset[j]) pairs. Serial.
+template <DenseMetric M>
+void bf_scan_subset(const float* q, const Matrix<float>& X,
+                    const index_t* subset, index_t count, M metric,
+                    TopK& out) {
+  const index_t d = X.cols();
+  for (index_t j = 0; j < count; ++j)
+    out.push(metric(q, X.row(subset[j]), d), subset[j]);
+  counters::add_dist_evals(count);
+}
+
+/// BF(Q, X) for a batch of queries; parallel across queries.
+/// The default metric is Euclidean, as in all of the paper's experiments.
+template <DenseMetric M = Euclidean>
+KnnResult bf_knn(const Matrix<float>& Q, const Matrix<float>& X, index_t k,
+                 M metric = {});
+
+/// BF(q, X) for a single (streaming) query; parallel across database chunks
+/// with per-thread heaps merged by a reduction.
+template <DenseMetric M = Euclidean>
+void bf_knn_stream(const float* q, const Matrix<float>& X, M metric,
+                   TopK& out);
+
+/// Convenience: 1-NN of a single query, serial. Returns (distance, id).
+template <DenseMetric M = Euclidean>
+std::pair<dist_t, index_t> bf_1nn(const float* q, const Matrix<float>& X,
+                                  M metric = {}) {
+  TopK top(1);
+  bf_scan_rows(q, X, 0, X.rows(), metric, top);
+  dist_t d;
+  index_t id;
+  top.extract_sorted(&d, &id);
+  return {d, id};
+}
+
+}  // namespace rbc
+
+#include "bruteforce/bf_impl.hpp"

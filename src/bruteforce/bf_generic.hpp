@@ -1,0 +1,70 @@
+// Brute-force k-NN over an arbitrary metric space (strings, graph nodes, ...).
+//
+// A Space models:
+//   index_t size() const;
+//   const Point& operator[](index_t) const;   // Point = Space::Point
+//   double distance(const Point&, const Point&) const;
+//
+// distance() must be a true metric for the generic RBC exact index built on
+// top of this to be correct.
+#pragma once
+
+#include <concepts>
+#include <utility>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/types.hpp"
+
+namespace rbc {
+
+template <class S>
+concept MetricSpace = requires(const S s, index_t i) {
+  typename S::Point;
+  { s.size() } -> std::convertible_to<index_t>;
+  { s[i] } -> std::convertible_to<const typename S::Point&>;
+  { s.distance(s[i], s[i]) } -> std::convertible_to<double>;
+};
+
+/// One (distance, id) neighbor in a generic space.
+struct GenericNeighbor {
+  double dist;
+  index_t id;
+
+  friend bool operator<(const GenericNeighbor& a, const GenericNeighbor& b) {
+    return a.dist < b.dist || (a.dist == b.dist && a.id < b.id);
+  }
+  friend bool operator==(const GenericNeighbor& a,
+                         const GenericNeighbor& b) = default;
+};
+
+/// Brute-force k-NN of `query` among the subset `ids` of the space
+/// (all points if `ids` is empty ... callers pass the full range explicitly
+/// to avoid surprises). Returns ascending (distance, id), size min(k, #ids).
+template <MetricSpace S>
+std::vector<GenericNeighbor> generic_knn_subset(
+    const S& space, const typename S::Point& query,
+    const std::vector<index_t>& ids, index_t k) {
+  std::vector<GenericNeighbor> all;
+  all.reserve(ids.size());
+  for (const index_t id : ids)
+    all.push_back({space.distance(query, space[id]), id});
+  counters::add_dist_evals(ids.size());
+  const std::size_t keep = std::min<std::size_t>(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep),
+                    all.end());
+  all.resize(keep);
+  return all;
+}
+
+/// Brute-force k-NN of `query` among all points of the space.
+template <MetricSpace S>
+std::vector<GenericNeighbor> generic_knn(const S& space,
+                                         const typename S::Point& query,
+                                         index_t k) {
+  std::vector<index_t> ids(space.size());
+  for (index_t i = 0; i < space.size(); ++i) ids[i] = i;
+  return generic_knn_subset(space, query, ids, k);
+}
+
+}  // namespace rbc

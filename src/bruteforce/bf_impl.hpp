@@ -1,0 +1,70 @@
+// Template implementations for bf.hpp. Include bf.hpp, not this file.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/runtime.hpp"
+
+namespace rbc {
+
+template <DenseMetric M>
+KnnResult bf_knn(const Matrix<float>& Q, const Matrix<float>& X, index_t k,
+                 M metric) {
+  KnnResult result(Q.rows(), k);
+  const int nt = max_threads();
+
+  if (Q.rows() == 0) return result;
+
+  // Few queries relative to cores: stream mode per query.
+  if (Q.rows() < static_cast<index_t>(2 * nt)) {
+    for (index_t qi = 0; qi < Q.rows(); ++qi) {
+      TopK top(k);
+      bf_knn_stream(Q.row(qi), X, metric, top);
+      top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+    }
+    return result;
+  }
+
+  // Batch mode: one heap per thread, queries distributed dynamically.
+  std::vector<TopK> heaps(static_cast<std::size_t>(nt), TopK(k));
+  parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+    TopK& top = heaps[static_cast<std::size_t>(thread_id())];
+    top.reset();
+    bf_scan_rows(Q.row(qi), X, 0, X.rows(), metric, top);
+    top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+  });
+  return result;
+}
+
+template <DenseMetric M>
+void bf_knn_stream(const float* q, const Matrix<float>& X, M metric,
+                   TopK& out) {
+  const int nt = max_threads();
+  const index_t n = X.rows();
+  if (n == 0) return;
+
+  // Chunk the database so each thread gets a contiguous slice (predictable
+  // access, Per.19); merge per-thread heaps afterwards (the paper's
+  // parallel-reduce comparison step).
+  std::vector<TopK> partials(static_cast<std::size_t>(nt), TopK(out.k()));
+#pragma omp parallel
+  {
+    TopK& mine = partials[static_cast<std::size_t>(thread_id())];
+#pragma omp for schedule(static)
+    for (std::int64_t chunk = 0; chunk < nt; ++chunk) {
+      const index_t lo = static_cast<index_t>(
+          static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(chunk) /
+          static_cast<std::uint64_t>(nt));
+      const index_t hi = static_cast<index_t>(
+          static_cast<std::uint64_t>(n) *
+          static_cast<std::uint64_t>(chunk + 1) /
+          static_cast<std::uint64_t>(nt));
+      bf_scan_rows(q, X, lo, hi, metric, mine);
+    }
+  }
+  for (const TopK& partial : partials) out.merge_from(partial);
+}
+
+}  // namespace rbc

@@ -1,0 +1,117 @@
+// Bounded top-k selection — the "comparison step" of the brute-force
+// primitive (paper §3).
+//
+// Ordering contract (used throughout the library to make results
+// deterministic and independent of thread count / visit order): candidates
+// are ranked by (distance, id) lexicographically, smaller is better. Two
+// searches that see the same candidate multiset therefore produce identical
+// results, which is what lets the test suite require RBC exact == brute
+// force *including ties*.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rbc {
+
+/// Fixed-capacity max-heap of the k best (smallest) (distance, id) pairs.
+class TopK {
+ public:
+  explicit TopK(index_t k) : k_(k) { heap_.reserve(k); }
+
+  index_t k() const noexcept { return k_; }
+  index_t size() const noexcept { return static_cast<index_t>(heap_.size()); }
+  bool full() const noexcept { return size() == k_; }
+
+  /// Clears contents; capacity is retained (no allocation on the hot path).
+  void reset() noexcept { heap_.clear(); }
+
+  /// Current k-th best distance: the pruning bound. +inf until full, so all
+  /// candidates are accepted while the heap is filling.
+  dist_t worst() const noexcept { return full() ? heap_[0].dist : kInfDist; }
+
+  /// Offers a candidate; keeps it if it beats the current k-th best under
+  /// the (distance, id) order. Returns true if kept.
+  bool push(dist_t dist, index_t id) {
+    if (!full()) {
+      heap_.push_back({dist, id});
+      sift_up(heap_.size() - 1);
+      return true;
+    }
+    if (!better(dist, id, heap_[0].dist, heap_[0].id)) return false;
+    heap_[0] = {dist, id};
+    sift_down(0);
+    return true;
+  }
+
+  /// Merges another heap's contents into this one.
+  void merge_from(const TopK& other) {
+    for (const Entry& e : other.heap_) push(e.dist, e.id);
+  }
+
+  /// Writes the contents in ascending (distance, id) order. Exactly k slots
+  /// are written: missing entries (size() < k) are padded with
+  /// (kInfDist, kInvalidIndex).
+  void extract_sorted(dist_t* dists, index_t* ids) const {
+    std::vector<Entry> sorted(heap_);
+    std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      return better(a.dist, a.id, b.dist, b.id);
+    });
+    index_t i = 0;
+    for (; i < sorted.size(); ++i) {
+      dists[i] = sorted[i].dist;
+      ids[i] = sorted[i].id;
+    }
+    for (; i < k_; ++i) {
+      dists[i] = kInfDist;
+      ids[i] = kInvalidIndex;
+    }
+  }
+
+ private:
+  struct Entry {
+    dist_t dist;
+    index_t id;
+  };
+
+  /// True if (d1, i1) ranks strictly better (smaller) than (d2, i2).
+  static bool better(dist_t d1, index_t i1, dist_t d2, index_t i2) noexcept {
+    return d1 < d2 || (d1 == d2 && i1 < i2);
+  }
+
+  /// True if entry a is worse than entry b (max-heap comparator).
+  static bool worse(const Entry& a, const Entry& b) noexcept {
+    return better(b.dist, b.id, a.dist, a.id);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!worse(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t largest = i;
+      if (left < n && worse(heap_[left], heap_[largest])) largest = left;
+      if (right < n && worse(heap_[right], heap_[largest])) largest = right;
+      if (largest == i) break;
+      std::swap(heap_[i], heap_[largest]);
+      i = largest;
+    }
+  }
+
+  index_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace rbc

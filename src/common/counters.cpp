@@ -1,0 +1,53 @@
+#include "common/counters.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace rbc::counters {
+namespace {
+
+// One cache line per thread slot to avoid false sharing between workers.
+struct alignas(64) Slot {
+  std::atomic<std::uint64_t> value{0};
+};
+
+// Registry of every thread's slot. Slots are never removed: a thread that
+// exits leaves its (final) count behind, which keeps total_dist_evals()
+// correct across OpenMP team teardowns.
+std::mutex g_registry_mutex;
+std::vector<Slot*>& registry() {
+  static std::vector<Slot*> r;
+  return r;
+}
+
+Slot& local_slot() {
+  thread_local Slot* slot = [] {
+    auto* fresh = new Slot();  // intentionally leaked; see registry comment
+    std::lock_guard lock(g_registry_mutex);
+    registry().push_back(fresh);
+    return fresh;
+  }();
+  return *slot;
+}
+
+}  // namespace
+
+void add_dist_evals(std::uint64_t n) noexcept {
+  local_slot().value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t total_dist_evals() noexcept {
+  std::lock_guard lock(g_registry_mutex);
+  std::uint64_t sum = 0;
+  for (const Slot* slot : registry())
+    sum += slot->value.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void reset() noexcept {
+  std::lock_guard lock(g_registry_mutex);
+  for (Slot* slot : registry()) slot->value.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rbc::counters

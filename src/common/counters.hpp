@@ -1,0 +1,39 @@
+// Machine-independent work accounting.
+//
+// The theory in the paper bounds the *number of distance evaluations*; every
+// benchmark harness reports it next to wall-clock time so that results remain
+// meaningful on machines with very different core counts from the paper's
+// testbeds (see DESIGN.md §2). Counting happens at bulk granularity (a tile of
+// the pairwise computation adds rows*cols once), so the hot loops carry no
+// per-element instrumentation cost.
+//
+// Each thread accumulates into its own cache-line-padded slot (CP.2/CP.3: no
+// data races, no false sharing); totals are summed on demand.
+#pragma once
+
+#include <cstdint>
+
+namespace rbc::counters {
+
+/// Adds `n` distance evaluations to the calling thread's counter.
+void add_dist_evals(std::uint64_t n) noexcept;
+
+/// Sum of distance evaluations over all threads since the last reset().
+std::uint64_t total_dist_evals() noexcept;
+
+/// Zeroes every thread's counter. Call only while worker threads are
+/// quiescent (between benchmark phases).
+void reset() noexcept;
+
+/// RAII helper: records the counter at construction; delta() gives evals
+/// since then. Composes with nested scopes.
+class Scope {
+ public:
+  Scope() : start_(total_dist_evals()) {}
+  std::uint64_t delta() const noexcept { return total_dist_evals() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace rbc::counters

@@ -1,0 +1,31 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace rbc {
+
+std::int64_t env_or(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double env_or(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return parsed;
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::string(raw);
+}
+
+}  // namespace rbc

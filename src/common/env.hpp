@@ -1,0 +1,20 @@
+// Environment-variable configuration used by the benchmark harnesses
+// (e.g. RBC_BENCH_SCALE to shrink/grow dataset sizes on small machines).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rbc {
+
+/// Returns the integer value of environment variable `name`, or `fallback`
+/// if unset or unparsable.
+std::int64_t env_or(const char* name, std::int64_t fallback);
+
+/// Returns the floating value of environment variable `name`, or `fallback`.
+double env_or(const char* name, double fallback);
+
+/// Returns the string value of environment variable `name`, or `fallback`.
+std::string env_or(const char* name, const std::string& fallback);
+
+}  // namespace rbc

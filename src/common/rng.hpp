@@ -1,0 +1,111 @@
+// Deterministic, seedable random number generation.
+//
+// xoshiro256** — fast, high quality, and trivially splittable so that
+// parallel generators never share state (Core Guidelines CP.3: minimize
+// sharing). No global RNG exists anywhere in the library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/types.hpp"
+
+namespace rbc {
+
+/// splitmix64: used to expand a user seed into xoshiro state and to derive
+/// independent per-thread / per-object streams.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent generator; stream `i` is reproducible for a given
+  /// parent seed. Used to hand one RNG to each worker thread.
+  Rng split(std::uint64_t i) const {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    std::uint64_t seed = splitmix64(sm);
+    return Rng(seed);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform_float(float lo = 0.0f, float hi = 1.0f) noexcept {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  index_t uniform_index(index_t n) noexcept {
+    // Lemire's multiply-shift; bias is negligible for n << 2^64.
+    return static_cast<index_t>((static_cast<unsigned __int128>((*this)()) *
+                                 static_cast<unsigned __int128>(n)) >>
+                                64);
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_ = radius * std::sin(angle);
+    has_cached_ = true;
+    return radius * std::cos(angle);
+  }
+
+  float normal_float(float mean = 0.0f, float stddev = 1.0f) noexcept {
+    return mean + stddev * static_cast<float>(normal());
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace rbc

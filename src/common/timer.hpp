@@ -1,0 +1,28 @@
+// Wall-clock timing for benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace rbc {
+
+/// Monotonic wall-clock stopwatch. Construction starts it.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace rbc

@@ -1,0 +1,26 @@
+// Core scalar types and constants shared across every rbc subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rbc {
+
+/// Index into a database or query set. 32 bits: the largest configuration the
+/// paper evaluates is 10M points (TinyIm), far below the 4.29B limit, and the
+/// narrower type halves the memory traffic of id arrays on the hot path.
+using index_t = std::uint32_t;
+
+/// Sentinel for "no point" (e.g. padding in fixed-width k-NN result rows when
+/// the database has fewer than k points).
+inline constexpr index_t kInvalidIndex = std::numeric_limits<index_t>::max();
+
+/// Distances are single precision throughout, matching the paper's C/CUDA
+/// implementation. Accumulation happens in float with FMA; see DESIGN.md §8.
+using dist_t = float;
+
+/// "Infinite" distance used to initialize running minima.
+inline constexpr dist_t kInfDist = std::numeric_limits<dist_t>::infinity();
+
+}  // namespace rbc

@@ -1,0 +1,86 @@
+#include "data/expansion_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/rng.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc::data {
+
+double ExpansionEstimate::intrinsic_dim() const {
+  return c_q90 > 0.0 ? std::log2(c_q90) : 0.0;
+}
+
+namespace {
+
+template <class M>
+ExpansionEstimate estimate_impl(const Matrix<float>& X, index_t num_centers,
+                                std::uint64_t seed, index_t min_ball,
+                                M metric) {
+  const index_t n = X.rows();
+  if (n == 0 || num_centers == 0) return {};
+  num_centers = std::min(num_centers, n);
+
+  Rng rng(seed);
+  std::vector<index_t> centers(num_centers);
+  for (index_t i = 0; i < num_centers; ++i)
+    centers[i] = rng.uniform_index(n);
+
+  std::vector<double> ratios;
+  std::mutex ratios_mutex;
+
+  parallel_for_dynamic(0, num_centers, [&](index_t ci) {
+    const float* c = X.row(centers[ci]);
+    std::vector<float> dists(n);
+    for (index_t j = 0; j < n; ++j) dists[j] = metric(c, X.row(j), X.cols());
+    counters::add_dist_evals(n);
+    std::sort(dists.begin(), dists.end());
+
+    // Geometric ladder of ball sizes: |B| = min_ball, 2*min_ball, ... n/2.
+    // For each, r = distance of the |B|-th neighbor; the growth ratio is the
+    // count within 2r over the count within r.
+    std::vector<double> local;
+    for (index_t b = min_ball; b <= n / 2; b *= 2) {
+      const float r = dists[b - 1];
+      if (r <= 0.0f) continue;  // degenerate (duplicates); skip
+      const auto inner = static_cast<double>(
+          std::upper_bound(dists.begin(), dists.end(), r) - dists.begin());
+      const auto outer = static_cast<double>(
+          std::upper_bound(dists.begin(), dists.end(), 2.0f * r) -
+          dists.begin());
+      local.push_back(outer / inner);
+    }
+    std::lock_guard lock(ratios_mutex);
+    ratios.insert(ratios.end(), local.begin(), local.end());
+  });
+
+  ExpansionEstimate est;
+  if (ratios.empty()) return est;
+  std::sort(ratios.begin(), ratios.end());
+  est.c_max = ratios.back();
+  est.c_q90 = ratios[static_cast<std::size_t>(0.9 * (ratios.size() - 1))];
+  est.c_median = ratios[ratios.size() / 2];
+  return est;
+}
+
+}  // namespace
+
+ExpansionEstimate estimate_expansion_rate(const Matrix<float>& X,
+                                          index_t num_centers,
+                                          std::uint64_t seed,
+                                          index_t min_ball) {
+  return estimate_impl(X, num_centers, seed, min_ball, Euclidean{});
+}
+
+ExpansionEstimate estimate_expansion_rate_l1(const Matrix<float>& X,
+                                             index_t num_centers,
+                                             std::uint64_t seed,
+                                             index_t min_ball) {
+  return estimate_impl(X, num_centers, seed, min_ball, L1{});
+}
+
+}  // namespace rbc::data

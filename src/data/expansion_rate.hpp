@@ -1,0 +1,44 @@
+// Empirical estimator of the expansion rate (growth dimension) of a point
+// set — Definition 1 of the paper (Karger–Ruhl):
+//
+//     a finite metric space has expansion rate c if for all x, r:
+//         |B(x, 2r)| <= c * |B(x, r)|.
+//
+// The exact c is a max over all points and radii, which is both expensive
+// and brittle (a single outlier pair dominates); the estimator samples
+// centers and radii and reports max / upper-quantile / median growth ratios.
+// log2(c) is the intrinsic dimensionality (the paper's grid example: c = 2^d
+// under L1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "distance/metrics.hpp"
+
+namespace rbc::data {
+
+struct ExpansionEstimate {
+  double c_max = 0.0;     // max observed |B(x,2r)| / |B(x,r)|
+  double c_q90 = 0.0;     // 90th percentile of observed ratios
+  double c_median = 0.0;  // median of observed ratios
+  /// log2 of c_q90: the headline "intrinsic dimensionality" figure.
+  double intrinsic_dim() const;
+};
+
+/// Samples `num_centers` points of X; for each, computes distances to all of
+/// X and evaluates the growth ratio at a geometric ladder of radii (balls
+/// smaller than `min_ball` points are skipped as noise). Deterministic in
+/// `seed`.
+ExpansionEstimate estimate_expansion_rate(const Matrix<float>& X,
+                                          index_t num_centers,
+                                          std::uint64_t seed,
+                                          index_t min_ball = 8);
+
+/// L1-metric variant (used by the grid test mirroring the paper's example).
+ExpansionEstimate estimate_expansion_rate_l1(const Matrix<float>& X,
+                                             index_t num_centers,
+                                             std::uint64_t seed,
+                                             index_t min_ball = 8);
+
+}  // namespace rbc::data

@@ -1,0 +1,298 @@
+#include "data/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc::data {
+
+Matrix<float> make_uniform_cube(index_t n, index_t d, std::uint64_t seed) {
+  Matrix<float> X(n, d);
+  Rng root(seed);
+  parallel_for_blocked(0, n, 4096, [&](index_t lo, index_t hi) {
+    Rng rng = root.split(lo);
+    for (index_t i = lo; i < hi; ++i)
+      for (index_t j = 0; j < d; ++j) X.at(i, j) = rng.uniform_float();
+  });
+  return X;
+}
+
+Matrix<float> make_gaussian_mixture(index_t n, index_t d, index_t clusters,
+                                    float sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> centers(clusters, d);
+  for (index_t c = 0; c < clusters; ++c)
+    for (index_t j = 0; j < d; ++j)
+      centers.at(c, j) = rng.uniform_float(0.0f, 10.0f);
+
+  Matrix<float> X(n, d);
+  Rng root(seed + 1);
+  parallel_for_blocked(0, n, 4096, [&](index_t lo, index_t hi) {
+    Rng local = root.split(lo);
+    for (index_t i = lo; i < hi; ++i) {
+      const index_t c = local.uniform_index(clusters);
+      for (index_t j = 0; j < d; ++j)
+        X.at(i, j) = centers.at(c, j) + local.normal_float(0.0f, sigma);
+    }
+  });
+  return X;
+}
+
+Matrix<float> make_subspace_clusters(index_t n, index_t d, index_t clusters,
+                                     index_t intrinsic_d, float noise,
+                                     std::uint64_t seed) {
+  if (intrinsic_d > d)
+    throw std::invalid_argument("intrinsic_d must not exceed ambient d");
+  Rng rng(seed);
+
+  // Per-cluster: a center and a random d x intrinsic_d basis (not
+  // orthonormalized; a random Gaussian frame spans a uniformly random
+  // subspace, which is all that matters for intrinsic dimensionality).
+  Matrix<float> centers(clusters, d);
+  std::vector<Matrix<float>> bases;
+  bases.reserve(clusters);
+  for (index_t c = 0; c < clusters; ++c) {
+    for (index_t j = 0; j < d; ++j)
+      centers.at(c, j) = rng.uniform_float(0.0f, 10.0f);
+    Matrix<float> basis(d, intrinsic_d);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(intrinsic_d));
+    for (index_t j = 0; j < d; ++j)
+      for (index_t l = 0; l < intrinsic_d; ++l)
+        basis.at(j, l) = rng.normal_float(0.0f, scale);
+    bases.push_back(std::move(basis));
+  }
+
+  Matrix<float> X(n, d);
+  Rng root(seed + 1);
+  parallel_for_blocked(0, n, 4096, [&](index_t lo, index_t hi) {
+    Rng local = root.split(lo);
+    std::vector<float> z(intrinsic_d);
+    for (index_t i = lo; i < hi; ++i) {
+      const index_t c = local.uniform_index(clusters);
+      for (index_t l = 0; l < intrinsic_d; ++l) z[l] = local.normal_float();
+      const Matrix<float>& basis = bases[c];
+      for (index_t j = 0; j < d; ++j) {
+        float v = centers.at(c, j);
+        for (index_t l = 0; l < intrinsic_d; ++l)
+          v += basis.at(j, l) * z[l];
+        X.at(i, j) = v + local.normal_float(0.0f, noise);
+      }
+    }
+  });
+  return X;
+}
+
+Matrix<float> make_grid(index_t side, index_t d) {
+  index_t n = 1;
+  for (index_t j = 0; j < d; ++j) n *= side;
+  Matrix<float> X(n, d);
+  for (index_t i = 0; i < n; ++i) {
+    index_t rest = i;
+    for (index_t j = 0; j < d; ++j) {
+      X.at(i, j) = static_cast<float>(rest % side);
+      rest /= side;
+    }
+  }
+  return X;
+}
+
+Matrix<float> make_swiss_roll(index_t n, index_t d, float noise,
+                              std::uint64_t seed) {
+  if (d < 3) throw std::invalid_argument("swiss roll needs d >= 3");
+  Matrix<float> X(n, d);
+  Rng root(seed);
+  parallel_for_blocked(0, n, 4096, [&](index_t lo, index_t hi) {
+    Rng local = root.split(lo);
+    for (index_t i = lo; i < hi; ++i) {
+      const float t = 1.5f * std::numbers::pi_v<float> *
+                      (1.0f + 2.0f * local.uniform_float());
+      const float height = 21.0f * local.uniform_float();
+      X.at(i, 0) = t * std::cos(t) + local.normal_float(0.0f, noise);
+      X.at(i, 1) = height + local.normal_float(0.0f, noise);
+      X.at(i, 2) = t * std::sin(t) + local.normal_float(0.0f, noise);
+      for (index_t j = 3; j < d; ++j)
+        X.at(i, j) = local.normal_float(0.0f, noise);
+    }
+  });
+  return X;
+}
+
+Matrix<float> make_robot_arm(index_t n, std::uint64_t seed,
+                             index_t points_per_traj) {
+  constexpr index_t kJoints = 7;
+  constexpr index_t kDim = 3 * kJoints;  // [q, qdot, qddot] == 21, Table 1
+  constexpr index_t kHarmonics = 3;
+
+  Matrix<float> X(n, kDim);
+  Rng root(seed);
+  const index_t num_traj = (n + points_per_traj - 1) / points_per_traj;
+
+  parallel_for(0, num_traj, [&](index_t traj) {
+    Rng local = root.split(traj);
+    // Per-joint sinusoid parameters: amplitude, angular frequency, phase.
+    float amp[kJoints][kHarmonics], omega[kJoints][kHarmonics],
+        phase[kJoints][kHarmonics];
+    for (index_t j = 0; j < kJoints; ++j)
+      for (index_t h = 0; h < kHarmonics; ++h) {
+        amp[j][h] = local.uniform_float(0.1f, 1.2f);
+        omega[j][h] = local.uniform_float(0.3f, 2.5f);
+        phase[j][h] = local.uniform_float(0.0f, 2.0f * std::numbers::pi_v<float>);
+      }
+    const index_t lo = traj * points_per_traj;
+    const index_t hi = std::min<index_t>(lo + points_per_traj, n);
+    const float dt = 0.02f;  // 50 Hz sampling, typical for arm control
+    for (index_t i = lo; i < hi; ++i) {
+      const float t = static_cast<float>(i - lo) * dt;
+      for (index_t j = 0; j < kJoints; ++j) {
+        float q = 0.0f, qd = 0.0f, qdd = 0.0f;
+        for (index_t h = 0; h < kHarmonics; ++h) {
+          const float arg = omega[j][h] * t + phase[j][h];
+          q += amp[j][h] * std::sin(arg);
+          qd += amp[j][h] * omega[j][h] * std::cos(arg);
+          qdd -= amp[j][h] * omega[j][h] * omega[j][h] * std::sin(arg);
+        }
+        X.at(i, j) = q;
+        X.at(i, kJoints + j) = qd;
+        X.at(i, 2 * kJoints + j) = qdd;
+      }
+    }
+  });
+  return X;
+}
+
+namespace {
+
+/// Fixed random two-layer tanh network R^latent -> R^128: a smooth embedding
+/// whose image is a latent_d-dimensional manifold.
+Matrix<float> descriptor_manifold(index_t n, index_t latent_d,
+                                  std::uint64_t seed) {
+  constexpr index_t kHidden = 64;
+  constexpr index_t kRaw = 128;
+  Rng rng(seed);
+  Matrix<float> w1(kHidden, latent_d);
+  Matrix<float> w2(kRaw, kHidden);
+  for (index_t i = 0; i < kHidden; ++i)
+    for (index_t j = 0; j < latent_d; ++j)
+      w1.at(i, j) = rng.normal_float(0.0f, 1.5f);
+  for (index_t i = 0; i < kRaw; ++i)
+    for (index_t j = 0; j < kHidden; ++j)
+      w2.at(i, j) =
+          rng.normal_float(0.0f, 1.0f / std::sqrt(static_cast<float>(kHidden)));
+
+  Matrix<float> raw(n, kRaw);
+  Rng root(seed + 7);
+  parallel_for_blocked(0, n, 2048, [&](index_t lo, index_t hi) {
+    Rng local = root.split(lo);
+    std::vector<float> z(latent_d), h(kHidden);
+    for (index_t i = lo; i < hi; ++i) {
+      for (index_t j = 0; j < latent_d; ++j)
+        z[j] = local.uniform_float(-1.0f, 1.0f);
+      for (index_t u = 0; u < kHidden; ++u) {
+        float acc = 0.0f;
+        for (index_t j = 0; j < latent_d; ++j) acc += w1.at(u, j) * z[j];
+        h[u] = std::tanh(acc);
+      }
+      for (index_t v = 0; v < kRaw; ++v) {
+        float acc = 0.0f;
+        for (index_t u = 0; u < kHidden; ++u) acc += w2.at(v, u) * h[u];
+        raw.at(i, v) = std::tanh(acc) + local.normal_float(0.0f, 0.01f);
+      }
+    }
+  });
+  return raw;
+}
+
+}  // namespace
+
+Matrix<float> make_image_descriptors(index_t n, index_t d_out,
+                                     std::uint64_t seed, index_t latent_d) {
+  const Matrix<float> raw = descriptor_manifold(n, latent_d, seed);
+  // Random projection to d_out — the paper's own preprocessing (§7.1 fn 3).
+  // Inlined here (rather than calling data::random_projection) to keep the
+  // generator self-contained and seed-stable.
+  Rng rng(seed + 13);
+  const index_t d_raw = raw.cols();
+  Matrix<float> proj(d_out, d_raw);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_out));
+  for (index_t i = 0; i < d_out; ++i)
+    for (index_t j = 0; j < d_raw; ++j)
+      proj.at(i, j) = rng.normal_float(0.0f, scale);
+
+  Matrix<float> X(n, d_out);
+  parallel_for_blocked(0, n, 2048, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i)
+      for (index_t o = 0; o < d_out; ++o) {
+        float acc = 0.0f;
+        for (index_t j = 0; j < d_raw; ++j)
+          acc += proj.at(o, j) * raw.at(i, j);
+        X.at(i, o) = acc;
+      }
+  });
+  return X;
+}
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {"bio", 200'000, 74, 12, "UCI KDD04 protein homology (Bio)"},
+      {"cov", 500'000, 54, 4, "UCI Covertype"},
+      {"phy", 100'000, 78, 15, "UCI KDD04 quantum physics (Physics)"},
+      {"robot", 2'000'000, 21, 7, "Barrett WAM inverse dynamics [22]"},
+      {"tiny4", 10'000'000, 4, 4, "TinyImages descriptors, RP to d=4 [28]"},
+      {"tiny8", 10'000'000, 8, 8, "TinyImages descriptors, RP to d=8"},
+      {"tiny16", 10'000'000, 16, 8, "TinyImages descriptors, RP to d=16"},
+      {"tiny32", 10'000'000, 32, 8, "TinyImages descriptors, RP to d=32"},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const DatasetSpec& spec : paper_datasets())
+    if (spec.name == name) return spec;
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+Matrix<float> make_dataset(const DatasetSpec& spec, index_t n,
+                           std::uint64_t seed) {
+  if (spec.name == "bio")
+    return make_subspace_clusters(n, spec.dim, 50, spec.intrinsic_d, 0.05f,
+                                  seed);
+  if (spec.name == "cov")
+    return make_subspace_clusters(n, spec.dim, 12, spec.intrinsic_d, 0.03f,
+                                  seed);
+  if (spec.name == "phy")
+    return make_subspace_clusters(n, spec.dim, 30, spec.intrinsic_d, 0.08f,
+                                  seed);
+  if (spec.name == "robot") return make_robot_arm(n, seed);
+  if (spec.name.rfind("tiny", 0) == 0)
+    return make_image_descriptors(n, spec.dim, seed);
+  throw std::invalid_argument("unknown dataset: " + spec.name);
+}
+
+DataSplit make_benchmark_data(const DatasetSpec& spec, index_t n_database,
+                              index_t n_queries, std::uint64_t seed) {
+  Matrix<float> all = make_dataset(spec, n_database + n_queries, seed);
+  // Held-out split by random permutation: a tail split would carve off
+  // structurally distinct rows for generators with sequential structure
+  // (robot trajectories), making queries out-of-distribution.
+  const index_t total = n_database + n_queries;
+  std::vector<index_t> perm(total);
+  for (index_t i = 0; i < total; ++i) perm[i] = i;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (index_t i = total; i > 1; --i) {
+    const index_t j = rng.uniform_index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  DataSplit split;
+  split.database = Matrix<float>(n_database, all.cols());
+  split.queries = Matrix<float>(n_queries, all.cols());
+  for (index_t i = 0; i < n_database; ++i)
+    split.database.copy_row_from(all, perm[i], i);
+  for (index_t i = 0; i < n_queries; ++i)
+    split.queries.copy_row_from(all, perm[n_database + i], i);
+  return split;
+}
+
+}  // namespace rbc::data

@@ -1,0 +1,99 @@
+// Synthetic dataset generators, including surrogates for the five benchmark
+// datasets of the paper (Table 1). See DESIGN.md §2 for the substitution
+// rationale: each surrogate matches the paper's (n, d) and has a controlled
+// low intrinsic dimensionality, which is the property the RBC's performance
+// depends on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace rbc::data {
+
+// ------------------------------------------------------ basic generators ---
+
+/// n points uniform in the unit cube [0,1]^d. High intrinsic dimension (= d):
+/// the hard case for any metric index.
+Matrix<float> make_uniform_cube(index_t n, index_t d, std::uint64_t seed);
+
+/// Isotropic Gaussian mixture: `clusters` centers uniform in [0,10]^d, each
+/// point = center + sigma * N(0, I_d).
+Matrix<float> make_gaussian_mixture(index_t n, index_t d, index_t clusters,
+                                    float sigma, std::uint64_t seed);
+
+/// Low-intrinsic-dimension cluster data: each cluster spans a random
+/// `intrinsic_d`-dimensional affine subspace of R^d, plus isotropic noise.
+/// The workhorse surrogate for the UCI datasets (Bio / Covertype / Physics):
+/// ambient dimension matches the real data, intrinsic dimension is the knob.
+Matrix<float> make_subspace_clusters(index_t n, index_t d, index_t clusters,
+                                     index_t intrinsic_d, float noise,
+                                     std::uint64_t seed);
+
+/// Regular grid: side^d lattice points with unit spacing (row-major order).
+/// Under the L1 metric its expansion rate is 2^d — the paper's §6 example;
+/// used by the expansion-rate estimator tests.
+Matrix<float> make_grid(index_t side, index_t d);
+
+/// Swiss-roll style 2-manifold embedded in R^d (d >= 3): intrinsic dimension
+/// 2 regardless of d.
+Matrix<float> make_swiss_roll(index_t n, index_t d, float noise,
+                              std::uint64_t seed);
+
+// ----------------------------------------------------- paper surrogates ---
+
+/// Robot surrogate (paper: Barrett WAM arm data, n=2M, d=21 [22]).
+/// Simulates smooth 7-DOF joint trajectories q_j(t) = sum of 3 sinusoids and
+/// emits rows [q, dq/dt, d2q/dt2] (7 * 3 = 21 features), `points_per_traj`
+/// consecutive samples per trajectory. Low intrinsic dimensionality comes
+/// from the small number of trajectory parameters, mimicking real
+/// inverse-dynamics data.
+Matrix<float> make_robot_arm(index_t n, std::uint64_t seed,
+                             index_t points_per_traj = 256);
+
+/// TinyImages surrogate (paper: image descriptors from [28], n=10M, reduced
+/// by random projection to d in {4,8,16,32}).
+/// Generates descriptors on a smooth `latent_d`-dimensional manifold:
+/// z ~ U[-1,1]^latent_d pushed through a fixed random 2-layer tanh network
+/// into R^128 plus small noise, then random-projected to d_out (the paper's
+/// own preprocessing step, §7.1 footnote 3).
+Matrix<float> make_image_descriptors(index_t n, index_t d_out,
+                                     std::uint64_t seed,
+                                     index_t latent_d = 8);
+
+// ------------------------------------------------- named dataset access ---
+
+/// A row of the paper's Table 1.
+struct DatasetSpec {
+  std::string name;     // bio, cov, phy, robot, tiny4, tiny8, tiny16, tiny32
+  index_t paper_n;      // size used in the paper
+  index_t dim;          // ambient dimensionality (matches the paper exactly)
+  index_t intrinsic_d;  // intrinsic dimensionality of our surrogate
+  std::string provenance;  // what the paper used
+};
+
+/// The eight dataset configurations of the paper's evaluation.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Builds the surrogate named by `spec` with `n` points (pass
+/// spec.paper_n / scale for a machine-sized instance). Deterministic in
+/// `seed`.
+Matrix<float> make_dataset(const DatasetSpec& spec, index_t n,
+                           std::uint64_t seed);
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// Database + query split drawn from the same distribution (the standard
+/// evaluation protocol; the paper uses 10k held-out queries, §7.4).
+struct DataSplit {
+  Matrix<float> database;
+  Matrix<float> queries;
+};
+
+DataSplit make_benchmark_data(const DatasetSpec& spec, index_t n_database,
+                              index_t n_queries, std::uint64_t seed);
+
+}  // namespace rbc::data

@@ -1,0 +1,59 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "rbc/serialize_io.hpp"
+
+namespace rbc::data {
+
+void save_matrix(const Matrix<float>& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  io::write_matrix(os, m);
+}
+
+Matrix<float> load_matrix(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return io::read_matrix(is);
+}
+
+void save_csv(const Matrix<float>& m, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) os << ',';
+      os << m.at(i, j);
+    }
+    os << '\n';
+  }
+}
+
+Matrix<float> load_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<float> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) row.push_back(std::stof(cell));
+    if (!rows.empty() && row.size() != rows.front().size())
+      throw std::runtime_error("ragged CSV: " + path);
+    rows.push_back(std::move(row));
+  }
+  const index_t n = static_cast<index_t>(rows.size());
+  const index_t d = n == 0 ? 0 : static_cast<index_t>(rows.front().size());
+  Matrix<float> m(n, d);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < d; ++j) m.at(i, j) = rows[i][j];
+  return m;
+}
+
+}  // namespace rbc::data

@@ -1,0 +1,21 @@
+// Matrix persistence: binary (exact round-trip) and CSV (interop).
+#pragma once
+
+#include <string>
+
+#include "common/matrix.hpp"
+
+namespace rbc::data {
+
+/// Writes rows x cols header plus row payloads (no padding) to `path`.
+void save_matrix(const Matrix<float>& m, const std::string& path);
+
+/// Reads a matrix written by save_matrix. Throws std::runtime_error on
+/// malformed files.
+Matrix<float> load_matrix(const std::string& path);
+
+/// Plain CSV, one point per line, '.' decimal, no header.
+void save_csv(const Matrix<float>& m, const std::string& path);
+Matrix<float> load_csv(const std::string& path);
+
+}  // namespace rbc::data

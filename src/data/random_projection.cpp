@@ -1,0 +1,58 @@
+#include "data/random_projection.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc::data {
+
+namespace {
+
+Matrix<float> apply_projection(const Matrix<float>& X,
+                               const Matrix<float>& proj) {
+  // proj is d_out x d_in; output row = proj * x.
+  const index_t d_in = X.cols();
+  const index_t d_out = proj.rows();
+  Matrix<float> out(X.rows(), d_out);
+  parallel_for_blocked(0, X.rows(), 1024, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const float* x = X.row(i);
+      for (index_t o = 0; o < d_out; ++o) {
+        const float* p = proj.row(o);
+        float acc = 0.0f;
+        for (index_t j = 0; j < d_in; ++j) acc += p[j] * x[j];
+        out.at(i, o) = acc;
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+Matrix<float> random_projection(const Matrix<float>& X, index_t d_out,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> proj(d_out, X.cols());
+  const float sigma = 1.0f / std::sqrt(static_cast<float>(d_out));
+  for (index_t o = 0; o < d_out; ++o)
+    for (index_t j = 0; j < X.cols(); ++j)
+      proj.at(o, j) = rng.normal_float(0.0f, sigma);
+  return apply_projection(X, proj);
+}
+
+Matrix<float> random_projection_sparse(const Matrix<float>& X, index_t d_out,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> proj(d_out, X.cols());
+  const float value = std::sqrt(3.0f / static_cast<float>(d_out));
+  for (index_t o = 0; o < d_out; ++o)
+    for (index_t j = 0; j < X.cols(); ++j) {
+      const double u = rng.uniform();
+      proj.at(o, j) = u < 1.0 / 6 ? value : (u < 2.0 / 6 ? -value : 0.0f);
+    }
+  return apply_projection(X, proj);
+}
+
+}  // namespace rbc::data

@@ -1,0 +1,24 @@
+// Random projection (Johnson–Lindenstrauss) dimensionality reduction — the
+// preprocessor the paper applies to the TinyImages descriptors (§7.1
+// footnote 3): "this dimensionality reduction technique approximately
+// preserves the lengths of vectors, and hence is a useful preprocessor for
+// NN search".
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace rbc::data {
+
+/// Dense Gaussian projection: rows of the output are X rows multiplied by a
+/// d_in x d_out matrix with i.i.d. N(0, 1/d_out) entries, so expected
+/// squared norms are preserved (E||Px||^2 = ||x||^2).
+Matrix<float> random_projection(const Matrix<float>& X, index_t d_out,
+                                std::uint64_t seed);
+
+/// Achlioptas sparse projection: entries are +-sqrt(3/d_out) with
+/// probability 1/6 each and 0 otherwise. Same JL guarantee, ~3x less work.
+Matrix<float> random_projection_sparse(const Matrix<float>& X, index_t d_out,
+                                       std::uint64_t seed);
+
+}  // namespace rbc::data

@@ -1,0 +1,52 @@
+#include "data/rank_error.hpp"
+
+#include "distance/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc::data {
+
+std::vector<index_t> ranks_of(const Matrix<float>& Q, const Matrix<float>& X,
+                              const KnnResult& result) {
+  const index_t nq = Q.rows();
+  const index_t n = X.rows();
+  const index_t d = Q.cols();
+  std::vector<index_t> ranks(nq, 0);
+  const Euclidean metric{};
+
+  parallel_for_dynamic(0, nq, [&](index_t qi) {
+    const index_t id = result.ids.at(qi, 0);
+    if (id == kInvalidIndex) {
+      ranks[qi] = n;
+      return;
+    }
+    const float* q = Q.row(qi);
+    const dist_t returned = metric(q, X.row(id), d);
+    index_t closer = 0;
+    for (index_t j = 0; j < n; ++j)
+      if (metric(q, X.row(j), d) < returned) ++closer;
+    counters::add_dist_evals(n + 1);
+    ranks[qi] = closer;
+  });
+  return ranks;
+}
+
+double mean_rank(const Matrix<float>& Q, const Matrix<float>& X,
+                 const KnnResult& result) {
+  const std::vector<index_t> ranks = ranks_of(Q, X, result);
+  if (ranks.empty()) return 0.0;
+  double sum = 0.0;
+  for (const index_t r : ranks) sum += static_cast<double>(r);
+  return sum / static_cast<double>(ranks.size());
+}
+
+double recall_at_1(const Matrix<float>& Q, const Matrix<float>& X,
+                   const KnnResult& result) {
+  const std::vector<index_t> ranks = ranks_of(Q, X, result);
+  if (ranks.empty()) return 1.0;
+  index_t hits = 0;
+  for (const index_t r : ranks)
+    if (r == 0) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(ranks.size());
+}
+
+}  // namespace rbc::data

@@ -1,0 +1,31 @@
+// Rank error of approximate NN answers — the paper's quality measure for the
+// one-shot algorithm (§7.2): "A standard error measure is the rank of the
+// returned point: i.e., the number of database points closer to the query
+// than the returned point. A rank of 0 denotes the exact NN."
+#pragma once
+
+#include <vector>
+
+#include "bruteforce/bf.hpp"
+#include "common/matrix.hpp"
+
+namespace rbc::data {
+
+/// Rank of each query's *first* returned neighbor: the number of database
+/// points strictly closer to the query. Computed by a full scan per query
+/// (exact, no index involved). result.ids.row(i)[0] == kInvalidIndex yields
+/// rank n (worst possible).
+std::vector<index_t> ranks_of(const Matrix<float>& Q, const Matrix<float>& X,
+                              const KnnResult& result);
+
+/// Mean rank over queries — the x-axis of the paper's Figure 1.
+double mean_rank(const Matrix<float>& Q, const Matrix<float>& X,
+                 const KnnResult& result);
+
+/// Fraction of queries whose returned first neighbor is an exact NN
+/// (rank 0). 1 - recall is the one-shot failure probability delta of
+/// Theorem 2.
+double recall_at_1(const Matrix<float>& Q, const Matrix<float>& X,
+                   const KnnResult& result);
+
+}  // namespace rbc::data

@@ -1,0 +1,66 @@
+#include "distance/edit_distance.hpp"
+
+#include <algorithm>
+
+namespace rbc {
+
+index_t edit_distance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  const std::size_t m = b.size();
+  if (m == 0) return static_cast<index_t>(a.size());
+
+  // Single rolling row of the DP table.
+  std::vector<index_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = static_cast<index_t>(j);
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    index_t prev_diag = row[0];  // DP[i-1][0]
+    row[0] = static_cast<index_t>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const index_t del = row[j] + 1;       // DP[i-1][j] + 1
+      const index_t ins = row[j - 1] + 1;   // DP[i][j-1] + 1
+      const index_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0u : 1u);
+      prev_diag = row[j];
+      row[j] = std::min({del, ins, sub});
+    }
+  }
+  return row[m];
+}
+
+index_t edit_distance_banded(std::string_view a, std::string_view b,
+                             index_t band) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const std::size_t n = a.size(), m = b.size();
+  // Length difference alone forces at least that many edits.
+  if (n - m > band) return band + 1;
+  if (m == 0) return static_cast<index_t>(n);
+
+  const index_t big = band + 1;  // saturating "out of band" value
+  std::vector<index_t> row(m + 1, big);
+  for (std::size_t j = 0; j <= std::min<std::size_t>(m, band); ++j)
+    row[j] = static_cast<index_t>(j);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Only cells with |i-j| <= band can hold values <= band.
+    const std::size_t lo = i > band ? i - band : 1;
+    const std::size_t hi = std::min<std::size_t>(m, i + band);
+    index_t prev_diag = (lo == 1) ? row[0] : big;
+    if (lo > 1) prev_diag = row[lo - 1];
+    row[lo - 1] = (lo == 1 && i <= band) ? static_cast<index_t>(i) : big;
+    index_t row_min = row[lo - 1];
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const index_t del = row[j] >= big ? big : row[j] + 1;
+      const index_t ins = row[j - 1] >= big ? big : row[j - 1] + 1;
+      index_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0u : 1u);
+      if (sub > big) sub = big;
+      prev_diag = row[j];
+      row[j] = std::min({del, ins, sub});
+      row_min = std::min(row_min, row[j]);
+    }
+    if (hi < m) row[hi + 1] = big;  // invalidate stale cell right of the band
+    if (row_min >= big) return big;  // the whole band overflowed: early out
+  }
+  return std::min(row[m], big);
+}
+
+}  // namespace rbc

@@ -1,0 +1,49 @@
+// Levenshtein edit distance — a non-vector metric space.
+//
+// The paper stresses that the expansion-rate machinery "is defined for
+// arbitrary metric spaces, so makes sense for the edit distance on strings"
+// (§6). The generic RBC index (rbc/rbc_generic.hpp) runs over this space; see
+// examples/string_search.cpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rbc {
+
+/// Unit-cost Levenshtein distance between a and b.
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+index_t edit_distance(std::string_view a, std::string_view b);
+
+/// Banded variant: returns the exact distance if it is <= band, otherwise
+/// returns band + 1. Lets metric-tree searches bail out of hopeless
+/// comparisons early; O(band * min(|a|,|b|)) time.
+index_t edit_distance_banded(std::string_view a, std::string_view b,
+                             index_t band);
+
+/// Metric-space adapter over a string collection, compatible with the generic
+/// RBC index and the generic brute-force search (Space concept: size(),
+/// operator[], distance()).
+class StringSpace {
+ public:
+  using Point = std::string;
+
+  StringSpace() = default;
+  explicit StringSpace(std::vector<std::string> items)
+      : items_(std::move(items)) {}
+
+  index_t size() const { return static_cast<index_t>(items_.size()); }
+  const std::string& operator[](index_t i) const { return items_[i]; }
+
+  double distance(const std::string& a, const std::string& b) const {
+    return static_cast<double>(edit_distance(a, b));
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+}  // namespace rbc

@@ -1,0 +1,51 @@
+#include "distance/graph_metric.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "parallel/parallel_for.hpp"
+
+namespace rbc {
+
+GraphSpace::GraphSpace(index_t num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes) {}
+
+void GraphSpace::add_edge(index_t u, index_t v, float w) {
+  adjacency_[u].push_back({v, w});
+  adjacency_[v].push_back({u, w});
+}
+
+void GraphSpace::finalize() {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  table_.assign(static_cast<std::size_t>(num_nodes_) * num_nodes_, kInf);
+
+  // One independent Dijkstra per source node.
+  parallel_for(0, num_nodes_, [&](index_t source) {
+    using Item = std::pair<double, index_t>;  // (distance, node)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+    double* dist = table_.data() + static_cast<std::size_t>(source) * num_nodes_;
+    dist[source] = 0.0;
+    frontier.emplace(0.0, source);
+    while (!frontier.empty()) {
+      const auto [d, u] = frontier.top();
+      frontier.pop();
+      if (d > dist[u]) continue;  // stale entry
+      for (const Edge& e : adjacency_[u]) {
+        const double candidate = d + e.weight;
+        if (candidate < dist[e.to]) {
+          dist[e.to] = candidate;
+          frontier.emplace(candidate, e.to);
+        }
+      }
+    }
+  });
+
+  connected_ = true;
+  for (const double d : table_)
+    if (d == kInf) {
+      connected_ = false;
+      break;
+    }
+}
+
+}  // namespace rbc

@@ -1,0 +1,56 @@
+// Shortest-path metric on a weighted undirected graph — the paper's second
+// example of a non-vector metric space (§6: "the shortest path distance on
+// the nodes of a graph").
+//
+// Distances are precomputed all-pairs (Dijkstra from every node), making
+// distance() an O(1) table lookup; intended for the moderate graph sizes of
+// tests/examples, not million-node graphs.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rbc {
+
+/// Weighted undirected graph with all-pairs shortest-path distances.
+class GraphSpace {
+ public:
+  /// A point in this metric space is a node id.
+  using Point = index_t;
+
+  /// Builds the empty graph on `num_nodes` nodes (all distances infinite
+  /// until edges are added and finalize() runs).
+  explicit GraphSpace(index_t num_nodes);
+
+  /// Adds an undirected edge (u, v) with positive weight w.
+  void add_edge(index_t u, index_t v, float w);
+
+  /// Runs Dijkstra from every node to fill the distance table.
+  /// Must be called after the last add_edge and before distance().
+  void finalize();
+
+  index_t size() const { return num_nodes_; }
+  index_t operator[](index_t i) const { return i; }
+
+  /// Shortest-path distance between nodes u and v (infinity if
+  /// disconnected). Requires finalize().
+  double distance(index_t u, index_t v) const {
+    return table_[static_cast<std::size_t>(u) * num_nodes_ + v];
+  }
+
+  bool connected() const { return connected_; }
+
+ private:
+  struct Edge {
+    index_t to;
+    float weight;
+  };
+
+  index_t num_nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<double> table_;
+  bool connected_ = false;
+};
+
+}  // namespace rbc

@@ -1,0 +1,98 @@
+// Metric functors over dense float vectors.
+//
+// A DenseMetric is a stateless functor `float m(const float* a, const float*
+// b, index_t d)` plus compile-time traits. The RBC search algorithms require a
+// *true* metric (the prune rules are triangle-inequality arguments), which is
+// expressed as `is_true_metric` and enforced with static_assert at the index
+// boundary. SqEuclidean is provided for brute-force-only contexts where the
+// monotone square is cheaper and the ordering is unchanged.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+
+#include "common/types.hpp"
+#include "distance/kernels.hpp"
+
+namespace rbc {
+
+template <class M>
+concept DenseMetric = requires(const M m, const float* p, index_t d) {
+  { m(p, p, d) } -> std::convertible_to<float>;
+  { M::is_true_metric } -> std::convertible_to<bool>;
+  { M::name() } -> std::convertible_to<const char*>;
+};
+
+/// Euclidean (L2) distance. The default metric everywhere; all of the paper's
+/// experiments use it (§7.1).
+struct Euclidean {
+  static constexpr bool is_true_metric = true;
+  static constexpr const char* name() { return "l2"; }
+  float operator()(const float* a, const float* b, index_t d) const {
+    return std::sqrt(kernels::sq_l2(a, b, d));
+  }
+};
+
+/// Squared Euclidean distance. NOT a metric (fails the triangle inequality);
+/// valid for brute-force k-NN (ordering is preserved) and micro-benchmarks,
+/// rejected at compile time by the RBC indexes.
+struct SqEuclidean {
+  static constexpr bool is_true_metric = false;
+  static constexpr const char* name() { return "sq_l2"; }
+  float operator()(const float* a, const float* b, index_t d) const {
+    return kernels::sq_l2(a, b, d);
+  }
+};
+
+/// Manhattan (L1) distance — the metric of the paper's grid example for the
+/// expansion rate (§6, Definition 1 discussion).
+struct L1 {
+  static constexpr bool is_true_metric = true;
+  static constexpr const char* name() { return "l1"; }
+  float operator()(const float* a, const float* b, index_t d) const {
+    return kernels::l1(a, b, d);
+  }
+};
+
+/// Chebyshev (L∞) distance.
+struct LInf {
+  static constexpr bool is_true_metric = true;
+  static constexpr const char* name() { return "linf"; }
+  float operator()(const float* a, const float* b, index_t d) const {
+    return kernels::linf(a, b, d);
+  }
+};
+
+/// Minkowski L_p distance with runtime exponent p >= 1 (a true metric by
+/// the Minkowski inequality). Scalar implementation — pow() dominates, so
+/// there is no SIMD variant; use L1/Euclidean/LInf for the common cases.
+struct Lp {
+  float p = 2.0f;
+
+  static constexpr bool is_true_metric = true;
+  static constexpr const char* name() { return "lp"; }
+  float operator()(const float* a, const float* b, index_t d) const {
+    float acc = 0.0f;
+    for (index_t i = 0; i < d; ++i)
+      acc += std::pow(std::fabs(a[i] - b[i]), p);
+    return std::pow(acc, 1.0f / p);
+  }
+};
+
+/// Cosine *distance* (1 - cosine similarity). Not a true metric in general;
+/// usable with brute force and the one-shot RBC when inputs are normalized
+/// (in which case it is monotone in the true angular metric).
+struct Cosine {
+  static constexpr bool is_true_metric = false;
+  static constexpr const char* name() { return "cosine"; }
+  float operator()(const float* a, const float* b, index_t d) const {
+    const float ab = kernels::dot(a, b, d);
+    const float aa = kernels::dot(a, a, d);
+    const float bb = kernels::dot(b, b, d);
+    const float denom = std::sqrt(aa) * std::sqrt(bb);
+    if (denom == 0.0f) return 1.0f;
+    return 1.0f - ab / denom;
+  }
+};
+
+}  // namespace rbc

@@ -1,0 +1,37 @@
+#include "distance/pairwise.hpp"
+
+#include "parallel/parallel_for.hpp"
+
+namespace rbc {
+
+template <DenseMetric M>
+Matrix<float> pairwise_all(const Matrix<float>& A, const Matrix<float>& B,
+                           M metric) {
+  Matrix<float> out(A.rows(), B.rows());
+  parallel_for_blocked(0, A.rows(), kTileQ, [&](index_t lo, index_t hi) {
+    for (index_t b = 0; b < B.rows(); b += kTileX) {
+      const index_t b_hi = std::min<index_t>(b + kTileX, B.rows());
+      pairwise_tile(A, lo, hi, B, b, b_hi, metric, out.row(lo) + b,
+                    out.stride());
+    }
+  });
+  return out;
+}
+
+// Explicit instantiations for the shipped metrics.
+template Matrix<float> pairwise_all<Euclidean>(const Matrix<float>&,
+                                               const Matrix<float>&,
+                                               Euclidean);
+template Matrix<float> pairwise_all<SqEuclidean>(const Matrix<float>&,
+                                                 const Matrix<float>&,
+                                                 SqEuclidean);
+template Matrix<float> pairwise_all<L1>(const Matrix<float>&,
+                                        const Matrix<float>&, L1);
+template Matrix<float> pairwise_all<LInf>(const Matrix<float>&,
+                                          const Matrix<float>&, LInf);
+
+Matrix<float> pairwise_l2(const Matrix<float>& A, const Matrix<float>& B) {
+  return pairwise_all(A, B, Euclidean{});
+}
+
+}  // namespace rbc

@@ -1,0 +1,48 @@
+// Tiled pairwise distance computation — the "distance computation step" of
+// the brute-force primitive (paper §3). The computation has the structure of
+// a blocked matrix-matrix multiply: a tile of queries is held in cache while
+// a tile of database rows streams through the SIMD kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "common/counters.hpp"
+#include "common/matrix.hpp"
+#include "distance/metrics.hpp"
+
+namespace rbc {
+
+/// Tile edge sizes, chosen so a query tile (kTileQ rows) plus a database tile
+/// (kTileX rows) of typical dimensionality (~64 floats) fit in L1/L2.
+inline constexpr index_t kTileQ = 16;
+inline constexpr index_t kTileX = 256;
+
+/// Computes out[(i - a_begin) * ldout + (j - b_begin)] = metric(A[i], B[j])
+/// for i in [a_begin, a_end), j in [b_begin, b_end). Serial; callers
+/// parallelize over tiles. Adds the pair count to the distance-eval counter.
+template <DenseMetric M>
+void pairwise_tile(const Matrix<float>& A, index_t a_begin, index_t a_end,
+                   const Matrix<float>& B, index_t b_begin, index_t b_end,
+                   M metric, float* out, std::size_t ldout) {
+  const index_t d = A.cols();
+  for (index_t i = a_begin; i < a_end; ++i) {
+    const float* ai = A.row(i);
+    float* out_row = out + static_cast<std::size_t>(i - a_begin) * ldout;
+    for (index_t j = b_begin; j < b_end; ++j)
+      out_row[j - b_begin] = metric(ai, B.row(j), d);
+  }
+  counters::add_dist_evals(static_cast<std::uint64_t>(a_end - a_begin) *
+                           (b_end - b_begin));
+}
+
+/// Full pairwise distance matrix D (A.rows() x B.rows()), parallel over
+/// query tiles. Intended for evaluation utilities (rank error, expansion
+/// rate) and tests, not the search hot path.
+template <DenseMetric M = Euclidean>
+Matrix<float> pairwise_all(const Matrix<float>& A, const Matrix<float>& B,
+                           M metric = {});
+
+/// Convenience non-template instantiations used by tools.
+Matrix<float> pairwise_l2(const Matrix<float>& A, const Matrix<float>& B);
+
+}  // namespace rbc

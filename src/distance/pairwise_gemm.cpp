@@ -1,0 +1,41 @@
+#include "distance/pairwise_gemm.hpp"
+
+#include <algorithm>
+
+#include "common/counters.hpp"
+#include "distance/kernels.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc {
+
+std::vector<float> row_sq_norms(const Matrix<float>& A) {
+  std::vector<float> norms(A.rows());
+  parallel_for(0, A.rows(), [&](index_t i) {
+    norms[i] = kernels::dot(A.row(i), A.row(i), A.cols());
+  });
+  return norms;
+}
+
+Matrix<float> pairwise_sq_l2_gemm(const Matrix<float>& Q,
+                                  const Matrix<float>& X) {
+  const index_t d = Q.cols();
+  const std::vector<float> q_norms = row_sq_norms(Q);
+  const std::vector<float> x_norms = row_sq_norms(X);
+
+  Matrix<float> out(Q.rows(), X.rows());
+  constexpr index_t kTile = 16;  // query rows held hot per block
+  parallel_for_blocked(0, Q.rows(), kTile, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const float* qi = Q.row(i);
+      float* row = out.row(i);
+      for (index_t j = 0; j < X.rows(); ++j) {
+        const float dot = kernels::dot(qi, X.row(j), d);
+        row[j] = std::max(0.0f, q_norms[i] + x_norms[j] - 2.0f * dot);
+      }
+    }
+    counters::add_dist_evals(static_cast<std::uint64_t>(hi - lo) * X.rows());
+  });
+  return out;
+}
+
+}  // namespace rbc

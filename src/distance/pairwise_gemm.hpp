@@ -1,0 +1,29 @@
+// GEMM formulation of pairwise squared-L2 distances:
+//
+//     ||q - x||^2 = ||q||^2 + ||x||^2 - 2 <q, x>
+//
+// which turns the distance computation step of BF(Q, X) into a literal
+// matrix-matrix product plus rank-1 corrections — "virtually the same
+// structure as matrix-matrix multiply" (paper §3). This is the formulation
+// GPU implementations use (one cuBLAS GEMM does the heavy lifting); on CPU
+// with our hand-rolled kernels the direct form is competitive, which the
+// micro_kernels bench documents.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace rbc {
+
+/// All pairwise squared L2 distances, D[i][j] = ||Q_i - X_j||^2, computed
+/// via the norm + dot-product expansion with blocked dot products.
+/// Results are clamped at 0 (the expansion can go slightly negative from
+/// rounding). Parallel over query tiles.
+Matrix<float> pairwise_sq_l2_gemm(const Matrix<float>& Q,
+                                  const Matrix<float>& X);
+
+/// Squared norms of every row of A (the rank-1 correction terms).
+std::vector<float> row_sq_norms(const Matrix<float>& A);
+
+}  // namespace rbc

@@ -1,0 +1,149 @@
+#include "gpu/gpu_bf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/counters.hpp"
+#include "distance/kernels.hpp"
+
+namespace rbc::gpu {
+
+GpuMatrix upload_matrix(simt::Device& device, const Matrix<float>& m) {
+  GpuMatrix g;
+  g.rows = m.rows();
+  g.cols = m.cols();
+  g.stride = m.stride();
+  g.data = simt::DeviceBuffer<float>(
+      device, static_cast<std::size_t>(m.rows()) * m.stride());
+  g.data.upload({m.data(), static_cast<std::size_t>(m.rows()) * m.stride()});
+  return g;
+}
+
+namespace detail {
+
+namespace {
+
+/// Insert (d, id) into a sorted-ascending k-slot list (worst entry drops).
+/// The (distance, id) order matches TopK so device results are bit-equal to
+/// the host path.
+inline void sorted_insert(float* dists, index_t* ids, index_t k, float d,
+                          index_t id) {
+  const index_t last = k - 1;
+  if (d > dists[last] || (d == dists[last] && id >= ids[last])) return;
+  index_t pos = last;
+  while (pos > 0 &&
+         (d < dists[pos - 1] || (d == dists[pos - 1] && id < ids[pos - 1]))) {
+    dists[pos] = dists[pos - 1];
+    ids[pos] = ids[pos - 1];
+    --pos;
+  }
+  dists[pos] = d;
+  ids[pos] = id;
+}
+
+/// Merge slot list `src` into slot list `dst` (both sorted, k entries).
+inline void merge_lists(float* dst_d, index_t* dst_i, const float* src_d,
+                        const index_t* src_i, index_t k) {
+  for (index_t j = 0; j < k; ++j) {
+    if (src_i[j] == kInvalidIndex) break;
+    sorted_insert(dst_d, dst_i, k, src_d[j], src_i[j]);
+  }
+}
+
+}  // namespace
+
+void block_knn_scan(simt::Block& blk, const float* q, const GpuMatrix& mat,
+                    index_t begin, index_t end, const index_t* ids, index_t k,
+                    float* out_dists, index_t* out_ids) {
+  const std::uint32_t nt = blk.num_threads();
+  assert((nt & (nt - 1)) == 0 && "threads_per_block must be a power of two");
+  assert(k <= kMaxK);
+
+  // Shared memory: one k-slot (dist, id) list per thread.
+  auto slot_d = blk.shared<float>(static_cast<std::size_t>(nt) * k);
+  auto slot_i = blk.shared<index_t>(static_cast<std::size_t>(nt) * k);
+
+  // Phase 1: strided scan; thread t handles rows begin+t, begin+t+nt, ...
+  // (the coalesced access pattern of the CUDA original).
+  blk.threads([&](std::uint32_t t) {
+    float* my_d = slot_d.data() + static_cast<std::size_t>(t) * k;
+    index_t* my_i = slot_i.data() + static_cast<std::size_t>(t) * k;
+    for (index_t j = 0; j < k; ++j) {
+      my_d[j] = kInfDist;
+      my_i[j] = kInvalidIndex;
+    }
+    for (index_t row = begin + t; row < end; row += nt) {
+      const float dist =
+          std::sqrt(kernels::sq_l2(q, mat.row(row), mat.cols));
+      const index_t id = ids == nullptr ? row : ids[row];
+      sorted_insert(my_d, my_i, k, dist, id);
+    }
+  });
+  if (end > begin) counters::add_dist_evals(end - begin);
+
+  // Phase 2: inverted-binary-tree reduction (paper §3: "the standard
+  // parallel-reduce paradigm where comparisons are made according to an
+  // inverted binary tree"). Each iteration is one barrier-separated phase.
+  for (std::uint32_t stride = nt / 2; stride > 0; stride /= 2) {
+    blk.threads([&](std::uint32_t t) {
+      if (t >= stride) return;
+      float* dst_d = slot_d.data() + static_cast<std::size_t>(t) * k;
+      index_t* dst_i = slot_i.data() + static_cast<std::size_t>(t) * k;
+      const float* src_d =
+          slot_d.data() + static_cast<std::size_t>(t + stride) * k;
+      const index_t* src_i =
+          slot_i.data() + static_cast<std::size_t>(t + stride) * k;
+      merge_lists(dst_d, dst_i, src_d, src_i, k);
+    });
+  }
+
+  // Phase 3: thread 0 publishes the block result.
+  blk.threads([&](std::uint32_t t) {
+    if (t != 0) return;
+    for (index_t j = 0; j < k; ++j) {
+      out_dists[j] = slot_d[j];
+      out_ids[j] = slot_i[j];
+    }
+  });
+}
+
+}  // namespace detail
+
+KnnResult gpu_bf_knn(simt::Device& device, const GpuMatrix& Q,
+                     const GpuMatrix& X, index_t k,
+                     std::uint32_t threads_per_block) {
+  assert(k >= 1 && k <= kMaxK);
+  const index_t nq = Q.rows;
+
+  simt::DeviceBuffer<float> out_d(device, static_cast<std::size_t>(nq) * k);
+  simt::DeviceBuffer<index_t> out_i(device, static_cast<std::size_t>(nq) * k);
+
+  float* out_d_ptr = out_d.data();
+  index_t* out_i_ptr = out_i.data();
+  const GpuMatrix* q_mat = &Q;
+  const GpuMatrix* x_mat = &X;
+
+  // One block per query.
+  device.launch({nq, 1, 1}, {threads_per_block, 1, 1}, [=](simt::Block& blk) {
+    const index_t qi = blk.block_idx.x;
+    detail::block_knn_scan(blk, q_mat->row(qi), *x_mat, 0, x_mat->rows,
+                           nullptr, k,
+                           out_d_ptr + static_cast<std::size_t>(qi) * k,
+                           out_i_ptr + static_cast<std::size_t>(qi) * k);
+  });
+
+  // Download results (d2h, metered).
+  KnnResult result(nq, k);
+  std::vector<float> host_d(static_cast<std::size_t>(nq) * k);
+  std::vector<index_t> host_i(static_cast<std::size_t>(nq) * k);
+  out_d.download(host_d);
+  out_i.download(host_i);
+  for (index_t i = 0; i < nq; ++i)
+    for (index_t j = 0; j < k; ++j) {
+      result.dists.at(i, j) = host_d[static_cast<std::size_t>(i) * k + j];
+      result.ids.at(i, j) = host_i[static_cast<std::size_t>(i) * k + j];
+    }
+  return result;
+}
+
+}  // namespace rbc::gpu

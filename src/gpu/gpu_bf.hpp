@@ -1,0 +1,56 @@
+// GPU-style brute-force k-NN on the SIMT substrate (paper §7.3's baseline:
+// "GPUs have impressive brute force search performance [14]").
+//
+// Kernel shape mirrors the canonical CUDA implementation: one thread block
+// per query; threads stride over the database keeping private sorted top-k
+// lists in shared memory; a log2(T)-step tree reduction merges them; thread
+// 0 writes the result. No divergent branching beyond the uniform tail
+// handling — the access pattern the paper's argument is about.
+#pragma once
+
+#include "bruteforce/bf.hpp"
+#include "common/matrix.hpp"
+#include "simt/device.hpp"
+
+namespace rbc::gpu {
+
+/// Maximum k supported by the device kernels (private per-thread lists live
+/// on the simulated SM's shared memory; real CUDA RBC code has the same
+/// kind of constant).
+inline constexpr index_t kMaxK = 32;
+
+/// A row-major matrix resident on the device.
+struct GpuMatrix {
+  simt::DeviceBuffer<float> data;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t stride = 0;
+
+  const float* row(index_t i) const {
+    return data.data() + static_cast<std::size_t>(i) * stride;
+  }
+};
+
+/// Uploads a host matrix (padded layout preserved).
+GpuMatrix upload_matrix(simt::Device& device, const Matrix<float>& m);
+
+/// Brute-force k-NN of every query in Q against X, entirely on the device;
+/// results are downloaded into the returned KnnResult. k <= kMaxK.
+/// `threads_per_block` is the block width (power of two).
+KnnResult gpu_bf_knn(simt::Device& device, const GpuMatrix& Q,
+                     const GpuMatrix& X, index_t k,
+                     std::uint32_t threads_per_block = 64);
+
+namespace detail {
+
+/// Device-side scan of rows [begin, end) of `mat` (optionally indirected
+/// through `ids`) for one query; shared by the BF and RBC one-shot kernels.
+/// Runs inside a kernel: `blk` supplies threads and shared memory; results
+/// for this query are written to out_dists/out_ids (k entries, ascending).
+void block_knn_scan(simt::Block& blk, const float* q, const GpuMatrix& mat,
+                    index_t begin, index_t end, const index_t* ids, index_t k,
+                    float* out_dists, index_t* out_ids);
+
+}  // namespace detail
+
+}  // namespace rbc::gpu

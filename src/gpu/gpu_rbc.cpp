@@ -1,0 +1,90 @@
+#include "gpu/gpu_rbc.hpp"
+
+#include <cassert>
+
+namespace rbc::gpu {
+
+GpuRbcOneShot::GpuRbcOneShot(simt::Device& device,
+                             const RbcOneShotIndex<Euclidean>& host)
+    : device_(&device), s_(host.points_per_rep()) {
+  const index_t nr = host.num_reps();
+  const index_t d = host.dim();
+
+  // Rebuild the device-side matrices from the host index through its public
+  // export API (list j of representative r occupies packed row r*s + j).
+  Matrix<float> reps_host(nr, d);
+  Matrix<float> packed_host(nr * s_, d);
+  std::vector<index_t> ids_host(static_cast<std::size_t>(nr) * s_);
+
+  for (index_t r = 0; r < nr; ++r) {
+    const auto ids = host.list_ids(r);
+    for (index_t j = 0; j < s_; ++j)
+      ids_host[static_cast<std::size_t>(r) * s_ + j] = ids[j];
+  }
+  host.export_rows(reps_host, packed_host);
+
+  reps_ = upload_matrix(device, reps_host);
+  packed_ = upload_matrix(device, packed_host);
+  packed_ids_ = simt::DeviceBuffer<index_t>(device, ids_host.size());
+  packed_ids_.upload(ids_host);
+}
+
+KnnResult GpuRbcOneShot::search(const GpuMatrix& Q, index_t k,
+                                std::uint32_t threads_per_block) const {
+  assert(k >= 1 && k <= kMaxK);
+  const index_t nq = Q.rows;
+  simt::Device& device = *device_;
+
+  // Kernel 1: BF(Q, R) -> nearest representative per query.
+  simt::DeviceBuffer<float> rep_d(device, nq);
+  simt::DeviceBuffer<index_t> rep_i(device, nq);
+  {
+    float* out_d = rep_d.data();
+    index_t* out_i = rep_i.data();
+    const GpuMatrix* q_mat = &Q;
+    const GpuMatrix* r_mat = &reps_;
+    device.launch({nq, 1, 1}, {threads_per_block, 1, 1},
+                  [=](simt::Block& blk) {
+                    const index_t qi = blk.block_idx.x;
+                    detail::block_knn_scan(blk, q_mat->row(qi), *r_mat, 0,
+                                           r_mat->rows, nullptr, 1,
+                                           out_d + qi, out_i + qi);
+                  });
+  }
+
+  // Kernel 2: BF(q, X[L_r]) over each query's chosen list.
+  simt::DeviceBuffer<float> out_d(device, static_cast<std::size_t>(nq) * k);
+  simt::DeviceBuffer<index_t> out_i(device, static_cast<std::size_t>(nq) * k);
+  {
+    const index_t s = s_;
+    float* od = out_d.data();
+    index_t* oi = out_i.data();
+    const index_t* rep_assignment = rep_i.data();
+    const index_t* ids = packed_ids_.data();
+    const GpuMatrix* q_mat = &Q;
+    const GpuMatrix* p_mat = &packed_;
+    device.launch({nq, 1, 1}, {threads_per_block, 1, 1},
+                  [=](simt::Block& blk) {
+                    const index_t qi = blk.block_idx.x;
+                    const index_t r = rep_assignment[qi];
+                    detail::block_knn_scan(
+                        blk, q_mat->row(qi), *p_mat, r * s, r * s + s, ids, k,
+                        od + static_cast<std::size_t>(qi) * k,
+                        oi + static_cast<std::size_t>(qi) * k);
+                  });
+  }
+
+  KnnResult result(nq, k);
+  std::vector<float> host_d(static_cast<std::size_t>(nq) * k);
+  std::vector<index_t> host_i(static_cast<std::size_t>(nq) * k);
+  out_d.download(host_d);
+  out_i.download(host_i);
+  for (index_t i = 0; i < nq; ++i)
+    for (index_t j = 0; j < k; ++j) {
+      result.dists.at(i, j) = host_d[static_cast<std::size_t>(i) * k + j];
+      result.ids.at(i, j) = host_i[static_cast<std::size_t>(i) * k + j];
+    }
+  return result;
+}
+
+}  // namespace rbc::gpu

@@ -1,0 +1,40 @@
+// RBC one-shot search on the SIMT substrate (paper §7.3).
+//
+// "We show that our RBC one-shot algorithm provides a substantial speedup
+//  over the already-fast brute force search on a GPU."
+//
+// The index is built on the host (build is offline) and uploaded once; each
+// query batch then runs as two kernels, exactly the two BF calls of §5.1:
+//   kernel 1: BF(Q, R)      — one block per query over the representatives;
+//   kernel 2: BF(q, X[L_r]) — one block per query over its chosen list.
+#pragma once
+
+#include "gpu/gpu_bf.hpp"
+#include "rbc/rbc_oneshot.hpp"
+
+namespace rbc::gpu {
+
+/// Device-resident one-shot RBC index.
+class GpuRbcOneShot {
+ public:
+  /// Uploads a host-built index. The host index can be discarded afterwards.
+  GpuRbcOneShot(simt::Device& device, const RbcOneShotIndex<Euclidean>& host);
+
+  /// k-NN search for a device-resident query batch. Runs both kernels on the
+  /// device; only the final (nq x k) result is downloaded. k <= kMaxK.
+  KnnResult search(const GpuMatrix& Q, index_t k,
+                   std::uint32_t threads_per_block = 64) const;
+
+  index_t num_reps() const { return reps_.rows; }
+  index_t points_per_rep() const { return s_; }
+  index_t dim() const { return reps_.cols; }
+
+ private:
+  simt::Device* device_;
+  GpuMatrix reps_;                        // nr x d
+  GpuMatrix packed_;                      // (nr * s) x d
+  simt::DeviceBuffer<index_t> packed_ids_;  // original ids per packed row
+  index_t s_ = 0;
+};
+
+}  // namespace rbc::gpu

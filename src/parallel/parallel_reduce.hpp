@@ -1,0 +1,65 @@
+// Parallel reductions: the "comparison step" of the brute-force primitive
+// (paper §3) is an instance of the inverted-binary-tree reduce the paper
+// describes; OpenMP realizes the same pattern with per-thread partials.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/runtime.hpp"
+
+namespace rbc {
+
+/// Generic reduction: each thread folds a private accumulator (seeded with
+/// `identity`) over its share of [begin, end) using `fold(acc, i)`, then the
+/// per-thread partials are combined with `combine(a, b)` in a final serial
+/// pass (thread count is small; a tree adds nothing here).
+template <class T, class Fold, class Combine>
+T parallel_reduce(std::int64_t begin, std::int64_t end, T identity, Fold fold,
+                  Combine combine) {
+  const int nt = max_threads();
+  std::vector<T> partials(static_cast<std::size_t>(nt), identity);
+#pragma omp parallel
+  {
+    const int tid = thread_id();
+    T acc = identity;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = begin; i < end; ++i)
+      acc = fold(acc, static_cast<index_t>(i));
+    partials[static_cast<std::size_t>(tid)] = acc;
+  }
+  T result = identity;
+  for (const T& p : partials) result = combine(result, p);
+  return result;
+}
+
+/// Argmin reduction: returns the index i in [begin, end) minimizing value(i),
+/// together with the value. Ties resolve to the smallest index so results are
+/// deterministic regardless of thread count.
+template <class V>
+struct ArgMin {
+  V value;
+  index_t index;
+};
+
+template <class V, class ValueFn>
+ArgMin<V> parallel_argmin(std::int64_t begin, std::int64_t end, V worst,
+                          ValueFn value) {
+  using R = ArgMin<V>;
+  return parallel_reduce<R>(
+      begin, end, R{worst, kInvalidIndex},
+      [&](R acc, index_t i) {
+        const V v = value(i);
+        if (v < acc.value || (v == acc.value && i < acc.index))
+          return R{v, i};
+        return acc;
+      },
+      [](R a, R b) {
+        if (b.value < a.value || (b.value == a.value && b.index < a.index))
+          return b;
+        return a;
+      });
+}
+
+}  // namespace rbc

@@ -1,0 +1,17 @@
+// Explicit instantiations of the index templates for the shipped metrics so
+// downstream binaries (tests, benches, examples) link against one compiled
+// copy instead of re-instantiating per translation unit.
+#include "rbc/rbc_exact.hpp"
+#include "rbc/rbc_oneshot.hpp"
+
+namespace rbc {
+
+template class RbcExactIndex<Euclidean>;
+template class RbcExactIndex<L1>;
+template class RbcExactIndex<LInf>;
+
+template class RbcOneShotIndex<Euclidean>;
+template class RbcOneShotIndex<L1>;
+template class RbcOneShotIndex<LInf>;
+
+}  // namespace rbc

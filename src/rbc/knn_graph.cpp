@@ -1,0 +1,25 @@
+#include "rbc/knn_graph.hpp"
+
+#include <algorithm>
+
+namespace rbc {
+
+std::vector<KnnEdge> symmetrize_knn_graph(const KnnResult& graph) {
+  std::vector<KnnEdge> edges;
+  edges.reserve(static_cast<std::size_t>(graph.ids.rows()) *
+                graph.ids.cols());
+  for (index_t i = 0; i < graph.ids.rows(); ++i)
+    for (index_t j = 0; j < graph.ids.cols(); ++j) {
+      const index_t neighbor = graph.ids.at(i, j);
+      if (neighbor == kInvalidIndex) continue;
+      const index_t u = std::min(i, neighbor);
+      const index_t v = std::max(i, neighbor);
+      if (u == v) continue;
+      edges.push_back({u, v, graph.dists.at(i, j)});
+    }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace rbc

@@ -1,0 +1,64 @@
+// k-NN graph construction — the batch workload behind the manifold-learning
+// methods the paper's introduction motivates (LLE [26], Isomap [27] both
+// start from the k-NN graph of the dataset).
+//
+// Implemented as a self-query of the exact index: build once, search with
+// Q = X, drop each point's trivial self-match. Exact by construction.
+#pragma once
+
+#include "bruteforce/bf.hpp"
+#include "common/matrix.hpp"
+#include "rbc/params.hpp"
+#include "rbc/rbc_exact.hpp"
+
+namespace rbc {
+
+/// The k-NN graph of X: row i lists the k nearest *other* points of X to
+/// point i (ascending by (distance, id)), padded with kInvalidIndex when
+/// n - 1 < k.
+template <DenseMetric M = Euclidean>
+KnnResult build_knn_graph(const Matrix<float>& X, index_t k,
+                          RbcParams params = {}, M metric = {}) {
+  RbcExactIndex<M> index;
+  index.build(X, params, metric);
+
+  // Query with k+1 and strip the self-match. A point's nearest neighbor is
+  // itself at distance 0 (ties by id put the query point first among exact
+  // duplicates of itself).
+  const KnnResult raw = index.search(X, k + 1);
+  KnnResult graph(X.rows(), k);
+  for (index_t i = 0; i < X.rows(); ++i) {
+    index_t out = 0;
+    for (index_t j = 0; j < k + 1 && out < k; ++j) {
+      if (raw.ids.at(i, j) == i) continue;  // the self-match
+      graph.ids.at(i, out) = raw.ids.at(i, j);
+      graph.dists.at(i, out) = raw.dists.at(i, j);
+      ++out;
+    }
+    for (; out < k; ++out) {
+      graph.ids.at(i, out) = kInvalidIndex;
+      graph.dists.at(i, out) = kInfDist;
+    }
+  }
+  return graph;
+}
+
+/// Symmetrized edge list of the k-NN graph: undirected (u, v, distance)
+/// triples with u < v, deduplicated, sorted. The adjacency most
+/// manifold-learning pipelines consume.
+struct KnnEdge {
+  index_t u;
+  index_t v;
+  dist_t dist;
+
+  friend bool operator<(const KnnEdge& a, const KnnEdge& b) {
+    return a.u < b.u || (a.u == b.u && a.v < b.v);
+  }
+  friend bool operator==(const KnnEdge& a, const KnnEdge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+std::vector<KnnEdge> symmetrize_knn_graph(const KnnResult& graph);
+
+}  // namespace rbc

@@ -1,0 +1,22 @@
+// Umbrella header: the public API of the Random Ball Cover library.
+//
+//   #include "rbc/rbc.hpp"
+//
+//   rbc::Matrix<float> db = ...;            // n x d database
+//   rbc::RbcExactIndex<> exact;             // Euclidean metric by default
+//   exact.build(db);
+//   rbc::KnnResult nn = exact.search(queries, /*k=*/1);
+//
+// See examples/quickstart.cpp for a complete program.
+#pragma once
+
+#include "bruteforce/bf.hpp"
+#include "bruteforce/bf_generic.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "distance/metrics.hpp"
+#include "rbc/params.hpp"
+#include "rbc/rbc_exact.hpp"
+#include "rbc/rbc_generic.hpp"
+#include "rbc/rbc_oneshot.hpp"
+#include "rbc/stats.hpp"

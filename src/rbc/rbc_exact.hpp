@@ -1,0 +1,532 @@
+// Random Ball Cover — exact search variant (paper §4, §5.2, §6.1).
+//
+// Build: BF(X, R) assigns every database point to its nearest representative;
+// ownership lists partition the database, each list stored sorted by distance
+// to its representative, with radius psi_r = max_{x in L_r} rho(x, r).
+//
+// Search (1-NN, generalized here to k-NN and range):
+//   1. brute-force scan of the representatives -> distances rho(q, r), the
+//      bound gamma (distance to nearest rep; for k-NN, gamma_k = k-th
+//      smallest rep distance is the upper bound on the k-th NN distance);
+//   2. prune representatives with rule (1) rho(q,r) > gamma + psi_r and
+//      rule (2) rho(q,r) > 3 gamma (k-NN: rho(q,r) > 2 gamma_k + gamma_1);
+//   3. brute-force scan of the surviving ownership lists, visiting closest
+//      representatives first, with the Claim-2 sorted-list early exit.
+//
+// Exactness contract: for every query the returned k-set equals the
+// brute-force k-set under the (distance, id) order — ties included. All
+// pruning comparisons are strict, so a point is only ever skipped when it is
+// *strictly* worse than the k-th best (see comments at each prune site).
+//
+// The index owns a permuted copy of the database (rows grouped by owner,
+// sorted by distance-to-owner), so the second-stage scan is a contiguous
+// streaming pass — the memory layout the paper's GPU implementation uses.
+#pragma once
+
+#include <cassert>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "bruteforce/bf.hpp"
+#include "bruteforce/topk.hpp"
+#include "common/matrix.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/runtime.hpp"
+#include "rbc/params.hpp"
+#include "rbc/sampling.hpp"
+#include "rbc/serialize_io.hpp"
+#include "rbc/stats.hpp"
+
+namespace rbc {
+
+template <DenseMetric M = Euclidean>
+class RbcExactIndex {
+  static_assert(M::is_true_metric,
+                "RBC exact search prunes with the triangle inequality and "
+                "therefore requires a true metric (use Euclidean, not "
+                "SqEuclidean)");
+
+ public:
+  /// Per-thread scratch for search_one; reusable across queries so the hot
+  /// path never allocates (Per.15).
+  struct Scratch {
+    std::vector<dist_t> rep_dists;
+    std::vector<index_t> survivors;
+  };
+
+  RbcExactIndex() = default;
+
+  /// Builds the index over X. X must outlive nothing — the index copies the
+  /// rows it needs (representatives + permuted database).
+  void build(const Matrix<float>& X, RbcParams params = {}, M metric = {}) {
+    metric_ = metric;
+    params_ = params;
+    n_ = X.rows();
+    dim_ = X.cols();
+
+    rep_ids_ = choose_representatives(n_, params);
+    const index_t nr = static_cast<index_t>(rep_ids_.size());
+
+    reps_ = Matrix<float>(nr, dim_);
+    for (index_t r = 0; r < nr; ++r) reps_.copy_row_from(X, rep_ids_[r], r);
+
+    // BF(X, R): nearest representative of every database point (paper §4:
+    // "this routine is simply a call to BF(X, R)"). Parallel over X.
+    std::vector<index_t> owner(n_);
+    std::vector<dist_t> owner_dist(n_);
+    parallel_for(0, n_, [&](index_t x) {
+      const float* px = X.row(x);
+      dist_t best = kInfDist;
+      index_t best_rep = 0;
+      for (index_t r = 0; r < nr; ++r) {
+        const dist_t d = metric_(px, reps_.row(r), dim_);
+        if (d < best) {  // ties resolve to the lowest rep index (scan order)
+          best = d;
+          best_rep = r;
+        }
+      }
+      owner[x] = best_rep;
+      owner_dist[x] = best;
+    });
+    counters::add_dist_evals(static_cast<std::uint64_t>(n_) * nr);
+
+    // CSR layout: offsets_[r] .. offsets_[r+1] delimit L_r in the packed
+    // arrays. Counting sort by owner, then per-list sort by (distance, id).
+    offsets_.assign(nr + 1, 0);
+    for (index_t x = 0; x < n_; ++x) ++offsets_[owner[x] + 1];
+    for (index_t r = 0; r < nr; ++r) offsets_[r + 1] += offsets_[r];
+
+    packed_ids_.resize(n_);
+    packed_dist_.resize(n_);
+    {
+      std::vector<index_t> cursor(offsets_.begin(), offsets_.end() - 1);
+      for (index_t x = 0; x < n_; ++x) {
+        const index_t slot = cursor[owner[x]]++;
+        packed_ids_[slot] = x;
+        packed_dist_[slot] = owner_dist[x];
+      }
+    }
+
+    parallel_for(0, nr, [&](index_t r) {
+      const index_t lo = offsets_[r], hi = offsets_[r + 1];
+      // Sort members by (distance to rep, id); enables the Claim-2 early
+      // exit and makes the layout deterministic.
+      std::vector<std::pair<dist_t, index_t>> items;
+      items.reserve(hi - lo);
+      for (index_t p = lo; p < hi; ++p)
+        items.emplace_back(packed_dist_[p], packed_ids_[p]);
+      std::sort(items.begin(), items.end());
+      for (index_t p = lo; p < hi; ++p) {
+        packed_dist_[p] = items[p - lo].first;
+        packed_ids_[p] = items[p - lo].second;
+      }
+    });
+
+    psi_.resize(nr);
+    for (index_t r = 0; r < nr; ++r)
+      psi_[r] = offsets_[r + 1] > offsets_[r] ? packed_dist_[offsets_[r + 1] - 1]
+                                              : dist_t{0};
+
+    packed_ = Matrix<float>(n_, dim_);
+    parallel_for(0, n_, [&](index_t p) {
+      packed_.copy_row_from(X, packed_ids_[p], p);
+    });
+
+    next_id_ = n_;
+    erased_count_ = 0;
+    erased_.assign(n_, 0);
+    overflow_data_.clear();
+    overflow_ids_.clear();
+    overflow_dist_.clear();
+    overflow_of_rep_.assign(nr, {});
+  }
+
+  // ------------------------------------------------------ dynamic updates ---
+  //
+  // The paper's structure is static; these updates make the index usable in
+  // online settings without a rebuild. Inserted points go to their nearest
+  // representative's *overflow* list (unsorted, scanned without the
+  // early-exit), and psi_r grows to keep prune rule (1) valid. Erasures are
+  // tombstones. Exactness over the live set is preserved (tested); heavy
+  // churn degrades the constant factors until rebuild() compacts.
+  // Not thread-safe against concurrent searches.
+
+  /// Inserts a point (copied); returns its id (original build points keep
+  /// ids [0, n); inserts continue from there). Requires a built index.
+  index_t insert(const float* point) {
+    const index_t nr = reps_.rows();
+    dist_t best = kInfDist;
+    index_t best_rep = 0;
+    for (index_t r = 0; r < nr; ++r) {
+      const dist_t d = metric_(point, reps_.row(r), dim_);
+      if (d < best) {
+        best = d;
+        best_rep = r;
+      }
+    }
+    counters::add_dist_evals(nr);
+
+    const index_t id = next_id_++;
+    erased_.push_back(0);
+    const std::size_t stride = reps_.stride();
+    overflow_data_.resize(overflow_data_.size() + stride, 0.0f);
+    float* row =
+        overflow_data_.data() + overflow_ids_.size() * stride;
+    std::memcpy(row, point, sizeof(float) * dim_);
+    overflow_of_rep_[best_rep].push_back(
+        static_cast<index_t>(overflow_ids_.size()));
+    overflow_ids_.push_back(id);
+    overflow_dist_.push_back(best);
+    // Rule (1) validity: psi_r must stay an upper bound over all members.
+    psi_[best_rep] = std::max(psi_[best_rep], best);
+    return id;
+  }
+
+  /// Tombstones a point. Returns false if the id is unknown or already
+  /// erased. Erasing a representative's point removes it from results but
+  /// keeps it as a routing point (valid: the prune rules only need
+  /// representatives as reference points; the k-th-NN bound is computed
+  /// over live representatives only).
+  bool erase(index_t id) {
+    if (id >= next_id_ || erased_[id]) return false;
+    erased_[id] = 1;
+    ++erased_count_;
+    return true;
+  }
+
+  /// Number of live (non-erased) points.
+  index_t num_active() const {
+    return next_id_ - erased_count_;
+  }
+
+  /// Number of points sitting in unsorted overflow lists (rebuild to
+  /// re-pack them).
+  index_t overflow_size() const {
+    return static_cast<index_t>(overflow_ids_.size());
+  }
+
+  /// Compacts the index: gathers all live rows and rebuilds from scratch
+  /// with fresh representatives. Point ids are remapped densely in
+  /// ascending old-id order; the mapping old-id -> new-id is returned
+  /// (erased points map to kInvalidIndex).
+  std::vector<index_t> rebuild() {
+    const index_t live = num_active();
+    Matrix<float> rows(live, dim_);
+    std::vector<index_t> remap(next_id_, kInvalidIndex);
+    index_t cursor = 0;
+    // Original build points live in packed_ (permuted); inserts in overflow.
+    // Gather in ascending old-id order for a deterministic remap.
+    std::vector<const float*> row_of(next_id_, nullptr);
+    for (index_t p = 0; p < packed_.rows(); ++p)
+      row_of[packed_ids_[p]] = packed_.row(p);
+    const std::size_t stride = reps_.stride();
+    for (std::size_t ov = 0; ov < overflow_ids_.size(); ++ov)
+      row_of[overflow_ids_[ov]] = overflow_data_.data() + ov * stride;
+    for (index_t id = 0; id < next_id_; ++id) {
+      if (erased_[id]) continue;
+      std::memcpy(rows.row(cursor), row_of[id], sizeof(float) * dim_);
+      remap[id] = cursor++;
+    }
+    build(rows, params_, metric_);
+    return remap;
+  }
+
+  // ------------------------------------------------------------- queries ---
+
+  /// k-NN for a batch of queries; parallel across queries. If `stats` is
+  /// non-null the aggregated work statistics are added to it.
+  KnnResult search(const Matrix<float>& Q, index_t k,
+                   SearchStats* stats = nullptr) const {
+    assert(Q.cols() == dim_);
+    KnnResult result(Q.rows(), k);
+    const int nt = max_threads();
+    std::vector<Scratch> scratch(static_cast<std::size_t>(nt));
+    std::vector<SearchStats> tstats(static_cast<std::size_t>(nt));
+    std::vector<TopK> heaps(static_cast<std::size_t>(nt), TopK(k));
+
+    parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+      const auto tid = static_cast<std::size_t>(thread_id());
+      TopK& top = heaps[tid];
+      top.reset();
+      search_one(Q.row(qi), k, top, scratch[tid], &tstats[tid]);
+      top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+    });
+
+    if (stats != nullptr)
+      for (const SearchStats& s : tstats) stats->merge(s);
+    return result;
+  }
+
+  /// k-NN for a single query into a caller-provided heap (hot path; no
+  /// allocation beyond first use of the scratch).
+  void search_one(const float* q, index_t k, TopK& out, Scratch& scratch,
+                  SearchStats* stats = nullptr) const {
+    const index_t nr = reps_.rows();
+    scratch.rep_dists.resize(nr);
+
+    // (1+eps)-approximation: the *candidate-driven* bound is shrunk by this
+    // factor. A point pruned under the shrunken bound has distance
+    // > worst/(1+eps), so any missed true j-th neighbor d_j satisfies
+    // returned_j <= worst < (1+eps) * d_j. The representative-derived bound
+    // is never shrunk: while the heap is filling, pruning stays exact-safe,
+    // which guarantees the search always returns min(k, n) results no
+    // matter how large eps is. inv == 1 is the exact algorithm.
+    const float inv = 1.0f / (1.0f + params_.approx_eps);
+
+    // ---- stage 1: BF(q, R) -------------------------------------------
+    // gamma_1 = distance to the nearest representative; rep_bound = k-th
+    // smallest representative distance (an upper bound on the k-th NN
+    // distance, since representatives are database points).
+    TopK rep_top(k);
+    dist_t gamma1 = kInfDist;
+    for (index_t r = 0; r < nr; ++r) {
+      const dist_t d = metric_(q, reps_.row(r), dim_);
+      scratch.rep_dists[r] = d;
+      // rep_bound must be a k-th distance among *live* database points, so
+      // erased representatives do not feed it; gamma1 is a routing quantity
+      // and may use every representative.
+      if (!erased_[rep_ids_[r]]) rep_top.push(d, r);
+      if (d < gamma1) gamma1 = d;
+    }
+    counters::add_dist_evals(nr);
+    const dist_t rep_bound = rep_top.worst();
+
+    SearchStats local;
+    local.queries = 1;
+    local.rep_dist_evals = nr;
+
+    // ---- stage 2: prune representatives ------------------------------
+    // All comparisons are strict: a representative (or point) is discarded
+    // only when every member is *strictly* worse than the current k-th
+    // best, so ties at the boundary are preserved and the result matches
+    // brute force exactly.
+    scratch.survivors.clear();
+    for (index_t r = 0; r < nr; ++r) {
+      const dist_t dr = scratch.rep_dists[r];
+      if (params_.use_overlap_rule && dr > rep_bound + psi_[r]) {
+        ++local.reps_pruned_overlap;  // rule (1)
+        continue;
+      }
+      if (params_.use_lemma_rule && dr > 2 * rep_bound + gamma1) {
+        ++local.reps_pruned_lemma;  // rule (2), k-NN form
+        continue;
+      }
+      scratch.survivors.push_back(r);
+    }
+
+    // Visit nearest representatives first so the bound tightens early.
+    std::sort(scratch.survivors.begin(), scratch.survivors.end(),
+              [&](index_t a, index_t b) {
+                const dist_t da = scratch.rep_dists[a];
+                const dist_t db = scratch.rep_dists[b];
+                return da < db || (da == db && a < b);
+              });
+
+    // ---- stage 3: BF(q, X[L_1 u ... u L_t]) ---------------------------
+    for (const index_t r : scratch.survivors) {
+      const dist_t dr = scratch.rep_dists[r];
+      // Re-check the prune rules against the *current* bound, which may
+      // have tightened since the filter pass. min(rep_bound, out.worst())
+      // is always an upper bound on the true k-th NN distance.
+      const dist_t bound = std::min(rep_bound, out.worst() * inv);
+      if (params_.use_overlap_rule && dr > bound + psi_[r]) {
+        ++local.reps_pruned_overlap;
+        continue;
+      }
+      if (params_.use_lemma_rule && dr > 2 * bound + gamma1) {
+        ++local.reps_pruned_lemma;
+        continue;
+      }
+      ++local.reps_scanned;
+
+      const index_t lo = offsets_[r], hi = offsets_[r + 1];
+      std::uint64_t computed = 0;
+      for (index_t p = lo; p < hi; ++p) {
+        const dist_t b = std::min(rep_bound, out.worst() * inv);
+        // Claim 2 / footnote 2: members are sorted by rho(x, r); once
+        // rho(x,r) > rho(q,r) + b, the triangle inequality gives
+        // rho(q,x) >= rho(x,r) - rho(q,r) > b for this and all later
+        // members — stop scanning this list.
+        if (params_.use_early_exit && packed_dist_[p] > dr + b) {
+          local.points_skipped_early_exit += hi - p;
+          break;
+        }
+        // Annulus lower bound (extension): rho(q,x) >= rho(q,r) - rho(x,r).
+        if (params_.use_annulus_bound && packed_dist_[p] < dr - b) {
+          ++local.points_skipped_annulus;
+          continue;
+        }
+        if (erased_count_ != 0 && erased_[packed_ids_[p]]) continue;
+        out.push(metric_(q, packed_.row(p), dim_), packed_ids_[p]);
+        ++computed;
+      }
+      // Overflow members (dynamic inserts): unsorted, so no early exit;
+      // the annulus bound applies on both sides.
+      for (const index_t ov : overflow_of_rep_[r]) {
+        if (erased_[overflow_ids_[ov]]) continue;
+        const dist_t b = std::min(rep_bound, out.worst() * inv);
+        const dist_t member = overflow_dist_[ov];
+        if (params_.use_annulus_bound &&
+            (member < dr - b || member > dr + b)) {
+          ++local.points_skipped_annulus;
+          continue;
+        }
+        out.push(metric_(q, overflow_row(ov), dim_), overflow_ids_[ov]);
+        ++computed;
+      }
+      counters::add_dist_evals(computed);
+      local.list_dist_evals += computed;
+    }
+
+    if (stats != nullptr) stats->merge(local);
+  }
+
+  /// Exact range search: returns the ids of all points x with
+  /// rho(q, x) <= radius, sorted ascending by id.
+  std::vector<index_t> range_search(const float* q, dist_t radius) const {
+    const index_t nr = reps_.rows();
+    std::vector<index_t> hits;
+    for (index_t r = 0; r < nr; ++r) {
+      const dist_t dr = metric_(q, reps_.row(r), dim_);
+      counters::add_dist_evals(1);
+      // Every member of L_r is within psi_r of r, so the closest any member
+      // can be to q is dr - psi_r.
+      if (dr > radius + psi_[r]) continue;
+      const index_t lo = offsets_[r], hi = offsets_[r + 1];
+      std::uint64_t computed = 0;
+      for (index_t p = lo; p < hi; ++p) {
+        if (packed_dist_[p] > dr + radius) break;  // sorted-list early exit
+        if (erased_count_ != 0 && erased_[packed_ids_[p]]) continue;
+        const dist_t d = metric_(q, packed_.row(p), dim_);
+        ++computed;
+        if (d <= radius) hits.push_back(packed_ids_[p]);
+      }
+      for (const index_t ov : overflow_of_rep_[r]) {
+        if (erased_[overflow_ids_[ov]]) continue;
+        const dist_t d = metric_(q, overflow_row(ov), dim_);
+        ++computed;
+        if (d <= radius) hits.push_back(overflow_ids_[ov]);
+      }
+      counters::add_dist_evals(computed);
+    }
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  }
+
+  // ------------------------------------------------------ introspection ---
+
+  index_t size() const { return n_; }
+  index_t dim() const { return dim_; }
+  index_t num_reps() const { return reps_.rows(); }
+  const RbcParams& params() const { return params_; }
+  const std::vector<index_t>& rep_ids() const { return rep_ids_; }
+  dist_t psi(index_t r) const { return psi_[r]; }
+
+  /// Original-database ids of the members of L_r (sorted by distance to r).
+  std::span<const index_t> list_ids(index_t r) const {
+    return {packed_ids_.data() + offsets_[r],
+            static_cast<std::size_t>(offsets_[r + 1] - offsets_[r])};
+  }
+  /// Distances rho(x, r) matching list_ids(r).
+  std::span<const dist_t> list_dists(index_t r) const {
+    return {packed_dist_.data() + offsets_[r],
+            static_cast<std::size_t>(offsets_[r + 1] - offsets_[r])};
+  }
+
+  /// Memory footprint of the index in bytes (excluding the caller's X).
+  std::size_t memory_bytes() const {
+    return packed_.size() * sizeof(float) + reps_.size() * sizeof(float) +
+           packed_ids_.size() * sizeof(index_t) +
+           packed_dist_.size() * sizeof(dist_t) +
+           offsets_.size() * sizeof(index_t) + psi_.size() * sizeof(dist_t) +
+           rep_ids_.size() * sizeof(index_t);
+  }
+
+  // ------------------------------------------------------- serialization ---
+
+  void save(std::ostream& os) const {
+    io::write_pod(os, io::kMagicExact);
+    io::write_pod(os, io::kFormatVersion);
+    io::write_string(os, M::name());
+    io::write_pod(os, n_);
+    io::write_pod(os, dim_);
+    io::write_pod(os, params_);
+    io::write_vec(os, rep_ids_);
+    io::write_vec(os, psi_);
+    io::write_vec(os, offsets_);
+    io::write_vec(os, packed_ids_);
+    io::write_vec(os, packed_dist_);
+    io::write_matrix(os, reps_);
+    io::write_matrix(os, packed_);
+    // Dynamic state (empty vectors for a freshly built index).
+    io::write_pod(os, next_id_);
+    io::write_pod(os, erased_count_);
+    io::write_vec(os, erased_);
+    io::write_vec(os, overflow_data_);
+    io::write_vec(os, overflow_ids_);
+    io::write_vec(os, overflow_dist_);
+    io::write_pod(os, static_cast<std::uint64_t>(overflow_of_rep_.size()));
+    for (const auto& list : overflow_of_rep_) io::write_vec(os, list);
+  }
+
+  static RbcExactIndex load(std::istream& is, M metric = {}) {
+    RbcExactIndex idx;
+    idx.metric_ = metric;
+    io::expect_pod(is, io::kMagicExact, "RbcExactIndex magic");
+    io::expect_pod(is, io::kFormatVersion, "RbcExactIndex version");
+    io::expect_string(is, M::name(), "RbcExactIndex metric");
+    io::read_pod(is, idx.n_);
+    io::read_pod(is, idx.dim_);
+    io::read_pod(is, idx.params_);
+    io::read_vec(is, idx.rep_ids_);
+    io::read_vec(is, idx.psi_);
+    io::read_vec(is, idx.offsets_);
+    io::read_vec(is, idx.packed_ids_);
+    io::read_vec(is, idx.packed_dist_);
+    idx.reps_ = io::read_matrix(is);
+    idx.packed_ = io::read_matrix(is);
+    io::read_pod(is, idx.next_id_);
+    io::read_pod(is, idx.erased_count_);
+    io::read_vec(is, idx.erased_);
+    io::read_vec(is, idx.overflow_data_);
+    io::read_vec(is, idx.overflow_ids_);
+    io::read_vec(is, idx.overflow_dist_);
+    std::uint64_t lists = 0;
+    io::read_pod(is, lists);
+    idx.overflow_of_rep_.resize(lists);
+    for (auto& list : idx.overflow_of_rep_) io::read_vec(is, list);
+    return idx;
+  }
+
+ private:
+  const float* overflow_row(std::size_t ov) const {
+    return overflow_data_.data() + ov * reps_.stride();
+  }
+
+  M metric_{};
+  RbcParams params_{};
+  index_t n_ = 0;
+  index_t dim_ = 0;
+
+  Matrix<float> reps_;              // nr x d copies of representative rows
+  std::vector<index_t> rep_ids_;    // original ids of representatives
+  std::vector<dist_t> psi_;         // list radii
+  std::vector<index_t> offsets_;    // CSR: nr + 1
+  Matrix<float> packed_;            // n x d rows grouped by owner
+  std::vector<index_t> packed_ids_;  // original id of each packed row
+  std::vector<dist_t> packed_dist_;  // rho(x, owner(x)), sorted per list
+
+  // ---- dynamic-update state (see "dynamic updates" section above) ----
+  index_t next_id_ = 0;       // ids handed out so far (build + inserts)
+  index_t erased_count_ = 0;  // live tombstones
+  std::vector<std::uint8_t> erased_;      // by id; 1 = tombstoned
+  std::vector<float> overflow_data_;      // inserted rows, reps_.stride() wide
+  std::vector<index_t> overflow_ids_;     // id per overflow row
+  std::vector<dist_t> overflow_dist_;     // rho(x, owner) per overflow row
+  std::vector<std::vector<index_t>> overflow_of_rep_;  // per-rep row indices
+};
+
+}  // namespace rbc

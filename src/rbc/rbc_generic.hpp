@@ -1,0 +1,281 @@
+// RBC over arbitrary metric spaces (strings under edit distance, graph nodes
+// under shortest-path distance, ...). Paper §6: the expansion rate "is
+// defined for arbitrary metric spaces", and the RBC algorithms only ever
+// touch the metric through distance evaluations — these index variants make
+// that generality concrete.
+//
+// The generic indexes trade the dense fast path (SIMD kernels, packed row
+// copies) for full generality: they store ids only and call
+// Space::distance(). The algorithms — build via BF, prune rules (1) and (2),
+// sorted lists with early exit — are identical to the dense implementation.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "bruteforce/bf_generic.hpp"
+#include "parallel/parallel_for.hpp"
+#include "rbc/params.hpp"
+#include "rbc/sampling.hpp"
+#include "rbc/stats.hpp"
+
+namespace rbc {
+
+/// Exact RBC over a generic metric space. distance() must satisfy the
+/// metric axioms; every returned k-set equals brute force (ties included).
+template <MetricSpace S>
+class RbcGenericExact {
+ public:
+  void build(const S& space, RbcParams params = {}) {
+    space_ = &space;
+    params_ = params;
+    const index_t n = space.size();
+
+    rep_ids_ = choose_representatives(n, params);
+    const index_t nr = static_cast<index_t>(rep_ids_.size());
+
+    // BF(X, R): owner of every point.
+    std::vector<index_t> owner(n);
+    std::vector<double> owner_dist(n);
+    parallel_for(0, n, [&](index_t x) {
+      double best = std::numeric_limits<double>::infinity();
+      index_t best_rep = 0;
+      for (index_t r = 0; r < nr; ++r) {
+        const double d = space.distance(space[x], space[rep_ids_[r]]);
+        if (d < best) {
+          best = d;
+          best_rep = r;
+        }
+      }
+      owner[x] = best_rep;
+      owner_dist[x] = best;
+    });
+    counters::add_dist_evals(static_cast<std::uint64_t>(n) * nr);
+
+    offsets_.assign(nr + 1, 0);
+    for (index_t x = 0; x < n; ++x) ++offsets_[owner[x] + 1];
+    for (index_t r = 0; r < nr; ++r) offsets_[r + 1] += offsets_[r];
+
+    member_ids_.resize(n);
+    member_dists_.resize(n);
+    std::vector<index_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (index_t x = 0; x < n; ++x) {
+      const index_t slot = cursor[owner[x]]++;
+      member_ids_[slot] = x;
+      member_dists_[slot] = owner_dist[x];
+    }
+    for (index_t r = 0; r < nr; ++r) {
+      const index_t lo = offsets_[r], hi = offsets_[r + 1];
+      std::vector<std::pair<double, index_t>> items;
+      items.reserve(hi - lo);
+      for (index_t p = lo; p < hi; ++p)
+        items.emplace_back(member_dists_[p], member_ids_[p]);
+      std::sort(items.begin(), items.end());
+      for (index_t p = lo; p < hi; ++p) {
+        member_dists_[p] = items[p - lo].first;
+        member_ids_[p] = items[p - lo].second;
+      }
+    }
+
+    psi_.resize(nr);
+    for (index_t r = 0; r < nr; ++r)
+      psi_[r] =
+          offsets_[r + 1] > offsets_[r] ? member_dists_[offsets_[r + 1] - 1] : 0.0;
+  }
+
+  /// k-NN of `query`; ascending (distance, id); exact.
+  std::vector<GenericNeighbor> search(const typename S::Point& query,
+                                      index_t k,
+                                      SearchStats* stats = nullptr) const {
+    const S& space = *space_;
+    const index_t nr = static_cast<index_t>(rep_ids_.size());
+
+    SearchStats local;
+    local.queries = 1;
+
+    // Stage 1: distances to all representatives.
+    std::vector<double> rep_dists(nr);
+    double gamma1 = std::numeric_limits<double>::infinity();
+    for (index_t r = 0; r < nr; ++r) {
+      rep_dists[r] = space.distance(query, space[rep_ids_[r]]);
+      gamma1 = std::min(gamma1, rep_dists[r]);
+    }
+    counters::add_dist_evals(nr);
+    local.rep_dist_evals = nr;
+
+    // Upper bound on the k-th NN distance from the representatives alone.
+    std::vector<double> sorted_rep(rep_dists);
+    const index_t kth = std::min<index_t>(k, nr) - 1;
+    std::nth_element(sorted_rep.begin(), sorted_rep.begin() + kth,
+                     sorted_rep.end());
+    const double rep_bound = nr >= k
+                                 ? sorted_rep[kth]
+                                 : std::numeric_limits<double>::infinity();
+
+    // Stage 2 + 3: filter and scan (strict comparisons; see rbc_exact.hpp).
+    std::vector<index_t> survivors;
+    for (index_t r = 0; r < nr; ++r) {
+      if (params_.use_overlap_rule && rep_dists[r] > rep_bound + psi_[r]) {
+        ++local.reps_pruned_overlap;
+        continue;
+      }
+      if (params_.use_lemma_rule && rep_dists[r] > 2 * rep_bound + gamma1) {
+        ++local.reps_pruned_lemma;
+        continue;
+      }
+      survivors.push_back(r);
+    }
+    std::sort(survivors.begin(), survivors.end(), [&](index_t a, index_t b) {
+      return rep_dists[a] < rep_dists[b] ||
+             (rep_dists[a] == rep_dists[b] && a < b);
+    });
+
+    std::vector<GenericNeighbor> best;  // kept sorted, size <= k
+    const auto bound = [&] {
+      const double heap_bound = best.size() == k
+                                    ? best.back().dist
+                                    : std::numeric_limits<double>::infinity();
+      return std::min(rep_bound, heap_bound);
+    };
+    const auto offer = [&](double d, index_t id) {
+      const GenericNeighbor cand{d, id};
+      if (best.size() == k && !(cand < best.back())) return;
+      const auto pos = std::lower_bound(best.begin(), best.end(), cand);
+      best.insert(pos, cand);
+      if (best.size() > k) best.pop_back();
+    };
+
+    for (const index_t r : survivors) {
+      const double b = bound();
+      if (params_.use_overlap_rule && rep_dists[r] > b + psi_[r]) {
+        ++local.reps_pruned_overlap;
+        continue;
+      }
+      if (params_.use_lemma_rule && rep_dists[r] > 2 * b + gamma1) {
+        ++local.reps_pruned_lemma;
+        continue;
+      }
+      ++local.reps_scanned;
+      const index_t lo = offsets_[r], hi = offsets_[r + 1];
+      std::uint64_t computed = 0;
+      for (index_t p = lo; p < hi; ++p) {
+        const double bb = bound();
+        if (params_.use_early_exit && member_dists_[p] > rep_dists[r] + bb) {
+          local.points_skipped_early_exit += hi - p;
+          break;
+        }
+        if (params_.use_annulus_bound && member_dists_[p] < rep_dists[r] - bb) {
+          ++local.points_skipped_annulus;
+          continue;
+        }
+        offer(space.distance(query, space[member_ids_[p]]), member_ids_[p]);
+        ++computed;
+      }
+      counters::add_dist_evals(computed);
+      local.list_dist_evals += computed;
+    }
+
+    if (stats != nullptr) stats->merge(local);
+    return best;
+  }
+
+  index_t num_reps() const { return static_cast<index_t>(rep_ids_.size()); }
+  const std::vector<index_t>& rep_ids() const { return rep_ids_; }
+
+ private:
+  const S* space_ = nullptr;
+  RbcParams params_{};
+  std::vector<index_t> rep_ids_;
+  std::vector<double> psi_;
+  std::vector<index_t> offsets_;
+  std::vector<index_t> member_ids_;
+  std::vector<double> member_dists_;
+};
+
+/// One-shot RBC over a generic metric space: probabilistic answers, one list
+/// scanned per probe.
+template <MetricSpace S>
+class RbcGenericOneShot {
+ public:
+  void build(const S& space, RbcParams params = {}) {
+    space_ = &space;
+    params_ = params;
+    const index_t n = space.size();
+    s_ = params.resolve_points_per_rep(n);
+
+    rep_ids_ = choose_representatives(n, params);
+    const index_t nr = static_cast<index_t>(rep_ids_.size());
+
+    member_ids_.assign(static_cast<std::size_t>(nr) * s_, kInvalidIndex);
+    member_dists_.assign(static_cast<std::size_t>(nr) * s_,
+                         std::numeric_limits<double>::infinity());
+    psi_.assign(nr, 0.0);
+
+    std::vector<index_t> all(n);
+    for (index_t i = 0; i < n; ++i) all[i] = i;
+
+    parallel_for_dynamic(0, nr, [&](index_t r) {
+      const auto nns = generic_knn_subset(space, space[rep_ids_[r]], all, s_);
+      const std::size_t base = static_cast<std::size_t>(r) * s_;
+      for (std::size_t j = 0; j < nns.size(); ++j) {
+        member_ids_[base + j] = nns[j].id;
+        member_dists_[base + j] = nns[j].dist;
+      }
+      psi_[r] = nns.empty() ? 0.0 : nns.back().dist;
+    });
+  }
+
+  std::vector<GenericNeighbor> search(const typename S::Point& query,
+                                      index_t k,
+                                      SearchStats* stats = nullptr) const {
+    const S& space = *space_;
+    const index_t nr = static_cast<index_t>(rep_ids_.size());
+    const index_t probes = std::min<index_t>(
+        params_.num_probes == 0 ? 1 : params_.num_probes, nr);
+
+    SearchStats local;
+    local.queries = 1;
+
+    std::vector<GenericNeighbor> rep_order(nr);
+    for (index_t r = 0; r < nr; ++r)
+      rep_order[r] = {space.distance(query, space[rep_ids_[r]]), r};
+    counters::add_dist_evals(nr);
+    local.rep_dist_evals = nr;
+    std::partial_sort(rep_order.begin(), rep_order.begin() + probes,
+                      rep_order.end());
+
+    std::vector<index_t> candidates;
+    for (index_t pi = 0; pi < probes; ++pi) {
+      const std::size_t base =
+          static_cast<std::size_t>(rep_order[pi].id) * s_;
+      for (index_t j = 0; j < s_; ++j)
+        if (member_ids_[base + j] != kInvalidIndex)
+          candidates.push_back(member_ids_[base + j]);
+      ++local.reps_scanned;
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    auto result = generic_knn_subset(space, query, candidates, k);
+    local.list_dist_evals = candidates.size();
+    if (stats != nullptr) stats->merge(local);
+    return result;
+  }
+
+  index_t num_reps() const { return static_cast<index_t>(rep_ids_.size()); }
+  index_t points_per_rep() const { return s_; }
+
+ private:
+  const S* space_ = nullptr;
+  RbcParams params_{};
+  index_t s_ = 0;
+  std::vector<index_t> rep_ids_;
+  std::vector<double> psi_;
+  std::vector<index_t> member_ids_;
+  std::vector<double> member_dists_;
+};
+
+}  // namespace rbc

@@ -1,0 +1,79 @@
+#include "rbc/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rbc {
+
+index_t RbcParams::resolve_num_reps(index_t n) const {
+  if (n == 0) return 0;
+  index_t nr = num_reps;
+  if (nr == 0)
+    nr = static_cast<index_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  return std::clamp<index_t>(nr, 1, n);
+}
+
+index_t RbcParams::resolve_points_per_rep(index_t n) const {
+  if (n == 0) return 0;
+  index_t s = points_per_rep;
+  if (s == 0) s = resolve_num_reps(n);  // the paper's nr = s setting
+  return std::clamp<index_t>(s, 1, n);
+}
+
+index_t oneshot_theory_params(index_t n, double c, double delta) {
+  if (n == 0) return 0;
+  const double value =
+      c * std::sqrt(static_cast<double>(n) * std::log(1.0 / delta));
+  const auto rounded = static_cast<index_t>(std::ceil(value));
+  return std::clamp<index_t>(rounded, 1, n);
+}
+
+std::vector<index_t> sample_without_replacement(index_t n, index_t count,
+                                                Rng& rng) {
+  count = std::min(count, n);
+  std::vector<index_t> result;
+  result.reserve(count);
+  // Floyd's algorithm: uniform subset of size `count` with O(count) draws.
+  std::unordered_set<index_t> chosen;
+  chosen.reserve(count * 2);
+  for (index_t j = n - count; j < n; ++j) {
+    const index_t t = rng.uniform_index(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<index_t> sample_bernoulli(index_t n, double p, Rng& rng) {
+  std::vector<index_t> result;
+  result.reserve(static_cast<std::size_t>(p * n * 1.2) + 8);
+  for (index_t i = 0; i < n; ++i)
+    if (rng.bernoulli(p)) result.push_back(i);
+  return result;  // generated in order, already sorted
+}
+
+std::vector<index_t> choose_representatives(index_t n,
+                                            const RbcParams& params) {
+  Rng rng(params.seed);
+  const index_t nr = params.resolve_num_reps(n);
+  std::vector<index_t> reps;
+  switch (params.sampling) {
+    case Sampling::kExactCount:
+      reps = sample_without_replacement(n, nr, rng);
+      break;
+    case Sampling::kBernoulli:
+      reps = sample_bernoulli(
+          n, static_cast<double>(nr) / static_cast<double>(n), rng);
+      break;
+  }
+  if (reps.empty() && n > 0) reps.push_back(rng.uniform_index(n));
+  return reps;
+}
+
+}  // namespace rbc

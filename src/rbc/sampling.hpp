@@ -1,0 +1,26 @@
+// Random representative selection (paper §4).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rbc/params.hpp"
+
+namespace rbc {
+
+/// Draws the representative id set for a database of n points according to
+/// `params` (exact-count or Bernoulli sampling). Result is sorted,
+/// duplicate-free, non-empty (at least one representative is always chosen
+/// so search is well defined).
+std::vector<index_t> choose_representatives(index_t n, const RbcParams& params);
+
+/// Exactly `count` distinct uniform draws from [0, n), sorted.
+/// Floyd's algorithm: O(count) expected work independent of n.
+std::vector<index_t> sample_without_replacement(index_t n, index_t count,
+                                                Rng& rng);
+
+/// Each element of [0, n) independently with probability p, sorted.
+std::vector<index_t> sample_bernoulli(index_t n, double p, Rng& rng);
+
+}  // namespace rbc

@@ -1,0 +1,107 @@
+// Binary (de)serialization helpers for index persistence.
+//
+// Format: little-endian host layout, guarded by magic + version + metric
+// name. Indexes round-trip bit-exactly (tested); files are not portable
+// across architectures with different endianness, which is documented in the
+// README.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace rbc::io {
+
+inline constexpr std::uint32_t kMagicExact = 0x52424358;    // "RBCX"
+inline constexpr std::uint32_t kMagicOneShot = 0x52424331;  // "RBC1"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+void read_pod(std::istream& is, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("rbc::io: truncated stream");
+}
+
+template <class T>
+void expect_pod(std::istream& is, const T& expected, const char* what) {
+  T actual{};
+  read_pod(is, actual);
+  if (actual != expected)
+    throw std::runtime_error(std::string("rbc::io: mismatch reading ") + what);
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& is) {
+  std::uint64_t len = 0;
+  read_pod(is, len);
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("rbc::io: truncated string");
+  return s;
+}
+
+inline void expect_string(std::istream& is, const std::string& expected,
+                          const char* what) {
+  if (read_string(is) != expected)
+    throw std::runtime_error(std::string("rbc::io: mismatch reading ") + what);
+}
+
+template <class T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+void read_vec(std::istream& is, std::vector<T>& v) {
+  std::uint64_t size = 0;
+  read_pod(is, size);
+  v.resize(size);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!is) throw std::runtime_error("rbc::io: truncated vector");
+}
+
+/// Writes only the logical (unpadded) payload; the padded stride is
+/// reconstructed on read, so files are layout-independent.
+inline void write_matrix(std::ostream& os, const Matrix<float>& m) {
+  write_pod(os, m.rows());
+  write_pod(os, m.cols());
+  for (index_t i = 0; i < m.rows(); ++i)
+    os.write(reinterpret_cast<const char*>(m.row(i)),
+             static_cast<std::streamsize>(m.cols() * sizeof(float)));
+}
+
+inline Matrix<float> read_matrix(std::istream& is) {
+  index_t rows = 0, cols = 0;
+  read_pod(is, rows);
+  read_pod(is, cols);
+  Matrix<float> m(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    is.read(reinterpret_cast<char*>(m.row(i)),
+            static_cast<std::streamsize>(cols * sizeof(float)));
+  }
+  if (!is) throw std::runtime_error("rbc::io: truncated matrix");
+  return m;
+}
+
+}  // namespace rbc::io

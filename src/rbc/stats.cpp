@@ -1,0 +1,16 @@
+#include "rbc/stats.hpp"
+
+namespace rbc {
+
+void SearchStats::merge(const SearchStats& other) {
+  queries += other.queries;
+  rep_dist_evals += other.rep_dist_evals;
+  list_dist_evals += other.list_dist_evals;
+  reps_pruned_overlap += other.reps_pruned_overlap;
+  reps_pruned_lemma += other.reps_pruned_lemma;
+  reps_scanned += other.reps_scanned;
+  points_skipped_early_exit += other.points_skipped_early_exit;
+  points_skipped_annulus += other.points_skipped_annulus;
+}
+
+}  // namespace rbc

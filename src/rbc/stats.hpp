@@ -1,0 +1,42 @@
+// Search-time work statistics.
+//
+// The paper's complexity claims are about counts (reps examined, points
+// examined); these statistics let the benchmarks and tests check them
+// directly — e.g. that the exact search examines ~ c^3 n / nr points
+// (Theorem 1) and that pruning never discards the true NN's owner.
+#pragma once
+
+#include <cstdint>
+
+namespace rbc {
+
+struct SearchStats {
+  std::uint64_t queries = 0;
+  /// Distances computed against representatives (first BF call).
+  std::uint64_t rep_dist_evals = 0;
+  /// Distances computed against ownership-list members (second BF call).
+  std::uint64_t list_dist_evals = 0;
+  /// Representatives discarded by rule (1) / rule (2) at filter time.
+  std::uint64_t reps_pruned_overlap = 0;
+  std::uint64_t reps_pruned_lemma = 0;
+  /// Representatives whose lists were (at least partially) scanned.
+  std::uint64_t reps_scanned = 0;
+  /// List members skipped by the sorted-list early exit (Claim 2).
+  std::uint64_t points_skipped_early_exit = 0;
+  /// List members skipped by the annulus lower bound (extension).
+  std::uint64_t points_skipped_annulus = 0;
+
+  /// Total distance evaluations.
+  std::uint64_t dist_evals() const { return rep_dist_evals + list_dist_evals; }
+
+  /// Mean distance evaluations per query.
+  double dist_evals_per_query() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(dist_evals()) /
+                              static_cast<double>(queries);
+  }
+
+  void merge(const SearchStats& other);
+};
+
+}  // namespace rbc

@@ -1,0 +1,98 @@
+#include "rbc/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bruteforce/bf.hpp"
+#include "rbc/rbc_exact.hpp"
+#include "rbc/rbc_oneshot.hpp"
+
+namespace rbc {
+
+namespace {
+
+std::vector<index_t> default_ladder(index_t n) {
+  const double root = std::sqrt(static_cast<double>(n));
+  std::vector<index_t> ladder;
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto candidate =
+        static_cast<index_t>(std::max(2.0, factor * root));
+    if (candidate <= n &&
+        (ladder.empty() || candidate != ladder.back()))
+      ladder.push_back(candidate);
+  }
+  return ladder;
+}
+
+}  // namespace
+
+TuneResult tune_exact_num_reps(const Matrix<float>& X,
+                               const Matrix<float>& sample_queries, index_t k,
+                               RbcParams base,
+                               std::vector<index_t> candidates) {
+  if (candidates.empty()) candidates = default_ladder(X.rows());
+
+  TuneResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (const index_t nr : candidates) {
+    RbcParams params = base;
+    params.num_reps = nr;
+    RbcExactIndex<Euclidean> index;
+    index.build(X, params);
+    SearchStats stats;
+    (void)index.search(sample_queries, k, &stats);
+    const double work = stats.dist_evals_per_query();
+    result.sweep.emplace_back(nr, work);
+    if (work < best) {
+      best = work;
+      result.num_reps = nr;
+      result.objective = work;
+    }
+  }
+  return result;
+}
+
+TuneResult tune_oneshot_params(const Matrix<float>& X,
+                               const Matrix<float>& sample_queries,
+                               double target_recall, RbcParams base,
+                               std::vector<index_t> candidates) {
+  if (candidates.empty()) candidates = default_ladder(X.rows());
+  std::sort(candidates.begin(), candidates.end());
+
+  // Ground truth once for the sample.
+  const KnnResult truth = bf_knn(sample_queries, X, 1);
+
+  TuneResult result;
+  double best_recall = -1.0;
+  for (const index_t param : candidates) {
+    RbcParams params = base;
+    params.num_reps = param;
+    params.points_per_rep = param;
+    RbcOneShotIndex<Euclidean> index;
+    index.build(X, params);
+    const KnnResult got = index.search(sample_queries, 1);
+    index_t hits = 0;
+    for (index_t qi = 0; qi < sample_queries.rows(); ++qi)
+      if (got.dists.at(qi, 0) == truth.dists.at(qi, 0)) ++hits;
+    const double recall =
+        sample_queries.rows() == 0
+            ? 1.0
+            : static_cast<double>(hits) / sample_queries.rows();
+    result.sweep.emplace_back(param, recall);
+    if (recall > best_recall) {
+      best_recall = recall;
+      result.num_reps = param;
+      result.objective = recall;
+    }
+    if (recall >= target_recall) {
+      // Candidates are ascending: this is the smallest setting that hits
+      // the target.
+      result.num_reps = param;
+      result.objective = recall;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rbc

@@ -1,0 +1,49 @@
+// Parameter auto-tuning.
+//
+// The paper sets nr analytically from the (unknown in practice) expansion
+// rate, and observes empirically that performance is stable over a wide
+// range (Appendix C). This tuner does what a practitioner actually does:
+// sweep a geometric ladder of candidate settings on a sample of queries and
+// pick the best measured configuration — work (distance evaluations) for
+// the exact index, the smallest setting hitting a recall target for the
+// one-shot index.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "rbc/params.hpp"
+
+namespace rbc {
+
+/// Outcome of a tuning sweep.
+struct TuneResult {
+  /// The chosen number of representatives (for one-shot: nr = s).
+  index_t num_reps = 0;
+  /// Measured objective at the chosen setting: distance evaluations per
+  /// query (exact) or recall@1 (one-shot).
+  double objective = 0.0;
+  /// The full sweep: (candidate, objective) pairs, for inspection/plots.
+  std::vector<std::pair<index_t, double>> sweep;
+};
+
+/// Picks num_reps for the exact index by minimizing measured distance
+/// evaluations per query over `sample_queries` (k-NN at the given k).
+/// Candidates default to a geometric ladder 2^i * sqrt(n)/4 .. 8 sqrt(n).
+/// The returned setting can be fed into RbcParams::num_reps.
+TuneResult tune_exact_num_reps(const Matrix<float>& X,
+                               const Matrix<float>& sample_queries, index_t k,
+                               RbcParams base = {},
+                               std::vector<index_t> candidates = {});
+
+/// Picks the smallest nr = s whose measured recall@1 over `sample_queries`
+/// reaches `target_recall` (ground truth computed by brute force on the
+/// sample). Falls back to the best-recall candidate if none reaches the
+/// target; check TuneResult::objective.
+TuneResult tune_oneshot_params(const Matrix<float>& X,
+                               const Matrix<float>& sample_queries,
+                               double target_recall, RbcParams base = {},
+                               std::vector<index_t> candidates = {});
+
+}  // namespace rbc

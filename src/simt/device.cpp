@@ -1,0 +1,35 @@
+#include "simt/device.hpp"
+
+#include <functional>
+
+#include "parallel/runtime.hpp"
+
+namespace rbc::simt {
+
+Device::Device(int workers)
+    : workers_(workers > 0 ? workers : max_threads()) {}
+
+void Device::run_blocks(Dim3 grid, Dim3 block,
+                        const std::function<void(Block&)>& body) {
+  const std::uint64_t total = grid.count();
+  // One reusable Block context per worker: the shared-memory arena is
+  // allocated once and recycled across blocks (as SM shared memory is).
+  std::vector<Block> contexts(static_cast<std::size_t>(workers_));
+
+#pragma omp parallel for schedule(dynamic, 1) num_threads(workers_)
+  for (std::int64_t linear = 0; linear < static_cast<std::int64_t>(total);
+       ++linear) {
+    Block& ctx = contexts[static_cast<std::size_t>(thread_id())];
+    Dim3 idx;
+    std::uint64_t rest = static_cast<std::uint64_t>(linear);
+    idx.x = static_cast<std::uint32_t>(rest % grid.x);
+    rest /= grid.x;
+    idx.y = static_cast<std::uint32_t>(rest % grid.y);
+    rest /= grid.y;
+    idx.z = static_cast<std::uint32_t>(rest);
+    ctx.begin_block(idx, block, grid);
+    body(ctx);
+  }
+}
+
+}  // namespace rbc::simt

@@ -1,0 +1,199 @@
+// SIMT execution substrate: a CUDA-shaped programming model executed by a CPU
+// worker pool.
+//
+// The paper's §7.3 experiments run on an NVIDIA Tesla C2050; no GPU exists in
+// this reproduction environment, so per DESIGN.md §2 we substitute a
+// simulator that preserves the *programming model* the paper's point depends
+// on: computation expressed as kernels over a grid of thread blocks, with
+// per-block shared memory, block-phase barriers, and explicit host<->device
+// transfers. The RBC's one-shot search maps onto this model with no
+// divergent branching — exactly the property §7.3 demonstrates.
+//
+// Execution model:
+//  * launch(grid, block, kernel) runs `kernel(Block&)` once per grid block;
+//    blocks are independent and scheduled across the worker pool (as on a
+//    real device, no ordering or concurrency guarantees between blocks);
+//  * within a kernel, Block::threads(f) runs f(tid) for every thread id in
+//    the block — each call is one "phase", and consecutive phases are
+//    separated by an implicit __syncthreads()-style barrier (block-
+//    synchronous programming);
+//  * Block::shared<T>(count) allocates from the block's shared-memory arena,
+//    persistent across phases of the same block, reset between blocks;
+//  * DeviceBuffer<T> is device-resident memory: host code touches it only
+//    through upload()/download(), which are metered in DeviceStats just as
+//    cudaMemcpy traffic would be.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+
+namespace rbc::simt {
+
+/// Grid/block extents, CUDA-style.
+struct Dim3 {
+  std::uint32_t x = 1, y = 1, z = 1;
+
+  std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+};
+
+/// Transfer and launch accounting (what a profiler would report).
+struct DeviceStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_allocated = 0;
+};
+
+/// Per-block execution context handed to kernels.
+class Block {
+ public:
+  Dim3 block_idx;  // which block this is (blockIdx)
+  Dim3 block_dim;  // threads per block (blockDim)
+  Dim3 grid_dim;   // blocks in the grid (gridDim)
+
+  std::uint32_t num_threads() const {
+    return block_dim.x * block_dim.y * block_dim.z;
+  }
+
+  /// Allocates `count` Ts from the block's shared-memory arena. Contents
+  /// persist across phases of this block; the arena resets between blocks.
+  /// Allocations have stable addresses for the lifetime of the block (the
+  /// arena grows by adding chunks, never by moving existing ones).
+  template <class T>
+  std::span<T> shared(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    std::byte* p = static_cast<std::byte*>(
+        arena_allocate(bytes == 0 ? 1 : bytes, alignof(T)));
+    return {reinterpret_cast<T*>(p), count};
+  }
+
+  /// One phase: runs f(tid) for tid in [0, num_threads()). The return of
+  /// this call is a block-wide barrier; shared memory written in one phase
+  /// is visible in the next.
+  template <class F>
+  void threads(F&& f) {
+    const std::uint32_t nt = num_threads();
+    for (std::uint32_t t = 0; t < nt; ++t) f(t);
+  }
+
+  /// Internal: called by Device before handing the block to a kernel.
+  void begin_block(Dim3 idx, Dim3 bdim, Dim3 gdim) {
+    block_idx = idx;
+    block_dim = bdim;
+    grid_dim = gdim;
+    chunk_index_ = 0;
+    chunk_used_ = 0;
+  }
+
+ private:
+  /// Bump allocation over a list of fixed chunks. Chunks are recycled
+  /// between blocks and never move, so spans handed out earlier in the same
+  /// block stay valid when later allocations trigger growth.
+  void* arena_allocate(std::size_t bytes, std::size_t align) {
+    while (true) {
+      if (chunk_index_ < chunks_.size()) {
+        AlignedBuffer<std::byte>& chunk = chunks_[chunk_index_];
+        const std::size_t aligned = (chunk_used_ + align - 1) / align * align;
+        if (aligned + bytes <= chunk.size()) {
+          chunk_used_ = aligned + bytes;
+          return chunk.data() + aligned;
+        }
+        // Current chunk exhausted: move on (leftover space is abandoned).
+        ++chunk_index_;
+        chunk_used_ = 0;
+        continue;
+      }
+      constexpr std::size_t kMinChunk = 256 * 1024;  // typical SM carve-out
+      chunks_.emplace_back(std::max(bytes + align, kMinChunk));
+      chunk_used_ = 0;
+    }
+  }
+
+  std::vector<AlignedBuffer<std::byte>> chunks_;
+  std::size_t chunk_index_ = 0;
+  std::size_t chunk_used_ = 0;
+};
+
+/// The simulated device: owns a worker count and the transfer/launch meters.
+class Device {
+ public:
+  /// workers = 0 selects all available cores.
+  explicit Device(int workers = 0);
+
+  int workers() const { return workers_; }
+  const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DeviceStats{}; }
+
+  /// Launches kernel(Block&) over the grid. Blocks run concurrently across
+  /// the worker pool; the call returns when every block has finished
+  /// (stream-0 semantics).
+  template <class K>
+  void launch(Dim3 grid, Dim3 block, K&& kernel) {
+    ++stats_.kernels_launched;
+    stats_.blocks_executed += grid.count();
+    run_blocks(grid, block, [&kernel](Block& blk) { kernel(blk); });
+  }
+
+  // Internal accounting hooks used by DeviceBuffer.
+  void note_alloc(std::size_t bytes) { stats_.bytes_allocated += bytes; }
+  void note_h2d(std::size_t bytes) { stats_.bytes_h2d += bytes; }
+  void note_d2h(std::size_t bytes) { stats_.bytes_d2h += bytes; }
+
+ private:
+  /// Type-erased block scheduler (implemented in device.cpp so the OpenMP
+  /// pragma lives in exactly one translation unit).
+  void run_blocks(Dim3 grid, Dim3 block,
+                  const std::function<void(Block&)>& body);
+
+  int workers_;
+  DeviceStats stats_;
+};
+
+/// Device-resident typed buffer. Host access only via upload()/download();
+/// kernels receive the raw pointer via data() (the "device pointer").
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& device, std::size_t count)
+      : device_(&device), storage_(count) {
+    device.note_alloc(count * sizeof(T));
+  }
+
+  std::size_t size() const { return storage_.size(); }
+
+  /// Host -> device copy (metered).
+  void upload(std::span<const T> host) {
+    std::memcpy(storage_.data(), host.data(), host.size_bytes());
+    device_->note_h2d(host.size_bytes());
+  }
+
+  /// Device -> host copy (metered).
+  void download(std::span<T> host) const {
+    std::memcpy(host.data(), storage_.data(), host.size_bytes());
+    device_->note_d2h(host.size_bytes());
+  }
+
+  /// Device pointer: pass to kernels; host code must not dereference
+  /// (convention, as with a real device pointer).
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+
+ private:
+  Device* device_ = nullptr;
+  AlignedBuffer<T> storage_;
+};
+
+}  // namespace rbc::simt

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/balltree.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+KnnResult balltree_batch(const BallTree<>& tree, const Matrix<float>& Q,
+                         index_t k) {
+  KnnResult result(Q.rows(), k);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(k);
+    tree.knn(Q.row(qi), k, top);
+    top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+  }
+  return result;
+}
+
+class BallTreeProperty
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {
+};
+
+TEST_P(BallTreeProperty, KnnEqualsBruteForce) {
+  const auto [n, d, k] = GetParam();
+  const Matrix<float> X = testutil::clustered_matrix(n, d, 5, n + 7 * d);
+  const Matrix<float> Q = testutil::random_matrix(25, d, n, -6.0f, 6.0f);
+  BallTree<> tree;
+  tree.build(X);
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, k),
+                                  balltree_batch(tree, Q, k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BallTreeProperty,
+    ::testing::Combine(::testing::Values<index_t>(8, 120, 900),
+                       ::testing::Values<index_t>(2, 9, 21),
+                       ::testing::Values<index_t>(1, 6)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(BallTree, DuplicateHeavyData) {
+  const Matrix<float> base = testutil::random_matrix(40, 5, 1);
+  const Matrix<float> X = testutil::with_duplicates(base, 160);
+  const Matrix<float> Q = testutil::random_matrix(15, 5, 2);
+  BallTree<> tree;
+  tree.build(X);
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 7),
+                                  balltree_batch(tree, Q, 7)));
+}
+
+TEST(BallTree, AllPointsIdentical) {
+  Matrix<float> X(64, 4);
+  for (index_t i = 0; i < X.rows(); ++i)
+    for (index_t j = 0; j < X.cols(); ++j) X.at(i, j) = 2.0f;
+  BallTree<> tree;
+  tree.build(X, /*leaf_size=*/4);
+  Matrix<float> q(1, 4);
+  TopK top(3);
+  tree.knn(q.row(0), 3, top);
+  std::vector<dist_t> d(3);
+  std::vector<index_t> ids(3);
+  top.extract_sorted(d.data(), ids.data());
+  EXPECT_EQ(ids, (std::vector<index_t>{0, 1, 2}));  // tie order by id
+}
+
+TEST(BallTree, L1Metric) {
+  const Matrix<float> X = testutil::clustered_matrix(300, 8, 4, 3);
+  const Matrix<float> Q = testutil::random_matrix(15, 8, 4, -6.0f, 6.0f);
+  BallTree<L1> tree;
+  tree.build(X, 16, L1{});
+  ASSERT_TRUE(tree.check_invariants());
+  const KnnResult expected = testutil::naive_knn(Q, X, 3, L1{});
+  KnnResult actual(Q.rows(), 3);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(3);
+    tree.knn(Q.row(qi), 3, top);
+    top.extract_sorted(actual.dists.row(qi), actual.ids.row(qi));
+  }
+  EXPECT_TRUE(testutil::knn_equal(expected, actual));
+}
+
+TEST(BallTree, PrunesWorkOnClusteredData) {
+  const index_t n = 4'000;
+  const Matrix<float> X = testutil::clustered_matrix(n, 8, 10, 5);
+  BallTree<> tree;
+  tree.build(X);
+  const Matrix<float> Q = testutil::random_matrix(20, 8, 6, -6.0f, 6.0f);
+  counters::Scope scope;
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(1);
+    tree.knn(Q.row(qi), 1, top);
+  }
+  EXPECT_LT(scope.delta(), 20ull * n / 2);
+}
+
+TEST(BallTree, LeafSizeOneStillCorrect) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 6, 4, 7);
+  const Matrix<float> Q = testutil::random_matrix(15, 6, 8, -6.0f, 6.0f);
+  BallTree<> tree;
+  tree.build(X, /*leaf_size=*/1);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 2),
+                                  balltree_batch(tree, Q, 2)));
+}
+
+TEST(BallTree, SinglePointAndEmpty) {
+  BallTree<> empty_tree;
+  Matrix<float> empty(0, 3);
+  empty_tree.build(empty);
+  Matrix<float> q(1, 3);
+  TopK top(1);
+  empty_tree.knn(q.row(0), 1, top);
+  EXPECT_EQ(top.size(), 0u);
+
+  Matrix<float> one(1, 3);
+  one.at(0, 1) = 3.0f;
+  BallTree<> tree;
+  tree.build(one);
+  const auto [d, id] = tree.nn(q.row(0));
+  EXPECT_EQ(id, 0u);
+  EXPECT_FLOAT_EQ(d, 3.0f);
+}
+
+}  // namespace
+}  // namespace rbc

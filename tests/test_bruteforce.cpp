@@ -1,0 +1,154 @@
+// The brute-force primitive against a naive reference: exact equality of
+// (distance, id) results, including ties, across batch/stream modes, metrics
+// and edge cases.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bruteforce/bf.hpp"
+#include "parallel/runtime.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+class BfShapeTest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {
+ protected:
+  index_t n() const { return std::get<0>(GetParam()); }
+  index_t d() const { return std::get<1>(GetParam()); }
+  index_t k() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(BfShapeTest, MatchesNaiveReference) {
+  const Matrix<float> X = testutil::clustered_matrix(n(), d(), 5, 1);
+  const Matrix<float> Q = testutil::random_matrix(33, d(), 2, -6.0f, 6.0f);
+  const KnnResult expected = testutil::naive_knn(Q, X, k());
+  const KnnResult actual = bf_knn(Q, X, k());
+  EXPECT_TRUE(testutil::knn_equal(expected, actual));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BfShapeTest,
+    ::testing::Combine(::testing::Values<index_t>(1, 2, 10, 257, 1000),
+                       ::testing::Values<index_t>(1, 8, 21, 74),
+                       ::testing::Values<index_t>(1, 3, 10)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(BruteForce, KLargerThanDatabasePads) {
+  const Matrix<float> X = testutil::random_matrix(5, 4, 3);
+  const Matrix<float> Q = testutil::random_matrix(7, 4, 4);
+  const KnnResult r = bf_knn(Q, X, 9);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NE(r.ids.at(qi, j), kInvalidIndex);
+    for (index_t j = 5; j < 9; ++j) {
+      EXPECT_EQ(r.ids.at(qi, j), kInvalidIndex);
+      EXPECT_EQ(r.dists.at(qi, j), kInfDist);
+    }
+  }
+}
+
+TEST(BruteForce, DuplicatePointsTieByIdLikeReference) {
+  const Matrix<float> base = testutil::random_matrix(40, 6, 5);
+  const Matrix<float> X = testutil::with_duplicates(base, 40);  // every point twice
+  const Matrix<float> Q = testutil::random_matrix(15, 6, 6);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 4),
+                                  bf_knn(Q, X, 4)));
+}
+
+TEST(BruteForce, StreamModeEqualsBatchMode) {
+  const Matrix<float> X = testutil::clustered_matrix(2'000, 12, 4, 7);
+  const Matrix<float> Q = testutil::random_matrix(5, 12, 8, -6.0f, 6.0f);
+  const KnnResult batch = testutil::naive_knn(Q, X, 5);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(5);
+    bf_knn_stream(Q.row(qi), X, Euclidean{}, top);
+    std::vector<dist_t> d(5);
+    std::vector<index_t> ids(5);
+    top.extract_sorted(d.data(), ids.data());
+    for (index_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(ids[j], batch.ids.at(qi, j));
+      EXPECT_EQ(d[j], batch.dists.at(qi, j));
+    }
+  }
+}
+
+TEST(BruteForce, ResultsIndependentOfThreadCount) {
+  const Matrix<float> X = testutil::clustered_matrix(1'500, 9, 6, 9);
+  const Matrix<float> Q = testutil::random_matrix(64, 9, 10, -6.0f, 6.0f);
+  KnnResult multi = bf_knn(Q, X, 3);
+  ThreadLimit limit(1);
+  KnnResult single = bf_knn(Q, X, 3);
+  EXPECT_TRUE(testutil::knn_equal(multi, single));
+}
+
+TEST(BruteForce, SubsetScanHitsOnlySubset) {
+  const Matrix<float> X = testutil::random_matrix(100, 7, 11);
+  const Matrix<float> Q = testutil::random_matrix(1, 7, 12);
+  const std::vector<index_t> subset = {3, 17, 42, 99};
+  TopK top(2);
+  bf_scan_subset(Q.row(0), X, subset.data(),
+                 static_cast<index_t>(subset.size()), Euclidean{}, top);
+  std::vector<dist_t> d(2);
+  std::vector<index_t> ids(2);
+  top.extract_sorted(d.data(), ids.data());
+  for (index_t j = 0; j < 2; ++j)
+    EXPECT_TRUE(std::find(subset.begin(), subset.end(), ids[j]) !=
+                subset.end());
+}
+
+TEST(BruteForce, L1MetricMatchesReference) {
+  const Matrix<float> X = testutil::random_matrix(300, 11, 13);
+  const Matrix<float> Q = testutil::random_matrix(20, 11, 14);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 4, L1{}),
+                                  bf_knn(Q, X, 4, L1{})));
+}
+
+TEST(BruteForce, LInfMetricMatchesReference) {
+  const Matrix<float> X = testutil::random_matrix(300, 11, 15);
+  const Matrix<float> Q = testutil::random_matrix(20, 11, 16);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 4, LInf{}),
+                                  bf_knn(Q, X, 4, LInf{})));
+}
+
+TEST(BruteForce, SqEuclideanOrderingMatchesEuclidean) {
+  const Matrix<float> X = testutil::random_matrix(400, 10, 17);
+  const Matrix<float> Q = testutil::random_matrix(25, 10, 18);
+  const KnnResult sq = bf_knn(Q, X, 5, SqEuclidean{});
+  const KnnResult l2 = bf_knn(Q, X, 5, Euclidean{});
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_EQ(sq.ids.at(qi, j), l2.ids.at(qi, j));
+}
+
+TEST(BruteForce, EmptyQueryBatch) {
+  const Matrix<float> X = testutil::random_matrix(10, 4, 19);
+  const Matrix<float> Q(0, 4);
+  const KnnResult r = bf_knn(Q, X, 2);
+  EXPECT_EQ(r.ids.rows(), 0u);
+}
+
+TEST(BruteForce, Bf1nnConvenience) {
+  const Matrix<float> X = testutil::random_matrix(200, 8, 20);
+  const Matrix<float> Q = testutil::random_matrix(1, 8, 21);
+  const auto [d, id] = bf_1nn(Q.row(0), X);
+  const KnnResult expected = testutil::naive_knn(Q, X, 1);
+  EXPECT_EQ(id, expected.ids.at(0, 0));
+  EXPECT_EQ(d, expected.dists.at(0, 0));
+}
+
+TEST(BruteForce, CountsDistanceEvaluations) {
+  const Matrix<float> X = testutil::random_matrix(123, 5, 22);
+  const Matrix<float> Q = testutil::random_matrix(45, 5, 23);
+  counters::Scope scope;
+  bf_knn(Q, X, 1);
+  EXPECT_EQ(scope.delta(), 123u * 45u);
+}
+
+}  // namespace
+}  // namespace rbc

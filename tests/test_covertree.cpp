@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/covertree.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+KnnResult covertree_batch(const CoverTree<>& tree, const Matrix<float>& Q,
+                          index_t k) {
+  KnnResult result(Q.rows(), k);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(k);
+    tree.knn(Q.row(qi), k, top);
+    top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+  }
+  return result;
+}
+
+class CoverTreeProperty
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {
+};
+
+TEST_P(CoverTreeProperty, KnnEqualsBruteForce) {
+  const auto [n, d, k] = GetParam();
+  const Matrix<float> X = testutil::clustered_matrix(n, d, 5, n + d);
+  const Matrix<float> Q = testutil::random_matrix(25, d, n, -6.0f, 6.0f);
+  CoverTree<> tree;
+  tree.build(X);
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, k),
+                                  covertree_batch(tree, Q, k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CoverTreeProperty,
+    ::testing::Combine(::testing::Values<index_t>(10, 100, 800),
+                       ::testing::Values<index_t>(2, 8, 21),
+                       ::testing::Values<index_t>(1, 5)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CoverTree, HandlesDuplicatesViaFolding) {
+  const Matrix<float> base = testutil::random_matrix(50, 6, 1);
+  const Matrix<float> X = testutil::with_duplicates(base, 50);
+  CoverTree<> tree;
+  tree.build(X);
+  ASSERT_TRUE(tree.check_invariants());
+  // Duplicate folding is best-effort: a duplicate folds when the insert
+  // descent reaches the original node, which the covering invariant does
+  // not always guarantee. Most of the 50 duplicates must fold; queries stay
+  // exact either way.
+  EXPECT_LT(tree.num_nodes(), 65u);
+  EXPECT_GE(tree.num_nodes(), 50u);
+
+  const Matrix<float> Q = testutil::random_matrix(20, 6, 2);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 4),
+                                  covertree_batch(tree, Q, 4)));
+}
+
+TEST(CoverTree, SinglePoint) {
+  Matrix<float> X(1, 3);
+  X.at(0, 0) = 5.0f;
+  CoverTree<> tree;
+  tree.build(X);
+  Matrix<float> q(1, 3);
+  const auto [d, id] = tree.nn(q.row(0));
+  EXPECT_EQ(id, 0u);
+  EXPECT_FLOAT_EQ(d, 5.0f);
+}
+
+TEST(CoverTree, RootRaisingForSpreadOutInsertions) {
+  // Points at exponentially growing distances force repeated root raising.
+  Matrix<float> X(10, 1);
+  for (index_t i = 0; i < 10; ++i)
+    X.at(i, 0) = static_cast<float>(1 << i);  // 1, 2, 4, ..., 512
+  CoverTree<> tree;
+  tree.build(X);
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_GE(tree.root_level(), 8);  // must cover distance 511 from root
+
+  Matrix<float> q(1, 1);
+  q.at(0, 0) = 100.0f;
+  const auto [d, id] = tree.nn(q.row(0));
+  EXPECT_EQ(id, 7u);  // 128 is the closest to 100 (|100-64|=36 > |100-128|=28)
+}
+
+TEST(CoverTree, QueryOnDatabasePointFindsItself) {
+  const Matrix<float> X = testutil::random_matrix(300, 9, 3);
+  CoverTree<> tree;
+  tree.build(X);
+  for (index_t i = 0; i < X.rows(); i += 37) {
+    const auto [d, id] = tree.nn(X.row(i));
+    EXPECT_EQ(d, 0.0f);
+    EXPECT_EQ(id, i);
+  }
+}
+
+TEST(CoverTree, L1MetricSupported) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 7, 4, 4);
+  const Matrix<float> Q = testutil::random_matrix(15, 7, 5, -6.0f, 6.0f);
+  CoverTree<L1> tree;
+  tree.build(X, L1{});
+  ASSERT_TRUE(tree.check_invariants());
+  const KnnResult expected = testutil::naive_knn(Q, X, 3, L1{});
+  KnnResult actual(Q.rows(), 3);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(3);
+    tree.knn(Q.row(qi), 3, top);
+    top.extract_sorted(actual.dists.row(qi), actual.ids.row(qi));
+  }
+  EXPECT_TRUE(testutil::knn_equal(expected, actual));
+}
+
+TEST(CoverTree, PrunesWorkOnClusteredData) {
+  const index_t n = 4'000;
+  const Matrix<float> X = testutil::clustered_matrix(n, 8, 10, 6);
+  CoverTree<> tree;
+  tree.build(X);
+  const Matrix<float> Q = testutil::random_matrix(20, 8, 7, -6.0f, 6.0f);
+  counters::Scope scope;
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(1);
+    tree.knn(Q.row(qi), 1, top);
+  }
+  // Branch-and-bound should visit well under the full database per query.
+  EXPECT_LT(scope.delta(), 20ull * n / 2);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "distance/edit_distance.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("flaw", "lawn"), 2u);
+  EXPECT_EQ(edit_distance("intention", "execution"), 5u);
+  EXPECT_EQ(edit_distance("a", "b"), 1u);
+  EXPECT_EQ(edit_distance("ab", "ba"), 2u);
+}
+
+std::string random_string(Rng& rng, index_t max_len) {
+  const index_t len = rng.uniform_index(max_len + 1);
+  std::string s(len, 'a');
+  for (auto& ch : s) ch = static_cast<char>('a' + rng.uniform_index(4));
+  return s;
+}
+
+TEST(EditDistance, MetricAxiomsOnRandomStrings) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = random_string(rng, 20);
+    const std::string b = random_string(rng, 20);
+    const std::string c = random_string(rng, 20);
+    const index_t ab = edit_distance(a, b);
+    const index_t ba = edit_distance(b, a);
+    const index_t bc = edit_distance(b, c);
+    const index_t ac = edit_distance(a, c);
+    EXPECT_EQ(ab, ba);                      // symmetry
+    EXPECT_EQ(edit_distance(a, a), 0u);     // identity
+    EXPECT_LE(ac, ab + bc);                 // triangle inequality
+    if (a != b) EXPECT_GT(ab, 0u);          // positivity
+  }
+}
+
+TEST(EditDistance, BoundedByLongerLength) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string a = random_string(rng, 15);
+    const std::string b = random_string(rng, 15);
+    EXPECT_LE(edit_distance(a, b), std::max(a.size(), b.size()));
+    EXPECT_GE(edit_distance(a, b),
+              a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  }
+}
+
+TEST(EditDistanceBanded, MatchesFullWhenWithinBand) {
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string a = random_string(rng, 16);
+    const std::string b = random_string(rng, 16);
+    const index_t full = edit_distance(a, b);
+    for (const index_t band : {index_t{0}, index_t{1}, index_t{3}, index_t{8},
+                               index_t{20}}) {
+      const index_t banded = edit_distance_banded(a, b, band);
+      if (full <= band) {
+        EXPECT_EQ(banded, full) << "a=" << a << " b=" << b << " band=" << band;
+      } else {
+        EXPECT_EQ(banded, band + 1)
+            << "a=" << a << " b=" << b << " band=" << band;
+      }
+    }
+  }
+}
+
+TEST(EditDistanceBanded, LengthGapShortCircuit) {
+  EXPECT_EQ(edit_distance_banded("aaaaaaaaaa", "a", 3), 4u);
+  EXPECT_EQ(edit_distance_banded("abcdefgh", "abc", 5), 5u);
+}
+
+TEST(StringSpace, AdapterBasics) {
+  StringSpace space({"cat", "cart", "dog"});
+  EXPECT_EQ(space.size(), 3u);
+  EXPECT_EQ(space[1], "cart");
+  EXPECT_DOUBLE_EQ(space.distance(space[0], space[1]), 1.0);
+  EXPECT_DOUBLE_EQ(space.distance(space[0], space[2]), 3.0);
+}
+
+}  // namespace
+}  // namespace rbc

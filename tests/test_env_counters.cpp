@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/counters.hpp"
+#include "common/env.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(Env, IntegerParsingAndFallback) {
+  ::setenv("RBC_TEST_INT", "42", 1);
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), 42);
+  ::unsetenv("RBC_TEST_INT");
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), 7);
+  ::setenv("RBC_TEST_INT", "not_a_number", 1);
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), 7);
+  ::unsetenv("RBC_TEST_INT");
+}
+
+TEST(Env, DoubleParsing) {
+  ::setenv("RBC_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_or("RBC_TEST_DBL", 1.0), 2.5);
+  ::unsetenv("RBC_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env_or("RBC_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(Env, StringFallback) {
+  ::setenv("RBC_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_or("RBC_TEST_STR", std::string("x")), "hello");
+  ::unsetenv("RBC_TEST_STR");
+  EXPECT_EQ(env_or("RBC_TEST_STR", std::string("x")), "x");
+}
+
+TEST(Counters, SingleThreadAccumulation) {
+  counters::reset();
+  counters::add_dist_evals(10);
+  counters::add_dist_evals(5);
+  EXPECT_EQ(counters::total_dist_evals(), 15u);
+  counters::reset();
+  EXPECT_EQ(counters::total_dist_evals(), 0u);
+}
+
+TEST(Counters, SumsAcrossThreads) {
+  counters::reset();
+  parallel_for(0, 1000, [](index_t) { counters::add_dist_evals(3); });
+  EXPECT_EQ(counters::total_dist_evals(), 3000u);
+}
+
+TEST(Counters, ScopeDelta) {
+  counters::reset();
+  counters::add_dist_evals(100);
+  counters::Scope scope;
+  counters::add_dist_evals(42);
+  EXPECT_EQ(scope.delta(), 42u);
+  counters::add_dist_evals(8);
+  EXPECT_EQ(scope.delta(), 50u);
+}
+
+TEST(Counters, NestedScopes) {
+  counters::reset();
+  counters::Scope outer;
+  counters::add_dist_evals(5);
+  counters::Scope inner;
+  counters::add_dist_evals(7);
+  EXPECT_EQ(inner.delta(), 7u);
+  EXPECT_EQ(outer.delta(), 12u);
+}
+
+}  // namespace
+}  // namespace rbc

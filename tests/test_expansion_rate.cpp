@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/expansion_rate.hpp"
+#include "data/generators.hpp"
+#include "test_util.hpp"
+
+namespace rbc::data {
+namespace {
+
+TEST(ExpansionRate, GridUnderL1MatchesPaperExample) {
+  // Paper §6: "consider a grid of points in R^d under the l1 metric. The
+  // expansion rate in this case is 2^d." Finite-grid boundary effects pull
+  // the observed ratio below 2^d, so assert a generous bracket around it.
+  for (const index_t d : {1u, 2u, 3u}) {
+    const index_t side = d == 1 ? 1024 : (d == 2 ? 48 : 14);
+    const Matrix<float> grid = make_grid(side, d);
+    const ExpansionEstimate est = estimate_expansion_rate_l1(grid, 30, 1);
+    const double expected = std::pow(2.0, d);
+    EXPECT_GT(est.c_q90, 0.5 * expected) << "d=" << d;
+    EXPECT_LT(est.c_q90, 2.0 * expected) << "d=" << d;
+  }
+}
+
+TEST(ExpansionRate, IntrinsicDimTracksGridDimension) {
+  const Matrix<float> g1 = make_grid(1024, 1);
+  const Matrix<float> g2 = make_grid(48, 2);
+  const Matrix<float> g3 = make_grid(14, 3);
+  const double d1 = estimate_expansion_rate_l1(g1, 30, 2).intrinsic_dim();
+  const double d2 = estimate_expansion_rate_l1(g2, 30, 2).intrinsic_dim();
+  const double d3 = estimate_expansion_rate_l1(g3, 30, 2).intrinsic_dim();
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d2, d3);
+}
+
+TEST(ExpansionRate, LowDimManifoldInHighAmbientHasSmallC) {
+  // Swiss roll: intrinsic dimension 2 regardless of the ambient 20 dims.
+  const Matrix<float> roll = make_swiss_roll(4'000, 20, 0.05f, 3);
+  const ExpansionEstimate est = estimate_expansion_rate(roll, 25, 4);
+  EXPECT_LT(est.intrinsic_dim(), 5.0)
+      << "swiss roll should have intrinsic dim near 2, got c_q90="
+      << est.c_q90;
+}
+
+TEST(ExpansionRate, UniformCubeGrowsWithDimension) {
+  const Matrix<float> low = make_uniform_cube(4'000, 2, 5);
+  const Matrix<float> high = make_uniform_cube(4'000, 10, 6);
+  const double c_low = estimate_expansion_rate(low, 25, 7).c_q90;
+  const double c_high = estimate_expansion_rate(high, 25, 8).c_q90;
+  EXPECT_LT(c_low, c_high);
+}
+
+TEST(ExpansionRate, SubspaceClustersReflectIntrinsicNotAmbient) {
+  // Same ambient d=50; intrinsic 3 vs 20 must be clearly separated.
+  const Matrix<float> narrow = make_subspace_clusters(4'000, 50, 5, 3, 0.01f, 9);
+  const Matrix<float> wide = make_subspace_clusters(4'000, 50, 5, 20, 0.01f, 10);
+  const double c_narrow = estimate_expansion_rate(narrow, 25, 11).c_q90;
+  const double c_wide = estimate_expansion_rate(wide, 25, 12).c_q90;
+  EXPECT_LT(c_narrow, c_wide);
+}
+
+TEST(ExpansionRate, EdgeCases) {
+  const Matrix<float> empty(0, 3);
+  EXPECT_EQ(estimate_expansion_rate(empty, 5, 1).c_max, 0.0);
+
+  const Matrix<float> tiny = rbc::testutil::random_matrix(4, 3, 2);
+  // min_ball=8 > n/2: no radii to evaluate -> empty estimate, not a crash.
+  const ExpansionEstimate est = estimate_expansion_rate(tiny, 2, 3);
+  EXPECT_EQ(est.c_max, 0.0);
+}
+
+TEST(ExpansionRate, DuplicateHeavyDataDoesNotDivideByZero) {
+  Matrix<float> base = rbc::testutil::random_matrix(20, 4, 4);
+  const Matrix<float> X = rbc::testutil::with_duplicates(base, 400);
+  const ExpansionEstimate est = estimate_expansion_rate(X, 10, 5);
+  EXPECT_TRUE(std::isfinite(est.c_max));
+}
+
+}  // namespace
+}  // namespace rbc::data

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/generators.hpp"
+
+namespace rbc::data {
+namespace {
+
+bool all_finite(const Matrix<float>& m) {
+  for (index_t i = 0; i < m.rows(); ++i)
+    for (index_t j = 0; j < m.cols(); ++j)
+      if (!std::isfinite(m.at(i, j))) return false;
+  return true;
+}
+
+bool matrices_equal(const Matrix<float>& a, const Matrix<float>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      if (a.at(i, j) != b.at(i, j)) return false;
+  return true;
+}
+
+TEST(Generators, UniformCubeShapeAndRange) {
+  const Matrix<float> X = make_uniform_cube(1'000, 7, 1);
+  EXPECT_EQ(X.rows(), 1'000u);
+  EXPECT_EQ(X.cols(), 7u);
+  for (index_t i = 0; i < X.rows(); ++i)
+    for (index_t j = 0; j < X.cols(); ++j) {
+      EXPECT_GE(X.at(i, j), 0.0f);
+      EXPECT_LT(X.at(i, j), 1.0f);
+    }
+}
+
+TEST(Generators, DeterministicInSeed) {
+  EXPECT_TRUE(matrices_equal(make_uniform_cube(200, 5, 9),
+                             make_uniform_cube(200, 5, 9)));
+  EXPECT_TRUE(matrices_equal(make_robot_arm(300, 4), make_robot_arm(300, 4)));
+  EXPECT_TRUE(matrices_equal(make_subspace_clusters(200, 20, 5, 3, 0.1f, 2),
+                             make_subspace_clusters(200, 20, 5, 3, 0.1f, 2)));
+  EXPECT_FALSE(matrices_equal(make_uniform_cube(200, 5, 9),
+                              make_uniform_cube(200, 5, 10)));
+}
+
+TEST(Generators, SubspaceClustersRejectsBadIntrinsicDim) {
+  EXPECT_THROW(make_subspace_clusters(10, 4, 2, 8, 0.1f, 1),
+               std::invalid_argument);
+}
+
+TEST(Generators, GridHasExpectedSizeAndSpacing) {
+  const Matrix<float> g = make_grid(5, 3);
+  EXPECT_EQ(g.rows(), 125u);
+  EXPECT_EQ(g.cols(), 3u);
+  // First point is the origin; second differs by 1 in dim 0.
+  EXPECT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_EQ(g.at(1, 0), 1.0f);
+  EXPECT_EQ(g.at(1, 1), 0.0f);
+  // Last point is the far corner.
+  EXPECT_EQ(g.at(124, 0), 4.0f);
+  EXPECT_EQ(g.at(124, 2), 4.0f);
+}
+
+TEST(Generators, RobotArmHas21DimsAndSmoothTrajectories) {
+  const Matrix<float> X = make_robot_arm(1'000, 3, /*points_per_traj=*/100);
+  EXPECT_EQ(X.cols(), 21u);
+  ASSERT_TRUE(all_finite(X));
+  // Consecutive samples on the same trajectory are close in joint space
+  // (velocity bounded by sum of amp*omega < 3*1.2*2.5 = 9 rad/s, dt=0.02).
+  for (index_t i = 1; i < 100; ++i) {
+    for (index_t j = 0; j < 7; ++j) {
+      const float dq = std::fabs(X.at(i, j) - X.at(i - 1, j));
+      EXPECT_LT(dq, 0.5f) << "joint jump at sample " << i;
+    }
+  }
+}
+
+TEST(Generators, RobotArmVelocityConsistentWithFiniteDifference) {
+  const Matrix<float> X = make_robot_arm(200, 5, /*points_per_traj=*/200);
+  const float dt = 0.02f;
+  // Central difference of q should approximate the stored qdot.
+  for (index_t i = 1; i + 1 < 200; i += 17) {
+    for (index_t j = 0; j < 7; ++j) {
+      const float fd = (X.at(i + 1, j) - X.at(i - 1, j)) / (2 * dt);
+      const float stored = X.at(i, 7 + j);
+      EXPECT_NEAR(fd, stored, 0.05f * std::max(1.0f, std::fabs(stored)));
+    }
+  }
+}
+
+TEST(Generators, ImageDescriptorsShape) {
+  for (const index_t d : {4u, 8u, 16u, 32u}) {
+    const Matrix<float> X = make_image_descriptors(500, d, 6);
+    EXPECT_EQ(X.rows(), 500u);
+    EXPECT_EQ(X.cols(), d);
+    EXPECT_TRUE(all_finite(X));
+  }
+}
+
+TEST(Generators, SwissRollLiesOnCylinderEnvelope) {
+  const Matrix<float> X = make_swiss_roll(500, 5, 0.0f, 7);
+  // Noise-free swiss roll: radius in the (x, z) plane equals the angle t,
+  // which lives in [1.5pi, 4.5pi].
+  for (index_t i = 0; i < X.rows(); ++i) {
+    const float r = std::hypot(X.at(i, 0), X.at(i, 2));
+    EXPECT_GE(r, 4.5f);
+    EXPECT_LE(r, 14.2f);
+    for (index_t j = 3; j < 5; ++j) EXPECT_EQ(X.at(i, j), 0.0f);
+  }
+}
+
+TEST(PaperDatasets, TableOneShapes) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(dataset_by_name("bio").dim, 74u);
+  EXPECT_EQ(dataset_by_name("cov").dim, 54u);
+  EXPECT_EQ(dataset_by_name("phy").dim, 78u);
+  EXPECT_EQ(dataset_by_name("robot").dim, 21u);
+  EXPECT_EQ(dataset_by_name("tiny4").dim, 4u);
+  EXPECT_EQ(dataset_by_name("tiny32").dim, 32u);
+  EXPECT_EQ(dataset_by_name("bio").paper_n, 200'000u);
+  EXPECT_EQ(dataset_by_name("robot").paper_n, 2'000'000u);
+  EXPECT_THROW(dataset_by_name("nonexistent"), std::invalid_argument);
+}
+
+TEST(PaperDatasets, EverySurrogateGenerates) {
+  for (const auto& spec : paper_datasets()) {
+    const Matrix<float> X = make_dataset(spec, 300, 11);
+    EXPECT_EQ(X.rows(), 300u) << spec.name;
+    EXPECT_EQ(X.cols(), spec.dim) << spec.name;
+    EXPECT_TRUE(all_finite(X)) << spec.name;
+  }
+}
+
+TEST(PaperDatasets, BenchmarkSplitSizes) {
+  const DataSplit split = make_benchmark_data(dataset_by_name("bio"), 400, 50, 13);
+  EXPECT_EQ(split.database.rows(), 400u);
+  EXPECT_EQ(split.queries.rows(), 50u);
+  EXPECT_EQ(split.database.cols(), 74u);
+  EXPECT_EQ(split.queries.cols(), 74u);
+}
+
+}  // namespace
+}  // namespace rbc::data

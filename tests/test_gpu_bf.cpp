@@ -1,0 +1,97 @@
+// The device brute-force kernel must agree exactly with the host brute-force
+// primitive — same (distance, id) contract, so bit-equality is required.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gpu/gpu_bf.hpp"
+#include "test_util.hpp"
+
+namespace rbc::gpu {
+namespace {
+
+class GpuBfShape
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(GpuBfShape, MatchesHostBruteForce) {
+  const auto [n, d, k, tpb] = GetParam();
+  const Matrix<float> X = testutil::clustered_matrix(n, d, 4, n + d);
+  const Matrix<float> Q = testutil::random_matrix(19, d, n, -6.0f, 6.0f);
+
+  simt::Device device(2);
+  const GpuMatrix gq = upload_matrix(device, Q);
+  const GpuMatrix gx = upload_matrix(device, X);
+  const KnnResult gpu_result = gpu_bf_knn(device, gq, gx, k, tpb);
+  const KnnResult host_result = testutil::naive_knn(Q, X, k);
+  EXPECT_TRUE(testutil::knn_equal(host_result, gpu_result));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GpuBfShape,
+    ::testing::Combine(::testing::Values<index_t>(3, 100, 1'000),
+                       ::testing::Values<index_t>(4, 21, 74),
+                       ::testing::Values<index_t>(1, 5),
+                       ::testing::Values<std::uint32_t>(1, 4, 64)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param)) + "_t" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(GpuBf, DuplicateHeavyDataMatchesTies) {
+  const Matrix<float> base = testutil::random_matrix(50, 8, 1);
+  const Matrix<float> X = testutil::with_duplicates(base, 100);
+  const Matrix<float> Q = testutil::random_matrix(11, 8, 2);
+  simt::Device device(2);
+  const GpuMatrix gq = upload_matrix(device, Q);
+  const GpuMatrix gx = upload_matrix(device, X);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 6),
+                                  gpu_bf_knn(device, gq, gx, 6)));
+}
+
+TEST(GpuBf, KLargerThanDatabasePads) {
+  const Matrix<float> X = testutil::random_matrix(4, 5, 3);
+  const Matrix<float> Q = testutil::random_matrix(2, 5, 4);
+  simt::Device device(1);
+  const GpuMatrix gq = upload_matrix(device, Q);
+  const GpuMatrix gx = upload_matrix(device, X);
+  const KnnResult r = gpu_bf_knn(device, gq, gx, 8);
+  for (index_t qi = 0; qi < 2; ++qi) {
+    for (index_t j = 0; j < 4; ++j) EXPECT_NE(r.ids.at(qi, j), kInvalidIndex);
+    for (index_t j = 4; j < 8; ++j) EXPECT_EQ(r.ids.at(qi, j), kInvalidIndex);
+  }
+}
+
+TEST(GpuBf, TransfersAreMetered) {
+  const Matrix<float> X = testutil::random_matrix(256, 16, 5);
+  const Matrix<float> Q = testutil::random_matrix(32, 16, 6);
+  simt::Device device(2);
+  device.reset_stats();
+  const GpuMatrix gq = upload_matrix(device, Q);
+  const GpuMatrix gx = upload_matrix(device, X);
+  const std::uint64_t upload_bytes = device.stats().bytes_h2d;
+  EXPECT_EQ(upload_bytes,
+            (static_cast<std::uint64_t>(X.rows()) * X.stride() +
+             static_cast<std::uint64_t>(Q.rows()) * Q.stride()) *
+                sizeof(float));
+  gpu_bf_knn(device, gq, gx, 3);
+  EXPECT_GT(device.stats().bytes_d2h, 0u);
+  EXPECT_EQ(device.stats().kernels_launched, 1u);
+  EXPECT_EQ(device.stats().blocks_executed, 32u);  // one block per query
+}
+
+TEST(GpuBf, ResultIndependentOfThreadsPerBlock) {
+  const Matrix<float> X = testutil::clustered_matrix(700, 12, 5, 7);
+  const Matrix<float> Q = testutil::random_matrix(9, 12, 8, -6.0f, 6.0f);
+  simt::Device device(2);
+  const GpuMatrix gq = upload_matrix(device, Q);
+  const GpuMatrix gx = upload_matrix(device, X);
+  const KnnResult a = gpu_bf_knn(device, gq, gx, 4, 2);
+  const KnnResult b = gpu_bf_knn(device, gq, gx, 4, 128);
+  EXPECT_TRUE(testutil::knn_equal(a, b));
+}
+
+}  // namespace
+}  // namespace rbc::gpu

@@ -1,0 +1,85 @@
+// The device one-shot RBC must return exactly what the host one-shot index
+// returns (same algorithm, same (distance, id) order).
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc::gpu {
+namespace {
+
+TEST(GpuRbc, MatchesHostOneShotExactly) {
+  const Matrix<float> X = testutil::clustered_matrix(900, 10, 6, 1);
+  const Matrix<float> Q = testutil::random_matrix(40, 10, 2, -6.0f, 6.0f);
+
+  RbcOneShotIndex<Euclidean> host_index;
+  host_index.build(X, {.num_reps = 30, .points_per_rep = 45, .seed = 3});
+
+  simt::Device device(2);
+  const GpuRbcOneShot device_index(device, host_index);
+  const GpuMatrix gq = upload_matrix(device, Q);
+
+  const KnnResult host_result = host_index.search(Q, 5);
+  const KnnResult device_result = device_index.search(gq, 5);
+  EXPECT_TRUE(testutil::knn_equal(host_result, device_result));
+}
+
+TEST(GpuRbc, OneNearestNeighborPath) {
+  const Matrix<float> X = testutil::clustered_matrix(500, 21, 5, 4);
+  const Matrix<float> Q = testutil::random_matrix(25, 21, 5, -6.0f, 6.0f);
+
+  RbcOneShotIndex<Euclidean> host_index;
+  host_index.build(X, {.num_reps = 22, .points_per_rep = 22, .seed = 6});
+
+  simt::Device device(2);
+  const GpuRbcOneShot device_index(device, host_index);
+  const GpuMatrix gq = upload_matrix(device, Q);
+  EXPECT_TRUE(testutil::knn_equal(host_index.search(Q, 1),
+                                  device_index.search(gq, 1)));
+}
+
+TEST(GpuRbc, IndexUploadIsMetered) {
+  const Matrix<float> X = testutil::random_matrix(400, 8, 7);
+  RbcOneShotIndex<Euclidean> host_index;
+  host_index.build(X, {.num_reps = 20, .points_per_rep = 25, .seed = 8});
+
+  simt::Device device(1);
+  device.reset_stats();
+  const GpuRbcOneShot device_index(device, host_index);
+  // reps (20 rows) + packed (500 rows) + ids (500) must all be on-device.
+  EXPECT_GT(device.stats().bytes_h2d,
+            500ull * 8 * sizeof(float));
+  EXPECT_EQ(device_index.num_reps(), 20u);
+  EXPECT_EQ(device_index.points_per_rep(), 25u);
+}
+
+TEST(GpuRbc, SearchLaunchesTwoKernels) {
+  const Matrix<float> X = testutil::random_matrix(300, 6, 9);
+  RbcOneShotIndex<Euclidean> host_index;
+  host_index.build(X, {.num_reps = 15, .seed = 10});
+
+  simt::Device device(2);
+  const GpuRbcOneShot device_index(device, host_index);
+  const Matrix<float> Q = testutil::random_matrix(12, 6, 11);
+  const GpuMatrix gq = upload_matrix(device, Q);
+
+  device.reset_stats();
+  device_index.search(gq, 2);
+  EXPECT_EQ(device.stats().kernels_launched, 2u);      // BF(Q,R), BF(q,L_r)
+  EXPECT_EQ(device.stats().blocks_executed, 2u * 12u);  // one block/query each
+}
+
+TEST(GpuRbc, AgreesAcrossBlockWidths) {
+  const Matrix<float> X = testutil::clustered_matrix(600, 9, 5, 12);
+  RbcOneShotIndex<Euclidean> host_index;
+  host_index.build(X, {.num_reps = 24, .points_per_rep = 36, .seed = 13});
+  simt::Device device(2);
+  const GpuRbcOneShot device_index(device, host_index);
+  const Matrix<float> Q = testutil::random_matrix(10, 9, 14, -6.0f, 6.0f);
+  const GpuMatrix gq = upload_matrix(device, Q);
+  EXPECT_TRUE(testutil::knn_equal(device_index.search(gq, 3, 1),
+                                  device_index.search(gq, 3, 64)));
+}
+
+}  // namespace
+}  // namespace rbc::gpu

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "distance/graph_metric.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(GraphSpace, PathGraphDistances) {
+  // 0 - 1 - 2 - 3 with unit weights: d(i, j) = |i - j|.
+  GraphSpace g(4);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(1, 2, 1.0f);
+  g.add_edge(2, 3, 1.0f);
+  g.finalize();
+  EXPECT_TRUE(g.connected());
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(g.distance(i, j), std::abs(int(i) - int(j)));
+}
+
+TEST(GraphSpace, WeightedShortcut) {
+  // Triangle where the direct edge is longer than the detour.
+  GraphSpace g(3);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(1, 2, 1.0f);
+  g.add_edge(0, 2, 5.0f);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.distance(0, 2), 2.0);  // via node 1
+}
+
+TEST(GraphSpace, DisconnectedComponentsAreInfinite) {
+  GraphSpace g(4);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(2, 3, 1.0f);
+  g.finalize();
+  EXPECT_FALSE(g.connected());
+  EXPECT_TRUE(std::isinf(g.distance(0, 2)));
+  EXPECT_DOUBLE_EQ(g.distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.distance(2, 3), 1.0);
+}
+
+TEST(GraphSpace, MetricAxiomsOnRandomConnectedGraph) {
+  const index_t n = 40;
+  GraphSpace g(n);
+  Rng rng(5);
+  // Ring for connectivity plus random chords.
+  for (index_t i = 0; i < n; ++i)
+    g.add_edge(i, (i + 1) % n, rng.uniform_float(0.5f, 2.0f));
+  for (int e = 0; e < 60; ++e) {
+    const index_t u = rng.uniform_index(n), v = rng.uniform_index(n);
+    if (u != v) g.add_edge(u, v, rng.uniform_float(0.5f, 3.0f));
+  }
+  g.finalize();
+  ASSERT_TRUE(g.connected());
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(g.distance(i, i), 0.0);
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(g.distance(i, j), g.distance(j, i));
+      for (index_t k = 0; k < n; k += 7)
+        EXPECT_LE(g.distance(i, j),
+                  g.distance(i, k) + g.distance(k, j) + 1e-9);
+    }
+  }
+}
+
+TEST(GraphSpace, SingleNode) {
+  GraphSpace g(1);
+  g.finalize();
+  EXPECT_TRUE(g.connected());
+  EXPECT_DOUBLE_EQ(g.distance(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rbc

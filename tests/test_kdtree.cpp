@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/kdtree.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+KnnResult kdtree_batch(const KdTree& tree, const Matrix<float>& Q, index_t k) {
+  KnnResult result(Q.rows(), k);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(k);
+    tree.knn(Q.row(qi), k, top);
+    top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+  }
+  return result;
+}
+
+class KdTreeProperty
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {
+};
+
+TEST_P(KdTreeProperty, KnnEqualsBruteForce) {
+  const auto [n, d, k] = GetParam();
+  const Matrix<float> X = testutil::clustered_matrix(n, d, 4, n * 3 + d);
+  const Matrix<float> Q = testutil::random_matrix(30, d, n, -6.0f, 6.0f);
+  KdTree tree;
+  tree.build(X);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, k),
+                                  kdtree_batch(tree, Q, k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdTreeProperty,
+    ::testing::Combine(::testing::Values<index_t>(5, 64, 1'000),
+                       ::testing::Values<index_t>(1, 4, 16),
+                       ::testing::Values<index_t>(1, 7)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(KdTree, AllPointsIdenticalForcesLeaf) {
+  Matrix<float> X(100, 5);
+  for (index_t i = 0; i < X.rows(); ++i)
+    for (index_t j = 0; j < X.cols(); ++j) X.at(i, j) = 3.0f;
+  KdTree tree;
+  tree.build(X);
+  Matrix<float> q(1, 5);
+  TopK top(4);
+  tree.knn(q.row(0), 4, top);
+  std::vector<dist_t> d(4);
+  std::vector<index_t> ids(4);
+  top.extract_sorted(d.data(), ids.data());
+  // Ties break by id: 0, 1, 2, 3.
+  EXPECT_EQ(ids, (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(KdTree, DuplicateHeavyData) {
+  const Matrix<float> base = testutil::random_matrix(60, 4, 1);
+  const Matrix<float> X = testutil::with_duplicates(base, 120);
+  const Matrix<float> Q = testutil::random_matrix(20, 4, 2);
+  KdTree tree;
+  tree.build(X);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 6),
+                                  kdtree_batch(tree, Q, 6)));
+}
+
+TEST(KdTree, LeafSizeOneStillCorrect) {
+  const Matrix<float> X = testutil::clustered_matrix(500, 6, 5, 3);
+  const Matrix<float> Q = testutil::random_matrix(20, 6, 4, -6.0f, 6.0f);
+  KdTree tree;
+  tree.build(X, /*leaf_size=*/1);
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 3),
+                                  kdtree_batch(tree, Q, 3)));
+}
+
+TEST(KdTree, LowDimPruningIsEffective) {
+  // The motivation for the baseline (paper §7.1): kd-trees excel in low d.
+  const index_t n = 8'000;
+  const Matrix<float> X = testutil::random_matrix(n, 3, 5);
+  KdTree tree;
+  tree.build(X);
+  const Matrix<float> Q = testutil::random_matrix(50, 3, 6);
+  counters::Scope scope;
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    TopK top(1);
+    tree.knn(Q.row(qi), 1, top);
+  }
+  EXPECT_LT(scope.delta(), 50ull * n / 10)
+      << "kd-tree should visit <10% of a 3-d database";
+}
+
+TEST(KdTree, EmptyAndSinglePoint) {
+  KdTree empty_tree;
+  Matrix<float> empty(0, 3);
+  empty_tree.build(empty);
+  Matrix<float> q(1, 3);
+  TopK top(1);
+  empty_tree.knn(q.row(0), 1, top);
+  EXPECT_EQ(top.size(), 0u);
+
+  Matrix<float> one(1, 3);
+  one.at(0, 2) = 4.0f;
+  KdTree tree;
+  tree.build(one);
+  const auto [d, id] = tree.nn(q.row(0));
+  EXPECT_EQ(id, 0u);
+  EXPECT_FLOAT_EQ(d, 4.0f);
+}
+
+}  // namespace
+}  // namespace rbc

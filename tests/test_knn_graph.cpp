@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "rbc/knn_graph.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(KnnGraph, RowsMatchBruteForceExcludingSelf) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 8, 5, 1);
+  const KnnResult graph = build_knn_graph(X, 5, {.seed = 2});
+
+  const KnnResult raw = testutil::naive_knn(X, X, 6);
+  for (index_t i = 0; i < X.rows(); ++i) {
+    index_t out = 0;
+    for (index_t j = 0; j < 6 && out < 5; ++j) {
+      if (raw.ids.at(i, j) == i) continue;
+      EXPECT_EQ(graph.ids.at(i, out), raw.ids.at(i, j)) << "row " << i;
+      EXPECT_EQ(graph.dists.at(i, out), raw.dists.at(i, j));
+      ++out;
+    }
+  }
+}
+
+TEST(KnnGraph, NoSelfLoops) {
+  const Matrix<float> X = testutil::random_matrix(300, 6, 3);
+  const KnnResult graph = build_knn_graph(X, 4, {.seed = 4});
+  for (index_t i = 0; i < X.rows(); ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_NE(graph.ids.at(i, j), i);
+}
+
+TEST(KnnGraph, DuplicatePointsLinkToEachOther) {
+  const Matrix<float> base = testutil::random_matrix(50, 5, 5);
+  const Matrix<float> X = testutil::with_duplicates(base, 50);
+  const KnnResult graph = build_knn_graph(X, 1, {.seed = 6});
+  // Each point's nearest other point is its duplicate (distance 0).
+  for (index_t i = 0; i < X.rows(); ++i) {
+    EXPECT_EQ(graph.dists.at(i, 0), 0.0f) << i;
+    EXPECT_EQ(graph.ids.at(i, 0) % 50, i % 50) << i;
+  }
+}
+
+TEST(KnnGraph, PadsWhenKExceedsNMinusOne) {
+  const Matrix<float> X = testutil::random_matrix(4, 3, 7);
+  const KnnResult graph = build_knn_graph(X, 6, {.seed = 8});
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 3; ++j)
+      EXPECT_NE(graph.ids.at(i, j), kInvalidIndex);
+    for (index_t j = 3; j < 6; ++j)
+      EXPECT_EQ(graph.ids.at(i, j), kInvalidIndex);
+  }
+}
+
+TEST(KnnGraph, SymmetrizeProducesSortedUniqueUndirectedEdges) {
+  const Matrix<float> X = testutil::clustered_matrix(200, 7, 4, 9);
+  const KnnResult graph = build_knn_graph(X, 3, {.seed = 10});
+  const std::vector<KnnEdge> edges = symmetrize_knn_graph(graph);
+
+  ASSERT_FALSE(edges.empty());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    EXPECT_LT(edges[e].u, edges[e].v);
+    if (e > 0) EXPECT_TRUE(edges[e - 1] < edges[e]);  // sorted, no dupes
+  }
+  // Every directed graph edge appears exactly once undirected.
+  std::size_t directed = 0;
+  for (index_t i = 0; i < X.rows(); ++i)
+    for (index_t j = 0; j < 3; ++j)
+      if (graph.ids.at(i, j) != kInvalidIndex) ++directed;
+  EXPECT_LE(edges.size(), directed);
+  EXPECT_GE(2 * edges.size(), directed);  // at most half collapse as mutual
+}
+
+TEST(KnnGraph, L1MetricVariant) {
+  const Matrix<float> X = testutil::clustered_matrix(150, 6, 3, 11);
+  const KnnResult graph = build_knn_graph(X, 2, {.seed = 12}, L1{});
+  const KnnResult raw = testutil::naive_knn(X, X, 3, L1{});
+  for (index_t i = 0; i < X.rows(); ++i) {
+    index_t out = 0;
+    for (index_t j = 0; j < 3 && out < 2; ++j) {
+      if (raw.ids.at(i, j) == i) continue;
+      EXPECT_EQ(graph.ids.at(i, out), raw.ids.at(i, j));
+      ++out;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,149 @@
+// Metric-axiom property tests for every shipped metric functor, plus the
+// padding-invariance contract of Matrix rows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "distance/metrics.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+// Type-erased metric wrapper so TEST_P can sweep over the functors.
+struct AnyMetric {
+  std::string name;
+  bool is_true_metric;
+  float (*fn)(const float*, const float*, index_t);
+};
+
+const AnyMetric kMetrics[] = {
+    {"l2", true,
+     [](const float* a, const float* b, index_t d) {
+       return Euclidean{}(a, b, d);
+     }},
+    {"l1", true,
+     [](const float* a, const float* b, index_t d) { return L1{}(a, b, d); }},
+    {"linf", true,
+     [](const float* a, const float* b, index_t d) {
+       return LInf{}(a, b, d);
+     }},
+    {"sq_l2", false,
+     [](const float* a, const float* b, index_t d) {
+       return SqEuclidean{}(a, b, d);
+     }},
+    {"cosine", false,
+     [](const float* a, const float* b, index_t d) {
+       return Cosine{}(a, b, d);
+     }},
+};
+
+class MetricAxiomTest
+    : public ::testing::TestWithParam<std::tuple<int, index_t>> {
+ protected:
+  const AnyMetric& metric() const { return kMetrics[std::get<0>(GetParam())]; }
+  index_t dim() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(MetricAxiomTest, IdentityOfIndiscernibles) {
+  Matrix<float> pts = testutil::random_matrix(32, dim(), 7);
+  for (index_t i = 0; i < pts.rows(); ++i)
+    EXPECT_NEAR(metric().fn(pts.row(i), pts.row(i), dim()), 0.0f, 1e-6f);
+}
+
+TEST_P(MetricAxiomTest, NonNegativity) {
+  Matrix<float> pts = testutil::random_matrix(32, dim(), 11);
+  for (index_t i = 0; i + 1 < pts.rows(); ++i)
+    EXPECT_GE(metric().fn(pts.row(i), pts.row(i + 1), dim()), 0.0f);
+}
+
+TEST_P(MetricAxiomTest, Symmetry) {
+  Matrix<float> pts = testutil::random_matrix(32, dim(), 13);
+  for (index_t i = 0; i + 1 < pts.rows(); i += 2) {
+    const float ab = metric().fn(pts.row(i), pts.row(i + 1), dim());
+    const float ba = metric().fn(pts.row(i + 1), pts.row(i), dim());
+    EXPECT_NEAR(ab, ba, 1e-5f * std::max(1.0f, ab));
+  }
+}
+
+TEST_P(MetricAxiomTest, TriangleInequalityForTrueMetrics) {
+  if (!metric().is_true_metric) GTEST_SKIP() << "not a true metric";
+  Matrix<float> pts = testutil::random_matrix(60, dim(), 17);
+  for (index_t i = 0; i + 2 < pts.rows(); i += 3) {
+    const float ab = metric().fn(pts.row(i), pts.row(i + 1), dim());
+    const float bc = metric().fn(pts.row(i + 1), pts.row(i + 2), dim());
+    const float ac = metric().fn(pts.row(i), pts.row(i + 2), dim());
+    EXPECT_LE(ac, ab + bc + 1e-4f * (ab + bc + 1.0f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricAxiomTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values<index_t>(3, 21, 74)),
+    [](const auto& info) {
+      return kMetrics[std::get<0>(info.param)].name + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Metrics, SquaredL2ViolatesTriangleInequality) {
+  // Witness that SqEuclidean is correctly marked as not a true metric:
+  // points 0, 1, 2 on a line; sq dists are 1, 1, 4 and 4 > 1 + 1.
+  const float a[1] = {0.0f}, b[1] = {1.0f}, c[1] = {2.0f};
+  const SqEuclidean m{};
+  EXPECT_GT(m(a, c, 1), m(a, b, 1) + m(b, c, 1));
+  static_assert(!SqEuclidean::is_true_metric);
+}
+
+TEST(Metrics, EuclideanVsSqEuclideanConsistency) {
+  Matrix<float> pts = testutil::random_matrix(16, 30, 23);
+  for (index_t i = 0; i + 1 < pts.rows(); ++i) {
+    const float l2 = Euclidean{}(pts.row(i), pts.row(i + 1), 30);
+    const float sq = SqEuclidean{}(pts.row(i), pts.row(i + 1), 30);
+    EXPECT_NEAR(l2 * l2, sq, 1e-3f * std::max(1.0f, sq));
+  }
+}
+
+TEST(Metrics, CosineRangeAndScaleInvariance) {
+  Matrix<float> pts = testutil::random_matrix(16, 25, 29);
+  const Cosine m{};
+  for (index_t i = 0; i + 1 < pts.rows(); ++i) {
+    const float d = m(pts.row(i), pts.row(i + 1), 25);
+    EXPECT_GE(d, -1e-5f);
+    EXPECT_LE(d, 2.0f + 1e-5f);
+  }
+  // Scaling one argument must not change cosine distance.
+  std::vector<float> scaled(25);
+  for (index_t j = 0; j < 25; ++j) scaled[j] = 3.5f * pts.at(0, j);
+  EXPECT_NEAR(m(pts.row(0), pts.row(1), 25), m(scaled.data(), pts.row(1), 25),
+              1e-5f);
+}
+
+TEST(Metrics, CosineZeroVectorIsMaximallyDistant) {
+  const float zero[4] = {0, 0, 0, 0};
+  const float v[4] = {1, 2, 3, 4};
+  EXPECT_EQ(Cosine{}(zero, v, 4), 1.0f);
+}
+
+TEST(Metrics, PaddedRowsGiveSameDistanceAsLogicalRows) {
+  // The Matrix zero-padding contract: computing over stride() elements is
+  // mathematically equal to computing over cols() elements (padding lanes
+  // contribute |0-0| = 0). Summation *order* differs between the two widths,
+  // so equality holds to rounding, not bitwise.
+  Matrix<float> m = testutil::random_matrix(4, 21, 31);
+  for (index_t i = 0; i + 1 < m.rows(); ++i) {
+    const float l2_cols = Euclidean{}(m.row(i), m.row(i + 1), m.cols());
+    const float l2_pad = Euclidean{}(m.row(i), m.row(i + 1), m.stride());
+    EXPECT_NEAR(l2_cols, l2_pad, 1e-5f * l2_cols);
+    const float l1_cols = L1{}(m.row(i), m.row(i + 1), m.cols());
+    const float l1_pad = L1{}(m.row(i), m.row(i + 1), m.stride());
+    EXPECT_NEAR(l1_cols, l1_pad, 1e-5f * l1_cols);
+  }
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/counters.hpp"
+#include "distance/pairwise.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(Pairwise, AllPairsMatchDirectEvaluation) {
+  const Matrix<float> A = testutil::random_matrix(37, 21, 1);
+  const Matrix<float> B = testutil::random_matrix(53, 21, 2);
+  const Matrix<float> D = pairwise_all(A, B, Euclidean{});
+  ASSERT_EQ(D.rows(), A.rows());
+  ASSERT_EQ(D.cols(), B.rows());
+  const Euclidean m{};
+  for (index_t i = 0; i < A.rows(); ++i)
+    for (index_t j = 0; j < B.rows(); ++j)
+      EXPECT_EQ(D.at(i, j), m(A.row(i), B.row(j), 21)) << i << "," << j;
+}
+
+TEST(Pairwise, TileBoundariesSeamless) {
+  // Sizes straddle the tile constants (kTileQ=16, kTileX=256).
+  const Matrix<float> A = testutil::random_matrix(kTileQ * 2 + 3, 8, 3);
+  const Matrix<float> B = testutil::random_matrix(kTileX + 17, 8, 4);
+  const Matrix<float> D = pairwise_all(A, B, L1{});
+  const L1 m{};
+  for (index_t i = 0; i < A.rows(); ++i)
+    for (index_t j = 0; j < B.rows(); ++j)
+      EXPECT_EQ(D.at(i, j), m(A.row(i), B.row(j), 8));
+}
+
+TEST(Pairwise, CountsDistanceEvaluations) {
+  const Matrix<float> A = testutil::random_matrix(10, 5, 5);
+  const Matrix<float> B = testutil::random_matrix(20, 5, 6);
+  counters::Scope scope;
+  pairwise_all(A, B, Euclidean{});
+  EXPECT_EQ(scope.delta(), 200u);
+}
+
+TEST(Pairwise, SingleTileDirectCall) {
+  const Matrix<float> A = testutil::random_matrix(4, 13, 7);
+  const Matrix<float> B = testutil::random_matrix(6, 13, 8);
+  Matrix<float> out(2, 3);
+  pairwise_tile(A, 1, 3, B, 2, 5, Euclidean{}, out.row(0), out.stride());
+  const Euclidean m{};
+  for (index_t i = 0; i < 2; ++i)
+    for (index_t j = 0; j < 3; ++j)
+      EXPECT_EQ(out.at(i, j), m(A.row(1 + i), B.row(2 + j), 13));
+}
+
+TEST(Pairwise, SelfDistancesZeroDiagonal) {
+  const Matrix<float> A = testutil::random_matrix(25, 10, 9);
+  const Matrix<float> D = pairwise_l2(A, A);
+  for (index_t i = 0; i < A.rows(); ++i) EXPECT_EQ(D.at(i, i), 0.0f);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "distance/kernels.hpp"
+#include "distance/pairwise.hpp"
+#include "distance/pairwise_gemm.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(PairwiseGemm, MatchesDirectComputationWithinRounding) {
+  const Matrix<float> Q = testutil::random_matrix(40, 21, 1);
+  const Matrix<float> X = testutil::random_matrix(70, 21, 2);
+  const Matrix<float> direct = pairwise_all(Q, X, SqEuclidean{});
+  const Matrix<float> gemm = pairwise_sq_l2_gemm(Q, X);
+  ASSERT_EQ(gemm.rows(), 40u);
+  ASSERT_EQ(gemm.cols(), 70u);
+  for (index_t i = 0; i < Q.rows(); ++i)
+    for (index_t j = 0; j < X.rows(); ++j) {
+      // The expansion subtracts large similar numbers; relative tolerance
+      // scales with the norms involved.
+      const float scale = std::max(1.0f, direct.at(i, j));
+      EXPECT_NEAR(gemm.at(i, j), direct.at(i, j), 1e-3f * scale + 1e-3f)
+          << i << "," << j;
+    }
+}
+
+TEST(PairwiseGemm, NonNegativeEvenForIdenticalRows) {
+  // The expansion can go negative by rounding exactly where distances are
+  // 0; the implementation clamps.
+  const Matrix<float> base = testutil::random_matrix(30, 16, 3, 5.0f, 10.0f);
+  const Matrix<float> X = testutil::with_duplicates(base, 30);
+  const Matrix<float> D = pairwise_sq_l2_gemm(X, X);
+  for (index_t i = 0; i < X.rows(); ++i)
+    for (index_t j = 0; j < X.rows(); ++j)
+      EXPECT_GE(D.at(i, j), 0.0f);
+  for (index_t i = 0; i < 30; ++i)
+    EXPECT_LT(D.at(i, i + 30), 1e-3f);  // duplicates ~ distance 0
+}
+
+TEST(PairwiseGemm, RowNormsMatchDotKernel) {
+  const Matrix<float> A = testutil::random_matrix(25, 54, 4);
+  const std::vector<float> norms = row_sq_norms(A);
+  ASSERT_EQ(norms.size(), 25u);
+  for (index_t i = 0; i < A.rows(); ++i)
+    EXPECT_EQ(norms[i], kernels::dot(A.row(i), A.row(i), 54));
+}
+
+TEST(PairwiseGemm, NearestNeighborOrderingAgreesWithDirect) {
+  // The use case: argmin over a row must pick the same neighbor as the
+  // direct computation (up to rounding-induced ties, resolved identically
+  // by index order).
+  const Matrix<float> Q = testutil::random_matrix(20, 32, 5);
+  const Matrix<float> X = testutil::clustered_matrix(500, 32, 6, 6);
+  const Matrix<float> direct = pairwise_all(Q, X, SqEuclidean{});
+  const Matrix<float> gemm = pairwise_sq_l2_gemm(Q, X);
+  for (index_t i = 0; i < Q.rows(); ++i) {
+    index_t best_direct = 0, best_gemm = 0;
+    for (index_t j = 1; j < X.rows(); ++j) {
+      if (direct.at(i, j) < direct.at(i, best_direct)) best_direct = j;
+      if (gemm.at(i, j) < gemm.at(i, best_gemm)) best_gemm = j;
+    }
+    // Allow disagreement only when the two candidates are equidistant to
+    // within the expansion's rounding.
+    const float d1 = direct.at(i, best_direct);
+    const float d2 = direct.at(i, best_gemm);
+    EXPECT_NEAR(d1, d2, 1e-3f * std::max(1.0f, d1));
+  }
+}
+
+TEST(PairwiseGemm, CountsWork) {
+  const Matrix<float> Q = testutil::random_matrix(8, 10, 7);
+  const Matrix<float> X = testutil::random_matrix(12, 10, 8);
+  counters::Scope scope;
+  pairwise_sq_l2_gemm(Q, X);
+  EXPECT_EQ(scope.delta(), 96u);
+}
+
+}  // namespace
+}  // namespace rbc

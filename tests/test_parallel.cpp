@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/runtime.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const index_t n = 10'000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(0, n, [&](index_t i) { visits[i].fetch_add(1); });
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  parallel_for(5, 5, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForDynamic, VisitsEveryIndexExactlyOnce) {
+  const index_t n = 5'000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for_dynamic(0, n, [&](index_t i) { visits[i].fetch_add(1); }, 3);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForBlocked, BlocksTileTheRange) {
+  const index_t n = 1'237;  // deliberately not a multiple of the grain
+  std::vector<std::atomic<int>> visits(n);
+  std::atomic<int> blocks{0};
+  parallel_for_blocked(0, n, 100, [&](index_t lo, index_t hi) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(hi - lo, 100u);
+    blocks.fetch_add(1);
+    for (index_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+  });
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+  EXPECT_EQ(blocks.load(), 13);  // ceil(1237 / 100)
+}
+
+TEST(ParallelForBlocked, GrainBelowOneIsClamped) {
+  std::atomic<int> total{0};
+  parallel_for_blocked(0, 10, 0, [&](index_t lo, index_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  const index_t n = 100'000;
+  const auto sum = parallel_reduce<std::uint64_t>(
+      0, n, 0,
+      [](std::uint64_t acc, index_t i) { return acc + i; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n - 1) * n / 2);
+}
+
+TEST(ParallelArgmin, FindsGlobalMinimum) {
+  const index_t n = 50'000;
+  std::vector<float> values(n);
+  for (index_t i = 0; i < n; ++i)
+    values[i] = static_cast<float>((i * 2654435761u) % 100'000);
+  values[31'337] = -5.0f;
+  const auto result = parallel_argmin<float>(
+      0, n, std::numeric_limits<float>::infinity(),
+      [&](index_t i) { return values[i]; });
+  EXPECT_EQ(result.index, 31'337u);
+  EXPECT_EQ(result.value, -5.0f);
+}
+
+TEST(ParallelArgmin, TiesResolveToSmallestIndex) {
+  std::vector<float> values(1000, 1.0f);
+  values[100] = 0.5f;
+  values[900] = 0.5f;
+  const auto result = parallel_argmin<float>(
+      0, 1000, std::numeric_limits<float>::infinity(),
+      [&](index_t i) { return values[i]; });
+  EXPECT_EQ(result.index, 100u);
+}
+
+TEST(Runtime, ThreadLimitRestores) {
+  const int before = max_threads();
+  {
+    ThreadLimit limit(1);
+    EXPECT_EQ(max_threads(), 1);
+  }
+  EXPECT_EQ(max_threads(), before);
+}
+
+TEST(Runtime, SingleThreadExecutionStillCoversRange) {
+  ThreadLimit limit(1);
+  const index_t n = 1'000;
+  std::vector<int> visits(n, 0);
+  parallel_for(0, n, [&](index_t i) { ++visits[i]; });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+            static_cast<int>(n));
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/random_projection.hpp"
+#include "distance/metrics.hpp"
+#include "test_util.hpp"
+
+namespace rbc::data {
+namespace {
+
+TEST(RandomProjection, OutputShape) {
+  const Matrix<float> X = testutil::random_matrix(100, 64, 1);
+  const Matrix<float> P = random_projection(X, 16, 2);
+  EXPECT_EQ(P.rows(), 100u);
+  EXPECT_EQ(P.cols(), 16u);
+}
+
+TEST(RandomProjection, DeterministicInSeed) {
+  const Matrix<float> X = testutil::random_matrix(50, 32, 3);
+  const Matrix<float> a = random_projection(X, 8, 7);
+  const Matrix<float> b = random_projection(X, 8, 7);
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      EXPECT_EQ(a.at(i, j), b.at(i, j));
+}
+
+TEST(RandomProjection, PreservesSquaredNormsInExpectation) {
+  // E||Px||^2 = ||x||^2; averaging over many vectors the ratio should be
+  // near 1 for a moderate target dimension.
+  const Matrix<float> X = testutil::random_matrix(400, 128, 5);
+  const Matrix<float> P = random_projection(X, 32, 6);
+  double ratio_sum = 0.0;
+  const SqEuclidean sq{};
+  Matrix<float> zero_in(1, 128);
+  Matrix<float> zero_out(1, 32);
+  for (index_t i = 0; i < X.rows(); ++i) {
+    const float in = sq(X.row(i), zero_in.row(0), 128);
+    const float out = sq(P.row(i), zero_out.row(0), 32);
+    ratio_sum += out / in;
+  }
+  EXPECT_NEAR(ratio_sum / X.rows(), 1.0, 0.1);
+}
+
+TEST(RandomProjection, ApproximatelyPreservesPairwiseDistances) {
+  // JL: with d_out = 32, most pairwise distances survive within ~40%.
+  const Matrix<float> X = testutil::random_matrix(60, 128, 7);
+  const Matrix<float> P = random_projection(X, 32, 8);
+  const Euclidean m{};
+  int within = 0, total = 0;
+  for (index_t i = 0; i < X.rows(); ++i)
+    for (index_t j = i + 1; j < X.rows(); ++j) {
+      const float din = m(X.row(i), X.row(j), 128);
+      const float dout = m(P.row(i), P.row(j), 32);
+      if (din > 0 && dout / din > 0.6f && dout / din < 1.4f) ++within;
+      ++total;
+    }
+  EXPECT_GT(static_cast<double>(within) / total, 0.9);
+}
+
+TEST(RandomProjection, PreservesNeighborhoodStructure) {
+  // The reason the paper uses it as an NN preprocessor: the projected-space
+  // NN should have a small rank in the original space. Queries are held-out
+  // rows of the same clustered distribution.
+  const Matrix<float> pool = testutil::clustered_matrix(330, 64, 6, 9);
+  const auto [X, Q] = testutil::split_rows(pool, 300);
+  const Matrix<float> pool_p = random_projection(pool, 16, 11);
+  const auto [XP, QP] = testutil::split_rows(pool_p, 300);
+
+  const Euclidean m{};
+  std::vector<index_t> original_ranks;
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    // NN in projected space.
+    dist_t best = kInfDist;
+    index_t best_id = 0;
+    for (index_t j = 0; j < XP.rows(); ++j) {
+      const dist_t d = m(QP.row(qi), XP.row(j), 16);
+      if (d < best) {
+        best = d;
+        best_id = j;
+      }
+    }
+    // Its rank in the original 64-d space.
+    const dist_t d_orig = m(Q.row(qi), X.row(best_id), 64);
+    index_t rank = 0;
+    for (index_t j = 0; j < X.rows(); ++j)
+      if (m(Q.row(qi), X.row(j), 64) < d_orig) ++rank;
+    original_ranks.push_back(rank);
+  }
+  std::sort(original_ranks.begin(), original_ranks.end());
+  // JL preserves distances to ~1/sqrt(d_out) relative error, not exact NN
+  // ranks among near-equidistant in-cluster points; "useful preprocessor"
+  // means the projected NN keeps a small original rank (here: within the
+  // top ~7% of a 300-point database at the median).
+  EXPECT_LE(original_ranks[original_ranks.size() / 2], 20u);
+}
+
+TEST(RandomProjectionSparse, SameContractAsDense) {
+  const Matrix<float> X = testutil::random_matrix(200, 96, 12);
+  const Matrix<float> P = random_projection_sparse(X, 24, 13);
+  EXPECT_EQ(P.rows(), 200u);
+  EXPECT_EQ(P.cols(), 24u);
+  const SqEuclidean sq{};
+  Matrix<float> zero_in(1, 96), zero_out(1, 24);
+  double ratio_sum = 0.0;
+  for (index_t i = 0; i < X.rows(); ++i)
+    ratio_sum += sq(P.row(i), zero_out.row(0), 24) /
+                 sq(X.row(i), zero_in.row(0), 96);
+  EXPECT_NEAR(ratio_sum / X.rows(), 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace rbc::data

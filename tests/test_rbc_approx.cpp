@@ -1,0 +1,120 @@
+// (1+eps)-approximate exact search (paper §5 footnote 1): the returned j-th
+// distance must be within (1+eps) of the true j-th distance, eps = 0 must be
+// the exact algorithm, and larger eps must not increase work.
+#include <gtest/gtest.h>
+
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+class ApproxEpsTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(ApproxEpsTest, ReturnedDistancesWithinFactor) {
+  const float eps = GetParam();
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'030, 10, 7, 1), 2'000);
+
+  RbcParams params;
+  params.seed = 2;
+  params.approx_eps = eps;
+  RbcExactIndex<> index;
+  index.build(X, params);
+
+  const index_t k = 5;
+  const KnnResult truth = testutil::naive_knn(Q, X, k);
+  const KnnResult approx = index.search(Q, k);
+
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    for (index_t j = 0; j < k; ++j) {
+      const dist_t true_d = truth.dists.at(qi, j);
+      const dist_t got_d = approx.dists.at(qi, j);
+      // Small float slack on top of the guarantee factor.
+      EXPECT_LE(got_d, (1.0f + eps) * true_d * (1.0f + 1e-5f) + 1e-6f)
+          << "q" << qi << " slot " << j << " eps " << eps;
+      EXPECT_GE(got_d, true_d * (1.0f - 1e-5f))  // can never beat the truth
+          << "q" << qi << " slot " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, ApproxEpsTest,
+                         ::testing::Values(0.0f, 0.05f, 0.2f, 0.5f, 1.0f,
+                                           4.0f),
+                         [](const auto& info) {
+                           std::string s = std::to_string(info.param);
+                           for (auto& c : s)
+                             if (c == '.') c = '_';
+                           return "eps" + s;
+                         });
+
+TEST(RbcApprox, EpsZeroIsExactlyTheExactAlgorithm) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(1'030, 9, 5, 3), 1'000);
+  RbcParams exact_params;
+  exact_params.seed = 4;
+  RbcParams zero_eps = exact_params;
+  zero_eps.approx_eps = 0.0f;
+
+  RbcExactIndex<> a, b;
+  a.build(X, exact_params);
+  b.build(X, zero_eps);
+  EXPECT_TRUE(testutil::knn_equal(a.search(Q, 3), b.search(Q, 3)));
+}
+
+TEST(RbcApprox, WorkDecreasesMonotonicallyWithEps) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(4'050, 12, 8, 5), 4'000);
+
+  std::uint64_t previous = ~0ull;
+  for (const float eps : {0.0f, 0.2f, 1.0f, 4.0f}) {
+    RbcParams params;
+    params.seed = 6;
+    params.approx_eps = eps;
+    RbcExactIndex<> index;
+    index.build(X, params);
+    SearchStats stats;
+    (void)index.search(Q, 1, &stats);
+    EXPECT_LE(stats.dist_evals(), previous) << "eps " << eps;
+    previous = stats.dist_evals();
+  }
+}
+
+TEST(RbcApprox, LargeEpsStillReturnsPlausibleNeighbors) {
+  // Even with a huge eps the search must return *some* k neighbors whose
+  // distances are bounded by the guarantee (and padding only when k > n).
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(530, 8, 4, 7), 500);
+  RbcParams params;
+  params.seed = 8;
+  params.approx_eps = 100.0f;
+  RbcExactIndex<> index;
+  index.build(X, params);
+  const KnnResult r = index.search(Q, 3);
+  const KnnResult truth = testutil::naive_knn(Q, X, 3);
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_NE(r.ids.at(qi, j), kInvalidIndex);
+      EXPECT_LE(r.dists.at(qi, j), 101.0f * truth.dists.at(qi, j) + 1e-5f);
+    }
+}
+
+TEST(RbcApprox, ApproxComposesWithAnnulusBound) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'030, 10, 6, 9), 2'000);
+  RbcParams params;
+  params.seed = 10;
+  params.approx_eps = 0.3f;
+  params.use_annulus_bound = true;
+  RbcExactIndex<> index;
+  index.build(X, params);
+  const KnnResult truth = testutil::naive_knn(Q, X, 2);
+  const KnnResult got = index.search(Q, 2);
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    for (index_t j = 0; j < 2; ++j)
+      EXPECT_LE(got.dists.at(qi, j),
+                1.3f * truth.dists.at(qi, j) * (1.0f + 1e-5f) + 1e-6f);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,257 @@
+// Dynamic updates on the exact index: insert/erase/rebuild must keep every
+// query exactly equal to brute force over the live point set.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+/// Reference model: the live set as (id -> point) pairs.
+class LiveSet {
+ public:
+  explicit LiveSet(const Matrix<float>& X) {
+    for (index_t i = 0; i < X.rows(); ++i) {
+      std::vector<float> row(X.row(i), X.row(i) + X.cols());
+      points_.emplace(i, std::move(row));
+    }
+    dim_ = X.cols();
+  }
+
+  void insert(index_t id, const float* p) {
+    points_.emplace(id, std::vector<float>(p, p + dim_));
+  }
+  void erase(index_t id) { points_.erase(id); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Naive k-NN over the live set under the (distance, id) order.
+  std::vector<std::pair<dist_t, index_t>> knn(const float* q,
+                                              index_t k) const {
+    const Euclidean m{};
+    std::vector<std::pair<dist_t, index_t>> all;
+    for (const auto& [id, row] : points_)
+      all.emplace_back(m(q, row.data(), dim_), id);
+    std::sort(all.begin(), all.end());
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+ private:
+  std::map<index_t, std::vector<float>> points_;
+  index_t dim_ = 0;
+};
+
+void expect_matches(const RbcExactIndex<>& index, const LiveSet& live,
+                    const Matrix<float>& Q, index_t k, const char* what) {
+  RbcExactIndex<>::Scratch scratch;
+  TopK top(k);
+  std::vector<dist_t> d(k);
+  std::vector<index_t> ids(k);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    top.reset();
+    index.search_one(Q.row(qi), k, top, scratch);
+    top.extract_sorted(d.data(), ids.data());
+    const auto expected = live.knn(Q.row(qi), k);
+    for (index_t j = 0; j < k; ++j) {
+      if (j < expected.size()) {
+        ASSERT_EQ(ids[j], expected[j].second)
+            << what << ": query " << qi << " slot " << j;
+        ASSERT_EQ(d[j], expected[j].first) << what << ": query " << qi;
+      } else {
+        ASSERT_EQ(ids[j], kInvalidIndex) << what;
+      }
+    }
+  }
+}
+
+TEST(RbcDynamic, InsertedPointsAreFound) {
+  const Matrix<float> X = testutil::clustered_matrix(500, 8, 5, 1);
+  const Matrix<float> extra = testutil::clustered_matrix(100, 8, 5, 2);
+  const Matrix<float> Q = testutil::random_matrix(25, 8, 3, -6.0f, 6.0f);
+
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 20, .seed = 4});
+  LiveSet live(X);
+
+  for (index_t i = 0; i < extra.rows(); ++i) {
+    const index_t id = index.insert(extra.row(i));
+    EXPECT_EQ(id, 500u + i);  // ids continue past the build set
+    live.insert(id, extra.row(i));
+  }
+  EXPECT_EQ(index.num_active(), 600u);
+  EXPECT_EQ(index.overflow_size(), 100u);
+  expect_matches(index, live, Q, 3, "after inserts");
+}
+
+TEST(RbcDynamic, ErasedPointsDisappear) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 7, 4, 5);
+  const Matrix<float> Q = testutil::random_matrix(20, 7, 6, -6.0f, 6.0f);
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 16, .seed = 7});
+  LiveSet live(X);
+
+  Rng rng(8);
+  for (int e = 0; e < 150; ++e) {
+    const index_t id = rng.uniform_index(400);
+    const bool was_live = index.erase(id);
+    if (was_live) live.erase(id);
+  }
+  EXPECT_EQ(index.num_active(), static_cast<index_t>(live.size()));
+  expect_matches(index, live, Q, 4, "after erasures");
+}
+
+TEST(RbcDynamic, EraseSemantics) {
+  const Matrix<float> X = testutil::random_matrix(50, 4, 9);
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 7, .seed = 10});
+  EXPECT_TRUE(index.erase(10));
+  EXPECT_FALSE(index.erase(10));   // double erase
+  EXPECT_FALSE(index.erase(999));  // unknown id
+  EXPECT_EQ(index.num_active(), 49u);
+}
+
+TEST(RbcDynamic, ErasingARepresentativeKeepsSearchExact) {
+  const Matrix<float> X = testutil::clustered_matrix(600, 9, 5, 11);
+  const Matrix<float> Q = testutil::random_matrix(30, 9, 12, -6.0f, 6.0f);
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 24, .seed = 13});
+  LiveSet live(X);
+
+  // Erase every representative's point: they remain routing points only.
+  for (const index_t rep : index.rep_ids()) {
+    EXPECT_TRUE(index.erase(rep));
+    live.erase(rep);
+  }
+  expect_matches(index, live, Q, 3, "after erasing all reps");
+}
+
+TEST(RbcDynamic, InterleavedFuzz) {
+  const Matrix<float> X = testutil::clustered_matrix(300, 6, 4, 14);
+  const Matrix<float> Q = testutil::random_matrix(10, 6, 15, -6.0f, 6.0f);
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 14, .seed = 16});
+  LiveSet live(X);
+
+  Rng rng(17);
+  std::vector<index_t> ids_ever;
+  for (index_t i = 0; i < 300; ++i) ids_ever.push_back(i);
+
+  for (int round = 0; round < 12; ++round) {
+    // A burst of random inserts and erases...
+    for (int op = 0; op < 40; ++op) {
+      if (rng.bernoulli(0.5)) {
+        std::vector<float> p(6);
+        for (auto& v : p) v = rng.uniform_float(-6.0f, 6.0f);
+        const index_t id = index.insert(p.data());
+        live.insert(id, p.data());
+        ids_ever.push_back(id);
+      } else {
+        const index_t id =
+            ids_ever[rng.uniform_index(static_cast<index_t>(ids_ever.size()))];
+        if (index.erase(id)) live.erase(id);
+      }
+    }
+    // ... then full verification.
+    expect_matches(index, live, Q, 3, "interleaved round");
+  }
+}
+
+TEST(RbcDynamic, RangeSearchSeesUpdates) {
+  const Matrix<float> X = testutil::clustered_matrix(300, 6, 3, 18);
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 12, .seed = 19});
+
+  // Insert a point right on top of a query location.
+  Matrix<float> q(1, 6);
+  for (index_t j = 0; j < 6; ++j) q.at(0, j) = 50.0f;  // far from the data
+  EXPECT_TRUE(index.range_search(q.row(0), 1.0f).empty());
+  const index_t id = index.insert(q.row(0));
+  EXPECT_EQ(index.range_search(q.row(0), 1.0f), std::vector<index_t>{id});
+  index.erase(id);
+  EXPECT_TRUE(index.range_search(q.row(0), 1.0f).empty());
+}
+
+TEST(RbcDynamic, RebuildCompactsAndRemaps) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 8, 5, 20);
+  const Matrix<float> extra = testutil::clustered_matrix(80, 8, 5, 21);
+  const Matrix<float> Q = testutil::random_matrix(20, 8, 22, -6.0f, 6.0f);
+
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 16, .seed = 23});
+  LiveSet live(X);
+  for (index_t i = 0; i < extra.rows(); ++i)
+    live.insert(index.insert(extra.row(i)), extra.row(i));
+  Rng rng(24);
+  for (int e = 0; e < 100; ++e) {
+    const index_t id = rng.uniform_index(480);
+    if (index.erase(id)) live.erase(id);
+  }
+
+  const index_t live_before = index.num_active();
+  const std::vector<index_t> remap = index.rebuild();
+  EXPECT_EQ(index.num_active(), live_before);
+  EXPECT_EQ(index.overflow_size(), 0u);
+  EXPECT_EQ(index.size(), live_before);
+
+  // Verify: search results under new ids must equal reference results
+  // mapped through the remap table.
+  RbcExactIndex<>::Scratch scratch;
+  TopK top(2);
+  std::vector<dist_t> d(2);
+  std::vector<index_t> ids(2);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    top.reset();
+    index.search_one(Q.row(qi), 2, top, scratch);
+    top.extract_sorted(d.data(), ids.data());
+    const auto expected = live.knn(Q.row(qi), 2);
+    for (index_t j = 0; j < 2; ++j) {
+      ASSERT_EQ(ids[j], remap[expected[j].second]) << "q" << qi;
+      ASSERT_EQ(d[j], expected[j].first);
+    }
+  }
+}
+
+TEST(RbcDynamic, SerializationCarriesDynamicState) {
+  const Matrix<float> X = testutil::clustered_matrix(300, 7, 4, 25);
+  const Matrix<float> extra = testutil::clustered_matrix(50, 7, 4, 26);
+  const Matrix<float> Q = testutil::random_matrix(15, 7, 27, -6.0f, 6.0f);
+
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 13, .seed = 28});
+  for (index_t i = 0; i < extra.rows(); ++i) index.insert(extra.row(i));
+  index.erase(5);
+  index.erase(310);
+
+  std::stringstream stream;
+  index.save(stream);
+  const RbcExactIndex<> restored = RbcExactIndex<>::load(stream);
+  EXPECT_EQ(restored.num_active(), index.num_active());
+  EXPECT_EQ(restored.overflow_size(), index.overflow_size());
+  EXPECT_TRUE(testutil::knn_equal(index.search(Q, 4), restored.search(Q, 4)));
+}
+
+TEST(RbcDynamic, PsiGrowsToCoverInserts) {
+  const Matrix<float> X = testutil::random_matrix(200, 5, 29, 0.0f, 1.0f);
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 10, .seed = 30});
+  dist_t max_psi_before = 0;
+  for (index_t r = 0; r < index.num_reps(); ++r)
+    max_psi_before = std::max(max_psi_before, index.psi(r));
+
+  // A far-away insert must stretch its owner's radius.
+  Matrix<float> far(1, 5);
+  for (index_t j = 0; j < 5; ++j) far.at(0, j) = 100.0f;
+  index.insert(far.row(0));
+  dist_t max_psi_after = 0;
+  for (index_t r = 0; r < index.num_reps(); ++r)
+    max_psi_after = std::max(max_psi_after, index.psi(r));
+  EXPECT_GT(max_psi_after, max_psi_before + 50.0f);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,119 @@
+// Randomized differential testing: many rounds of (random shape, random
+// parameters, random metric) — the exact index must match the naive
+// reference every single time. Complements the hand-picked property sweeps
+// with configurations nobody thought to write down.
+#include <gtest/gtest.h>
+
+#include "distance/metrics.hpp"
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(RbcFuzz, ExactMatchesNaiveOverRandomConfigurations) {
+  Rng rng(0xF022);
+  for (int round = 0; round < 60; ++round) {
+    const index_t n = 20 + rng.uniform_index(800);
+    const index_t d = 1 + rng.uniform_index(40);
+    const index_t k = 1 + rng.uniform_index(12);
+    const index_t nq = 1 + rng.uniform_index(20);
+
+    Matrix<float> X =
+        rng.bernoulli(0.5)
+            ? testutil::clustered_matrix(n, d, 1 + rng.uniform_index(8),
+                                         rng())
+            : testutil::random_matrix(n, d, rng());
+    if (rng.bernoulli(0.3))
+      X = testutil::with_duplicates(X, 1 + rng.uniform_index(n / 2 + 1));
+    const Matrix<float> Q = testutil::random_matrix(nq, d, rng(), -7.0f, 7.0f);
+
+    RbcParams params;
+    params.num_reps = 1 + rng.uniform_index(X.rows());
+    params.seed = rng();
+    params.sampling =
+        rng.bernoulli(0.5) ? Sampling::kExactCount : Sampling::kBernoulli;
+    params.use_overlap_rule = rng.bernoulli(0.8);
+    params.use_lemma_rule = rng.bernoulli(0.8);
+    params.use_early_exit = rng.bernoulli(0.8);
+    params.use_annulus_bound = rng.bernoulli(0.3);
+
+    RbcExactIndex<> index;
+    index.build(X, params);
+    const KnnResult expected = testutil::naive_knn(Q, X, k);
+    const KnnResult actual = index.search(Q, k);
+    ASSERT_TRUE(testutil::knn_equal(expected, actual))
+        << "round " << round << ": n=" << X.rows() << " d=" << d
+        << " k=" << k << " nr=" << params.num_reps << " overlap="
+        << params.use_overlap_rule << " lemma=" << params.use_lemma_rule
+        << " early=" << params.use_early_exit
+        << " annulus=" << params.use_annulus_bound;
+  }
+}
+
+TEST(RbcFuzz, RangeSearchMatchesNaiveOverRandomConfigurations) {
+  Rng rng(0xF023);
+  for (int round = 0; round < 40; ++round) {
+    const index_t n = 20 + rng.uniform_index(500);
+    const index_t d = 1 + rng.uniform_index(20);
+    const Matrix<float> X = testutil::clustered_matrix(
+        n, d, 1 + rng.uniform_index(6), rng());
+    const Matrix<float> Q =
+        testutil::random_matrix(4, d, rng(), -7.0f, 7.0f);
+    const float radius = rng.uniform_float(0.0f, 6.0f);
+
+    RbcExactIndex<> index;
+    index.build(X, {.num_reps = 1 + rng.uniform_index(n), .seed = rng()});
+    for (index_t qi = 0; qi < Q.rows(); ++qi)
+      ASSERT_EQ(testutil::naive_range(Q.row(qi), X, radius),
+                index.range_search(Q.row(qi), radius))
+          << "round " << round << " radius " << radius;
+  }
+}
+
+TEST(RbcFuzz, LpMetricExactSearch) {
+  // Runtime-p Minkowski metrics through the whole stack.
+  Rng rng(0xF024);
+  for (const float p : {1.0f, 1.5f, 2.0f, 3.0f, 7.0f}) {
+    const Lp metric{p};
+    const Matrix<float> X = testutil::clustered_matrix(300, 8, 4, 17);
+    const Matrix<float> Q = testutil::random_matrix(15, 8, 18, -6.0f, 6.0f);
+    RbcExactIndex<Lp> index;
+    index.build(X, {.num_reps = 16, .seed = 19}, metric);
+    EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 3, metric),
+                                    index.search(Q, 3)))
+        << "p=" << p;
+  }
+}
+
+TEST(RbcFuzz, LpMetricAxioms) {
+  Rng rng(0xF025);
+  for (const float p : {1.0f, 1.7f, 2.5f, 4.0f}) {
+    const Lp metric{p};
+    const Matrix<float> pts = testutil::random_matrix(45, 12, 21);
+    for (index_t i = 0; i + 2 < pts.rows(); i += 3) {
+      const float ab = metric(pts.row(i), pts.row(i + 1), 12);
+      const float ba = metric(pts.row(i + 1), pts.row(i), 12);
+      const float bc = metric(pts.row(i + 1), pts.row(i + 2), 12);
+      const float ac = metric(pts.row(i), pts.row(i + 2), 12);
+      EXPECT_NEAR(ab, ba, 1e-4f * ab);
+      EXPECT_LE(ac, ab + bc + 1e-3f * (ab + bc));  // Minkowski inequality
+      EXPECT_NEAR(metric(pts.row(i), pts.row(i), 12), 0.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(RbcFuzz, LpReducesToNamedMetrics) {
+  const Matrix<float> pts = testutil::random_matrix(20, 16, 22);
+  for (index_t i = 0; i + 1 < pts.rows(); i += 2) {
+    const float* a = pts.row(i);
+    const float* b = pts.row(i + 1);
+    EXPECT_NEAR(Lp{1.0f}(a, b, 16), L1{}(a, b, 16),
+                1e-3f * L1{}(a, b, 16));
+    EXPECT_NEAR(Lp{2.0f}(a, b, 16), Euclidean{}(a, b, 16),
+                1e-3f * Euclidean{}(a, b, 16));
+  }
+}
+
+}  // namespace
+}  // namespace rbc

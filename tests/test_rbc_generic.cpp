@@ -1,0 +1,169 @@
+// Generic-metric RBC over strings (edit distance) and graph nodes (shortest
+// path) — the paper's §6 claim that the machinery works for arbitrary metric
+// spaces.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "distance/edit_distance.hpp"
+#include "distance/graph_metric.hpp"
+#include "rbc/rbc_generic.hpp"
+
+namespace rbc {
+namespace {
+
+std::vector<std::string> random_words(index_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> words(count);
+  for (auto& w : words) {
+    const index_t len = 3 + rng.uniform_index(10);
+    w.resize(len);
+    for (auto& ch : w) ch = static_cast<char>('a' + rng.uniform_index(6));
+  }
+  return words;
+}
+
+TEST(RbcGenericExact, StringSpaceEqualsBruteForce) {
+  const StringSpace space(random_words(400, 1));
+  RbcGenericExact<StringSpace> index;
+  index.build(space, {.num_reps = 20, .seed = 2});
+
+  const auto queries = random_words(30, 3);
+  for (const auto& q : queries) {
+    const auto expected = generic_knn(space, q, 5);
+    const auto actual = index.search(q, 5);
+    EXPECT_EQ(expected, actual) << "query " << q;
+  }
+}
+
+TEST(RbcGenericExact, StringSpaceWithHeavyDuplication) {
+  auto words = random_words(60, 4);
+  words.insert(words.end(), words.begin(), words.end());  // every word twice
+  const StringSpace space(words);
+  RbcGenericExact<StringSpace> index;
+  index.build(space, {.num_reps = 12, .seed = 5});
+
+  for (const auto& q : random_words(20, 6)) {
+    EXPECT_EQ(generic_knn(space, q, 4), index.search(q, 4));
+  }
+}
+
+TEST(RbcGenericExact, PruneFlagCombinationsStayExact) {
+  const StringSpace space(random_words(300, 7));
+  const auto queries = random_words(15, 8);
+  for (const bool overlap : {false, true})
+    for (const bool lemma : {false, true})
+      for (const bool early : {false, true}) {
+        RbcParams params;
+        params.num_reps = 17;
+        params.seed = 9;
+        params.use_overlap_rule = overlap;
+        params.use_lemma_rule = lemma;
+        params.use_early_exit = early;
+        RbcGenericExact<StringSpace> index;
+        index.build(space, params);
+        for (const auto& q : queries)
+          EXPECT_EQ(generic_knn(space, q, 3), index.search(q, 3));
+      }
+}
+
+GraphSpace ring_with_chords(index_t n, std::uint64_t seed) {
+  GraphSpace g(n);
+  Rng rng(seed);
+  for (index_t i = 0; i < n; ++i)
+    g.add_edge(i, (i + 1) % n, rng.uniform_float(0.5f, 2.0f));
+  for (index_t e = 0; e < n / 2; ++e) {
+    const index_t u = rng.uniform_index(n), v = rng.uniform_index(n);
+    if (u != v) g.add_edge(u, v, rng.uniform_float(1.0f, 4.0f));
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(RbcGenericExact, GraphSpaceEqualsBruteForce) {
+  const GraphSpace space = ring_with_chords(200, 10);
+  ASSERT_TRUE(space.connected());
+  RbcGenericExact<GraphSpace> index;
+  index.build(space, {.num_reps = 14, .seed = 11});
+
+  for (index_t q = 0; q < space.size(); q += 13) {
+    const auto expected = generic_knn(space, q, 6);
+    const auto actual = index.search(q, 6);
+    EXPECT_EQ(expected, actual) << "query node " << q;
+  }
+}
+
+std::vector<std::string> clustered_words(index_t count, index_t num_bases,
+                                         std::uint64_t seed) {
+  // Low-intrinsic-dimension string data: a few long base words plus 1-2
+  // random single-character mutations each — the string analogue of tight
+  // clusters, where the RBC's pruning has structure to exploit.
+  Rng rng(seed);
+  std::vector<std::string> bases(num_bases);
+  for (auto& b : bases) {
+    b.resize(24);
+    for (auto& ch : b) ch = static_cast<char>('a' + rng.uniform_index(26));
+  }
+  std::vector<std::string> words(count);
+  for (auto& w : words) {
+    w = bases[rng.uniform_index(num_bases)];
+    const index_t mutations = 1 + rng.uniform_index(2);
+    for (index_t m = 0; m < mutations; ++m)
+      w[rng.uniform_index(static_cast<index_t>(w.size()))] =
+          static_cast<char>('a' + rng.uniform_index(26));
+  }
+  return words;
+}
+
+TEST(RbcGenericExact, WorkBelowBruteForceOnClusteredStrings) {
+  const StringSpace space(clustered_words(1'000, 20, 12));
+  RbcGenericExact<StringSpace> index;
+  index.build(space, {.num_reps = 32, .seed = 13});
+  SearchStats stats;
+  for (const auto& q : clustered_words(10, 20, 12))  // same distribution
+    (void)index.search(q, 1, &stats);
+  EXPECT_LT(stats.dist_evals_per_query(), 0.5 * space.size());
+}
+
+TEST(RbcGenericOneShot, HighRecallWithLargeLists) {
+  const StringSpace space(random_words(500, 15));
+  RbcParams params;
+  params.num_reps = 40;
+  params.points_per_rep = 80;
+  params.seed = 16;
+  RbcGenericOneShot<StringSpace> index;
+  index.build(space, params);
+
+  const auto queries = random_words(60, 17);
+  index_t hits = 0;
+  for (const auto& q : queries) {
+    const auto expected = generic_knn(space, q, 1);
+    const auto actual = index.search(q, 1);
+    ASSERT_FALSE(actual.empty());
+    if (actual[0].dist == expected[0].dist) ++hits;  // same-distance answer
+  }
+  EXPECT_GE(hits, queries.size() * 7 / 10) << "one-shot recall collapsed";
+}
+
+TEST(RbcGenericOneShot, MultiProbeNeverReturnsDuplicates) {
+  const StringSpace space(random_words(200, 18));
+  RbcParams params;
+  params.num_reps = 10;
+  params.points_per_rep = 60;
+  params.num_probes = 3;
+  params.seed = 19;
+  RbcGenericOneShot<StringSpace> index;
+  index.build(space, params);
+
+  for (const auto& q : random_words(20, 20)) {
+    const auto result = index.search(q, 10);
+    for (std::size_t i = 0; i < result.size(); ++i)
+      for (std::size_t j = i + 1; j < result.size(); ++j)
+        EXPECT_NE(result[i].id, result[j].id);
+  }
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,238 @@
+// One-shot RBC: build correctness (lists are the true s-NN of each
+// representative), the Theorem 2 success-probability guarantee (measured
+// empirically), candidate-set semantics of the search, and the multi-probe
+// extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/rank_error.hpp"
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(RbcOneShotBuild, ListsAreExactSNearestNeighborsOfEachRep) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 8, 5, 1);
+  RbcParams params;
+  params.num_reps = 12;
+  params.points_per_rep = 25;
+  params.seed = 42;
+  RbcOneShotIndex<> index;
+  index.build(X, params);
+
+  ASSERT_EQ(index.points_per_rep(), 25u);
+  for (index_t r = 0; r < index.num_reps(); ++r) {
+    // Reference: s-NN of the representative point among X.
+    Matrix<float> rep_q(1, 8);
+    rep_q.copy_row_from(X, index.rep_ids()[r], 0);
+    const KnnResult expected = testutil::naive_knn(rep_q, X, 25);
+    const auto ids = index.list_ids(r);
+    const auto dists = index.list_dists(r);
+    for (index_t j = 0; j < 25; ++j) {
+      EXPECT_EQ(ids[j], expected.ids.at(0, j)) << "rep " << r << " slot " << j;
+      EXPECT_EQ(dists[j], expected.dists.at(0, j));
+    }
+  }
+}
+
+TEST(RbcOneShotBuild, RepOwnsItselfFirst) {
+  const Matrix<float> X = testutil::random_matrix(300, 6, 2);
+  RbcOneShotIndex<> index;
+  index.build(X, {.num_reps = 10, .seed = 3});
+  for (index_t r = 0; r < index.num_reps(); ++r) {
+    EXPECT_EQ(index.list_ids(r)[0], index.rep_ids()[r]);
+    EXPECT_EQ(index.list_dists(r)[0], 0.0f);
+  }
+}
+
+TEST(RbcOneShotBuild, PsiIsDistanceToSthNeighbor) {
+  const Matrix<float> X = testutil::clustered_matrix(500, 10, 6, 4);
+  RbcOneShotIndex<> index;
+  index.build(X, {.num_reps = 15, .points_per_rep = 30, .seed = 5});
+  for (index_t r = 0; r < index.num_reps(); ++r) {
+    const auto dists = index.list_dists(r);
+    EXPECT_EQ(index.psi(r), dists[dists.size() - 1]);
+    EXPECT_TRUE(std::is_sorted(dists.begin(), dists.end()));
+  }
+}
+
+TEST(RbcOneShotBuild, AutoParamsSetSEqualToNr) {
+  const Matrix<float> X = testutil::random_matrix(900, 5, 6);
+  RbcOneShotIndex<> index;
+  index.build(X);  // nr = s = ceil(sqrt(900)) = 30
+  EXPECT_EQ(index.num_reps(), 30u);
+  EXPECT_EQ(index.points_per_rep(), 30u);
+}
+
+// ------------------------------------------------------ search semantics ---
+
+TEST(RbcOneShotSearch, AnswerIsBruteForceOverChosenList) {
+  // The one-shot answer must equal BF(q, X[L_r]) where r is the nearest
+  // representative — the exact contract of §5.1.
+  const Matrix<float> X = testutil::clustered_matrix(600, 9, 6, 7);
+  const Matrix<float> Q = testutil::random_matrix(50, 9, 8, -6.0f, 6.0f);
+  RbcOneShotIndex<> index;
+  index.build(X, {.num_reps = 20, .points_per_rep = 40, .seed = 9});
+
+  const KnnResult actual = index.search(Q, 3);
+  const Euclidean m{};
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    // Find nearest rep by scan (ties to smaller rep index).
+    index_t best_rep = 0;
+    dist_t best = kInfDist;
+    for (index_t r = 0; r < index.num_reps(); ++r) {
+      const dist_t d = m(Q.row(qi), X.row(index.rep_ids()[r]), 9);
+      if (d < best) {
+        best = d;
+        best_rep = r;
+      }
+    }
+    // Reference: brute force over that list's ids.
+    const auto ids = index.list_ids(best_rep);
+    std::vector<std::pair<dist_t, index_t>> cand;
+    for (const index_t id : ids)
+      cand.emplace_back(m(Q.row(qi), X.row(id), 9), id);
+    std::sort(cand.begin(), cand.end());
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(actual.ids.at(qi, j), cand[j].second) << "q" << qi;
+      EXPECT_EQ(actual.dists.at(qi, j), cand[j].first);
+    }
+  }
+}
+
+TEST(RbcOneShotSearch, Theorem2ParametersAchieveTargetSuccessRate) {
+  // Theorem 2: nr = s = c sqrt(n ln(1/delta)) gives success prob >= 1-delta.
+  // The theory assumes X u Q has expansion rate c, so queries must come from
+  // the data distribution (held-out rows), not from an unrelated uniform box.
+  const index_t n = 3'000;
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(n + 300, 8, 6, 10), n);
+
+  const index_t param = oneshot_theory_params(n, /*c=*/2.0, /*delta=*/0.1);
+  RbcOneShotIndex<> index;
+  index.build(X, {.num_reps = param, .points_per_rep = param, .seed = 12});
+
+  const KnnResult result = index.search(Q, 1);
+  const double recall = data::recall_at_1(Q, X, result);
+  EXPECT_GE(recall, 0.9) << "Theorem 2 target missed: recall " << recall;
+}
+
+TEST(RbcOneShotSearch, RecallImprovesWithListSize) {
+  const index_t n = 2'000;
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(n + 150, 10, 8, 13), n);
+
+  double previous = -1.0;
+  for (const index_t param : {index_t{8}, index_t{45}, index_t{220}}) {
+    RbcOneShotIndex<> index;
+    index.build(X, {.num_reps = param, .points_per_rep = param, .seed = 15});
+    const double recall = data::recall_at_1(Q, X, index.search(Q, 1));
+    EXPECT_GE(recall, previous - 0.05)  // allow small non-monotonic noise
+        << "recall regressed hard at param " << param;
+    previous = recall;
+  }
+  EXPECT_GE(previous, 0.95);  // biggest setting should be near-exact
+}
+
+TEST(RbcOneShotSearch, MultiProbeImprovesRecall) {
+  const index_t n = 2'000;
+  const Matrix<float> X = testutil::clustered_matrix(n, 10, 8, 16);
+  const Matrix<float> Q = testutil::random_matrix(200, 10, 17, -6.0f, 6.0f);
+
+  RbcParams params;
+  params.num_reps = 45;
+  params.points_per_rep = 45;
+  params.seed = 18;
+
+  double recalls[3];
+  int i = 0;
+  for (const index_t probes : {index_t{1}, index_t{2}, index_t{4}}) {
+    params.num_probes = probes;
+    RbcOneShotIndex<> index;
+    index.build(X, params);
+    recalls[i++] = data::recall_at_1(Q, X, index.search(Q, 1));
+  }
+  EXPECT_GE(recalls[1], recalls[0] - 1e-9);
+  EXPECT_GE(recalls[2], recalls[1] - 1e-9);
+}
+
+TEST(RbcOneShotSearch, MultiProbeDeduplicatesOverlap) {
+  // With heavily overlapping lists (s close to n), multi-probe must not
+  // return the same id twice.
+  const Matrix<float> X = testutil::clustered_matrix(200, 6, 3, 19);
+  RbcParams params;
+  params.num_reps = 8;
+  params.points_per_rep = 150;
+  params.num_probes = 4;
+  params.seed = 20;
+  RbcOneShotIndex<> index;
+  index.build(X, params);
+
+  const Matrix<float> Q = testutil::random_matrix(20, 6, 21);
+  const KnnResult r = index.search(Q, 10);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    std::vector<index_t> ids;
+    for (index_t j = 0; j < 10; ++j)
+      if (r.ids.at(qi, j) != kInvalidIndex) ids.push_back(r.ids.at(qi, j));
+    std::vector<index_t> unique_ids(ids);
+    std::sort(unique_ids.begin(), unique_ids.end());
+    unique_ids.erase(std::unique(unique_ids.begin(), unique_ids.end()),
+                     unique_ids.end());
+    EXPECT_EQ(ids.size(), unique_ids.size()) << "duplicate ids for q" << qi;
+  }
+}
+
+TEST(RbcOneShotSearch, KBeyondListSizePads) {
+  const Matrix<float> X = testutil::random_matrix(100, 5, 22);
+  RbcOneShotIndex<> index;
+  index.build(X, {.num_reps = 5, .points_per_rep = 4, .seed = 23});
+  const Matrix<float> Q = testutil::random_matrix(3, 5, 24);
+  const KnnResult r = index.search(Q, 8);  // k=8 > s=4 candidates
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    for (index_t j = 0; j < 4; ++j) EXPECT_NE(r.ids.at(qi, j), kInvalidIndex);
+    for (index_t j = 4; j < 8; ++j) EXPECT_EQ(r.ids.at(qi, j), kInvalidIndex);
+  }
+}
+
+TEST(RbcOneShotSearch, StatsCountRepAndListWork) {
+  const Matrix<float> X = testutil::random_matrix(500, 7, 25);
+  RbcOneShotIndex<> index;
+  index.build(X, {.num_reps = 20, .points_per_rep = 30, .seed = 26});
+  const Matrix<float> Q = testutil::random_matrix(10, 7, 27);
+  SearchStats stats;
+  index.search(Q, 1, &stats);
+  EXPECT_EQ(stats.queries, 10u);
+  EXPECT_EQ(stats.rep_dist_evals, 10u * 20u);
+  EXPECT_EQ(stats.list_dist_evals, 10u * 30u);
+}
+
+TEST(RbcOneShotSearch, WorkIsIndependentOfDatabaseSize) {
+  // The one-shot search cost is O(nr + s) regardless of n — the source of
+  // its massive speedup (paper §5.1).
+  SearchStats small_stats, large_stats;
+  for (auto [n, stats] : {std::pair{index_t{1'000}, &small_stats},
+                          std::pair{index_t{8'000}, &large_stats}}) {
+    const Matrix<float> X = testutil::clustered_matrix(n, 8, 6, 28);
+    RbcOneShotIndex<> index;
+    index.build(X, {.num_reps = 40, .points_per_rep = 40, .seed = 29});
+    const Matrix<float> Q = testutil::random_matrix(20, 8, 30);
+    index.search(Q, 1, stats);
+  }
+  EXPECT_EQ(small_stats.dist_evals(), large_stats.dist_evals());
+}
+
+TEST(RbcOneShotEdge, SinglePointDatabase) {
+  Matrix<float> X(1, 4);
+  RbcOneShotIndex<> index;
+  index.build(X, {.seed = 31});
+  Matrix<float> Q(2, 4);
+  Q.at(0, 0) = 5.0f;
+  const KnnResult r = index.search(Q, 1);
+  EXPECT_EQ(r.ids.at(0, 0), 0u);
+  EXPECT_EQ(r.ids.at(1, 0), 0u);
+}
+
+}  // namespace
+}  // namespace rbc

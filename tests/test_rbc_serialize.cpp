@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(Serialize, ExactIndexRoundTripsBitExactly) {
+  const Matrix<float> X = testutil::clustered_matrix(600, 11, 6, 1);
+  const Matrix<float> Q = testutil::random_matrix(30, 11, 2, -6.0f, 6.0f);
+
+  RbcExactIndex<> original;
+  original.build(X, {.num_reps = 22, .seed = 3});
+
+  std::stringstream stream;
+  original.save(stream);
+  const RbcExactIndex<> restored = RbcExactIndex<>::load(stream);
+
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.dim(), original.dim());
+  EXPECT_EQ(restored.num_reps(), original.num_reps());
+  EXPECT_EQ(restored.rep_ids(), original.rep_ids());
+  for (index_t r = 0; r < original.num_reps(); ++r)
+    EXPECT_EQ(restored.psi(r), original.psi(r));
+
+  EXPECT_TRUE(
+      testutil::knn_equal(original.search(Q, 5), restored.search(Q, 5)));
+}
+
+TEST(Serialize, OneShotIndexRoundTripsBitExactly) {
+  const Matrix<float> X = testutil::clustered_matrix(500, 9, 5, 4);
+  const Matrix<float> Q = testutil::random_matrix(30, 9, 5, -6.0f, 6.0f);
+
+  RbcOneShotIndex<> original;
+  original.build(X, {.num_reps = 18, .points_per_rep = 24, .seed = 6});
+
+  std::stringstream stream;
+  original.save(stream);
+  const RbcOneShotIndex<> restored = RbcOneShotIndex<>::load(stream);
+
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.points_per_rep(), original.points_per_rep());
+  EXPECT_TRUE(
+      testutil::knn_equal(original.search(Q, 3), restored.search(Q, 3)));
+}
+
+TEST(Serialize, RangeSearchSurvivesRoundTrip) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 7, 4, 7);
+  RbcExactIndex<> original;
+  original.build(X, {.num_reps = 16, .seed = 8});
+  std::stringstream stream;
+  original.save(stream);
+  const RbcExactIndex<> restored = RbcExactIndex<>::load(stream);
+  const Matrix<float> Q = testutil::random_matrix(5, 7, 9, -6.0f, 6.0f);
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    EXPECT_EQ(original.range_search(Q.row(qi), 1.5f),
+              restored.range_search(Q.row(qi), 1.5f));
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  std::stringstream stream;
+  const std::uint32_t bogus = 0xDEADBEEF;
+  stream.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  EXPECT_THROW((void)RbcExactIndex<>::load(stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongIndexKind) {
+  // A one-shot file must not load as an exact index.
+  const Matrix<float> X = testutil::random_matrix(100, 5, 10);
+  RbcOneShotIndex<> oneshot;
+  oneshot.build(X, {.num_reps = 8, .seed = 11});
+  std::stringstream stream;
+  oneshot.save(stream);
+  EXPECT_THROW((void)RbcExactIndex<>::load(stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongMetric) {
+  const Matrix<float> X = testutil::random_matrix(100, 5, 12);
+  RbcExactIndex<L1> l1_index;
+  l1_index.build(X, {.num_reps = 8, .seed = 13}, L1{});
+  std::stringstream stream;
+  l1_index.save(stream);
+  EXPECT_THROW((void)RbcExactIndex<Euclidean>::load(stream),
+               std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const Matrix<float> X = testutil::random_matrix(200, 6, 14);
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = 10, .seed = 15});
+  std::stringstream stream;
+  index.save(stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)RbcExactIndex<>::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rbc

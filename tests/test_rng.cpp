@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent(99);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  Rng s0_again = Rng(99).split(0);
+  EXPECT_EQ(s0(), s0_again());
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0() == s1()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(11);
+  std::set<index_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const index_t v = rng.uniform_index(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit over 10k draws
+}
+
+TEST(Rng, UniformIndexSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  const int n = 100'000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformFloatRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10'000; ++i) {
+    const float v = rng.uniform_float(-2.5f, 4.0f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 4.0f);
+  }
+}
+
+}  // namespace
+}  // namespace rbc

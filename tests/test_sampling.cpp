@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rbc/sampling.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(Sampling, WithoutReplacementBasicContract) {
+  Rng rng(1);
+  for (const auto [n, count] :
+       {std::pair<index_t, index_t>{100, 10}, {100, 100}, {50, 1},
+        {1'000, 999}}) {
+    Rng local = rng.split(n * 1000 + count);
+    const auto sample = sample_without_replacement(n, count, local);
+    EXPECT_EQ(sample.size(), count);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    std::set<index_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), count) << "duplicates in sample";
+    for (const index_t id : sample) EXPECT_LT(id, n);
+  }
+}
+
+TEST(Sampling, WithoutReplacementCountClamped) {
+  Rng rng(2);
+  const auto sample = sample_without_replacement(10, 50, rng);
+  EXPECT_EQ(sample.size(), 10u);  // clamped to n
+}
+
+TEST(Sampling, WithoutReplacementIsUniform) {
+  // Chi-square-flavored check: each element of [0, 20) should be chosen
+  // about trials * count / n times.
+  const index_t n = 20, count = 5;
+  const int trials = 20'000;
+  std::vector<int> hits(n, 0);
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = sample_without_replacement(n, count, rng);
+    for (const index_t id : sample) ++hits[id];
+  }
+  const double expected = static_cast<double>(trials) * count / n;  // 5000
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(hits[i], expected, 0.06 * expected) << "element " << i;
+}
+
+TEST(Sampling, BernoulliExpectationAndOrder) {
+  Rng rng(4);
+  const index_t n = 50'000;
+  const double p = 0.02;
+  const auto sample = sample_bernoulli(n, p, rng);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_NEAR(static_cast<double>(sample.size()), p * n, 5 * std::sqrt(p * n));
+}
+
+TEST(Sampling, ChooseRepresentativesNeverEmpty) {
+  for (const auto sampling : {Sampling::kExactCount, Sampling::kBernoulli}) {
+    RbcParams params;
+    params.num_reps = 1;
+    params.sampling = sampling;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+      params.seed = seed;
+      const auto reps = choose_representatives(10, params);
+      EXPECT_GE(reps.size(), 1u);
+      for (const index_t r : reps) EXPECT_LT(r, 10u);
+    }
+  }
+}
+
+TEST(Sampling, ChooseRepresentativesDeterministicInSeed) {
+  RbcParams params;
+  params.num_reps = 25;
+  params.seed = 99;
+  EXPECT_EQ(choose_representatives(1'000, params),
+            choose_representatives(1'000, params));
+  params.seed = 100;
+  const auto other = choose_representatives(1'000, params);
+  RbcParams original;
+  original.num_reps = 25;
+  original.seed = 99;
+  EXPECT_NE(choose_representatives(1'000, original), other);
+}
+
+TEST(ParamsResolve, NumRepsDefaultsToCeilSqrtN) {
+  RbcParams params;
+  EXPECT_EQ(params.resolve_num_reps(0), 0u);
+  EXPECT_EQ(params.resolve_num_reps(1), 1u);
+  EXPECT_EQ(params.resolve_num_reps(100), 10u);
+  EXPECT_EQ(params.resolve_num_reps(101), 11u);  // ceil
+  params.num_reps = 5'000;
+  EXPECT_EQ(params.resolve_num_reps(100), 100u);  // clamped to n
+}
+
+TEST(ParamsResolve, PointsPerRepDefaultsToNumReps) {
+  RbcParams params;
+  EXPECT_EQ(params.resolve_points_per_rep(400), 20u);
+  params.num_reps = 37;
+  EXPECT_EQ(params.resolve_points_per_rep(400), 37u);
+  params.points_per_rep = 9;
+  EXPECT_EQ(params.resolve_points_per_rep(400), 9u);
+}
+
+TEST(ParamsResolve, OneShotTheoryFormula) {
+  // nr = s = c sqrt(n ln(1/delta)).
+  EXPECT_EQ(oneshot_theory_params(0, 2.0, 0.1), 0u);
+  const index_t v = oneshot_theory_params(10'000, 2.0, 0.1);
+  const double expected = 2.0 * std::sqrt(10'000 * std::log(10.0));
+  EXPECT_NEAR(static_cast<double>(v), expected, 1.0);
+  // Clamped to n.
+  EXPECT_EQ(oneshot_theory_params(10, 100.0, 0.001), 10u);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/matrix.hpp"
+#include "rbc/serialize_io.hpp"
+
+namespace rbc::io {
+namespace {
+
+TEST(SerializeIo, PodRoundTrip) {
+  std::stringstream stream;
+  write_pod(stream, std::uint32_t{0xDEADBEEF});
+  write_pod(stream, 3.25);
+  write_pod(stream, std::int64_t{-42});
+  std::uint32_t a = 0;
+  double b = 0;
+  std::int64_t c = 0;
+  read_pod(stream, a);
+  read_pod(stream, b);
+  read_pod(stream, c);
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, 3.25);
+  EXPECT_EQ(c, -42);
+}
+
+TEST(SerializeIo, ExpectPodThrowsOnMismatch) {
+  std::stringstream stream;
+  write_pod(stream, std::uint32_t{1});
+  EXPECT_THROW(expect_pod(stream, std::uint32_t{2}, "field"),
+               std::runtime_error);
+}
+
+TEST(SerializeIo, TruncatedPodThrows) {
+  std::stringstream stream;
+  stream.write("ab", 2);
+  std::uint64_t value = 0;
+  EXPECT_THROW(read_pod(stream, value), std::runtime_error);
+}
+
+TEST(SerializeIo, StringRoundTrip) {
+  std::stringstream stream;
+  write_string(stream, "l2");
+  write_string(stream, "");
+  write_string(stream, std::string(1000, 'x'));
+  EXPECT_EQ(read_string(stream), "l2");
+  EXPECT_EQ(read_string(stream), "");
+  EXPECT_EQ(read_string(stream).size(), 1000u);
+}
+
+TEST(SerializeIo, ExpectStringThrowsOnMismatch) {
+  std::stringstream stream;
+  write_string(stream, "l1");
+  EXPECT_THROW(expect_string(stream, "l2", "metric"), std::runtime_error);
+}
+
+TEST(SerializeIo, VecRoundTripIncludingEmpty) {
+  std::stringstream stream;
+  const std::vector<float> values = {1.5f, -2.25f, 0.0f};
+  const std::vector<index_t> empty;
+  write_vec(stream, values);
+  write_vec(stream, empty);
+  std::vector<float> values_back;
+  std::vector<index_t> empty_back = {7};  // must be cleared by read
+  read_vec(stream, values_back);
+  read_vec(stream, empty_back);
+  EXPECT_EQ(values_back, values);
+  EXPECT_TRUE(empty_back.empty());
+}
+
+TEST(SerializeIo, MatrixRoundTripDropsPadding) {
+  Matrix<float> m(3, 21);  // stride 32: padding must not be serialized
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 21; ++j)
+      m.at(i, j) = static_cast<float>(i * 100 + j);
+  std::stringstream stream;
+  write_matrix(stream, m);
+  // Payload: 2 dims + 3*21 floats — no stride leakage.
+  EXPECT_EQ(stream.str().size(), 2 * sizeof(index_t) + 63 * sizeof(float));
+  const Matrix<float> back = read_matrix(stream);
+  ASSERT_EQ(back.rows(), 3u);
+  ASSERT_EQ(back.cols(), 21u);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 21; ++j) EXPECT_EQ(back.at(i, j), m.at(i, j));
+    for (index_t j = 21; j < back.stride(); ++j)
+      EXPECT_EQ(back.row(i)[j], 0.0f) << "padding must be re-zeroed";
+  }
+}
+
+TEST(SerializeIo, TruncatedMatrixThrows) {
+  Matrix<float> m(4, 8);
+  std::stringstream stream;
+  write_matrix(stream, m);
+  const std::string full = stream.str();
+  std::stringstream cut(full.substr(0, full.size() - 10));
+  EXPECT_THROW((void)read_matrix(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rbc::io

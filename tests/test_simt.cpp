@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace rbc::simt {
+namespace {
+
+TEST(Simt, LaunchCoversEveryBlockExactlyOnce) {
+  Device device(2);
+  const Dim3 grid{7, 3, 2};
+  std::vector<std::atomic<int>> visits(grid.count());
+  device.launch(grid, {4, 1, 1}, [&](Block& blk) {
+    const std::uint64_t linear =
+        blk.block_idx.x +
+        static_cast<std::uint64_t>(grid.x) *
+            (blk.block_idx.y + static_cast<std::uint64_t>(grid.y) * blk.block_idx.z);
+    visits[linear].fetch_add(1);
+    EXPECT_LT(blk.block_idx.x, grid.x);
+    EXPECT_LT(blk.block_idx.y, grid.y);
+    EXPECT_LT(blk.block_idx.z, grid.z);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Simt, ThreadsPhaseRunsEveryThread) {
+  Device device(1);
+  std::atomic<int> total{0};
+  device.launch({2, 1, 1}, {16, 1, 1}, [&](Block& blk) {
+    blk.threads([&](std::uint32_t tid) {
+      EXPECT_LT(tid, 16u);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Simt, SharedMemoryPersistsAcrossPhases) {
+  // Block-level tree reduction: the canonical shared-memory pattern.
+  Device device(2);
+  const std::uint32_t threads = 64;
+  std::vector<long> results(8, 0);
+  long* out = results.data();
+  device.launch({8, 1, 1}, {threads, 1, 1}, [out, threads](Block& blk) {
+    auto partial = blk.shared<long>(threads);
+    // Phase 1: each thread contributes its id + block offset.
+    blk.threads([&](std::uint32_t t) {
+      partial[t] = static_cast<long>(t) + blk.block_idx.x;
+    });
+    // Phases 2..log2(T): inverted binary tree.
+    for (std::uint32_t stride = threads / 2; stride > 0; stride /= 2) {
+      blk.threads([&](std::uint32_t t) {
+        if (t < stride) partial[t] += partial[t + stride];
+      });
+    }
+    blk.threads([&](std::uint32_t t) {
+      if (t == 0) out[blk.block_idx.x] = partial[0];
+    });
+  });
+  const long base = 63 * 64 / 2;  // sum of thread ids
+  for (int b = 0; b < 8; ++b) EXPECT_EQ(results[b], base + 64L * b);
+}
+
+TEST(Simt, SharedArenaResetsBetweenBlocks) {
+  Device device(1);  // single worker: blocks reuse the same arena
+  std::vector<int> firsts(4, -1);
+  int* out = firsts.data();
+  device.launch({4, 1, 1}, {1, 1, 1}, [out](Block& blk) {
+    auto mem = blk.shared<int>(8);
+    // Arena memory may hold stale bytes; a fresh allocation must start at
+    // the arena base every block (same pointer, full capacity available).
+    mem[0] = static_cast<int>(blk.block_idx.x);
+    auto more = blk.shared<int>(8);
+    more[0] = 100;
+    out[blk.block_idx.x] = mem[0];
+  });
+  for (int b = 0; b < 4; ++b) EXPECT_EQ(firsts[b], b);
+}
+
+TEST(Simt, StatsCountLaunchesAndBlocks) {
+  Device device(2);
+  device.reset_stats();
+  device.launch({5, 2, 1}, {8, 1, 1}, [](Block&) {});
+  device.launch({3, 1, 1}, {8, 1, 1}, [](Block&) {});
+  EXPECT_EQ(device.stats().kernels_launched, 2u);
+  EXPECT_EQ(device.stats().blocks_executed, 13u);
+}
+
+TEST(Simt, DeviceBufferRoundTripAndMetering) {
+  Device device(1);
+  device.reset_stats();
+  DeviceBuffer<float> buf(device, 256);
+  EXPECT_EQ(device.stats().bytes_allocated, 256 * sizeof(float));
+
+  std::vector<float> host(256);
+  std::iota(host.begin(), host.end(), 0.0f);
+  buf.upload(host);
+  EXPECT_EQ(device.stats().bytes_h2d, 256 * sizeof(float));
+
+  std::vector<float> back(256, -1.0f);
+  buf.download(back);
+  EXPECT_EQ(device.stats().bytes_d2h, 256 * sizeof(float));
+  EXPECT_EQ(back, host);
+}
+
+TEST(Simt, WorkerCountDefaultsPositive) {
+  Device device;
+  EXPECT_GE(device.workers(), 1);
+  Device two(2);
+  EXPECT_EQ(two.workers(), 2);
+}
+
+TEST(Simt, KernelsSeeGridAndBlockDims) {
+  Device device(1);
+  device.launch({3, 2, 1}, {8, 2, 1}, [](Block& blk) {
+    EXPECT_EQ(blk.grid_dim.x, 3u);
+    EXPECT_EQ(blk.grid_dim.y, 2u);
+    EXPECT_EQ(blk.block_dim.x, 8u);
+    EXPECT_EQ(blk.num_threads(), 16u);
+  });
+}
+
+}  // namespace
+}  // namespace rbc::simt

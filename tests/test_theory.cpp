@@ -1,0 +1,223 @@
+// Empirical checks of the paper's theory section (§6): the lemmas and
+// claims are statements about distributions and bounds that the
+// implementation should exhibit on real runs, not just in prose.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+// ---- Lemma 1: if r* owns q's NN then rho(q, r*) <= 3 gamma. -------------
+
+TEST(Theory, Lemma1HoldsOnRandomInstances) {
+  Rng rng(1);
+  const Euclidean m{};
+  for (int trial = 0; trial < 20; ++trial) {
+    const index_t n = 200 + rng.uniform_index(400);
+    const index_t d = 2 + rng.uniform_index(16);
+    const Matrix<float> X = testutil::clustered_matrix(n, d, 5, rng());
+    RbcExactIndex<> index;
+    index.build(X, {.num_reps = 1 + rng.uniform_index(n / 4), .seed = rng()});
+
+    const Matrix<float> Q = testutil::random_matrix(10, d, rng(), -6.0f, 6.0f);
+    for (index_t qi = 0; qi < Q.rows(); ++qi) {
+      const float* q = Q.row(qi);
+      // gamma = distance to nearest representative.
+      dist_t gamma = kInfDist;
+      for (index_t r = 0; r < index.num_reps(); ++r)
+        gamma = std::min(gamma,
+                         m(q, X.row(index.rep_ids()[r]), d));
+      // Find q's true NN and its owner.
+      const auto [nn_dist, nn_id] = bf_1nn(q, X);
+      (void)nn_dist;
+      index_t owner = kInvalidIndex;
+      for (index_t r = 0; r < index.num_reps() && owner == kInvalidIndex;
+           ++r)
+        for (const index_t member : index.list_ids(r))
+          if (member == nn_id) {
+            owner = r;
+            break;
+          }
+      ASSERT_NE(owner, kInvalidIndex);
+      const dist_t owner_dist = m(q, X.row(index.rep_ids()[owner]), d);
+      EXPECT_LE(owner_dist, 3.0f * gamma * (1.0f + 1e-5f))
+          << "Lemma 1 violated: owner at " << owner_dist << ", gamma "
+          << gamma;
+    }
+  }
+}
+
+// ---- Claim 1: E|B(q, gamma)| = n / nr. -----------------------------------
+
+TEST(Theory, Claim1ExpectedBallSizeMatchesNOverNr) {
+  // "The expected number of points in B(q, gamma) is n/nr" — over the
+  // randomness of representative selection (Bernoulli model).
+  const index_t n = 4'000;
+  const index_t nr = 64;
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(n + 40, 10, 6, 2), n);
+  const Euclidean m{};
+
+  double total_ball = 0.0;
+  int samples = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    RbcParams params;
+    params.num_reps = nr;
+    params.seed = seed * 77 + 5;
+    params.sampling = Sampling::kBernoulli;  // the theory's model
+    const std::vector<index_t> reps = choose_representatives(n, params);
+
+    for (index_t qi = 0; qi < Q.rows(); qi += 8) {
+      const float* q = Q.row(qi);
+      dist_t gamma = kInfDist;
+      for (const index_t rep : reps)
+        gamma = std::min(gamma, m(q, X.row(rep), 10));
+      index_t inside = 0;
+      for (index_t x = 0; x < n; ++x)
+        if (m(q, X.row(x), 10) < gamma) ++inside;
+      total_ball += inside;
+      ++samples;
+    }
+  }
+  const double observed = total_ball / samples;
+  const double predicted = static_cast<double>(n) / nr;  // 62.5
+  // Monte-Carlo noise over 150 samples: allow a generous band.
+  EXPECT_GT(observed, 0.4 * predicted);
+  EXPECT_LT(observed, 2.5 * predicted);
+}
+
+// ---- Claim 2 corollary: examined points lie within 4 gamma of their rep. -
+
+TEST(Theory, ExaminedMembersRespectThe4GammaWindow) {
+  // The early exit stops a list at rho(x,r) > rho(q,r) + bound; with
+  // bound <= gamma and rho(q,r) <= 3 gamma for unpruned reps (rule 2),
+  // every computed member satisfies rho(x,r) <= 4 gamma — Claim 2's window.
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'020, 8, 6, 3),
+                           2'000);
+  RbcExactIndex<> index;
+  index.build(X, {.seed = 4});
+  const Euclidean m{};
+
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    const float* q = Q.row(qi);
+    dist_t gamma = kInfDist;
+    for (index_t r = 0; r < index.num_reps(); ++r)
+      gamma = std::min(gamma, m(q, X.row(index.rep_ids()[r]), 8));
+    const auto [nn_dist, nn_id] = bf_1nn(q, X);
+    (void)nn_id;
+    // Claim 2's conclusion: the NN lies inside B(q, 7 gamma).
+    EXPECT_LE(nn_dist, 7.0f * gamma * (1.0f + 1e-5f));
+  }
+}
+
+// ---- Theorem 1: the bound quantity |B(q, 7 gamma)| shrinks with nr. ------
+
+TEST(Theory, SevenGammaBallShrinksWithMoreRepresentatives) {
+  // Theorem 1 bounds second-stage work by |B(q, 7 gamma)| <= c^3 |B(q,
+  // gamma)| with E|B(q, gamma)| = n/nr, so the ball population must fall
+  // as nr grows. (Measured *work* is flatter than the bound — that is the
+  // paper's own Appendix C observation — so the test checks the bound
+  // quantity itself.)
+  const index_t n = 6'000;
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(n + 60, 8, 8, 5), n);
+  const Euclidean m{};
+
+  double mean_ball[2];
+  const index_t settings[2] = {40, 320};
+  for (int i = 0; i < 2; ++i) {
+    RbcParams params;
+    params.num_reps = settings[i];
+    params.seed = 6;
+    const std::vector<index_t> reps = choose_representatives(n, params);
+    double total = 0.0;
+    for (index_t qi = 0; qi < Q.rows(); ++qi) {
+      const float* q = Q.row(qi);
+      dist_t gamma = kInfDist;
+      for (const index_t rep : reps)
+        gamma = std::min(gamma, m(q, X.row(rep), 8));
+      index_t inside = 0;
+      for (index_t x = 0; x < n; ++x)
+        if (m(q, X.row(x), 8) <= 7.0f * gamma) ++inside;
+      total += inside;
+    }
+    mean_ball[i] = total / Q.rows();
+  }
+  // 8x more representatives: the 7-gamma ball must clearly shrink.
+  EXPECT_LT(mean_ball[1], 0.6 * mean_ball[0])
+      << mean_ball[0] << " -> " << mean_ball[1];
+}
+
+// ---- Theorem 2: failure probability falls with the parameter. ------------
+
+TEST(Theory, OneShotFailureRateDropsWithTheorem2Parameter) {
+  const index_t n = 4'000;
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(n + 400, 8, 6, 7), n);
+
+  double previous_failure = 1.1;
+  for (const double delta : {0.5, 0.1, 0.02}) {
+    const index_t param = oneshot_theory_params(n, /*c=*/2.0, delta);
+    RbcOneShotIndex<> index;
+    index.build(X, {.num_reps = param, .points_per_rep = param, .seed = 8});
+    const KnnResult got = index.search(Q, 1);
+    const KnnResult truth = bf_knn(Q, X, 1);
+    index_t failures = 0;
+    for (index_t qi = 0; qi < Q.rows(); ++qi)
+      if (got.dists.at(qi, 0) != truth.dists.at(qi, 0)) ++failures;
+    const double failure_rate =
+        static_cast<double>(failures) / Q.rows();
+    EXPECT_LE(failure_rate, delta + 0.05)
+        << "delta " << delta << " param " << param;
+    EXPECT_LE(failure_rate, previous_failure + 0.02);
+    previous_failure = failure_rate;
+  }
+}
+
+// ---- One-shot success condition: q within psi_r/2 of its rep. ------------
+
+TEST(Theory, OneShotGuaranteeConditionImpliesSuccess) {
+  // Theorem 2's proof core: "If a query q lies within distance psi_r/2 of a
+  // representative r, then its nearest neighbor is guaranteed to be in
+  // L_r." Verify the implication directly on built indexes.
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(1'530, 8, 5, 9),
+                           1'500);
+  RbcOneShotIndex<> index;
+  index.build(X, {.num_reps = 60, .points_per_rep = 60, .seed = 10});
+  const Euclidean m{};
+
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    const float* q = Q.row(qi);
+    // Nearest representative.
+    dist_t best = kInfDist;
+    index_t best_rep = 0;
+    for (index_t r = 0; r < index.num_reps(); ++r) {
+      const dist_t d = m(q, X.row(index.rep_ids()[r]), 8);
+      if (d < best) {
+        best = d;
+        best_rep = r;
+      }
+    }
+    if (best > index.psi(best_rep) / 2) continue;  // condition not met
+    // Then the true NN must be in the rep's list.
+    const auto [nn_dist, nn_id] = bf_1nn(q, X);
+    (void)nn_dist;
+    const auto ids = index.list_ids(best_rep);
+    const bool found = std::find(ids.begin(), ids.end(), nn_id) != ids.end();
+    // Ties: another point at the same distance may take the list slot; the
+    // guarantee is about distance, so check by distance.
+    if (!found) {
+      const auto result = index.search(Q, 1);
+      EXPECT_EQ(result.dists.at(qi, 0), nn_dist) << "q" << qi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bruteforce/topk.hpp"
+#include "common/rng.hpp"
+
+namespace rbc {
+namespace {
+
+std::pair<std::vector<dist_t>, std::vector<index_t>> extract(const TopK& top) {
+  std::vector<dist_t> d(top.k());
+  std::vector<index_t> i(top.k());
+  top.extract_sorted(d.data(), i.data());
+  return {d, i};
+}
+
+TEST(TopK, KeepsKSmallest) {
+  TopK top(3);
+  for (index_t i = 0; i < 10; ++i)
+    top.push(static_cast<dist_t>(10 - i), i);  // dists 10, 9, ..., 1
+  const auto [d, ids] = extract(top);
+  EXPECT_EQ(d[0], 1.0f);
+  EXPECT_EQ(d[1], 2.0f);
+  EXPECT_EQ(d[2], 3.0f);
+  EXPECT_EQ(ids[0], 9u);
+  EXPECT_EQ(ids[1], 8u);
+  EXPECT_EQ(ids[2], 7u);
+}
+
+TEST(TopK, WorstIsInfinityUntilFull) {
+  TopK top(3);
+  EXPECT_EQ(top.worst(), kInfDist);
+  top.push(1.0f, 0);
+  top.push(2.0f, 1);
+  EXPECT_EQ(top.worst(), kInfDist);
+  top.push(3.0f, 2);
+  EXPECT_EQ(top.worst(), 3.0f);
+  top.push(0.5f, 3);
+  EXPECT_EQ(top.worst(), 2.0f);
+}
+
+TEST(TopK, TiesResolveToSmallerId) {
+  TopK top(2);
+  top.push(1.0f, 5);
+  top.push(1.0f, 3);
+  top.push(1.0f, 9);
+  top.push(1.0f, 1);
+  const auto [d, ids] = extract(top);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[1], 3u);
+}
+
+TEST(TopK, PushOrderDoesNotMatter) {
+  Rng rng(3);
+  std::vector<std::pair<dist_t, index_t>> items;
+  for (index_t i = 0; i < 200; ++i)
+    items.emplace_back(rng.uniform_float(0.0f, 5.0f), i);
+
+  TopK forward(7), backward(7);
+  for (const auto& [d, id] : items) forward.push(d, id);
+  for (auto it = items.rbegin(); it != items.rend(); ++it)
+    backward.push(it->first, it->second);
+
+  EXPECT_EQ(extract(forward), extract(backward));
+}
+
+TEST(TopK, MatchesFullSortReference) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const index_t n = 1 + rng.uniform_index(100);
+    const index_t k = 1 + rng.uniform_index(12);
+    std::vector<std::pair<dist_t, index_t>> items;
+    TopK top(k);
+    for (index_t i = 0; i < n; ++i) {
+      // Coarse quantization to force plenty of ties.
+      const auto d = static_cast<dist_t>(rng.uniform_index(8));
+      items.emplace_back(d, i);
+      top.push(d, i);
+    }
+    std::sort(items.begin(), items.end());
+    const auto [d, ids] = extract(top);
+    for (index_t j = 0; j < k; ++j) {
+      if (j < n) {
+        EXPECT_EQ(d[j], items[j].first);
+        EXPECT_EQ(ids[j], items[j].second);
+      } else {
+        EXPECT_EQ(d[j], kInfDist);
+        EXPECT_EQ(ids[j], kInvalidIndex);
+      }
+    }
+  }
+}
+
+TEST(TopK, PaddingWhenUnderfilled) {
+  TopK top(5);
+  top.push(1.0f, 10);
+  top.push(0.5f, 20);
+  const auto [d, ids] = extract(top);
+  EXPECT_EQ(d[0], 0.5f);
+  EXPECT_EQ(ids[0], 20u);
+  EXPECT_EQ(d[1], 1.0f);
+  EXPECT_EQ(ids[1], 10u);
+  for (int j = 2; j < 5; ++j) {
+    EXPECT_EQ(d[j], kInfDist);
+    EXPECT_EQ(ids[j], kInvalidIndex);
+  }
+}
+
+TEST(TopK, MergePreservesGlobalOrder) {
+  TopK a(4), b(4);
+  a.push(1.0f, 1);
+  a.push(3.0f, 3);
+  a.push(5.0f, 5);
+  b.push(2.0f, 2);
+  b.push(4.0f, 4);
+  b.push(6.0f, 6);
+  a.merge_from(b);
+  const auto [d, ids] = extract(a);
+  EXPECT_EQ(ids, (std::vector<index_t>{1, 2, 3, 4}));
+  EXPECT_EQ(d, (std::vector<dist_t>{1.0f, 2.0f, 3.0f, 4.0f}));
+}
+
+TEST(TopK, ResetKeepsCapacity) {
+  TopK top(3);
+  top.push(1.0f, 0);
+  top.push(2.0f, 1);
+  top.reset();
+  EXPECT_EQ(top.size(), 0u);
+  EXPECT_EQ(top.worst(), kInfDist);
+  top.push(9.0f, 7);
+  const auto [d, ids] = extract(top);
+  EXPECT_EQ(ids[0], 7u);
+}
+
+TEST(TopK, PushReturnsWhetherKept) {
+  TopK top(2);
+  EXPECT_TRUE(top.push(5.0f, 0));
+  EXPECT_TRUE(top.push(4.0f, 1));
+  EXPECT_TRUE(top.push(3.0f, 2));    // evicts 5.0
+  EXPECT_FALSE(top.push(6.0f, 3));   // worse than worst
+  EXPECT_FALSE(top.push(4.0f, 99));  // ties with worst, larger id: rejected
+  EXPECT_TRUE(top.push(4.0f, 0));    // ties with worst, smaller id: kept
+}
+
+TEST(TopK, KOne) {
+  TopK top(1);
+  top.push(2.0f, 5);
+  top.push(1.0f, 9);
+  top.push(1.5f, 2);
+  const auto [d, ids] = extract(top);
+  EXPECT_EQ(d[0], 1.0f);
+  EXPECT_EQ(ids[0], 9u);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "rbc/rbc.hpp"
+#include "rbc/tuner.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(TunerExact, ChoosesACandidateAndReportsSweep) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'040, 10, 7, 1),
+                           2'000);
+  const std::vector<index_t> candidates = {10, 45, 180, 700};
+  const TuneResult tuned =
+      tune_exact_num_reps(X, Q, 1, {.seed = 2}, candidates);
+
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(),
+                        tuned.num_reps) != candidates.end());
+  ASSERT_EQ(tuned.sweep.size(), candidates.size());
+  // The chosen objective is the minimum of the sweep.
+  for (const auto& [nr, work] : tuned.sweep)
+    EXPECT_GE(work, tuned.objective);
+}
+
+TEST(TunerExact, TunedSettingBeatsWorstCandidate) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(3'040, 8, 8, 3),
+                           3'000);
+  const TuneResult tuned = tune_exact_num_reps(X, Q, 1, {.seed = 4});
+  double worst = 0.0;
+  for (const auto& [nr, work] : tuned.sweep) worst = std::max(worst, work);
+  EXPECT_LT(tuned.objective, worst);
+
+  // And the tuned index actually performs at the measured level.
+  RbcExactIndex<> index;
+  index.build(X, {.num_reps = tuned.num_reps, .seed = 4});
+  SearchStats stats;
+  (void)index.search(Q, 1, &stats);
+  EXPECT_NEAR(stats.dist_evals_per_query(), tuned.objective,
+              0.05 * tuned.objective + 1.0);
+}
+
+TEST(TunerExact, DefaultLadderCoversSqrtN) {
+  const Matrix<float> X = testutil::clustered_matrix(1'600, 6, 5, 5);
+  const Matrix<float> Q = testutil::random_matrix(20, 6, 6, -6.0f, 6.0f);
+  const TuneResult tuned = tune_exact_num_reps(X, Q, 1, {.seed = 7});
+  // sqrt(1600) = 40; the ladder spans 0.25x .. 8x.
+  ASSERT_FALSE(tuned.sweep.empty());
+  EXPECT_EQ(tuned.sweep.front().first, 10u);
+  EXPECT_EQ(tuned.sweep.back().first, 320u);
+}
+
+TEST(TunerOneShot, PicksSmallestSettingReachingTarget) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'100, 10, 7, 8),
+                           2'000);
+  const std::vector<index_t> candidates = {8, 30, 90, 270, 800};
+  const TuneResult tuned =
+      tune_oneshot_params(X, Q, /*target_recall=*/0.8, {.seed = 9},
+                          candidates);
+  EXPECT_GE(tuned.objective, 0.8);
+  // Every smaller candidate in the sweep must have missed the target.
+  for (const auto& [param, recall] : tuned.sweep)
+    if (param < tuned.num_reps) EXPECT_LT(recall, 0.8);
+}
+
+TEST(TunerOneShot, UnreachableTargetFallsBackToBest) {
+  const Matrix<float> X = testutil::clustered_matrix(800, 8, 5, 10);
+  const Matrix<float> Q = testutil::random_matrix(40, 8, 11, -6.0f, 6.0f);
+  // Tiny candidates cannot reach recall 1.0 on out-of-distribution queries.
+  const TuneResult tuned =
+      tune_oneshot_params(X, Q, 1.01, {.seed = 12}, {4, 8});
+  EXPECT_TRUE(tuned.num_reps == 4 || tuned.num_reps == 8);
+  double best = -1.0;
+  for (const auto& [param, recall] : tuned.sweep)
+    best = std::max(best, recall);
+  EXPECT_EQ(tuned.objective, best);
+}
+
+TEST(TunerOneShot, RecallSweepIsBroadlyIncreasing) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'100, 9, 6, 13),
+                           2'000);
+  const TuneResult tuned =
+      tune_oneshot_params(X, Q, 2.0 /* never reached: full sweep */,
+                          {.seed = 14});
+  ASSERT_GE(tuned.sweep.size(), 3u);
+  EXPECT_LT(tuned.sweep.front().second, tuned.sweep.back().second + 1e-9);
+}
+
+}  // namespace
+}  // namespace rbc
