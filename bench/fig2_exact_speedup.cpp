@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "bruteforce/bf.hpp"
 #include "rbc/rbc.hpp"
 
 int main() {
@@ -16,24 +15,31 @@ int main() {
 
   const index_t nq = bench::num_queries();
 
-  std::printf("%-8s %9s %7s %9s %9s %11s %11s %10s\n", "dataset", "n", "nr",
+  std::printf("%-8s %9s %9s %9s %11s %11s %10s\n", "dataset", "n",
               "t_bf(s)", "t_rbc(s)", "speedup_t", "speedup_w", "evals/q");
 
   for (const auto& name : bench::all_names()) {
     const bench::BenchData bd = bench::load(name, nq);
 
-    RbcExactIndex<> index;
-    index.build(bd.database, {.seed = 1});  // standard setting nr ~ sqrt(n)
+    // Both contenders behind the unified interface: same request, same
+    // measurement loop, different backend name.
+    auto brute = make_index("bruteforce");
+    brute->build(bd.database);
+    auto rbc_exact = make_index("rbc-exact", {.rbc = {.seed = 1}});
+    rbc_exact->build(bd.database);  // standard setting nr ~ sqrt(n)
+
+    SearchRequest request{.queries = &bd.queries, .k = 1};
+    request.options.collect_stats = true;
 
     const auto [t_bf, w_bf] =
-        bench::timed([&] { (void)bf_knn(bd.queries, bd.database, 1); });
+        bench::timed([&] { (void)brute->knn_search(request); });
 
     SearchStats stats;
     const auto [t_rbc, w_rbc] = bench::timed(
-        [&] { (void)index.search(bd.queries, 1, &stats); });
+        [&] { stats = rbc_exact->knn_search(request).stats; });
 
-    std::printf("%-8s %9u %7u %9.3f %9.3f %10.1fx %10.1fx %10.0f\n",
-                name.c_str(), bd.n, index.num_reps(), t_bf, t_rbc,
+    std::printf("%-8s %9u %9.3f %9.3f %10.1fx %10.1fx %10.0f\n",
+                name.c_str(), bd.n, t_bf, t_rbc,
                 t_bf / t_rbc,
                 static_cast<double>(w_bf) / static_cast<double>(w_rbc),
                 stats.dist_evals_per_query());

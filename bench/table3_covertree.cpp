@@ -7,7 +7,6 @@
 // O(log n) search by O(log p)), while the RBC uses the whole machine.
 #include <cstdio>
 
-#include "baselines/covertree.hpp"
 #include "bench_util.hpp"
 #include "rbc/rbc.hpp"
 
@@ -24,30 +23,27 @@ int main() {
   for (const auto& name : bench::all_names()) {
     const bench::BenchData bd = bench::load(name, nq);
 
-    CoverTree<> tree;
-    tree.build(bd.database);
+    auto tree = make_index("covertree");
+    tree->build(bd.database);
 
-    RbcExactIndex<> index;
-    index.build(bd.database, {.seed = 1});
+    auto index = make_index("rbc-exact", {.rbc = {.seed = 1}});
+    index->build(bd.database);
+
+    const SearchRequest request{.queries = &bd.queries, .k = 1};
 
     // Cover tree: single core, as in the paper.
     double t_ct = 0.0;
     std::uint64_t w_ct = 0;
     {
       ThreadLimit one(1);
-      const auto [t, w] = bench::timed([&] {
-        TopK top(1);
-        for (index_t qi = 0; qi < bd.queries.rows(); ++qi) {
-          top.reset();
-          tree.knn(bd.queries.row(qi), 1, top);
-        }
-      });
+      const auto [t, w] =
+          bench::timed([&] { (void)tree->knn_search(request); });
       t_ct = t;
       w_ct = w;
     }
 
     const auto [t_rbc, w_rbc] =
-        bench::timed([&] { (void)index.search(bd.queries, 1); });
+        bench::timed([&] { (void)index->knn_search(request); });
     (void)w_rbc;
 
     std::printf("%-8s %9u %12.3f %12.3f %11.1fx %14.0f\n", name.c_str(),

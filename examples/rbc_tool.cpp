@@ -2,13 +2,15 @@
 // and persist indexes, run searches, and evaluate accuracy, all from files.
 //
 //   rbc_tool gen <dataset> <n> <out.bin>
-//   rbc_tool build <db.bin> <index.rbc> [exact|oneshot] [num_reps]
-//   rbc_tool search <db-or-index path> <queries.bin> <k>
+//   rbc_tool backends
+//   rbc_tool build <db.bin> <index.rbc> [backend] [num_reps|leaf_size]
+//   rbc_tool search <index.rbc> <queries.bin> <k>
 //   rbc_tool eval <db.bin> <queries.bin> <index.rbc>
 //
 // Matrices are the binary format of data::save_matrix; indexes are the
-// save()/load() format of the RBC classes (magic-tagged, so `search` and
-// `eval` detect the index kind automatically).
+// unified serialization format: any backend name from `rbc_tool backends`
+// that supports save can be built, and `search`/`eval` restore it through
+// rbc::load_index (the leading magic resolves the backend automatically).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,7 +21,6 @@
 #include "data/io.hpp"
 #include "data/rank_error.hpp"
 #include "rbc/rbc.hpp"
-#include "rbc/serialize_io.hpp"
 
 namespace {
 
@@ -30,18 +31,12 @@ int usage() {
                "usage:\n"
                "  rbc_tool gen <bio|cov|phy|robot|tiny4|tiny8|tiny16|tiny32> "
                "<n> <out.bin>\n"
-               "  rbc_tool build <db.bin> <index.rbc> [exact|oneshot] "
-               "[num_reps]\n"
+               "  rbc_tool backends\n"
+               "  rbc_tool build <db.bin> <index.rbc> [backend] "
+               "[num_reps|leaf_size]\n"
                "  rbc_tool search <index.rbc> <queries.bin> <k>\n"
                "  rbc_tool eval <db.bin> <queries.bin> <index.rbc>\n");
   return 2;
-}
-
-std::uint32_t peek_magic(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  std::uint32_t magic = 0;
-  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  return is ? magic : 0;
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -56,40 +51,61 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+int cmd_backends() {
+  for (const std::string& name : registered_backends()) {
+    const auto probe = make_index(name);
+    std::printf("%-12s%s\n", name.c_str(),
+                probe->info().supports_save ? "" : "  (in-memory only)");
+  }
+  return 0;
+}
+
 int cmd_build(int argc, char** argv) {
   if (argc < 4 || argc > 6) return usage();
-  const Matrix<float> X = data::load_matrix(argv[2]);
-  const std::string kind = argc >= 5 ? argv[4] : "exact";
-  RbcParams params;
-  if (argc == 6)
-    params.num_reps =
+  // Legacy spellings stay valid; any registered backend name works.
+  std::string backend = argc >= 5 ? argv[4] : "rbc-exact";
+  if (backend == "exact") backend = "rbc-exact";
+  if (backend == "oneshot") backend = "rbc-oneshot";
+  IndexOptions options;
+  if (argc == 6) {
+    // The optional numeric knob means whatever the backend tunes; reject it
+    // for backends that would silently ignore it.
+    const auto value =
         static_cast<index_t>(std::strtoul(argv[5], nullptr, 10));
+    if (backend == "rbc-exact" || backend == "rbc-oneshot" ||
+        backend == "gpu-oneshot") {
+      options.rbc.num_reps = value;
+    } else if (backend == "kdtree" || backend == "balltree") {
+      options.leaf_size = value;
+    } else {
+      std::fprintf(stderr, "backend '%s' takes no numeric parameter\n",
+                   backend.c_str());
+      return usage();
+    }
+  }
 
+  auto index = make_index(backend, options);
+  if (!index->info().supports_save) {
+    std::fprintf(stderr,
+                 "backend '%s' is in-memory only and cannot be persisted "
+                 "(see `rbc_tool backends`)\n",
+                 backend.c_str());
+    return 1;
+  }
+
+  const Matrix<float> X = data::load_matrix(argv[2]);
+  WallTimer timer;
+  index->build(X);
   std::ofstream os(argv[3], std::ios::binary);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", argv[3]);
     return 1;
   }
-  WallTimer timer;
-  if (kind == "oneshot") {
-    RbcOneShotIndex<> index;
-    index.build(X, params);
-    index.save(os);
-    std::printf("one-shot index: nr=%u s=%u, %.1f MB, built in %.2fs\n",
-                index.num_reps(), index.points_per_rep(),
-                static_cast<double>(index.memory_bytes()) / 1e6,
-                timer.seconds());
-  } else if (kind == "exact") {
-    RbcExactIndex<> index;
-    index.build(X, params);
-    index.save(os);
-    std::printf("exact index: nr=%u, %.1f MB, built in %.2fs\n",
-                index.num_reps(),
-                static_cast<double>(index.memory_bytes()) / 1e6,
-                timer.seconds());
-  } else {
-    return usage();
-  }
+  index->save(os);
+  const IndexInfo info = index->info();
+  std::printf("%s index over %u points: %.1f MB, built in %.2fs\n",
+              info.backend.c_str(), info.size,
+              static_cast<double>(info.memory_bytes) / 1e6, timer.seconds());
   return 0;
 }
 
@@ -99,35 +115,28 @@ int cmd_search(int argc, char** argv) {
   const auto k = static_cast<index_t>(std::strtoul(argv[4], nullptr, 10));
 
   std::ifstream is(argv[2], std::ios::binary);
-  const std::uint32_t magic = peek_magic(argv[2]);
-  KnnResult result;
-  SearchStats stats;
-  WallTimer timer;
-  double elapsed = 0.0;
-  if (magic == io::kMagicExact) {
-    const auto index = RbcExactIndex<>::load(is);
-    timer.reset();
-    result = index.search(Q, k, &stats);
-    elapsed = timer.seconds();
-  } else if (magic == io::kMagicOneShot) {
-    const auto index = RbcOneShotIndex<>::load(is);
-    timer.reset();
-    result = index.search(Q, k, &stats);
-    elapsed = timer.seconds();
-  } else {
-    std::fprintf(stderr, "%s is not an rbc index\n", argv[2]);
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
     return 1;
   }
+  const auto index = load_index(is);
 
-  std::printf("%u queries x %u-NN in %.3fs (%.1f us/query, %.0f evals/query)\n",
-              Q.rows(), k, elapsed, elapsed / Q.rows() * 1e6,
-              stats.dist_evals_per_query());
+  SearchRequest request{.queries = &Q, .k = k};
+  request.options.collect_stats = true;
+  WallTimer timer;
+  const SearchResponse response = index->knn_search(request);
+  const double elapsed = timer.seconds();
+
+  std::printf(
+      "[%s] %u queries x %u-NN in %.3fs (%.1f us/query, %.0f evals/query)\n",
+      index->info().backend.c_str(), Q.rows(), k, elapsed,
+      elapsed / Q.rows() * 1e6, response.stats.dist_evals_per_query());
   const index_t show = std::min<index_t>(Q.rows(), 5);
   for (index_t qi = 0; qi < show; ++qi) {
     std::printf("q%u:", qi);
     for (index_t j = 0; j < k; ++j)
-      std::printf(" (%u, %.4f)", result.ids.at(qi, j),
-                  result.dists.at(qi, j));
+      std::printf(" (%u, %.4f)", response.knn.ids.at(qi, j),
+                  response.knn.dists.at(qi, j));
     std::printf("\n");
   }
   return 0;
@@ -139,18 +148,15 @@ int cmd_eval(int argc, char** argv) {
   const Matrix<float> Q = data::load_matrix(argv[3]);
 
   std::ifstream is(argv[4], std::ios::binary);
-  const std::uint32_t magic = peek_magic(argv[4]);
-  KnnResult result;
-  if (magic == io::kMagicExact) {
-    result = RbcExactIndex<>::load(is).search(Q, 1);
-  } else if (magic == io::kMagicOneShot) {
-    result = RbcOneShotIndex<>::load(is).search(Q, 1);
-  } else {
-    std::fprintf(stderr, "%s is not an rbc index\n", argv[4]);
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", argv[4]);
     return 1;
   }
-  std::printf("mean rank: %.4f\nrecall@1:  %.4f\n",
-              data::mean_rank(Q, X, result), data::recall_at_1(Q, X, result));
+  const auto index = load_index(is);
+  const KnnResult result = index->knn_search({.queries = &Q, .k = 1}).knn;
+  std::printf("backend:   %s\nmean rank: %.4f\nrecall@1:  %.4f\n",
+              index->info().backend.c_str(), data::mean_rank(Q, X, result),
+              data::recall_at_1(Q, X, result));
   return 0;
 }
 
@@ -161,6 +167,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "backends") return cmd_backends();
     if (cmd == "build") return cmd_build(argc, argv);
     if (cmd == "search") return cmd_search(argc, argv);
     if (cmd == "eval") return cmd_eval(argc, argv);

@@ -1,0 +1,21 @@
+// Umbrella header of the unified index API.
+//
+//   #include "api/api.hpp"             // or "rbc/rbc.hpp", which includes it
+//
+//   auto index = rbc::make_index("rbc-exact");
+//   index->build(database);
+//   rbc::SearchResponse r = index->knn_search({.queries = &Q, .k = 5});
+//
+//   std::ofstream os("index.rbc", std::ios::binary);
+//   index->save(os);
+//   ...
+//   std::ifstream is("index.rbc", std::ios::binary);
+//   auto restored = rbc::load_index(is);   // backend resolved from magic
+//
+// Shipped backend names: "bruteforce", "rbc-exact", "rbc-oneshot",
+// "kdtree", "balltree", "covertree", "gpu-bf", "gpu-oneshot".
+#pragma once
+
+#include "api/index.hpp"
+#include "api/registry.hpp"
+#include "api/search.hpp"

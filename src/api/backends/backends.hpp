@@ -1,0 +1,40 @@
+// Self-registration hooks of the built-in backends plus small helpers the
+// adapters share.
+//
+// Each hook lives in its backend's translation unit and registers that
+// backend with the global registry (idempotently). The registry calls every
+// hook lazily before the first lookup, which keeps registration working even
+// when the library is linked as a static archive (where a TU with only a
+// self-registration static would be dropped by the linker).
+#pragma once
+
+#include "api/search.hpp"
+#include "bruteforce/topk.hpp"
+#include "common/matrix.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc::backends {
+
+void register_bruteforce();
+void register_rbc_exact();
+void register_rbc_oneshot();
+void register_kdtree();
+void register_balltree();
+void register_covertree();
+void register_gpu();
+
+/// Batches a single-query backend (`one(q, top)` fills a TopK) across a
+/// query matrix, parallel over queries — the adapter-side equivalent of the
+/// batch loops the RBC indexes implement natively.
+template <class SearchOne>
+KnnResult batch_knn(const Matrix<float>& Q, index_t k, SearchOne&& one) {
+  KnnResult result(Q.rows(), k);
+  parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+    TopK top(k);
+    one(Q.row(qi), top);
+    top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+  });
+  return result;
+}
+
+}  // namespace rbc::backends

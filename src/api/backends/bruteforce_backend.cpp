@@ -1,0 +1,104 @@
+// "bruteforce" backend: BF(Q, X) as an Index. The reference answer every
+// exact backend must match, and the baseline every speedup is measured
+// against. Owns a copy of the database; supports range search and
+// serialization (the format is just the matrix).
+#include <istream>
+#include <ostream>
+
+#include "api/backends/backends.hpp"
+#include "api/registry.hpp"
+#include "bruteforce/bf.hpp"
+#include "rbc/serialize_io.hpp"
+
+namespace rbc::backends {
+
+namespace {
+
+class BruteForceBackend final : public Index {
+ public:
+  void build(const Matrix<float>& X) override {
+    db_ = X.clone();
+    built_ = true;  // an empty database is a valid built state (results pad)
+  }
+
+  SearchResponse knn_search(const SearchRequest& request) const override {
+    validate_knn(request, db_.cols(), built_, "bruteforce");
+    SearchResponse response;
+    response.knn = bf_knn(*request.queries, db_, request.k);
+    if (request.options.collect_stats) {
+      response.stats.queries = request.queries->rows();
+      response.stats.list_dist_evals =
+          static_cast<std::uint64_t>(request.queries->rows()) * db_.rows();
+    }
+    return response;
+  }
+
+  RangeResponse range_search(const RangeRequest& request) const override {
+    validate_range(request, db_.cols(), built_, "bruteforce");
+    const Matrix<float>& Q = *request.queries;
+    const Euclidean metric{};
+    RangeResponse response;
+    response.ids.resize(Q.rows());
+    parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+      const float* q = Q.row(qi);
+      for (index_t j = 0; j < db_.rows(); ++j)
+        if (metric(q, db_.row(j), db_.cols()) <= request.radius)
+          response.ids[qi].push_back(j);
+    });
+    counters::add_dist_evals(static_cast<std::uint64_t>(Q.rows()) *
+                             db_.rows());
+    if (request.options.collect_stats) {
+      response.stats.queries = Q.rows();
+      response.stats.list_dist_evals =
+          static_cast<std::uint64_t>(Q.rows()) * db_.rows();
+    }
+    return response;
+  }
+
+  void save(std::ostream& os) const override {
+    io::write_pod(os, io::kMagicBruteForce);
+    io::write_pod(os, io::kFormatVersion);
+    io::write_matrix(os, db_);
+  }
+
+  static std::unique_ptr<Index> load(std::istream& is) {
+    io::expect_pod(is, io::kMagicBruteForce, "bruteforce magic");
+    io::expect_pod(is, io::kFormatVersion, "bruteforce version");
+    auto index = std::make_unique<BruteForceBackend>();
+    index->db_ = io::read_matrix(is);
+    index->built_ = true;
+    return index;
+  }
+
+  IndexInfo info() const override {
+    IndexInfo info;
+    info.backend = "bruteforce";
+    info.size = db_.rows();
+    info.dim = db_.cols();
+    info.exact = true;
+    info.supports_range = true;
+    info.supports_save = true;
+    info.memory_bytes = db_.size() * sizeof(float);
+    return info;
+  }
+
+ private:
+  Matrix<float> db_;
+  bool built_ = false;
+};
+
+[[maybe_unused]] const bool auto_registered = (register_bruteforce(), true);
+
+}  // namespace
+
+void register_bruteforce() {
+  register_backend(
+      {.name = "bruteforce",
+       .create = [](const IndexOptions&) -> std::unique_ptr<Index> {
+         return std::make_unique<BruteForceBackend>();
+       },
+       .magic = io::kMagicBruteForce,
+       .load = BruteForceBackend::load});
+}
+
+}  // namespace rbc::backends

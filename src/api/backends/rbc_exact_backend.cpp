@@ -1,0 +1,91 @@
+// "rbc-exact" backend: the paper's exact Random Ball Cover behind the
+// unified interface. Thin adapter — build/search/save all forward to
+// RbcExactIndex<Euclidean>, whose serialization format (kMagicExact) is
+// reused unchanged, so files written by the concrete class load through
+// rbc::load_index() and vice versa.
+#include <istream>
+#include <ostream>
+
+#include "api/backends/backends.hpp"
+#include "api/registry.hpp"
+#include "rbc/rbc_exact.hpp"
+
+namespace rbc::backends {
+
+namespace {
+
+class RbcExactBackend final : public Index {
+ public:
+  explicit RbcExactBackend(const IndexOptions& options)
+      : params_(options.rbc) {}
+
+  void build(const Matrix<float>& X) override {
+    index_.build(X, params_);
+    built_ = true;
+  }
+
+  SearchResponse knn_search(const SearchRequest& request) const override {
+    validate_knn(request, index_.dim(), built_, "rbc-exact");
+    SearchResponse response;
+    response.knn = index_.search(
+        *request.queries, request.k,
+        request.options.collect_stats ? &response.stats : nullptr);
+    return response;
+  }
+
+  RangeResponse range_search(const RangeRequest& request) const override {
+    validate_range(request, index_.dim(), built_, "rbc-exact");
+    const Matrix<float>& Q = *request.queries;
+    RangeResponse response;
+    response.ids.resize(Q.rows());
+    parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+      response.ids[qi] = index_.range_search(Q.row(qi), request.radius);
+    });
+    if (request.options.collect_stats) response.stats.queries = Q.rows();
+    return response;
+  }
+
+  void save(std::ostream& os) const override { index_.save(os); }
+
+  static std::unique_ptr<Index> load(std::istream& is) {
+    auto backend = std::make_unique<RbcExactBackend>(IndexOptions{});
+    backend->index_ = RbcExactIndex<Euclidean>::load(is);
+    backend->params_ = backend->index_.params();
+    backend->built_ = true;
+    return backend;
+  }
+
+  IndexInfo info() const override {
+    IndexInfo info;
+    info.backend = "rbc-exact";
+    info.size = index_.size();
+    info.dim = index_.dim();
+    // approx_eps > 0 switches the index to (1+eps)-approximate pruning.
+    info.exact = params_.approx_eps == 0.0f;
+    info.supports_range = true;
+    info.supports_save = true;
+    info.memory_bytes = built_ ? index_.memory_bytes() : 0;
+    return info;
+  }
+
+ private:
+  RbcParams params_;
+  RbcExactIndex<Euclidean> index_;
+  bool built_ = false;
+};
+
+[[maybe_unused]] const bool auto_registered = (register_rbc_exact(), true);
+
+}  // namespace
+
+void register_rbc_exact() {
+  register_backend(
+      {.name = "rbc-exact",
+       .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
+         return std::make_unique<RbcExactBackend>(options);
+       },
+       .magic = io::kMagicExact,
+       .load = RbcExactBackend::load});
+}
+
+}  // namespace rbc::backends

@@ -1,0 +1,76 @@
+// "rbc-oneshot" backend: the paper's probabilistic one-shot Random Ball
+// Cover behind the unified interface (exact = false: Theorem 2 recall, not a
+// guarantee). Reuses the concrete class's kMagicOneShot serialization.
+#include <istream>
+#include <ostream>
+
+#include "api/backends/backends.hpp"
+#include "api/registry.hpp"
+#include "rbc/rbc_oneshot.hpp"
+
+namespace rbc::backends {
+
+namespace {
+
+class RbcOneShotBackend final : public Index {
+ public:
+  explicit RbcOneShotBackend(const IndexOptions& options)
+      : params_(options.rbc) {}
+
+  void build(const Matrix<float>& X) override {
+    index_.build(X, params_);
+    built_ = true;
+  }
+
+  SearchResponse knn_search(const SearchRequest& request) const override {
+    validate_knn(request, index_.dim(), built_, "rbc-oneshot");
+    SearchResponse response;
+    response.knn = index_.search(
+        *request.queries, request.k,
+        request.options.collect_stats ? &response.stats : nullptr);
+    return response;
+  }
+
+  void save(std::ostream& os) const override { index_.save(os); }
+
+  static std::unique_ptr<Index> load(std::istream& is) {
+    auto backend = std::make_unique<RbcOneShotBackend>(IndexOptions{});
+    backend->index_ = RbcOneShotIndex<Euclidean>::load(is);
+    backend->params_ = backend->index_.params();
+    backend->built_ = true;
+    return backend;
+  }
+
+  IndexInfo info() const override {
+    IndexInfo info;
+    info.backend = "rbc-oneshot";
+    info.size = index_.size();
+    info.dim = index_.dim();
+    info.exact = false;  // probabilistic recall (paper Theorem 2)
+    info.supports_range = false;
+    info.supports_save = true;
+    info.memory_bytes = built_ ? index_.memory_bytes() : 0;
+    return info;
+  }
+
+ private:
+  RbcParams params_;
+  RbcOneShotIndex<Euclidean> index_;
+  bool built_ = false;
+};
+
+[[maybe_unused]] const bool auto_registered = (register_rbc_oneshot(), true);
+
+}  // namespace
+
+void register_rbc_oneshot() {
+  register_backend(
+      {.name = "rbc-oneshot",
+       .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
+         return std::make_unique<RbcOneShotBackend>(options);
+       },
+       .magic = io::kMagicOneShot,
+       .load = RbcOneShotBackend::load});
+}
+
+}  // namespace rbc::backends

@@ -1,0 +1,150 @@
+// Tree-baseline backends ("kdtree", "balltree", "covertree") behind the
+// unified interface. The three concrete trees are non-owning and answer one
+// query at a time, so they share one adapter shape: own a copy of the
+// database, batch the serial per-query knn() in parallel, and serialize the
+// database plus build knobs, rebuilding deterministically on load (the
+// restored tree is identical). A traits struct supplies what differs — the
+// tree type, registry name, format magic, and which IndexOptions knobs the
+// build consumes and the file persists.
+#include <istream>
+#include <ostream>
+
+#include "api/backends/backends.hpp"
+#include "api/registry.hpp"
+#include "baselines/balltree.hpp"
+#include "baselines/covertree.hpp"
+#include "baselines/kdtree.hpp"
+#include "rbc/serialize_io.hpp"
+
+namespace rbc::backends {
+
+namespace {
+
+template <class Traits>
+class TreeBackend final : public Index {
+ public:
+  explicit TreeBackend(const IndexOptions& options) : options_(options) {}
+
+  void build(const Matrix<float>& X) override {
+    db_ = X.clone();
+    Traits::build(tree_, db_, options_);
+    built_ = true;
+  }
+
+  SearchResponse knn_search(const SearchRequest& request) const override {
+    validate_knn(request, db_.cols(), built_, Traits::kName);
+    SearchResponse response;
+    response.knn = batch_knn(*request.queries, request.k,
+                             [&](const float* q, TopK& top) {
+                               tree_.knn(q, request.k, top);
+                             });
+    if (request.options.collect_stats)
+      response.stats.queries = request.queries->rows();
+    return response;
+  }
+
+  void save(std::ostream& os) const override {
+    io::write_pod(os, Traits::kMagic);
+    io::write_pod(os, io::kFormatVersion);
+    Traits::save_knobs(os, options_);
+    io::write_matrix(os, db_);
+  }
+
+  static std::unique_ptr<Index> load(std::istream& is) {
+    io::expect_pod(is, Traits::kMagic, Traits::kName);
+    io::expect_pod(is, io::kFormatVersion, Traits::kName);
+    IndexOptions options;
+    Traits::load_knobs(is, options);
+    auto backend = std::make_unique<TreeBackend>(options);
+    backend->build(io::read_matrix(is));
+    return backend;
+  }
+
+  IndexInfo info() const override {
+    IndexInfo info;
+    info.backend = Traits::kName;
+    info.size = db_.rows();
+    info.dim = db_.cols();
+    info.exact = true;
+    info.supports_range = false;
+    info.supports_save = true;
+    info.memory_bytes = db_.size() * sizeof(float);
+    return info;
+  }
+
+ private:
+  IndexOptions options_;
+  Matrix<float> db_;
+  typename Traits::Tree tree_;
+  bool built_ = false;
+};
+
+struct KdTreeTraits {
+  using Tree = KdTree;
+  static constexpr const char* kName = "kdtree";
+  static constexpr std::uint32_t kMagic = io::kMagicKdTree;
+  static void build(Tree& tree, const Matrix<float>& db,
+                    const IndexOptions& options) {
+    tree.build(db, options.leaf_size);
+  }
+  static void save_knobs(std::ostream& os, const IndexOptions& options) {
+    io::write_pod(os, options.leaf_size);
+  }
+  static void load_knobs(std::istream& is, IndexOptions& options) {
+    io::read_pod(is, options.leaf_size);
+  }
+};
+
+struct BallTreeTraits {
+  using Tree = BallTree<Euclidean>;
+  static constexpr const char* kName = "balltree";
+  static constexpr std::uint32_t kMagic = io::kMagicBallTree;
+  static void build(Tree& tree, const Matrix<float>& db,
+                    const IndexOptions& options) {
+    tree.build(db, options.leaf_size, {}, options.seed);
+  }
+  // The pivot-pair sampling seed must be persisted for the restored tree to
+  // be identical.
+  static void save_knobs(std::ostream& os, const IndexOptions& options) {
+    io::write_pod(os, options.leaf_size);
+    io::write_pod(os, options.seed);
+  }
+  static void load_knobs(std::istream& is, IndexOptions& options) {
+    io::read_pod(is, options.leaf_size);
+    io::read_pod(is, options.seed);
+  }
+};
+
+struct CoverTreeTraits {
+  using Tree = CoverTree<Euclidean>;
+  static constexpr const char* kName = "covertree";
+  static constexpr std::uint32_t kMagic = io::kMagicCoverTree;
+  static void build(Tree& tree, const Matrix<float>& db,
+                    const IndexOptions&) {
+    tree.build(db);
+  }
+  static void save_knobs(std::ostream&, const IndexOptions&) {}
+  static void load_knobs(std::istream&, IndexOptions&) {}
+};
+
+template <class Traits>
+void register_tree() {
+  register_backend(
+      {.name = Traits::kName,
+       .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
+         return std::make_unique<TreeBackend<Traits>>(options);
+       },
+       .magic = Traits::kMagic,
+       .load = TreeBackend<Traits>::load});
+}
+
+[[maybe_unused]] const bool auto_registered =
+    (register_kdtree(), register_balltree(), register_covertree(), true);
+
+}  // namespace
+
+void register_kdtree() { register_tree<KdTreeTraits>(); }
+void register_balltree() { register_tree<BallTreeTraits>(); }
+void register_covertree() { register_tree<CoverTreeTraits>(); }
+
+}  // namespace rbc::backends

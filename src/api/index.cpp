@@ -1,0 +1,50 @@
+#include "api/index.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rbc {
+
+RangeResponse Index::range_search(const RangeRequest& /*request*/) const {
+  throw std::runtime_error("rbc::Index: backend '" + info().backend +
+                           "' does not support range_search "
+                           "(info().supports_range is false)");
+}
+
+void Index::save(std::ostream& /*os*/) const {
+  throw std::runtime_error("rbc::Index: backend '" + info().backend +
+                           "' does not support save "
+                           "(info().supports_save is false)");
+}
+
+namespace {
+
+[[noreturn]] void fail(const char* backend, const std::string& what) {
+  throw std::invalid_argument(std::string("rbc::Index[") + backend +
+                              "]: " + what);
+}
+
+void validate_queries(const Matrix<float>* queries, index_t dim, bool built,
+                      const char* backend) {
+  if (!built) fail(backend, "search on an unbuilt index (call build first)");
+  if (queries == nullptr) fail(backend, "request.queries is null");
+  if (queries->cols() != dim)
+    fail(backend, "query dimension " + std::to_string(queries->cols()) +
+                      " != index dimension " + std::to_string(dim));
+}
+
+}  // namespace
+
+void Index::validate_knn(const SearchRequest& request, index_t dim,
+                         bool built, const char* backend) {
+  validate_queries(request.queries, dim, built, backend);
+  if (request.k == 0) fail(backend, "request.k must be >= 1");
+}
+
+void Index::validate_range(const RangeRequest& request, index_t dim,
+                           bool built, const char* backend) {
+  validate_queries(request.queries, dim, built, backend);
+  if (request.radius < 0) fail(backend, "request.radius must be >= 0");
+}
+
+}  // namespace rbc

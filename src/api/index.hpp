@@ -1,0 +1,100 @@
+// The unified index interface: one abstract contract that every search
+// backend implements (paper framing: the brute-force primitive BF composes
+// into many search strategies; this is the seam those strategies plug into).
+//
+//   auto index = rbc::make_index("rbc-exact", {.rbc = {.num_reps = 256}});
+//   index->build(database);
+//   SearchResponse r = index->knn_search({.queries = &Q, .k = 5});
+//
+// The type-erased layer is deliberately thin: the concrete templated classes
+// (RbcExactIndex<M>, BallTree<M>, ...) remain the zero-overhead way to use a
+// known backend with a non-default metric; this interface is the stable
+// boundary for cross-backend code (benchmarks, tools, serving layers,
+// sharding — see ROADMAP.md). Type-erased backends fix the metric to
+// Euclidean, the metric of all of the paper's experiments.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "api/search.hpp"
+#include "common/types.hpp"
+#include "rbc/params.hpp"
+
+namespace rbc {
+
+/// Build-time configuration for make_index(). One struct for every backend:
+/// each backend reads the fields that apply to it and ignores the rest
+/// (documented per field). Defaults reproduce each backend's stand-alone
+/// defaults.
+struct IndexOptions {
+  /// rbc-exact / rbc-oneshot / gpu-oneshot: representative count, pruning
+  /// rules, approximation knobs.
+  RbcParams rbc{};
+
+  /// kdtree / balltree: points per leaf.
+  index_t leaf_size = 16;
+
+  /// balltree: pivot-pair sampling seed (rbc backends seed via rbc.seed).
+  std::uint64_t seed = 0x5eed;
+
+  /// gpu-bf / gpu-oneshot: kernel block width (power of two).
+  std::uint32_t gpu_threads_per_block = 64;
+
+  /// gpu-bf / gpu-oneshot: SIMT device worker pool size; 0 = all cores.
+  int gpu_workers = 0;
+};
+
+/// Static metadata and capabilities of a (built) index.
+struct IndexInfo {
+  std::string backend;        ///< registry name ("rbc-exact", "kdtree", ...)
+  std::string metric = "l2";  ///< metric name (type-erased layer: always l2)
+  index_t size = 0;           ///< database points indexed
+  index_t dim = 0;            ///< dimensionality
+  bool exact = true;          ///< true NN guarantee vs probabilistic recall
+  bool supports_range = false;  ///< range_search() implemented
+  bool supports_save = false;   ///< save() / load_index() implemented
+  std::size_t memory_bytes = 0;  ///< index-owned memory (0 if unknown)
+};
+
+/// Abstract search index. Implementations own every byte they need to
+/// answer queries (the database is copied at build — callers may discard
+/// it), are immutable after build(), and answer concurrent const queries
+/// safely.
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Builds (or rebuilds) the index over X using the IndexOptions captured
+  /// at construction. X is copied; it need not outlive the call.
+  virtual void build(const Matrix<float>& X) = 0;
+
+  /// Batched k-NN. Throws std::invalid_argument on a malformed request
+  /// (null queries, k == 0, dimension mismatch, or unbuilt index).
+  virtual SearchResponse knn_search(const SearchRequest& request) const = 0;
+
+  /// Batched range search. Default: throws std::runtime_error — check
+  /// info().supports_range before calling on an arbitrary backend.
+  virtual RangeResponse range_search(const RangeRequest& request) const;
+
+  /// Serializes the built index; rbc::load_index() restores it. Default:
+  /// throws std::runtime_error (see info().supports_save).
+  virtual void save(std::ostream& os) const;
+
+  /// Metadata and capability flags.
+  virtual IndexInfo info() const = 0;
+
+ protected:
+  Index() = default;
+  Index(const Index&) = default;
+  Index& operator=(const Index&) = default;
+
+  // Shared request validation for implementations (throw on violation).
+  static void validate_knn(const SearchRequest& request, index_t dim,
+                           bool built, const char* backend);
+  static void validate_range(const RangeRequest& request, index_t dim,
+                             bool built, const char* backend);
+};
+
+}  // namespace rbc

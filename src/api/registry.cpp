@@ -1,0 +1,128 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <mutex>
+#include <stdexcept>
+
+#include "api/backends/backends.hpp"
+
+namespace rbc {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<BackendEntry> entries;
+
+  static Registry& instance() {
+    static Registry r;  // function-local: safe under cross-TU static init
+    return r;
+  }
+
+  const BackendEntry* find_locked(std::string_view name) const {
+    for (const BackendEntry& e : entries)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+};
+
+/// Registers every built-in backend exactly once. Called before each lookup
+/// so the builtins exist no matter how the library was linked.
+void ensure_builtins() {
+  static const bool once = [] {
+    backends::register_bruteforce();
+    backends::register_rbc_exact();
+    backends::register_rbc_oneshot();
+    backends::register_kdtree();
+    backends::register_balltree();
+    backends::register_covertree();
+    backends::register_gpu();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+bool register_backend(BackendEntry entry) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.find_locked(entry.name) != nullptr) return false;
+  // A non-zero magic must be unique too: load_index dispatches on it, and a
+  // duplicate would let a later registration hijack existing files.
+  if (entry.magic != 0)
+    for (const BackendEntry& e : reg.entries)
+      if (e.magic == entry.magic) return false;
+  reg.entries.push_back(std::move(entry));
+  return true;
+}
+
+std::unique_ptr<Index> make_index(std::string_view name,
+                                  const IndexOptions& options) {
+  ensure_builtins();
+  Registry& reg = Registry::instance();
+
+  // Copy the factory out, then invoke it unlocked: a composing backend's
+  // factory may legitimately call back into make_index/register_backend.
+  std::function<std::unique_ptr<Index>(const IndexOptions&)> create;
+  std::string known;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (const BackendEntry* e = reg.find_locked(name)) {
+      create = e->create;
+    } else {
+      for (const BackendEntry& e : reg.entries) {
+        if (!known.empty()) known += ", ";
+        known += e.name;
+      }
+    }
+  }
+  if (create) return create(options);
+  throw std::invalid_argument("rbc::make_index: unknown backend '" +
+                              std::string(name) + "' (registered: " + known +
+                              ")");
+}
+
+std::unique_ptr<Index> load_index(std::istream& is) {
+  ensure_builtins();
+
+  // Peek the format magic, then rewind so the backend loader (which
+  // re-verifies it) sees the full stream.
+  std::uint32_t magic = 0;
+  const std::istream::pos_type start = is.tellg();
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is) throw std::runtime_error("rbc::load_index: truncated stream");
+  is.seekg(start);
+  if (!is)
+    throw std::runtime_error("rbc::load_index: stream must be seekable");
+
+  std::function<std::unique_ptr<Index>(std::istream&)> loader;
+  {
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const BackendEntry& e : reg.entries)
+      if (e.magic != 0 && e.magic == magic && e.load) {
+        loader = e.load;
+        break;
+      }
+  }
+  if (!loader)
+    throw std::runtime_error(
+        "rbc::load_index: no registered backend matches the stream's format "
+        "magic (not an rbc index, or its backend was not linked in)");
+  return loader(is);
+}
+
+std::vector<std::string> registered_backends() {
+  ensure_builtins();
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.entries.size());
+  for (const BackendEntry& e : reg.entries) names.push_back(e.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace rbc

@@ -1,0 +1,64 @@
+// Request/response structs of the unified search API.
+//
+// Every backend answers the same query shapes through these types, so
+// callers (benchmarks, examples, serving layers) are written once and run
+// against any registered backend:
+//
+//   SearchRequest req{.queries = &Q, .k = 10};
+//   req.options.collect_stats = true;
+//   SearchResponse resp = index->knn_search(req);
+//
+// The structs replace the positional `search(Q, k, &stats)` signatures of
+// the concrete classes: adding a knob is a new defaulted field, not a
+// breaking signature change across seven backends.
+#pragma once
+
+#include <vector>
+
+#include "bruteforce/bf.hpp"
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "rbc/stats.hpp"
+
+namespace rbc {
+
+/// Per-call knobs shared by every search shape.
+struct SearchOptions {
+  /// Fill SearchResponse::stats with per-backend work counters. Off by
+  /// default: stats aggregation costs a per-thread merge on the hot path.
+  bool collect_stats = false;
+};
+
+/// A batched k-NN query. `queries` is borrowed and must stay alive for the
+/// duration of the call; its column count must equal the index dimension.
+struct SearchRequest {
+  const Matrix<float>* queries = nullptr;  // nq x d, borrowed
+  index_t k = 1;
+  SearchOptions options{};
+};
+
+/// k-NN answers: row i of `knn` holds query i's neighbors in ascending
+/// (distance, id) order, padded with (inf, kInvalidIndex) when fewer than k
+/// database points exist. `stats` is populated when options.collect_stats
+/// was set; which counters a backend fills is backend-specific (tree
+/// baselines report queries only).
+struct SearchResponse {
+  KnnResult knn;
+  SearchStats stats{};
+};
+
+/// A batched range query: all points within `radius` of each query.
+struct RangeRequest {
+  const Matrix<float>* queries = nullptr;  // nq x d, borrowed
+  dist_t radius = 0.0f;
+  SearchOptions options{};
+};
+
+/// Range answers: ids[i] holds the ids of all database points within the
+/// radius of query i, sorted ascending by id.
+struct RangeResponse {
+  std::vector<std::vector<index_t>> ids;
+  SearchStats stats{};
+};
+
+}  // namespace rbc

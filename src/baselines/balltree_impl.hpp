@@ -97,7 +97,9 @@ void BallTree<M>::knn(const float* q, index_t k, TopK& out) const {
 }
 
 template <DenseMetric M>
-void BallTree<M>::knn_descend(std::int32_t node, dist_t dist_to_center,
+void BallTree<M>::knn_descend(std::int32_t node,
+                              dist_t /*dist_to_center: kept for symmetry
+                                       with the recursive calls below*/,
                               const float* q, TopK& out) const {
   const Node& x = nodes_[static_cast<std::size_t>(node)];
   const index_t d = db_->cols();

@@ -2,14 +2,28 @@
 //
 //   #include "rbc/rbc.hpp"
 //
-//   rbc::Matrix<float> db = ...;            // n x d database
-//   rbc::RbcExactIndex<> exact;             // Euclidean metric by default
+// Unified API (any backend through one interface; see src/api/):
+//
+//   rbc::Matrix<float> db = ...;                    // n x d database
+//   auto index = rbc::make_index("rbc-exact");      // or "bruteforce",
+//   index->build(db);                               // "kdtree", ... (see
+//   rbc::SearchResponse r =                         //  registered_backends())
+//       index->knn_search({.queries = &queries, .k = 5});
+//
+//   index->save(stream);                            // persist ...
+//   auto restored = rbc::load_index(stream);        // ... backend auto-detected
+//
+// Concrete classes (zero-overhead, metric-templated direct use):
+//
+//   rbc::RbcExactIndex<> exact;                     // Euclidean by default
 //   exact.build(db);
 //   rbc::KnnResult nn = exact.search(queries, /*k=*/1);
 //
-// See examples/quickstart.cpp for a complete program.
+// See examples/quickstart.cpp for a complete program and README.md for the
+// backend table.
 #pragma once
 
+#include "api/api.hpp"
 #include "bruteforce/bf.hpp"
 #include "bruteforce/bf_generic.hpp"
 #include "common/matrix.hpp"

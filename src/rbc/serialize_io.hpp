@@ -18,8 +18,14 @@
 
 namespace rbc::io {
 
-inline constexpr std::uint32_t kMagicExact = 0x52424358;    // "RBCX"
-inline constexpr std::uint32_t kMagicOneShot = 0x52424331;  // "RBC1"
+// Every serializable index format leads with one of these magics; the
+// unified rbc::load_index() dispatches on them (see api/registry.hpp).
+inline constexpr std::uint32_t kMagicExact = 0x52424358;      // "RBCX"
+inline constexpr std::uint32_t kMagicOneShot = 0x52424331;    // "RBC1"
+inline constexpr std::uint32_t kMagicBruteForce = 0x52424342;  // "RBCB"
+inline constexpr std::uint32_t kMagicKdTree = 0x5242434B;      // "RBCK"
+inline constexpr std::uint32_t kMagicBallTree = 0x52424354;    // "RBCT"
+inline constexpr std::uint32_t kMagicCoverTree = 0x52424343;   // "RBCC"
 inline constexpr std::uint32_t kFormatVersion = 1;
 
 template <class T>
