@@ -1,0 +1,216 @@
+// Serving-layer throughput: batched dispatch vs one-query-per-call.
+//
+// Sweeps client-thread count x max_batch over one rbc-exact index and
+// measures end-to-end queries/sec through the SearchService. max_batch = 1
+// is the degenerate configuration — every submission becomes its own
+// backend call, the way naive request/response serving drives a library —
+// and is the baseline the paper's batching argument (§3: BF over a query
+// block ~ matrix-matrix multiply) is measured against.
+//
+//   ./bench_serve_throughput [--smoke] [--out=PATH]
+//
+// Writes machine-readable results to BENCH_serve.json (schema validated by
+// scripts/validate_bench_serve.py; the acceptance record compares the best
+// batched configuration (max_batch >= 64) against max_batch = 1 at the
+// highest client count). --smoke shrinks everything so CI can validate the
+// pipeline in seconds. Knobs: RBC_SERVE_BENCH_N (database size),
+// RBC_SERVE_BENCH_QUERIES (total queries per configuration).
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "data/generators.hpp"
+#include "rbc/rbc.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace rbc;
+
+/// Non-owning adapter so every service configuration reuses one built
+/// index (SearchService takes ownership; the expensive build shouldn't be
+/// repeated per sweep point).
+class SharedIndexView final : public Index {
+ public:
+  explicit SharedIndexView(const Index* inner) : inner_(inner) {}
+  void build(const Matrix<float>&) override {}  // already built
+  SearchResponse knn_search(const SearchRequest& request) const override {
+    return inner_->knn_search(request);
+  }
+  IndexInfo info() const override { return inner_->info(); }
+
+ private:
+  const Index* inner_;
+};
+
+struct RunResult {
+  int clients = 0;
+  index_t max_batch = 0;
+  index_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+  std::uint64_t batches = 0;
+  double evals_per_query = 0.0;
+};
+
+/// One sweep point: `clients` threads, each pipelining its share of
+/// `total_queries` single-query submissions (submit all, then collect), so
+/// the service sees a sustained concurrent stream.
+RunResult run_config(const Index& shared, const Matrix<float>& queries,
+                     int clients, index_t max_batch, index_t k) {
+  serve::SearchService service(
+      std::make_unique<SharedIndexView>(&shared),
+      {.max_batch = max_batch, .max_wait_us = 300, .workers = 1});
+
+  const index_t total = queries.rows();
+  const index_t per_client = total / static_cast<index_t>(clients);
+  WallTimer timer;
+  counters::Scope work;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      const index_t begin = static_cast<index_t>(c) * per_client;
+      const index_t end =
+          c == clients - 1 ? total : begin + per_client;
+      std::vector<std::future<serve::QueryResult>> futures;
+      futures.reserve(end - begin);
+      for (index_t qi = begin; qi < end; ++qi)
+        futures.push_back(service.submit({queries.row(qi), queries.cols()}, k));
+      for (auto& f : futures) (void)f.get();
+    });
+  for (auto& thread : threads) thread.join();
+  service.drain();
+  const double seconds = timer.seconds();
+
+  const serve::ServiceStats stats = service.stats();
+  RunResult r;
+  r.clients = clients;
+  r.max_batch = max_batch;
+  r.queries = total;
+  r.seconds = seconds;
+  r.qps = static_cast<double>(total) / seconds;
+  r.p50_ms = stats.latency_p50_ms;
+  r.p99_ms = stats.latency_p99_ms;
+  r.mean_batch = stats.mean_batch();
+  r.batches = stats.batches;
+  r.evals_per_query =
+      static_cast<double>(work.delta()) / static_cast<double>(total);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[a], "--out=", 6) == 0) out_path = argv[a] + 6;
+  }
+
+  const index_t n = static_cast<index_t>(
+      env_or("RBC_SERVE_BENCH_N", std::int64_t{smoke ? 4'000 : 40'000}));
+  const index_t total_queries = static_cast<index_t>(env_or(
+      "RBC_SERVE_BENCH_QUERIES", std::int64_t{smoke ? 512 : 8'000}));
+  const index_t dim = 32, k = 5;
+
+  bench::print_header("Serving: batched dispatch vs one-query-per-call");
+  std::printf("backend=rbc-exact n=%u dim=%u k=%u queries/config=%u%s\n\n",
+              n, dim, k, total_queries, smoke ? "  [smoke]" : "");
+
+  Matrix<float> database = data::make_subspace_clusters(
+      n, dim, /*clusters=*/30, /*intrinsic_d=*/3, /*noise=*/0.05f, /*seed=*/1);
+  Matrix<float> queries = data::make_subspace_clusters(
+      total_queries, dim, 30, 3, 0.05f, /*seed=*/2);
+
+  auto index = make_index("rbc-exact", {.rbc = {.seed = 3}});
+  index->build(database);
+
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<index_t> batch_sizes =
+      smoke ? std::vector<index_t>{1, 64}
+            : std::vector<index_t>{1, 16, 64, 256};
+
+  std::printf("%8s %10s %10s %10s %10s %10s %12s\n", "clients", "max_batch",
+              "qps", "p50_ms", "p99_ms", "mean_batch", "evals/query");
+  std::vector<RunResult> results;
+  for (int clients : client_counts)
+    for (index_t max_batch : batch_sizes) {
+      const RunResult r =
+          run_config(*index, queries, clients, max_batch, k);
+      std::printf("%8d %10u %10.0f %10.2f %10.2f %10.1f %12.0f\n", r.clients,
+                  r.max_batch, r.qps, r.p50_ms, r.p99_ms, r.mean_batch,
+                  r.evals_per_query);
+      results.push_back(r);
+    }
+
+  // Acceptance record: best batched (max_batch >= 64) vs unbatched at the
+  // highest client count.
+  const int top_clients = client_counts.back();
+  double unbatched_qps = 0.0, batched_qps = 0.0;
+  index_t batched_at = 0;
+  for (const RunResult& r : results) {
+    if (r.clients != top_clients) continue;
+    if (r.max_batch == 1) unbatched_qps = r.qps;
+    if (r.max_batch >= 64 && r.qps > batched_qps) {
+      batched_qps = r.qps;
+      batched_at = r.max_batch;
+    }
+  }
+  const double speedup =
+      unbatched_qps > 0.0 ? batched_qps / unbatched_qps : 0.0;
+  std::printf("\nbatched (max_batch=%u) vs one-query-per-call at %d clients: "
+              "%.2fx queries/sec\n",
+              batched_at, top_clients, speedup);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serve_throughput\",\n"
+               "  \"backend\": \"rbc-exact\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"n\": %u,\n  \"dim\": %u,\n  \"k\": %u,\n"
+               "  \"total_queries\": %u,\n"
+               "  \"results\": [\n",
+               smoke ? "true" : "false", n, dim, k, total_queries);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"clients\": %d, \"max_batch\": %u, \"queries\": %u, "
+                 "\"seconds\": %.4f, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"mean_batch\": %.2f, \"batches\": %llu, "
+                 "\"dist_evals_per_query\": %.1f}%s\n",
+                 r.clients, r.max_batch, r.queries, r.seconds, r.qps,
+                 r.p50_ms, r.p99_ms, r.mean_batch,
+                 static_cast<unsigned long long>(r.batches),
+                 r.evals_per_query, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"acceptance\": {\n"
+               "    \"clients\": %d,\n"
+               "    \"unbatched_qps\": %.1f,\n"
+               "    \"batched_qps\": %.1f,\n"
+               "    \"batched_max_batch\": %u,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"pass\": %s\n"
+               "  }\n}\n",
+               top_clients, unbatched_qps, batched_qps, batched_at, speedup,
+               speedup >= 2.0 ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (run from the repo root).
+
+Checks that the architecture docs keep pace with the tree:
+  * docs/ARCHITECTURE.md and docs/PAPER_MAP.md exist;
+  * every src/ subdirectory is covered by ARCHITECTURE.md;
+  * every bench harness referenced in PAPER_MAP.md exists, and every
+    fig*/table* harness in bench/ is referenced (no unmapped paper exhibit);
+  * every relative markdown link in README.md and docs/*.md resolves.
+
+Exit code 0 = consistent; non-zero prints every violation.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+errors: list[str] = []
+
+
+def need(path: Path) -> str:
+    if not path.is_file():
+        errors.append(f"missing file: {path.relative_to(ROOT)}")
+        return ""
+    return path.read_text(encoding="utf-8")
+
+
+architecture = need(ROOT / "docs" / "ARCHITECTURE.md")
+paper_map = need(ROOT / "docs" / "PAPER_MAP.md")
+readme = need(ROOT / "README.md")
+
+# --- every src/ subdirectory appears in ARCHITECTURE.md -------------------
+for sub in sorted(p for p in (ROOT / "src").iterdir() if p.is_dir()):
+    token = f"src/{sub.name}/"
+    if token not in architecture:
+        errors.append(f"docs/ARCHITECTURE.md does not cover {token}")
+
+# --- bench harness references in PAPER_MAP.md are real, and every paper
+# figure/table harness is mapped ------------------------------------------
+bench_sources = {p.stem for p in (ROOT / "bench").glob("*.cpp")}
+# \b + (?!\.) keeps header references like bench_util.hpp out of the
+# binary-name namespace.
+for name in set(re.findall(r"bench_(\w+)\b(?!\.)", paper_map)):
+    if name not in bench_sources:
+        errors.append(f"docs/PAPER_MAP.md references bench_{name} "
+                      f"but bench/{name}.cpp does not exist")
+for name in bench_sources:
+    if (name.startswith("fig") or name.startswith("table")) \
+            and f"bench_{name}" not in paper_map:
+        errors.append(f"bench/{name}.cpp reproduces a paper exhibit but is "
+                      f"not mapped in docs/PAPER_MAP.md")
+
+# --- relative markdown links resolve --------------------------------------
+for md in [ROOT / "README.md", *(ROOT / "docs").glob("*.md")]:
+    if not md.is_file():
+        continue
+    text = md.read_text(encoding="utf-8")
+    for target in re.findall(r"\]\(([^)#]+?)(?:#[^)]*)?\)", text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (md.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{md.relative_to(ROOT)} links to missing "
+                          f"{target}")
+
+if errors:
+    print("documentation check FAILED:")
+    for error in errors:
+        print(f"  - {error}")
+    sys.exit(1)
+print("documentation check passed "
+      f"({len(bench_sources)} bench harnesses, docs consistent)")

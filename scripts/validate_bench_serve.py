@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Schema validation for BENCH_serve.json (bench/serve_throughput.cpp).
+
+Usage: scripts/validate_bench_serve.py [path/to/BENCH_serve.json]
+
+Validates the machine-readable output so the perf-trajectory file stays
+parseable by future tooling: required top-level fields, per-result fields
+and types, internal consistency (qps ~= queries/seconds, acceptance row
+derived from the results), and — for non-smoke runs — the acceptance bar
+itself (batched >= 2x unbatched queries/sec at the top client count).
+"""
+import json
+import sys
+from pathlib import Path
+
+path = Path(sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json")
+errors: list[str] = []
+
+try:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+except (OSError, json.JSONDecodeError) as exc:
+    print(f"cannot read {path}: {exc}")
+    sys.exit(1)
+
+
+def expect(cond: bool, message: str) -> None:
+    if not cond:
+        errors.append(message)
+
+
+TOP = {"bench": str, "backend": str, "smoke": bool, "n": int, "dim": int,
+       "k": int, "total_queries": int, "results": list, "acceptance": dict}
+for key, kind in TOP.items():
+    expect(isinstance(doc.get(key), kind),
+           f"top-level '{key}' missing or not {kind.__name__}")
+expect(doc.get("bench") == "serve_throughput", "bench != serve_throughput")
+
+RESULT = {"clients": int, "max_batch": int, "queries": int,
+          "seconds": (int, float), "qps": (int, float),
+          "p50_ms": (int, float), "p99_ms": (int, float),
+          "mean_batch": (int, float), "batches": int,
+          "dist_evals_per_query": (int, float)}
+for i, row in enumerate(doc.get("results", [])):
+    for key, kind in RESULT.items():
+        expect(isinstance(row.get(key), kind),
+               f"results[{i}].{key} missing or wrong type")
+    if isinstance(row.get("seconds"), (int, float)) and row["seconds"] > 0:
+        implied = row["queries"] / row["seconds"]
+        expect(abs(implied - row["qps"]) <= 0.02 * implied + 1.0,
+               f"results[{i}].qps inconsistent with queries/seconds")
+    expect(row.get("p99_ms", 0) >= row.get("p50_ms", 0),
+           f"results[{i}]: p99 < p50")
+
+acc = doc.get("acceptance", {})
+for key in ("clients", "unbatched_qps", "batched_qps", "batched_max_batch",
+            "speedup", "pass"):
+    expect(key in acc, f"acceptance.{key} missing")
+if isinstance(acc.get("unbatched_qps"), (int, float)) and \
+        acc.get("unbatched_qps"):
+    implied = acc["batched_qps"] / acc["unbatched_qps"]
+    expect(abs(implied - acc["speedup"]) <= 0.02 * implied,
+           "acceptance.speedup inconsistent with its qps fields")
+    expect(acc.get("pass") == (acc["speedup"] >= 2.0),
+           "acceptance.pass does not match speedup >= 2.0")
+
+# The perf bar applies to full runs; smoke mode only validates the schema.
+if not doc.get("smoke", True):
+    expect(bool(acc.get("pass")),
+           f"full run failed the acceptance bar: speedup = "
+           f"{acc.get('speedup')}")
+
+if errors:
+    print(f"{path}: INVALID")
+    for error in errors:
+        print(f"  - {error}")
+    sys.exit(1)
+mode = "smoke" if doc.get("smoke") else "full"
+print(f"{path}: valid ({mode} run, {len(doc['results'])} configs, "
+      f"speedup {acc.get('speedup')}x)")

@@ -18,11 +18,12 @@ class BruteForceBackend final : public Index {
  public:
   void build(const Matrix<float>& X) override {
     db_ = X.clone();
-    built_ = true;  // an empty database is a valid built state (results pad)
+    built_ = true;  // an empty database is a valid built state (k-NN against
+                    // it is a request error: k > size for every k >= 1)
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, db_.cols(), built_, "bruteforce");
+    validate_knn(request, db_.cols(), db_.rows(), built_, "bruteforce");
     SearchResponse response;
     response.knn = bf_knn(*request.queries, db_, request.k);
     if (request.options.collect_stats) {

@@ -42,7 +42,7 @@ class GpuBfBackend final : public Index {
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, dim_, built_, "gpu-bf");
+    validate_knn(request, dim_, n_, built_, "gpu-bf");
     check_gpu_k(request.k, "gpu-bf");
     const gpu::GpuMatrix q = gpu::upload_matrix(*device_, *request.queries);
     SearchResponse response;
@@ -91,7 +91,7 @@ class GpuOneShotBackend final : public Index {
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, index_ ? index_->dim() : 0, index_ != nullptr,
+    validate_knn(request, index_ ? index_->dim() : 0, n_, index_ != nullptr,
                  "gpu-oneshot");
     check_gpu_k(request.k, "gpu-oneshot");
     const gpu::GpuMatrix q = gpu::upload_matrix(*device_, *request.queries);

@@ -25,7 +25,7 @@ class RbcExactBackend final : public Index {
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, index_.dim(), built_, "rbc-exact");
+    validate_knn(request, index_.dim(), index_.size(), built_, "rbc-exact");
     SearchResponse response;
     response.knn = index_.search(
         *request.queries, request.k,

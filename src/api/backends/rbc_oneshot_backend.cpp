@@ -23,7 +23,8 @@ class RbcOneShotBackend final : public Index {
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, index_.dim(), built_, "rbc-oneshot");
+    validate_knn(request, index_.dim(), index_.size(), built_,
+                 "rbc-oneshot");
     SearchResponse response;
     response.knn = index_.search(
         *request.queries, request.k,

@@ -32,7 +32,7 @@ class TreeBackend final : public Index {
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, db_.cols(), built_, Traits::kName);
+    validate_knn(request, db_.cols(), db_.rows(), built_, Traits::kName);
     SearchResponse response;
     response.knn = batch_knn(*request.queries, request.k,
                              [&](const float* q, TopK& top) {

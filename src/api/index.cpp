@@ -36,9 +36,14 @@ void validate_queries(const Matrix<float>* queries, index_t dim, bool built,
 }  // namespace
 
 void Index::validate_knn(const SearchRequest& request, index_t dim,
-                         bool built, const char* backend) {
+                         index_t size, bool built, const char* backend) {
   validate_queries(request.queries, dim, built, backend);
   if (request.k == 0) fail(backend, "request.k must be >= 1");
+  // k > n is a request error everywhere (not backend-specific padding or
+  // UB): an index over n points cannot name more than n neighbors.
+  if (request.k > size)
+    fail(backend, "request.k = " + std::to_string(request.k) +
+                      " exceeds database size " + std::to_string(size));
 }
 
 void Index::validate_range(const RangeRequest& request, index_t dim,

@@ -70,8 +70,12 @@ class Index {
   /// at construction. X is copied; it need not outlive the call.
   virtual void build(const Matrix<float>& X) = 0;
 
-  /// Batched k-NN. Throws std::invalid_argument on a malformed request
-  /// (null queries, k == 0, dimension mismatch, or unbuilt index).
+  /// Batched k-NN. Throws std::invalid_argument on a malformed request —
+  /// null queries, k == 0, k > info().size, query dimension != info().dim,
+  /// or an unbuilt index — with identical conditions and message shape
+  /// ("rbc::Index[<backend>]: ...") across every backend, so callers can
+  /// handle request errors without knowing which backend they hold. Device
+  /// backends additionally reject k > gpu::kMaxK the same way.
   virtual SearchResponse knn_search(const SearchRequest& request) const = 0;
 
   /// Batched range search. Default: throws std::runtime_error — check
@@ -91,8 +95,11 @@ class Index {
   Index& operator=(const Index&) = default;
 
   // Shared request validation for implementations (throw on violation).
+  // `size`/`dim` are the built index's point count and dimensionality;
+  // using this helper is what keeps the error contract identical across
+  // backends.
   static void validate_knn(const SearchRequest& request, index_t dim,
-                           bool built, const char* backend);
+                           index_t size, bool built, const char* backend);
   static void validate_range(const RangeRequest& request, index_t dim,
                              bool built, const char* backend);
 };

@@ -31,6 +31,9 @@ struct SearchOptions {
 
 /// A batched k-NN query. `queries` is borrowed and must stay alive for the
 /// duration of the call; its column count must equal the index dimension.
+/// `k` must satisfy 1 <= k <= index size, or knn_search throws
+/// std::invalid_argument (see Index::knn_search for the full error
+/// contract).
 struct SearchRequest {
   const Matrix<float>* queries = nullptr;  // nq x d, borrowed
   index_t k = 1;
@@ -38,10 +41,11 @@ struct SearchRequest {
 };
 
 /// k-NN answers: row i of `knn` holds query i's neighbors in ascending
-/// (distance, id) order, padded with (inf, kInvalidIndex) when fewer than k
-/// database points exist. `stats` is populated when options.collect_stats
-/// was set; which counters a backend fills is backend-specific (tree
-/// baselines report queries only).
+/// (distance, id) order. Rows are always fully populated: the unified API
+/// rejects k > database size up front (std::invalid_argument; the concrete
+/// classes, by contrast, pad short rows with (inf, kInvalidIndex)). `stats`
+/// is populated when options.collect_stats was set; which counters a backend
+/// fills is backend-specific (tree baselines report queries only).
 struct SearchResponse {
   KnnResult knn;
   SearchStats stats{};

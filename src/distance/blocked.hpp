@@ -1,0 +1,52 @@
+// Multi-query blocked distance kernel — the "BF is virtually matrix-matrix
+// multiply" inner loop (paper §3), in the register-blocked form that makes
+// the claim true on a CPU.
+//
+// A single-query distance scan is latency-bound: one accumulator chain, one
+// horizontal reduction per point, every database row's bytes used for just
+// one evaluation. Processing a *tile* of kTile queries against each row
+// amortizes the row load kTile ways and runs independent accumulator chains
+// that saturate the FMA pipes — the measured per-evaluation win on an AVX2
+// host is ~6x (bench/micro_kernels.cpp). This is the kernel that converts
+// the serving layer's coalesced query batches into actual throughput; one
+// query at a time structurally cannot reach it.
+//
+// The query tile is stored TRANSPOSED (qt[i * kTile + t] = feature i of tile
+// lane t) so the per-feature inner loop is a contiguous SIMD load.
+//
+// The translation unit is compiled with AVX2+FMA when the build host
+// supports it (CMake probes with a run test); otherwise a portable scalar
+// form is used and fast_kernel() reports false so callers can keep their
+// single-query path instead.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace rbc::blocked {
+
+/// Queries per tile. 16 = two 8-lane AVX2 accumulators per database row,
+/// enough independent chains to hide FMA latency.
+inline constexpr index_t kTile = 16;
+
+/// True when the AVX2+FMA kernel is compiled in. When false the blocked
+/// form has no advantage over a per-query scan — callers should prefer
+/// their single-query path.
+bool fast_kernel() noexcept;
+
+/// Squared L2 distances of all kTile tile lanes against rows [lo, hi) of X:
+/// out[(p - lo) * kTile + t] = ||q_t - X_p||^2. `qt` is the d x kTile
+/// transposed tile (see file comment); `out` must hold (hi - lo) * kTile
+/// floats. Values match kernels::sq_l2_scalar up to FMA-contraction rounding
+/// (same summation order), so a caller needing bit-exact distances
+/// recomputes the few candidates that survive its bound — see the
+/// RbcExactIndex batched search.
+void sq_l2_tile(const float* qt, index_t d, const Matrix<float>& X,
+                index_t lo, index_t hi, float* out);
+
+/// Fills a transposed tile from `count` query rows (count <= kTile); unused
+/// lanes are filled with the first row so every lane computes something
+/// harmless. `qt` must hold d * kTile floats.
+void pack_tile(const float* const* rows, index_t count, index_t d, float* qt);
+
+}  // namespace rbc::blocked

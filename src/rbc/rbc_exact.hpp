@@ -23,16 +23,19 @@
 // streaming pass — the memory layout the paper's GPU implementation uses.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <istream>
 #include <mutex>
 #include <ostream>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "bruteforce/bf.hpp"
 #include "bruteforce/topk.hpp"
 #include "common/matrix.hpp"
+#include "distance/blocked.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/runtime.hpp"
 #include "rbc/params.hpp"
@@ -236,11 +239,20 @@ class RbcExactIndex {
 
   // ------------------------------------------------------------- queries ---
 
-  /// k-NN for a batch of queries; parallel across queries. If `stats` is
+  /// Query-count threshold above which search() switches to the query-tile
+  /// blocked path (Euclidean metric + AVX2 host only). Below it, tile
+  /// underutilization outweighs the kernel win.
+  static constexpr index_t kBlockedMinBatch = 64;
+
+  /// k-NN for a batch of queries; parallel across queries. Batches of at
+  /// least kBlockedMinBatch Euclidean queries additionally use the
+  /// multi-query blocked kernel (see search_blocked) — same results, the
+  /// paper's §3 BF-as-GEMM structure on the hot loop. If `stats` is
   /// non-null the aggregated work statistics are added to it.
   KnnResult search(const Matrix<float>& Q, index_t k,
                    SearchStats* stats = nullptr) const {
     assert(Q.cols() == dim_);
+    if (use_blocked_path(Q.rows())) return search_blocked(Q, k, stats);
     KnnResult result(Q.rows(), k);
     const int nt = max_threads();
     std::vector<Scratch> scratch(static_cast<std::size_t>(nt));
@@ -253,6 +265,264 @@ class RbcExactIndex {
       top.reset();
       search_one(Q.row(qi), k, top, scratch[tid], &tstats[tid]);
       top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+    });
+
+    if (stats != nullptr)
+      for (const SearchStats& s : tstats) stats->merge(s);
+    return result;
+  }
+
+  /// True when search() will take the blocked batch path for nq queries.
+  bool use_blocked_path(index_t nq) const {
+    if constexpr (!std::is_same_v<M, Euclidean>) {
+      return false;  // the kernel computes squared L2 only
+    } else {
+      return nq >= kBlockedMinBatch && blocked::fast_kernel();
+    }
+  }
+
+  /// Batched k-NN via query-tile blocking — the paper's §3 observation made
+  /// literal on CPU: the dominant stage-3 list scans run through the
+  /// register-blocked multi-query kernel (distance/blocked.hpp), one
+  /// ownership-list segment for blocked::kTile queries at a time, instead
+  /// of one (query, point) distance at a time.
+  ///
+  /// Results are IDENTICAL to the per-query path, ties included:
+  ///  * stage 1 and the prune rules use the same scalar-exact distances and
+  ///    the same strict comparisons;
+  ///  * bounds are refreshed per representative instead of per point, which
+  ///    loosens pruning only in the safe direction (extra candidates
+  ///    examined, none dropped — the k best of any candidate superset that
+  ///    contains the true k-set is the true k-set under the (distance, id)
+  ///    order);
+  ///  * the blocked kernel is a prefilter: any candidate within the
+  ///    (margin-inflated) heap bound is re-measured with the scalar metric
+  ///    before pushing, so the heap only ever orders bit-identical values.
+  KnnResult search_blocked(const Matrix<float>& Q, index_t k,
+                           SearchStats* stats = nullptr) const {
+    assert(Q.cols() == dim_);
+    const index_t nq = Q.rows();
+    const index_t nr = reps_.rows();
+    KnnResult result(nq, k);
+    const float inv = 1.0f / (1.0f + params_.approx_eps);
+    // Covers the blocked kernel's FMA-contraction rounding relative to the
+    // scalar kernel (same summation order, error ~ dim * ulp).
+    const float margin = 1e-5f + 4e-7f * static_cast<float>(dim_);
+
+    // ---- stage 1, whole batch: BF(Q, R) with exact scalar distances
+    // (they feed pruning bounds, which must match the per-query path).
+    Matrix<dist_t> rep_d(nq, nr);
+    std::vector<dist_t> gamma1(nq), bound_k(nq);
+    std::vector<index_t> nearest_rep(nq);
+    parallel_for_dynamic(0, nq, [&](index_t qi) {
+      const float* q = Q.row(qi);
+      dist_t* row = rep_d.row(qi);
+      TopK rep_top(k);
+      dist_t g1 = kInfDist;
+      index_t g1_rep = 0;
+      for (index_t r = 0; r < nr; ++r) {
+        const dist_t d = metric_(q, reps_.row(r), dim_);
+        row[r] = d;
+        if (!erased_[rep_ids_[r]]) rep_top.push(d, r);
+        if (d < g1) {
+          g1 = d;
+          g1_rep = r;
+        }
+      }
+      gamma1[qi] = g1;
+      bound_k[qi] = rep_top.worst();
+      nearest_rep[qi] = g1_rep;
+    });
+    counters::add_dist_evals(static_cast<std::uint64_t>(nq) * nr);
+
+    // Tile assignment: queries routed to the same representative share
+    // surviving lists, which is what fills the kernel's lanes usefully.
+    std::vector<index_t> order(nq);
+    for (index_t i = 0; i < nq; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+      return nearest_rep[a] < nearest_rep[b];
+    });
+
+    const index_t tiles =
+        (nq + blocked::kTile - 1) / blocked::kTile;
+    const int nt = max_threads();
+    std::vector<SearchStats> tstats(static_cast<std::size_t>(nt));
+
+    parallel_for_dynamic(0, tiles, [&](index_t tile) {
+      SearchStats& local = tstats[static_cast<std::size_t>(thread_id())];
+      const index_t t_lo = tile * blocked::kTile;
+      const index_t m = std::min<index_t>(blocked::kTile, nq - t_lo);
+
+      const float* qrows[blocked::kTile];
+      for (index_t t = 0; t < m; ++t) qrows[t] = Q.row(order[t_lo + t]);
+      for (index_t t = m; t < blocked::kTile; ++t) qrows[t] = qrows[0];
+      std::vector<float> qt(static_cast<std::size_t>(dim_) * blocked::kTile);
+      blocked::pack_tile(qrows, m, dim_, qt.data());
+
+      std::vector<TopK> tops;
+      tops.reserve(m);
+      for (index_t t = 0; t < m; ++t) tops.emplace_back(k);
+      local.queries += m;
+      local.rep_dist_evals += static_cast<std::uint64_t>(m) * nr;
+
+      // ---- stage 2 per lane, then a rep -> lanes map for the tile.
+      // survivors_of[t] mirrors search_one's filter pass (initial bound).
+      struct RepGroup {
+        dist_t min_dr;
+        index_t rep;
+        std::uint32_t lanes = 0;  // bitmask over tile lanes
+      };
+      std::vector<RepGroup> groups;
+      std::vector<index_t> group_of(nr, kInvalidIndex);
+      for (index_t t = 0; t < m; ++t) {
+        const index_t qi = order[t_lo + t];
+        const dist_t* row = rep_d.row(qi);
+        for (index_t r = 0; r < nr; ++r) {
+          const dist_t dr = row[r];
+          if (params_.use_overlap_rule && dr > bound_k[qi] + psi_[r]) {
+            ++local.reps_pruned_overlap;
+            continue;
+          }
+          if (params_.use_lemma_rule && dr > 2 * bound_k[qi] + gamma1[qi]) {
+            ++local.reps_pruned_lemma;
+            continue;
+          }
+          if (group_of[r] == kInvalidIndex) {
+            group_of[r] = static_cast<index_t>(groups.size());
+            groups.push_back({dr, r, 0});
+          }
+          RepGroup& g = groups[group_of[r]];
+          g.lanes |= 1u << t;
+          g.min_dr = std::min(g.min_dr, dr);
+        }
+      }
+      // Nearest groups first so the per-lane bounds tighten early, exactly
+      // like search_one's sorted survivor order.
+      std::sort(groups.begin(), groups.end(),
+                [](const RepGroup& a, const RepGroup& b) {
+                  return a.min_dr < b.min_dr ||
+                         (a.min_dr == b.min_dr && a.rep < b.rep);
+                });
+
+      std::vector<float> buf;
+      const dist_t* pd = packed_dist_.data();
+      for (const RepGroup& g : groups) {
+        const index_t r = g.rep;
+        const index_t list_lo = offsets_[r], list_hi = offsets_[r + 1];
+
+        // Re-check the prune rules per lane against the live bound and
+        // derive each lane's frozen scan segment from the sorted member
+        // distances (identical sets to the adaptive early-exit/annulus
+        // skips under the same bound).
+        index_t active[blocked::kTile];
+        index_t seg_lo[blocked::kTile], seg_hi[blocked::kTile];
+        dist_t lane_dr[blocked::kTile];
+        index_t num_active = 0;
+        index_t ulo = list_hi, uhi = list_lo;
+        std::uint64_t sum_len = 0;
+        for (index_t t = 0; t < m; ++t) {
+          if ((g.lanes & (1u << t)) == 0) continue;
+          const index_t qi = order[t_lo + t];
+          const dist_t dr = rep_d.at(qi, r);
+          const dist_t b =
+              std::min(bound_k[qi], tops[t].worst() * inv);
+          if (params_.use_overlap_rule && dr > b + psi_[r]) {
+            ++local.reps_pruned_overlap;
+            continue;
+          }
+          if (params_.use_lemma_rule && dr > 2 * b + gamma1[qi]) {
+            ++local.reps_pruned_lemma;
+            continue;
+          }
+          ++local.reps_scanned;
+          index_t hi = list_hi;
+          if (params_.use_early_exit) {
+            hi = static_cast<index_t>(
+                std::upper_bound(pd + list_lo, pd + list_hi, dr + b) - pd);
+            local.points_skipped_early_exit += list_hi - hi;
+          }
+          index_t lo = list_lo;
+          if (params_.use_annulus_bound) {
+            lo = static_cast<index_t>(
+                std::lower_bound(pd + list_lo, pd + hi, dr - b) - pd);
+            local.points_skipped_annulus += lo - list_lo;
+          }
+          active[num_active] = t;
+          seg_lo[num_active] = lo;
+          seg_hi[num_active] = hi;
+          lane_dr[num_active] = dr;
+          ++num_active;
+          ulo = std::min(ulo, lo);
+          uhi = std::max(uhi, hi);
+          sum_len += hi - lo;
+        }
+        if (num_active == 0) continue;
+        if (sum_len == 0) {
+          // No packed member falls in any lane's window, but a surviving
+          // representative's overflow list must still be scanned — the
+          // per-query path always does (scan_rep_list), and an inserted
+          // point there can be the true neighbor.
+          std::uint64_t total = 0;
+          for (index_t a = 0; a < num_active; ++a) {
+            const index_t t = active[a];
+            const index_t qi = order[t_lo + t];
+            const std::uint64_t computed = scan_overflow(
+                qrows[t], r, lane_dr[a], bound_k[qi], inv, tops[t], local);
+            local.list_dist_evals += computed;
+            total += computed;
+          }
+          counters::add_dist_evals(total);
+          continue;
+        }
+
+        // Kernel cost is per-row regardless of lane count; fall back to the
+        // adaptive per-query scan when the lanes' segments overlap too
+        // little to pay for it.
+        if (3 * static_cast<std::uint64_t>(uhi - ulo) >= sum_len) {
+          for (index_t a = 0; a < num_active; ++a) {
+            const index_t t = active[a];
+            const index_t qi = order[t_lo + t];
+            scan_rep_list(qrows[t], r, lane_dr[a], bound_k[qi], inv,
+                          tops[t], local);
+          }
+          continue;
+        }
+
+        buf.resize(static_cast<std::size_t>(uhi - ulo) * blocked::kTile);
+        blocked::sq_l2_tile(qt.data(), dim_, packed_, ulo, uhi, buf.data());
+        std::uint64_t computed[blocked::kTile] = {};
+        for (index_t p = ulo; p < uhi; ++p) {
+          const bool gone = erased_count_ != 0 && erased_[packed_ids_[p]];
+          const float* row =
+              buf.data() + static_cast<std::size_t>(p - ulo) * blocked::kTile;
+          for (index_t a = 0; a < num_active; ++a) {
+            if (p < seg_lo[a] || p >= seg_hi[a] || gone) continue;
+            const index_t t = active[a];
+            ++computed[a];
+            const dist_t w = tops[t].worst();
+            if (row[t] > w * w * (1.0f + margin)) continue;
+            // Candidate: re-measure with the scalar metric so the heap
+            // orders the same bits as every other path.
+            tops[t].push(metric_(qrows[t], packed_.row(p), dim_),
+                         packed_ids_[p]);
+          }
+        }
+        std::uint64_t total = 0;
+        for (index_t a = 0; a < num_active; ++a) {
+          const index_t t = active[a];
+          const index_t qi = order[t_lo + t];
+          computed[a] += scan_overflow(qrows[t], r, lane_dr[a], bound_k[qi],
+                                       inv, tops[t], local);
+          local.list_dist_evals += computed[a];
+          total += computed[a];
+        }
+        counters::add_dist_evals(total);
+      }
+
+      for (index_t t = 0; t < m; ++t) {
+        const index_t qi = order[t_lo + t];
+        tops[t].extract_sorted(result.dists.row(qi), result.ids.row(qi));
+      }
     });
 
     if (stats != nullptr)
@@ -341,47 +611,63 @@ class RbcExactIndex {
         continue;
       }
       ++local.reps_scanned;
-
-      const index_t lo = offsets_[r], hi = offsets_[r + 1];
-      std::uint64_t computed = 0;
-      for (index_t p = lo; p < hi; ++p) {
-        const dist_t b = std::min(rep_bound, out.worst() * inv);
-        // Claim 2 / footnote 2: members are sorted by rho(x, r); once
-        // rho(x,r) > rho(q,r) + b, the triangle inequality gives
-        // rho(q,x) >= rho(x,r) - rho(q,r) > b for this and all later
-        // members — stop scanning this list.
-        if (params_.use_early_exit && packed_dist_[p] > dr + b) {
-          local.points_skipped_early_exit += hi - p;
-          break;
-        }
-        // Annulus lower bound (extension): rho(q,x) >= rho(q,r) - rho(x,r).
-        if (params_.use_annulus_bound && packed_dist_[p] < dr - b) {
-          ++local.points_skipped_annulus;
-          continue;
-        }
-        if (erased_count_ != 0 && erased_[packed_ids_[p]]) continue;
-        out.push(metric_(q, packed_.row(p), dim_), packed_ids_[p]);
-        ++computed;
-      }
-      // Overflow members (dynamic inserts): unsorted, so no early exit;
-      // the annulus bound applies on both sides.
-      for (const index_t ov : overflow_of_rep_[r]) {
-        if (erased_[overflow_ids_[ov]]) continue;
-        const dist_t b = std::min(rep_bound, out.worst() * inv);
-        const dist_t member = overflow_dist_[ov];
-        if (params_.use_annulus_bound &&
-            (member < dr - b || member > dr + b)) {
-          ++local.points_skipped_annulus;
-          continue;
-        }
-        out.push(metric_(q, overflow_row(ov), dim_), overflow_ids_[ov]);
-        ++computed;
-      }
-      counters::add_dist_evals(computed);
-      local.list_dist_evals += computed;
+      scan_rep_list(q, r, dr, rep_bound, inv, out, local);
     }
 
     if (stats != nullptr) stats->merge(local);
+  }
+
+  /// Adaptive scan of L_r for one query: packed segment with the Claim-2
+  /// early exit and annulus bound re-derived per point from the live heap,
+  /// then the unsorted overflow members. Shared by search_one and the
+  /// scalar fallback of the blocked batch path.
+  void scan_rep_list(const float* q, index_t r, dist_t dr, dist_t rep_bound,
+                     float inv, TopK& out, SearchStats& local) const {
+    const index_t lo = offsets_[r], hi = offsets_[r + 1];
+    std::uint64_t computed = 0;
+    for (index_t p = lo; p < hi; ++p) {
+      const dist_t b = std::min(rep_bound, out.worst() * inv);
+      // Claim 2 / footnote 2: members are sorted by rho(x, r); once
+      // rho(x,r) > rho(q,r) + b, the triangle inequality gives
+      // rho(q,x) >= rho(x,r) - rho(q,r) > b for this and all later
+      // members — stop scanning this list.
+      if (params_.use_early_exit && packed_dist_[p] > dr + b) {
+        local.points_skipped_early_exit += hi - p;
+        break;
+      }
+      // Annulus lower bound (extension): rho(q,x) >= rho(q,r) - rho(x,r).
+      if (params_.use_annulus_bound && packed_dist_[p] < dr - b) {
+        ++local.points_skipped_annulus;
+        continue;
+      }
+      if (erased_count_ != 0 && erased_[packed_ids_[p]]) continue;
+      out.push(metric_(q, packed_.row(p), dim_), packed_ids_[p]);
+      ++computed;
+    }
+    computed += scan_overflow(q, r, dr, rep_bound, inv, out, local);
+    counters::add_dist_evals(computed);
+    local.list_dist_evals += computed;
+  }
+
+  /// Overflow members (dynamic inserts): unsorted, so no early exit; the
+  /// annulus bound applies on both sides. Returns distances computed.
+  std::uint64_t scan_overflow(const float* q, index_t r, dist_t dr,
+                              dist_t rep_bound, float inv, TopK& out,
+                              SearchStats& local) const {
+    std::uint64_t computed = 0;
+    for (const index_t ov : overflow_of_rep_[r]) {
+      if (erased_[overflow_ids_[ov]]) continue;
+      const dist_t b = std::min(rep_bound, out.worst() * inv);
+      const dist_t member = overflow_dist_[ov];
+      if (params_.use_annulus_bound &&
+          (member < dr - b || member > dr + b)) {
+        ++local.points_skipped_annulus;
+        continue;
+      }
+      out.push(metric_(q, overflow_row(ov), dim_), overflow_ids_[ov]);
+      ++computed;
+    }
+    return computed;
   }
 
   /// Exact range search: returns the ids of all points x with

@@ -1,0 +1,273 @@
+#include "serve/service.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "parallel/runtime.hpp"
+
+namespace rbc::serve {
+
+SearchService::SearchService(std::unique_ptr<Index> index,
+                             ServiceOptions options)
+    : index_(std::move(index)), options_(options) {
+  if (!index_)
+    throw std::invalid_argument("rbc::serve::SearchService: index is null");
+  const IndexInfo info = index_->info();
+  dim_ = info.dim;
+  db_size_ = info.size;
+  if (dim_ == 0)
+    throw std::invalid_argument(
+        "rbc::serve::SearchService: index is unbuilt (info().dim == 0); "
+        "build it before constructing the service");
+  if (options_.max_batch < 1) options_.max_batch = 1;
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_queue < 1) options_.max_queue = 1;
+
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SearchService::~SearchService() { stop(); }
+
+void SearchService::validate_submission(index_t nq, index_t cols,
+                                        index_t k) const {
+  // Same contract as Index::knn_search, but raised synchronously at submit
+  // time: a malformed submission is a caller bug, not a backend condition,
+  // so it should not cost a queue round-trip to discover.
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("rbc::serve::SearchService: " + what);
+  };
+  if (cols != dim_ && nq > 0)
+    fail("query dimension " + std::to_string(cols) + " != index dimension " +
+         std::to_string(dim_));
+  if (k == 0) fail("k must be >= 1");
+  if (k > db_size_)
+    fail("k = " + std::to_string(k) + " exceeds database size " +
+         std::to_string(db_size_));
+}
+
+std::future<QueryResult> SearchService::submit(std::span<const float> query,
+                                               index_t k) {
+  validate_submission(1, static_cast<index_t>(query.size()), k);
+  Job job;
+  job.data.assign(query.begin(), query.end());
+  job.nq = 1;
+  job.k = k;
+  job.single = true;
+  std::future<QueryResult> future = job.single_promise.get_future();
+  enqueue(std::move(job));
+  return future;
+}
+
+std::future<KnnResult> SearchService::submit_batch(
+    const Matrix<float>& queries, index_t k) {
+  validate_submission(queries.rows(), queries.cols(), k);
+  if (queries.rows() == 0) {
+    std::promise<KnnResult> done;
+    done.set_value(KnnResult(0, k));
+    return done.get_future();
+  }
+  Job job;
+  job.data.resize(static_cast<std::size_t>(queries.rows()) * dim_);
+  for (index_t i = 0; i < queries.rows(); ++i)
+    std::memcpy(job.data.data() + static_cast<std::size_t>(i) * dim_,
+                queries.row(i), sizeof(float) * dim_);
+  job.nq = queries.rows();
+  job.k = k;
+  job.single = false;
+  std::future<KnnResult> future = job.block_promise.get_future();
+  enqueue(std::move(job));
+  return future;
+}
+
+void SearchService::enqueue(Job job) {
+  const std::size_t rows = job.nq;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Backpressure: hold the submitter until the service catches up (an
+    // oversized block is admitted alone rather than deadlocking).
+    cv_done_.wait(lock, [&] {
+      return stopping_ || outstanding_ == 0 ||
+             outstanding_ + rows <= options_.max_queue;
+    });
+    if (stopping_)
+      throw std::runtime_error(
+          "rbc::serve::SearchService: submit after stop()");
+    job.enqueued = std::chrono::steady_clock::now();
+    outstanding_ += rows;
+    pending_rows_[job.k] += rows;
+    pending_.push_back(std::move(job));
+    recorder_.set_queue_depth(outstanding_);
+  }
+  recorder_.record_submitted(rows);
+  cv_pending_.notify_one();
+}
+
+index_t SearchService::matching_rows_locked(index_t k) const {
+  const auto it = pending_rows_.find(k);
+  return it == pending_rows_.end() ? 0 : static_cast<index_t>(it->second);
+}
+
+void SearchService::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_pending_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) break;  // stopping_ && nothing left to flush
+
+    // Don't chop the queue into stale mini-batches while every worker is
+    // busy: hold off until a dispatched batch would start promptly, letting
+    // pending_ accumulate into the largest batch the backlog allows — this
+    // is where the batching win comes from under load.
+    cv_pending_.wait(lock, [&] {
+      return stopping_ ||
+             ready_.size() < static_cast<std::size_t>(options_.workers);
+    });
+
+    // Batching window: give the front query's batch up to max_wait_us to
+    // fill with co-riders of the same k. A stop() flushes immediately.
+    const index_t k = pending_.front().k;
+    if (options_.max_wait_us > 0 &&
+        matching_rows_locked(k) < options_.max_batch) {
+      const auto deadline = pending_.front().enqueued +
+                            std::chrono::microseconds(options_.max_wait_us);
+      cv_pending_.wait_until(lock, deadline, [&] {
+        return stopping_ || matching_rows_locked(k) >= options_.max_batch;
+      });
+    }
+
+    // Form one batch: FIFO over jobs of the front k, never splitting a job,
+    // never exceeding max_batch rows (except a lone oversized block).
+    Batch batch;
+    batch.k = k;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->k != k) {
+        ++it;
+        continue;
+      }
+      if (!batch.jobs.empty() && batch.rows + it->nq > options_.max_batch)
+        break;
+      batch.rows += it->nq;
+      batch.jobs.push_back(std::move(*it));
+      it = pending_.erase(it);
+      if (batch.rows >= options_.max_batch) break;
+    }
+    const auto pending_k = pending_rows_.find(k);
+    if (pending_k->second <= batch.rows)
+      pending_rows_.erase(pending_k);
+    else
+      pending_k->second -= batch.rows;
+    ready_.push_back(std::move(batch));
+    cv_ready_.notify_one();
+  }
+  dispatcher_done_ = true;
+  cv_ready_.notify_all();
+}
+
+void SearchService::worker_loop() {
+  if (options_.backend_threads > 0) set_num_threads(options_.backend_threads);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_ready_.wait(lock, [&] { return dispatcher_done_ || !ready_.empty(); });
+    if (ready_.empty()) break;  // dispatcher exited and everything ran
+    Batch batch = std::move(ready_.front());
+    ready_.pop_front();
+    cv_pending_.notify_one();  // a worker slot freed: dispatcher may proceed
+    lock.unlock();
+
+    execute(batch);
+
+    lock.lock();
+    outstanding_ -= batch.rows;
+    recorder_.set_queue_depth(outstanding_);
+    cv_done_.notify_all();
+  }
+}
+
+void SearchService::execute(Batch& batch) {
+  // Assemble the coalesced query block. Matrix zero-initializes padding
+  // lanes, so a plain per-row memcpy of the logical columns is enough.
+  Matrix<float> block(batch.rows, dim_);
+  index_t row = 0;
+  for (const Job& job : batch.jobs) {
+    for (index_t i = 0; i < job.nq; ++i, ++row)
+      std::memcpy(block.row(row),
+                  job.data.data() + static_cast<std::size_t>(i) * dim_,
+                  sizeof(float) * dim_);
+  }
+
+  const SearchRequest request{.queries = &block, .k = batch.k, .options = {}};
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(batch.jobs.size());
+  const auto finish_time = [&latencies_ms](const Job& job) {
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - job.enqueued)
+                               .count());
+  };
+
+  SearchResponse response;
+  std::exception_ptr error;
+  try {
+    response = index_->knn_search(request);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  // Stats are recorded BEFORE any promise resolves: a client that joins on
+  // its futures and then reads stats() must see those queries counted.
+  for (const Job& job : batch.jobs) finish_time(job);
+  recorder_.record_batch(batch.rows, latencies_ms, /*failed=*/error != nullptr);
+
+  row = 0;
+  for (Job& job : batch.jobs) {
+    if (error) {
+      if (job.single)
+        job.single_promise.set_exception(error);
+      else
+        job.block_promise.set_exception(error);
+    } else if (job.single) {
+      QueryResult result;
+      result.ids.assign(response.knn.ids.row(row),
+                        response.knn.ids.row(row) + batch.k);
+      result.dists.assign(response.knn.dists.row(row),
+                          response.knn.dists.row(row) + batch.k);
+      job.single_promise.set_value(std::move(result));
+    } else {
+      KnnResult result(job.nq, batch.k);
+      for (index_t i = 0; i < job.nq; ++i) {
+        result.ids.copy_row_from(response.knn.ids, row + i, i);
+        result.dists.copy_row_from(response.knn.dists, row + i, i);
+      }
+      job.block_promise.set_value(std::move(result));
+    }
+    row += job.nq;
+  }
+}
+
+void SearchService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void SearchService::stop() {
+  // Serializes concurrent stop() calls (including the destructor's) so the
+  // thread joins below run exactly once.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_pending_.notify_all();
+  cv_done_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  cv_ready_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+}
+
+}  // namespace rbc::serve

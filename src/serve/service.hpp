@@ -1,0 +1,193 @@
+// Batched concurrent search service — the serving layer of the library.
+//
+// The paper's central observation (§3) is that nearest-neighbor search
+// becomes hardware-friendly when many queries are processed together:
+// BF(Q, X) over a large query block has "virtually the same structure as
+// matrix-matrix multiply", while one query at a time degenerates to
+// bandwidth-bound vector work. A live service, however, receives queries one
+// at a time from many independent callers. SearchService closes that gap: it
+// owns any rbc::Index, accepts asynchronous submissions from any number of
+// client threads, and a batching dispatcher coalesces whatever is pending
+// into one large SearchRequest per dispatch (bounded by max_batch rows and
+// max_wait_us of added latency), so the backend always sees paper-style
+// query blocks.
+//
+//   auto index = rbc::make_index("rbc-exact");
+//   index->build(database);
+//   rbc::serve::SearchService service(std::move(index), {.max_batch = 256});
+//
+//   // any thread, any time:
+//   std::future<rbc::serve::QueryResult> f = service.submit(query_span, k);
+//   ...
+//   rbc::serve::QueryResult r = f.get();   // ids/dists, ascending
+//
+// Threading model: submitters enqueue under a mutex and return immediately
+// with a future; one dispatcher thread forms batches; `workers` executor
+// threads run Index::knn_search on assembled batches (the Index contract —
+// immutable after build, concurrent const queries safe — is what makes
+// multiple executors sound). Intra-batch parallelism belongs to the backend
+// (src/parallel/ OpenMP loops); the worker pool provides inter-batch
+// concurrency, so keep `workers` small for CPU backends that already use
+// every core, or set `backend_threads` to partition cores between workers.
+//
+// See docs/ARCHITECTURE.md for the full request lifecycle and
+// bench/serve_throughput.cpp for the measured batched-vs-singleton win.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/index.hpp"
+#include "serve/stats.hpp"
+
+namespace rbc::serve {
+
+/// Tuning knobs of a SearchService. Defaults favor throughput on a CPU
+/// backend whose own OpenMP loops use every core.
+struct ServiceOptions {
+  /// Maximum query rows coalesced into one backend SearchRequest. 1 disables
+  /// batching (every submission dispatches alone — the baseline
+  /// bench/serve_throughput.cpp measures against). A single submit_batch
+  /// larger than max_batch is never split: it dispatches as one oversized
+  /// request.
+  index_t max_batch = 256;
+
+  /// How long the oldest pending query may wait for co-riders before its
+  /// batch dispatches anyway — the latency price of batching. 0 dispatches
+  /// immediately (still coalescing whatever is already pending).
+  std::uint32_t max_wait_us = 200;
+
+  /// Batch-executor threads. Values < 1 clamp to 1. More workers overlap
+  /// independent batches; for backends that parallelize internally, 1–2 is
+  /// usually right (see backend_threads).
+  int workers = 1;
+
+  /// Backpressure bound: submit()/submit_batch() block while more than this
+  /// many query rows are pending or in flight. Bounds service memory under
+  /// overload instead of growing the queue without limit.
+  std::size_t max_queue = 65536;
+
+  /// If > 0, each worker restricts the backend's parallel runtime
+  /// (rbc::set_num_threads) to this many threads, partitioning cores between
+  /// workers (e.g. workers = 4, backend_threads = cores / 4). 0 leaves the
+  /// runtime default untouched.
+  int backend_threads = 0;
+};
+
+/// Answer to a single-query submission: the query's k neighbors in
+/// ascending (distance, id) order.
+struct QueryResult {
+  std::vector<index_t> ids;
+  std::vector<dist_t> dists;
+};
+
+/// A search service over one built index. Construction spawns the
+/// dispatcher and worker threads; destruction (or stop()) drains every
+/// accepted query and joins them. All public methods are thread-safe.
+class SearchService {
+ public:
+  /// Takes ownership of a *built* index. Throws std::invalid_argument if
+  /// `index` is null or unbuilt (info().dim == 0).
+  explicit SearchService(std::unique_ptr<Index> index,
+                         ServiceOptions options = {});
+
+  /// Equivalent to stop(): drains accepted queries, joins threads.
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Submits one query (dim floats, copied before returning). The future
+  /// yields the k nearest neighbors, or rethrows the backend's error.
+  /// Throws std::invalid_argument immediately on a malformed submission
+  /// (wrong dimension, k == 0, k > database size — the same contract as
+  /// Index::knn_search) and std::runtime_error after stop().
+  /// Blocks while the queue holds more than options.max_queue rows.
+  std::future<QueryResult> submit(std::span<const float> query, index_t k);
+
+  /// Submits a query block (rows copied before returning; `queries` need not
+  /// outlive the call). The block is never split across backend requests,
+  /// but may be coalesced with other pending submissions of the same k.
+  /// Error contract matches submit(). A zero-row block completes
+  /// immediately with an empty result.
+  std::future<KnnResult> submit_batch(const Matrix<float>& queries, index_t k);
+
+  /// Blocks until every query accepted so far has completed. Submissions
+  /// from other threads may keep arriving; drain() returns once the queue is
+  /// momentarily empty.
+  void drain();
+
+  /// Stops accepting new submissions (further submits throw
+  /// std::runtime_error), completes everything already accepted, and joins
+  /// the dispatcher and workers. Idempotent.
+  void stop();
+
+  /// Counter snapshot (see serve/stats.hpp). Cheap; callable any time.
+  ServiceStats stats() const { return recorder_.snapshot(); }
+
+  /// The owned index (for ground-truth comparison and info()).
+  const Index& index() const { return *index_; }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  // One submission: a packed row block plus the promise that resolves it.
+  struct Job {
+    std::vector<float> data;  // nq * dim, tightly packed row-major
+    index_t nq = 0;
+    index_t k = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    bool single = false;
+    std::promise<QueryResult> single_promise;  // used when single
+    std::promise<KnnResult> block_promise;     // used when !single
+  };
+
+  struct Batch {
+    std::vector<Job> jobs;
+    index_t rows = 0;
+    index_t k = 0;
+  };
+
+  void enqueue(Job job);
+  void dispatch_loop();
+  void worker_loop();
+  void execute(Batch& batch);
+  // Total rows of pending jobs with this k (what the next batch could hold).
+  index_t matching_rows_locked(index_t k) const;
+  void validate_submission(index_t nq, index_t cols, index_t k) const;
+
+  std::unique_ptr<Index> index_;
+  ServiceOptions options_;
+  index_t dim_ = 0;
+  index_t db_size_ = 0;
+
+  std::mutex stop_mutex_;  // serializes stop() (see service.cpp)
+  mutable std::mutex mutex_;
+  std::condition_variable cv_pending_;  // dispatcher <- submitters
+  std::condition_variable cv_ready_;    // workers <- dispatcher
+  std::condition_variable cv_done_;     // drain()/backpressure <- workers
+  std::deque<Job> pending_;
+  // Pending rows per k, maintained incrementally so the dispatcher's
+  // batching predicate is O(1) under a deep queue (pending_ itself can hold
+  // tens of thousands of jobs at max_queue depth).
+  std::unordered_map<index_t, std::size_t> pending_rows_;
+  std::deque<Batch> ready_;
+  std::size_t outstanding_ = 0;  // rows accepted, future not yet fulfilled
+  bool stopping_ = false;
+  bool dispatcher_done_ = false;
+
+  StatsRecorder recorder_;
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rbc::serve

@@ -168,13 +168,37 @@ TEST_P(ApiBackendTest, MalformedRequestsThrow) {
   EXPECT_THROW((void)index->knn_search({.queries = &Q, .k = 1}),
                std::invalid_argument);
   index->build(X);
-  // Null queries, k == 0, dimension mismatch.
+  // Null queries, k == 0, k > database size, dimension mismatch.
   EXPECT_THROW((void)index->knn_search({.queries = nullptr, .k = 1}),
                std::invalid_argument);
   EXPECT_THROW((void)index->knn_search({.queries = &Q, .k = 0}),
                std::invalid_argument);
+  EXPECT_THROW((void)index->knn_search({.queries = &Q, .k = X.rows() + 1}),
+               std::invalid_argument);
   EXPECT_THROW((void)index->knn_search({.queries = &wrong_dim, .k = 1}),
                std::invalid_argument);
+}
+
+TEST(ApiErrors, KBeyondDatabaseSizeThrowsIdenticallyAcrossAllBackends) {
+  // The unified contract (satellite of the error-path cleanup): k > n is a
+  // request error everywhere — CPU and device backends alike — not
+  // backend-specific padding, truncation, or UB. n is kept below the device
+  // kernel's kMaxK so this check is what fires, not the GPU k limit.
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(28, 6, 3, 22), 24);
+  for (const std::string& name : registered_backends()) {
+    auto index = make_index(
+        name, {.rbc = {.num_reps = 6, .seed = 23}, .gpu_workers = 2});
+    index->build(X);
+    try {
+      (void)index->knn_search({.queries = &Q, .k = X.rows() + 1});
+      FAIL() << name << " accepted k > database size";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("exceeds database size"),
+                std::string::npos)
+          << name << " threw a different message: " << e.what();
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(CpuBackends, ApiBackendTest,

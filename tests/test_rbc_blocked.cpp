@@ -1,0 +1,195 @@
+// The query-tile blocked batch path of RbcExactIndex: results must be
+// IDENTICAL to the per-query adaptive path — ties included — on every data
+// shape and knob combination, because search() silently switches between
+// them on batch size. Each test compares a large batch (blocked) against
+// the same queries pushed through search_one (always adaptive).
+#include <gtest/gtest.h>
+
+#include "distance/blocked.hpp"
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+/// Adaptive-path reference: per-query search_one, never blocked.
+KnnResult adaptive_search(const RbcExactIndex<>& index,
+                          const Matrix<float>& Q, index_t k) {
+  KnnResult result(Q.rows(), k);
+  RbcExactIndex<>::Scratch scratch;
+  TopK top(k);
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    top.reset();
+    index.search_one(Q.row(qi), k, top, scratch);
+    top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+  }
+  return result;
+}
+
+TEST(RbcBlocked, KernelMatchesScalarWithinContractionSlack) {
+  const index_t d = 37;  // odd, exercises no-padding assumptions
+  const Matrix<float> X = testutil::random_matrix(100, d, 1);
+  const Matrix<float> Q = testutil::random_matrix(blocked::kTile, d, 2);
+
+  const float* rows[blocked::kTile];
+  for (index_t t = 0; t < blocked::kTile; ++t) rows[t] = Q.row(t);
+  std::vector<float> qt(static_cast<std::size_t>(d) * blocked::kTile);
+  blocked::pack_tile(rows, blocked::kTile, d, qt.data());
+
+  std::vector<float> out(static_cast<std::size_t>(X.rows()) *
+                         blocked::kTile);
+  blocked::sq_l2_tile(qt.data(), d, X, 0, X.rows(), out.data());
+
+  for (index_t p = 0; p < X.rows(); ++p)
+    for (index_t t = 0; t < blocked::kTile; ++t) {
+      const float ref = kernels::sq_l2_scalar(Q.row(t), X.row(p), d);
+      const float got = out[static_cast<std::size_t>(p) * blocked::kTile + t];
+      EXPECT_NEAR(got, ref, 1e-5f + 1e-6f * ref) << "p=" << p << " t=" << t;
+    }
+}
+
+TEST(RbcBlocked, LargeBatchMatchesAdaptivePathExactly) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(3'256, 12, 8, 3),
+                           3'000);  // 256 queries >> kBlockedMinBatch
+  RbcExactIndex<> index;
+  index.build(X, {.seed = 4});
+
+  for (index_t k : {1u, 5u, 17u}) {
+    const KnnResult blocked_result = index.search(Q, k);
+    const KnnResult adaptive = adaptive_search(index, Q, k);
+    EXPECT_TRUE(testutil::knn_equal(adaptive, blocked_result)) << "k=" << k;
+    EXPECT_TRUE(
+        testutil::knn_equal(testutil::naive_knn(Q, X, k), blocked_result))
+        << "k=" << k << " vs brute force";
+  }
+}
+
+TEST(RbcBlocked, TiesAndUniformDataMatchExactly) {
+  // Duplicated rows force distance ties — the case the (distance, id) order
+  // exists for; uniform data defeats pruning so segments span whole lists.
+  const Matrix<float> base = testutil::random_matrix(500, 6, 5);
+  const Matrix<float> X = testutil::with_duplicates(base, 300);
+  const Matrix<float> Q = testutil::random_matrix(150, 6, 6);
+
+  RbcExactIndex<> index;
+  index.build(X, {.seed = 7});
+  EXPECT_TRUE(testutil::knn_equal(adaptive_search(index, Q, 4),
+                                  index.search(Q, 4)));
+}
+
+TEST(RbcBlocked, UnevenTailTileAndOddDimensions) {
+  const auto [X, Q] = testutil::split_rows(
+      testutil::clustered_matrix(2'069, 21, 7, 8), 2'000);  // 69 queries
+  RbcExactIndex<> index;
+  index.build(X, {.seed = 9});
+  EXPECT_TRUE(testutil::knn_equal(adaptive_search(index, Q, 3),
+                                  index.search(Q, 3)));
+}
+
+TEST(RbcBlocked, AnnulusAndApproxKnobsStayConsistent) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'128, 10, 6, 10),
+                           2'000);
+
+  RbcParams annulus{.seed = 11};
+  annulus.use_annulus_bound = true;
+  RbcExactIndex<> a;
+  a.build(X, annulus);
+  EXPECT_TRUE(
+      testutil::knn_equal(adaptive_search(a, Q, 2), a.search(Q, 2)));
+
+  // approx_eps: blocked and adaptive prune with the same shrunken bounds;
+  // both must stay within the (1+eps) guarantee of the true distances.
+  RbcParams approx{.seed = 11};
+  approx.approx_eps = 0.5f;
+  RbcExactIndex<> b;
+  b.build(X, approx);
+  const KnnResult truth = testutil::naive_knn(Q, X, 2);
+  const KnnResult got = b.search(Q, 2);
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    for (index_t j = 0; j < 2; ++j)
+      EXPECT_LE(got.dists.at(qi, j),
+                truth.dists.at(qi, j) * 1.5f * (1.0f + 1e-5f))
+          << "q" << qi;
+}
+
+TEST(RbcBlocked, DynamicInsertEraseMatchesAdaptive) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(1'640, 8, 5, 12),
+                           1'500);
+  const Matrix<float> extra = testutil::clustered_matrix(60, 8, 5, 13);
+
+  RbcExactIndex<> index;
+  index.build(X, {.seed = 14});
+  for (index_t i = 0; i < extra.rows(); ++i) index.insert(extra.row(i));
+  for (index_t id = 0; id < 200; id += 7) index.erase(id);
+
+  EXPECT_TRUE(testutil::knn_equal(adaptive_search(index, Q, 5),
+                                  index.search(Q, 5)));
+}
+
+TEST(RbcBlocked, EmptyPackedSegmentStillScansOverflow) {
+  // Regression: with the annulus bound on, a lane's packed-list window
+  // [dr - b, dr + b] can be empty while the rep still survives pruning —
+  // the blocked path must then still scan the rep's overflow list, where a
+  // dynamically inserted point can be the true nearest neighbor.
+  // Every point its own representative makes the geometry deterministic:
+  // the inserted point (6,-6) routes to rep (20,0), whose only packed
+  // member sits at member-distance 0 — outside the origin queries' annulus
+  // window [dr - b, dr + b] = [11, 29] — while the inserted point (member
+  // distance 15.2, true distance 8.49 < the 9.0 best packed answer) sits
+  // inside it, in the overflow list.
+  Matrix<float> X(3, 2);
+  X.at(0, 0) = 0.0f;  X.at(0, 1) = 9.0f;
+  X.at(1, 0) = 20.0f; X.at(1, 1) = 0.0f;
+  X.at(2, 0) = 50.0f; X.at(2, 1) = 0.0f;
+
+  RbcParams params{.num_reps = 3, .seed = 1};
+  params.use_annulus_bound = true;
+  RbcExactIndex<> index;
+  index.build(X, params);
+  const float inserted[2] = {6.0f, -6.0f};
+  index.insert(inserted);
+
+  Matrix<float> Q(RbcExactIndex<>::kBlockedMinBatch, 2);  // all at origin
+  EXPECT_TRUE(testutil::knn_equal(adaptive_search(index, Q, 1),
+                                  index.search(Q, 1)));
+}
+
+TEST(RbcBlocked, AnnulusWithDynamicInsertsMatchesAdaptive) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(1'680, 8, 5, 17),
+                           1'500);
+  const Matrix<float> extra = testutil::clustered_matrix(80, 8, 5, 18);
+
+  RbcParams params{.seed = 19};
+  params.use_annulus_bound = true;
+  RbcExactIndex<> index;
+  index.build(X, params);
+  for (index_t i = 0; i < extra.rows(); ++i) index.insert(extra.row(i));
+
+  EXPECT_TRUE(testutil::knn_equal(adaptive_search(index, Q, 3),
+                                  index.search(Q, 3)));
+}
+
+TEST(RbcBlocked, StatsStayPlausibleOnTheBlockedPath) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(4'128, 10, 8, 15),
+                           4'000);
+  RbcExactIndex<> index;
+  index.build(X, {.seed = 16});
+
+  SearchStats stats;
+  (void)index.search(Q, 1, &stats);
+  EXPECT_EQ(stats.queries, Q.rows());
+  EXPECT_EQ(stats.rep_dist_evals,
+            static_cast<std::uint64_t>(Q.rows()) * index.num_reps());
+  EXPECT_GT(stats.list_dist_evals, 0u);
+  // Work stays bounded by brute force on clustered data even though the
+  // blocked path refreshes bounds per representative, not per point.
+  EXPECT_LT(stats.dist_evals_per_query(), static_cast<double>(X.rows()));
+}
+
+}  // namespace
+}  // namespace rbc

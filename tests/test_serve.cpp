@@ -1,0 +1,317 @@
+// The batched search service: submissions from many threads match the
+// single-threaded ground truth, the dispatcher respects max_batch /
+// max_wait_us, errors propagate (synchronously for malformed submissions,
+// through the future for backend failures), and shutdown/drain complete
+// every accepted query under in-flight load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "serve/service.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+using serve::QueryResult;
+using serve::SearchService;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+
+std::unique_ptr<Index> built_index(const char* backend,
+                                   const Matrix<float>& X) {
+  auto index = make_index(backend, {.rbc = {.seed = 7}});
+  index->build(X);
+  return index;
+}
+
+/// Test double: forwards to brute force after an optional sleep, recording
+/// the row count of every request it sees — makes batch formation
+/// observable and lets tests hold a worker busy deterministically.
+class SlowRecordingIndex final : public Index {
+ public:
+  SlowRecordingIndex(int sleep_ms, std::vector<index_t>* sizes,
+                     std::mutex* mutex)
+      : sleep_ms_(sleep_ms), sizes_(sizes), mutex_(mutex) {}
+
+  void build(const Matrix<float>& X) override { inner_->build(X); }
+
+  SearchResponse knn_search(const SearchRequest& request) const override {
+    {
+      std::lock_guard<std::mutex> lock(*mutex_);
+      sizes_->push_back(request.queries->rows());
+    }
+    if (sleep_ms_ > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    return inner_->knn_search(request);
+  }
+
+  IndexInfo info() const override {
+    IndexInfo info = inner_->info();
+    info.backend = "slow-recording";
+    return info;
+  }
+
+ private:
+  std::unique_ptr<Index> inner_ = make_index("bruteforce");
+  int sleep_ms_;
+  std::vector<index_t>* sizes_;
+  std::mutex* mutex_;
+};
+
+class ThrowingIndex final : public Index {
+ public:
+  void build(const Matrix<float>& X) override { inner_->build(X); }
+  SearchResponse knn_search(const SearchRequest&) const override {
+    throw std::runtime_error("backend exploded");
+  }
+  IndexInfo info() const override { return inner_->info(); }
+
+ private:
+  std::unique_ptr<Index> inner_ = make_index("bruteforce");
+};
+
+TEST(ServeConstruction, RejectsNullAndUnbuiltIndexes) {
+  EXPECT_THROW(SearchService(nullptr), std::invalid_argument);
+  EXPECT_THROW(SearchService(make_index("rbc-exact")), std::invalid_argument);
+}
+
+TEST(ServeConcurrency, ManySubmitterThreadsMatchGroundTruth) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(2'200, 10, 6, 30),
+                           2'000);
+  const index_t k = 4;
+  const KnnResult reference = testutil::naive_knn(Q, X, k);
+
+  SearchService service(built_index("rbc-exact", X),
+                        {.max_batch = 64, .max_wait_us = 500, .workers = 2});
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      // Each thread submits every query singly and checks against the
+      // serial reference (exact backend: identical ids and distances).
+      std::vector<std::future<QueryResult>> futures;
+      futures.reserve(Q.rows());
+      for (index_t qi = 0; qi < Q.rows(); ++qi)
+        futures.push_back(service.submit({Q.row(qi), Q.cols()}, k));
+      for (index_t qi = 0; qi < Q.rows(); ++qi) {
+        const QueryResult r = futures[qi].get();
+        for (index_t j = 0; j < k; ++j)
+          if (r.ids[j] != reference.ids.at(qi, j) ||
+              r.dists[j] != reference.dists.at(qi, j)) {
+            failures[static_cast<std::size_t>(t)] =
+                "thread " + std::to_string(t) + " query " +
+                std::to_string(qi) + " diverged";
+            return;
+          }
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  for (const std::string& failure : failures) EXPECT_EQ(failure, "");
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kThreads) * Q.rows());
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  // 1600 concurrent singleton submissions must have coalesced.
+  EXPECT_LT(stats.batches, stats.submitted);
+  EXPECT_GT(stats.dist_evals, 0u);
+}
+
+TEST(ServeBatching, SubmitBatchMatchesGroundTruthAndMixedKCoalescesSafely) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(1'060, 8, 5, 31),
+                           1'000);
+  const KnnResult ref1 = testutil::naive_knn(Q, X, 1);
+  const KnnResult ref3 = testutil::naive_knn(Q, X, 3);
+
+  SearchService service(built_index("bruteforce", X),
+                        {.max_batch = 32, .max_wait_us = 2'000, .workers = 2});
+
+  // Interleave block submissions of different k: the dispatcher may only
+  // coalesce same-k jobs, never mix them into one request.
+  std::vector<std::future<KnnResult>> f1, f3;
+  for (int round = 0; round < 10; ++round) {
+    f1.push_back(service.submit_batch(Q, 1));
+    f3.push_back(service.submit_batch(Q, 3));
+  }
+  for (auto& f : f1) EXPECT_TRUE(testutil::knn_equal(ref1, f.get()));
+  for (auto& f : f3) EXPECT_TRUE(testutil::knn_equal(ref3, f.get()));
+}
+
+TEST(ServeBatching, RespectsMaxBatchAndCoalescesUnderBusyWorker) {
+  const Matrix<float> X = testutil::clustered_matrix(300, 6, 4, 32);
+  const Matrix<float> Q = testutil::random_matrix(33, 6, 33);
+
+  std::vector<index_t> sizes;
+  std::mutex mutex;
+  auto slow =
+      std::make_unique<SlowRecordingIndex>(/*sleep_ms=*/80, &sizes, &mutex);
+  slow->build(X);
+  SearchService service(
+      std::move(slow),
+      {.max_batch = 16, .max_wait_us = 20'000, .workers = 1});
+
+  // First query dispatches alone (nothing else pending) and parks the only
+  // worker in the backend for 80ms...
+  auto first = service.submit({Q.row(0), Q.cols()}, 1);
+  (void)first.get();
+  // ...so these 32 all land in the queue together and must come out as
+  // exactly two full max_batch-sized requests.
+  std::vector<std::future<QueryResult>> futures;
+  for (index_t qi = 1; qi < Q.rows(); ++qi)
+    futures.push_back(service.submit({Q.row(qi), Q.cols()}, 1));
+  for (auto& f : futures) (void)f.get();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  index_t total = 0;
+  for (index_t rows : sizes) {
+    EXPECT_LE(rows, 16u) << "batch exceeded max_batch";
+    total += rows;
+  }
+  EXPECT_EQ(total, Q.rows());
+  ASSERT_EQ(sizes.size(), 3u);  // 1 (lone first) + 16 + 16
+  EXPECT_EQ(sizes[0], 1u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.batch_hist[0], 1u);  // the singleton
+  EXPECT_EQ(stats.batch_hist[4], 2u);  // two 16-row batches
+}
+
+TEST(ServeBatching, OversizedBlockIsNeverSplit) {
+  const Matrix<float> X = testutil::clustered_matrix(200, 5, 3, 34);
+  const Matrix<float> Q = testutil::random_matrix(50, 5, 35);
+
+  std::vector<index_t> sizes;
+  std::mutex mutex;
+  auto slow =
+      std::make_unique<SlowRecordingIndex>(/*sleep_ms=*/0, &sizes, &mutex);
+  slow->build(X);
+  SearchService service(std::move(slow), {.max_batch = 8, .max_wait_us = 0, .workers = 1});
+
+  EXPECT_TRUE(testutil::knn_equal(testutil::naive_knn(Q, X, 2),
+                                  service.submit_batch(Q, 2).get()));
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], Q.rows());
+}
+
+TEST(ServeErrors, MalformedSubmissionsThrowSynchronously) {
+  const Matrix<float> X = testutil::random_matrix(40, 6, 36);
+  const Matrix<float> wrong_dim = testutil::random_matrix(3, 4, 37);
+  SearchService service(built_index("bruteforce", X));
+
+  const std::vector<float> q(6, 0.0f);
+  EXPECT_THROW((void)service.submit({q.data(), 4}, 1), std::invalid_argument);
+  EXPECT_THROW((void)service.submit({q.data(), 6}, 0), std::invalid_argument);
+  EXPECT_THROW((void)service.submit({q.data(), 6}, X.rows() + 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)service.submit_batch(wrong_dim, 1),
+               std::invalid_argument);
+}
+
+TEST(ServeErrors, BackendFailurePropagatesThroughTheFuture) {
+  const Matrix<float> X = testutil::random_matrix(40, 6, 38);
+  auto throwing = std::make_unique<ThrowingIndex>();
+  throwing->build(X);
+  SearchService service(std::move(throwing));
+
+  const std::vector<float> q(6, 0.0f);
+  auto future = service.submit({q.data(), 6}, 1);
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServeShutdown, StopDrainsInFlightLoadAndRejectsLateSubmissions) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 7, 4, 39);
+  const Matrix<float> Q = testutil::random_matrix(64, 7, 40);
+  const KnnResult reference = testutil::naive_knn(Q, X, 2);
+
+  std::vector<index_t> sizes;
+  std::mutex mutex;
+  auto slow =
+      std::make_unique<SlowRecordingIndex>(/*sleep_ms=*/5, &sizes, &mutex);
+  slow->build(X);
+  SearchService service(std::move(slow), {.max_batch = 4, .max_wait_us = 1'000, .workers = 2});
+
+  std::vector<std::future<QueryResult>> futures;
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    futures.push_back(service.submit({Q.row(qi), Q.cols()}, 2));
+
+  // Stop while most of those 16+ batches are still queued or in flight:
+  // every accepted future must still complete, with correct answers.
+  service.stop();
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    const QueryResult r = futures[qi].get();
+    EXPECT_EQ(r.ids[0], reference.ids.at(qi, 0)) << "query " << qi;
+  }
+  EXPECT_EQ(service.stats().completed, static_cast<std::uint64_t>(Q.rows()));
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+
+  const std::vector<float> q(7, 0.0f);
+  EXPECT_THROW((void)service.submit({q.data(), 7}, 1), std::runtime_error);
+  service.stop();  // idempotent
+}
+
+TEST(ServeShutdown, DrainWaitsForOutstandingWork) {
+  const Matrix<float> X = testutil::clustered_matrix(400, 7, 4, 41);
+  const Matrix<float> Q = testutil::random_matrix(32, 7, 42);
+
+  std::vector<index_t> sizes;
+  std::mutex mutex;
+  auto slow =
+      std::make_unique<SlowRecordingIndex>(/*sleep_ms=*/10, &sizes, &mutex);
+  slow->build(X);
+  SearchService service(std::move(slow), {.max_batch = 8, .max_wait_us = 500, .workers = 1});
+
+  std::vector<std::future<QueryResult>> futures;
+  for (index_t qi = 0; qi < Q.rows(); ++qi)
+    futures.push_back(service.submit({Q.row(qi), Q.cols()}, 1));
+  service.drain();
+
+  // After drain, every future is immediately ready.
+  for (auto& f : futures)
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+  EXPECT_EQ(service.stats().completed, static_cast<std::uint64_t>(Q.rows()));
+}
+
+TEST(ServeStats, SnapshotReportsLatencyAndThroughput) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(1'032, 8, 5, 43),
+                           1'000);
+  SearchService service(built_index("rbc-exact", X),
+                        {.max_batch = 128, .max_wait_us = 200});
+
+  for (int round = 0; round < 4; ++round)
+    (void)service.submit_batch(Q, 3).get();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 4u * Q.rows());
+  EXPECT_GT(stats.latency_p50_ms, 0.0);
+  EXPECT_GE(stats.latency_p99_ms, stats.latency_p50_ms);
+  EXPECT_GE(stats.latency_max_ms, stats.latency_p99_ms);
+  EXPECT_GT(stats.throughput_qps, 0.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.mean_batch(), 1.0);
+  EXPECT_GE(stats.max_queue_depth, Q.rows());
+}
+
+}  // namespace
+}  // namespace rbc
