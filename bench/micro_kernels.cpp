@@ -1,12 +1,27 @@
-// Micro-benchmarks: SIMD vs scalar distance kernels and the tiled pairwise
-// primitive (google-benchmark). The distance kernel is the innermost loop of
-// everything in this library; these benches document the vectorization win
-// and catch regressions.
+// Micro-benchmarks: the runtime-dispatched SIMD kernel layer vs scalar
+// references (google-benchmark). The distance kernel is the innermost loop
+// of everything in this library; these benches document the vectorization
+// win per kernel shape x ISA and catch regressions.
+//
+//   ./bench_micro_kernels [--smoke] [--out=PATH] [gbench flags]
+//
+// Besides the console table, results are written as google-benchmark JSON
+// to BENCH_kernels.json (schema + perf bars checked by
+// scripts/validate_bench_kernels.py: every compiled ISA must beat the
+// scalar single-query scan per evaluation, and the row-blocked
+// single-query kernel must reach >= 2x on full runs). Dispatched shapes
+// are registered once per ISA the host can execute — a host without
+// AVX-512 simply has no avx512 rows, which the validator accepts.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
-#include "distance/blocked.hpp"
+#include "distance/dispatch.hpp"
 #include "distance/kernels.hpp"
 #include "distance/pairwise.hpp"
 #include "distance/pairwise_gemm.hpp"
@@ -14,6 +29,8 @@
 namespace {
 
 using namespace rbc;
+
+constexpr index_t kDbRows = 1024;
 
 Matrix<float> make_points(index_t rows, index_t cols, std::uint64_t seed) {
   Matrix<float> m(rows, cols);
@@ -61,24 +78,6 @@ void BM_L1_Scalar(benchmark::State& state) {
 }
 BENCHMARK(BM_L1_Scalar)->Arg(74);
 
-// One query row against a database tile: the shape of the BF inner loop.
-void BM_QueryRowScan(benchmark::State& state) {
-  const auto d = static_cast<index_t>(state.range(0));
-  const index_t rows = 1024;
-  const Matrix<float> db = make_points(rows, d, 3);
-  const Matrix<float> q = make_points(1, d, 4);
-  for (auto _ : state) {
-    float best = kInfDist;
-    for (index_t j = 0; j < rows; ++j) {
-      const float dist = kernels::sq_l2(q.row(0), db.row(j), d);
-      if (dist < best) best = dist;
-    }
-    benchmark::DoNotOptimize(best);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
-}
-BENCHMARK(BM_QueryRowScan)->Arg(21)->Arg(74);
-
 void BM_PairwiseTile(benchmark::State& state) {
   const auto d = static_cast<index_t>(state.range(0));
   const Matrix<float> a = make_points(kTileQ, d, 5);
@@ -122,31 +121,127 @@ void BM_PairwiseGemm(benchmark::State& state) {
 }
 BENCHMARK(BM_PairwiseGemm)->Arg(21)->Arg(74)->Unit(benchmark::kMillisecond);
 
-// The register-blocked multi-query kernel behind the serving layer's
-// batched win: kTile queries share every database-row load and keep
-// independent FMA chains (distance/blocked.hpp). Compare items/s against
-// BM_QueryRowScan at the same dimensionality — the per-evaluation gap (~6x
-// on an AVX2 host) is what batch ≥ kBlockedMinBatch buys rbc-exact.
-void BM_BlockedTileScan(benchmark::State& state) {
-  const auto d = static_cast<index_t>(state.range(0));
-  const index_t rows = 1024;
-  const Matrix<float> db = make_points(rows, d, 3);
-  const Matrix<float> q = make_points(blocked::kTile, d, 4);
-  const float* qrows[blocked::kTile];
-  for (index_t t = 0; t < blocked::kTile; ++t) qrows[t] = q.row(t);
-  std::vector<float> qt(static_cast<std::size_t>(d) * blocked::kTile);
-  blocked::pack_tile(qrows, blocked::kTile, d, qt.data());
-  std::vector<float> out(static_cast<std::size_t>(rows) * blocked::kTile);
+// ------------------------------------------- dispatched shapes, per ISA ---
+//
+// Registered from main() once per ISA this host can execute, under names
+// the validator parses: "<shape>/<isa>/<d>", plus the per-query scalar
+// baseline "scalar_scan/ref/<d>" every shape's items/s is compared against
+// (each item = one (query, point) distance evaluation).
+
+void bench_scalar_scan(benchmark::State& state, index_t d) {
+  const Matrix<float> db = make_points(kDbRows, d, 3);
+  const Matrix<float> q = make_points(1, d, 4);
   for (auto _ : state) {
-    blocked::sq_l2_tile(qt.data(), d, db, 0, rows, out.data());
+    float best = kInfDist;
+    for (index_t j = 0; j < kDbRows; ++j) {
+      const float dist = kernels::sq_l2_scalar(q.row(0), db.row(j), d);
+      if (dist < best) best = dist;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows);
+}
+
+void bench_rows(benchmark::State& state, dispatch::Isa isa, index_t d) {
+  const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+  const Matrix<float> db = make_points(kDbRows, d, 3);
+  const Matrix<float> q = make_points(1, d, 4);
+  std::vector<float> out(kDbRows);
+  for (auto _ : state) {
+    ops.rows(q.row(0), d, db.data(), db.stride(), 0, kDbRows, out.data());
     benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows *
-                          blocked::kTile);
-  state.SetLabel(blocked::fast_kernel() ? "avx2" : "scalar-fallback");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows);
 }
-BENCHMARK(BM_BlockedTileScan)->Arg(21)->Arg(32)->Arg(74);
+
+void bench_tile(benchmark::State& state, dispatch::Isa isa, index_t d,
+                bool gemm_form) {
+  const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+  const Matrix<float> db = make_points(kDbRows, d, 3);
+  const Matrix<float> q = make_points(dispatch::kTile, d, 4);
+  const float* qrows[dispatch::kTile];
+  for (index_t t = 0; t < dispatch::kTile; ++t) qrows[t] = q.row(t);
+  std::vector<float> qt(static_cast<std::size_t>(d) * dispatch::kTile);
+  dispatch::pack_tile(qrows, dispatch::kTile, d, qt.data());
+  float q_sq[dispatch::kTile];
+  std::vector<float> x_sq(kDbRows);
+  for (index_t t = 0; t < dispatch::kTile; ++t)
+    q_sq[t] = kernels::dot(q.row(t), q.row(t), d);
+  for (index_t p = 0; p < kDbRows; ++p)
+    x_sq[p] = kernels::dot(db.row(p), db.row(p), d);
+  std::vector<float> out(static_cast<std::size_t>(kDbRows) * dispatch::kTile);
+  float lane_min[dispatch::kTile];
+  for (auto _ : state) {
+    if (gemm_form)
+      ops.tile_gemm(qt.data(), q_sq, d, db.data(), db.stride(), x_sq.data(),
+                    0, kDbRows, out.data(), lane_min);
+    else
+      ops.tile(qt.data(), d, db.data(), db.stride(), 0, kDbRows, out.data(),
+               lane_min);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::DoNotOptimize(lane_min);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows *
+                          dispatch::kTile);
+}
+
+void register_dispatch_benches(bool smoke) {
+  const std::vector<index_t> dims = {21, 32, 74};
+  auto tune = [smoke](benchmark::internal::Benchmark* b) {
+    if (smoke) b->Iterations(200);  // schema validation in seconds, not perf
+  };
+  for (const index_t d : dims)
+    tune(benchmark::RegisterBenchmark(
+        ("scalar_scan/ref/" + std::to_string(d)).c_str(),
+        [d](benchmark::State& s) { bench_scalar_scan(s, d); }));
+  for (const dispatch::Isa isa :
+       {dispatch::Isa::kScalar, dispatch::Isa::kAvx2,
+        dispatch::Isa::kAvx512}) {
+    if (!dispatch::isa_available(isa)) continue;
+    const std::string name = dispatch::isa_name(isa);
+    for (const index_t d : dims) {
+      const std::string suffix = name + "/" + std::to_string(d);
+      tune(benchmark::RegisterBenchmark(
+          ("rows/" + suffix).c_str(),
+          [isa, d](benchmark::State& s) { bench_rows(s, isa, d); }));
+      tune(benchmark::RegisterBenchmark(
+          ("tile/" + suffix).c_str(),
+          [isa, d](benchmark::State& s) { bench_tile(s, isa, d, false); }));
+      tune(benchmark::RegisterBenchmark(
+          ("tile_gemm/" + suffix).c_str(),
+          [isa, d](benchmark::State& s) { bench_tile(s, isa, d, true); }));
+    }
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0)
+      smoke = true;
+    else if (std::strncmp(argv[a], "--out=", 6) == 0)
+      out_path = argv[a] + 6;
+    else
+      passthrough.push_back(argv[a]);
+  }
+  // Route the JSON through google-benchmark's own file reporter.
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  passthrough.push_back(out_flag.data());
+  passthrough.push_back(fmt_flag.data());
+  int pass_argc = static_cast<int>(passthrough.size());
+
+  register_dispatch_benches(smoke);
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

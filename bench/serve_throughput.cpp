@@ -5,7 +5,9 @@
 // is the degenerate configuration — every submission becomes its own
 // backend call, the way naive request/response serving drives a library —
 // and is the baseline the paper's batching argument (§3: BF over a query
-// block ~ matrix-matrix multiply) is measured against.
+// block ~ matrix-matrix multiply) is measured against. A second sweep
+// scales the executor pool (workers = 1..4) at the loaded configuration so
+// the recorded file also tracks multi-core service throughput.
 //
 //   ./bench_serve_throughput [--smoke] [--out=PATH]
 //
@@ -50,6 +52,7 @@ class SharedIndexView final : public Index {
 struct RunResult {
   int clients = 0;
   index_t max_batch = 0;
+  int workers = 1;
   index_t queries = 0;
   double seconds = 0.0;
   double qps = 0.0;
@@ -64,10 +67,11 @@ struct RunResult {
 /// `total_queries` single-query submissions (submit all, then collect), so
 /// the service sees a sustained concurrent stream.
 RunResult run_config(const Index& shared, const Matrix<float>& queries,
-                     int clients, index_t max_batch, index_t k) {
+                     int clients, index_t max_batch, index_t k,
+                     int workers = 1) {
   serve::SearchService service(
       std::make_unique<SharedIndexView>(&shared),
-      {.max_batch = max_batch, .max_wait_us = 300, .workers = 1});
+      {.max_batch = max_batch, .max_wait_us = 300, .workers = workers});
 
   const index_t total = queries.rows();
   const index_t per_client = total / static_cast<index_t>(clients);
@@ -94,6 +98,7 @@ RunResult run_config(const Index& shared, const Matrix<float>& queries,
   RunResult r;
   r.clients = clients;
   r.max_batch = max_batch;
+  r.workers = workers;
   r.queries = total;
   r.seconds = seconds;
   r.qps = static_cast<double>(total) / seconds;
@@ -140,22 +145,43 @@ int main(int argc, char** argv) {
       smoke ? std::vector<index_t>{1, 64}
             : std::vector<index_t>{1, 16, 64, 256};
 
-  std::printf("%8s %10s %10s %10s %10s %10s %12s\n", "clients", "max_batch",
-              "qps", "p50_ms", "p99_ms", "mean_batch", "evals/query");
+  std::printf("%8s %10s %8s %10s %10s %10s %10s %12s\n", "clients",
+              "max_batch", "workers", "qps", "p50_ms", "p99_ms", "mean_batch",
+              "evals/query");
+  const auto print_row = [](const RunResult& r) {
+    std::printf("%8d %10u %8d %10.0f %10.2f %10.2f %10.1f %12.0f\n",
+                r.clients, r.max_batch, r.workers, r.qps, r.p50_ms, r.p99_ms,
+                r.mean_batch, r.evals_per_query);
+  };
   std::vector<RunResult> results;
   for (int clients : client_counts)
     for (index_t max_batch : batch_sizes) {
       const RunResult r =
           run_config(*index, queries, clients, max_batch, k);
-      std::printf("%8d %10u %10.0f %10.2f %10.2f %10.1f %12.0f\n", r.clients,
-                  r.max_batch, r.qps, r.p50_ms, r.p99_ms, r.mean_batch,
-                  r.evals_per_query);
+      print_row(r);
       results.push_back(r);
     }
 
+  // Worker-pool scaling sweep: the same loaded configuration (top client
+  // count, largest batch) with 1..4 executor threads, so the recorded file
+  // shows multi-core *service* throughput, not just the 1-core batching
+  // win. On a single-core host the extra workers mostly document the
+  // absence of regression; with cores to use, batches overlap.
+  const int top_clients = client_counts.back();
+  const index_t top_batch = batch_sizes.back();
+  std::printf("\nworker scaling (clients=%d, max_batch=%u):\n", top_clients,
+              top_batch);
+  std::vector<RunResult> worker_results;
+  for (int workers : smoke ? std::vector<int>{1, 2}
+                           : std::vector<int>{1, 2, 4}) {
+    const RunResult r =
+        run_config(*index, queries, top_clients, top_batch, k, workers);
+    print_row(r);
+    worker_results.push_back(r);
+  }
+
   // Acceptance record: best batched (max_batch >= 64) vs unbatched at the
   // highest client count.
-  const int top_clients = client_counts.back();
   double unbatched_qps = 0.0, batched_qps = 0.0;
   index_t batched_at = 0;
   for (const RunResult& r : results) {
@@ -186,18 +212,25 @@ int main(int argc, char** argv) {
                "  \"total_queries\": %u,\n"
                "  \"results\": [\n",
                smoke ? "true" : "false", n, dim, k, total_queries);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
+  const auto write_row = [out](const RunResult& r, bool last) {
     std::fprintf(out,
-                 "    {\"clients\": %d, \"max_batch\": %u, \"queries\": %u, "
+                 "    {\"clients\": %d, \"max_batch\": %u, \"workers\": %d, "
+                 "\"queries\": %u, "
                  "\"seconds\": %.4f, \"qps\": %.1f, \"p50_ms\": %.3f, "
                  "\"p99_ms\": %.3f, \"mean_batch\": %.2f, \"batches\": %llu, "
                  "\"dist_evals_per_query\": %.1f}%s\n",
-                 r.clients, r.max_batch, r.queries, r.seconds, r.qps,
-                 r.p50_ms, r.p99_ms, r.mean_batch,
+                 r.clients, r.max_batch, r.workers, r.queries, r.seconds,
+                 r.qps, r.p50_ms, r.p99_ms, r.mean_batch,
                  static_cast<unsigned long long>(r.batches),
-                 r.evals_per_query, i + 1 < results.size() ? "," : "");
-  }
+                 r.evals_per_query, last ? "" : ",");
+  };
+  for (std::size_t i = 0; i < results.size(); ++i)
+    write_row(results[i], i + 1 == results.size());
+  std::fprintf(out,
+               "  ],\n"
+               "  \"worker_scaling\": [\n");
+  for (std::size_t i = 0; i < worker_results.size(); ++i)
+    write_row(worker_results[i], i + 1 == worker_results.size());
   std::fprintf(out,
                "  ],\n"
                "  \"acceptance\": {\n"

@@ -42,8 +42,10 @@ int main(int argc, char** argv) {
 
   auto index = make_index(backend);
   index->build(database);
-  std::printf("serving %s over %u points in %u dims\n", backend.c_str(), n,
-              dim);
+  const IndexInfo info = index->info();
+  std::printf("serving %s over %u points in %u dims (kernels: %s)\n",
+              backend.c_str(), n, dim,
+              info.kernel_isa.empty() ? "n/a" : info.kernel_isa.c_str());
 
   serve::SearchService service(std::move(index),
                                {.max_batch = max_batch, .max_wait_us = 300});

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Schema + perf validation for BENCH_kernels.json (bench/micro_kernels.cpp).
+
+Usage: scripts/validate_bench_kernels.py [--smoke] [path/to/BENCH_kernels.json]
+
+The file is google-benchmark JSON; the dispatched-kernel benchmarks are
+named "<shape>/<isa>/<d>" with items_per_second = distance evaluations per
+second, plus the per-query scalar baseline "scalar_scan/ref/<d>".
+
+Checks:
+  * schema: context + benchmarks present, every dispatched row has a
+    parseable name and a positive items_per_second;
+  * coverage: all three shapes (tile, tile_gemm, rows) x all three paper
+    dims for every ISA that appears, and the scalar ISA always appears
+    (hosts without AVX2/AVX-512 simply lack those rows — accepted);
+  * perf (full runs only; --smoke skips the bars, whose tiny iteration
+    counts make timings meaningless): for every SIMD ISA present, each
+    shape beats the scalar single-query scan per evaluation at every dim,
+    and the row-blocked single-query kernel reaches >= 2x — the
+    acceptance bar of the runtime-dispatch PR.
+"""
+import json
+import sys
+from pathlib import Path
+
+SHAPES = ("tile", "tile_gemm", "rows")
+DIMS = ("21", "32", "74")
+
+args = [a for a in sys.argv[1:] if a != "--smoke"]
+smoke = "--smoke" in sys.argv[1:]
+path = Path(args[0] if args else "BENCH_kernels.json")
+errors: list[str] = []
+
+try:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+except (OSError, json.JSONDecodeError) as exc:
+    print(f"cannot read {path}: {exc}")
+    sys.exit(1)
+
+
+def expect(cond: bool, message: str) -> None:
+    if not cond:
+        errors.append(message)
+
+
+expect(isinstance(doc.get("context"), dict), "missing google-benchmark context")
+benches = doc.get("benchmarks")
+expect(isinstance(benches, list) and benches, "missing benchmarks array")
+
+# name -> items_per_second for the dispatched shapes and the baseline.
+throughput: dict[tuple[str, str, str], float] = {}
+for row in benches or []:
+    name = row.get("name", "")
+    # Fixed-iteration runs (--smoke) carry an "/iterations:N" suffix.
+    parts = [p for p in name.split("/") if not p.startswith("iterations:")]
+    if len(parts) != 3 or parts[0] not in SHAPES + ("scalar_scan",):
+        continue  # static micro-benchmarks (BM_*) are not validated here
+    shape, isa, dim = parts
+    ips = row.get("items_per_second")
+    expect(isinstance(ips, (int, float)) and ips > 0,
+           f"{name}: missing or non-positive items_per_second")
+    if isinstance(ips, (int, float)):
+        throughput[(shape, isa, dim)] = float(ips)
+
+isas = sorted({isa for (_, isa, _) in throughput} - {"ref"})
+expect("scalar" in isas, "scalar ISA rows missing (always compiled)")
+for dim in DIMS:
+    expect(("scalar_scan", "ref", dim) in throughput,
+           f"baseline scalar_scan/ref/{dim} missing")
+for isa in isas:
+    for shape in SHAPES:
+        for dim in DIMS:
+            expect((shape, isa, dim) in throughput,
+                   f"{shape}/{isa}/{dim} missing")
+
+if not smoke and not errors:
+    for isa in isas:
+        if isa == "scalar":
+            continue  # the scalar table IS the baseline's class
+        for dim in DIMS:
+            base = throughput[("scalar_scan", "ref", dim)]
+            for shape in SHAPES:
+                ratio = throughput[(shape, isa, dim)] / base
+                expect(ratio >= 1.0,
+                       f"{shape}/{isa}/{dim}: {ratio:.2f}x — SIMD shape "
+                       f"slower than the scalar scan")
+            rows_ratio = throughput[("rows", isa, dim)] / base
+            expect(rows_ratio >= 2.0,
+                   f"rows/{isa}/{dim}: {rows_ratio:.2f}x < 2x acceptance "
+                   f"bar over scalar_scan")
+
+if errors:
+    print(f"{path}: INVALID")
+    for error in errors:
+        print(f"  - {error}")
+    sys.exit(1)
+
+summary = []
+for isa in isas:
+    if isa == "scalar":
+        continue
+    ratios = [throughput[("rows", isa, d)] /
+              throughput[("scalar_scan", "ref", d)] for d in DIMS]
+    summary.append(f"{isa} rows {min(ratios):.1f}-{max(ratios):.1f}x")
+mode = "smoke" if smoke else "full"
+print(f"{path}: valid ({mode}, ISAs: {', '.join(isas)}"
+      f"{'; ' + '; '.join(summary) if summary else ''})")

@@ -29,27 +29,39 @@ def expect(cond: bool, message: str) -> None:
 
 
 TOP = {"bench": str, "backend": str, "smoke": bool, "n": int, "dim": int,
-       "k": int, "total_queries": int, "results": list, "acceptance": dict}
+       "k": int, "total_queries": int, "results": list,
+       "worker_scaling": list, "acceptance": dict}
 for key, kind in TOP.items():
     expect(isinstance(doc.get(key), kind),
            f"top-level '{key}' missing or not {kind.__name__}")
 expect(doc.get("bench") == "serve_throughput", "bench != serve_throughput")
 
-RESULT = {"clients": int, "max_batch": int, "queries": int,
+RESULT = {"clients": int, "max_batch": int, "workers": int, "queries": int,
           "seconds": (int, float), "qps": (int, float),
           "p50_ms": (int, float), "p99_ms": (int, float),
           "mean_batch": (int, float), "batches": int,
           "dist_evals_per_query": (int, float)}
-for i, row in enumerate(doc.get("results", [])):
-    for key, kind in RESULT.items():
-        expect(isinstance(row.get(key), kind),
-               f"results[{i}].{key} missing or wrong type")
-    if isinstance(row.get("seconds"), (int, float)) and row["seconds"] > 0:
-        implied = row["queries"] / row["seconds"]
-        expect(abs(implied - row["qps"]) <= 0.02 * implied + 1.0,
-               f"results[{i}].qps inconsistent with queries/seconds")
-    expect(row.get("p99_ms", 0) >= row.get("p50_ms", 0),
-           f"results[{i}]: p99 < p50")
+
+
+def check_rows(rows: list, section: str) -> None:
+    for i, row in enumerate(rows):
+        for key, kind in RESULT.items():
+            expect(isinstance(row.get(key), kind),
+                   f"{section}[{i}].{key} missing or wrong type")
+        if isinstance(row.get("seconds"), (int, float)) and row["seconds"] > 0:
+            implied = row["queries"] / row["seconds"]
+            expect(abs(implied - row["qps"]) <= 0.02 * implied + 1.0,
+                   f"{section}[{i}].qps inconsistent with queries/seconds")
+        expect(row.get("p99_ms", 0) >= row.get("p50_ms", 0),
+               f"{section}[{i}]: p99 < p50")
+
+
+check_rows(doc.get("results", []), "results")
+check_rows(doc.get("worker_scaling", []), "worker_scaling")
+# The worker sweep must actually scale the pool (a workers > 1 point).
+expect(any(row.get("workers", 0) > 1
+           for row in doc.get("worker_scaling", [])),
+       "worker_scaling has no workers > 1 configuration")
 
 acc = doc.get("acceptance", {})
 for key in ("clients", "unbatched_qps", "batched_qps", "batched_max_batch",

@@ -8,6 +8,7 @@
 #include "api/backends/backends.hpp"
 #include "api/registry.hpp"
 #include "bruteforce/bf.hpp"
+#include "distance/dispatch.hpp"
 #include "rbc/serialize_io.hpp"
 
 namespace rbc::backends {
@@ -18,6 +19,9 @@ class BruteForceBackend final : public Index {
  public:
   void build(const Matrix<float>& X) override {
     db_ = X.clone();
+    // Row norms once at build: the tiled batch path's GEMM-form corrections
+    // (an O(n d) pass that must not be paid per search).
+    norms_ = make_row_norms_cache(db_);
     built_ = true;  // an empty database is a valid built state (k-NN against
                     // it is a request error: k > size for every k >= 1)
   }
@@ -25,7 +29,7 @@ class BruteForceBackend final : public Index {
   SearchResponse knn_search(const SearchRequest& request) const override {
     validate_knn(request, db_.cols(), db_.rows(), built_, "bruteforce");
     SearchResponse response;
-    response.knn = bf_knn(*request.queries, db_, request.k);
+    response.knn = bf_knn(*request.queries, db_, request.k, {}, &norms_);
     if (request.options.collect_stats) {
       response.stats.queries = request.queries->rows();
       response.stats.list_dist_evals =
@@ -67,6 +71,7 @@ class BruteForceBackend final : public Index {
     io::expect_pod(is, io::kFormatVersion, "bruteforce version");
     auto index = std::make_unique<BruteForceBackend>();
     index->db_ = io::read_matrix(is);
+    index->norms_ = make_row_norms_cache(index->db_);  // derived, not stored
     index->built_ = true;
     return index;
   }
@@ -80,11 +85,13 @@ class BruteForceBackend final : public Index {
     info.supports_range = true;
     info.supports_save = true;
     info.memory_bytes = db_.size() * sizeof(float);
+    info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
     return info;
   }
 
  private:
   Matrix<float> db_;
+  RowNormsCache norms_;
   bool built_ = false;
 };
 

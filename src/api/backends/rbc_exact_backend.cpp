@@ -8,6 +8,7 @@
 
 #include "api/backends/backends.hpp"
 #include "api/registry.hpp"
+#include "distance/dispatch.hpp"
 #include "rbc/rbc_exact.hpp"
 
 namespace rbc::backends {
@@ -65,6 +66,7 @@ class RbcExactBackend final : public Index {
     info.supports_range = true;
     info.supports_save = true;
     info.memory_bytes = built_ ? index_.memory_bytes() : 0;
+    info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
     return info;
   }
 

@@ -6,6 +6,7 @@
 
 #include "api/backends/backends.hpp"
 #include "api/registry.hpp"
+#include "distance/dispatch.hpp"
 #include "rbc/rbc_oneshot.hpp"
 
 namespace rbc::backends {
@@ -51,6 +52,7 @@ class RbcOneShotBackend final : public Index {
     info.supports_range = false;
     info.supports_save = true;
     info.memory_bytes = built_ ? index_.memory_bytes() : 0;
+    info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
     return info;
   }
 

@@ -56,6 +56,11 @@ struct IndexInfo {
   bool supports_range = false;  ///< range_search() implemented
   bool supports_save = false;   ///< save() / load_index() implemented
   std::size_t memory_bytes = 0;  ///< index-owned memory (0 if unknown)
+  /// Runtime-dispatched SIMD ISA driving this backend's dense distance
+  /// scans ("scalar" / "avx2" / "avx512"; see distance/dispatch.hpp).
+  /// Empty for backends that do not use the dispatched kernel layer
+  /// (trees, device backends).
+  std::string kernel_isa;
 };
 
 /// Abstract search index. Implementations own every byte they need to

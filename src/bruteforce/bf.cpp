@@ -1,18 +1,27 @@
 // Explicit instantiations of the brute-force primitive for the shipped
-// metrics, so common configurations compile once instead of in every TU.
+// metrics, so common configurations compile once instead of in every TU —
+// plus the non-template norms-cache builder.
 #include "bruteforce/bf.hpp"
 
 namespace rbc {
 
+RowNormsCache make_row_norms_cache(const Matrix<float>& X) {
+  RowNormsCache cache;
+  cache.sq = detail::kernel_row_sq_norms(X);
+  for (const float v : cache.sq) cache.max = std::max(cache.max, v);
+  return cache;
+}
+
 template KnnResult bf_knn<Euclidean>(const Matrix<float>&,
-                                     const Matrix<float>&, index_t, Euclidean);
+                                     const Matrix<float>&, index_t, Euclidean,
+                                     const RowNormsCache*);
 template KnnResult bf_knn<SqEuclidean>(const Matrix<float>&,
                                        const Matrix<float>&, index_t,
-                                       SqEuclidean);
+                                       SqEuclidean, const RowNormsCache*);
 template KnnResult bf_knn<L1>(const Matrix<float>&, const Matrix<float>&,
-                              index_t, L1);
+                              index_t, L1, const RowNormsCache*);
 template KnnResult bf_knn<LInf>(const Matrix<float>&, const Matrix<float>&,
-                                index_t, LInf);
+                                index_t, LInf, const RowNormsCache*);
 
 template void bf_knn_stream<Euclidean>(const float*, const Matrix<float>&,
                                        Euclidean, TopK&);

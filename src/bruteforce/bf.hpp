@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "bruteforce/topk.hpp"
 #include "common/counters.hpp"
@@ -60,11 +61,26 @@ void bf_scan_subset(const float* q, const Matrix<float>& X,
   counters::add_dist_evals(count);
 }
 
+/// Precomputed squared row norms of a database — the rank-1 corrections of
+/// the paper's §3 GEMM formulation, consumed by bf_knn's tiled batch path.
+/// Callers that search one immutable database repeatedly (the bruteforce
+/// backend, serving workloads) build this once at index time instead of
+/// paying an O(n d) pass per batch.
+struct RowNormsCache {
+  std::vector<float> sq;  // ||X_p||^2 per row
+  float max = 0.0f;       // max over sq (conservative lane-skip threshold)
+};
+
+/// Builds a RowNormsCache for X through the dispatched kernels.
+RowNormsCache make_row_norms_cache(const Matrix<float>& X);
+
 /// BF(Q, X) for a batch of queries; parallel across queries.
 /// The default metric is Euclidean, as in all of the paper's experiments.
+/// `norms`, when non-null, must be make_row_norms_cache(X) — it spares the
+/// tiled batch path its per-call norms pass (ignored by other paths).
 template <DenseMetric M = Euclidean>
 KnnResult bf_knn(const Matrix<float>& Q, const Matrix<float>& X, index_t k,
-                 M metric = {});
+                 M metric = {}, const RowNormsCache* norms = nullptr);
 
 /// BF(q, X) for a single (streaming) query; parallel across database chunks
 /// with per-thread heaps merged by a reduction.

@@ -1,0 +1,104 @@
+// Kernelized linear scans: the bridge between the runtime-dispatched SIMD
+// kernel layer (distance/dispatch.hpp) and the TopK selection step.
+//
+// Every dense scan in the library has the same skeleton — compute distances
+// from one query to a run of database rows, offer each to a bounded heap.
+// These helpers run that skeleton through the dispatched squared-L2 kernels
+// as a *prefilter*: the kernel fills a chunk of approximate squared
+// distances, candidates inside the margin-inflated heap bound are
+// re-measured with the caller's scalar metric before being pushed, and
+// everything else is discarded without a sqrt or a heap probe. Because the
+// heap only ever orders re-measured (bit-exact) values, results are
+// IDENTICAL to the plain bf_scan_rows loop under every ISA — the property
+// the per-ISA parity tests pin (tests/test_rbc_blocked.cpp).
+//
+// Only metrics monotone in squared L2 qualify; kernel_metric<M> says which.
+// Unlike bf_scan_rows, these helpers do NOT touch the global
+// distance-eval counters: callers account one eval per row scanned (the
+// kernel does evaluate every row; re-measures are never counted twice) so
+// index code can fold the number into its per-search stats first.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+
+#include "bruteforce/topk.hpp"
+#include "common/matrix.hpp"
+#include "distance/dispatch.hpp"
+#include "distance/metrics.hpp"
+
+namespace rbc {
+
+/// True for metrics the squared-L2 kernel layer can prefilter for:
+/// comparing kernel outputs against sq_threshold(heap bound) must be
+/// equivalent to comparing metric values against the bound.
+template <class M>
+inline constexpr bool kernel_metric =
+    std::is_same_v<M, Euclidean> || std::is_same_v<M, SqEuclidean>;
+
+/// Maps a heap bound (metric space) into squared-L2 space for filtering.
+template <class M>
+inline float sq_threshold(float bound) noexcept {
+  static_assert(kernel_metric<M>);
+  if constexpr (std::is_same_v<M, Euclidean>) return bound * bound;
+  return bound;  // SqEuclidean is already squared
+}
+
+namespace detail {
+struct IdentityId {
+  index_t operator()(index_t row) const noexcept { return row; }
+};
+}  // namespace detail
+
+/// BF(q, X[lo..hi)) through the dispatched row-block kernel. Pushes
+/// (metric(q, x_p), id_of(p)) for every candidate surviving the prefilter;
+/// identical final heap to the plain loop. Caller accounts hi - lo evals.
+template <DenseMetric M, class IdOf = detail::IdentityId>
+void kernel_scan_rows(const float* q, const Matrix<float>& X, index_t lo,
+                      index_t hi, M metric, TopK& out, IdOf id_of = {}) {
+  static_assert(kernel_metric<M>);
+  constexpr index_t kChunk = 512;  // 2 KB of distances on the stack
+  float buf[kChunk];
+  const dispatch::KernelOps& ops = dispatch::ops();
+  const index_t d = X.cols();
+  const float margin = 1.0f + dispatch::tile_margin(d);
+  for (index_t c = lo; c < hi; c += kChunk) {
+    const index_t ce = std::min<index_t>(hi, c + kChunk);
+    const float chunk_min =
+        ops.rows(q, d, X.data(), X.stride(), c, ce, buf);
+    // Whole chunk misses the (entry) bound: skip without reading buf. The
+    // bound only tightens, so nothing skippable ever survives.
+    if (chunk_min > sq_threshold<M>(out.worst()) * margin) continue;
+    for (index_t p = c; p < ce; ++p) {
+      if (buf[p - c] > sq_threshold<M>(out.worst()) * margin) continue;
+      out.push(metric(q, X.row(p), d), id_of(p));
+    }
+  }
+}
+
+/// Gather-form variant: scans the `count` rows of the raw row-major buffer
+/// `x` (rows `stride` floats apart) addressed by `rows`, pushing
+/// (metric, id_of(rows[j])). Raw-pointer form because overflow rows
+/// (dynamic inserts) live outside any Matrix. Caller accounts the evals.
+template <DenseMetric M, class IdOf = detail::IdentityId>
+void kernel_scan_gather(const float* q, index_t d, const float* x,
+                        std::size_t stride, const index_t* rows,
+                        index_t count, M metric, TopK& out, IdOf id_of = {}) {
+  static_assert(kernel_metric<M>);
+  constexpr index_t kChunk = 512;
+  float buf[kChunk];
+  const dispatch::KernelOps& ops = dispatch::ops();
+  const float margin = 1.0f + dispatch::tile_margin(d);
+  for (index_t c = 0; c < count; c += kChunk) {
+    const index_t ce = std::min<index_t>(count, c + kChunk);
+    const float chunk_min = ops.gather(q, d, x, stride, rows + c, ce - c, buf);
+    if (chunk_min > sq_threshold<M>(out.worst()) * margin) continue;
+    for (index_t j = c; j < ce; ++j) {
+      if (buf[j - c] > sq_threshold<M>(out.worst()) * margin) continue;
+      out.push(metric(q, x + static_cast<std::size_t>(rows[j]) * stride, d),
+               id_of(rows[j]));
+    }
+  }
+}
+
+}  // namespace rbc

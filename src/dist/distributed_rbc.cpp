@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "bruteforce/kernel_scan.hpp"
 #include "bruteforce/topk.hpp"
 #include "common/counters.hpp"
 #include "common/rng.hpp"
@@ -160,6 +161,27 @@ std::uint64_t DistributedRbc::scan_worker(
     const dist_t list_bound = std::min(rep_bound, out.worst());
     if (params_.use_overlap_rule && dr > list_bound + psi_[r]) continue;
     if (params_.use_lemma_rule && dr > 2 * list_bound + gamma1) continue;
+    if (hi - lo >= RbcExactIndex<>::kKernelMinSegment) {
+      // Kernelized portion scan, same pattern as the single-node index:
+      // freeze the early-exit / annulus window from the entry bound
+      // (binary search over the sorted portion distances), run the window
+      // through the dispatched row-block kernel, re-measure prefilter
+      // survivors with the scalar metric. Superset of the adaptive scan =>
+      // identical results.
+      const dist_t* pd = worker.packed_dist.data();
+      index_t seg_hi = hi, seg_lo = lo;
+      if (params_.use_early_exit)
+        seg_hi = static_cast<index_t>(
+            std::upper_bound(pd + lo, pd + hi, dr + list_bound) - pd);
+      if (params_.use_annulus_bound)
+        seg_lo = static_cast<index_t>(
+            std::lower_bound(pd + lo, pd + seg_hi, dr - list_bound) - pd);
+      kernel_scan_rows(
+          q, worker.packed, seg_lo, seg_hi, metric_, out,
+          [&worker](index_t p) { return worker.packed_ids[p]; });
+      computed += seg_hi - seg_lo;
+      continue;
+    }
     for (index_t p = lo; p < hi; ++p) {
       const dist_t b = std::min(rep_bound, out.worst());
       // Claim-2 early exit: portions keep the sorted-by-rho(x,r) order.

@@ -1,0 +1,171 @@
+// Runtime-dispatched SIMD distance-kernel layer — one ISA decision for every
+// hot scan in the library (paper §3: brute-force search "is virtually
+// matrix-matrix multiply" and must be engineered like one).
+//
+// The library previously carried a single AVX2 kernel compiled behind a
+// configure-time probe, reachable only from the exact index's large-batch
+// path; every other scan (brute force, RBC stage 1, one-shot, small batches)
+// ran whatever the default ISA produced. This layer replaces that with three
+// per-ISA translation units — scalar (always), AVX2+FMA and AVX-512F (when
+// the compiler can target them) — selected **at runtime** from CPUID, so one
+// binary runs the best kernels the executing host actually has.
+//
+// Kernel shapes (all squared L2 — the form every dense scan reduces to):
+//
+//   tile       16 transposed queries x database rows. Each row load is
+//              amortized 16 ways across independent FMA chains; the shape of
+//              the exact index's blocked batch path and of BF(Q, X) over
+//              coalesced serving batches.
+//   tile_gemm  the same tile in the GEMM formulation of §3,
+//              ||q||^2 + ||x||^2 - 2 q.x, with both norms precomputed
+//              (see pairwise_gemm.hpp). Drops the per-element subtract, the
+//              fastest form when row norms can be cached (the exact index
+//              caches them at build).
+//   rows       one query x a block of 8 consecutive rows, each row with its
+//              own accumulator chain. What makes SMALL batches and stream
+//              mode stop being latency-bound: a single-query scan has one
+//              dependent FMA chain, this one has eight.
+//   gather     one query x rows addressed through an index array — the
+//              overflow-list (dynamic insert) scan shape.
+//
+// Exactness contract: kernels are *prefilters*. Their outputs differ from
+// the scalar reference only by association-order rounding (bounded by
+// tile_margin / gemm_margin_scale below); callers compare against an
+// inflated bound and re-measure every surviving candidate with the scalar
+// metric, so returned (distance, id) results are bit-identical to the
+// never-vectorized path under every ISA. tests/test_kernels.cpp fuzzes the
+// raw kernels; tests/test_rbc_blocked.cpp pins end-to-end parity per ISA.
+//
+// Selection: active_isa() == the best compiled-in ISA the CPU reports,
+// unless overridden by the RBC_FORCE_ISA environment variable
+// ("scalar" | "avx2" | "avx512"; unknown or unavailable values are ignored)
+// or programmatically by force_isa() (tests, benches).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace rbc::dispatch {
+
+/// Instruction sets a kernel table can be built for, worst to best.
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+inline constexpr int kNumIsas = 3;
+
+/// Queries per tile for the tile/tile_gemm shapes. 16 = two 8-lane AVX2
+/// accumulators or one 16-lane AVX-512 accumulator per database row.
+inline constexpr index_t kTile = 16;
+
+/// Rows processed per block by the `rows` shape (8 independent accumulator
+/// chains — enough to hide FMA latency on every supported ISA).
+inline constexpr index_t kRowBlock = 8;
+
+/// One ISA's kernel table. `x` is the base pointer of a row-major matrix
+/// whose rows are `stride` floats apart (rbc::Matrix layout: padding lanes
+/// are zero, but kernels only ever read the first `d` features). All
+/// outputs are squared L2 distances.
+struct KernelOps {
+  /// out[(p - lo) * kTile + t] = ||q_t - x_p||^2 for rows p in [lo, hi).
+  /// `qt` is the d x kTile transposed query tile (see pack_tile).
+  /// `lane_min[t]` receives the per-lane minimum over the row range (+inf
+  /// for an empty range): callers filtering lanes against heap bounds skip
+  /// a lane's whole filter pass when its minimum already misses — the
+  /// common case once heaps have warmed up.
+  void (*tile)(const float* qt, index_t d, const float* x, std::size_t stride,
+               index_t lo, index_t hi, float* out, float* lane_min);
+
+  /// GEMM form of `tile`: out = q_sq[t] + x_sq[p] - 2 q_t.x_p, clamped at 0.
+  /// `q_sq` holds the kTile per-lane squared norms, `x_sq[p]` the row norms
+  /// (indexed by absolute row id p). `lane_min` as in `tile`.
+  void (*tile_gemm)(const float* qt, const float* q_sq, index_t d,
+                    const float* x, std::size_t stride, const float* x_sq,
+                    index_t lo, index_t hi, float* out, float* lane_min);
+
+  /// out[p - lo] = ||q - x_p||^2 for rows p in [lo, hi). Returns the
+  /// minimum of the written values (+inf for an empty range): callers
+  /// filtering against a bound skip the whole block without reading `out`
+  /// when the minimum already misses it — the common case once a heap has
+  /// warmed up.
+  float (*rows)(const float* q, index_t d, const float* x, std::size_t stride,
+                index_t lo, index_t hi, float* out);
+
+  /// out[j] = ||q - x_{ids[j]}||^2 for j in [0, count). Returns the
+  /// minimum of the written values (+inf when count == 0), as `rows` does.
+  float (*gather)(const float* q, index_t d, const float* x,
+                  std::size_t stride, const index_t* ids, index_t count,
+                  float* out);
+};
+
+/// Human-readable ISA name ("scalar" / "avx2" / "avx512").
+const char* isa_name(Isa isa) noexcept;
+
+/// True when the translation unit for `isa` was compiled with real kernels
+/// (the compiler supported the flags; see RBC_SIMD in CMakeLists.txt).
+bool isa_compiled(Isa isa) noexcept;
+
+/// True when `isa` is compiled in AND the executing CPU supports it — i.e.
+/// force_isa(isa) would actually take effect.
+bool isa_available(Isa isa) noexcept;
+
+/// Best available ISA on this host, ignoring any override.
+Isa detected_isa() noexcept;
+
+/// The ISA every dispatched scan currently uses: the forced override when
+/// one is set (RBC_FORCE_ISA at first use, or force_isa()), else
+/// detected_isa().
+Isa active_isa() noexcept;
+
+/// Pins the dispatch to `isa` for the rest of the process (or until the
+/// next call). Ignored (keeping the current selection) when `isa` is not
+/// available. Returns the ISA actually active afterwards. Thread-safe, but
+/// intended for tests and benches — not for flipping mid-search.
+Isa force_isa(Isa isa) noexcept;
+
+/// Drops any override (programmatic or RBC_FORCE_ISA) and returns to
+/// detected_isa().
+void clear_forced_isa() noexcept;
+
+/// Kernel table of active_isa(). The reference stays valid forever (tables
+/// are static); re-fetch after force_isa() to pick up a change.
+const KernelOps& ops() noexcept;
+
+/// Kernel table for a specific ISA; null when !isa_compiled(isa). Lets
+/// benches and parity tests exercise every compiled table regardless of the
+/// active selection (callers must still check isa_available before
+/// *running* a SIMD table).
+const KernelOps* ops_for(Isa isa) noexcept;
+
+/// True when the active ISA beats scalar — the signal callers use to decide
+/// whether blocked/tiled layouts are worth assembling (replaces the old
+/// configure-time blocked::fast_kernel()).
+inline bool fast_kernel() noexcept { return active_isa() != Isa::kScalar; }
+
+/// Fills a d x kTile transposed tile from `count` query rows
+/// (count <= kTile); unused lanes duplicate the first row so every lane
+/// computes something harmless. `qt` must hold d * kTile floats.
+void pack_tile(const float* const* rows, index_t count, index_t d, float* qt);
+
+// ------------------------------------------------------------- tolerances ---
+//
+// Callers filtering with kernel outputs must inflate their squared-distance
+// bound by these margins; anything inside the inflated bound is re-measured
+// with the scalar metric (exactness contract above).
+
+/// Relative margin covering association-order + FMA-contraction rounding of
+/// the difference-form kernels (tile/rows/gather): sums of non-negative
+/// terms, so the relative error is bounded by ~d ulps regardless of
+/// summation order. Keep if  approx <= bound_sq * (1 + tile_margin(d)).
+inline float tile_margin(index_t d) noexcept {
+  return 1e-5f + 4e-7f * static_cast<float>(d);
+}
+
+/// Absolute-margin scale for the GEMM-form kernel, whose cancellation error
+/// is relative to the norm magnitudes rather than to the distance. Keep if
+///   approx <= bound_sq * (1 + tile_margin(d))
+///             + gemm_margin_scale(d) * (q_sq + x_sq).
+inline float gemm_margin_scale(index_t d) noexcept {
+  return 1e-5f + 4e-7f * static_cast<float>(d);
+}
+
+}  // namespace rbc::dispatch

@@ -1,0 +1,17 @@
+// Internal seam between dispatch.cpp and the per-ISA kernel translation
+// units (kernels_scalar.cpp / kernels_avx2.cpp / kernels_avx512.cpp). Each
+// TU returns its KernelOps table, or nullptr when it was compiled without
+// its target ISA (compiler lacked the flags, or RBC_SIMD=OFF) — the
+// dispatcher treats a null table as "not compiled in". Not part of the
+// public API; include distance/dispatch.hpp instead.
+#pragma once
+
+#include "distance/dispatch.hpp"
+
+namespace rbc::dispatch::detail {
+
+const KernelOps* scalar_table() noexcept;  // never null
+const KernelOps* avx2_table() noexcept;
+const KernelOps* avx512_table() noexcept;
+
+}  // namespace rbc::dispatch::detail

@@ -1,0 +1,199 @@
+// AVX2+FMA kernel table. Compiled with -mavx2 -mfma when the compiler
+// supports them (see RBC_SIMD handling in CMakeLists.txt); the dispatcher
+// only selects this table when CPUID reports both features at runtime, so
+// shipping the code in a portable binary is safe.
+//
+// Register budget per shape:
+//   tile       two 8-lane accumulators (tile lanes 0-7 / 8-15) per row —
+//              enough independent FMA chains to hide latency while the
+//              broadcast row element is reused 16 ways;
+//   rows       eight accumulators, one per database row, vectorized along
+//              the feature axis — the single-query shape with the chains a
+//              lone scan lacks;
+//   gather     the `rows` inner body applied through an id indirection.
+#include "distance/isa_tables.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace rbc::dispatch::detail {
+
+namespace {
+
+inline float hsum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_hadd_ps(sum, sum);
+  sum = _mm_hadd_ps(sum, sum);
+  return _mm_cvtss_f32(sum);
+}
+
+void tile_avx2(const float* qt, index_t d, const float* x, std::size_t stride,
+               index_t lo, index_t hi, float* out, float* lane_min) {
+  __m256 min0 = _mm256_set1_ps(kInfDist);
+  __m256 min1 = _mm256_set1_ps(kInfDist);
+  for (index_t p = lo; p < hi; ++p) {
+    const float* row = x + static_cast<std::size_t>(p) * stride;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    for (index_t i = 0; i < d; ++i) {
+      const __m256 xi = _mm256_set1_ps(row[i]);
+      const float* q = qt + static_cast<std::size_t>(i) * kTile;
+      const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q), xi);
+      const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q + 8), xi);
+      acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+      acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+    }
+    min0 = _mm256_min_ps(min0, acc0);
+    min1 = _mm256_min_ps(min1, acc1);
+    float* o = out + static_cast<std::size_t>(p - lo) * kTile;
+    _mm256_storeu_ps(o, acc0);
+    _mm256_storeu_ps(o + 8, acc1);
+  }
+  _mm256_storeu_ps(lane_min, min0);
+  _mm256_storeu_ps(lane_min + 8, min1);
+}
+
+void tile_gemm_avx2(const float* qt, const float* q_sq, index_t d,
+                    const float* x, std::size_t stride, const float* x_sq,
+                    index_t lo, index_t hi, float* out, float* lane_min) {
+  const __m256 qs0 = _mm256_loadu_ps(q_sq);
+  const __m256 qs1 = _mm256_loadu_ps(q_sq + 8);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 minus2 = _mm256_set1_ps(-2.0f);
+  __m256 min0 = _mm256_set1_ps(kInfDist);
+  __m256 min1 = _mm256_set1_ps(kInfDist);
+  for (index_t p = lo; p < hi; ++p) {
+    const float* row = x + static_cast<std::size_t>(p) * stride;
+    __m256 dot0 = _mm256_setzero_ps();
+    __m256 dot1 = _mm256_setzero_ps();
+    for (index_t i = 0; i < d; ++i) {
+      const __m256 xi = _mm256_set1_ps(row[i]);
+      const float* q = qt + static_cast<std::size_t>(i) * kTile;
+      dot0 = _mm256_fmadd_ps(_mm256_loadu_ps(q), xi, dot0);
+      dot1 = _mm256_fmadd_ps(_mm256_loadu_ps(q + 8), xi, dot1);
+    }
+    const __m256 base = _mm256_set1_ps(x_sq[p]);
+    __m256 v0 = _mm256_fmadd_ps(minus2, dot0, _mm256_add_ps(qs0, base));
+    __m256 v1 = _mm256_fmadd_ps(minus2, dot1, _mm256_add_ps(qs1, base));
+    v0 = _mm256_max_ps(v0, zero);
+    v1 = _mm256_max_ps(v1, zero);
+    min0 = _mm256_min_ps(min0, v0);
+    min1 = _mm256_min_ps(min1, v1);
+    float* o = out + static_cast<std::size_t>(p - lo) * kTile;
+    _mm256_storeu_ps(o, v0);
+    _mm256_storeu_ps(o + 8, v1);
+  }
+  _mm256_storeu_ps(lane_min, min0);
+  _mm256_storeu_ps(lane_min + 8, min1);
+}
+
+/// One query against one row, two accumulator chains (remainder rows and
+/// the gather shape).
+inline float sq_l2_one(const float* q, const float* row, index_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(q + i), _mm256_loadu_ps(row + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q + i + 8),
+                                    _mm256_loadu_ps(row + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= d; i += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(q + i), _mm256_loadu_ps(row + i));
+    acc0 = _mm256_fmadd_ps(diff, diff, acc0);
+  }
+  float acc = hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < d; ++i) {
+    const float diff = q[i] - row[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float rows_avx2(const float* q, index_t d, const float* x,
+                std::size_t stride, index_t lo, index_t hi, float* out) {
+  float best = kInfDist;
+  // Lane mask for the feature tail (d % 8 lanes active): maskload keeps the
+  // whole block in vector code instead of a per-row scalar epilogue.
+  alignas(32) std::int32_t mask_bits[8] = {};
+  for (index_t l = 0; l < d % 8; ++l) mask_bits[l] = -1;
+  const __m256i tail =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(mask_bits));
+
+  index_t p = lo;
+  for (; p + kRowBlock <= hi; p += kRowBlock) {
+    const float* r[kRowBlock];
+    for (index_t b = 0; b < kRowBlock; ++b)
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+    __m256 acc[kRowBlock] = {
+        _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+        _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+        _mm256_setzero_ps(), _mm256_setzero_ps()};
+    index_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + i);
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m256 diff = _mm256_sub_ps(qv, _mm256_loadu_ps(r[b] + i));
+        acc[b] = _mm256_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    if (i < d) {
+      const __m256 qv = _mm256_maskload_ps(q + i, tail);
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m256 diff =
+            _mm256_sub_ps(qv, _mm256_maskload_ps(r[b] + i, tail));
+        acc[b] = _mm256_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      o[b] = hsum(acc[b]);
+      if (o[b] < best) best = o[b];
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v =
+        sq_l2_one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_avx2(const float* q, index_t d, const float* x,
+                  std::size_t stride, const index_t* ids, index_t count,
+                  float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        sq_l2_one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+constexpr KernelOps kAvx2Ops = {tile_avx2, tile_gemm_avx2, rows_avx2,
+                                gather_avx2};
+
+}  // namespace
+
+const KernelOps* avx2_table() noexcept { return &kAvx2Ops; }
+
+}  // namespace rbc::dispatch::detail
+
+#else  // compiled without AVX2+FMA — table absent, dispatcher skips it
+
+namespace rbc::dispatch::detail {
+const KernelOps* avx2_table() noexcept { return nullptr; }
+}  // namespace rbc::dispatch::detail
+
+#endif

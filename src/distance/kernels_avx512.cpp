@@ -1,0 +1,182 @@
+// AVX-512F kernel table. Compiled with -mavx512f when the compiler supports
+// it; selected at runtime only when CPUID reports AVX-512F. The 16-lane
+// registers make the tile shapes particularly clean: one zmm accumulator
+// covers the whole 16-query tile, and the feature-axis kernels use masked
+// loads for the tail instead of a scalar epilogue.
+#include "distance/isa_tables.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+namespace rbc::dispatch::detail {
+
+namespace {
+
+void tile_avx512(const float* qt, index_t d, const float* x,
+                 std::size_t stride, index_t lo, index_t hi, float* out,
+                 float* lane_min) {
+  __m512 vmin = _mm512_set1_ps(kInfDist);
+  for (index_t p = lo; p < hi; ++p) {
+    const float* row = x + static_cast<std::size_t>(p) * stride;
+    __m512 acc0 = _mm512_setzero_ps();
+    __m512 acc1 = _mm512_setzero_ps();
+    index_t i = 0;
+    // Two rows of the transposed tile per iteration: independent chains.
+    for (; i + 2 <= d; i += 2) {
+      const float* q = qt + static_cast<std::size_t>(i) * kTile;
+      const __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(q),
+                                      _mm512_set1_ps(row[i]));
+      const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(q + kTile),
+                                      _mm512_set1_ps(row[i + 1]));
+      acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+      acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+    }
+    if (i < d) {
+      const __m512 diff =
+          _mm512_sub_ps(_mm512_loadu_ps(qt + static_cast<std::size_t>(i) *
+                                        kTile),
+                        _mm512_set1_ps(row[i]));
+      acc0 = _mm512_fmadd_ps(diff, diff, acc0);
+    }
+    const __m512 v = _mm512_add_ps(acc0, acc1);
+    vmin = _mm512_min_ps(vmin, v);
+    _mm512_storeu_ps(out + static_cast<std::size_t>(p - lo) * kTile, v);
+  }
+  _mm512_storeu_ps(lane_min, vmin);
+}
+
+void tile_gemm_avx512(const float* qt, const float* q_sq, index_t d,
+                      const float* x, std::size_t stride, const float* x_sq,
+                      index_t lo, index_t hi, float* out, float* lane_min) {
+  const __m512 qs = _mm512_loadu_ps(q_sq);
+  const __m512 zero = _mm512_setzero_ps();
+  const __m512 minus2 = _mm512_set1_ps(-2.0f);
+  __m512 vmin = _mm512_set1_ps(kInfDist);
+  for (index_t p = lo; p < hi; ++p) {
+    const float* row = x + static_cast<std::size_t>(p) * stride;
+    __m512 dot0 = _mm512_setzero_ps();
+    __m512 dot1 = _mm512_setzero_ps();
+    index_t i = 0;
+    for (; i + 2 <= d; i += 2) {
+      const float* q = qt + static_cast<std::size_t>(i) * kTile;
+      dot0 = _mm512_fmadd_ps(_mm512_loadu_ps(q), _mm512_set1_ps(row[i]),
+                             dot0);
+      dot1 = _mm512_fmadd_ps(_mm512_loadu_ps(q + kTile),
+                             _mm512_set1_ps(row[i + 1]), dot1);
+    }
+    if (i < d)
+      dot0 = _mm512_fmadd_ps(
+          _mm512_loadu_ps(qt + static_cast<std::size_t>(i) * kTile),
+          _mm512_set1_ps(row[i]), dot0);
+    const __m512 base = _mm512_add_ps(qs, _mm512_set1_ps(x_sq[p]));
+    const __m512 v = _mm512_max_ps(
+        _mm512_fmadd_ps(minus2, _mm512_add_ps(dot0, dot1), base), zero);
+    vmin = _mm512_min_ps(vmin, v);
+    _mm512_storeu_ps(out + static_cast<std::size_t>(p - lo) * kTile, v);
+  }
+  _mm512_storeu_ps(lane_min, vmin);
+}
+
+/// One query against one row with a masked tail load (no scalar epilogue).
+inline float sq_l2_one(const float* q, const float* row, index_t d) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  index_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(q + i), _mm512_loadu_ps(row + i));
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(q + i + 16),
+                                    _mm512_loadu_ps(row + i + 16));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 16 <= d; i += 16) {
+    const __m512 diff =
+        _mm512_sub_ps(_mm512_loadu_ps(q + i), _mm512_loadu_ps(row + i));
+    acc0 = _mm512_fmadd_ps(diff, diff, acc0);
+  }
+  if (i < d) {
+    const __mmask16 tail =
+        static_cast<__mmask16>((1u << (d - i)) - 1u);
+    const __m512 diff = _mm512_sub_ps(_mm512_maskz_loadu_ps(tail, q + i),
+                                      _mm512_maskz_loadu_ps(tail, row + i));
+    acc1 = _mm512_fmadd_ps(diff, diff, acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float rows_avx512(const float* q, index_t d, const float* x,
+                  std::size_t stride, index_t lo, index_t hi, float* out) {
+  const __mmask16 tail = d % 16 != 0
+                             ? static_cast<__mmask16>((1u << (d % 16)) - 1u)
+                             : static_cast<__mmask16>(0xffff);
+  float best = kInfDist;
+  index_t p = lo;
+  for (; p + kRowBlock <= hi; p += kRowBlock) {
+    const float* r[kRowBlock];
+    for (index_t b = 0; b < kRowBlock; ++b)
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+    __m512 acc[kRowBlock] = {
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps()};
+    index_t i = 0;
+    for (; i + 16 <= d; i += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + i);
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m512 diff = _mm512_sub_ps(qv, _mm512_loadu_ps(r[b] + i));
+        acc[b] = _mm512_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    if (i < d) {
+      const __m512 qv = _mm512_maskz_loadu_ps(tail, q + i);
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m512 diff =
+            _mm512_sub_ps(qv, _mm512_maskz_loadu_ps(tail, r[b] + i));
+        acc[b] = _mm512_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      o[b] = _mm512_reduce_add_ps(acc[b]);
+      if (o[b] < best) best = o[b];
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v =
+        sq_l2_one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_avx512(const float* q, index_t d, const float* x,
+                    std::size_t stride, const index_t* ids, index_t count,
+                    float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        sq_l2_one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+constexpr KernelOps kAvx512Ops = {tile_avx512, tile_gemm_avx512, rows_avx512,
+                                  gather_avx512};
+
+}  // namespace
+
+const KernelOps* avx512_table() noexcept { return &kAvx512Ops; }
+
+}  // namespace rbc::dispatch::detail
+
+#else  // compiled without AVX-512F — table absent, dispatcher skips it
+
+namespace rbc::dispatch::detail {
+const KernelOps* avx512_table() noexcept { return nullptr; }
+}  // namespace rbc::dispatch::detail
+
+#endif

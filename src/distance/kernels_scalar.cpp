@@ -1,0 +1,97 @@
+// Portable kernel table — the fallback every build ships and the reference
+// the SIMD tables are fuzzed against (tests/test_kernels.cpp). Loop
+// structure mirrors the vector kernels (row-major streaming, per-lane
+// accumulators) so the scalar path benefits from the same cache behavior
+// even without vector units.
+#include "distance/isa_tables.hpp"
+
+namespace rbc::dispatch::detail {
+
+namespace {
+
+void tile_scalar(const float* qt, index_t d, const float* x,
+                 std::size_t stride, index_t lo, index_t hi, float* out,
+                 float* lane_min) {
+  for (index_t t = 0; t < kTile; ++t) lane_min[t] = kInfDist;
+  for (index_t p = lo; p < hi; ++p) {
+    const float* row = x + static_cast<std::size_t>(p) * stride;
+    float acc[kTile] = {};
+    for (index_t i = 0; i < d; ++i) {
+      const float xi = row[i];
+      const float* q = qt + static_cast<std::size_t>(i) * kTile;
+      for (index_t t = 0; t < kTile; ++t) {
+        const float diff = q[t] - xi;
+        acc[t] += diff * diff;
+      }
+    }
+    float* o = out + static_cast<std::size_t>(p - lo) * kTile;
+    for (index_t t = 0; t < kTile; ++t) {
+      o[t] = acc[t];
+      if (acc[t] < lane_min[t]) lane_min[t] = acc[t];
+    }
+  }
+}
+
+void tile_gemm_scalar(const float* qt, const float* q_sq, index_t d,
+                      const float* x, std::size_t stride, const float* x_sq,
+                      index_t lo, index_t hi, float* out, float* lane_min) {
+  for (index_t t = 0; t < kTile; ++t) lane_min[t] = kInfDist;
+  for (index_t p = lo; p < hi; ++p) {
+    const float* row = x + static_cast<std::size_t>(p) * stride;
+    float dot[kTile] = {};
+    for (index_t i = 0; i < d; ++i) {
+      const float xi = row[i];
+      const float* q = qt + static_cast<std::size_t>(i) * kTile;
+      for (index_t t = 0; t < kTile; ++t) dot[t] += q[t] * xi;
+    }
+    float* o = out + static_cast<std::size_t>(p - lo) * kTile;
+    for (index_t t = 0; t < kTile; ++t) {
+      const float v = q_sq[t] + x_sq[p] - 2.0f * dot[t];
+      o[t] = v > 0.0f ? v : 0.0f;
+      if (o[t] < lane_min[t]) lane_min[t] = o[t];
+    }
+  }
+}
+
+inline float sq_l2_one(const float* q, const float* row, index_t d) {
+  float acc = 0.0f;
+  for (index_t i = 0; i < d; ++i) {
+    const float diff = q[i] - row[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float rows_scalar(const float* q, index_t d, const float* x,
+                  std::size_t stride, index_t lo, index_t hi, float* out) {
+  float best = kInfDist;
+  for (index_t p = lo; p < hi; ++p) {
+    const float v =
+        sq_l2_one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_scalar(const float* q, index_t d, const float* x,
+                    std::size_t stride, const index_t* ids, index_t count,
+                    float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        sq_l2_one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+constexpr KernelOps kScalarOps = {tile_scalar, tile_gemm_scalar, rows_scalar,
+                                  gather_scalar};
+
+}  // namespace
+
+const KernelOps* scalar_table() noexcept { return &kScalarOps; }
+
+}  // namespace rbc::dispatch::detail

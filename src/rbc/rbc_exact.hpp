@@ -33,9 +33,10 @@
 #include <vector>
 
 #include "bruteforce/bf.hpp"
+#include "bruteforce/kernel_scan.hpp"
 #include "bruteforce/topk.hpp"
 #include "common/matrix.hpp"
-#include "distance/blocked.hpp"
+#include "distance/dispatch.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/runtime.hpp"
 #include "rbc/params.hpp"
@@ -137,6 +138,14 @@ class RbcExactIndex {
     parallel_for(0, n_, [&](index_t p) {
       packed_.copy_row_from(X, packed_ids_[p], p);
     });
+    // Cached squared row norms: the rank-1 corrections of the §3 GEMM
+    // formulation, which the blocked batch path's tile_gemm kernel consumes
+    // (the max feeds the conservative lane-skip threshold).
+    packed_sq_norms_ = detail::kernel_row_sq_norms(packed_);
+    packed_sq_max_ = packed_sq_norms_.empty()
+                         ? 0.0f
+                         : *std::max_element(packed_sq_norms_.begin(),
+                                             packed_sq_norms_.end());
 
     next_id_ = n_;
     erased_count_ = 0;
@@ -240,9 +249,15 @@ class RbcExactIndex {
   // ------------------------------------------------------------- queries ---
 
   /// Query-count threshold above which search() switches to the query-tile
-  /// blocked path (Euclidean metric + AVX2 host only). Below it, tile
-  /// underutilization outweighs the kernel win.
-  static constexpr index_t kBlockedMinBatch = 64;
+  /// blocked path (Euclidean metric + SIMD-dispatched host only). One full
+  /// tile is enough now that the per-query path itself runs the dispatched
+  /// row-block kernel: the tile path's remaining edge is 16-way row reuse,
+  /// which any full tile gets.
+  static constexpr index_t kBlockedMinBatch = dispatch::kTile;
+
+  /// List/overflow segments shorter than this stay on the adaptive scalar
+  /// loop — below it, kernel-call setup outweighs the vector win.
+  static constexpr index_t kKernelMinSegment = 16;
 
   /// k-NN for a batch of queries; parallel across queries. Batches of at
   /// least kBlockedMinBatch Euclidean queries additionally use the
@@ -273,19 +288,30 @@ class RbcExactIndex {
   }
 
   /// True when search() will take the blocked batch path for nq queries.
+  /// Consults the runtime dispatcher, so the decision tracks the ISA
+  /// actually selected (including an RBC_FORCE_ISA override), not a
+  /// configure-time probe. The blocked path parallelizes over tiles, so a
+  /// batch must either fill the thread pool with tiles or be large enough
+  /// (the pre-dispatch 64-query threshold) that per-rep sharing pays even
+  /// with idle cores — otherwise the per-query path's finer-grained
+  /// parallelism wins on multi-core hosts.
   bool use_blocked_path(index_t nq) const {
     if constexpr (!std::is_same_v<M, Euclidean>) {
       return false;  // the kernel computes squared L2 only
     } else {
-      return nq >= kBlockedMinBatch && blocked::fast_kernel();
+      const index_t tiles = (nq + dispatch::kTile - 1) / dispatch::kTile;
+      return nq >= kBlockedMinBatch &&
+             (nq >= 64 || tiles >= static_cast<index_t>(max_threads())) &&
+             dispatch::fast_kernel();
     }
   }
 
   /// Batched k-NN via query-tile blocking — the paper's §3 observation made
   /// literal on CPU: the dominant stage-3 list scans run through the
-  /// register-blocked multi-query kernel (distance/blocked.hpp), one
-  /// ownership-list segment for blocked::kTile queries at a time, instead
-  /// of one (query, point) distance at a time.
+  /// runtime-dispatched multi-query GEMM-form kernel (distance/dispatch.hpp,
+  /// tile_gemm with the norms cached at build), one ownership-list segment
+  /// for dispatch::kTile queries at a time, instead of one (query, point)
+  /// distance at a time.
   ///
   /// Results are IDENTICAL to the per-query path, ties included:
   ///  * stage 1 and the prune rules use the same scalar-exact distances and
@@ -305,9 +331,11 @@ class RbcExactIndex {
     const index_t nr = reps_.rows();
     KnnResult result(nq, k);
     const float inv = 1.0f / (1.0f + params_.approx_eps);
-    // Covers the blocked kernel's FMA-contraction rounding relative to the
-    // scalar kernel (same summation order, error ~ dim * ulp).
-    const float margin = 1e-5f + 4e-7f * static_cast<float>(dim_);
+    // Prefilter tolerances for the GEMM-form tile kernel: a relative part
+    // for association-order rounding plus an absolute part scaled by the
+    // norm magnitudes (the cancellation error of ||q||^2+||x||^2-2q.x).
+    const float mrel = 1.0f + dispatch::tile_margin(dim_);
+    const float mabs = dispatch::gemm_margin_scale(dim_);
 
     // ---- stage 1, whole batch: BF(Q, R) with exact scalar distances
     // (they feed pruning bounds, which must match the per-query path).
@@ -344,20 +372,23 @@ class RbcExactIndex {
     });
 
     const index_t tiles =
-        (nq + blocked::kTile - 1) / blocked::kTile;
+        (nq + dispatch::kTile - 1) / dispatch::kTile;
     const int nt = max_threads();
     std::vector<SearchStats> tstats(static_cast<std::size_t>(nt));
 
     parallel_for_dynamic(0, tiles, [&](index_t tile) {
       SearchStats& local = tstats[static_cast<std::size_t>(thread_id())];
-      const index_t t_lo = tile * blocked::kTile;
-      const index_t m = std::min<index_t>(blocked::kTile, nq - t_lo);
+      const index_t t_lo = tile * dispatch::kTile;
+      const index_t m = std::min<index_t>(dispatch::kTile, nq - t_lo);
 
-      const float* qrows[blocked::kTile];
+      const float* qrows[dispatch::kTile];
       for (index_t t = 0; t < m; ++t) qrows[t] = Q.row(order[t_lo + t]);
-      for (index_t t = m; t < blocked::kTile; ++t) qrows[t] = qrows[0];
-      std::vector<float> qt(static_cast<std::size_t>(dim_) * blocked::kTile);
-      blocked::pack_tile(qrows, m, dim_, qt.data());
+      for (index_t t = m; t < dispatch::kTile; ++t) qrows[t] = qrows[0];
+      std::vector<float> qt(static_cast<std::size_t>(dim_) * dispatch::kTile);
+      dispatch::pack_tile(qrows, m, dim_, qt.data());
+      float q_sq[dispatch::kTile];  // per-lane norms for the GEMM form
+      for (index_t t = 0; t < dispatch::kTile; ++t)
+        q_sq[t] = kernels::dot(qrows[t], qrows[t], dim_);
 
       std::vector<TopK> tops;
       tops.reserve(m);
@@ -414,9 +445,9 @@ class RbcExactIndex {
         // derive each lane's frozen scan segment from the sorted member
         // distances (identical sets to the adaptive early-exit/annulus
         // skips under the same bound).
-        index_t active[blocked::kTile];
-        index_t seg_lo[blocked::kTile], seg_hi[blocked::kTile];
-        dist_t lane_dr[blocked::kTile];
+        index_t active[dispatch::kTile];
+        index_t seg_lo[dispatch::kTile], seg_hi[dispatch::kTile];
+        dist_t lane_dr[dispatch::kTile];
         index_t num_active = 0;
         index_t ulo = list_hi, uhi = list_lo;
         std::uint64_t sum_len = 0;
@@ -475,9 +506,12 @@ class RbcExactIndex {
           continue;
         }
 
-        // Kernel cost is per-row regardless of lane count; fall back to the
-        // adaptive per-query scan when the lanes' segments overlap too
-        // little to pay for it.
+        // Tile-kernel cost is per-row regardless of lane count; fall back
+        // to the per-lane scan (itself kernelized — scan_rep_list_kernel)
+        // when the lanes' segments overlap too little to pay for it. With
+        // the per-lane minimum skip in both branches the crossover sits
+        // near occupancy 3 (measured on bench_serve_throughput's clustered
+        // workload).
         if (3 * static_cast<std::uint64_t>(uhi - ulo) >= sum_len) {
           for (index_t a = 0; a < num_active; ++a) {
             const index_t t = active[a];
@@ -488,19 +522,36 @@ class RbcExactIndex {
           continue;
         }
 
-        buf.resize(static_cast<std::size_t>(uhi - ulo) * blocked::kTile);
-        blocked::sq_l2_tile(qt.data(), dim_, packed_, ulo, uhi, buf.data());
-        std::uint64_t computed[blocked::kTile] = {};
-        for (index_t p = ulo; p < uhi; ++p) {
-          const bool gone = erased_count_ != 0 && erased_[packed_ids_[p]];
-          const float* row =
-              buf.data() + static_cast<std::size_t>(p - ulo) * blocked::kTile;
-          for (index_t a = 0; a < num_active; ++a) {
-            if (p < seg_lo[a] || p >= seg_hi[a] || gone) continue;
-            const index_t t = active[a];
-            ++computed[a];
+        buf.resize(static_cast<std::size_t>(uhi - ulo) * dispatch::kTile);
+        float lane_min[dispatch::kTile];
+        dispatch::ops().tile_gemm(qt.data(), q_sq, dim_, packed_.data(),
+                                  packed_.stride(), packed_sq_norms_.data(),
+                                  ulo, uhi, buf.data(), lane_min);
+        std::uint64_t computed[dispatch::kTile] = {};
+        // Lane-major filter pass: a lane whose kernel minimum over the
+        // whole union range already misses its (margin-inflated, max-norm)
+        // bound has no candidate anywhere in its window — skip its filter
+        // loop entirely. Per-lane heaps are independent, so lane-major
+        // visits push the same sequence per lane as the row-major order.
+        for (index_t a = 0; a < num_active; ++a) {
+          const index_t t = active[a];
+          // Eval accounting excludes tombstoned rows whether or not the
+          // lane-min skip fires, so stats don't depend on heap warm-up.
+          computed[a] = seg_hi[a] - seg_lo[a];
+          if (erased_count_ != 0)
+            for (index_t p = seg_lo[a]; p < seg_hi[a]; ++p)
+              if (erased_[packed_ids_[p]]) --computed[a];
+          const dist_t w0 = tops[t].worst();
+          if (lane_min[t] >
+              w0 * w0 * mrel + mabs * (q_sq[t] + packed_sq_max_))
+            continue;
+          for (index_t p = seg_lo[a]; p < seg_hi[a]; ++p) {
+            if (erased_count_ != 0 && erased_[packed_ids_[p]]) continue;
+            const float v =
+                buf[static_cast<std::size_t>(p - ulo) * dispatch::kTile + t];
             const dist_t w = tops[t].worst();
-            if (row[t] > w * w * (1.0f + margin)) continue;
+            if (v > w * w * mrel + mabs * (q_sq[t] + packed_sq_norms_[p]))
+              continue;
             // Candidate: re-measure with the scalar metric so the heap
             // orders the same bits as every other path.
             tops[t].push(metric_(qrows[t], packed_.row(p), dim_),
@@ -617,13 +668,21 @@ class RbcExactIndex {
     if (stats != nullptr) stats->merge(local);
   }
 
-  /// Adaptive scan of L_r for one query: packed segment with the Claim-2
-  /// early exit and annulus bound re-derived per point from the live heap,
-  /// then the unsorted overflow members. Shared by search_one and the
-  /// scalar fallback of the blocked batch path.
+  /// Scan of L_r for one query: packed segment with the Claim-2 early exit
+  /// and annulus bound, then the unsorted overflow members. Shared by
+  /// search_one and the sparse-lane fallback of the blocked batch path.
+  /// Euclidean segments of at least kKernelMinSegment rows run the
+  /// dispatched row-block kernel (scan_rep_list_kernel below); anything
+  /// else takes the adaptive per-point loop.
   void scan_rep_list(const float* q, index_t r, dist_t dr, dist_t rep_bound,
                      float inv, TopK& out, SearchStats& local) const {
     const index_t lo = offsets_[r], hi = offsets_[r + 1];
+    if constexpr (kernel_metric<M>) {
+      if (hi - lo >= kKernelMinSegment) {
+        scan_rep_list_kernel(q, r, dr, rep_bound, inv, out, local);
+        return;
+      }
+    }
     std::uint64_t computed = 0;
     for (index_t p = lo; p < hi; ++p) {
       const dist_t b = std::min(rep_bound, out.worst() * inv);
@@ -649,11 +708,69 @@ class RbcExactIndex {
     local.list_dist_evals += computed;
   }
 
+  /// Kernelized scan_rep_list: the early-exit / annulus window is frozen
+  /// from the bound at entry (binary search over the sorted member
+  /// distances — the same segment derivation as the blocked batch path),
+  /// the window runs through the dispatched row-block kernel, and
+  /// survivors of the margin-inflated heap bound are re-measured with the
+  /// scalar metric. Identical results to the adaptive loop: freezing the
+  /// bound only loosens the window (a candidate superset preserves the
+  /// unique (distance, id) k-set), and the heap orders re-measured values
+  /// only.
+  void scan_rep_list_kernel(const float* q, index_t r, dist_t dr,
+                            dist_t rep_bound, float inv, TopK& out,
+                            SearchStats& local) const
+    requires(kernel_metric<M>)
+  {
+    const index_t lo = offsets_[r], hi = offsets_[r + 1];
+    const dist_t b = std::min(rep_bound, out.worst() * inv);
+    const dist_t* pd = packed_dist_.data();
+    index_t seg_hi = hi, seg_lo = lo;
+    if (params_.use_early_exit) {
+      seg_hi = static_cast<index_t>(
+          std::upper_bound(pd + lo, pd + hi, dr + b) - pd);
+      local.points_skipped_early_exit += hi - seg_hi;
+    }
+    if (params_.use_annulus_bound) {
+      seg_lo = static_cast<index_t>(
+          std::lower_bound(pd + lo, pd + seg_hi, dr - b) - pd);
+      local.points_skipped_annulus += seg_lo - lo;
+    }
+
+    constexpr index_t kChunk = 512;
+    float buf[kChunk];
+    const dispatch::KernelOps& ops = dispatch::ops();
+    const float margin = 1.0f + dispatch::tile_margin(dim_);
+    for (index_t c = seg_lo; c < seg_hi; c += kChunk) {
+      const index_t ce = std::min<index_t>(seg_hi, c + kChunk);
+      const float chunk_min =
+          ops.rows(q, dim_, packed_.data(), packed_.stride(), c, ce, buf);
+      // Whole chunk misses the (entry) bound: nothing to offer the heap.
+      if (chunk_min > sq_threshold<M>(out.worst()) * margin) continue;
+      for (index_t p = c; p < ce; ++p) {
+        if (erased_count_ != 0 && erased_[packed_ids_[p]]) continue;
+        if (buf[p - c] > sq_threshold<M>(out.worst()) * margin) continue;
+        out.push(metric_(q, packed_.row(p), dim_), packed_ids_[p]);
+      }
+    }
+    std::uint64_t computed = seg_hi - seg_lo;
+    computed += scan_overflow(q, r, dr, rep_bound, inv, out, local);
+    counters::add_dist_evals(computed);
+    local.list_dist_evals += computed;
+  }
+
   /// Overflow members (dynamic inserts): unsorted, so no early exit; the
-  /// annulus bound applies on both sides. Returns distances computed.
+  /// annulus bound applies on both sides. Long Euclidean lists batch the
+  /// annulus survivors through the dispatched gather kernel; short ones
+  /// take the per-point loop. Returns distances computed (caller accounts
+  /// them).
   std::uint64_t scan_overflow(const float* q, index_t r, dist_t dr,
                               dist_t rep_bound, float inv, TopK& out,
                               SearchStats& local) const {
+    if constexpr (kernel_metric<M>) {
+      if (overflow_of_rep_[r].size() >= kKernelMinSegment)
+        return scan_overflow_kernel(q, r, dr, rep_bound, inv, out, local);
+    }
     std::uint64_t computed = 0;
     for (const index_t ov : overflow_of_rep_[r]) {
       if (erased_[overflow_ids_[ov]]) continue;
@@ -668,6 +785,36 @@ class RbcExactIndex {
       ++computed;
     }
     return computed;
+  }
+
+  /// Gather-kernel form of scan_overflow: annulus-filter the (unsorted)
+  /// members with the bound frozen at entry, batch the survivors through
+  /// the dispatched gather kernel, re-measure prefilter survivors with the
+  /// scalar metric. Frozen bound => candidate superset => identical
+  /// results, as everywhere else.
+  std::uint64_t scan_overflow_kernel(const float* q, index_t r, dist_t dr,
+                                     dist_t rep_bound, float inv, TopK& out,
+                                     SearchStats& local) const
+    requires(kernel_metric<M>)
+  {
+    const dist_t b = std::min(rep_bound, out.worst() * inv);
+    std::vector<index_t> cand;
+    cand.reserve(overflow_of_rep_[r].size());
+    for (const index_t ov : overflow_of_rep_[r]) {
+      if (erased_[overflow_ids_[ov]]) continue;
+      const dist_t member = overflow_dist_[ov];
+      if (params_.use_annulus_bound &&
+          (member < dr - b || member > dr + b)) {
+        ++local.points_skipped_annulus;
+        continue;
+      }
+      cand.push_back(ov);
+    }
+    kernel_scan_gather(
+        q, dim_, overflow_data_.data(), reps_.stride(), cand.data(),
+        static_cast<index_t>(cand.size()), metric_, out,
+        [this](index_t ov) { return overflow_ids_[ov]; });
+    return cand.size();
   }
 
   /// Exact range search: returns the ids of all points x with
@@ -728,7 +875,8 @@ class RbcExactIndex {
            packed_ids_.size() * sizeof(index_t) +
            packed_dist_.size() * sizeof(dist_t) +
            offsets_.size() * sizeof(index_t) + psi_.size() * sizeof(dist_t) +
-           rep_ids_.size() * sizeof(index_t);
+           rep_ids_.size() * sizeof(index_t) +
+           packed_sq_norms_.size() * sizeof(float);
   }
 
   // ------------------------------------------------------- serialization ---
@@ -774,6 +922,12 @@ class RbcExactIndex {
     io::read_vec(is, idx.packed_dist_);
     idx.reps_ = io::read_matrix(is);
     idx.packed_ = io::read_matrix(is);
+    // Derived, not serialized (keeps the format stable across versions).
+    idx.packed_sq_norms_ = detail::kernel_row_sq_norms(idx.packed_);
+    idx.packed_sq_max_ = idx.packed_sq_norms_.empty()
+                             ? 0.0f
+                             : *std::max_element(idx.packed_sq_norms_.begin(),
+                                                 idx.packed_sq_norms_.end());
     io::read_pod(is, idx.next_id_);
     io::read_pod(is, idx.erased_count_);
     io::read_vec(is, idx.erased_);
@@ -804,6 +958,8 @@ class RbcExactIndex {
   Matrix<float> packed_;            // n x d rows grouped by owner
   std::vector<index_t> packed_ids_;  // original id of each packed row
   std::vector<dist_t> packed_dist_;  // rho(x, owner(x)), sorted per list
+  std::vector<float> packed_sq_norms_;  // ||row||^2 cache (GEMM-form kernel)
+  float packed_sq_max_ = 0.0f;          // max norm (lane-skip threshold)
 
   // ---- dynamic-update state (see "dynamic updates" section above) ----
   index_t next_id_ = 0;       // ids handed out so far (build + inserts)

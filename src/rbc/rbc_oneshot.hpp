@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bruteforce/bf.hpp"
+#include "bruteforce/kernel_scan.hpp"
 #include "bruteforce/topk.hpp"
 #include "common/matrix.hpp"
 #include "parallel/parallel_for.hpp"
@@ -121,10 +122,17 @@ class RbcOneShotIndex {
     SearchStats local;
     local.queries = 1;
 
-    // Stage 1: BF(q, R) — nearest `probes` representatives.
+    // Stage 1: BF(q, R) — nearest `probes` representatives, through the
+    // dispatched row-block kernel for kernel metrics (prefilter + scalar
+    // re-measure => identical probe selection; see kernel_scan.hpp).
     if (scratch.probes.k() != probes) scratch.probes = TopK(probes);
     scratch.probes.reset();
-    bf_scan_rows(q, reps_, 0, nr, metric_, scratch.probes);
+    if constexpr (kernel_metric<M>) {
+      kernel_scan_rows(q, reps_, 0, nr, metric_, scratch.probes);
+      counters::add_dist_evals(nr);
+    } else {
+      bf_scan_rows(q, reps_, 0, nr, metric_, scratch.probes);
+    }
     local.rep_dist_evals = nr;
 
     scratch.probe_dists.resize(probes);
@@ -133,7 +141,11 @@ class RbcOneShotIndex {
     auto& probe_reps = scratch.probe_reps;
     scratch.probes.extract_sorted(probe_dists.data(), probe_reps.data());
 
-    // Stage 2: BF(q, X[L_r]) over the chosen list(s).
+    // Stage 2: BF(q, X[L_r]) over the chosen list(s). The single-probe
+    // case — the paper's algorithm — is a contiguous packed-row scan and
+    // runs the dispatched row-block kernel; the multi-probe extension keeps
+    // the per-point loop because its dedup accounting skips duplicate
+    // evaluations entirely.
     const bool dedup = probes > 1;
     if (dedup) scratch.seen.clear();
     for (index_t pi = 0; pi < probes; ++pi) {
@@ -141,6 +153,17 @@ class RbcOneShotIndex {
       if (r == kInvalidIndex) break;
       ++local.reps_scanned;
       const std::size_t base = static_cast<std::size_t>(r) * s_;
+      if constexpr (kernel_metric<M>) {
+        if (!dedup) {
+          kernel_scan_rows(
+              q, packed_, static_cast<index_t>(base),
+              static_cast<index_t>(base + s_), metric_, out,
+              [this](index_t p) { return packed_ids_[p]; });
+          counters::add_dist_evals(s_);
+          local.list_dist_evals += s_;
+          continue;
+        }
+      }
       std::uint64_t computed = 0;
       for (index_t j = 0; j < s_; ++j) {
         const index_t id = packed_ids_[base + j];

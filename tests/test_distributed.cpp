@@ -130,8 +130,21 @@ TEST(Distributed, SingleWorkerMatchesSingleNodeWork) {
 
   RbcExactIndex<> single;
   single.build(X, {.seed = 17});
+  // Per-query reference (search_one): the schedule the workers actually
+  // run. Batch search() would take the query-tile blocked path for this
+  // many queries, whose frozen-bound windows count work differently.
   SearchStats single_stats;
-  const KnnResult single_result = single.search(Q, 1, &single_stats);
+  KnnResult single_result(Q.rows(), 1);
+  {
+    RbcExactIndex<>::Scratch scratch;
+    TopK top(1);
+    for (index_t qi = 0; qi < Q.rows(); ++qi) {
+      top.reset();
+      single.search_one(Q.row(qi), 1, top, scratch, &single_stats);
+      top.extract_sorted(single_result.dists.row(qi),
+                         single_result.ids.row(qi));
+    }
+  }
 
   EXPECT_TRUE(testutil::knn_equal(dist_result, single_result));
   EXPECT_EQ(stats.rep_dist_evals, single_stats.rep_dist_evals);

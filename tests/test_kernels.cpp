@@ -1,11 +1,15 @@
 // SIMD kernels vs scalar references, across dimensionalities that exercise
-// every tail-handling path (d % 16, d % 8, scalar tail).
+// every tail-handling path (d % 16, d % 8, scalar tail) — both the
+// compile-time kernels (distance/kernels.hpp) and every shape x ISA of the
+// runtime-dispatched kernel layer (distance/dispatch.hpp).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <vector>
 
+#include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "distance/dispatch.hpp"
 #include "distance/kernels.hpp"
 
 namespace rbc {
@@ -95,6 +99,166 @@ TEST(Kernels, KnownValues) {
   EXPECT_FLOAT_EQ(kernels::l1(a, b, 4), 7.0f);
   EXPECT_FLOAT_EQ(kernels::linf(a, b, 4), 4.0f);
   EXPECT_FLOAT_EQ(kernels::dot(b, b, 4), 25.0f);
+}
+
+// ---------------------------------------- dispatched kernel layer fuzz ---
+//
+// Every compiled-and-runnable ISA table x every kernel shape must agree
+// with the scalar reference within the documented margins
+// (dispatch::tile_margin / gemm_margin_scale — the slack the re-measure
+// prefilters inflate their bounds by). Row counts deliberately not
+// multiples of the 8-row block, dims cover every tail path.
+
+class DispatchFuzzTest : public ::testing::TestWithParam<index_t> {};
+
+Matrix<float> random_points(index_t rows, index_t d, std::uint64_t seed) {
+  Matrix<float> m(rows, d);
+  Rng rng(seed);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < d; ++j)
+      m.at(i, j) = rng.uniform_float(-3.0f, 3.0f);
+  return m;
+}
+
+std::vector<dispatch::Isa> runnable_isas() {
+  std::vector<dispatch::Isa> isas;
+  for (const dispatch::Isa isa :
+       {dispatch::Isa::kScalar, dispatch::Isa::kAvx2,
+        dispatch::Isa::kAvx512})
+    if (dispatch::isa_available(isa)) isas.push_back(isa);
+  return isas;
+}
+
+TEST_P(DispatchFuzzTest, TileShapesMatchScalarReference) {
+  const index_t d = GetParam();
+  const index_t rows = 53;  // not a multiple of anything interesting
+  const Matrix<float> X = random_points(rows, d, 1'000 + d);
+  const Matrix<float> Q = random_points(dispatch::kTile, d, 2'000 + d);
+
+  const float* qrows[dispatch::kTile];
+  for (index_t t = 0; t < dispatch::kTile; ++t) qrows[t] = Q.row(t);
+  std::vector<float> qt(static_cast<std::size_t>(d) * dispatch::kTile);
+  dispatch::pack_tile(qrows, dispatch::kTile, d, qt.data());
+  float q_sq[dispatch::kTile];
+  std::vector<float> x_sq(rows);
+  for (index_t t = 0; t < dispatch::kTile; ++t)
+    q_sq[t] = kernels::dot_scalar(Q.row(t), Q.row(t), d);
+  for (index_t p = 0; p < rows; ++p)
+    x_sq[p] = kernels::dot_scalar(X.row(p), X.row(p), d);
+
+  const float mrel = dispatch::tile_margin(d);
+  const float mabs = dispatch::gemm_margin_scale(d);
+  for (const dispatch::Isa isa : runnable_isas()) {
+    const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+    std::vector<float> tile_out(static_cast<std::size_t>(rows) *
+                                dispatch::kTile);
+    std::vector<float> gemm_out(tile_out.size());
+    float tile_min[dispatch::kTile], gemm_min[dispatch::kTile];
+    ops.tile(qt.data(), d, X.data(), X.stride(), 0, rows, tile_out.data(),
+             tile_min);
+    ops.tile_gemm(qt.data(), q_sq, d, X.data(), X.stride(), x_sq.data(), 0,
+                  rows, gemm_out.data(), gemm_min);
+    for (index_t p = 0; p < rows; ++p)
+      for (index_t t = 0; t < dispatch::kTile; ++t) {
+        const float ref = kernels::sq_l2_scalar(Q.row(t), X.row(p), d);
+        const std::size_t at =
+            static_cast<std::size_t>(p) * dispatch::kTile + t;
+        EXPECT_NEAR(tile_out[at], ref, 1e-6f + mrel * ref)
+            << "tile " << dispatch::isa_name(isa) << " d=" << d;
+        EXPECT_NEAR(gemm_out[at], ref,
+                    1e-6f + mrel * ref + mabs * (q_sq[t] + x_sq[p]))
+            << "tile_gemm " << dispatch::isa_name(isa) << " d=" << d;
+        // The reported lane minimum must never exceed any written value
+        // (it gates whole-lane skips — an overshoot would drop candidates).
+        EXPECT_LE(tile_min[t], tile_out[at]);
+        EXPECT_LE(gemm_min[t], gemm_out[at]);
+      }
+  }
+}
+
+TEST_P(DispatchFuzzTest, RowAndGatherShapesMatchScalarReference) {
+  const index_t d = GetParam();
+  const index_t rows = 61;  // 7 full 8-row blocks + a 5-row remainder
+  const Matrix<float> X = random_points(rows, d, 3'000 + d);
+  const Matrix<float> Q = random_points(1, d, 4'000 + d);
+
+  std::vector<index_t> ids;  // gather pattern: every other row, reversed
+  for (index_t p = rows; p-- > 0;)
+    if (p % 2 == 0) ids.push_back(p);
+
+  const float mrel = dispatch::tile_margin(d);
+  for (const dispatch::Isa isa : runnable_isas()) {
+    const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+    std::vector<float> out(rows);
+    ops.rows(Q.row(0), d, X.data(), X.stride(), 0, rows, out.data());
+    for (index_t p = 0; p < rows; ++p) {
+      const float ref = kernels::sq_l2_scalar(Q.row(0), X.row(p), d);
+      EXPECT_NEAR(out[p], ref, 1e-6f + mrel * ref)
+          << "rows " << dispatch::isa_name(isa) << " d=" << d << " p=" << p;
+    }
+    // Offset start: exercises lo != 0 block alignment.
+    if (rows > 9) {
+      ops.rows(Q.row(0), d, X.data(), X.stride(), 9, rows, out.data());
+      for (index_t p = 9; p < rows; ++p) {
+        const float ref = kernels::sq_l2_scalar(Q.row(0), X.row(p), d);
+        EXPECT_NEAR(out[p - 9], ref, 1e-6f + mrel * ref)
+            << "rows(lo=9) " << dispatch::isa_name(isa) << " d=" << d;
+      }
+    }
+    std::vector<float> gout(ids.size());
+    ops.gather(Q.row(0), d, X.data(), X.stride(), ids.data(),
+               static_cast<index_t>(ids.size()), gout.data());
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const float ref = kernels::sq_l2_scalar(Q.row(0), X.row(ids[j]), d);
+      EXPECT_NEAR(gout[j], ref, 1e-6f + mrel * ref)
+          << "gather " << dispatch::isa_name(isa) << " d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DispatchFuzzTest,
+                         ::testing::Values(1, 2, 7, 8, 15, 16, 17, 21, 31,
+                                           32, 54, 74, 128, 333));
+
+TEST(Dispatch, ScalarAlwaysCompiledAndDetectionConsistent) {
+  EXPECT_TRUE(dispatch::isa_compiled(dispatch::Isa::kScalar));
+  EXPECT_TRUE(dispatch::isa_available(dispatch::Isa::kScalar));
+  EXPECT_NE(dispatch::ops_for(dispatch::Isa::kScalar), nullptr);
+  // The detected ISA must be one the dispatcher can actually run.
+  EXPECT_TRUE(dispatch::isa_available(dispatch::detected_isa()));
+  // fast_kernel() is exactly "active != scalar".
+  EXPECT_EQ(dispatch::fast_kernel(),
+            dispatch::active_isa() != dispatch::Isa::kScalar);
+}
+
+TEST(Dispatch, ForceIsaRoundTripsAndIgnoresUnavailable) {
+  const dispatch::Isa detected = dispatch::detected_isa();
+  EXPECT_EQ(dispatch::force_isa(dispatch::Isa::kScalar),
+            dispatch::Isa::kScalar);
+  EXPECT_EQ(dispatch::active_isa(), dispatch::Isa::kScalar);
+  for (const dispatch::Isa isa :
+       {dispatch::Isa::kAvx2, dispatch::Isa::kAvx512}) {
+    const dispatch::Isa got = dispatch::force_isa(isa);
+    if (dispatch::isa_available(isa))
+      EXPECT_EQ(got, isa);
+    else
+      EXPECT_EQ(got, dispatch::Isa::kScalar);  // unavailable: unchanged
+    dispatch::force_isa(dispatch::Isa::kScalar);
+  }
+  dispatch::clear_forced_isa();
+  EXPECT_EQ(dispatch::active_isa(), detected);
+}
+
+TEST(Dispatch, ZeroDimensionAndEmptyRangesAreSafe) {
+  const float x = 1.0f;
+  float out[4] = {-1.0f, -1.0f, -1.0f, -1.0f};
+  for (const dispatch::Isa isa : runnable_isas()) {
+    const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+    ops.rows(&x, 0, &x, 1, 0, 1, out);  // d == 0: distance is 0
+    EXPECT_EQ(out[0], 0.0f) << dispatch::isa_name(isa);
+    ops.rows(&x, 1, &x, 1, 0, 0, out);  // empty row range: no write
+    ops.gather(&x, 1, &x, 1, nullptr, 0, out);
+  }
 }
 
 }  // namespace

@@ -1,16 +1,40 @@
-// The query-tile blocked batch path of RbcExactIndex: results must be
-// IDENTICAL to the per-query adaptive path — ties included — on every data
-// shape and knob combination, because search() silently switches between
-// them on batch size. Each test compares a large batch (blocked) against
-// the same queries pushed through search_one (always adaptive).
+// The query-tile blocked batch path of RbcExactIndex and the runtime ISA
+// dispatch behind every dense scan: results must be IDENTICAL to the
+// per-query adaptive path AND identical across every forced ISA — ties
+// included — on every data shape and knob combination, because search()
+// silently switches paths on batch size and the dispatcher silently
+// switches kernels on CPUID. Each test compares against search_one (always
+// adaptive) and/or against the scalar-forced dispatch.
 #include <gtest/gtest.h>
 
-#include "distance/blocked.hpp"
+#include <sstream>
+#include <vector>
+
+#include "api/api.hpp"
+#include "distance/dispatch.hpp"
 #include "rbc/rbc.hpp"
 #include "test_util.hpp"
 
 namespace rbc {
 namespace {
+
+/// Every ISA this binary can actually execute (scalar always; avx2/avx512
+/// when compiled in and reported by CPUID — unsupported ones are skipped
+/// gracefully, which is what the acceptance criterion asks for).
+std::vector<dispatch::Isa> runnable_isas() {
+  std::vector<dispatch::Isa> isas;
+  for (const dispatch::Isa isa :
+       {dispatch::Isa::kScalar, dispatch::Isa::kAvx2,
+        dispatch::Isa::kAvx512})
+    if (dispatch::isa_available(isa)) isas.push_back(isa);
+  return isas;
+}
+
+/// RAII: pins an ISA for a scope, returns to runtime detection after.
+struct IsaGuard {
+  explicit IsaGuard(dispatch::Isa isa) { dispatch::force_isa(isa); }
+  ~IsaGuard() { dispatch::clear_forced_isa(); }
+};
 
 /// Adaptive-path reference: per-query search_one, never blocked.
 KnnResult adaptive_search(const RbcExactIndex<>& index,
@@ -26,26 +50,33 @@ KnnResult adaptive_search(const RbcExactIndex<>& index,
   return result;
 }
 
-TEST(RbcBlocked, KernelMatchesScalarWithinContractionSlack) {
+TEST(RbcBlocked, TileKernelMatchesScalarWithinContractionSlack) {
   const index_t d = 37;  // odd, exercises no-padding assumptions
   const Matrix<float> X = testutil::random_matrix(100, d, 1);
-  const Matrix<float> Q = testutil::random_matrix(blocked::kTile, d, 2);
+  const Matrix<float> Q = testutil::random_matrix(dispatch::kTile, d, 2);
 
-  const float* rows[blocked::kTile];
-  for (index_t t = 0; t < blocked::kTile; ++t) rows[t] = Q.row(t);
-  std::vector<float> qt(static_cast<std::size_t>(d) * blocked::kTile);
-  blocked::pack_tile(rows, blocked::kTile, d, qt.data());
+  const float* rows[dispatch::kTile];
+  for (index_t t = 0; t < dispatch::kTile; ++t) rows[t] = Q.row(t);
+  std::vector<float> qt(static_cast<std::size_t>(d) * dispatch::kTile);
+  dispatch::pack_tile(rows, dispatch::kTile, d, qt.data());
 
-  std::vector<float> out(static_cast<std::size_t>(X.rows()) *
-                         blocked::kTile);
-  blocked::sq_l2_tile(qt.data(), d, X, 0, X.rows(), out.data());
+  for (const dispatch::Isa isa : runnable_isas()) {
+    const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+    std::vector<float> out(static_cast<std::size_t>(X.rows()) *
+                           dispatch::kTile);
+    float lane_min[dispatch::kTile];
+    ops.tile(qt.data(), d, X.data(), X.stride(), 0, X.rows(), out.data(),
+             lane_min);
 
-  for (index_t p = 0; p < X.rows(); ++p)
-    for (index_t t = 0; t < blocked::kTile; ++t) {
-      const float ref = kernels::sq_l2_scalar(Q.row(t), X.row(p), d);
-      const float got = out[static_cast<std::size_t>(p) * blocked::kTile + t];
-      EXPECT_NEAR(got, ref, 1e-5f + 1e-6f * ref) << "p=" << p << " t=" << t;
-    }
+    for (index_t p = 0; p < X.rows(); ++p)
+      for (index_t t = 0; t < dispatch::kTile; ++t) {
+        const float ref = kernels::sq_l2_scalar(Q.row(t), X.row(p), d);
+        const float got =
+            out[static_cast<std::size_t>(p) * dispatch::kTile + t];
+        EXPECT_NEAR(got, ref, 1e-5f + 1e-6f * ref)
+            << dispatch::isa_name(isa) << " p=" << p << " t=" << t;
+      }
+  }
 }
 
 TEST(RbcBlocked, LargeBatchMatchesAdaptivePathExactly) {
@@ -189,6 +220,112 @@ TEST(RbcBlocked, StatsStayPlausibleOnTheBlockedPath) {
   // Work stays bounded by brute force on clustered data even though the
   // blocked path refreshes bounds per representative, not per point.
   EXPECT_LT(stats.dist_evals_per_query(), static_cast<double>(X.rows()));
+}
+
+// ------------------------------------------------- forced-ISA parity ------
+//
+// The acceptance bar of the dispatch layer: every backend returns identical
+// ids/dists under RBC_FORCE_ISA=scalar|avx2|avx512 (here forced through the
+// equivalent programmatic hook; ISAs the host lacks are skipped — that IS
+// the graceful degradation being tested).
+
+TEST(ForcedIsaParity, AllBackendsMatchScalarReference) {
+  // Duplicated rows manufacture ties; 69 queries leave a partial tile; the
+  // clustered structure engages pruning and early exit.
+  const Matrix<float> base = testutil::clustered_matrix(1'200, 13, 6, 21);
+  const auto [X, Q] = testutil::split_rows(
+      testutil::with_duplicates(base, 300), 1'431);  // 69 held-out queries
+  const index_t k = 5;
+
+  for (const char* backend :
+       {"bruteforce", "rbc-exact", "rbc-oneshot", "kdtree", "balltree"}) {
+    auto index = make_index(backend, {.rbc = {.seed = 22}});
+    index->build(X);
+
+    KnnResult reference;
+    {
+      IsaGuard guard(dispatch::Isa::kScalar);
+      reference = index->knn_search({.queries = &Q, .k = k}).knn;
+    }
+    for (const dispatch::Isa isa : runnable_isas()) {
+      IsaGuard guard(isa);
+      const KnnResult got = index->knn_search({.queries = &Q, .k = k}).knn;
+      EXPECT_TRUE(testutil::knn_equal(reference, got))
+          << backend << " under " << dispatch::isa_name(isa);
+    }
+  }
+}
+
+TEST(ForcedIsaParity, SmallBatchesAndSingleQueries) {
+  // Below every tile threshold: the row-block kernel path, per query.
+  const auto [X, Q] = testutil::split_rows(
+      testutil::clustered_matrix(807, 7, 5, 23), 800);  // 7 queries
+
+  for (const char* backend : {"bruteforce", "rbc-exact", "rbc-oneshot"}) {
+    auto index = make_index(backend, {.rbc = {.seed = 24}});
+    index->build(X);
+
+    KnnResult reference;
+    {
+      IsaGuard guard(dispatch::Isa::kScalar);
+      reference = index->knn_search({.queries = &Q, .k = 3}).knn;
+    }
+    for (const dispatch::Isa isa : runnable_isas()) {
+      IsaGuard guard(isa);
+      const KnnResult got = index->knn_search({.queries = &Q, .k = 3}).knn;
+      EXPECT_TRUE(testutil::knn_equal(reference, got))
+          << backend << " under " << dispatch::isa_name(isa);
+    }
+  }
+}
+
+TEST(ForcedIsaParity, LongOverflowListsAndErasuresMatchAcrossIsas) {
+  // Few representatives + many inserts => overflow lists long enough for
+  // the gather-kernel path (>= kKernelMinSegment), plus tombstones and the
+  // annulus knob. Compare every ISA against the scalar-forced dispatch AND
+  // against the naive reference over the live set.
+  const Matrix<float> X = testutil::clustered_matrix(600, 9, 4, 25);
+  const Matrix<float> extra = testutil::clustered_matrix(200, 9, 4, 26);
+  const Matrix<float> Q = testutil::random_matrix(40, 9, 27, -6.0f, 6.0f);
+
+  RbcParams params{.num_reps = 4, .seed = 28};
+  params.use_annulus_bound = true;
+  RbcExactIndex<> index;
+  index.build(X, params);
+  for (index_t i = 0; i < extra.rows(); ++i) index.insert(extra.row(i));
+  for (index_t id = 100; id < 700; id += 13) index.erase(id);
+  ASSERT_GE(index.overflow_size(), RbcExactIndex<>::kKernelMinSegment);
+
+  KnnResult reference;
+  {
+    IsaGuard guard(dispatch::Isa::kScalar);
+    reference = index.search(Q, 4);
+  }
+  for (const dispatch::Isa isa : runnable_isas()) {
+    IsaGuard guard(isa);
+    EXPECT_TRUE(testutil::knn_equal(reference, index.search(Q, 4)))
+        << dispatch::isa_name(isa);
+  }
+}
+
+TEST(ForcedIsaParity, SerializedIndexSearchesIdenticallyAfterReload) {
+  // The norms cache is derived state, recomputed at load — a reloaded index
+  // must answer identically under every ISA.
+  const auto [X, Q] = testutil::split_rows(
+      testutil::clustered_matrix(1'050, 11, 6, 29), 1'000);
+  RbcExactIndex<> index;
+  index.build(X, {.seed = 30});
+
+  std::stringstream stream;
+  index.save(stream);
+  const RbcExactIndex<> reloaded = RbcExactIndex<>::load(stream);
+
+  for (const dispatch::Isa isa : runnable_isas()) {
+    IsaGuard guard(isa);
+    EXPECT_TRUE(
+        testutil::knn_equal(index.search(Q, 3), reloaded.search(Q, 3)))
+        << dispatch::isa_name(isa);
+  }
 }
 
 }  // namespace
