@@ -7,7 +7,9 @@
 // and is the baseline the paper's batching argument (§3: BF over a query
 // block ~ matrix-matrix multiply) is measured against. A second sweep
 // scales the executor pool (workers = 1..4) at the loaded configuration so
-// the recorded file also tracks multi-core service throughput.
+// the recorded file also tracks multi-core service throughput, and a third
+// sweeps the shard count of a sharded:rbc-exact composite at the same
+// loaded configuration (the next scaling axis: row-partitioned fan-out).
 //
 //   ./bench_serve_throughput [--smoke] [--out=PATH]
 //
@@ -53,6 +55,7 @@ struct RunResult {
   int clients = 0;
   index_t max_batch = 0;
   int workers = 1;
+  index_t num_shards = 1;
   index_t queries = 0;
   double seconds = 0.0;
   double qps = 0.0;
@@ -180,6 +183,27 @@ int main(int argc, char** argv) {
     worker_results.push_back(r);
   }
 
+  // Shard-count sweep: the same loaded configuration served by a
+  // sharded:rbc-exact composite at increasing shard counts. Results stay
+  // bit-identical to the unsharded index (the conformance suite enforces
+  // it), so this row records the pure fan-out/merge cost-or-win per shard
+  // count. Each point rebuilds the composite from the same database.
+  std::printf("\nshard scaling (clients=%d, max_batch=%u, "
+              "backend=sharded:rbc-exact):\n",
+              top_clients, top_batch);
+  std::vector<RunResult> shard_results;
+  for (index_t num_shards : smoke ? std::vector<index_t>{1, 2}
+                                  : std::vector<index_t>{1, 2, 4, 8}) {
+    auto sharded = make_index("sharded:rbc-exact",
+                              {.rbc = {.seed = 3}, .num_shards = num_shards});
+    sharded->build(database);
+    RunResult r =
+        run_config(*sharded, queries, top_clients, top_batch, k, /*workers=*/2);
+    r.num_shards = num_shards;
+    print_row(r);
+    shard_results.push_back(r);
+  }
+
   // Acceptance record: best batched (max_batch >= 64) vs unbatched at the
   // highest client count.
   double unbatched_qps = 0.0, batched_qps = 0.0;
@@ -215,12 +239,12 @@ int main(int argc, char** argv) {
   const auto write_row = [out](const RunResult& r, bool last) {
     std::fprintf(out,
                  "    {\"clients\": %d, \"max_batch\": %u, \"workers\": %d, "
-                 "\"queries\": %u, "
+                 "\"num_shards\": %u, \"queries\": %u, "
                  "\"seconds\": %.4f, \"qps\": %.1f, \"p50_ms\": %.3f, "
                  "\"p99_ms\": %.3f, \"mean_batch\": %.2f, \"batches\": %llu, "
                  "\"dist_evals_per_query\": %.1f}%s\n",
-                 r.clients, r.max_batch, r.workers, r.queries, r.seconds,
-                 r.qps, r.p50_ms, r.p99_ms, r.mean_batch,
+                 r.clients, r.max_batch, r.workers, r.num_shards, r.queries,
+                 r.seconds, r.qps, r.p50_ms, r.p99_ms, r.mean_batch,
                  static_cast<unsigned long long>(r.batches),
                  r.evals_per_query, last ? "" : ",");
   };
@@ -231,6 +255,11 @@ int main(int argc, char** argv) {
                "  \"worker_scaling\": [\n");
   for (std::size_t i = 0; i < worker_results.size(); ++i)
     write_row(worker_results[i], i + 1 == worker_results.size());
+  std::fprintf(out,
+               "  ],\n"
+               "  \"shard_scaling\": [\n");
+  for (std::size_t i = 0; i < shard_results.size(); ++i)
+    write_row(shard_results[i], i + 1 == shard_results.size());
   std::fprintf(out,
                "  ],\n"
                "  \"acceptance\": {\n"

@@ -30,13 +30,14 @@ def expect(cond: bool, message: str) -> None:
 
 TOP = {"bench": str, "backend": str, "smoke": bool, "n": int, "dim": int,
        "k": int, "total_queries": int, "results": list,
-       "worker_scaling": list, "acceptance": dict}
+       "worker_scaling": list, "shard_scaling": list, "acceptance": dict}
 for key, kind in TOP.items():
     expect(isinstance(doc.get(key), kind),
            f"top-level '{key}' missing or not {kind.__name__}")
 expect(doc.get("bench") == "serve_throughput", "bench != serve_throughput")
 
-RESULT = {"clients": int, "max_batch": int, "workers": int, "queries": int,
+RESULT = {"clients": int, "max_batch": int, "workers": int,
+          "num_shards": int, "queries": int,
           "seconds": (int, float), "qps": (int, float),
           "p50_ms": (int, float), "p99_ms": (int, float),
           "mean_batch": (int, float), "batches": int,
@@ -58,10 +59,19 @@ def check_rows(rows: list, section: str) -> None:
 
 check_rows(doc.get("results", []), "results")
 check_rows(doc.get("worker_scaling", []), "worker_scaling")
+check_rows(doc.get("shard_scaling", []), "shard_scaling")
 # The worker sweep must actually scale the pool (a workers > 1 point).
 expect(any(row.get("workers", 0) > 1
            for row in doc.get("worker_scaling", [])),
        "worker_scaling has no workers > 1 configuration")
+# The shard sweep must scale the composite (a num_shards > 1 point) and
+# anchor it against the single-shard configuration.
+expect(any(row.get("num_shards", 0) > 1
+           for row in doc.get("shard_scaling", [])),
+       "shard_scaling has no num_shards > 1 configuration")
+expect(any(row.get("num_shards", 0) == 1
+           for row in doc.get("shard_scaling", [])),
+       "shard_scaling has no num_shards == 1 baseline")
 
 acc = doc.get("acceptance", {})
 for key in ("clients", "unbatched_qps", "batched_qps", "batched_max_batch",

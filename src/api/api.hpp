@@ -13,7 +13,9 @@
 //   auto restored = rbc::load_index(is);   // backend resolved from magic
 //
 // Shipped backend names: "bruteforce", "rbc-exact", "rbc-oneshot",
-// "kdtree", "balltree", "covertree", "gpu-bf", "gpu-oneshot".
+// "kdtree", "balltree", "covertree", "gpu-bf", "gpu-oneshot", plus a
+// row-partitioned "sharded:<inner>" composite over any of them
+// (see shard/sharded_index.hpp).
 #pragma once
 
 #include "api/index.hpp"

@@ -22,6 +22,7 @@ void register_kdtree();
 void register_balltree();
 void register_covertree();
 void register_gpu();
+void register_sharded();
 
 /// Batches a single-query backend (`one(q, top)` fills a TopK) across a
 /// query matrix, parallel over queries — the adapter-side equivalent of the

@@ -44,6 +44,18 @@ struct IndexOptions {
 
   /// gpu-bf / gpu-oneshot: SIMT device worker pool size; 0 = all cores.
   int gpu_workers = 0;
+
+  /// sharded:<inner>: number of row partitions the database is split into
+  /// (>= 1; a count larger than the database leaves the excess shards
+  /// empty and unbuilt).
+  index_t num_shards = 4;
+
+  /// sharded:<inner>: how rows are assigned to shards — "contiguous"
+  /// (shard s owns one block of consecutive rows) or "strided" (row i goes
+  /// to shard i % num_shards). Both remap shard-local ids back to global
+  /// row ids, so results are identical; they differ only in which rows
+  /// land together (strided spreads clustered inserts evenly).
+  std::string partition = "contiguous";
 };
 
 /// Static metadata and capabilities of a (built) index.
@@ -61,6 +73,10 @@ struct IndexInfo {
   /// Empty for backends that do not use the dispatched kernel layer
   /// (trees, device backends).
   std::string kernel_isa;
+  /// Row partitions answering each query: 1 for a plain backend; the
+  /// built (non-empty) shard count for sharded:* backends, whose size /
+  /// memory_bytes / exact fields aggregate over the inner indices.
+  index_t shards = 1;
 };
 
 /// Abstract search index. Implementations own every byte they need to

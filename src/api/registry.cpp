@@ -6,10 +6,17 @@
 #include <stdexcept>
 
 #include "api/backends/backends.hpp"
+#include "rbc/serialize_io.hpp"
+#include "shard/sharded_index.hpp"
 
 namespace rbc {
 
 namespace {
+
+/// Prefix of the composite backend names ("sharded:<inner>"). The shipped
+/// variants are registered entries; anything else with the prefix resolves
+/// generically below, so user-registered backends shard for free.
+constexpr std::string_view kShardedPrefix = "sharded:";
 
 struct Registry {
   std::mutex mutex;
@@ -38,6 +45,7 @@ void ensure_builtins() {
     backends::register_balltree();
     backends::register_covertree();
     backends::register_gpu();
+    backends::register_sharded();
     return true;
   }();
   (void)once;
@@ -50,7 +58,10 @@ bool register_backend(BackendEntry entry) {
   std::lock_guard<std::mutex> lock(reg.mutex);
   if (reg.find_locked(entry.name) != nullptr) return false;
   // A non-zero magic must be unique too: load_index dispatches on it, and a
-  // duplicate would let a later registration hijack existing files.
+  // duplicate would let a later registration hijack existing files. The
+  // sharded composite's magic is dispatched natively, so it is never
+  // claimable either.
+  if (entry.magic == io::kMagicSharded) return false;
   if (entry.magic != 0)
     for (const BackendEntry& e : reg.entries)
       if (e.magic == entry.magic) return false;
@@ -79,6 +90,12 @@ std::unique_ptr<Index> make_index(std::string_view name,
     }
   }
   if (create) return create(options);
+  // Composite fallback: "sharded:<inner>" shards any registered backend,
+  // not just the pre-registered variants (the inner name is validated by
+  // the ShardedIndex constructor via make_index, which throws this same
+  // exception type when it too is unknown).
+  if (name.substr(0, kShardedPrefix.size()) == kShardedPrefix)
+    return shard::make_sharded(name.substr(kShardedPrefix.size()), options);
   throw std::invalid_argument("rbc::make_index: unknown backend '" +
                               std::string(name) + "' (registered: " + known +
                               ")");
@@ -96,6 +113,11 @@ std::unique_ptr<Index> load_index(std::istream& is) {
   is.seekg(start);
   if (!is)
     throw std::runtime_error("rbc::load_index: stream must be seekable");
+
+  // The sharded composite dispatches natively: one magic covers every
+  // "sharded:<inner>" variant (the inner backend is named inside the
+  // stream), which the one-magic-per-entry registry table cannot express.
+  if (magic == io::kMagicSharded) return shard::ShardedIndex::load(is);
 
   std::function<std::unique_ptr<Index>(std::istream&)> loader;
   {

@@ -17,8 +17,12 @@ struct alignas(64) Slot {
 // correct across OpenMP team teardowns.
 std::mutex g_registry_mutex;
 std::vector<Slot*>& registry() {
-  static std::vector<Slot*> r;
-  return r;
+  // Never destroyed: slots must outlive every thread (including detached
+  // OpenMP workers that may touch their slot during teardown), and keeping
+  // the vector reachable at exit is what tells LeakSanitizer the
+  // intentionally-immortal slots are not leaks.
+  static auto* r = new std::vector<Slot*>();
+  return *r;
 }
 
 Slot& local_slot() {

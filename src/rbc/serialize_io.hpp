@@ -26,7 +26,39 @@ inline constexpr std::uint32_t kMagicBruteForce = 0x52424342;  // "RBCB"
 inline constexpr std::uint32_t kMagicKdTree = 0x5242434B;      // "RBCK"
 inline constexpr std::uint32_t kMagicBallTree = 0x52424354;    // "RBCT"
 inline constexpr std::uint32_t kMagicCoverTree = 0x52424343;   // "RBCC"
+inline constexpr std::uint32_t kMagicSharded = 0x52424353;     // "RBCS"
 inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Bytes between the current read position and the end of the stream, or
+/// -1 when the stream is not seekable. Loaders use this to reject a
+/// corrupt length field *before* allocating for it: a truncated or
+/// bit-flipped file must fail with a clear error, never a multi-gigabyte
+/// allocation (or worse) driven by garbage bytes.
+inline std::int64_t remaining_bytes(std::istream& is) {
+  const std::istream::pos_type here = is.tellg();
+  if (here == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(here);
+  if (end == std::istream::pos_type(-1) || !is) {
+    is.clear();
+    is.seekg(here);
+    return -1;
+  }
+  return static_cast<std::int64_t>(end - here);
+}
+
+/// Throws unless the stream still holds `payload` bytes (no-op on
+/// non-seekable streams, which cannot be measured).
+inline void require_bytes(std::istream& is, std::uint64_t payload,
+                          const char* what) {
+  const std::int64_t left = remaining_bytes(is);
+  if (left >= 0 && static_cast<std::uint64_t>(left) < payload)
+    throw std::runtime_error(
+        std::string("rbc::io: truncated or corrupt stream reading ") + what +
+        " (" + std::to_string(payload) + " bytes claimed, " +
+        std::to_string(left) + " left)");
+}
 
 template <class T>
 void write_pod(std::ostream& os, const T& value) {
@@ -57,6 +89,7 @@ inline void write_string(std::ostream& os, const std::string& s) {
 inline std::string read_string(std::istream& is) {
   std::uint64_t len = 0;
   read_pod(is, len);
+  require_bytes(is, len, "string");
   std::string s(len, '\0');
   is.read(s.data(), static_cast<std::streamsize>(len));
   if (!is) throw std::runtime_error("rbc::io: truncated string");
@@ -81,6 +114,8 @@ template <class T>
 void read_vec(std::istream& is, std::vector<T>& v) {
   std::uint64_t size = 0;
   read_pod(is, size);
+  require_bytes(is, size, "vector");  // 1 byte/element: overflow-proof gate
+  require_bytes(is, size * sizeof(T), "vector");
   v.resize(size);
   is.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(size * sizeof(T)));
@@ -101,6 +136,10 @@ inline Matrix<float> read_matrix(std::istream& is) {
   index_t rows = 0, cols = 0;
   read_pod(is, rows);
   read_pod(is, cols);
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  require_bytes(is, cells, "matrix");  // 1 byte/cell: overflow-proof gate
+  require_bytes(is, cells * sizeof(float), "matrix");
   Matrix<float> m(rows, cols);
   for (index_t i = 0; i < rows; ++i) {
     is.read(reinterpret_cast<char*>(m.row(i)),

@@ -1,0 +1,301 @@
+#include "shard/sharded_index.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "parallel/parallel_for.hpp"
+#include "rbc/serialize_io.hpp"
+
+namespace rbc::shard {
+
+Partition parse_partition(std::string_view name) {
+  if (name == "contiguous") return Partition::kContiguous;
+  if (name == "strided") return Partition::kStrided;
+  throw std::invalid_argument(
+      "rbc::ShardedIndex: unknown partition scheme '" + std::string(name) +
+      "' (expected \"contiguous\" or \"strided\")");
+}
+
+const char* partition_name(Partition p) noexcept {
+  return p == Partition::kContiguous ? "contiguous" : "strided";
+}
+
+std::vector<std::vector<index_t>> partition_rows(index_t n, index_t num_shards,
+                                                 Partition partition) {
+  std::vector<std::vector<index_t>> rows(num_shards);
+  if (partition == Partition::kContiguous) {
+    // Shard s owns [s*n/S, (s+1)*n/S): sizes differ by at most one row and
+    // the mapping is a pure function of (n, S), so save/load re-derives it.
+    for (index_t s = 0; s < num_shards; ++s) {
+      const auto lo = static_cast<index_t>(
+          static_cast<std::uint64_t>(s) * n / num_shards);
+      const auto hi = static_cast<index_t>(
+          static_cast<std::uint64_t>(s + 1) * n / num_shards);
+      rows[s].reserve(hi - lo);
+      for (index_t i = lo; i < hi; ++i) rows[s].push_back(i);
+    }
+  } else {
+    for (index_t i = 0; i < n; ++i) rows[i % num_shards].push_back(i);
+  }
+  return rows;
+}
+
+ShardedIndex::ShardedIndex(std::string_view inner, const IndexOptions& options)
+    : inner_(inner),
+      name_("sharded:" + std::string(inner)),
+      options_(options),
+      partition_(parse_partition(options.partition)) {
+  if (options.num_shards < 1 || options.num_shards > kMaxShards)
+    throw std::invalid_argument(
+        "rbc::ShardedIndex: num_shards must be in [1, " +
+        std::to_string(kMaxShards) + "] (got " +
+        std::to_string(options.num_shards) + ")");
+  // Resolve the inner name eagerly so a typo fails at make_index time, not
+  // at build time; the instance is kept to answer capability queries until
+  // build() creates the real shards.
+  probe_ = make_index(inner_, options_);
+}
+
+void ShardedIndex::build_shard(const Matrix<float>& X,
+                               const std::vector<index_t>& rows,
+                               Shard& shard) const {
+  Matrix<float> part(static_cast<index_t>(rows.size()), X.cols());
+  for (index_t local = 0; local < part.rows(); ++local)
+    part.copy_row_from(X, rows[local], local);
+  shard.index->build(part);
+}
+
+void ShardedIndex::build(const Matrix<float>& X) {
+  std::vector<std::vector<index_t>> assignment =
+      partition_rows(X.rows(), options_.num_shards, partition_);
+
+  std::vector<Shard> shards;
+  shards.reserve(assignment.size());
+  for (std::vector<index_t>& rows : assignment) {
+    if (rows.empty()) continue;  // num_shards > n: excess shards stay unbuilt
+    Shard shard;
+    shard.index = make_index(inner_, options_);
+    shard.global_ids = std::move(rows);
+    shards.push_back(std::move(shard));
+  }
+
+  // Shard builds are independent; the loop parallelizes across them while
+  // each inner build's own OpenMP loops run within the worker it landed on
+  // (nested regions serialize, so cores split across shards cleanly).
+  parallel_for_dynamic(
+      0, static_cast<std::int64_t>(shards.size()),
+      [&](index_t s) { build_shard(X, shards[s].global_ids, shards[s]); },
+      /*chunk=*/1);
+
+  shards_ = std::move(shards);
+  size_ = X.rows();
+  dim_ = X.cols();
+  built_ = true;
+}
+
+SearchResponse ShardedIndex::knn_search(const SearchRequest& request) const {
+  validate_knn(request, dim_, size_, built_, name_.c_str());
+  const Matrix<float>& Q = *request.queries;
+  const index_t nq = Q.rows();
+  const index_t k = request.k;
+
+  // Fan-out: every shard answers the full query block. Each shard's batch
+  // search fills its own per-query top-k heaps (inner backends never share
+  // state), so this stage is lock-free; with k clamped to the shard's row
+  // count every returned row is fully populated — no padding reaches the
+  // merge. Inner searches parallelize over queries internally.
+  std::vector<SearchResponse> fanout(shards_.size());
+  std::vector<index_t> shard_k(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    SearchRequest sub = request;
+    shard_k[s] = std::min<index_t>(
+        k, static_cast<index_t>(shards_[s].global_ids.size()));
+    sub.k = shard_k[s];
+    fanout[s] = shards_[s].index->knn_search(sub);
+  }
+
+  // Exact k-way merge under the global (distance, id) order. Shard-local
+  // ids map to global ids monotonically (both partition schemes assign
+  // ascending local -> ascending global), so each shard's sorted row stays
+  // sorted after remapping and a cursor-per-shard merge is exact — ties
+  // break on the global id exactly as a single unsharded scan would.
+  SearchResponse response;
+  response.knn = KnnResult(nq, k);
+  parallel_for_dynamic(0, nq, [&](index_t qi) {
+    std::vector<index_t> cursor(shards_.size(), 0);
+    dist_t* out_d = response.knn.dists.row(qi);
+    index_t* out_i = response.knn.ids.row(qi);
+    for (index_t slot = 0; slot < k; ++slot) {
+      std::size_t best_s = shards_.size();
+      dist_t best_d = kInfDist;
+      index_t best_id = kInvalidIndex;
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (cursor[s] >= shard_k[s]) continue;
+        const dist_t d = fanout[s].knn.dists.at(qi, cursor[s]);
+        const index_t gid =
+            shards_[s].global_ids[fanout[s].knn.ids.at(qi, cursor[s])];
+        if (d < best_d || (d == best_d && gid < best_id)) {
+          best_s = s;
+          best_d = d;
+          best_id = gid;
+        }
+      }
+      // validate_knn guarantees k <= size, so candidates never run out.
+      ++cursor[best_s];
+      out_d[slot] = best_d;
+      out_i[slot] = best_id;
+    }
+  });
+
+  if (request.options.collect_stats) {
+    for (const SearchResponse& r : fanout) response.stats.merge(r.stats);
+    response.stats.queries = nq;  // each query answered once, not once/shard
+  }
+  return response;
+}
+
+RangeResponse ShardedIndex::range_search(const RangeRequest& request) const {
+  if (!info().supports_range)
+    return Index::range_search(request);  // uniform unsupported error
+  validate_range(request, dim_, built_, name_.c_str());
+  const index_t nq = request.queries->rows();
+
+  std::vector<RangeResponse> fanout(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    fanout[s] = shards_[s].index->range_search(request);
+
+  RangeResponse response;
+  response.ids.resize(nq);
+  parallel_for_dynamic(0, nq, [&](index_t qi) {
+    std::vector<index_t>& hits = response.ids[qi];
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      for (index_t local : fanout[s].ids[qi])
+        hits.push_back(shards_[s].global_ids[local]);
+    std::sort(hits.begin(), hits.end());
+  });
+
+  if (request.options.collect_stats) {
+    for (const RangeResponse& r : fanout) response.stats.merge(r.stats);
+    response.stats.queries = nq;
+  }
+  return response;
+}
+
+void ShardedIndex::save(std::ostream& os) const {
+  if (!built_)
+    throw std::runtime_error("rbc::ShardedIndex: save on an unbuilt index");
+  if (!info().supports_save)
+    return Index::save(os);  // uniform unsupported error
+  io::write_pod(os, io::kMagicSharded);
+  io::write_pod(os, io::kFormatVersion);
+  io::write_string(os, inner_);
+  io::write_string(os, partition_name(partition_));
+  io::write_pod(os, options_.num_shards);
+  io::write_pod(os, size_);
+  io::write_pod(os, dim_);
+  io::write_pod(os, static_cast<std::uint64_t>(shards_.size()));
+  // Row assignment is a pure function of (size, num_shards, partition) —
+  // load() re-derives it — so only the inner indices need persisting.
+  for (const Shard& shard : shards_) shard.index->save(os);
+}
+
+std::unique_ptr<Index> ShardedIndex::load(std::istream& is) {
+  io::expect_pod(is, io::kMagicSharded, "sharded magic");
+  io::expect_pod(is, io::kFormatVersion, "sharded version");
+  const std::string inner = io::read_string(is);
+  const std::string partition = io::read_string(is);
+
+  IndexOptions options;
+  options.partition = partition;
+  io::read_pod(is, options.num_shards);
+
+  // A garbage inner/partition string is a corrupt *file*, not a caller
+  // error: surface it as the runtime_error every load path throws.
+  std::unique_ptr<ShardedIndex> index;
+  try {
+    index = std::make_unique<ShardedIndex>(inner, options);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(
+        std::string("rbc::ShardedIndex: corrupt stream (") + e.what() + ")");
+  }
+  io::read_pod(is, index->size_);
+  // A corrupt row count must fail here, before the partition tables (the
+  // global-id remap alone is 4 bytes/row) are allocated for it. Every
+  // shipped inner format stores well over a byte per indexed row, so the
+  // remaining stream length is a sound plausibility floor.
+  io::require_bytes(is, index->size_, "sharded row count");
+  io::read_pod(is, index->dim_);
+  std::uint64_t stored = 0;
+  io::read_pod(is, stored);
+
+  // Both partition schemes leave exactly min(num_shards, n) shards
+  // non-empty; check the stored count (and 8 bytes of stream per shard —
+  // every inner format's magic + version — as another floor) before
+  // deriving the row sets.
+  const std::uint64_t expected =
+      std::min<std::uint64_t>(options.num_shards, index->size_);
+  if (stored != expected)
+    throw std::runtime_error(
+        "rbc::ShardedIndex: corrupt stream (stored shard count " +
+        std::to_string(stored) + " != derived " + std::to_string(expected) +
+        ")");
+  io::require_bytes(is, stored * 8, "sharded shard table");
+
+  std::vector<std::vector<index_t>> assignment = partition_rows(
+      index->size_, options.num_shards, index->partition_);
+
+  for (std::vector<index_t>& rows : assignment) {
+    if (rows.empty()) continue;
+    Shard shard;
+    shard.index = load_index(is);  // magic-dispatched to the inner backend
+    if (shard.index->info().backend != inner)
+      throw std::runtime_error(
+          "rbc::ShardedIndex: corrupt stream (shard backend '" +
+          shard.index->info().backend + "' != declared inner '" + inner +
+          "')");
+    if (shard.index->info().size != rows.size())
+      throw std::runtime_error(
+          "rbc::ShardedIndex: corrupt stream (shard size mismatch)");
+    shard.global_ids = std::move(rows);
+    index->shards_.push_back(std::move(shard));
+  }
+  index->built_ = true;
+  return index;
+}
+
+IndexInfo ShardedIndex::info() const {
+  // Capability flags come from the constructor's probe instance until the
+  // real shards exist.
+  IndexInfo inner_info = shards_.empty() ? probe_->info()
+                                         : shards_.front().index->info();
+  IndexInfo info;
+  info.backend = name_;
+  info.metric = inner_info.metric;
+  info.size = size_;
+  info.dim = dim_;
+  info.supports_range = inner_info.supports_range;
+  info.supports_save = inner_info.supports_save;
+  info.kernel_isa = inner_info.kernel_isa;
+  info.shards = static_cast<index_t>(shards_.size());
+  info.exact = true;
+  info.memory_bytes = 0;
+  for (const Shard& shard : shards_) {
+    const IndexInfo si = shard.index->info();
+    info.exact = info.exact && si.exact;
+    info.memory_bytes +=
+        si.memory_bytes + shard.global_ids.size() * sizeof(index_t);
+  }
+  if (shards_.empty()) info.exact = inner_info.exact;
+  return info;
+}
+
+std::unique_ptr<Index> make_sharded(std::string_view inner,
+                                    const IndexOptions& options) {
+  return std::make_unique<ShardedIndex>(inner, options);
+}
+
+}  // namespace rbc::shard

@@ -1,0 +1,109 @@
+// Sharded parallel index: N inner indices over a row-partitioned database,
+// answering as one rbc::Index.
+//
+// The paper's manycore argument is that RBC search decomposes into
+// independent brute-force pieces; sharding applies the same decomposition
+// one level up (cf. buffer k-d trees and NCAM in PAPERS.md): the database is
+// split into `num_shards` disjoint row sets, any registered backend is built
+// per shard (in parallel via src/parallel/), and a query fans out to every
+// shard. Each (query, shard) pair fills its own top-k — shard results never
+// share mutable state, so the fan-out is lock-free by construction — and an
+// exact k-way merge remaps shard-local row ids to global ids under the
+// library-wide (distance, id) order. Because every inner backend re-measures
+// candidates with the same scalar metric over the same row bytes, the merged
+// answer is bit-identical (ids, distances, tie order) to the wrapped backend
+// run unsharded, for every shard count and partition scheme.
+//
+//   auto index = rbc::make_index("sharded:rbc-exact", {.num_shards = 8});
+//   index->build(database);               // 8 rbc-exact indices, built in
+//   auto r = index->knn_search(request);  // parallel, searched fan-out/merge
+//
+// Factory names: "sharded:<inner>" for every registered inner backend —
+// the shipped variants are pre-registered (see api/backends/), and
+// make_index() resolves "sharded:<anything-registered>" generically, so a
+// user-registered backend gets a sharded form for free.
+//
+// Capabilities mirror the inner backend: range_search unions per-shard hits;
+// save/load round-trips through io::kMagicSharded when the inner supports
+// save; IndexInfo aggregates size / memory / exactness over the shards.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/index.hpp"
+
+namespace rbc::shard {
+
+/// How rows are assigned to shards (see IndexOptions::partition).
+enum class Partition { kContiguous, kStrided };
+
+/// Upper bound on IndexOptions::num_shards: far beyond any useful
+/// configuration, and small enough that a corrupt shard-count field in a
+/// serialized file can never drive a giant partition-table allocation.
+inline constexpr index_t kMaxShards = 1u << 20;
+
+/// Parses "contiguous" / "strided"; throws std::invalid_argument otherwise.
+Partition parse_partition(std::string_view name);
+const char* partition_name(Partition p) noexcept;
+
+/// The row sets of a (n, num_shards, partition) split. Element s lists the
+/// *global* row ids shard s owns, in ascending order; shards whose set is
+/// empty (num_shards > n) are left out of the built index entirely.
+std::vector<std::vector<index_t>> partition_rows(index_t n, index_t num_shards,
+                                                 Partition partition);
+
+/// A row-partitioned composite over any registered inner backend. Validates
+/// the inner name and shard parameters at construction; build() copies each
+/// shard's rows and builds the inner indices in parallel.
+class ShardedIndex final : public Index {
+ public:
+  /// `inner` must name a registered backend ("rbc-exact", ...); `options`
+  /// supplies both the shard parameters (num_shards, partition) and the
+  /// inner backend's own knobs, forwarded to every shard unchanged.
+  ShardedIndex(std::string_view inner, const IndexOptions& options);
+
+  void build(const Matrix<float>& X) override;
+  SearchResponse knn_search(const SearchRequest& request) const override;
+  RangeResponse range_search(const RangeRequest& request) const override;
+  void save(std::ostream& os) const override;
+  IndexInfo info() const override;
+
+  /// Restores a stream written by save() (leading magic io::kMagicSharded).
+  /// The inner backend is resolved by name from the registry, and each
+  /// shard loads through rbc::load_index, so the stream must be seekable.
+  static std::unique_ptr<Index> load(std::istream& is);
+
+ private:
+  struct Shard {
+    std::unique_ptr<Index> index;
+    /// Global row id of each shard-local row (local id -> global id).
+    std::vector<index_t> global_ids;
+  };
+
+  void build_shard(const Matrix<float>& X, const std::vector<index_t>& rows,
+                   Shard& shard) const;
+
+  std::string inner_;
+  std::string name_;  // "sharded:<inner>" (what info().backend reports)
+  IndexOptions options_;
+  /// Unbuilt inner instance kept from the constructor's name validation;
+  /// answers capability queries (info()) until the real shards exist.
+  std::unique_ptr<Index> probe_;
+  Partition partition_ = Partition::kContiguous;
+  std::vector<Shard> shards_;  // non-empty shards only
+  index_t size_ = 0;
+  index_t dim_ = 0;
+  bool built_ = false;
+};
+
+/// Factory behind the "sharded:<inner>" registry names: validates and
+/// constructs an unbuilt ShardedIndex. Throws std::invalid_argument for an
+/// unknown inner backend or malformed shard parameters.
+std::unique_ptr<Index> make_sharded(std::string_view inner,
+                                    const IndexOptions& options);
+
+}  // namespace rbc::shard

@@ -174,15 +174,18 @@ class DeviceBuffer {
 
   std::size_t size() const { return storage_.size(); }
 
-  /// Host -> device copy (metered).
+  /// Host -> device copy (metered). A zero-byte copy is a no-op (an empty
+  /// buffer's data() is null, which memcpy must never see even for n = 0).
   void upload(std::span<const T> host) {
-    std::memcpy(storage_.data(), host.data(), host.size_bytes());
+    if (!host.empty()) std::memcpy(storage_.data(), host.data(),
+                                   host.size_bytes());
     device_->note_h2d(host.size_bytes());
   }
 
   /// Device -> host copy (metered).
   void download(std::span<T> host) const {
-    std::memcpy(host.data(), storage_.data(), host.size_bytes());
+    if (!host.empty()) std::memcpy(host.data(), storage_.data(),
+                                   host.size_bytes());
     device_->note_d2h(host.size_bytes());
   }
 

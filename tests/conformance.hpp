@@ -1,0 +1,280 @@
+// Cross-backend conformance harness: one parameterized suite that every
+// factory-registered backend must pass.
+//
+// Before this harness the per-backend contracts (exactness vs brute force,
+// the k > n error shape, serialize round-trips, thread-safety of const
+// search) were asserted by copy-pasted per-backend tests that new backends
+// could silently skip. Here the checks are written once against the unified
+// rbc::Index interface and instantiated from rbc::registered_backends(), so
+// registering a backend *is* opting into the full suite — including the
+// sharded:* composites, whose extra bit-parity obligation (identical ids,
+// distances, and tie order to the wrapped backend at several shard counts)
+// is enforced here too.
+//
+// test_conformance.cpp instantiates the suite; the checks live in this
+// header so other tests (stress, determinism) can reuse the datasets and
+// reference helpers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "test_util.hpp"
+
+namespace rbc::conformance {
+
+/// A named (database, queries) pair. The suite runs every check on several
+/// datasets with different neighborhood structure; `ties` marks the one
+/// with duplicated rows, where exact backends must reproduce the
+/// (distance, id) tie order bit-for-bit.
+struct Dataset {
+  std::string name;
+  Matrix<float> X;
+  Matrix<float> Q;
+};
+
+/// The suite's fixed datasets: clustered blobs (pruning-friendly), uniform
+/// noise (pruning-hostile), and clustered data with duplicated rows
+/// (guaranteed distance ties).
+inline std::vector<Dataset> datasets() {
+  std::vector<Dataset> sets;
+  {
+    auto [X, Q] =
+        testutil::split_rows(testutil::clustered_matrix(560, 12, 6, 101), 520);
+    sets.push_back({"clustered", std::move(X), std::move(Q)});
+  }
+  {
+    auto [X, Q] =
+        testutil::split_rows(testutil::random_matrix(410, 9, 102), 380);
+    sets.push_back({"uniform", std::move(X), std::move(Q)});
+  }
+  {
+    // Held-out in-distribution queries (the paper's protocol) so the
+    // recall bound is meaningful for approximate backends too; the
+    // database rows are duplicated for guaranteed distance ties.
+    auto [base, Q] =
+        testutil::split_rows(testutil::clustered_matrix(230, 8, 4, 103), 200);
+    Matrix<float> X = testutil::with_duplicates(base, 160);
+    sets.push_back({"ties", std::move(X), std::move(Q)});
+  }
+  return sets;
+}
+
+/// Build options every backend accepts on the suite's small datasets: a
+/// fixed seed (reproducible RBC sampling), a small SIMT pool for the device
+/// backends, and a shard count that exercises clamping without dwarfing
+/// the data.
+inline IndexOptions suite_options() {
+  IndexOptions options;
+  options.rbc.seed = 7;
+  options.gpu_workers = 2;
+  options.num_shards = 3;
+  return options;
+}
+
+/// Recall@1 of `result` against the exact reference (both over the same
+/// queries) — the acceptance measure for approximate backends.
+inline double recall_at_1(const KnnResult& result, const KnnResult& exact) {
+  index_t agree = 0;
+  for (index_t qi = 0; qi < result.ids.rows(); ++qi)
+    if (result.ids.at(qi, 0) == exact.ids.at(qi, 0)) ++agree;
+  return result.ids.rows() == 0
+             ? 1.0
+             : static_cast<double>(agree) / result.ids.rows();
+}
+
+/// Builds the backend over X with the suite options.
+inline std::unique_ptr<Index> build_index(const std::string& backend,
+                                          const Matrix<float>& X) {
+  auto index = make_index(backend, suite_options());
+  index->build(X);
+  return index;
+}
+
+// ---------------------------------------------------------------- checks ---
+
+/// Exact backends must equal the naive reference including tie order;
+/// approximate backends must keep a sane recall@1.
+inline void check_answers(const std::string& backend) {
+  for (const Dataset& data : datasets()) {
+    SCOPED_TRACE(backend + " on " + data.name);
+    auto index = build_index(backend, data.X);
+    for (index_t k : {index_t{1}, index_t{5}}) {
+      const KnnResult reference = testutil::naive_knn(data.Q, data.X, k);
+      const SearchResponse response =
+          index->knn_search({.queries = &data.Q, .k = k});
+      ASSERT_EQ(response.knn.ids.rows(), data.Q.rows());
+      ASSERT_EQ(response.knn.ids.cols(), k);
+      if (index->info().exact) {
+        EXPECT_TRUE(testutil::knn_equal(reference, response.knn))
+            << backend << " diverged from brute force at k=" << k;
+      } else {
+        EXPECT_GT(recall_at_1(response.knn, reference), 1.0 / 3.0)
+            << backend << " recall collapsed at k=" << k;
+      }
+    }
+  }
+}
+
+/// The unified request-error contract: identical conditions and message
+/// shape across every backend (see Index::knn_search).
+inline void check_error_contract(const std::string& backend) {
+  const Matrix<float> X = testutil::random_matrix(50, 6, 105);
+  const Matrix<float> Q = testutil::random_matrix(5, 6, 106);
+  const Matrix<float> wrong_dim = testutil::random_matrix(5, 4, 107);
+
+  auto index = make_index(backend, suite_options());
+  EXPECT_THROW((void)index->knn_search({.queries = &Q, .k = 1}),
+               std::invalid_argument)
+      << backend << ": unbuilt index";
+  index->build(X);
+  EXPECT_THROW((void)index->knn_search({.queries = nullptr, .k = 1}),
+               std::invalid_argument)
+      << backend << ": null queries";
+  EXPECT_THROW((void)index->knn_search({.queries = &Q, .k = 0}),
+               std::invalid_argument)
+      << backend << ": k == 0";
+  EXPECT_THROW((void)index->knn_search({.queries = &wrong_dim, .k = 1}),
+               std::invalid_argument)
+      << backend << ": dimension mismatch";
+  try {
+    (void)index->knn_search({.queries = &Q, .k = X.rows() + 1});
+    FAIL() << backend << " accepted k > database size";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds database size"),
+              std::string::npos)
+        << backend << " threw a different message: " << e.what();
+  }
+}
+
+/// Degenerate-but-legal inputs: an empty query block answers with an empty
+/// response, and a one-point database answers k = 1.
+inline void check_degenerate_inputs(const std::string& backend) {
+  const Matrix<float> X = testutil::clustered_matrix(40, 5, 3, 108);
+  auto index = build_index(backend, X);
+
+  const Matrix<float> no_queries(0, 5);
+  const SearchResponse empty =
+      index->knn_search({.queries = &no_queries, .k = 2});
+  EXPECT_EQ(empty.knn.ids.rows(), 0u) << backend << ": empty query block";
+
+  Matrix<float> one_point(1, 5);
+  for (index_t j = 0; j < 5; ++j) one_point.at(0, j) = 0.5f;
+  auto tiny = make_index(backend, suite_options());
+  tiny->build(one_point);
+  const Matrix<float> q = testutil::random_matrix(3, 5, 109);
+  const SearchResponse r = tiny->knn_search({.queries = &q, .k = 1});
+  for (index_t qi = 0; qi < q.rows(); ++qi)
+    EXPECT_EQ(r.knn.ids.at(qi, 0), 0u)
+        << backend << ": one-point database must answer id 0";
+}
+
+/// save -> load_index -> search must reproduce the original answers
+/// exactly. Skips backends that declare !supports_save (after checking
+/// that save() then throws as documented).
+inline void check_serialize_roundtrip(const std::string& backend) {
+  const Dataset data = std::move(datasets().front());
+  auto index = build_index(backend, data.X);
+  const index_t k = 4;
+  const KnnResult before =
+      index->knn_search({.queries = &data.Q, .k = k}).knn;
+
+  std::stringstream stream;
+  if (!index->info().supports_save) {
+    EXPECT_THROW(index->save(stream), std::runtime_error)
+        << backend << ": unsupported save must throw, not silently no-op";
+    return;
+  }
+  index->save(stream);
+  const auto restored = load_index(stream);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->info().backend, backend);
+  EXPECT_EQ(restored->info().size, data.X.rows());
+  const KnnResult after =
+      restored->knn_search({.queries = &data.Q, .k = k}).knn;
+  EXPECT_TRUE(testutil::knn_equal(before, after))
+      << backend << ": restored index diverged";
+}
+
+/// Concurrent const searches (the contract SearchService relies on): every
+/// thread must see the same answers a lone caller gets.
+inline void check_concurrent_search(const std::string& backend) {
+  const Dataset data = std::move(datasets().front());
+  auto index = build_index(backend, data.X);
+  const index_t k = 3;
+  const KnnResult reference =
+      index->knn_search({.queries = &data.Q, .k = k}).knn;
+
+  constexpr int kThreads = 4, kRounds = 3;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const KnnResult result =
+            index->knn_search({.queries = &data.Q, .k = k}).knn;
+        if (!testutil::knn_equal(reference, result)) ++mismatches[t];
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0)
+        << backend << ": thread " << t << " saw diverging results";
+}
+
+/// The sharded composites' extra obligation: bit-identical (ids, distances,
+/// tie order) to the wrapped backend at shard counts {1, 2, 7} under both
+/// partition schemes, on every dataset — enforced for exact inners, where
+/// the answer is unique. (Approximate inners legitimately answer from a
+/// different per-shard structure; check_answers already bounds their
+/// recall.) No-op for non-sharded backends.
+inline void check_sharded_bit_parity(const std::string& backend) {
+  constexpr std::string_view kPrefix = "sharded:";
+  if (backend.substr(0, kPrefix.size()) != kPrefix) return;
+  const std::string inner = backend.substr(kPrefix.size());
+
+  for (const Dataset& data : datasets()) {
+    auto reference_index = build_index(inner, data.X);
+    if (!reference_index->info().exact) return;
+    const index_t k = 5;
+    const KnnResult reference =
+        reference_index->knn_search({.queries = &data.Q, .k = k}).knn;
+
+    for (index_t shards : {index_t{1}, index_t{2}, index_t{7}}) {
+      for (const char* partition : {"contiguous", "strided"}) {
+        SCOPED_TRACE(backend + " on " + data.name + " shards=" +
+                     std::to_string(shards) + " partition=" + partition);
+        IndexOptions options = suite_options();
+        options.num_shards = shards;
+        options.partition = partition;
+        auto sharded = make_index(backend, options);
+        sharded->build(data.X);
+        EXPECT_EQ(sharded->info().shards, std::min(shards, data.X.rows()));
+        const KnnResult result =
+            sharded->knn_search({.queries = &data.Q, .k = k}).knn;
+        EXPECT_TRUE(testutil::knn_equal(reference, result))
+            << backend << " is not bit-identical to " << inner;
+      }
+    }
+  }
+}
+
+/// The parameterized suite type; test_conformance.cpp instantiates it from
+/// registered_backends() and a coverage test asserts nothing was skipped.
+class ConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+/// gtest-safe test-name suffix for a backend name.
+inline std::string sanitized(std::string name) {
+  for (char& c : name)
+    if (c == '-' || c == ':') c = '_';
+  return name;
+}
+
+}  // namespace rbc::conformance

@@ -1,0 +1,129 @@
+// Corrupt-file regression tests for rbc::load_index's magic dispatch: a
+// truncated, bit-flipped, or length-corrupted stream must fail with a clear
+// std::runtime_error — never UB, an abort, or a garbage-length allocation.
+// Covers every serializable registered backend (including the sharded
+// composite, whose loader recurses through load_index per shard).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "rbc/serialize_io.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+/// Serialized bytes of a small built index for the given backend, or empty
+/// when the backend does not support save.
+std::string saved_bytes(const std::string& backend) {
+  auto index = make_index(backend, {.rbc = {.seed = 51}, .num_shards = 3});
+  index->build(testutil::clustered_matrix(120, 6, 4, 52));
+  if (!index->info().supports_save) return {};
+  std::stringstream stream;
+  index->save(stream);
+  return stream.str();
+}
+
+TEST(CorruptFiles, TruncationAtEveryRegionThrowsCleanly) {
+  for (const std::string& backend : registered_backends()) {
+    const std::string bytes = saved_bytes(backend);
+    if (bytes.empty()) continue;
+    // Cut inside the magic, the header, and the payload, plus one byte
+    // short of complete — each must throw std::runtime_error (and only
+    // that), leaving no UB for the driver to hit.
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{2}, std::size_t{7}, bytes.size() / 3,
+          bytes.size() / 2, bytes.size() - 1}) {
+      SCOPED_TRACE(backend + " truncated to " + std::to_string(cut) +
+                   " of " + std::to_string(bytes.size()) + " bytes");
+      std::stringstream stream(bytes.substr(0, cut));
+      EXPECT_THROW((void)load_index(stream), std::runtime_error);
+    }
+    // The untruncated bytes still load (the cuts failed for the right
+    // reason).
+    std::stringstream intact(bytes);
+    EXPECT_NO_THROW((void)load_index(intact)) << backend;
+  }
+}
+
+TEST(CorruptFiles, UnknownMagicIsRejectedWithAClearError) {
+  std::stringstream garbage("definitely not an rbc index file");
+  try {
+    (void)load_index(garbage);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << "error should mention the magic: " << e.what();
+  }
+
+  std::stringstream empty;
+  EXPECT_THROW((void)load_index(empty), std::runtime_error);
+
+  std::stringstream two_bytes("ab");
+  EXPECT_THROW((void)load_index(two_bytes), std::runtime_error);
+}
+
+TEST(CorruptFiles, GarbageLengthFieldFailsBeforeAllocating) {
+  // A valid magic followed by an absurd matrix header: the loader must
+  // reject the claimed size against the actual stream length instead of
+  // attempting a multi-gigabyte (or overflowing) allocation.
+  std::stringstream stream;
+  io::write_pod(stream, io::kMagicBruteForce);
+  io::write_pod(stream, io::kFormatVersion);
+  io::write_pod(stream, index_t{0xFFFFFFFFu});  // rows
+  io::write_pod(stream, index_t{0xFFFFFFFFu});  // cols
+  EXPECT_THROW((void)load_index(stream), std::runtime_error);
+}
+
+TEST(CorruptFiles, ShardedStreamWithGarbageHeaderCountsFailsBeforeAllocating) {
+  // Bit-flipped num_shards / row-count fields must be rejected against the
+  // actual stream length, not fed to the partition-table allocation.
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicSharded);
+    io::write_pod(stream, io::kFormatVersion);
+    io::write_string(stream, "bruteforce");
+    io::write_string(stream, "contiguous");
+    io::write_pod(stream, index_t{0x7FFFFFFFu});  // num_shards
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicSharded);
+    io::write_pod(stream, io::kFormatVersion);
+    io::write_string(stream, "bruteforce");
+    io::write_string(stream, "contiguous");
+    io::write_pod(stream, index_t{2});            // num_shards
+    io::write_pod(stream, index_t{0xFFFFFFFFu});  // rows
+    io::write_pod(stream, index_t{4});            // dim
+    io::write_pod(stream, std::uint64_t{2});      // stored shard count
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+}
+
+TEST(CorruptFiles, ShardedStreamWithCorruptInnerNameThrows) {
+  // A sharded header whose inner-backend name is garbage is a corrupt
+  // file, reported as runtime_error (not the factory's invalid_argument).
+  std::stringstream stream;
+  io::write_pod(stream, io::kMagicSharded);
+  io::write_pod(stream, io::kFormatVersion);
+  io::write_string(stream, "no-such-backend");
+  io::write_string(stream, "contiguous");
+  io::write_pod(stream, index_t{2});  // num_shards
+  EXPECT_THROW((void)load_index(stream), std::runtime_error);
+}
+
+TEST(CorruptFiles, FlippedMagicByteIsRejected) {
+  const std::string bytes = saved_bytes("rbc-exact");
+  ASSERT_FALSE(bytes.empty());
+  std::string flipped = bytes;
+  flipped[0] = static_cast<char>(flipped[0] ^ 0x5A);
+  std::stringstream stream(flipped);
+  EXPECT_THROW((void)load_index(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rbc

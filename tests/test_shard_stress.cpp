@@ -1,0 +1,100 @@
+// Stress/concurrency: a ShardedIndex serving many client threads through
+// the batching SearchService dispatcher while another thread reads stats
+// and index info. Every answer must match the precomputed reference —
+// coalescing, fan-out, and merge must stay correct under contention. Runs
+// under CTest with a TIMEOUT (see CMakeLists.txt) so a deadlock in the
+// dispatcher/worker/fan-out stack fails the suite instead of hanging it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "serve/service.hpp"
+#include "test_util.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(ShardStress, ManyClientsThroughTheServeDispatcher) {
+  const auto [X, Q] =
+      testutil::split_rows(testutil::clustered_matrix(6'200, 16, 8, 41),
+                           6'000);
+  const index_t k = 5;
+
+  auto index = make_index("sharded:rbc-exact",
+                          {.rbc = {.seed = 42}, .num_shards = 4});
+  index->build(X);
+  const KnnResult reference = index->knn_search({.queries = &Q, .k = k}).knn;
+
+  serve::SearchService service(std::move(index),
+                               {.max_batch = 64, .workers = 2});
+
+  constexpr int kClients = 8, kQueriesPerClient = 250;
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> done{false};
+
+  // Stats reader: hammers the service counters and the (now service-owned)
+  // sharded index's info() while searches are in flight.
+  std::thread reader([&] {
+    std::uint64_t snapshots = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const serve::ServiceStats stats = service.stats();
+      const IndexInfo info = service.index().info();
+      if (info.shards != 4 || info.size != 6'000) mismatches.fetch_add(1);
+      (void)stats;
+      ++snapshots;
+      std::this_thread::yield();
+    }
+    EXPECT_GT(snapshots, 0u);
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      // Each client pipelines single-query submissions over its slice of
+      // the query pool, plus a block submission every 50 queries so both
+      // submit paths hit the dispatcher concurrently.
+      std::vector<std::pair<index_t, std::future<serve::QueryResult>>>
+          singles;
+      std::vector<std::future<KnnResult>> blocks;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const index_t qi =
+            static_cast<index_t>((c * 37 + i * 11) % Q.rows());
+        singles.emplace_back(
+            qi, service.submit({Q.row(qi), Q.cols()}, k));
+        if (i % 50 == 0) blocks.push_back(service.submit_batch(Q, k));
+      }
+      for (auto& [qi, future] : singles) {
+        const serve::QueryResult result = future.get();
+        for (index_t j = 0; j < k; ++j)
+          if (result.ids[j] != reference.ids.at(qi, j) ||
+              result.dists[j] != reference.dists.at(qi, j)) {
+            mismatches.fetch_add(1);
+            break;
+          }
+      }
+      for (std::future<KnnResult>& future : blocks)
+        if (!testutil::knn_equal(reference, future.get()))
+          mismatches.fetch_add(1);
+    });
+
+  for (std::thread& client : clients) client.join();
+  done.store(true);
+  reader.join();
+  service.drain();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent sharded search returned wrong answers";
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_GE(stats.completed,
+            static_cast<std::uint64_t>(kClients) * kQueriesPerClient);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+}  // namespace
+}  // namespace rbc
