@@ -185,15 +185,76 @@ void bench_tile(benchmark::State& state, dispatch::Isa isa, index_t d,
                           dispatch::kTile);
 }
 
+// ------------------------------------------------- metric sweep, per ISA ---
+//
+// The runtime-metric shapes (rows_l1, rows_ip) against their own scalar
+// single-query baselines ("scalar_scan_l1/ref/<d>", "scalar_scan_ip/ref/<d>"
+// — one l1_scalar / dot_scalar call per row). The validator holds every
+// SIMD ISA to >= 2x per evaluation over its baseline, the acceptance bar
+// of the metric-generic API PR.
+
+void bench_scalar_scan_l1(benchmark::State& state, index_t d) {
+  const Matrix<float> db = make_points(kDbRows, d, 9);
+  const Matrix<float> q = make_points(1, d, 10);
+  for (auto _ : state) {
+    float best = kInfDist;
+    for (index_t j = 0; j < kDbRows; ++j) {
+      const float dist = kernels::l1_scalar(q.row(0), db.row(j), d);
+      if (dist < best) best = dist;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows);
+}
+
+void bench_scalar_scan_ip(benchmark::State& state, index_t d) {
+  const Matrix<float> db = make_points(kDbRows, d, 9);
+  const Matrix<float> q = make_points(1, d, 10);
+  for (auto _ : state) {
+    float best = kInfDist;
+    for (index_t j = 0; j < kDbRows; ++j) {
+      const float dist = -kernels::dot_scalar(q.row(0), db.row(j), d);
+      if (dist < best) best = dist;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows);
+}
+
+void bench_rows_metric(benchmark::State& state, dispatch::Isa isa, index_t d,
+                       bool ip) {
+  const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+  const Matrix<float> db = make_points(kDbRows, d, 9);
+  const Matrix<float> q = make_points(1, d, 10);
+  std::vector<float> out(kDbRows);
+  for (auto _ : state) {
+    if (ip)
+      ops.rows_ip(q.row(0), d, db.data(), db.stride(), 0, kDbRows,
+                  out.data());
+    else
+      ops.rows_l1(q.row(0), d, db.data(), db.stride(), 0, kDbRows,
+                  out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows);
+}
+
 void register_dispatch_benches(bool smoke) {
   const std::vector<index_t> dims = {21, 32, 74};
   auto tune = [smoke](benchmark::internal::Benchmark* b) {
     if (smoke) b->Iterations(200);  // schema validation in seconds, not perf
   };
-  for (const index_t d : dims)
+  for (const index_t d : dims) {
     tune(benchmark::RegisterBenchmark(
         ("scalar_scan/ref/" + std::to_string(d)).c_str(),
         [d](benchmark::State& s) { bench_scalar_scan(s, d); }));
+    tune(benchmark::RegisterBenchmark(
+        ("scalar_scan_l1/ref/" + std::to_string(d)).c_str(),
+        [d](benchmark::State& s) { bench_scalar_scan_l1(s, d); }));
+    tune(benchmark::RegisterBenchmark(
+        ("scalar_scan_ip/ref/" + std::to_string(d)).c_str(),
+        [d](benchmark::State& s) { bench_scalar_scan_ip(s, d); }));
+  }
   for (const dispatch::Isa isa :
        {dispatch::Isa::kScalar, dispatch::Isa::kAvx2,
         dispatch::Isa::kAvx512}) {
@@ -210,6 +271,16 @@ void register_dispatch_benches(bool smoke) {
       tune(benchmark::RegisterBenchmark(
           ("tile_gemm/" + suffix).c_str(),
           [isa, d](benchmark::State& s) { bench_tile(s, isa, d, true); }));
+      tune(benchmark::RegisterBenchmark(
+          ("rows_l1/" + suffix).c_str(),
+          [isa, d](benchmark::State& s) {
+            bench_rows_metric(s, isa, d, false);
+          }));
+      tune(benchmark::RegisterBenchmark(
+          ("rows_ip/" + suffix).c_str(),
+          [isa, d](benchmark::State& s) {
+            bench_rows_metric(s, isa, d, true);
+          }));
     }
   }
 }

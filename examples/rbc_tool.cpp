@@ -3,7 +3,8 @@
 //
 //   rbc_tool gen <dataset> <n> <out.bin>
 //   rbc_tool backends
-//   rbc_tool build <db.bin> <index.rbc> [backend] [num_reps|leaf_size]
+//   rbc_tool build [--metric=<m>] <db.bin> <index.rbc> [backend]
+//                  [num_reps|leaf_size]
 //   rbc_tool search <index.rbc> <queries.bin> <k>
 //   rbc_tool eval <db.bin> <queries.bin> <index.rbc>
 //
@@ -15,6 +16,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "data/generators.hpp"
@@ -32,8 +34,8 @@ int usage() {
                "  rbc_tool gen <bio|cov|phy|robot|tiny4|tiny8|tiny16|tiny32> "
                "<n> <out.bin>\n"
                "  rbc_tool backends\n"
-               "  rbc_tool build <db.bin> <index.rbc> [backend] "
-               "[num_reps|leaf_size]\n"
+               "  rbc_tool build [--metric=<l2|l1|cosine|ip>] <db.bin> "
+               "<index.rbc> [backend] [num_reps|leaf_size]\n"
                "  rbc_tool search <index.rbc> <queries.bin> <k>\n"
                "  rbc_tool eval <db.bin> <queries.bin> <index.rbc>\n");
   return 2;
@@ -54,19 +56,38 @@ int cmd_gen(int argc, char** argv) {
 int cmd_backends() {
   for (const std::string& name : registered_backends()) {
     const auto probe = make_index(name);
-    std::printf("%-12s%s\n", name.c_str(),
+    std::string metrics;
+    for (const std::string& m : probe->info().supported_metrics) {
+      if (!metrics.empty()) metrics += ",";
+      metrics += m;
+    }
+    std::printf("%-20s metrics: %-18s%s\n", name.c_str(), metrics.c_str(),
                 probe->info().supports_save ? "" : "  (in-memory only)");
   }
   return 0;
 }
 
 int cmd_build(int argc, char** argv) {
+  // Strip an optional --metric=<m> flag (any position after the command).
+  std::string metric = "l2";
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strncmp(*it, "--metric=", 9) == 0) {
+      metric = *it + 9;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 4 || argc > 6) return usage();
   // Legacy spellings stay valid; any registered backend name works.
   std::string backend = argc >= 5 ? argv[4] : "rbc-exact";
   if (backend == "exact") backend = "rbc-exact";
   if (backend == "oneshot") backend = "rbc-oneshot";
   IndexOptions options;
+  options.metric = metric;
   if (argc == 6) {
     // The optional numeric knob means whatever the backend tunes; reject it
     // for backends that would silently ignore it.
@@ -103,8 +124,9 @@ int cmd_build(int argc, char** argv) {
   }
   index->save(os);
   const IndexInfo info = index->info();
-  std::printf("%s index over %u points: %.1f MB, built in %.2fs\n",
-              info.backend.c_str(), info.size,
+  std::printf("%s index (metric: %s) over %u points: %.1f MB, "
+              "built in %.2fs\n",
+              info.backend.c_str(), info.metric.c_str(), info.size,
               static_cast<double>(info.memory_bytes) / 1e6, timer.seconds());
   return 0;
 }
@@ -128,9 +150,11 @@ int cmd_search(int argc, char** argv) {
   const double elapsed = timer.seconds();
 
   std::printf(
-      "[%s] %u queries x %u-NN in %.3fs (%.1f us/query, %.0f evals/query)\n",
-      index->info().backend.c_str(), Q.rows(), k, elapsed,
-      elapsed / Q.rows() * 1e6, response.stats.dist_evals_per_query());
+      "[%s/%s] %u queries x %u-NN in %.3fs (%.1f us/query, "
+      "%.0f evals/query)\n",
+      index->info().backend.c_str(), index->info().metric.c_str(), Q.rows(),
+      k, elapsed, elapsed / Q.rows() * 1e6,
+      response.stats.dist_evals_per_query());
   const index_t show = std::min<index_t>(Q.rows(), 5);
   for (index_t qi = 0; qi < show; ++qi) {
     std::printf("q%u:", qi);
@@ -154,9 +178,12 @@ int cmd_eval(int argc, char** argv) {
   }
   const auto index = load_index(is);
   const KnnResult result = index->knn_search({.queries = &Q, .k = 1}).knn;
-  std::printf("backend:   %s\nmean rank: %.4f\nrecall@1:  %.4f\n",
-              index->info().backend.c_str(), data::mean_rank(Q, X, result),
-              data::recall_at_1(Q, X, result));
+  const std::string metric = index->info().metric;
+  std::printf("backend:   %s\nmetric:    %s\nmean rank: %.4f\n"
+              "recall@1:  %.4f\n",
+              index->info().backend.c_str(), metric.c_str(),
+              data::mean_rank(Q, X, result, metric),
+              data::recall_at_1(Q, X, result, metric));
   return 0;
 }
 

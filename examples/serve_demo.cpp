@@ -1,8 +1,8 @@
 // Serving demo: N client threads firing single queries at a SearchService,
 // which coalesces them into paper-style query blocks for the backend.
 //
-//   ./serve_demo [backend] [clients] [queries_per_client] [max_batch]
-//   ./serve_demo rbc-exact 8 2000 256
+//   ./serve_demo [backend] [clients] [queries_per_client] [max_batch] [metric]
+//   ./serve_demo rbc-exact 8 2000 256 cosine
 //
 // Each client plays an independent user: it submits one query at a time and
 // waits for the answer (request/response, like a web frontend would). The
@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<index_t>(std::atoi(argv[3])) : 2'000;
   const index_t max_batch =
       argc > 4 ? static_cast<index_t>(std::atoi(argv[4])) : 256;
+  const std::string metric = argc > 5 ? argv[5] : "l2";
   const index_t n = 50'000, dim = 32, k = 5;
 
   // Database and one private query stream per client, all from the same
@@ -40,11 +41,12 @@ int main(int argc, char** argv) {
     streams.push_back(data::make_subspace_clusters(
         per_client, dim, 30, 3, 0.05f, /*seed=*/100 + static_cast<std::uint64_t>(c)));
 
-  auto index = make_index(backend);
+  auto index = make_index(backend, {.metric = metric});
   index->build(database);
   const IndexInfo info = index->info();
-  std::printf("serving %s over %u points in %u dims (kernels: %s)\n",
-              backend.c_str(), n, dim,
+  std::printf("serving %s over %u points in %u dims (metric: %s, "
+              "kernels: %s)\n",
+              backend.c_str(), n, dim, info.metric.c_str(),
               info.kernel_isa.empty() ? "n/a" : info.kernel_isa.c_str());
 
   serve::SearchService service(std::move(index),

@@ -10,20 +10,34 @@ second, plus the per-query scalar baseline "scalar_scan/ref/<d>".
 Checks:
   * schema: context + benchmarks present, every dispatched row has a
     parseable name and a positive items_per_second;
-  * coverage: all three shapes (tile, tile_gemm, rows) x all three paper
-    dims for every ISA that appears, and the scalar ISA always appears
-    (hosts without AVX2/AVX-512 simply lack those rows — accepted);
+  * coverage: all five shapes (tile, tile_gemm, rows, rows_l1, rows_ip) x
+    all three paper dims for every ISA that appears, and the scalar ISA
+    always appears (hosts without AVX2/AVX-512 simply lack those rows —
+    accepted);
   * perf (full runs only; --smoke skips the bars, whose tiny iteration
     counts make timings meaningless): for every SIMD ISA present, each
-    shape beats the scalar single-query scan per evaluation at every dim,
-    and the row-blocked single-query kernel reaches >= 2x — the
-    acceptance bar of the runtime-dispatch PR.
+    shape beats its scalar single-query scan per evaluation at every dim,
+    and the row-blocked single-query kernels — squared-L2 `rows` and the
+    metric sweep's `rows_l1`/`rows_ip` — reach >= 2x, the acceptance bars
+    of the runtime-dispatch and metric-generic-API PRs. The metric shapes
+    compare against their own baselines (scalar_scan_l1 / scalar_scan_ip).
 """
 import json
 import sys
 from pathlib import Path
 
-SHAPES = ("tile", "tile_gemm", "rows")
+SHAPES = ("tile", "tile_gemm", "rows", "rows_l1", "rows_ip")
+# Which scalar single-query baseline each shape's items/s is compared to.
+BASELINE_OF = {
+    "tile": "scalar_scan",
+    "tile_gemm": "scalar_scan",
+    "rows": "scalar_scan",
+    "rows_l1": "scalar_scan_l1",
+    "rows_ip": "scalar_scan_ip",
+}
+BASELINES = tuple(sorted(set(BASELINE_OF.values())))
+# Shapes held to the >= 2x acceptance bar over their baseline.
+TWO_X_SHAPES = ("rows", "rows_l1", "rows_ip")
 DIMS = ("21", "32", "74")
 
 args = [a for a in sys.argv[1:] if a != "--smoke"]
@@ -53,7 +67,7 @@ for row in benches or []:
     name = row.get("name", "")
     # Fixed-iteration runs (--smoke) carry an "/iterations:N" suffix.
     parts = [p for p in name.split("/") if not p.startswith("iterations:")]
-    if len(parts) != 3 or parts[0] not in SHAPES + ("scalar_scan",):
+    if len(parts) != 3 or parts[0] not in SHAPES + BASELINES:
         continue  # static micro-benchmarks (BM_*) are not validated here
     shape, isa, dim = parts
     ips = row.get("items_per_second")
@@ -65,8 +79,9 @@ for row in benches or []:
 isas = sorted({isa for (_, isa, _) in throughput} - {"ref"})
 expect("scalar" in isas, "scalar ISA rows missing (always compiled)")
 for dim in DIMS:
-    expect(("scalar_scan", "ref", dim) in throughput,
-           f"baseline scalar_scan/ref/{dim} missing")
+    for baseline in BASELINES:
+        expect((baseline, "ref", dim) in throughput,
+               f"baseline {baseline}/ref/{dim} missing")
 for isa in isas:
     for shape in SHAPES:
         for dim in DIMS:
@@ -78,16 +93,16 @@ if not smoke and not errors:
         if isa == "scalar":
             continue  # the scalar table IS the baseline's class
         for dim in DIMS:
-            base = throughput[("scalar_scan", "ref", dim)]
             for shape in SHAPES:
+                base = throughput[(BASELINE_OF[shape], "ref", dim)]
                 ratio = throughput[(shape, isa, dim)] / base
                 expect(ratio >= 1.0,
                        f"{shape}/{isa}/{dim}: {ratio:.2f}x — SIMD shape "
-                       f"slower than the scalar scan")
-            rows_ratio = throughput[("rows", isa, dim)] / base
-            expect(rows_ratio >= 2.0,
-                   f"rows/{isa}/{dim}: {rows_ratio:.2f}x < 2x acceptance "
-                   f"bar over scalar_scan")
+                       f"slower than {BASELINE_OF[shape]}")
+                if shape in TWO_X_SHAPES:
+                    expect(ratio >= 2.0,
+                           f"{shape}/{isa}/{dim}: {ratio:.2f}x < 2x "
+                           f"acceptance bar over {BASELINE_OF[shape]}")
 
 if errors:
     print(f"{path}: INVALID")
@@ -99,9 +114,10 @@ summary = []
 for isa in isas:
     if isa == "scalar":
         continue
-    ratios = [throughput[("rows", isa, d)] /
-              throughput[("scalar_scan", "ref", d)] for d in DIMS]
-    summary.append(f"{isa} rows {min(ratios):.1f}-{max(ratios):.1f}x")
+    for shape in TWO_X_SHAPES:
+        ratios = [throughput[(shape, isa, d)] /
+                  throughput[(BASELINE_OF[shape], "ref", d)] for d in DIMS]
+        summary.append(f"{isa} {shape} {min(ratios):.1f}-{max(ratios):.1f}x")
 mode = "smoke" if smoke else "full"
 print(f"{path}: valid ({mode}, ISAs: {', '.join(isas)}"
       f"{'; ' + '; '.join(summary) if summary else ''})")

@@ -1,11 +1,19 @@
 // "bruteforce" backend: BF(Q, X) as an Index. The reference answer every
 // exact backend must match, and the baseline every speedup is measured
 // against. Owns a copy of the database; supports range search and
-// serialization (the format is just the matrix).
+// serialization (the format is the metric tag plus the matrix).
+//
+// The full metric matrix lives here: "l2" and "l1" scan directly through
+// the dispatched kernels, "cosine" is L2 over unit-normalized rows (rows
+// normalized once at build, queries per batch, distances converted back),
+// and "ip" — which no pruning structure can serve — ranks by negated dot
+// product. This is the only backend that accepts "ip".
+#include <cmath>
 #include <istream>
 #include <ostream>
 
 #include "api/backends/backends.hpp"
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "bruteforce/bf.hpp"
 #include "distance/dispatch.hpp"
@@ -17,19 +25,44 @@ namespace {
 
 class BruteForceBackend final : public Index {
  public:
+  explicit BruteForceBackend(const IndexOptions& options)
+      : kind_(metric::require(
+            "bruteforce", options.metric,
+            {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine,
+             metric::Kind::kIp})) {}
+
   void build(const Matrix<float>& X) override {
     db_ = X.clone();
+    // Cosine = L2 on unit rows: the one-time build transform.
+    if (kind_ == metric::Kind::kCosine) metric::normalize_rows(db_);
     // Row norms once at build: the tiled batch path's GEMM-form corrections
-    // (an O(n d) pass that must not be paid per search).
+    // and the ip prefilter's max-norm slack (an O(n d) pass that must not
+    // be paid per search).
     norms_ = make_row_norms_cache(db_);
     built_ = true;  // an empty database is a valid built state (k-NN against
                     // it is a request error: k > size for every k >= 1)
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, db_.cols(), db_.rows(), built_, "bruteforce");
+    validate_knn(request, db_.cols(), db_.rows(), built_, "bruteforce",
+                 metric::name(kind_));
     SearchResponse response;
-    response.knn = bf_knn(*request.queries, db_, request.k, {}, &norms_);
+    const metric::QueryTransform q(kind_, *request.queries);
+    switch (kind_) {
+      case metric::Kind::kL2:
+      case metric::Kind::kCosine:
+        response.knn = bf_knn(q.queries(), db_, request.k, Euclidean{},
+                              &norms_);
+        break;
+      case metric::Kind::kL1:
+        response.knn = bf_knn(q.queries(), db_, request.k, L1{});
+        break;
+      case metric::Kind::kIp:
+        response.knn = bf_knn(q.queries(), db_, request.k, InnerProduct{},
+                              &norms_);
+        break;
+    }
+    q.finish(response.knn.dists);
     if (request.options.collect_stats) {
       response.stats.queries = request.queries->rows();
       response.stats.list_dist_evals =
@@ -39,16 +72,34 @@ class BruteForceBackend final : public Index {
   }
 
   RangeResponse range_search(const RangeRequest& request) const override {
-    validate_range(request, db_.cols(), built_, "bruteforce");
-    const Matrix<float>& Q = *request.queries;
-    const Euclidean metric{};
+    validate_range(request, db_.cols(), built_, "bruteforce",
+                   metric::name(kind_));
+    // Cosine: normalized queries against the (already normalized) rows,
+    // with the radius mapped into the normalized-L2 space.
+    const metric::QueryTransform qt(kind_, *request.queries);
+    const Matrix<float>& Q = qt.queries();
+    const float radius = qt.radius(request.radius);
+
     RangeResponse response;
     response.ids.resize(Q.rows());
     parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
       const float* q = Q.row(qi);
-      for (index_t j = 0; j < db_.rows(); ++j)
-        if (metric(q, db_.row(j), db_.cols()) <= request.radius)
-          response.ids[qi].push_back(j);
+      for (index_t j = 0; j < db_.rows(); ++j) {
+        float d = 0.0f;
+        switch (kind_) {
+          case metric::Kind::kL2:
+          case metric::Kind::kCosine:
+            d = Euclidean{}(q, db_.row(j), db_.cols());
+            break;
+          case metric::Kind::kL1:
+            d = L1{}(q, db_.row(j), db_.cols());
+            break;
+          case metric::Kind::kIp:
+            d = InnerProduct{}(q, db_.row(j), db_.cols());
+            break;
+        }
+        if (d <= radius) response.ids[qi].push_back(j);
+      }
     });
     counters::add_dist_evals(static_cast<std::uint64_t>(Q.rows()) *
                              db_.rows());
@@ -62,15 +113,23 @@ class BruteForceBackend final : public Index {
 
   void save(std::ostream& os) const override {
     io::write_pod(os, io::kMagicBruteForce);
-    io::write_pod(os, io::kFormatVersion);
+    io::write_metric_header(os, metric::name(kind_));
     io::write_matrix(os, db_);
   }
 
   static std::unique_ptr<Index> load(std::istream& is) {
     io::expect_pod(is, io::kMagicBruteForce, "bruteforce magic");
-    io::expect_pod(is, io::kFormatVersion, "bruteforce version");
-    auto index = std::make_unique<BruteForceBackend>();
-    index->db_ = io::read_matrix(is);
+    const std::string metric_name =
+        io::read_metric_header(is, "bruteforce header");
+    metric::Kind kind{};
+    if (!metric::lookup(metric_name, kind))
+      throw std::runtime_error(
+          "rbc::io: corrupt bruteforce stream (unknown metric tag '" +
+          metric_name + "')");
+    IndexOptions options;
+    options.metric = metric_name;
+    auto index = std::make_unique<BruteForceBackend>(options);
+    index->db_ = io::read_matrix(is);  // cosine rows were saved normalized
     index->norms_ = make_row_norms_cache(index->db_);  // derived, not stored
     index->built_ = true;
     return index;
@@ -79,6 +138,10 @@ class BruteForceBackend final : public Index {
   IndexInfo info() const override {
     IndexInfo info;
     info.backend = "bruteforce";
+    info.metric = metric::name(kind_);
+    info.supported_metrics =
+        metric::names({metric::Kind::kL2, metric::Kind::kL1,
+                       metric::Kind::kCosine, metric::Kind::kIp});
     info.size = db_.rows();
     info.dim = db_.cols();
     info.exact = true;
@@ -90,6 +153,7 @@ class BruteForceBackend final : public Index {
   }
 
  private:
+  metric::Kind kind_;
   Matrix<float> db_;
   RowNormsCache norms_;
   bool built_ = false;
@@ -102,8 +166,8 @@ class BruteForceBackend final : public Index {
 void register_bruteforce() {
   register_backend(
       {.name = "bruteforce",
-       .create = [](const IndexOptions&) -> std::unique_ptr<Index> {
-         return std::make_unique<BruteForceBackend>();
+       .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
+         return std::make_unique<BruteForceBackend>(options);
        },
        .magic = io::kMagicBruteForce,
        .load = BruteForceBackend::load});

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "api/backends/backends.hpp"
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "gpu/gpu_bf.hpp"
 #include "gpu/gpu_rbc.hpp"
@@ -32,7 +33,10 @@ class GpuBfBackend final : public Index {
  public:
   explicit GpuBfBackend(const IndexOptions& options)
       : device_(std::make_unique<simt::Device>(options.gpu_workers)),
-        threads_per_block_(options.gpu_threads_per_block) {}
+        threads_per_block_(options.gpu_threads_per_block) {
+    // Device kernels are fixed-function squared-L2 pipelines: l2 only.
+    metric::require("gpu-bf", options.metric, {metric::Kind::kL2});
+  }
 
   void build(const Matrix<float>& X) override {
     n_ = X.rows();
@@ -42,7 +46,7 @@ class GpuBfBackend final : public Index {
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, dim_, n_, built_, "gpu-bf");
+    validate_knn(request, dim_, n_, built_, "gpu-bf", "l2");
     check_gpu_k(request.k, "gpu-bf");
     const gpu::GpuMatrix q = gpu::upload_matrix(*device_, *request.queries);
     SearchResponse response;
@@ -80,7 +84,9 @@ class GpuOneShotBackend final : public Index {
   explicit GpuOneShotBackend(const IndexOptions& options)
       : device_(std::make_unique<simt::Device>(options.gpu_workers)),
         params_(options.rbc),
-        threads_per_block_(options.gpu_threads_per_block) {}
+        threads_per_block_(options.gpu_threads_per_block) {
+    metric::require("gpu-oneshot", options.metric, {metric::Kind::kL2});
+  }
 
   void build(const Matrix<float>& X) override {
     // Build on the host (offline step), upload once, discard the host index.
@@ -92,7 +98,7 @@ class GpuOneShotBackend final : public Index {
 
   SearchResponse knn_search(const SearchRequest& request) const override {
     validate_knn(request, index_ ? index_->dim() : 0, n_, index_ != nullptr,
-                 "gpu-oneshot");
+                 "gpu-oneshot", "l2");
     check_gpu_k(request.k, "gpu-oneshot");
     const gpu::GpuMatrix q = gpu::upload_matrix(*device_, *request.queries);
     SearchResponse response;

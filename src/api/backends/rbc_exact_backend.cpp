@@ -1,15 +1,24 @@
 // "rbc-exact" backend: the paper's exact Random Ball Cover behind the
-// unified interface. Thin adapter — build/search/save all forward to
-// RbcExactIndex<Euclidean>, whose serialization format (kMagicExact) is
-// reused unchanged, so files written by the concrete class load through
-// rbc::load_index() and vice versa.
+// unified interface. The RBC prune rules are triangle-inequality arguments,
+// so the backend serves exactly the true metrics: "l2" and "l1" map to the
+// matching RbcExactIndex<M> instantiation, and "cosine" runs as
+// RbcExactIndex<Euclidean> over unit-normalized rows (queries normalized
+// per batch, distances converted back) — the pruning operates on a genuine
+// metric space, so exactness is inherited rather than re-proved.
+//
+// Serialization wraps the concrete class's own format in a version-2
+// header (magic, version, metric tag, nested concrete stream); version-1
+// files — written before metrics were runtime-selectable — load as "l2".
 #include <istream>
 #include <ostream>
+#include <variant>
 
 #include "api/backends/backends.hpp"
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "distance/dispatch.hpp"
 #include "rbc/rbc_exact.hpp"
+#include "rbc/serialize_io.hpp"
 
 namespace rbc::backends {
 
@@ -18,40 +27,92 @@ namespace {
 class RbcExactBackend final : public Index {
  public:
   explicit RbcExactBackend(const IndexOptions& options)
-      : params_(options.rbc) {}
+      : kind_(metric::require(
+            "rbc-exact", options.metric,
+            {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine})),
+        params_(options.rbc) {
+    if (kind_ == metric::Kind::kL1) index_.emplace<RbcExactIndex<L1>>();
+  }
 
   void build(const Matrix<float>& X) override {
-    index_.build(X, params_);
+    if (kind_ == metric::Kind::kCosine) {
+      std::get<RbcExactIndex<Euclidean>>(index_).build(
+          metric::normalized_clone(X), params_);
+    } else {
+      std::visit([&](auto& index) { index.build(X, params_); }, index_);
+    }
     built_ = true;
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, index_.dim(), index_.size(), built_, "rbc-exact");
+    validate_knn(request, dim(), size(), built_, "rbc-exact",
+                 metric::name(kind_));
     SearchResponse response;
-    response.knn = index_.search(
-        *request.queries, request.k,
-        request.options.collect_stats ? &response.stats : nullptr);
+    SearchStats* stats =
+        request.options.collect_stats ? &response.stats : nullptr;
+    const metric::QueryTransform q(kind_, *request.queries);
+    response.knn = std::visit(
+        [&](const auto& index) {
+          return index.search(q.queries(), request.k, stats);
+        },
+        index_);
+    q.finish(response.knn.dists);
     return response;
   }
 
   RangeResponse range_search(const RangeRequest& request) const override {
-    validate_range(request, index_.dim(), built_, "rbc-exact");
-    const Matrix<float>& Q = *request.queries;
+    validate_range(request, dim(), built_, "rbc-exact", metric::name(kind_));
+    // Cosine: normalized queries, radius mapped into normalized-L2 space.
+    const metric::QueryTransform qt(kind_, *request.queries);
+    const Matrix<float>& Q = qt.queries();
+    const float radius = qt.radius(request.radius);
     RangeResponse response;
     response.ids.resize(Q.rows());
-    parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
-      response.ids[qi] = index_.range_search(Q.row(qi), request.radius);
-    });
+    std::visit(
+        [&](const auto& index) {
+          parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+            response.ids[qi] = index.range_search(Q.row(qi), radius);
+          });
+        },
+        index_);
     if (request.options.collect_stats) response.stats.queries = Q.rows();
     return response;
   }
 
-  void save(std::ostream& os) const override { index_.save(os); }
+  void save(std::ostream& os) const override {
+    io::write_pod(os, io::kMagicExact);
+    io::write_metric_header(os, metric::name(kind_));
+    std::visit([&](const auto& index) { index.save(os); }, index_);
+  }
 
   static std::unique_ptr<Index> load(std::istream& is) {
-    auto backend = std::make_unique<RbcExactBackend>(IndexOptions{});
-    backend->index_ = RbcExactIndex<Euclidean>::load(is);
-    backend->params_ = backend->index_.params();
+    const std::istream::pos_type start = is.tellg();
+    io::expect_pod(is, io::kMagicExact, "rbc-exact magic");
+    bool legacy = false;
+    const std::string metric_name =
+        io::read_metric_header(is, "rbc-exact header", &legacy);
+    metric::Kind kind{};
+    if (!metric::lookup(metric_name, kind) || kind == metric::Kind::kIp)
+      throw std::runtime_error(
+          "rbc::io: corrupt rbc-exact stream (bad metric tag '" +
+          metric_name + "')");
+    // Version-1 files are a bare concrete stream: rewind so the concrete
+    // loader re-verifies its own (magic, version, metric) header.
+    if (legacy) {
+      is.seekg(start);
+      if (!is)
+        throw std::runtime_error(
+            "rbc::load_index: stream must be seekable");
+    }
+    IndexOptions options;
+    options.metric = metric_name;
+    auto backend = std::make_unique<RbcExactBackend>(options);
+    if (kind == metric::Kind::kL1)
+      backend->index_ = RbcExactIndex<L1>::load(is);
+    else
+      backend->index_ = RbcExactIndex<Euclidean>::load(is);
+    backend->params_ = std::visit(
+        [](const auto& index) { return index.params(); }, backend->index_);
     backend->built_ = true;
     return backend;
   }
@@ -59,20 +120,35 @@ class RbcExactBackend final : public Index {
   IndexInfo info() const override {
     IndexInfo info;
     info.backend = "rbc-exact";
-    info.size = index_.size();
-    info.dim = index_.dim();
+    info.metric = metric::name(kind_);
+    info.supported_metrics = metric::names(
+        {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine});
+    info.size = size();
+    info.dim = dim();
     // approx_eps > 0 switches the index to (1+eps)-approximate pruning.
     info.exact = params_.approx_eps == 0.0f;
     info.supports_range = true;
     info.supports_save = true;
-    info.memory_bytes = built_ ? index_.memory_bytes() : 0;
+    info.memory_bytes =
+        built_ ? std::visit(
+                     [](const auto& index) { return index.memory_bytes(); },
+                     index_)
+               : 0;
     info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
     return info;
   }
 
  private:
+  index_t size() const {
+    return std::visit([](const auto& index) { return index.size(); }, index_);
+  }
+  index_t dim() const {
+    return std::visit([](const auto& index) { return index.dim(); }, index_);
+  }
+
+  metric::Kind kind_;
   RbcParams params_;
-  RbcExactIndex<Euclidean> index_;
+  std::variant<RbcExactIndex<Euclidean>, RbcExactIndex<L1>> index_;
   bool built_ = false;
 };
 

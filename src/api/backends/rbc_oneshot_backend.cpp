@@ -1,13 +1,20 @@
 // "rbc-oneshot" backend: the paper's probabilistic one-shot Random Ball
 // Cover behind the unified interface (exact = false: Theorem 2 recall, not a
-// guarantee). Reuses the concrete class's kMagicOneShot serialization.
+// guarantee). Metric support mirrors rbc-exact — "l2"/"l1" pick the
+// matching RbcOneShotIndex<M> instantiation, "cosine" is the Euclidean
+// index over unit-normalized rows — and the serialization wraps the
+// concrete kMagicOneShot format in the version-2 metric header (version-1
+// files load as "l2").
 #include <istream>
 #include <ostream>
+#include <variant>
 
 #include "api/backends/backends.hpp"
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "distance/dispatch.hpp"
 #include "rbc/rbc_oneshot.hpp"
+#include "rbc/serialize_io.hpp"
 
 namespace rbc::backends {
 
@@ -16,29 +23,71 @@ namespace {
 class RbcOneShotBackend final : public Index {
  public:
   explicit RbcOneShotBackend(const IndexOptions& options)
-      : params_(options.rbc) {}
+      : kind_(metric::require(
+            "rbc-oneshot", options.metric,
+            {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine})),
+        params_(options.rbc) {
+    if (kind_ == metric::Kind::kL1) index_.emplace<RbcOneShotIndex<L1>>();
+  }
 
   void build(const Matrix<float>& X) override {
-    index_.build(X, params_);
+    if (kind_ == metric::Kind::kCosine) {
+      std::get<RbcOneShotIndex<Euclidean>>(index_).build(
+          metric::normalized_clone(X), params_);
+    } else {
+      std::visit([&](auto& index) { index.build(X, params_); }, index_);
+    }
     built_ = true;
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, index_.dim(), index_.size(), built_,
-                 "rbc-oneshot");
+    validate_knn(request, dim(), size(), built_, "rbc-oneshot",
+                 metric::name(kind_));
     SearchResponse response;
-    response.knn = index_.search(
-        *request.queries, request.k,
-        request.options.collect_stats ? &response.stats : nullptr);
+    SearchStats* stats =
+        request.options.collect_stats ? &response.stats : nullptr;
+    const metric::QueryTransform q(kind_, *request.queries);
+    response.knn = std::visit(
+        [&](const auto& index) {
+          return index.search(q.queries(), request.k, stats);
+        },
+        index_);
+    q.finish(response.knn.dists);
     return response;
   }
 
-  void save(std::ostream& os) const override { index_.save(os); }
+  void save(std::ostream& os) const override {
+    io::write_pod(os, io::kMagicOneShot);
+    io::write_metric_header(os, metric::name(kind_));
+    std::visit([&](const auto& index) { index.save(os); }, index_);
+  }
 
   static std::unique_ptr<Index> load(std::istream& is) {
-    auto backend = std::make_unique<RbcOneShotBackend>(IndexOptions{});
-    backend->index_ = RbcOneShotIndex<Euclidean>::load(is);
-    backend->params_ = backend->index_.params();
+    const std::istream::pos_type start = is.tellg();
+    io::expect_pod(is, io::kMagicOneShot, "rbc-oneshot magic");
+    bool legacy = false;
+    const std::string metric_name =
+        io::read_metric_header(is, "rbc-oneshot header", &legacy);
+    metric::Kind kind{};
+    if (!metric::lookup(metric_name, kind) || kind == metric::Kind::kIp)
+      throw std::runtime_error(
+          "rbc::io: corrupt rbc-oneshot stream (bad metric tag '" +
+          metric_name + "')");
+    if (legacy) {
+      is.seekg(start);
+      if (!is)
+        throw std::runtime_error(
+            "rbc::load_index: stream must be seekable");
+    }
+    IndexOptions options;
+    options.metric = metric_name;
+    auto backend = std::make_unique<RbcOneShotBackend>(options);
+    if (kind == metric::Kind::kL1)
+      backend->index_ = RbcOneShotIndex<L1>::load(is);
+    else
+      backend->index_ = RbcOneShotIndex<Euclidean>::load(is);
+    backend->params_ = std::visit(
+        [](const auto& index) { return index.params(); }, backend->index_);
     backend->built_ = true;
     return backend;
   }
@@ -46,19 +95,34 @@ class RbcOneShotBackend final : public Index {
   IndexInfo info() const override {
     IndexInfo info;
     info.backend = "rbc-oneshot";
-    info.size = index_.size();
-    info.dim = index_.dim();
+    info.metric = metric::name(kind_);
+    info.supported_metrics = metric::names(
+        {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine});
+    info.size = size();
+    info.dim = dim();
     info.exact = false;  // probabilistic recall (paper Theorem 2)
     info.supports_range = false;
     info.supports_save = true;
-    info.memory_bytes = built_ ? index_.memory_bytes() : 0;
+    info.memory_bytes =
+        built_ ? std::visit(
+                     [](const auto& index) { return index.memory_bytes(); },
+                     index_)
+               : 0;
     info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
     return info;
   }
 
  private:
+  index_t size() const {
+    return std::visit([](const auto& index) { return index.size(); }, index_);
+  }
+  index_t dim() const {
+    return std::visit([](const auto& index) { return index.dim(); }, index_);
+  }
+
+  metric::Kind kind_;
   RbcParams params_;
-  RbcOneShotIndex<Euclidean> index_;
+  std::variant<RbcOneShotIndex<Euclidean>, RbcOneShotIndex<L1>> index_;
   bool built_ = false;
 };
 

@@ -4,12 +4,23 @@
 // database, batch the serial per-query knn() in parallel, and serialize the
 // database plus build knobs, rebuilding deterministically on load (the
 // restored tree is identical). A traits struct supplies what differs — the
-// tree type, registry name, format magic, and which IndexOptions knobs the
-// build consumes and the file persists.
+// tree variant type, registry name, format magic, supported metric set, and
+// which IndexOptions knobs the build consumes and the file persists.
+//
+// Metrics: trees prune with the triangle inequality, so only true metrics
+// qualify. The metric ball tree and cover tree are metric-generic templates
+// and serve "l1" through their L1 instantiations; the kd-tree's
+// axis-aligned split planes bound L2 distances specifically, so it stays
+// "l2"-shaped. All three serve "cosine" as L2 over unit-normalized rows
+// (the shared build/query transform of api/metrics.hpp) with distances
+// converted back after search.
 #include <istream>
 #include <ostream>
+#include <span>
+#include <variant>
 
 #include "api/backends/backends.hpp"
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "baselines/balltree.hpp"
 #include "baselines/covertree.hpp"
@@ -23,21 +34,29 @@ namespace {
 template <class Traits>
 class TreeBackend final : public Index {
  public:
-  explicit TreeBackend(const IndexOptions& options) : options_(options) {}
+  explicit TreeBackend(const IndexOptions& options)
+      : kind_(metric::require(Traits::kName, options.metric,
+                              Traits::supported())),
+        options_(options) {}
 
   void build(const Matrix<float>& X) override {
-    db_ = X.clone();
-    Traits::build(tree_, db_, options_);
+    db_ = kind_ == metric::Kind::kCosine ? metric::normalized_clone(X)
+                                         : X.clone();
+    Traits::build(tree_, db_, options_, kind_);
     built_ = true;
   }
 
   SearchResponse knn_search(const SearchRequest& request) const override {
-    validate_knn(request, db_.cols(), db_.rows(), built_, Traits::kName);
+    validate_knn(request, db_.cols(), db_.rows(), built_, Traits::kName,
+                 metric::name(kind_));
+    const metric::QueryTransform qt(kind_, *request.queries);
     SearchResponse response;
-    response.knn = batch_knn(*request.queries, request.k,
-                             [&](const float* q, TopK& top) {
-                               tree_.knn(q, request.k, top);
-                             });
+    response.knn =
+        batch_knn(qt.queries(), request.k, [&](const float* q, TopK& top) {
+          std::visit([&](const auto& tree) { tree.knn(q, request.k, top); },
+                     tree_);
+        });
+    qt.finish(response.knn.dists);
     if (request.options.collect_stats)
       response.stats.queries = request.queries->rows();
     return response;
@@ -45,24 +64,42 @@ class TreeBackend final : public Index {
 
   void save(std::ostream& os) const override {
     io::write_pod(os, Traits::kMagic);
-    io::write_pod(os, io::kFormatVersion);
+    io::write_metric_header(os, metric::name(kind_));
     Traits::save_knobs(os, options_);
-    io::write_matrix(os, db_);
+    io::write_matrix(os, db_);  // cosine rows stored normalized
   }
 
   static std::unique_ptr<Index> load(std::istream& is) {
     io::expect_pod(is, Traits::kMagic, Traits::kName);
-    io::expect_pod(is, io::kFormatVersion, Traits::kName);
+    const std::string metric_name =
+        io::read_metric_header(is, Traits::kName);
     IndexOptions options;
+    options.metric = metric_name;
     Traits::load_knobs(is, options);
-    auto backend = std::make_unique<TreeBackend>(options);
-    backend->build(io::read_matrix(is));
+    // A bad metric tag is file corruption (runtime_error), not the
+    // caller-facing invalid_argument the constructor throws.
+    std::unique_ptr<TreeBackend> backend;
+    try {
+      backend = std::make_unique<TreeBackend>(options);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("rbc::io: corrupt ") +
+                               Traits::kName + " stream (" + e.what() + ")");
+    }
+    // The stored rows already carry the build transform (cosine rows were
+    // saved normalized) — adopt them as-is instead of calling build(),
+    // which would re-normalize and perturb the restored tree's bits.
+    backend->db_ = io::read_matrix(is);
+    Traits::build(backend->tree_, backend->db_, backend->options_,
+                  backend->kind_);
+    backend->built_ = true;
     return backend;
   }
 
   IndexInfo info() const override {
     IndexInfo info;
     info.backend = Traits::kName;
+    info.metric = metric::name(kind_);
+    info.supported_metrics = metric::names(Traits::supported());
     info.size = db_.rows();
     info.dim = db_.cols();
     info.exact = true;
@@ -73,6 +110,7 @@ class TreeBackend final : public Index {
   }
 
  private:
+  metric::Kind kind_;
   IndexOptions options_;
   Matrix<float> db_;
   typename Traits::Tree tree_;
@@ -80,12 +118,18 @@ class TreeBackend final : public Index {
 };
 
 struct KdTreeTraits {
-  using Tree = KdTree;
+  using Tree = std::variant<KdTree>;
   static constexpr const char* kName = "kdtree";
   static constexpr std::uint32_t kMagic = io::kMagicKdTree;
+  // Axis-aligned split planes bound L2 distances only: no "l1".
+  static std::span<const metric::Kind> supported() {
+    static constexpr metric::Kind kSet[] = {metric::Kind::kL2,
+                                            metric::Kind::kCosine};
+    return kSet;
+  }
   static void build(Tree& tree, const Matrix<float>& db,
-                    const IndexOptions& options) {
-    tree.build(db, options.leaf_size);
+                    const IndexOptions& options, metric::Kind) {
+    tree.emplace<KdTree>().build(db, options.leaf_size);
   }
   static void save_knobs(std::ostream& os, const IndexOptions& options) {
     io::write_pod(os, options.leaf_size);
@@ -96,12 +140,22 @@ struct KdTreeTraits {
 };
 
 struct BallTreeTraits {
-  using Tree = BallTree<Euclidean>;
+  using Tree = std::variant<BallTree<Euclidean>, BallTree<L1>>;
   static constexpr const char* kName = "balltree";
   static constexpr std::uint32_t kMagic = io::kMagicBallTree;
+  static std::span<const metric::Kind> supported() {
+    static constexpr metric::Kind kSet[] = {
+        metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine};
+    return kSet;
+  }
   static void build(Tree& tree, const Matrix<float>& db,
-                    const IndexOptions& options) {
-    tree.build(db, options.leaf_size, {}, options.seed);
+                    const IndexOptions& options, metric::Kind kind) {
+    if (kind == metric::Kind::kL1)
+      tree.emplace<BallTree<L1>>().build(db, options.leaf_size, {},
+                                         options.seed);
+    else
+      tree.emplace<BallTree<Euclidean>>().build(db, options.leaf_size, {},
+                                                options.seed);
   }
   // The pivot-pair sampling seed must be persisted for the restored tree to
   // be identical.
@@ -116,12 +170,20 @@ struct BallTreeTraits {
 };
 
 struct CoverTreeTraits {
-  using Tree = CoverTree<Euclidean>;
+  using Tree = std::variant<CoverTree<Euclidean>, CoverTree<L1>>;
   static constexpr const char* kName = "covertree";
   static constexpr std::uint32_t kMagic = io::kMagicCoverTree;
+  static std::span<const metric::Kind> supported() {
+    static constexpr metric::Kind kSet[] = {
+        metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine};
+    return kSet;
+  }
   static void build(Tree& tree, const Matrix<float>& db,
-                    const IndexOptions&) {
-    tree.build(db);
+                    const IndexOptions&, metric::Kind kind) {
+    if (kind == metric::Kind::kL1)
+      tree.emplace<CoverTree<L1>>().build(db);
+    else
+      tree.emplace<CoverTree<Euclidean>>().build(db);
   }
   static void save_knobs(std::ostream&, const IndexOptions&) {}
   static void load_knobs(std::istream&, IndexOptions&) {}

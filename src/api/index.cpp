@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace rbc {
 
@@ -33,11 +34,24 @@ void validate_queries(const Matrix<float>* queries, index_t dim, bool built,
                       " != index dimension " + std::to_string(dim));
 }
 
+// The metric-assertion check of SearchOptions::metric, shared by every
+// backend (keeping it here, not copied per backend, is what makes the
+// mismatch message uniform).
+void validate_metric(const SearchOptions& options, std::string_view metric,
+                     const char* backend) {
+  if (!options.metric.empty() && options.metric != metric)
+    fail(backend, "request assumes metric '" + options.metric +
+                      "' but the index was built with '" +
+                      std::string(metric) + "'");
+}
+
 }  // namespace
 
 void Index::validate_knn(const SearchRequest& request, index_t dim,
-                         index_t size, bool built, const char* backend) {
+                         index_t size, bool built, const char* backend,
+                         std::string_view metric) {
   validate_queries(request.queries, dim, built, backend);
+  validate_metric(request.options, metric, backend);
   if (request.k == 0) fail(backend, "request.k must be >= 1");
   // k > n is a request error everywhere (not backend-specific padding or
   // UB): an index over n points cannot name more than n neighbors.
@@ -47,9 +61,16 @@ void Index::validate_knn(const SearchRequest& request, index_t dim,
 }
 
 void Index::validate_range(const RangeRequest& request, index_t dim,
-                           bool built, const char* backend) {
+                           bool built, const char* backend,
+                           std::string_view metric) {
   validate_queries(request.queries, dim, built, backend);
-  if (request.radius < 0) fail(backend, "request.radius must be >= 0");
+  validate_metric(request.options, metric, backend);
+  // Under "ip" the radius is a negated-dot threshold (hits satisfy
+  // dot(q, x) >= -radius), so every useful similarity cutoff is a
+  // *negative* radius — the non-negativity rule applies to real metrics
+  // only.
+  if (request.radius < 0 && metric != "ip")
+    fail(backend, "request.radius must be >= 0");
 }
 
 }  // namespace rbc

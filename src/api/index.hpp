@@ -10,13 +10,17 @@
 // (RbcExactIndex<M>, BallTree<M>, ...) remain the zero-overhead way to use a
 // known backend with a non-default metric; this interface is the stable
 // boundary for cross-backend code (benchmarks, tools, serving layers,
-// sharding — see ROADMAP.md). Type-erased backends fix the metric to
-// Euclidean, the metric of all of the paper's experiments.
+// sharding — see ROADMAP.md). The metric is a first-class runtime property
+// of this layer: IndexOptions::metric selects it, backends declare the
+// subset they support (IndexInfo::supported_metrics; see api/metrics.hpp),
+// and unsupported pairs fail uniformly at make_index() time.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "api/search.hpp"
 #include "common/types.hpp"
@@ -29,6 +33,15 @@ namespace rbc {
 /// (documented per field). Defaults reproduce each backend's stand-alone
 /// defaults.
 struct IndexOptions {
+  /// Distance metric the index is built for — a registry name from
+  /// api/metrics.hpp ("l2", "l1", "cosine", "ip"). Every backend supports
+  /// "l2"; the supported set is declared in IndexInfo::supported_metrics,
+  /// and make_index() throws std::invalid_argument (uniform message shape)
+  /// for an unknown or unsupported name. "ip" is brute-force only; trees
+  /// and RBC require true metrics ("cosine" is served as L2 over
+  /// normalized rows, so their pruning stays correct).
+  std::string metric = "l2";
+
   /// rbc-exact / rbc-oneshot / gpu-oneshot: representative count, pruning
   /// rules, approximation knobs.
   RbcParams rbc{};
@@ -61,7 +74,11 @@ struct IndexOptions {
 /// Static metadata and capabilities of a (built) index.
 struct IndexInfo {
   std::string backend;        ///< registry name ("rbc-exact", "kdtree", ...)
-  std::string metric = "l2";  ///< metric name (type-erased layer: always l2)
+  std::string metric = "l2";  ///< metric this instance was built with
+  /// Metric names this backend accepts in IndexOptions::metric, in
+  /// registry order (api/metrics.hpp). Sharded composites report the inner
+  /// backend's set.
+  std::vector<std::string> supported_metrics{"l2"};
   index_t size = 0;           ///< database points indexed
   index_t dim = 0;            ///< dimensionality
   bool exact = true;          ///< true NN guarantee vs probabilistic recall
@@ -93,7 +110,8 @@ class Index {
 
   /// Batched k-NN. Throws std::invalid_argument on a malformed request —
   /// null queries, k == 0, k > info().size, query dimension != info().dim,
-  /// or an unbuilt index — with identical conditions and message shape
+  /// an unbuilt index, or a non-empty request.options.metric that differs
+  /// from info().metric — with identical conditions and message shape
   /// ("rbc::Index[<backend>]: ...") across every backend, so callers can
   /// handle request errors without knowing which backend they hold. Device
   /// backends additionally reject k > gpu::kMaxK the same way.
@@ -116,13 +134,18 @@ class Index {
   Index& operator=(const Index&) = default;
 
   // Shared request validation for implementations (throw on violation).
-  // `size`/`dim` are the built index's point count and dimensionality;
-  // using this helper is what keeps the error contract identical across
-  // backends.
+  // `size`/`dim` are the built index's point count and dimensionality and
+  // `metric` its built metric name; using this helper is what keeps the
+  // error contract identical across backends — including the metric
+  // assertion check (a request whose options.metric names a different
+  // metric than the index was built with is a caller error, caught here
+  // once instead of per backend).
   static void validate_knn(const SearchRequest& request, index_t dim,
-                           index_t size, bool built, const char* backend);
+                           index_t size, bool built, const char* backend,
+                           std::string_view metric);
   static void validate_range(const RangeRequest& request, index_t dim,
-                             bool built, const char* backend);
+                             bool built, const char* backend,
+                             std::string_view metric);
 };
 
 }  // namespace rbc

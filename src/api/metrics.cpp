@@ -1,0 +1,114 @@
+#include "api/metrics.hpp"
+
+#include <stdexcept>
+
+#include "distance/kernels.hpp"
+#include "distance/metrics.hpp"
+
+namespace rbc::metric {
+
+namespace {
+
+constexpr Entry kRegistry[] = {
+    {Kind::kL2, "l2", true, "Euclidean distance (paper default)"},
+    {Kind::kL1, "l1", true, "Manhattan distance (dispatched L1 kernels)"},
+    // true_metric = false: the *reported* distance 1 - cos violates the
+    // triangle inequality. Trees/RBC serve cosine anyway because they
+    // index the normalized-L2 space, not the reported values — which is
+    // why per-backend support is declared explicitly rather than derived
+    // from this flag.
+    {Kind::kCosine, "cosine", false,
+     "cosine distance as L2 over unit-normalized rows"},
+    {Kind::kIp, "ip", false,
+     "inner product, reported as negated dot (brute force only)"},
+};
+
+}  // namespace
+
+std::span<const Entry> registry() noexcept { return kRegistry; }
+
+const char* name(Kind kind) noexcept {
+  for (const Entry& e : kRegistry)
+    if (e.kind == kind) return e.name;
+  return "unknown";
+}
+
+bool lookup(std::string_view name, Kind& out) noexcept {
+  for (const Entry& e : kRegistry)
+    if (name == e.name) {
+      out = e.kind;
+      return true;
+    }
+  return false;
+}
+
+Kind require(const char* backend, std::string_view requested,
+             std::span<const Kind> supported) {
+  Kind kind{};
+  if (lookup(requested, kind))
+    for (const Kind s : supported)
+      if (s == kind) return kind;
+  std::string list;
+  for (const Kind s : supported) {
+    if (!list.empty()) list += ", ";
+    list += name(s);
+  }
+  throw std::invalid_argument(std::string("rbc::Index[") + backend +
+                              "]: unsupported metric '" +
+                              std::string(requested) +
+                              "' (supported: " + list + ")");
+}
+
+std::vector<std::string> names(std::span<const Kind> supported) {
+  std::vector<std::string> out;
+  out.reserve(supported.size());
+  for (const Kind s : supported) out.emplace_back(name(s));
+  return out;
+}
+
+void normalize(float* row, index_t d) noexcept {
+  const float sq = kernels::dot(row, row, d);
+  if (sq <= 0.0f) return;  // zero row: left unscaled by convention
+  const float inv = 1.0f / std::sqrt(sq);
+  for (index_t i = 0; i < d; ++i) row[i] *= inv;
+}
+
+void normalize_rows(Matrix<float>& m) noexcept {
+  for (index_t i = 0; i < m.rows(); ++i) normalize(m.row(i), m.cols());
+}
+
+Matrix<float> normalized_clone(const Matrix<float>& m) {
+  Matrix<float> out = m.clone();
+  normalize_rows(out);
+  return out;
+}
+
+void cosine_distances_from_l2(Matrix<dist_t>& dists) noexcept {
+  for (index_t i = 0; i < dists.rows(); ++i) {
+    dist_t* row = dists.row(i);
+    for (index_t j = 0; j < dists.cols(); ++j) row[j] = cosine_from_l2(row[j]);
+  }
+}
+
+float reference_distance(Kind kind, const float* a, const float* b,
+                         index_t d) {
+  switch (kind) {
+    case Kind::kL2:
+      return Euclidean{}(a, b, d);
+    case Kind::kL1:
+      return L1{}(a, b, d);
+    case Kind::kCosine: {
+      // Mirror the backends exactly: normalize copies with the shared
+      // normalize(), measure Euclidean, convert — same functions, same bits.
+      std::vector<float> an(a, a + d), bn(b, b + d);
+      normalize(an.data(), d);
+      normalize(bn.data(), d);
+      return cosine_from_l2(Euclidean{}(an.data(), bn.data(), d));
+    }
+    case Kind::kIp:
+      return InnerProduct{}(a, b, d);
+  }
+  return kInfDist;
+}
+
+}  // namespace rbc::metric

@@ -1,0 +1,164 @@
+// Metric registry of the unified index API.
+//
+// The paper frames RBC as a structure for *metric* similarity search — the
+// brute-force primitive and both RBC variants are written against an
+// abstract rho(x, y) — and the concrete index templates have always been
+// metric-generic. This registry makes the metric a first-class, runtime
+// property of the type-erased layer: IndexOptions::metric names one of the
+// rows below, every backend declares the subset it supports
+// (IndexInfo::supported_metrics), and unsupported pairs are rejected at
+// make_index() time with one uniform std::invalid_argument shape.
+//
+// Shipped metrics:
+//
+//   "l2"      Euclidean distance. Every backend; the metric of all of the
+//             paper's experiments.
+//   "l1"      Manhattan distance. A true metric, so tree/RBC pruning stays
+//             valid; runs through the dispatched L1 SIMD kernels.
+//   "cosine"  Cosine distance (1 - cos). Implemented as **L2 over
+//             unit-normalized rows**: the database is normalized once at
+//             build, queries once per batch, and every triangle-inequality
+//             prune (RBC rules, ball/cover/kd trees) operates on the true
+//             Euclidean metric of the normalized space — exactness is
+//             inherited, not re-proved. Reported distances are converted
+//             back (d_cos = ||qn - xn||^2 / 2), a monotone map, so ordering
+//             and tie-breaking match the normalized-L2 scan bit for bit.
+//   "ip"      Inner-product similarity. Reported "distances" are *negated*
+//             dot products, so the library-wide ascending (distance, id)
+//             order ranks the largest inner product first and the sharded
+//             merge / service layers work unchanged. Not a metric (no
+//             triangle inequality, values can be negative): brute-force
+//             scans only ("bruteforce" and "sharded:bruteforce").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace rbc::metric {
+
+/// The runtime-selectable metrics of the unified API.
+enum class Kind : int { kL2 = 0, kL1 = 1, kCosine = 2, kIp = 3 };
+
+/// One registry row: the wire/option name plus the capability flags callers
+/// branch on.
+struct Entry {
+  Kind kind;
+  const char* name;
+  /// Reported distances obey the triangle inequality (what tree and RBC
+  /// backends require of a metric they index directly).
+  bool true_metric;
+  const char* summary;
+};
+
+/// All shipped metrics, in canonical order (the order capability lists and
+/// error messages print in).
+std::span<const Entry> registry() noexcept;
+
+/// Canonical name of a kind ("l2", "l1", "cosine", "ip").
+const char* name(Kind kind) noexcept;
+
+/// Resolves a metric name; returns false (leaving `out` untouched) for a
+/// name not in the registry.
+bool lookup(std::string_view name, Kind& out) noexcept;
+
+/// Parses and validates a backend's requested metric against the set it
+/// supports. Throws the uniform error every backend shares —
+///   rbc::Index[<backend>]: unsupported metric '<m>' (supported: l2, ...)
+/// as std::invalid_argument — for unknown names and for known-but-
+/// unsupported (backend, metric) pairs alike.
+Kind require(const char* backend, std::string_view requested,
+             std::span<const Kind> supported);
+inline Kind require(const char* backend, std::string_view requested,
+                    std::initializer_list<Kind> supported) {
+  return require(backend, requested,
+                 std::span<const Kind>(supported.begin(), supported.size()));
+}
+
+/// The names of `supported`, in the given order — what backends put in
+/// IndexInfo::supported_metrics.
+std::vector<std::string> names(std::span<const Kind> supported);
+inline std::vector<std::string> names(std::initializer_list<Kind> supported) {
+  return names(std::span<const Kind>(supported.begin(), supported.size()));
+}
+
+// ------------------------------------- cosine-as-normalized-L2 transform ---
+
+/// Scales a row to unit L2 norm in place. A zero row is left as-is (cosine
+/// against it is defined as distance 1 by convention; the normalized-L2
+/// path then reports ||qn - 0||^2 / 2 = 1/2 for unit qn — close enough
+/// that callers needing the convention exactly should drop zero rows).
+/// Shared by every backend's build/query transform AND the test reference,
+/// so both sides round identically and exactness checks can be bit-strict.
+void normalize(float* row, index_t d) noexcept;
+
+/// normalize() applied to every row.
+void normalize_rows(Matrix<float>& m) noexcept;
+
+/// A normalized copy (the build/query transform of the cosine metric).
+Matrix<float> normalized_clone(const Matrix<float>& m);
+
+/// Maps a Euclidean distance in the normalized space to the reported cosine
+/// distance: ||qn - xn||^2 = 2 (1 - cos), so d_cos = d^2 / 2. Monotone, so
+/// it is applied after search without disturbing order or ties.
+inline float cosine_from_l2(float l2) noexcept {
+  return std::isinf(l2) ? l2 : 0.5f * l2 * l2;
+}
+
+/// cosine_from_l2 over a result-distance matrix (in place).
+void cosine_distances_from_l2(Matrix<dist_t>& dists) noexcept;
+
+/// Inverse map for range queries: a cosine radius r corresponds to the
+/// normalized-space Euclidean radius sqrt(2 r).
+inline float l2_radius_from_cosine(float r) noexcept {
+  return std::sqrt(std::max(r, 0.0f) * 2.0f);
+}
+
+/// Scalar reference distance exactly as a backend built with `kind` reports
+/// it (cosine normalizes copies with normalize() and converts; ip negates
+/// the dot product). The ground truth of the conformance metric matrix.
+float reference_distance(Kind kind, const float* a, const float* b,
+                         index_t d);
+
+/// Per-request view of the cosine query transform, shared by every backend
+/// adapter so the normalize / convert / radius-map steps cannot drift
+/// apart. For non-cosine metrics it is a transparent pass-through.
+///
+///   metric::QueryTransform q(kind_, *request.queries);
+///   auto knn = inner_search(q.queries(), ...);   // normalized when cosine
+///   q.finish(knn.dists);                         // d -> d^2/2 when cosine
+class QueryTransform {
+ public:
+  QueryTransform(Kind kind, const Matrix<float>& queries)
+      : cosine_(kind == Kind::kCosine) {
+    if (cosine_) normalized_ = normalized_clone(queries);
+    queries_ = cosine_ ? &normalized_ : &queries;
+  }
+
+  /// The matrix to hand the (Euclidean-space, when cosine) inner search.
+  const Matrix<float>& queries() const { return *queries_; }
+
+  /// Maps a request radius into the inner search's space.
+  float radius(float r) const {
+    return cosine_ ? l2_radius_from_cosine(r) : r;
+  }
+
+  /// Converts inner-search distances back into reported ones (in place).
+  void finish(Matrix<dist_t>& dists) const {
+    if (cosine_) cosine_distances_from_l2(dists);
+  }
+
+ private:
+  bool cosine_;
+  Matrix<float> normalized_;       // engaged only for cosine
+  const Matrix<float>* queries_;   // &normalized_ or the caller's matrix
+};
+
+}  // namespace rbc::metric

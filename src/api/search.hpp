@@ -13,6 +13,7 @@
 // breaking signature change across seven backends.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "bruteforce/bf.hpp"
@@ -27,6 +28,15 @@ struct SearchOptions {
   /// Fill SearchResponse::stats with per-backend work counters. Off by
   /// default: stats aggregation costs a per-thread merge on the hot path.
   bool collect_stats = false;
+
+  /// The metric this request assumes the index was built with (a registry
+  /// name from api/metrics.hpp). Empty = no assertion. Non-empty and
+  /// different from the index's built metric is a request error
+  /// (std::invalid_argument, checked in the shared validator) — it lets a
+  /// caller holding an arbitrary Index document, and have enforced, the
+  /// metric its distances are interpreted under. The serve dispatcher
+  /// stamps every coalesced batch with its index's metric.
+  std::string metric;
 };
 
 /// A batched k-NN query. `queries` is borrowed and must stay alive for the
@@ -52,6 +62,10 @@ struct SearchResponse {
 };
 
 /// A batched range query: all points within `radius` of each query.
+/// `radius` must be >= 0 for every real metric; under "ip" (where
+/// "distance" is the negated dot product) it is a threshold on -dot —
+/// pass radius = -t to select all points with dot(q, x) >= t, so negative
+/// values are legal and are the useful case.
 struct RangeRequest {
   const Matrix<float>* queries = nullptr;  // nq x d, borrowed
   dist_t radius = 0.0f;

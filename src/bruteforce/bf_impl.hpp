@@ -125,7 +125,7 @@ KnnResult bf_knn(const Matrix<float>& Q, const Matrix<float>& X, index_t k,
     return result;
   }
 
-  if constexpr (kernel_metric<M>) {
+  if constexpr (gemm_metric<M>) {
     // Batch mode, §3 GEMM form, when the tiles alone can occupy the
     // thread pool: dispatched 16-query tiles with cached row norms — same
     // results, the matrix-multiply-shaped inner loop. Otherwise keep
@@ -139,6 +139,35 @@ KnnResult bf_knn(const Matrix<float>& Q, const Matrix<float>& X, index_t k,
       TopK& top = heaps[static_cast<std::size_t>(thread_id())];
       top.reset();
       kernel_scan_rows(Q.row(qi), X, 0, X.rows(), metric, top);
+      counters::add_dist_evals(X.rows());
+      top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+    });
+    return result;
+  } else if constexpr (kernel_metric<M>) {
+    // L1 / InnerProduct: per-query scans through the metric's dispatched
+    // row-block kernel. The negated-dot prefilter needs an absolute
+    // re-measure slack (its rounding error scales with ||q||*||x||, not
+    // with the possibly-cancelling result); the squared row norms already
+    // cached for the GEMM path supply max||x|| for free.
+    RowNormsCache local;
+    float x_norm_max = 0.0f;
+    if constexpr (std::is_same_v<M, InnerProduct>) {
+      if (norms == nullptr) {
+        local = make_row_norms_cache(X);
+        norms = &local;
+      }
+      x_norm_max = std::sqrt(norms->max);
+    }
+    const index_t d = X.cols();
+    std::vector<TopK> heaps(static_cast<std::size_t>(nt), TopK(k));
+    parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+      TopK& top = heaps[static_cast<std::size_t>(thread_id())];
+      top.reset();
+      float slack = 0.0f;
+      if constexpr (std::is_same_v<M, InnerProduct>)
+        slack = dispatch::tile_margin(d) *
+                std::sqrt(kernels::dot(Q.row(qi), Q.row(qi), d)) * x_norm_max;
+      kernel_scan_rows(Q.row(qi), X, 0, X.rows(), metric, top, {}, slack);
       counters::add_dist_evals(X.rows());
       top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
     });
@@ -181,7 +210,10 @@ void bf_knn_stream(const float* q, const Matrix<float>& X, M metric,
           static_cast<std::uint64_t>(n) *
           static_cast<std::uint64_t>(chunk + 1) /
           static_cast<std::uint64_t>(nt));
-      if constexpr (kernel_metric<M>) {
+      // InnerProduct stays on the functor loop here: the kernel prefilter
+      // would need a max-row-norm slack this one-shot path has no cache
+      // for (the functor's compile-time dot is already vectorized).
+      if constexpr (kernel_metric<M> && !std::is_same_v<M, InnerProduct>) {
         kernel_scan_rows(q, X, lo, hi, metric, mine);
         counters::add_dist_evals(hi - lo);
       } else {

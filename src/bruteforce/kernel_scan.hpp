@@ -3,20 +3,34 @@
 //
 // Every dense scan in the library has the same skeleton — compute distances
 // from one query to a run of database rows, offer each to a bounded heap.
-// These helpers run that skeleton through the dispatched squared-L2 kernels
-// as a *prefilter*: the kernel fills a chunk of approximate squared
-// distances, candidates inside the margin-inflated heap bound are
-// re-measured with the caller's scalar metric before being pushed, and
-// everything else is discarded without a sqrt or a heap probe. Because the
-// heap only ever orders re-measured (bit-exact) values, results are
-// IDENTICAL to the plain bf_scan_rows loop under every ISA — the property
-// the per-ISA parity tests pin (tests/test_rbc_blocked.cpp).
+// These helpers run that skeleton through the dispatched kernels as a
+// *prefilter*: the kernel fills a chunk of approximate values, candidates
+// inside the margin-inflated heap bound are re-measured with the caller's
+// scalar metric before being pushed, and everything else is discarded
+// without a heap probe. Because the heap only ever orders re-measured
+// (bit-exact) values, results are IDENTICAL to the plain bf_scan_rows loop
+// under every ISA — the property the per-ISA parity tests pin
+// (tests/test_rbc_blocked.cpp, the conformance metric matrix).
 //
-// Only metrics monotone in squared L2 qualify; kernel_metric<M> says which.
-// Unlike bf_scan_rows, these helpers do NOT touch the global
-// distance-eval counters: callers account one eval per row scanned (the
-// kernel does evaluate every row; re-measures are never counted twice) so
-// index code can fold the number into its per-search stats first.
+// Which kernel a metric routes through, and how its heap bound maps into
+// kernel space, is described by ScanTraits<M>:
+//
+//   Euclidean     squared-L2 `rows`/`gather`; bound maps by squaring,
+//                 inflated by the relative association-order margin.
+//   SqEuclidean   same kernels, identity bound map.
+//   L1            `rows_l1`/`gather_l1`; identity map, relative margin
+//                 (sums of non-negative terms — error is relative).
+//   InnerProduct  `rows_ip`/`gather_ip` (negated dot); identity map plus a
+//                 caller-supplied ABSOLUTE slack: dot products cancel, so
+//                 the rounding error scales with ||q||*||x||, not with the
+//                 result. Callers pass tile_margin(d) * ||q|| * max||x||
+//                 (see bf_impl.hpp); with slack 0 the prefilter would be
+//                 allowed to drop true neighbors.
+//
+// kernel_metric<M> says whether a ScanTraits specialization exists;
+// gemm_metric<M> marks the (squared-L2) subset the tile_gemm batch paths
+// additionally accept. Unlike bf_scan_rows, these helpers do NOT touch the
+// global distance-eval counters: callers account one eval per row scanned.
 #pragma once
 
 #include <algorithm>
@@ -29,19 +43,120 @@
 
 namespace rbc {
 
-/// True for metrics the squared-L2 kernel layer can prefilter for:
-/// comparing kernel outputs against sq_threshold(heap bound) must be
-/// equivalent to comparing metric values against the bound.
+/// How a metric's scans run through the dispatched kernel layer; the
+/// specializations below are the kernel-eligible metrics.
 template <class M>
-inline constexpr bool kernel_metric =
+struct ScanTraits;
+
+template <>
+struct ScanTraits<Euclidean> {
+  /// Relative margin covers the kernel/scalar rounding difference.
+  static constexpr bool relative_margin = true;
+  /// Heap bound (metric space) -> kernel-output space.
+  static float map(float bound) noexcept { return bound * bound; }
+  static float rows(const dispatch::KernelOps& ops, const float* q, index_t d,
+                    const float* x, std::size_t stride, index_t lo,
+                    index_t hi, float* out) {
+    return ops.rows(q, d, x, stride, lo, hi, out);
+  }
+  static float gather(const dispatch::KernelOps& ops, const float* q,
+                      index_t d, const float* x, std::size_t stride,
+                      const index_t* ids, index_t count, float* out) {
+    return ops.gather(q, d, x, stride, ids, count, out);
+  }
+};
+
+template <>
+struct ScanTraits<SqEuclidean> {
+  static constexpr bool relative_margin = true;
+  static float map(float bound) noexcept { return bound; }
+  static float rows(const dispatch::KernelOps& ops, const float* q, index_t d,
+                    const float* x, std::size_t stride, index_t lo,
+                    index_t hi, float* out) {
+    return ops.rows(q, d, x, stride, lo, hi, out);
+  }
+  static float gather(const dispatch::KernelOps& ops, const float* q,
+                      index_t d, const float* x, std::size_t stride,
+                      const index_t* ids, index_t count, float* out) {
+    return ops.gather(q, d, x, stride, ids, count, out);
+  }
+};
+
+template <>
+struct ScanTraits<L1> {
+  static constexpr bool relative_margin = true;
+  static float map(float bound) noexcept { return bound; }
+  static float rows(const dispatch::KernelOps& ops, const float* q, index_t d,
+                    const float* x, std::size_t stride, index_t lo,
+                    index_t hi, float* out) {
+    return ops.rows_l1(q, d, x, stride, lo, hi, out);
+  }
+  static float gather(const dispatch::KernelOps& ops, const float* q,
+                      index_t d, const float* x, std::size_t stride,
+                      const index_t* ids, index_t count, float* out) {
+    return ops.gather_l1(q, d, x, stride, ids, count, out);
+  }
+};
+
+template <>
+struct ScanTraits<InnerProduct> {
+  /// Cancellation: error is absolute (caller-supplied slack), never a
+  /// multiple of the possibly-negative bound.
+  static constexpr bool relative_margin = false;
+  static float map(float bound) noexcept { return bound; }
+  static float rows(const dispatch::KernelOps& ops, const float* q, index_t d,
+                    const float* x, std::size_t stride, index_t lo,
+                    index_t hi, float* out) {
+    return ops.rows_ip(q, d, x, stride, lo, hi, out);
+  }
+  static float gather(const dispatch::KernelOps& ops, const float* q,
+                      index_t d, const float* x, std::size_t stride,
+                      const index_t* ids, index_t count, float* out) {
+    return ops.gather_ip(q, d, x, stride, ids, count, out);
+  }
+};
+
+namespace detail {
+template <class M, class = void>
+inline constexpr bool has_scan_traits = false;
+template <class M>
+inline constexpr bool
+    has_scan_traits<M, std::void_t<decltype(ScanTraits<M>::map(0.0f))>> =
+        true;
+}  // namespace detail
+
+/// True for metrics the dispatched kernel layer can prefilter for.
+template <class M>
+inline constexpr bool kernel_metric = detail::has_scan_traits<M>;
+
+/// The squared-L2 subset additionally eligible for the tile/tile_gemm batch
+/// paths (the GEMM formulation has no analogue for other metrics).
+template <class M>
+inline constexpr bool gemm_metric =
     std::is_same_v<M, Euclidean> || std::is_same_v<M, SqEuclidean>;
 
-/// Maps a heap bound (metric space) into squared-L2 space for filtering.
+/// Maps a heap bound (metric space) into squared-L2 space for the tile_gemm
+/// filter passes — the same map ScanTraits defines, restricted to the gemm
+/// subset so batch and row/gather paths can never disagree on it.
 template <class M>
 inline float sq_threshold(float bound) noexcept {
+  static_assert(gemm_metric<M>);
+  return ScanTraits<M>::map(bound);
+}
+
+/// Margin-inflated acceptance bound in kernel-output space: keep (and
+/// re-measure) a kernel value v iff v <= scan_bound<M>(heap bound, d,
+/// slack). `abs_slack` is required non-zero only for InnerProduct (see the
+/// file comment).
+template <class M>
+inline float scan_bound(float bound, index_t d,
+                        float abs_slack = 0.0f) noexcept {
   static_assert(kernel_metric<M>);
-  if constexpr (std::is_same_v<M, Euclidean>) return bound * bound;
-  return bound;  // SqEuclidean is already squared
+  const float mapped = ScanTraits<M>::map(bound);
+  if constexpr (ScanTraits<M>::relative_margin)
+    return mapped * (1.0f + dispatch::tile_margin(d)) + abs_slack;
+  else
+    return mapped + abs_slack;
 }
 
 namespace detail {
@@ -50,27 +165,28 @@ struct IdentityId {
 };
 }  // namespace detail
 
-/// BF(q, X[lo..hi)) through the dispatched row-block kernel. Pushes
-/// (metric(q, x_p), id_of(p)) for every candidate surviving the prefilter;
-/// identical final heap to the plain loop. Caller accounts hi - lo evals.
+/// BF(q, X[lo..hi)) through the metric's dispatched row-block kernel.
+/// Pushes (metric(q, x_p), id_of(p)) for every candidate surviving the
+/// prefilter; identical final heap to the plain loop. Caller accounts
+/// hi - lo evals.
 template <DenseMetric M, class IdOf = detail::IdentityId>
 void kernel_scan_rows(const float* q, const Matrix<float>& X, index_t lo,
-                      index_t hi, M metric, TopK& out, IdOf id_of = {}) {
+                      index_t hi, M metric, TopK& out, IdOf id_of = {},
+                      float abs_slack = 0.0f) {
   static_assert(kernel_metric<M>);
   constexpr index_t kChunk = 512;  // 2 KB of distances on the stack
   float buf[kChunk];
   const dispatch::KernelOps& ops = dispatch::ops();
   const index_t d = X.cols();
-  const float margin = 1.0f + dispatch::tile_margin(d);
   for (index_t c = lo; c < hi; c += kChunk) {
     const index_t ce = std::min<index_t>(hi, c + kChunk);
     const float chunk_min =
-        ops.rows(q, d, X.data(), X.stride(), c, ce, buf);
+        ScanTraits<M>::rows(ops, q, d, X.data(), X.stride(), c, ce, buf);
     // Whole chunk misses the (entry) bound: skip without reading buf. The
     // bound only tightens, so nothing skippable ever survives.
-    if (chunk_min > sq_threshold<M>(out.worst()) * margin) continue;
+    if (chunk_min > scan_bound<M>(out.worst(), d, abs_slack)) continue;
     for (index_t p = c; p < ce; ++p) {
-      if (buf[p - c] > sq_threshold<M>(out.worst()) * margin) continue;
+      if (buf[p - c] > scan_bound<M>(out.worst(), d, abs_slack)) continue;
       out.push(metric(q, X.row(p), d), id_of(p));
     }
   }
@@ -83,18 +199,19 @@ void kernel_scan_rows(const float* q, const Matrix<float>& X, index_t lo,
 template <DenseMetric M, class IdOf = detail::IdentityId>
 void kernel_scan_gather(const float* q, index_t d, const float* x,
                         std::size_t stride, const index_t* rows,
-                        index_t count, M metric, TopK& out, IdOf id_of = {}) {
+                        index_t count, M metric, TopK& out, IdOf id_of = {},
+                        float abs_slack = 0.0f) {
   static_assert(kernel_metric<M>);
   constexpr index_t kChunk = 512;
   float buf[kChunk];
   const dispatch::KernelOps& ops = dispatch::ops();
-  const float margin = 1.0f + dispatch::tile_margin(d);
   for (index_t c = 0; c < count; c += kChunk) {
     const index_t ce = std::min<index_t>(count, c + kChunk);
-    const float chunk_min = ops.gather(q, d, x, stride, rows + c, ce - c, buf);
-    if (chunk_min > sq_threshold<M>(out.worst()) * margin) continue;
+    const float chunk_min =
+        ScanTraits<M>::gather(ops, q, d, x, stride, rows + c, ce - c, buf);
+    if (chunk_min > scan_bound<M>(out.worst(), d, abs_slack)) continue;
     for (index_t j = c; j < ce; ++j) {
-      if (buf[j - c] > sq_threshold<M>(out.worst()) * margin) continue;
+      if (buf[j - c] > scan_bound<M>(out.worst(), d, abs_slack)) continue;
       out.push(metric(q, x + static_cast<std::size_t>(rows[j]) * stride, d),
                id_of(rows[j]));
     }

@@ -1,17 +1,35 @@
 #include "data/rank_error.hpp"
 
-#include "distance/metrics.hpp"
+#include "api/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace rbc::data {
 
 std::vector<index_t> ranks_of(const Matrix<float>& Q, const Matrix<float>& X,
-                              const KnnResult& result) {
+                              const KnnResult& result,
+                              std::string_view metric_name) {
   const index_t nq = Q.rows();
   const index_t n = X.rows();
   const index_t d = Q.cols();
   std::vector<index_t> ranks(nq, 0);
-  const Euclidean metric{};
+  // Score under the metric the index searched with; an unknown name (no
+  // registry row) falls back to l2, the pre-metric behavior. Cosine is
+  // scored as Euclidean over rows normalized ONCE here — same bits as the
+  // per-pair reference_distance (shared normalize()), without re-normalizing
+  // every row n times inside the O(nq * n) scan; ranks compare distances,
+  // so the monotone d^2/2 conversion is unnecessary.
+  metric::Kind kind = metric::Kind::kL2;
+  (void)metric::lookup(metric_name, kind);
+  Matrix<float> qn, xn;
+  const Matrix<float>* q_rows = &Q;
+  const Matrix<float>* x_rows = &X;
+  if (kind == metric::Kind::kCosine) {
+    qn = metric::normalized_clone(Q);
+    xn = metric::normalized_clone(X);
+    q_rows = &qn;
+    x_rows = &xn;
+    kind = metric::Kind::kL2;
+  }
 
   parallel_for_dynamic(0, nq, [&](index_t qi) {
     const index_t id = result.ids.at(qi, 0);
@@ -19,11 +37,13 @@ std::vector<index_t> ranks_of(const Matrix<float>& Q, const Matrix<float>& X,
       ranks[qi] = n;
       return;
     }
-    const float* q = Q.row(qi);
-    const dist_t returned = metric(q, X.row(id), d);
+    const float* q = q_rows->row(qi);
+    const dist_t returned =
+        metric::reference_distance(kind, q, x_rows->row(id), d);
     index_t closer = 0;
     for (index_t j = 0; j < n; ++j)
-      if (metric(q, X.row(j), d) < returned) ++closer;
+      if (metric::reference_distance(kind, q, x_rows->row(j), d) < returned)
+        ++closer;
     counters::add_dist_evals(n + 1);
     ranks[qi] = closer;
   });
@@ -31,8 +51,8 @@ std::vector<index_t> ranks_of(const Matrix<float>& Q, const Matrix<float>& X,
 }
 
 double mean_rank(const Matrix<float>& Q, const Matrix<float>& X,
-                 const KnnResult& result) {
-  const std::vector<index_t> ranks = ranks_of(Q, X, result);
+                 const KnnResult& result, std::string_view metric_name) {
+  const std::vector<index_t> ranks = ranks_of(Q, X, result, metric_name);
   if (ranks.empty()) return 0.0;
   double sum = 0.0;
   for (const index_t r : ranks) sum += static_cast<double>(r);
@@ -40,8 +60,8 @@ double mean_rank(const Matrix<float>& Q, const Matrix<float>& X,
 }
 
 double recall_at_1(const Matrix<float>& Q, const Matrix<float>& X,
-                   const KnnResult& result) {
-  const std::vector<index_t> ranks = ranks_of(Q, X, result);
+                   const KnnResult& result, std::string_view metric_name) {
+  const std::vector<index_t> ranks = ranks_of(Q, X, result, metric_name);
   if (ranks.empty()) return 1.0;
   index_t hits = 0;
   for (const index_t r : ranks)

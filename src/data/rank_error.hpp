@@ -4,6 +4,7 @@
 // than the returned point. A rank of 0 denotes the exact NN."
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "bruteforce/bf.hpp"
@@ -12,20 +13,23 @@
 namespace rbc::data {
 
 /// Rank of each query's *first* returned neighbor: the number of database
-/// points strictly closer to the query. Computed by a full scan per query
-/// (exact, no index involved). result.ids.row(i)[0] == kInvalidIndex yields
-/// rank n (worst possible).
+/// points strictly closer to the query under `metric` (a registry name
+/// from api/metrics.hpp — results from a non-l2 index must be scored
+/// under the metric they were searched with). Computed by a full scan per
+/// query (exact, no index involved). result.ids.row(i)[0] == kInvalidIndex
+/// yields rank n (worst possible).
 std::vector<index_t> ranks_of(const Matrix<float>& Q, const Matrix<float>& X,
-                              const KnnResult& result);
+                              const KnnResult& result,
+                              std::string_view metric = "l2");
 
 /// Mean rank over queries — the x-axis of the paper's Figure 1.
 double mean_rank(const Matrix<float>& Q, const Matrix<float>& X,
-                 const KnnResult& result);
+                 const KnnResult& result, std::string_view metric = "l2");
 
 /// Fraction of queries whose returned first neighbor is an exact NN
 /// (rank 0). 1 - recall is the one-shot failure probability delta of
 /// Theorem 2.
 double recall_at_1(const Matrix<float>& Q, const Matrix<float>& X,
-                   const KnnResult& result);
+                   const KnnResult& result, std::string_view metric = "l2");
 
 }  // namespace rbc::data

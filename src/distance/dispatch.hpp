@@ -28,6 +28,17 @@
 //   gather     one query x rows addressed through an index array — the
 //              overflow-list (dynamic insert) scan shape.
 //
+// Metric variants (the unified API's runtime-selectable metrics,
+// api/metrics.hpp): the single-query shapes additionally ship as
+//
+//   rows_l1 / gather_l1   Manhattan distance, sum |q_i - x_i|;
+//   rows_ip / gather_ip   negated inner product -<q, x> — ascending order
+//                         ranks the largest dot product first, so every
+//                         heap/merge structure works unchanged.
+//
+// The tile shapes stay squared-L2 only (the GEMM formulation has no L1
+// analogue); cosine runs entirely through the L2 shapes on normalized rows.
+//
 // Exactness contract: kernels are *prefilters*. Their outputs differ from
 // the scalar reference only by association-order rounding (bounded by
 // tile_margin / gemm_margin_scale below); callers compare against an
@@ -95,6 +106,25 @@ struct KernelOps {
   float (*gather)(const float* q, index_t d, const float* x,
                   std::size_t stride, const index_t* ids, index_t count,
                   float* out);
+
+  /// Manhattan variants of `rows`/`gather`: out = sum_i |q_i - x_i|. Same
+  /// signatures and min-return contract.
+  float (*rows_l1)(const float* q, index_t d, const float* x,
+                   std::size_t stride, index_t lo, index_t hi, float* out);
+  float (*gather_l1)(const float* q, index_t d, const float* x,
+                     std::size_t stride, const index_t* ids, index_t count,
+                     float* out);
+
+  /// Negated-inner-product variants: out = -<q, x_p>. Outputs may be
+  /// negative; the returned minimum is the best (largest) dot product.
+  /// Callers filtering against a bound must add an absolute slack scaled
+  /// by ||q|| * ||x|| (cancellation error is relative to the magnitudes,
+  /// not the result — see kernel_scan.hpp).
+  float (*rows_ip)(const float* q, index_t d, const float* x,
+                   std::size_t stride, index_t lo, index_t hi, float* out);
+  float (*gather_ip)(const float* q, index_t d, const float* x,
+                     std::size_t stride, const index_t* ids, index_t count,
+                     float* out);
 };
 
 /// Human-readable ISA name ("scalar" / "avx2" / "avx512").

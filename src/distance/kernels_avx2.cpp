@@ -181,8 +181,140 @@ float gather_avx2(const float* q, index_t d, const float* x,
   return best;
 }
 
-constexpr KernelOps kAvx2Ops = {tile_avx2, tile_gemm_avx2, rows_avx2,
-                                gather_avx2};
+inline __m256 abs_ps(__m256 v) {
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  return _mm256_and_ps(v, mask);
+}
+
+/// One query against one row, Manhattan, two accumulator chains.
+inline float l1_one(const float* q, const float* row, index_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc0 = _mm256_add_ps(acc0, abs_ps(_mm256_sub_ps(_mm256_loadu_ps(q + i),
+                                                    _mm256_loadu_ps(row + i))));
+    acc1 = _mm256_add_ps(
+        acc1, abs_ps(_mm256_sub_ps(_mm256_loadu_ps(q + i + 8),
+                                   _mm256_loadu_ps(row + i + 8))));
+  }
+  for (; i + 8 <= d; i += 8)
+    acc0 = _mm256_add_ps(acc0, abs_ps(_mm256_sub_ps(_mm256_loadu_ps(q + i),
+                                                    _mm256_loadu_ps(row + i))));
+  float acc = hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < d; ++i) {
+    const float diff = q[i] - row[i];
+    acc += diff < 0.0f ? -diff : diff;
+  }
+  return acc;
+}
+
+/// One query against one row, negated dot, two accumulator chains.
+inline float neg_dot_one(const float* q, const float* row, index_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i), _mm256_loadu_ps(row + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i + 8),
+                           _mm256_loadu_ps(row + i + 8), acc1);
+  }
+  for (; i + 8 <= d; i += 8)
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i), _mm256_loadu_ps(row + i),
+                           acc0);
+  float acc = hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < d; ++i) acc += q[i] * row[i];
+  return -acc;
+}
+
+/// Shared 8-row blocked skeleton of the metric row shapes: tail-mask setup,
+/// row-pointer block, per-row accumulators, and min-tracking epilogue are
+/// identical for L1 and negated-dot; Op supplies the per-lane accumulate,
+/// the horizontal finish, and the single-row remainder kernel.
+struct L1LaneOp {
+  static __m256 accum(__m256 acc, __m256 qv, __m256 xv) {
+    return _mm256_add_ps(acc, abs_ps(_mm256_sub_ps(qv, xv)));
+  }
+  static float finish(__m256 acc) { return hsum(acc); }
+  static float one(const float* q, const float* row, index_t d) {
+    return l1_one(q, row, d);
+  }
+};
+
+struct IpLaneOp {
+  static __m256 accum(__m256 acc, __m256 qv, __m256 xv) {
+    return _mm256_fmadd_ps(qv, xv, acc);
+  }
+  static float finish(__m256 acc) { return -hsum(acc); }
+  static float one(const float* q, const float* row, index_t d) {
+    return neg_dot_one(q, row, d);
+  }
+};
+
+template <class Op>
+float rows_metric_avx2(const float* q, index_t d, const float* x,
+                       std::size_t stride, index_t lo, index_t hi,
+                       float* out) {
+  float best = kInfDist;
+  alignas(32) std::int32_t mask_bits[8] = {};
+  for (index_t l = 0; l < d % 8; ++l) mask_bits[l] = -1;
+  const __m256i tail =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(mask_bits));
+
+  index_t p = lo;
+  for (; p + kRowBlock <= hi; p += kRowBlock) {
+    const float* r[kRowBlock];
+    for (index_t b = 0; b < kRowBlock; ++b)
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+    __m256 acc[kRowBlock] = {
+        _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+        _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+        _mm256_setzero_ps(), _mm256_setzero_ps()};
+    index_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + i);
+      for (index_t b = 0; b < kRowBlock; ++b)
+        acc[b] = Op::accum(acc[b], qv, _mm256_loadu_ps(r[b] + i));
+    }
+    if (i < d) {
+      const __m256 qv = _mm256_maskload_ps(q + i, tail);
+      for (index_t b = 0; b < kRowBlock; ++b)
+        acc[b] = Op::accum(acc[b], qv, _mm256_maskload_ps(r[b] + i, tail));
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      o[b] = Op::finish(acc[b]);
+      if (o[b] < best) best = o[b];
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v = Op::one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+template <class Op>
+float gather_metric_avx2(const float* q, index_t d, const float* x,
+                         std::size_t stride, const index_t* ids,
+                         index_t count, float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        Op::one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+constexpr KernelOps kAvx2Ops = {
+    tile_avx2,    tile_gemm_avx2,
+    rows_avx2,    gather_avx2,
+    rows_metric_avx2<L1LaneOp>, gather_metric_avx2<L1LaneOp>,
+    rows_metric_avx2<IpLaneOp>, gather_metric_avx2<IpLaneOp>};
 
 }  // namespace
 

@@ -164,8 +164,143 @@ float gather_avx512(const float* q, index_t d, const float* x,
   return best;
 }
 
-constexpr KernelOps kAvx512Ops = {tile_avx512, tile_gemm_avx512, rows_avx512,
-                                  gather_avx512};
+inline __m512 abs_ps512(__m512 v) {
+  return _mm512_abs_ps(v);
+}
+
+/// One query against one row, Manhattan, masked tail.
+inline float l1_one(const float* q, const float* row, index_t d) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  index_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    acc0 = _mm512_add_ps(
+        acc0, abs_ps512(_mm512_sub_ps(_mm512_loadu_ps(q + i),
+                                      _mm512_loadu_ps(row + i))));
+    acc1 = _mm512_add_ps(
+        acc1, abs_ps512(_mm512_sub_ps(_mm512_loadu_ps(q + i + 16),
+                                      _mm512_loadu_ps(row + i + 16))));
+  }
+  for (; i + 16 <= d; i += 16)
+    acc0 = _mm512_add_ps(
+        acc0, abs_ps512(_mm512_sub_ps(_mm512_loadu_ps(q + i),
+                                      _mm512_loadu_ps(row + i))));
+  if (i < d) {
+    const __mmask16 tail = static_cast<__mmask16>((1u << (d - i)) - 1u);
+    acc1 = _mm512_add_ps(
+        acc1, abs_ps512(_mm512_sub_ps(_mm512_maskz_loadu_ps(tail, q + i),
+                                      _mm512_maskz_loadu_ps(tail, row + i))));
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+/// One query against one row, negated dot, masked tail.
+inline float neg_dot_one(const float* q, const float* row, index_t d) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  index_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i), _mm512_loadu_ps(row + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i + 16),
+                           _mm512_loadu_ps(row + i + 16), acc1);
+  }
+  for (; i + 16 <= d; i += 16)
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i), _mm512_loadu_ps(row + i),
+                           acc0);
+  if (i < d) {
+    const __mmask16 tail = static_cast<__mmask16>((1u << (d - i)) - 1u);
+    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(tail, q + i),
+                           _mm512_maskz_loadu_ps(tail, row + i), acc1);
+  }
+  return -_mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+/// Shared 8-row blocked skeleton of the metric row shapes (see the AVX2
+/// twin): Op supplies the per-lane accumulate, horizontal finish, and
+/// single-row remainder kernel; the tail-mask/block/min plumbing is shared.
+struct L1LaneOp {
+  static __m512 accum(__m512 acc, __m512 qv, __m512 xv) {
+    return _mm512_add_ps(acc, abs_ps512(_mm512_sub_ps(qv, xv)));
+  }
+  static float finish(__m512 acc) { return _mm512_reduce_add_ps(acc); }
+  static float one(const float* q, const float* row, index_t d) {
+    return l1_one(q, row, d);
+  }
+};
+
+struct IpLaneOp {
+  static __m512 accum(__m512 acc, __m512 qv, __m512 xv) {
+    return _mm512_fmadd_ps(qv, xv, acc);
+  }
+  static float finish(__m512 acc) { return -_mm512_reduce_add_ps(acc); }
+  static float one(const float* q, const float* row, index_t d) {
+    return neg_dot_one(q, row, d);
+  }
+};
+
+template <class Op>
+float rows_metric_avx512(const float* q, index_t d, const float* x,
+                         std::size_t stride, index_t lo, index_t hi,
+                         float* out) {
+  const __mmask16 tail = d % 16 != 0
+                             ? static_cast<__mmask16>((1u << (d % 16)) - 1u)
+                             : static_cast<__mmask16>(0xffff);
+  float best = kInfDist;
+  index_t p = lo;
+  for (; p + kRowBlock <= hi; p += kRowBlock) {
+    const float* r[kRowBlock];
+    for (index_t b = 0; b < kRowBlock; ++b)
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+    __m512 acc[kRowBlock] = {
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps()};
+    index_t i = 0;
+    for (; i + 16 <= d; i += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + i);
+      for (index_t b = 0; b < kRowBlock; ++b)
+        acc[b] = Op::accum(acc[b], qv, _mm512_loadu_ps(r[b] + i));
+    }
+    if (i < d) {
+      const __m512 qv = _mm512_maskz_loadu_ps(tail, q + i);
+      for (index_t b = 0; b < kRowBlock; ++b)
+        acc[b] =
+            Op::accum(acc[b], qv, _mm512_maskz_loadu_ps(tail, r[b] + i));
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      o[b] = Op::finish(acc[b]);
+      if (o[b] < best) best = o[b];
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v = Op::one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+template <class Op>
+float gather_metric_avx512(const float* q, index_t d, const float* x,
+                           std::size_t stride, const index_t* ids,
+                           index_t count, float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        Op::one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+constexpr KernelOps kAvx512Ops = {
+    tile_avx512,  tile_gemm_avx512,
+    rows_avx512,  gather_avx512,
+    rows_metric_avx512<L1LaneOp>, gather_metric_avx512<L1LaneOp>,
+    rows_metric_avx512<IpLaneOp>, gather_metric_avx512<IpLaneOp>};
 
 }  // namespace
 

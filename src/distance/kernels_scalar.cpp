@@ -9,6 +9,8 @@ namespace rbc::dispatch::detail {
 
 namespace {
 
+inline float abs_diff(float a, float b) { return a < b ? b - a : a - b; }
+
 void tile_scalar(const float* qt, index_t d, const float* x,
                  std::size_t stride, index_t lo, index_t hi, float* out,
                  float* lane_min) {
@@ -87,8 +89,71 @@ float gather_scalar(const float* q, index_t d, const float* x,
   return best;
 }
 
-constexpr KernelOps kScalarOps = {tile_scalar, tile_gemm_scalar, rows_scalar,
-                                  gather_scalar};
+inline float l1_one(const float* q, const float* row, index_t d) {
+  float acc = 0.0f;
+  for (index_t i = 0; i < d; ++i) acc += abs_diff(q[i], row[i]);
+  return acc;
+}
+
+inline float neg_dot_one(const float* q, const float* row, index_t d) {
+  float acc = 0.0f;
+  for (index_t i = 0; i < d; ++i) acc += q[i] * row[i];
+  return -acc;
+}
+
+float rows_l1_scalar(const float* q, index_t d, const float* x,
+                     std::size_t stride, index_t lo, index_t hi, float* out) {
+  float best = kInfDist;
+  for (index_t p = lo; p < hi; ++p) {
+    const float v = l1_one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_l1_scalar(const float* q, index_t d, const float* x,
+                       std::size_t stride, const index_t* ids, index_t count,
+                       float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        l1_one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float rows_ip_scalar(const float* q, index_t d, const float* x,
+                     std::size_t stride, index_t lo, index_t hi, float* out) {
+  float best = kInfDist;
+  for (index_t p = lo; p < hi; ++p) {
+    const float v =
+        neg_dot_one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_ip_scalar(const float* q, index_t d, const float* x,
+                       std::size_t stride, const index_t* ids, index_t count,
+                       float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        neg_dot_one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+constexpr KernelOps kScalarOps = {tile_scalar,      tile_gemm_scalar,
+                                  rows_scalar,      gather_scalar,
+                                  rows_l1_scalar,   gather_l1_scalar,
+                                  rows_ip_scalar,   gather_ip_scalar};
 
 }  // namespace
 

@@ -79,6 +79,23 @@ struct Lp {
   }
 };
 
+/// Negated inner product: "distance" = -<a, b>, so the library-wide
+/// ascending (distance, id) order ranks the largest inner product first and
+/// every selection/merge structure (TopK, sharded k-way merge) works
+/// unchanged. Not a metric at all (values can be negative, no triangle
+/// inequality): valid for brute-force scans only. The metric-asserting
+/// indexes (RbcExactIndex, BallTree, CoverTree) reject it at compile time
+/// via their is_true_metric static_assert; RbcOneShotIndex does not assert
+/// a true metric (its recall is probabilistic anyway) but excludes
+/// InnerProduct from its kernel prefilter paths.
+struct InnerProduct {
+  static constexpr bool is_true_metric = false;
+  static constexpr const char* name() { return "ip"; }
+  float operator()(const float* a, const float* b, index_t d) const {
+    return -kernels::dot(a, b, d);
+  }
+};
+
 /// Cosine *distance* (1 - cosine similarity). Not a true metric in general;
 /// usable with brute force and the one-shot RBC when inputs are normalized
 /// (in which case it is monotone in the true angular metric).

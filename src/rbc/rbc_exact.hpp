@@ -740,16 +740,15 @@ class RbcExactIndex {
     constexpr index_t kChunk = 512;
     float buf[kChunk];
     const dispatch::KernelOps& ops = dispatch::ops();
-    const float margin = 1.0f + dispatch::tile_margin(dim_);
     for (index_t c = seg_lo; c < seg_hi; c += kChunk) {
       const index_t ce = std::min<index_t>(seg_hi, c + kChunk);
-      const float chunk_min =
-          ops.rows(q, dim_, packed_.data(), packed_.stride(), c, ce, buf);
+      const float chunk_min = ScanTraits<M>::rows(
+          ops, q, dim_, packed_.data(), packed_.stride(), c, ce, buf);
       // Whole chunk misses the (entry) bound: nothing to offer the heap.
-      if (chunk_min > sq_threshold<M>(out.worst()) * margin) continue;
+      if (chunk_min > scan_bound<M>(out.worst(), dim_)) continue;
       for (index_t p = c; p < ce; ++p) {
         if (erased_count_ != 0 && erased_[packed_ids_[p]]) continue;
-        if (buf[p - c] > sq_threshold<M>(out.worst()) * margin) continue;
+        if (buf[p - c] > scan_bound<M>(out.worst(), dim_)) continue;
         out.push(metric_(q, packed_.row(p), dim_), packed_ids_[p]);
       }
     }

@@ -127,7 +127,10 @@ class RbcOneShotIndex {
     // re-measure => identical probe selection; see kernel_scan.hpp).
     if (scratch.probes.k() != probes) scratch.probes = TopK(probes);
     scratch.probes.reset();
-    if constexpr (kernel_metric<M>) {
+    // InnerProduct is excluded: its kernel prefilter needs a norm-scaled
+    // absolute slack this index does not cache (the functor loop stays
+    // exact; see kernel_scan.hpp).
+    if constexpr (kernel_metric<M> && !std::is_same_v<M, InnerProduct>) {
       kernel_scan_rows(q, reps_, 0, nr, metric_, scratch.probes);
       counters::add_dist_evals(nr);
     } else {
@@ -153,7 +156,7 @@ class RbcOneShotIndex {
       if (r == kInvalidIndex) break;
       ++local.reps_scanned;
       const std::size_t base = static_cast<std::size_t>(r) * s_;
-      if constexpr (kernel_metric<M>) {
+      if constexpr (kernel_metric<M> && !std::is_same_v<M, InnerProduct>) {
         if (!dedup) {
           kernel_scan_rows(
               q, packed_, static_cast<index_t>(base),

@@ -28,6 +28,11 @@ inline constexpr std::uint32_t kMagicBallTree = 0x52424354;    // "RBCT"
 inline constexpr std::uint32_t kMagicCoverTree = 0x52424343;   // "RBCC"
 inline constexpr std::uint32_t kMagicSharded = 0x52424353;     // "RBCS"
 inline constexpr std::uint32_t kFormatVersion = 1;
+/// Format version 2: identical to 1 except a metric-name tag follows the
+/// version field. The unified backends write it (write_metric_header) so a
+/// file remembers which metric it was built for; version-1 files (written
+/// before metrics were runtime-selectable) load as "l2".
+inline constexpr std::uint32_t kFormatVersionMetric = 2;
 
 /// Bytes between the current read position and the end of the stream, or
 /// -1 when the stream is not seekable. Loaders use this to reject a
@@ -100,6 +105,34 @@ inline void expect_string(std::istream& is, const std::string& expected,
                           const char* what) {
   if (read_string(is) != expected)
     throw std::runtime_error(std::string("rbc::io: mismatch reading ") + what);
+}
+
+/// Writes the version-2 header tail (version + metric tag). Call right
+/// after the format magic.
+inline void write_metric_header(std::ostream& os, const std::string& metric) {
+  write_pod(os, kFormatVersionMetric);
+  write_string(os, metric);
+}
+
+/// Reads the version field written after a magic and returns the file's
+/// metric name: version 1 (pre-metric format) => "l2"; version 2 => the
+/// stored tag. Any other version is a corrupt/unknown file
+/// (std::runtime_error). `legacy`, when non-null, reports whether the
+/// stream was version 1 (loaders whose v1 payload differs structurally
+/// from v2 — the rbc wrappers — branch on it). Callers still validate the
+/// returned name against the metric registry — a garbage tag is
+/// corruption, not a caller error.
+inline std::string read_metric_header(std::istream& is, const char* what,
+                                      bool* legacy = nullptr) {
+  std::uint32_t version = 0;
+  read_pod(is, version);
+  if (legacy != nullptr) *legacy = version == kFormatVersion;
+  if (version == kFormatVersion) return "l2";
+  if (version != kFormatVersionMetric)
+    throw std::runtime_error(
+        std::string("rbc::io: unsupported format version ") +
+        std::to_string(version) + " reading " + what);
+  return read_string(is);
 }
 
 template <class T>

@@ -17,6 +17,7 @@ SearchService::SearchService(std::unique_ptr<Index> index,
   const IndexInfo info = index_->info();
   dim_ = info.dim;
   db_size_ = info.size;
+  metric_ = info.metric;
   if (dim_ == 0)
     throw std::invalid_argument(
         "rbc::serve::SearchService: index is unbuilt (info().dim == 0); "
@@ -199,7 +200,11 @@ void SearchService::execute(Batch& batch) {
                   sizeof(float) * dim_);
   }
 
-  const SearchRequest request{.queries = &block, .k = batch.k, .options = {}};
+  // Stamp the batch with the index's metric: the shared validator then
+  // enforces end-to-end that the dispatcher and backend agree on what the
+  // returned distances mean.
+  SearchRequest request{.queries = &block, .k = batch.k, .options = {}};
+  request.options.metric = metric_;
   std::vector<double> latencies_ms;
   latencies_ms.reserve(batch.jobs.size());
   const auto finish_time = [&latencies_ms](const Job& job) {

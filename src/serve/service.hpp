@@ -42,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -137,6 +138,12 @@ class SearchService {
   /// The owned index (for ground-truth comparison and info()).
   const Index& index() const { return *index_; }
 
+  /// Metric of the owned index ("l2", "l1", "cosine", "ip") — what the
+  /// distances in every QueryResult mean. Stamped onto each dispatched
+  /// batch, so a metric disagreement fails loudly instead of silently
+  /// misranking.
+  const std::string& metric() const { return metric_; }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -169,6 +176,7 @@ class SearchService {
   ServiceOptions options_;
   index_t dim_ = 0;
   index_t db_size_ = 0;
+  std::string metric_;  // index metric, stamped onto every dispatched batch
 
   std::mutex stop_mutex_;  // serializes stop() (see service.cpp)
   mutable std::mutex mutex_;

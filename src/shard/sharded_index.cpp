@@ -54,10 +54,12 @@ ShardedIndex::ShardedIndex(std::string_view inner, const IndexOptions& options)
         "rbc::ShardedIndex: num_shards must be in [1, " +
         std::to_string(kMaxShards) + "] (got " +
         std::to_string(options.num_shards) + ")");
-  // Resolve the inner name eagerly so a typo fails at make_index time, not
-  // at build time; the instance is kept to answer capability queries until
-  // build() creates the real shards.
+  // Resolve the inner name eagerly so a typo (or an unsupported metric —
+  // the inner backend enforces its own metric set) fails at make_index
+  // time, not at build time; the instance is kept to answer capability
+  // queries until build() creates the real shards.
   probe_ = make_index(inner_, options_);
+  metric_ = probe_->info().metric;
 }
 
 void ShardedIndex::build_shard(const Matrix<float>& X,
@@ -98,7 +100,7 @@ void ShardedIndex::build(const Matrix<float>& X) {
 }
 
 SearchResponse ShardedIndex::knn_search(const SearchRequest& request) const {
-  validate_knn(request, dim_, size_, built_, name_.c_str());
+  validate_knn(request, dim_, size_, built_, name_.c_str(), metric_);
   const Matrix<float>& Q = *request.queries;
   const index_t nq = Q.rows();
   const index_t k = request.k;
@@ -161,7 +163,7 @@ SearchResponse ShardedIndex::knn_search(const SearchRequest& request) const {
 RangeResponse ShardedIndex::range_search(const RangeRequest& request) const {
   if (!info().supports_range)
     return Index::range_search(request);  // uniform unsupported error
-  validate_range(request, dim_, built_, name_.c_str());
+  validate_range(request, dim_, built_, name_.c_str(), metric_);
   const index_t nq = request.queries->rows();
 
   std::vector<RangeResponse> fanout(shards_.size());
@@ -191,7 +193,7 @@ void ShardedIndex::save(std::ostream& os) const {
   if (!info().supports_save)
     return Index::save(os);  // uniform unsupported error
   io::write_pod(os, io::kMagicSharded);
-  io::write_pod(os, io::kFormatVersion);
+  io::write_metric_header(os, metric_);
   io::write_string(os, inner_);
   io::write_string(os, partition_name(partition_));
   io::write_pod(os, options_.num_shards);
@@ -205,11 +207,14 @@ void ShardedIndex::save(std::ostream& os) const {
 
 std::unique_ptr<Index> ShardedIndex::load(std::istream& is) {
   io::expect_pod(is, io::kMagicSharded, "sharded magic");
-  io::expect_pod(is, io::kFormatVersion, "sharded version");
+  // Version 1 predates runtime metrics and implies "l2"; version 2 stores
+  // the metric tag, which the inner backend re-validates below.
+  const std::string metric = io::read_metric_header(is, "sharded header");
   const std::string inner = io::read_string(is);
   const std::string partition = io::read_string(is);
 
   IndexOptions options;
+  options.metric = metric;
   options.partition = partition;
   io::read_pod(is, options.num_shards);
 
@@ -257,6 +262,11 @@ std::unique_ptr<Index> ShardedIndex::load(std::istream& is) {
           "rbc::ShardedIndex: corrupt stream (shard backend '" +
           shard.index->info().backend + "' != declared inner '" + inner +
           "')");
+    if (shard.index->info().metric != metric)
+      throw std::runtime_error(
+          "rbc::ShardedIndex: corrupt stream (shard metric '" +
+          shard.index->info().metric + "' != declared metric '" + metric +
+          "')");
     if (shard.index->info().size != rows.size())
       throw std::runtime_error(
           "rbc::ShardedIndex: corrupt stream (shard size mismatch)");
@@ -275,6 +285,7 @@ IndexInfo ShardedIndex::info() const {
   IndexInfo info;
   info.backend = name_;
   info.metric = inner_info.metric;
+  info.supported_metrics = inner_info.supported_metrics;
   info.size = size_;
   info.dim = dim_;
   info.supports_range = inner_info.supports_range;

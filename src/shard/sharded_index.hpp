@@ -89,6 +89,7 @@ class ShardedIndex final : public Index {
 
   std::string inner_;
   std::string name_;  // "sharded:<inner>" (what info().backend reports)
+  std::string metric_;  // the inner backend's built metric (validated there)
   IndexOptions options_;
   /// Unbuilt inner instance kept from the constructor's name validation;
   /// answers capability queries (info()) until the real shards exist.

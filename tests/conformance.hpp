@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "api/metrics.hpp"
 #include "test_util.hpp"
 
 namespace rbc::conformance {
@@ -263,6 +265,188 @@ inline void check_sharded_bit_parity(const std::string& backend) {
             << backend << " is not bit-identical to " << inner;
       }
     }
+  }
+}
+
+// ------------------------------------------------- metric x backend matrix ---
+
+/// Reference k-NN under a registry metric, mirroring the backends' exact
+/// computation path (the cosine case uses the same shared normalize() and
+/// distance conversion the backends use, so exact backends must match it
+/// bit for bit).
+inline KnnResult metric_reference_knn(const Matrix<float>& Q,
+                                      const Matrix<float>& X,
+                                      metric::Kind kind, index_t k) {
+  switch (kind) {
+    case metric::Kind::kL2:
+      return testutil::naive_knn(Q, X, k, Euclidean{});
+    case metric::Kind::kL1:
+      return testutil::naive_knn(Q, X, k, L1{});
+    case metric::Kind::kCosine: {
+      KnnResult r = testutil::naive_knn(metric::normalized_clone(Q),
+                                        metric::normalized_clone(X), k,
+                                        Euclidean{});
+      metric::cosine_distances_from_l2(r.dists);
+      return r;
+    }
+    case metric::Kind::kIp:
+      return testutil::naive_knn(Q, X, k, InnerProduct{});
+  }
+  return KnnResult(Q.rows(), k);
+}
+
+/// Every metric a backend declares in supported_metrics must actually
+/// work: info().metric reports it, exact backends reproduce the per-metric
+/// scalar reference including tie order, approximate backends keep a sane
+/// recall@1 against that reference, and a request asserting the built
+/// metric passes the shared validator.
+inline void check_metric_matrix(const std::string& backend) {
+  const std::vector<std::string> supported =
+      make_index(backend, suite_options())->info().supported_metrics;
+  ASSERT_FALSE(supported.empty()) << backend;
+  for (const std::string& name : supported) {
+    metric::Kind kind{};
+    ASSERT_TRUE(metric::lookup(name, kind))
+        << backend << " declares unknown metric '" << name << "'";
+    for (const Dataset& data : datasets()) {
+      SCOPED_TRACE(backend + " metric=" + name + " on " + data.name);
+      IndexOptions options = suite_options();
+      options.metric = name;
+      auto index = make_index(backend, options);
+      index->build(data.X);
+      EXPECT_EQ(index->info().metric, name);
+      const index_t k = 4;
+      const KnnResult reference =
+          metric_reference_knn(data.Q, data.X, kind, k);
+      SearchRequest request{.queries = &data.Q, .k = k};
+      request.options.metric = name;  // assert-the-built-metric contract
+      const SearchResponse response = index->knn_search(request);
+      if (index->info().exact) {
+        EXPECT_TRUE(testutil::knn_equal(reference, response.knn))
+            << backend << " diverged from the " << name << " reference";
+      } else {
+        EXPECT_GT(recall_at_1(response.knn, reference), 1.0 / 3.0)
+            << backend << " recall collapsed under " << name;
+      }
+    }
+  }
+}
+
+/// The unsupported-metric contract: every registry metric a backend does
+/// NOT declare must be rejected at make_index time with the uniform
+/// std::invalid_argument shape, as must names outside the registry; and a
+/// request asserting a metric other than the built one must fail in the
+/// shared validator.
+inline void check_unsupported_metric_contract(const std::string& backend) {
+  const std::vector<std::string> supported =
+      make_index(backend, suite_options())->info().supported_metrics;
+  auto expect_rejected = [&](const std::string& name) {
+    IndexOptions options = suite_options();
+    options.metric = name;
+    try {
+      (void)make_index(backend, options);
+      FAIL() << backend << " accepted metric '" << name << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("unsupported metric"),
+                std::string::npos)
+          << backend << " threw a different message: " << e.what();
+    }
+  };
+  for (const metric::Entry& entry : metric::registry())
+    if (std::find(supported.begin(), supported.end(), entry.name) ==
+        supported.end())
+      expect_rejected(entry.name);
+  expect_rejected("no-such-metric");
+
+  // Metric-assertion mismatch: the shared validator, not the backend, must
+  // reject a request that assumes a different metric than the index holds.
+  const Matrix<float> X = testutil::clustered_matrix(40, 5, 3, 110);
+  const Matrix<float> Q = testutil::random_matrix(3, 5, 111);
+  auto index = build_index(backend, X);  // built with the default "l2"
+  SearchRequest mismatched{.queries = &Q, .k = 1};
+  mismatched.options.metric = "cosine";
+  EXPECT_THROW((void)index->knn_search(mismatched), std::invalid_argument)
+      << backend << ": metric-assertion mismatch must throw";
+  SearchRequest asserted{.queries = &Q, .k = 1};
+  asserted.options.metric = "l2";
+  EXPECT_NO_THROW((void)index->knn_search(asserted))
+      << backend << ": asserting the built metric must pass";
+}
+
+/// Sharded bit-parity under "cosine" (the satellite obligation of the
+/// metric redesign): the composite must stay bit-identical to its inner
+/// backend when both run the normalized-L2 cosine path — the merge
+/// operates on converted distances, so this pins the conversion happening
+/// inside the shards, once, not per layer. No-op for non-sharded backends
+/// and inners without cosine.
+inline void check_sharded_metric_parity(const std::string& backend) {
+  constexpr std::string_view kPrefix = "sharded:";
+  if (backend.substr(0, kPrefix.size()) != kPrefix) return;
+  const std::string inner = backend.substr(kPrefix.size());
+  const std::vector<std::string> supported =
+      make_index(inner, suite_options())->info().supported_metrics;
+  if (std::find(supported.begin(), supported.end(), "cosine") ==
+      supported.end())
+    return;
+
+  for (const Dataset& data : datasets()) {
+    IndexOptions inner_options = suite_options();
+    inner_options.metric = "cosine";
+    auto reference_index = make_index(inner, inner_options);
+    reference_index->build(data.X);
+    if (!reference_index->info().exact) return;
+    const index_t k = 5;
+    const KnnResult reference =
+        reference_index->knn_search({.queries = &data.Q, .k = k}).knn;
+
+    for (index_t shards : {index_t{2}, index_t{7}}) {
+      for (const char* partition : {"contiguous", "strided"}) {
+        SCOPED_TRACE(backend + " cosine on " + data.name + " shards=" +
+                     std::to_string(shards) + " partition=" + partition);
+        IndexOptions options = suite_options();
+        options.metric = "cosine";
+        options.num_shards = shards;
+        options.partition = partition;
+        auto sharded = make_index(backend, options);
+        sharded->build(data.X);
+        EXPECT_EQ(sharded->info().metric, "cosine");
+        const KnnResult result =
+            sharded->knn_search({.queries = &data.Q, .k = k}).knn;
+        EXPECT_TRUE(testutil::knn_equal(reference, result))
+            << backend << " cosine is not bit-identical to " << inner;
+      }
+    }
+  }
+}
+
+/// Serialize round-trips must preserve the metric: a restored index
+/// reports the same info().metric and answers identically under it ("l2"
+/// is covered by check_serialize_roundtrip; this covers the rest).
+inline void check_metric_serialize_roundtrip(const std::string& backend) {
+  const Dataset data = std::move(datasets().front());
+  const std::vector<std::string> supported =
+      make_index(backend, suite_options())->info().supported_metrics;
+  for (const std::string& name : supported) {
+    if (name == "l2") continue;
+    SCOPED_TRACE(backend + " metric=" + name);
+    IndexOptions options = suite_options();
+    options.metric = name;
+    auto index = make_index(backend, options);
+    index->build(data.X);
+    if (!index->info().supports_save) continue;
+    const index_t k = 4;
+    const KnnResult before =
+        index->knn_search({.queries = &data.Q, .k = k}).knn;
+    std::stringstream stream;
+    index->save(stream);
+    const auto restored = load_index(stream);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->info().backend, backend);
+    EXPECT_EQ(restored->info().metric, name);
+    const KnnResult after =
+        restored->knn_search({.queries = &data.Q, .k = k}).knn;
+    EXPECT_TRUE(testutil::knn_equal(before, after))
+        << backend << ": restored " << name << " index diverged";
   }
 }
 

@@ -227,6 +227,33 @@ TEST(ApiRangeSearch, BruteforceAndRbcExactMatchTheNaiveReference) {
   }
 }
 
+TEST(ApiRangeSearch, IpRadiusIsANegatedDotThresholdAndMayBeNegative) {
+  const Matrix<float> X = testutil::random_matrix(200, 6, 14);
+  const Matrix<float> Q = testutil::random_matrix(5, 6, 15);
+  auto index = make_index("bruteforce", {.metric = "ip"});
+  index->build(X);
+
+  // radius = -t selects all rows with dot(q, x) >= t; a negative radius is
+  // the useful case and must pass validation under "ip".
+  const float t = 0.25f;
+  const RangeResponse response =
+      index->range_search({.queries = &Q, .radius = -t});
+  ASSERT_EQ(response.ids.size(), Q.rows());
+  const InnerProduct metric{};
+  for (index_t qi = 0; qi < Q.rows(); ++qi) {
+    std::vector<index_t> expected;
+    for (index_t j = 0; j < X.rows(); ++j)
+      if (metric(Q.row(qi), X.row(j), X.cols()) <= -t) expected.push_back(j);
+    EXPECT_EQ(response.ids[qi], expected) << "query " << qi;
+  }
+
+  // Real metrics keep the non-negativity rule.
+  auto l2 = make_index("bruteforce");
+  l2->build(X);
+  EXPECT_THROW((void)l2->range_search({.queries = &Q, .radius = -1.0f}),
+               std::invalid_argument);
+}
+
 TEST(ApiRangeSearch, UnsupportedBackendThrows) {
   const Matrix<float> X = testutil::random_matrix(30, 5, 12);
   const Matrix<float> Q = testutil::random_matrix(3, 5, 13);

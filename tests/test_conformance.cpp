@@ -6,8 +6,10 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "conformance.hpp"
+#include "distance/dispatch.hpp"
 
 namespace rbc {
 namespace {
@@ -38,11 +40,73 @@ TEST_P(ConformanceTest, ShardedVariantsAreBitIdenticalToTheirInner) {
   conformance::check_sharded_bit_parity(GetParam());
 }
 
+TEST_P(ConformanceTest, MetricMatrixMatchesThePerMetricReference) {
+  conformance::check_metric_matrix(GetParam());
+}
+
+TEST_P(ConformanceTest, UnsupportedMetricsFollowTheUniformContract) {
+  conformance::check_unsupported_metric_contract(GetParam());
+}
+
+TEST_P(ConformanceTest, MetricSerializeRoundTripsPreserveTheMetric) {
+  conformance::check_metric_serialize_roundtrip(GetParam());
+}
+
+TEST_P(ConformanceTest, ShardedCosineIsBitIdenticalToTheInner) {
+  conformance::check_sharded_metric_parity(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, ConformanceTest,
                          ::testing::ValuesIn(registered_backends()),
                          [](const auto& info) {
                            return conformance::sanitized(info.param);
                          });
+
+// The acceptance bar of the metric redesign: for every supported
+// (backend, metric) pair of the dispatched backends, forcing each compiled
+// ISA must return bit-identical results — the prefilter + scalar-re-measure
+// contract, now holding per metric. Scoped to the backends that actually
+// consult the dispatcher (trees never do; the sharded composite is pinned
+// separately by its bit-parity checks).
+TEST(MetricIsaParity, DispatchedBackendsAreBitIdenticalAcrossForcedIsas) {
+  std::vector<dispatch::Isa> isas;
+  for (const dispatch::Isa isa :
+       {dispatch::Isa::kScalar, dispatch::Isa::kAvx2, dispatch::Isa::kAvx512})
+    if (dispatch::isa_available(isa)) isas.push_back(isa);
+
+  const conformance::Dataset data =
+      std::move(conformance::datasets().front());
+  const index_t k = 5;
+  for (const std::string& backend : {std::string("bruteforce"),
+                                     std::string("rbc-exact"),
+                                     std::string("rbc-oneshot")}) {
+    const std::vector<std::string> supported =
+        make_index(backend, conformance::suite_options())
+            ->info()
+            .supported_metrics;
+    for (const std::string& name : supported) {
+      KnnResult reference;
+      for (std::size_t i = 0; i < isas.size(); ++i) {
+        SCOPED_TRACE(backend + " metric=" + name + " isa=" +
+                     dispatch::isa_name(isas[i]));
+        dispatch::force_isa(isas[i]);
+        IndexOptions options = conformance::suite_options();
+        options.metric = name;
+        auto index = make_index(backend, options);
+        index->build(data.X);  // built AND searched under the forced ISA
+        KnnResult result = index->knn_search({.queries = &data.Q, .k = k}).knn;
+        if (i == 0)
+          reference = std::move(result);
+        else
+          EXPECT_TRUE(testutil::knn_equal(reference, result))
+              << backend << "/" << name << " diverged between "
+              << dispatch::isa_name(isas[0]) << " and "
+              << dispatch::isa_name(isas[i]);
+      }
+    }
+  }
+  dispatch::clear_forced_isa();
+}
 
 // The registry is the source of truth: every registered backend must have
 // instantiated conformance tests. This walks gtest's own test registry, so

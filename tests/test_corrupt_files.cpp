@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "rbc/rbc_exact.hpp"
 #include "rbc/serialize_io.hpp"
 #include "test_util.hpp"
 
@@ -114,6 +115,126 @@ TEST(CorruptFiles, ShardedStreamWithCorruptInnerNameThrows) {
   io::write_string(stream, "contiguous");
   io::write_pod(stream, index_t{2});  // num_shards
   EXPECT_THROW((void)load_index(stream), std::runtime_error);
+}
+
+TEST(CorruptFiles, UnknownMetricTagIsRejectedAsCorruption) {
+  // A version-2 header whose metric tag is not in the registry is file
+  // corruption: std::runtime_error (never the factory's invalid_argument,
+  // which is reserved for caller errors).
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicBruteForce);
+    io::write_metric_header(stream, "no-such-metric");
+    io::write_pod(stream, index_t{1});  // rows
+    io::write_pod(stream, index_t{1});  // cols
+    io::write_pod(stream, 1.0f);
+    try {
+      (void)load_index(stream);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("metric"), std::string::npos)
+          << "error should mention the metric tag: " << e.what();
+    }
+  }
+  {
+    // Tree formats share the header helper; kdtree declares l2/cosine only,
+    // so a stored "l1" tag is corruption for it too.
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicKdTree);
+    io::write_metric_header(stream, "l1");
+    io::write_pod(stream, index_t{16});  // leaf_size
+    io::write_pod(stream, index_t{1});   // rows
+    io::write_pod(stream, index_t{1});   // cols
+    io::write_pod(stream, 1.0f);
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  {
+    // Sharded header with a garbage metric tag.
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicSharded);
+    io::write_metric_header(stream, "no-such-metric");
+    io::write_string(stream, "bruteforce");
+    io::write_string(stream, "contiguous");
+    io::write_pod(stream, index_t{2});
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  {
+    // An unknown (version 3) header is rejected, not misparsed.
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicBruteForce);
+    io::write_pod(stream, std::uint32_t{3});
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+}
+
+TEST(CorruptFiles, LegacyVersion1FilesLoadAsL2) {
+  const Matrix<float> X = testutil::clustered_matrix(60, 5, 3, 53);
+  const Matrix<float> Q = testutil::random_matrix(4, 5, 54);
+
+  // Hand-written pre-metric bruteforce file: magic, version 1, matrix.
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicBruteForce);
+    io::write_pod(stream, io::kFormatVersion);
+    io::write_matrix(stream, X);
+    const auto index = load_index(stream);
+    EXPECT_EQ(index->info().metric, "l2");
+    EXPECT_EQ(index->info().size, X.rows());
+    auto fresh = make_index("bruteforce");
+    fresh->build(X);
+    EXPECT_TRUE(testutil::knn_equal(
+        fresh->knn_search({.queries = &Q, .k = 3}).knn,
+        index->knn_search({.queries = &Q, .k = 3}).knn));
+  }
+  // Pre-metric kdtree file: magic, version 1, leaf_size, matrix.
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicKdTree);
+    io::write_pod(stream, io::kFormatVersion);
+    io::write_pod(stream, index_t{16});
+    io::write_matrix(stream, X);
+    const auto index = load_index(stream);
+    EXPECT_EQ(index->info().backend, "kdtree");
+    EXPECT_EQ(index->info().metric, "l2");
+  }
+  // A concrete-class RbcExactIndex stream (its own version-1 format) must
+  // still load through the wrapper's legacy rewind path as "l2".
+  {
+    RbcExactIndex<Euclidean> concrete;
+    concrete.build(X, {.num_reps = 8, .seed = 5});
+    std::stringstream stream;
+    concrete.save(stream);
+    const auto index = load_index(stream);
+    EXPECT_EQ(index->info().backend, "rbc-exact");
+    EXPECT_EQ(index->info().metric, "l2");
+    auto fresh = make_index("bruteforce");
+    fresh->build(X);
+    EXPECT_TRUE(testutil::knn_equal(
+        fresh->knn_search({.queries = &Q, .k = 3}).knn,
+        index->knn_search({.queries = &Q, .k = 3}).knn));
+  }
+  // Pre-metric sharded header over modern inner streams: the composite's
+  // legacy path defaults the metric to l2 and still validates the shards.
+  {
+    auto sharded = make_index("sharded:bruteforce", {.num_shards = 2});
+    sharded->build(X);
+    std::stringstream modern;
+    sharded->save(modern);
+    // Rewrite the header: magic + v1 (no metric tag), then splice the rest
+    // of the modern stream (inner name onward) unchanged.
+    const std::string bytes = modern.str();
+    const std::size_t metric_header =
+        sizeof(io::kMagicSharded) + sizeof(io::kFormatVersionMetric) +
+        sizeof(std::uint64_t) + std::string("l2").size();
+    std::stringstream legacy;
+    io::write_pod(legacy, io::kMagicSharded);
+    io::write_pod(legacy, io::kFormatVersion);
+    legacy << bytes.substr(metric_header);
+    const auto index = load_index(legacy);
+    EXPECT_EQ(index->info().backend, "sharded:bruteforce");
+    EXPECT_EQ(index->info().metric, "l2");
+    EXPECT_EQ(index->info().size, X.rows());
+  }
 }
 
 TEST(CorruptFiles, FlippedMagicByteIsRejected) {

@@ -4,6 +4,7 @@
 // runtime-dispatched kernel layer (distance/dispatch.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -216,6 +217,80 @@ TEST_P(DispatchFuzzTest, RowAndGatherShapesMatchScalarReference) {
   }
 }
 
+// The metric shapes of the unified API's runtime metrics: Manhattan
+// (rows_l1/gather_l1, relative tolerance — sums of non-negative terms) and
+// negated dot (rows_ip/gather_ip, absolute tolerance scaled by
+// ||q||*||x|| — cancellation makes relative bounds meaningless).
+TEST_P(DispatchFuzzTest, L1AndIpShapesMatchScalarReference) {
+  const index_t d = GetParam();
+  const index_t rows = 61;  // 7 full 8-row blocks + a 5-row remainder
+  const Matrix<float> X = random_points(rows, d, 5'000 + d);
+  const Matrix<float> Q = random_points(1, d, 6'000 + d);
+  const float* q = Q.row(0);
+
+  std::vector<index_t> ids;  // gather pattern: every other row, reversed
+  for (index_t p = rows; p-- > 0;)
+    if (p % 2 == 0) ids.push_back(p);
+
+  const float mrel = dispatch::tile_margin(d);
+  const float q_norm = std::sqrt(kernels::dot_scalar(q, q, d));
+  for (const dispatch::Isa isa : runnable_isas()) {
+    const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+    std::vector<float> out(rows);
+
+    const float l1_min =
+        ops.rows_l1(q, d, X.data(), X.stride(), 0, rows, out.data());
+    float written_min = kInfDist;
+    for (index_t p = 0; p < rows; ++p) {
+      const float ref = kernels::l1_scalar(q, X.row(p), d);
+      EXPECT_NEAR(out[p], ref, 1e-6f + mrel * ref)
+          << "rows_l1 " << dispatch::isa_name(isa) << " d=" << d;
+      written_min = std::min(written_min, out[p]);
+    }
+    EXPECT_EQ(l1_min, written_min) << "rows_l1 min " << dispatch::isa_name(isa);
+
+    const float ip_min =
+        ops.rows_ip(q, d, X.data(), X.stride(), 0, rows, out.data());
+    written_min = kInfDist;
+    for (index_t p = 0; p < rows; ++p) {
+      const float ref = -kernels::dot_scalar(q, X.row(p), d);
+      const float x_norm =
+          std::sqrt(kernels::dot_scalar(X.row(p), X.row(p), d));
+      EXPECT_NEAR(out[p], ref, 1e-6f + mrel * q_norm * x_norm)
+          << "rows_ip " << dispatch::isa_name(isa) << " d=" << d;
+      written_min = std::min(written_min, out[p]);
+    }
+    EXPECT_EQ(ip_min, written_min) << "rows_ip min " << dispatch::isa_name(isa);
+
+    std::vector<float> gout(ids.size());
+    ops.gather_l1(q, d, X.data(), X.stride(), ids.data(),
+                  static_cast<index_t>(ids.size()), gout.data());
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const float ref = kernels::l1_scalar(q, X.row(ids[j]), d);
+      EXPECT_NEAR(gout[j], ref, 1e-6f + mrel * ref)
+          << "gather_l1 " << dispatch::isa_name(isa) << " d=" << d;
+    }
+    ops.gather_ip(q, d, X.data(), X.stride(), ids.data(),
+                  static_cast<index_t>(ids.size()), gout.data());
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const float ref = -kernels::dot_scalar(q, X.row(ids[j]), d);
+      const float x_norm = std::sqrt(
+          kernels::dot_scalar(X.row(ids[j]), X.row(ids[j]), d));
+      EXPECT_NEAR(gout[j], ref, 1e-6f + mrel * q_norm * x_norm)
+          << "gather_ip " << dispatch::isa_name(isa) << " d=" << d;
+    }
+    // Offset start: lo != 0 block alignment for both metric row shapes.
+    if (rows > 9) {
+      ops.rows_l1(q, d, X.data(), X.stride(), 9, rows, out.data());
+      for (index_t p = 9; p < rows; ++p) {
+        const float ref = kernels::l1_scalar(q, X.row(p), d);
+        EXPECT_NEAR(out[p - 9], ref, 1e-6f + mrel * ref)
+            << "rows_l1(lo=9) " << dispatch::isa_name(isa) << " d=" << d;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Dims, DispatchFuzzTest,
                          ::testing::Values(1, 2, 7, 8, 15, 16, 17, 21, 31,
                                            32, 54, 74, 128, 333));
@@ -258,6 +333,14 @@ TEST(Dispatch, ZeroDimensionAndEmptyRangesAreSafe) {
     EXPECT_EQ(out[0], 0.0f) << dispatch::isa_name(isa);
     ops.rows(&x, 1, &x, 1, 0, 0, out);  // empty row range: no write
     ops.gather(&x, 1, &x, 1, nullptr, 0, out);
+    ops.rows_l1(&x, 0, &x, 1, 0, 1, out);  // metric shapes: same contract
+    EXPECT_EQ(out[0], 0.0f) << dispatch::isa_name(isa);
+    ops.rows_ip(&x, 0, &x, 1, 0, 1, out);
+    EXPECT_EQ(out[0], 0.0f) << dispatch::isa_name(isa);
+    ops.rows_l1(&x, 1, &x, 1, 0, 0, out);
+    ops.rows_ip(&x, 1, &x, 1, 0, 0, out);
+    ops.gather_l1(&x, 1, &x, 1, nullptr, 0, out);
+    ops.gather_ip(&x, 1, &x, 1, nullptr, 0, out);
   }
 }
 
