@@ -19,6 +19,8 @@
 // highest client count). --smoke shrinks everything so CI can validate the
 // pipeline in seconds. Knobs: RBC_SERVE_BENCH_N (database size),
 // RBC_SERVE_BENCH_QUERIES (total queries per configuration).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -29,6 +31,8 @@
 #include "bench_util.hpp"
 #include "data/generators.hpp"
 #include "rbc/rbc.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -111,6 +115,90 @@ RunResult run_config(const Index& shared, const Matrix<float>& queries,
   r.batches = stats.batches;
   r.evals_per_query =
       static_cast<double>(work.delta()) / static_cast<double>(total);
+  return r;
+}
+
+struct NetRunResult {
+  int clients = 0;
+  index_t queries = 0;  // completed (admitted + answered) queries
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;  // client-observed round-trip latency
+  double p99_ms = 0.0;
+  std::uint64_t rejected = 0;  // kOverloaded rejections (each retried)
+};
+
+/// One network sweep point: a fresh RbcServer over loopback serving the
+/// shared index, `clients` closed-loop threads each sending its share of
+/// `total` single-row knn requests over its own TCP connection. Overload
+/// rejections are counted, honored (sleep retry_after_ms) and retried, so
+/// `queries` completed answers always arrive; `rejected` records how often
+/// admission control pushed back. Latency is measured client-side — wire
+/// round-trip, not just service time.
+NetRunResult run_net_config(const Index& shared, const Matrix<float>& queries,
+                            int clients, index_t max_batch, index_t k) {
+  serve::net::RbcServer server(
+      std::make_unique<SharedIndexView>(&shared), {.port = 0},
+      {.max_batch = max_batch, .max_wait_us = 300, .workers = 2});
+  const std::uint16_t port = server.port();
+
+  const index_t total = queries.rows();
+  const index_t per_client = total / static_cast<index_t>(clients);
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> rejected(static_cast<std::size_t>(clients), 0);
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      serve::net::RbcClient client("127.0.0.1", port);
+      const index_t begin = static_cast<index_t>(c) * per_client;
+      const index_t end = c == clients - 1 ? total : begin + per_client;
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(end - begin);
+      for (index_t qi = begin; qi < end; ++qi) {
+        Matrix<float> one(1, queries.cols());
+        std::copy_n(queries.row(qi), queries.cols(), one.row(0));
+        const auto t0 = std::chrono::steady_clock::now();
+        for (;;) {
+          try {
+            (void)client.knn(one, k);
+            break;
+          } catch (const serve::net::RemoteError& e) {
+            if (e.code() != serve::net::ErrorCode::kOverloaded) throw;
+            ++rejected[static_cast<std::size_t>(c)];
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(std::max(1u, e.retry_after_ms())));
+          }
+        }
+        mine.push_back(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  const double seconds = timer.seconds();
+  server.stop();
+
+  std::vector<double> all;
+  all.reserve(total);
+  for (const auto& mine : latencies) all.insert(all.end(), mine.begin(), mine.end());
+  std::sort(all.begin(), all.end());
+  const auto pct = [&all](double p) {
+    if (all.empty()) return 0.0;
+    const auto i = static_cast<std::size_t>(
+        p * static_cast<double>(all.size() - 1));
+    return all[i];
+  };
+  NetRunResult r;
+  r.clients = clients;
+  r.queries = static_cast<index_t>(all.size());
+  r.seconds = seconds;
+  r.qps = static_cast<double>(all.size()) / seconds;
+  r.p50_ms = pct(0.50);
+  r.p99_ms = pct(0.99);
+  for (std::uint64_t n_rejected : rejected) r.rejected += n_rejected;
   return r;
 }
 
@@ -204,6 +292,33 @@ int main(int argc, char** argv) {
     shard_results.push_back(r);
   }
 
+  // Network scaling sweep: the same index behind an RbcServer on loopback,
+  // closed-loop single-row clients at increasing client counts. This is the
+  // wire-level counterpart of the in-process client sweep above: each added
+  // client deepens the coalescing window, so queries/sec should grow with
+  // client count until the service saturates. Latencies are client-observed
+  // round trips; kOverloaded rejections are honored-and-retried and the
+  // rejection count is recorded so backpressure is accounted for, not
+  // hidden.
+  const index_t net_queries = static_cast<index_t>(env_or(
+      "RBC_SERVE_BENCH_NET_QUERIES", std::int64_t{smoke ? 128 : 2'000}));
+  Matrix<float> net_query_block = data::make_subspace_clusters(
+      net_queries, dim, 30, 3, 0.05f, /*seed=*/4);
+  std::printf("\nnetwork scaling (loopback, single-row clients, max_batch=%u, "
+              "%u queries/config):\n",
+              top_batch, net_queries);
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "clients", "qps", "p50_ms",
+              "p99_ms", "queries", "rejected");
+  std::vector<NetRunResult> net_results;
+  for (int clients : client_counts) {
+    const NetRunResult r =
+        run_net_config(*index, net_query_block, clients, top_batch, k);
+    std::printf("%8d %10.0f %10.3f %10.3f %10u %10llu\n", r.clients, r.qps,
+                r.p50_ms, r.p99_ms, r.queries,
+                static_cast<unsigned long long>(r.rejected));
+    net_results.push_back(r);
+  }
+
   // Acceptance record: best batched (max_batch >= 64) vs unbatched at the
   // highest client count.
   double unbatched_qps = 0.0, batched_qps = 0.0;
@@ -260,6 +375,19 @@ int main(int argc, char** argv) {
                "  \"shard_scaling\": [\n");
   for (std::size_t i = 0; i < shard_results.size(); ++i)
     write_row(shard_results[i], i + 1 == shard_results.size());
+  std::fprintf(out,
+               "  ],\n"
+               "  \"net_scaling\": [\n");
+  for (std::size_t i = 0; i < net_results.size(); ++i) {
+    const NetRunResult& r = net_results[i];
+    std::fprintf(out,
+                 "    {\"clients\": %d, \"queries\": %u, \"seconds\": %.4f, "
+                 "\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"rejected\": %llu}%s\n",
+                 r.clients, r.queries, r.seconds, r.qps, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.rejected),
+                 i + 1 == net_results.size() ? "" : ",");
+  }
   std::fprintf(out,
                "  ],\n"
                "  \"acceptance\": {\n"

@@ -1,0 +1,104 @@
+// Minimal command-line client for an rbc_server (serve_demo --listen):
+//
+//   ./net_client <host> <port> info
+//   ./net_client <host> <port> knn [nq] [k]     # random in-distribution rows
+//   ./net_client <host> <port> reload <path>    # server-side index file
+//
+// `knn` generates queries from the same cluster model serve_demo's synthetic
+// mode builds its database from, sends them as one block, and prints the
+// first row's neighbors plus client-observed latency. An overloaded server
+// answers with a retry_after_ms hint, which this client honors.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "data/generators.hpp"
+#include "serve/net/client.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbc;
+  using namespace rbc::serve::net;
+
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <host> <port> info|knn [nq] [k]|reload <path>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const std::string cmd = argv[3];
+
+  try {
+    RbcClient client(host, port);
+
+    if (cmd == "info") {
+      const InfoMsg info = client.info();
+      std::printf("backend:   %s (metric %s, %u points x %u dims)\n",
+                  info.backend.c_str(), info.metric.c_str(), info.size,
+                  info.dim);
+      std::printf("service:   %llu completed, %llu rejected, p50 %.2fms "
+                  "p99 %.2fms\n",
+                  static_cast<unsigned long long>(info.completed),
+                  static_cast<unsigned long long>(info.rejected),
+                  info.p50_ms, info.p99_ms);
+      std::printf("this conn: %llu requests, %llu rejected, %llu B in, "
+                  "%llu B out\n",
+                  static_cast<unsigned long long>(info.conn_requests),
+                  static_cast<unsigned long long>(info.conn_rejected),
+                  static_cast<unsigned long long>(info.conn_bytes_in),
+                  static_cast<unsigned long long>(info.conn_bytes_out));
+      return 0;
+    }
+
+    if (cmd == "knn") {
+      const index_t nq =
+          argc > 4 ? static_cast<index_t>(std::atoi(argv[4])) : 16;
+      const index_t k = argc > 5 ? static_cast<index_t>(std::atoi(argv[5])) : 5;
+      const InfoMsg info = client.info();
+      Matrix<float> queries = data::make_subspace_clusters(
+          nq, info.dim, /*clusters=*/30, /*intrinsic_d=*/3, /*noise=*/0.05f,
+          /*seed=*/42);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      KnnResult result(0, 0);
+      for (;;) {
+        try {
+          result = client.knn(queries, k);
+          break;
+        } catch (const RemoteError& e) {
+          if (e.code() != ErrorCode::kOverloaded) throw;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(e.retry_after_ms()));
+        }
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      std::printf("%u queries x k=%u in %.2fms; query 0 neighbors:\n", nq, k,
+                  ms);
+      for (index_t j = 0; j < k; ++j)
+        std::printf("  id %8u  dist %g\n", result.ids.at(0, j),
+                    result.dists.at(0, j));
+      return 0;
+    }
+
+    if (cmd == "reload") {
+      if (argc < 5) {
+        std::fprintf(stderr, "reload needs a server-side index path\n");
+        return 2;
+      }
+      client.reload(argv[4]);
+      std::printf("reloaded %s\n", argv[4]);
+      return 0;
+    }
+
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,5 +1,8 @@
-// Serving demo: N client threads firing single queries at a SearchService,
-// which coalesces them into paper-style query blocks for the backend.
+// Serving demo: two modes over the same serving stack.
+//
+// In-process demo (default): N client threads firing single queries at a
+// SearchService, which coalesces them into paper-style query blocks for the
+// backend.
 //
 //   ./serve_demo [backend] [clients] [queries_per_client] [max_batch] [metric]
 //   ./serve_demo rbc-exact 8 2000 256 cosine
@@ -9,18 +12,118 @@
 // service turns that anti-batch workload into large BF(Q, X) blocks — watch
 // the batch-size histogram: with enough concurrent clients almost nothing
 // executes as a singleton.
+//
+// Network server mode (--listen): stands up an RbcServer speaking the
+// framed binary protocol, either over a saved index file or a freshly built
+// synthetic one, and serves until SIGINT/SIGTERM — on which it drains
+// gracefully (in-flight requests finish, new ones get kShuttingDown).
+// Talk to it with examples/net_client.cpp, or run several as shard owners
+// behind a rbc::dist::NetRouter.
+//
+//   ./serve_demo --listen 9172 --index index.rbc
+//   ./serve_demo --listen 0 --backend rbc-exact --n 50000 --max-batch 256
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "data/generators.hpp"
 #include "rbc/rbc.hpp"
+#include "serve/net/server.hpp"
 #include "serve/service.hpp"
+
+namespace {
+
+// SIGINT/SIGTERM write 8 bytes to the server's stop eventfd — the only
+// async-signal-safe way to request the graceful drain.
+int g_stop_fd = -1;
+void on_signal(int) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(g_stop_fd, &one, sizeof one);
+}
+
+int run_server(int argc, char** argv) {
+  using namespace rbc;
+
+  std::uint16_t port = 0;
+  std::string index_file, backend = "rbc-exact", metric = "l2";
+  index_t n = 50'000;
+  index_t max_batch = 256;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--listen") port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--index") index_file = next();
+    else if (arg == "--backend") backend = next();
+    else if (arg == "--metric") metric = next();
+    else if (arg == "--n") n = static_cast<index_t>(std::atol(next()));
+    else if (arg == "--max-batch")
+      max_batch = static_cast<index_t>(std::atoi(next()));
+    else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<Index> index;
+  if (!index_file.empty()) {
+    std::ifstream is(index_file, std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "cannot open index file %s\n", index_file.c_str());
+      return 1;
+    }
+    index = load_index(is);
+  } else {
+    Matrix<float> database = data::make_subspace_clusters(
+        n, /*dim=*/32, /*clusters=*/30, /*intrinsic_d=*/3, /*noise=*/0.05f,
+        /*seed=*/1);
+    index = make_index(backend, {.metric = metric});
+    index->build(database);
+  }
+  const IndexInfo info = index->info();
+
+  serve::net::RbcServer server(std::move(index), {.port = port},
+                               {.max_batch = max_batch});
+  g_stop_fd = server.stop_fd();
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("rbc_server: serving %s (%u points, %u dims, metric %s) on "
+              "port %u — SIGINT/SIGTERM drains\n",
+              info.backend.c_str(), info.size, info.dim, info.metric.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  server.wait();
+  const serve::net::NetServerStats stats = server.stats();
+  server.stop();
+  std::printf("rbc_server: drained. %llu connections, %llu requests "
+              "(%llu rejected), %llu frames out\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.frames_out));
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rbc;
+
+  for (int a = 1; a < argc; ++a)
+    if (std::strcmp(argv[a], "--listen") == 0) return run_server(argc, argv);
 
   const std::string backend = argc > 1 ? argv[1] : "rbc-exact";
   const int clients = argc > 2 ? std::atoi(argv[2]) : 8;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network serving stack, as CI runs it:
+#
+#   scripts/net_smoke.sh [build_dir]
+#
+# Starts `serve_demo --listen 0` (OS-assigned port, synthetic index), parses
+# the bound port from its stdout, waits until `net_client info` answers, then
+# runs 4 concurrent `net_client knn` clients, and finally sends SIGTERM and
+# requires a clean (exit 0) graceful drain. Any failure — server crash,
+# client error, unclean shutdown — fails the script.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/serve_demo"
+CLIENT="$BUILD_DIR/net_client"
+LOG="$(mktemp)"
+
+[ -x "$SERVE" ] || { echo "missing $SERVE (build examples first)"; exit 1; }
+[ -x "$CLIENT" ] || { echo "missing $CLIENT (build examples first)"; exit 1; }
+
+"$SERVE" --listen 0 --n 2000 >"$LOG" 2>&1 &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"; }
+trap cleanup EXIT
+
+# serve_demo prints "rbc_server: serving <backend> ... on port <port>" and
+# flushes before entering the event loop.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*on port \([0-9]*\).*/\1/p' "$LOG" | head -n1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; echo "server died"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { cat "$LOG"; echo "server never reported its port"; exit 1; }
+echo "server up on port $PORT"
+
+# Wait until the INFO op answers (the listener is live before the banner,
+# but poll anyway so the script has no race to lose).
+for _ in $(seq 1 50); do
+  "$CLIENT" 127.0.0.1 "$PORT" info >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$CLIENT" 127.0.0.1 "$PORT" info
+
+# 4 concurrent clients, each a 64-query x k=5 block.
+PIDS=()
+for _ in 1 2 3 4; do
+  "$CLIENT" 127.0.0.1 "$PORT" knn 64 5 >/dev/null &
+  PIDS+=("$!")
+done
+for pid in "${PIDS[@]}"; do wait "$pid"; done
+echo "4 concurrent clients OK"
+
+# Graceful drain: SIGTERM must produce a clean exit 0.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+trap - EXIT
+rm -f "$LOG"
+echo "graceful drain OK"

@@ -30,7 +30,8 @@ def expect(cond: bool, message: str) -> None:
 
 TOP = {"bench": str, "backend": str, "smoke": bool, "n": int, "dim": int,
        "k": int, "total_queries": int, "results": list,
-       "worker_scaling": list, "shard_scaling": list, "acceptance": dict}
+       "worker_scaling": list, "shard_scaling": list, "net_scaling": list,
+       "acceptance": dict}
 for key, kind in TOP.items():
     expect(isinstance(doc.get(key), kind),
            f"top-level '{key}' missing or not {kind.__name__}")
@@ -72,6 +73,27 @@ expect(any(row.get("num_shards", 0) > 1
 expect(any(row.get("num_shards", 0) == 1
            for row in doc.get("shard_scaling", [])),
        "shard_scaling has no num_shards == 1 baseline")
+
+# The network sweep (RbcServer over loopback) has its own row schema:
+# client-observed latency, no batching/work columns, and a rejection count
+# so backpressure is accounted for rather than hidden.
+NET_RESULT = {"clients": int, "queries": int, "seconds": (int, float),
+              "qps": (int, float), "p50_ms": (int, float),
+              "p99_ms": (int, float), "rejected": int}
+for i, row in enumerate(doc.get("net_scaling", [])):
+    for key, kind in NET_RESULT.items():
+        expect(isinstance(row.get(key), kind),
+               f"net_scaling[{i}].{key} missing or wrong type")
+    if isinstance(row.get("seconds"), (int, float)) and row["seconds"] > 0:
+        implied = row["queries"] / row["seconds"]
+        expect(abs(implied - row["qps"]) <= 0.02 * implied + 1.0,
+               f"net_scaling[{i}].qps inconsistent with queries/seconds")
+    expect(row.get("p99_ms", 0) >= row.get("p50_ms", 0),
+           f"net_scaling[{i}]: p99 < p50")
+    expect(row.get("rejected", -1) >= 0, f"net_scaling[{i}].rejected < 0")
+# The sweep must actually scale the client count (a clients > 1 point).
+expect(any(row.get("clients", 0) > 1 for row in doc.get("net_scaling", [])),
+       "net_scaling has no clients > 1 configuration")
 
 acc = doc.get("acceptance", {})
 for key in ("clients", "unbatched_qps", "batched_qps", "batched_max_batch",

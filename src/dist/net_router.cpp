@@ -1,0 +1,176 @@
+#include "dist/net_router.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "shard/merge.hpp"
+
+namespace rbc::dist {
+
+using serve::net::ErrorCode;
+using serve::net::InfoMsg;
+using serve::net::RbcClient;
+using serve::net::RemoteError;
+
+NetRouter::NetRouter(const std::vector<Endpoint>& shards,
+                     RouterOptions options)
+    : options_(options) {
+  if (shards.empty())
+    throw std::invalid_argument("rbc::dist::NetRouter: no shard endpoints");
+
+  std::vector<InfoMsg> infos;
+  infos.reserve(shards.size());
+  for (const Endpoint& ep : shards) {
+    clients_.push_back(
+        std::make_unique<RbcClient>(ep.host, ep.port, options_.client));
+    infos.push_back(clients_.back()->info());
+  }
+
+  dim_ = infos.front().dim;
+  metric_ = infos.front().metric;
+  backend_ = infos.front().backend;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < infos.size(); ++s) {
+    if (infos[s].dim != dim_ || infos[s].metric != metric_)
+      throw std::runtime_error(
+          "rbc::dist::NetRouter: shard " + std::to_string(s) +
+          " disagrees on dim/metric (dim " + std::to_string(infos[s].dim) +
+          " metric '" + infos[s].metric + "' vs dim " + std::to_string(dim_) +
+          " metric '" + metric_ + "')");
+    total += infos[s].size;
+  }
+  size_ = static_cast<index_t>(total);
+
+  // The id mapping is a pure function of (total, S, partition): re-derive it
+  // and check the shards actually hold those row counts, which is the only
+  // part of the contract observable over the wire.
+  global_ids_ =
+      shard::partition_rows(size_, num_shards(), options_.partition);
+  for (std::size_t s = 0; s < infos.size(); ++s)
+    if (global_ids_[s].size() != infos[s].size)
+      throw std::runtime_error(
+          "rbc::dist::NetRouter: shard " + std::to_string(s) + " holds " +
+          std::to_string(infos[s].size) + " rows but the " +
+          std::string(shard::partition_name(options_.partition)) +
+          " partition of " + std::to_string(size_) + " rows over " +
+          std::to_string(clients_.size()) + " shards assigns it " +
+          std::to_string(global_ids_[s].size()));
+}
+
+KnnResult NetRouter::shard_knn(std::size_t s, const Matrix<float>& queries,
+                               index_t k, RouterStats& local) {
+  int attempts_left = options_.max_retries;
+  for (;;) {
+    local.requests += 1;
+    try {
+      return clients_[s]->knn(queries, k);
+    } catch (const RemoteError& e) {
+      if (e.code() != ErrorCode::kOverloaded || attempts_left-- <= 0) throw;
+      local.retries += 1;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1u, e.retry_after_ms())));
+    }
+  }
+}
+
+KnnResult NetRouter::knn(const Matrix<float>& queries, index_t k) {
+  const index_t nq = queries.rows();
+  if (nq > 0 && queries.cols() != dim_)
+    throw std::invalid_argument(
+        "rbc::dist::NetRouter: query dimension " +
+        std::to_string(queries.cols()) + " != shard dimension " +
+        std::to_string(dim_));
+  if (k == 0 || k > size_)
+    throw std::invalid_argument("rbc::dist::NetRouter: k = " +
+                                std::to_string(k) +
+                                " out of range for total size " +
+                                std::to_string(size_));
+  if (nq == 0) return KnnResult(0, k);
+
+  // Scatter: one thread per shard (each drives its own connection; RbcClient
+  // is single-threaded but exclusively owned here). Exceptions are carried
+  // back and rethrown on the routing thread.
+  const std::size_t S = clients_.size();
+  std::vector<KnnResult> fanout(S);
+  std::vector<index_t> shard_k(S);
+  std::vector<std::exception_ptr> errors(S);
+  std::vector<RouterStats> local(S);  // per-thread counters, summed after join
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(S);
+    for (std::size_t s = 0; s < S; ++s)
+      threads.emplace_back([&, s] {
+        try {
+          shard_k[s] = std::min<index_t>(
+              k, static_cast<index_t>(global_ids_[s].size()));
+          fanout[s] = shard_knn(s, queries, shard_k[s], local[s]);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      });
+    for (std::thread& t : threads) t.join();
+  }
+  for (const RouterStats& l : local) {
+    stats_.requests += l.requests;
+    stats_.retries += l.retries;
+  }
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  // Gather: the same exact merge the in-process composite runs.
+  std::vector<shard::MergeInput> inputs(S);
+  for (std::size_t s = 0; s < S; ++s)
+    inputs[s] = {&fanout[s], shard_k[s], &global_ids_[s]};
+  KnnResult merged = shard::merge_shard_topk(nq, k, inputs);
+  stats_.queries += nq;
+  return merged;
+}
+
+std::vector<std::vector<index_t>> NetRouter::range(
+    const Matrix<float>& queries, dist_t radius) {
+  const index_t nq = queries.rows();
+  if (nq > 0 && queries.cols() != dim_)
+    throw std::invalid_argument(
+        "rbc::dist::NetRouter: query dimension " +
+        std::to_string(queries.cols()) + " != shard dimension " +
+        std::to_string(dim_));
+
+  const std::size_t S = clients_.size();
+  std::vector<std::vector<std::vector<index_t>>> fanout(S);
+  std::vector<std::exception_ptr> errors(S);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(S);
+    for (std::size_t s = 0; s < S; ++s)
+      threads.emplace_back([&, s] {
+        try {
+          fanout[s] = clients_[s]->range(queries, radius);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      });
+    for (std::thread& t : threads) t.join();
+  }
+  stats_.requests += S;
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  // Shard servers answer with shard-local ids sorted ascending; remapping
+  // through the monotone global_ids keeps each shard's run sorted, and a
+  // k-way append + sort matches the in-process composite's output exactly.
+  std::vector<std::vector<index_t>> out(nq);
+  for (index_t qi = 0; qi < nq; ++qi) {
+    std::vector<index_t>& hits = out[qi];
+    for (std::size_t s = 0; s < S; ++s)
+      for (index_t local : fanout[s][qi])
+        hits.push_back(global_ids_[s][local]);
+    std::sort(hits.begin(), hits.end());
+  }
+  stats_.queries += nq;
+  return out;
+}
+
+}  // namespace rbc::dist

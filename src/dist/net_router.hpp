@@ -1,0 +1,107 @@
+// NetRouter: multi-process scatter/gather over shard-owner RbcServers.
+//
+// The in-process "sharded:<inner>" composite (shard/sharded_index.hpp) and
+// the simulated DistributedRbc (dist/distributed_rbc.hpp) both answer the
+// paper's §8 scale-out question inside one address space. NetRouter is the
+// real thing: each shard of the database lives in its own server *process*
+// (an RbcServer over a per-shard index), and the router fans each query
+// block out over the wire, then merges the shards' top-k with the exact
+// k-way merge of shard/merge.hpp — the very code path the in-process
+// composite uses, so the answers are bit-identical to "sharded:<inner>"
+// over the same partition, ties included (tested across real processes in
+// tests/test_net_server.cpp).
+//
+// Topology:
+//
+//    clients ──> NetRouter ──scatter──> RbcServer (shard 0: rows of shard 0)
+//                   │       ──scatter──> RbcServer (shard 1: rows of shard 1)
+//                   │            ...
+//                   └──gather: merge_shard_topk under global (distance, id)
+//
+// The global-id mapping is derived, not transmitted: shard s's server must
+// hold exactly the rows shard::partition_rows(total, S, partition) assigns
+// to s (ascending), which the router validates against each server's INFO
+// at connect time (sizes and dims must line up). Overload rejections from a
+// shard are retried with the server's retry_after_ms hint; anything else
+// propagates.
+//
+// Not thread-safe: a router owns one connection per shard, and RbcClient is
+// single-threaded. Run one router per routing thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/net/client.hpp"
+#include "shard/sharded_index.hpp"  // Partition, partition_rows
+
+namespace rbc::dist {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterOptions {
+  /// Row-partition scheme the shard servers were built with; the router
+  /// re-derives the local->global id maps from it.
+  shard::Partition partition = shard::Partition::kContiguous;
+  /// Retries per shard request on kOverloaded before giving up (each sleeps
+  /// the server's retry_after_ms hint first).
+  int max_retries = 8;
+  serve::net::ClientOptions client;
+};
+
+/// Wire-level counters of one router (lifetime totals).
+struct RouterStats {
+  std::uint64_t requests = 0;   ///< shard requests sent (incl. retries)
+  std::uint64_t retries = 0;    ///< kOverloaded answers that were retried
+  std::uint64_t queries = 0;    ///< query rows answered
+};
+
+class NetRouter {
+ public:
+  /// Connects to every shard server and validates the topology (same dim
+  /// and metric everywhere; shard sizes must match the derived partition).
+  /// Throws std::runtime_error on connect/validation failure.
+  explicit NetRouter(const std::vector<Endpoint>& shards,
+                     RouterOptions options = {});
+
+  /// Exact k nearest neighbors of each query row over the union of all
+  /// shards, ascending (distance, id) — bit-identical to an in-process
+  /// sharded:<inner> over the same partition. Throws std::invalid_argument
+  /// on a malformed request (wrong dim, k == 0 or > total size) and
+  /// RemoteError/std::runtime_error on unrecoverable shard failures.
+  KnnResult knn(const Matrix<float>& queries, index_t k);
+
+  /// All global ids within `radius` of each query, ascending by id.
+  std::vector<std::vector<index_t>> range(const Matrix<float>& queries,
+                                          dist_t radius);
+
+  index_t num_shards() const { return static_cast<index_t>(clients_.size()); }
+  index_t size() const { return size_; }
+  index_t dim() const { return dim_; }
+  const std::string& metric() const { return metric_; }
+  const std::string& backend() const { return backend_; }
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  // Sends one knn request to shard s, retrying overloads per options_;
+  // request/retry counts accumulate into `local` (scatter threads each get
+  // their own, summed after the join — stats_ itself is single-threaded).
+  KnnResult shard_knn(std::size_t s, const Matrix<float>& queries, index_t k,
+                      RouterStats& local);
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<serve::net::RbcClient>> clients_;
+  std::vector<std::vector<index_t>> global_ids_;  // per shard, ascending
+  index_t size_ = 0;
+  index_t dim_ = 0;
+  std::string metric_;
+  std::string backend_;  // inner backend name (from the shards' INFO)
+  RouterStats stats_;
+};
+
+}  // namespace rbc::dist

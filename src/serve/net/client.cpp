@@ -1,0 +1,160 @@
+#include "serve/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rbc::serve::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("rbc::net::RbcClient: " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+RbcClient::RbcClient(const std::string& host, std::uint16_t port,
+                     ClientOptions options)
+    : options_(options) {
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail("socket");
+
+  if (options_.timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options_.timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("rbc::net::RbcClient: bad address '" + host +
+                             "' (numeric IPv4 expected)");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+RbcClient::~RbcClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+RbcClient::RbcClient(RbcClient&& other) noexcept
+    : options_(other.options_), fd_(other.fd_),
+      next_request_id_(other.next_request_id_), in_(std::move(other.in_)) {
+  other.fd_ = -1;
+}
+
+void RbcClient::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      fail("send timed out");
+    fail("send");
+  }
+}
+
+void RbcClient::recv_some() {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      return;
+    }
+    if (n == 0)
+      throw std::runtime_error(
+          "rbc::net::RbcClient: server closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) fail("recv timed out");
+    fail("recv");
+  }
+}
+
+std::vector<std::uint8_t> RbcClient::roundtrip(
+    std::span<const std::uint8_t> frame, std::uint64_t request_id,
+    Op expected_op) {
+  send_all(frame);
+  for (;;) {
+    const auto header = parse_header(in_, options_.max_payload);
+    if (!header || in_.size() < kHeaderSize + header->payload_len) {
+      recv_some();
+      continue;
+    }
+    std::vector<std::uint8_t> payload(
+        in_.begin() + kHeaderSize,
+        in_.begin() + static_cast<std::ptrdiff_t>(kHeaderSize +
+                                                  header->payload_len));
+    in_.erase(in_.begin(),
+              in_.begin() + static_cast<std::ptrdiff_t>(kHeaderSize +
+                                                        header->payload_len));
+    // A synchronous client never has more than one request outstanding, so
+    // a mismatched id means a server bug — fail loudly rather than hang.
+    if (header->request_id != request_id)
+      throw ProtocolError("rbc::net::RbcClient: response id " +
+                          std::to_string(header->request_id) +
+                          " does not match request id " +
+                          std::to_string(request_id));
+    if (header->op == Op::kError) {
+      const ErrorMsg error = decode_error(payload);
+      throw RemoteError(error.code, error.retry_after_ms, error.message);
+    }
+    if (header->op != expected_op)
+      throw ProtocolError("rbc::net::RbcClient: unexpected response opcode " +
+                          std::to_string(static_cast<int>(header->op)));
+    return payload;
+  }
+}
+
+KnnResult RbcClient::knn(const Matrix<float>& queries, index_t k) {
+  const std::uint64_t id = next_request_id_++;
+  return decode_knn_response(
+      roundtrip(encode_knn_request(id, queries, k), id, Op::kKnnResponse));
+}
+
+std::vector<std::vector<index_t>> RbcClient::range(
+    const Matrix<float>& queries, dist_t radius) {
+  const std::uint64_t id = next_request_id_++;
+  return decode_range_response(roundtrip(
+      encode_range_request(id, queries, radius), id, Op::kRangeResponse));
+}
+
+InfoMsg RbcClient::info() {
+  const std::uint64_t id = next_request_id_++;
+  return decode_info_response(
+      roundtrip(encode_info_request(id), id, Op::kInfoResponse));
+}
+
+void RbcClient::reload(const std::string& path) {
+  const std::uint64_t id = next_request_id_++;
+  roundtrip(encode_reload_request(id, path), id, Op::kReloadResponse);
+}
+
+}  // namespace rbc::serve::net

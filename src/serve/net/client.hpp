@@ -1,0 +1,96 @@
+// RbcClient: blocking client for the RbcServer wire protocol.
+//
+// One client owns one TCP connection and is intentionally synchronous —
+// request, wait, response — because the interesting concurrency lives on
+// the server side (many clients' singleton requests coalesce into paper-
+// style query blocks there). Concurrency on the client side is "run more
+// clients" (see bench/serve_throughput.cpp's closed-loop sweep). A client
+// is NOT thread-safe; give each thread its own.
+//
+//   rbc::serve::net::RbcClient client("127.0.0.1", port);
+//   KnnResult r = client.knn(queries, /*k=*/5);
+//
+// Server-reported failures surface as RemoteError carrying the protocol
+// ErrorCode — notably kOverloaded with a retry_after_ms hint, which callers
+// should honor (sleep, retry) rather than hammering a loaded server.
+// Transport failures (connect/read/write/timeout) throw std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/net/protocol.hpp"
+
+namespace rbc::serve::net {
+
+/// A server-side failure, decoded from an kError frame. code() and
+/// retry_after_ms() let callers distinguish backpressure (retry later) from
+/// real errors (give up).
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(ErrorCode code, std::uint32_t retry_after_ms,
+              const std::string& message)
+      : std::runtime_error(message), code_(code),
+        retry_after_ms_(retry_after_ms) {}
+
+  ErrorCode code() const { return code_; }
+  std::uint32_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  ErrorCode code_;
+  std::uint32_t retry_after_ms_;
+};
+
+struct ClientOptions {
+  /// SO_RCVTIMEO / SO_SNDTIMEO on the socket: any single read/write stalling
+  /// this long fails the call. 0 = no timeout.
+  std::uint32_t timeout_ms = 30'000;
+  std::uint32_t max_payload = kDefaultMaxPayload;
+};
+
+class RbcClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  RbcClient(const std::string& host, std::uint16_t port,
+            ClientOptions options = {});
+  ~RbcClient();
+
+  RbcClient(const RbcClient&) = delete;
+  RbcClient& operator=(const RbcClient&) = delete;
+  RbcClient(RbcClient&& other) noexcept;
+  RbcClient& operator=(RbcClient&&) = delete;
+
+  /// k nearest neighbors of each query row, ascending (distance, id) —
+  /// bit-identical to calling knn_search on the server's index directly
+  /// (modulo the service's batching, which does not change answers).
+  KnnResult knn(const Matrix<float>& queries, index_t k);
+
+  /// All database ids within `radius` of each query, ascending by id.
+  std::vector<std::vector<index_t>> range(const Matrix<float>& queries,
+                                          dist_t radius);
+
+  /// Index identity + serving counters, including this connection's own
+  /// ConnCounters as the server sees them.
+  InfoMsg info();
+
+  /// Asks the server to hot-swap its index from `path` (a server-side
+  /// filesystem path). Returns when the swap is complete.
+  void reload(const std::string& path);
+
+ private:
+  // Writes one frame, then reads frames until the response for `request_id`
+  // arrives; decodes kError into RemoteError.
+  std::vector<std::uint8_t> roundtrip(std::span<const std::uint8_t> frame,
+                                      std::uint64_t request_id,
+                                      Op expected_op);
+  void send_all(std::span<const std::uint8_t> bytes);
+  void recv_some();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> in_;  // buffered unparsed bytes
+};
+
+}  // namespace rbc::serve::net

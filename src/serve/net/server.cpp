@@ -1,0 +1,634 @@
+#include "serve/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "api/registry.hpp"
+
+namespace rbc::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(),
+                          std::string("rbc::net::RbcServer: ") + what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+}  // namespace
+
+RbcServer::RbcServer(std::unique_ptr<Index> index, ServerOptions options,
+                     ServiceOptions service_options)
+    : options_(options), service_options_(service_options) {
+  if (options_.completers < 1) options_.completers = 1;
+  service_ =
+      std::make_shared<SearchService>(std::move(index), service_options_);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    throw std::invalid_argument("rbc::net::RbcServer: bad bind address '" +
+                                options_.host + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    close(listen_fd_);
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (listen(listen_fd_, options_.backlog) < 0) {
+    const int saved = errno;
+    close(listen_fd_);
+    errno = saved;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  stop_event_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  wake_event_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || stop_event_fd_ < 0 || wake_event_fd_ < 0)
+    throw_errno("epoll_create1/eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listen fd sentinel
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = 1;  // stop eventfd sentinel
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_event_fd_, &ev);
+  ev.data.u64 = 2;  // wake eventfd sentinel
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_event_fd_, &ev);
+
+  completer_threads_.reserve(static_cast<std::size_t>(options_.completers));
+  for (int c = 0; c < options_.completers; ++c)
+    completer_threads_.emplace_back([this] { completer_loop(); });
+  loop_thread_ = std::thread([this] { event_loop(); });
+}
+
+RbcServer::~RbcServer() { stop(); }
+
+std::shared_ptr<SearchService> RbcServer::service() const {
+  std::lock_guard<std::mutex> lock(service_mutex_);
+  return service_;
+}
+
+NetServerStats RbcServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void RbcServer::wait() {
+  std::unique_lock<std::mutex> lock(done_mutex_);
+  done_cv_.wait(lock, [this] { return loop_done_; });
+}
+
+void RbcServer::stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (loop_thread_.joinable()) {
+    const std::uint64_t one = 1;
+    // A full pipe is impossible for an eventfd counter; ignore the result
+    // (the loop may already be exiting).
+    [[maybe_unused]] ssize_t n = write(stop_event_fd_, &one, sizeof one);
+    loop_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks_stop_ = true;
+  }
+  tasks_cv_.notify_all();
+  for (std::thread& t : completer_threads_)
+    if (t.joinable()) t.join();
+  completer_threads_.clear();
+  if (listen_fd_ >= 0) { close(listen_fd_); listen_fd_ = -1; }
+  if (epoll_fd_ >= 0) { close(epoll_fd_); epoll_fd_ = -1; }
+  if (wake_event_fd_ >= 0) { close(wake_event_fd_); wake_event_fd_ = -1; }
+  // stop_event_fd_ stays open until destruction: a signal handler may still
+  // hold the fd value (writes to it are harmless once the loop exited).
+}
+
+// ------------------------------------------------------------ event loop ---
+
+void RbcServer::event_loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool stop_requested = false;
+
+  for (;;) {
+    // Exit once draining and nothing is left to deliver: no admitted
+    // request is unanswered and every outbox has flushed (connections with
+    // pending bytes are bounded by the write timeout).
+    if (stop_requested && draining_) {
+      bool outboxes_empty = true;
+      for (const auto& [id, conn] : conns_)
+        if (!conn->out.empty()) outboxes_empty = false;
+      if (in_flight_ == 0 && outboxes_empty) break;
+    }
+
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable; shut down
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        accept_ready();
+      } else if (tag == 1) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            read(stop_event_fd_, &drained, sizeof drained);
+        stop_requested = true;
+        if (!draining_) {
+          draining_ = true;
+          // Close the front door; everything already accepted finishes.
+          epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          close(listen_fd_);
+          listen_fd_ = -1;
+        }
+      } else if (tag == 2) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            read(wake_event_fd_, &drained, sizeof drained);
+        drain_replies();
+      } else {
+        auto it = conns_.find(tag);
+        if (it == conns_.end()) continue;  // closed earlier this wakeup
+        Connection& conn = *it->second;
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          close_conn(conn.id, /*timed_out=*/false);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) conn_writable(conn);
+        // conn_writable may close on fatal write errors — re-check.
+        if (conns_.find(tag) == conns_.end()) continue;
+        if (events[i].events & EPOLLIN) conn_readable(conn);
+      }
+    }
+    drain_replies();
+    sweep_timeouts();
+  }
+
+  // Drain leftovers: answer nothing further, drop pending replies, close
+  // every connection, and let the service finish anything still queued.
+  drain_replies();
+  std::vector<std::uint64_t> open;
+  open.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) open.push_back(id);
+  for (std::uint64_t id : open) close_conn(id, /*timed_out=*/false);
+
+  std::shared_ptr<SearchService> svc = service();
+  svc->drain();
+  svc->stop();
+
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    loop_done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+void RbcServer::accept_ready() {
+  for (;;) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing more to accept
+    if (conns_.size() >= options_.max_connections) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->read_progress = conn->write_progress =
+        std::chrono::steady_clock::now();
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      close(fd);
+      continue;
+    }
+    conns_.emplace(conn->id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.connections_accepted += 1;
+    stats_.connections_open = conns_.size();
+  }
+}
+
+void RbcServer::conn_readable(Connection& conn) {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), chunk, chunk + n);
+      conn.read_progress = std::chrono::steady_clock::now();
+      conn.counters.bytes_in += static_cast<std::uint64_t>(n);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      close_conn(conn.id, /*timed_out=*/false);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(conn.id, /*timed_out=*/false);
+    return;
+  }
+
+  // Extract complete frames. A framing error (bad magic/version/oversize)
+  // is unrecoverable on a byte stream: answer with one error frame and
+  // flush-close.
+  while (!conn.closing) {
+    const std::span<const std::uint8_t> avail(conn.in.data() + conn.in_off,
+                                              conn.in.size() - conn.in_off);
+    FrameHeader header;
+    try {
+      const auto parsed = parse_header(avail, options_.max_payload);
+      if (!parsed) break;  // need more bytes
+      header = *parsed;
+    } catch (const ProtocolError& e) {
+      conn.counters.errors += 1;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.protocol_errors += 1;
+      }
+      send_reply(conn,
+                 encode_error(0, {ErrorCode::kMalformedFrame, 0, e.what()}));
+      conn.closing = true;
+      break;
+    }
+    if (avail.size() < kHeaderSize + header.payload_len) break;  // partial
+    conn.in_off += kHeaderSize;
+    const std::span<const std::uint8_t> payload(conn.in.data() + conn.in_off,
+                                                header.payload_len);
+    conn.in_off += header.payload_len;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.frames_in += 1;
+    }
+    if (!handle_frame(conn, header, payload)) {
+      conn.closing = true;
+      break;
+    }
+  }
+
+  // Compact the consumed prefix once it dominates the buffer.
+  if (conn.in_off == conn.in.size()) {
+    conn.in.clear();
+    conn.in_off = 0;
+  } else if (conn.in_off > (1u << 20)) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(conn.in_off));
+    conn.in_off = 0;
+  }
+
+  if (conn.closing && conn.out.empty()) close_conn(conn.id, false);
+}
+
+bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
+                             std::span<const std::uint8_t> payload) {
+  const std::uint64_t id = header.request_id;
+  const std::uint64_t conn_id = conn.id;
+  std::shared_ptr<SearchService> svc = service();
+
+  try {
+    switch (header.op) {
+      case Op::kKnnRequest: {
+        KnnRequestMsg msg = decode_knn_request(payload);
+        if (draining_) {
+          send_error(conn, id, ErrorCode::kShuttingDown, "server draining");
+          return true;
+        }
+        std::future<KnnResult> future;
+        const Admission admission =
+            svc->try_submit_batch(msg.queries, msg.k, future);
+        if (admission == Admission::kOverloaded) {
+          conn.counters.rejected += 1;
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            stats_.rejected += 1;
+          }
+          send_reply(conn, encode_error(id, {ErrorCode::kOverloaded,
+                                             options_.retry_after_ms,
+                                             "admission queue full"}));
+          return true;
+        }
+        if (admission == Admission::kStopped) {
+          send_error(conn, id, ErrorCode::kShuttingDown, "service stopped");
+          return true;
+        }
+        conn.counters.requests += 1;
+        in_flight_ += 1;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.requests += 1;
+        }
+        // shared_ptr because std::function requires a copyable target and
+        // futures are move-only.
+        auto shared_future =
+            std::make_shared<std::future<KnnResult>>(std::move(future));
+        post_task([this, conn_id, id, shared_future] {
+          std::vector<std::uint8_t> frame;
+          try {
+            frame = encode_knn_response(id, shared_future->get());
+          } catch (const std::exception& e) {
+            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()});
+          }
+          post_reply(conn_id, std::move(frame), /*in_flight_done=*/true);
+        });
+        return true;
+      }
+
+      case Op::kRangeRequest: {
+        RangeRequestMsg msg = decode_range_request(payload);
+        if (draining_) {
+          send_error(conn, id, ErrorCode::kShuttingDown, "server draining");
+          return true;
+        }
+        // Range queries bypass the coalescing dispatcher (no range batch
+        // path exists yet); they run directly against the index snapshot on
+        // a completer thread. The captured service shared_ptr keeps that
+        // snapshot alive across a concurrent reload.
+        conn.counters.requests += 1;
+        in_flight_ += 1;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.requests += 1;
+        }
+        auto shared_msg =
+            std::make_shared<RangeRequestMsg>(std::move(msg));  // Matrix is
+                                                                // move-only
+        post_task([this, conn_id, id, svc, shared_msg] {
+          std::vector<std::uint8_t> frame;
+          try {
+            RangeRequest request{.queries = &shared_msg->queries,
+                                 .radius = shared_msg->radius,
+                                 .options = {}};
+            frame = encode_range_response(
+                id, svc->index().range_search(request).ids);
+          } catch (const std::invalid_argument& e) {
+            frame = encode_error(id, {ErrorCode::kBadRequest, 0, e.what()});
+          } catch (const std::exception& e) {
+            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()});
+          }
+          post_reply(conn_id, std::move(frame), /*in_flight_done=*/true);
+        });
+        return true;
+      }
+
+      case Op::kInfoRequest:
+        send_reply(conn, encode_info_response(id, make_info(conn)));
+        return true;
+
+      case Op::kReloadRequest: {
+        const std::string path = decode_reload_request(payload);
+        in_flight_ += 1;
+        post_task([this, conn_id, id, path] {
+          std::vector<std::uint8_t> frame;
+          try {
+            std::ifstream is(path, std::ios::binary);
+            if (!is)
+              throw std::runtime_error("cannot open index file '" + path +
+                                       "'");
+            auto fresh = std::make_shared<SearchService>(rbc::load_index(is),
+                                                         service_options_);
+            std::shared_ptr<SearchService> old;
+            {
+              std::lock_guard<std::mutex> lock(service_mutex_);
+              old = std::move(service_);
+              service_ = std::move(fresh);
+            }
+            // New arrivals already land on the fresh snapshot; finish
+            // whatever the old one accepted, then let it die with the last
+            // shared_ptr (completer tasks may still hold one).
+            old->drain();
+            old->stop();
+            {
+              std::lock_guard<std::mutex> lock(stats_mutex_);
+              stats_.reloads += 1;
+            }
+            frame = encode_reload_response(id);
+          } catch (const std::exception& e) {
+            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()});
+          }
+          post_reply(conn_id, std::move(frame), /*in_flight_done=*/true);
+        });
+        return true;
+      }
+
+      default:
+        // A response opcode arriving at the server is a peer bug.
+        send_error(conn, id, ErrorCode::kBadRequest,
+                   "unexpected response opcode");
+        return true;
+    }
+  } catch (const ProtocolError& e) {
+    conn.counters.errors += 1;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.protocol_errors += 1;
+    }
+    send_reply(conn,
+               encode_error(id, {ErrorCode::kMalformedFrame, 0, e.what()}));
+    return false;  // undecodable payload: close after flush
+  } catch (const std::invalid_argument& e) {
+    // Well-formed frame, invalid request for this index (dim/k mismatch):
+    // the connection survives.
+    send_error(conn, id, ErrorCode::kBadRequest, e.what());
+    return true;
+  } catch (const std::exception& e) {
+    send_error(conn, id, ErrorCode::kInternal, e.what());
+    return true;
+  }
+}
+
+InfoMsg RbcServer::make_info(const Connection& conn) const {
+  std::shared_ptr<SearchService> svc = service();
+  const IndexInfo index_info = svc->index().info();
+  const ServiceStats service_stats = svc->stats();
+  InfoMsg info;
+  info.backend = index_info.backend;
+  info.metric = index_info.metric;
+  info.size = index_info.size;
+  info.dim = index_info.dim;
+  info.completed = service_stats.completed;
+  info.rejected = service_stats.rejected;
+  info.p50_ms = service_stats.latency_p50_ms;
+  info.p99_ms = service_stats.latency_p99_ms;
+  info.conn_requests = conn.counters.requests;
+  info.conn_rejected = conn.counters.rejected;
+  info.conn_bytes_in = conn.counters.bytes_in;
+  info.conn_bytes_out = conn.counters.bytes_out;
+  return info;
+}
+
+void RbcServer::send_error(Connection& conn, std::uint64_t request_id,
+                           ErrorCode code, const std::string& message) {
+  conn.counters.errors += 1;
+  send_reply(conn, encode_error(request_id, {code, 0, message}));
+}
+
+void RbcServer::send_reply(Connection& conn,
+                           std::vector<std::uint8_t> frame) {
+  conn.out.push_back(std::move(frame));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.frames_out += 1;
+  }
+  flush(conn);
+}
+
+void RbcServer::flush(Connection& conn) {
+  while (!conn.out.empty()) {
+    const std::vector<std::uint8_t>& front = conn.out.front();
+    const ssize_t n = send(conn.fd, front.data() + conn.out_off,
+                           front.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      conn.write_progress = std::chrono::steady_clock::now();
+      conn.counters.bytes_out += static_cast<std::uint64_t>(n);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_out += static_cast<std::uint64_t>(n);
+      }
+      if (conn.out_off == front.size()) {
+        conn.out.pop_front();
+        conn.out_off = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(conn.id, /*timed_out=*/false);
+    return;
+  }
+  update_epoll(conn);
+  if (conn.closing && conn.out.empty()) close_conn(conn.id, false);
+}
+
+void RbcServer::conn_writable(Connection& conn) { flush(conn); }
+
+void RbcServer::update_epoll(Connection& conn) {
+  const bool want = !conn.out.empty();
+  if (want == conn.want_write) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0)
+    conn.want_write = want;
+}
+
+void RbcServer::close_conn(std::uint64_t conn_id, bool timed_out) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  close(it->second->fd);
+  conns_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.connections_closed += 1;
+  if (timed_out) stats_.timeouts += 1;
+  stats_.connections_open = conns_.size();
+}
+
+void RbcServer::sweep_timeouts() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, conn] : conns_) {
+    const bool partial_frame = conn->in.size() > conn->in_off;
+    if (partial_frame &&
+        now - conn->read_progress >
+            std::chrono::milliseconds(options_.read_timeout_ms))
+      victims.push_back(id);
+    else if (!conn->out.empty() &&
+             now - conn->write_progress >
+                 std::chrono::milliseconds(options_.write_timeout_ms))
+      victims.push_back(id);
+  }
+  for (std::uint64_t id : victims) close_conn(id, /*timed_out=*/true);
+}
+
+void RbcServer::drain_replies() {
+  std::vector<Reply> batch;
+  {
+    std::lock_guard<std::mutex> lock(replies_mutex_);
+    batch.swap(replies_);
+  }
+  for (Reply& reply : batch) {
+    if (reply.in_flight_done) in_flight_ -= 1;
+    auto it = conns_.find(reply.conn_id);
+    if (it == conns_.end()) continue;  // connection gone: drop the reply
+    send_reply(*it->second, std::move(reply.frame));
+  }
+}
+
+// ------------------------------------------------------------ completers ---
+
+void RbcServer::post_task(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  tasks_cv_.notify_one();
+}
+
+void RbcServer::completer_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(tasks_mutex_);
+      tasks_cv_.wait(lock, [this] { return tasks_stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // tasks_stop_ and everything ran
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void RbcServer::post_reply(std::uint64_t conn_id,
+                           std::vector<std::uint8_t> frame,
+                           bool in_flight_done) {
+  {
+    std::lock_guard<std::mutex> lock(replies_mutex_);
+    replies_.push_back({conn_id, std::move(frame), in_flight_done});
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_event_fd_, &one, sizeof one);
+}
+
+}  // namespace rbc::serve::net

@@ -1,0 +1,218 @@
+// RbcServer: the network front door of the serving stack.
+//
+// An epoll-driven, single-event-loop TCP server speaking the framed binary
+// protocol of serve/net/protocol.hpp. Decoded KNN requests feed straight
+// into the owned SearchService's coalescing dispatcher via the non-blocking
+// try_submit_batch seam, so many independent network clients become the
+// large BF(Q, X) query blocks the paper's batching argument rewards —
+// exactly like in-process submitters, but across process and machine
+// boundaries.
+//
+//   auto index = rbc::load_index(file);
+//   rbc::serve::net::RbcServer server(std::move(index), {.port = 9172});
+//   ... server.port(), server.wait(), server.stop() ...
+//
+// Robustness properties (all tested in tests/test_net_server.cpp):
+//   * Admission control: when the service's bounded queue is full the
+//     request is answered with an kOverloaded error frame carrying a
+//     retry_after_ms hint — the event loop never blocks on backpressure.
+//   * Malformed-frame hardening: undecodable bytes get an error frame and
+//     the connection is closed; the server survives arbitrary garbage.
+//   * Per-connection timeouts: a stalled partial frame (slow-loris) or a
+//     stalled response flush closes the connection after
+//     read_timeout_ms / write_timeout_ms.
+//   * Graceful drain: stop() — or a write to stop_fd(), which is
+//     async-signal-safe and what SIGTERM handlers should use — closes the
+//     listener, answers new data frames with kShuttingDown, finishes every
+//     in-flight request, flushes outboxes, then drains the service.
+//   * Zero-downtime reload: a kReloadRequest loads the index file on a
+//     completer thread, builds a fresh SearchService, atomically swaps it
+//     in, and drains the old one — queries in flight on the old snapshot
+//     finish normally; new arrivals land on the new one. Serving never
+//     pauses.
+//
+// Threading model: one event loop thread owns every socket and all
+// connection state; `completers` threads wait on search futures, execute
+// range queries and reloads, and hand encoded replies back to the loop
+// through a wakeup eventfd. Connection counters (serve/stats.hpp
+// ConnCounters) are therefore single-writer by construction.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/index.hpp"
+#include "serve/net/protocol.hpp"
+#include "serve/service.hpp"
+#include "serve/stats.hpp"
+
+namespace rbc::serve::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  ///< bind address
+  std::uint16_t port = 0;          ///< 0 = OS-assigned; read back via port()
+  int backlog = 128;
+  std::uint32_t max_payload = kDefaultMaxPayload;
+  /// Close a connection whose partial frame makes no progress for this long.
+  std::uint32_t read_timeout_ms = 30'000;
+  /// Close a connection whose pending response bytes make no progress for
+  /// this long.
+  std::uint32_t write_timeout_ms = 30'000;
+  /// Hint stamped into kOverloaded error frames.
+  std::uint32_t retry_after_ms = 50;
+  /// Completer threads (future waiters / range executors / reload workers).
+  int completers = 2;
+  std::size_t max_connections = 1024;
+};
+
+/// Aggregate server counters (wire-level; the query-level counters live in
+/// the SearchService's ServiceStats).
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t timeouts = 0;         ///< connections closed by a timeout
+  std::uint64_t protocol_errors = 0;  ///< malformed frames seen
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t requests = 0;  ///< data frames admitted to the service
+  std::uint64_t rejected = 0;  ///< frames refused by admission control
+  std::uint64_t reloads = 0;   ///< successful index reloads
+  std::size_t connections_open = 0;
+};
+
+class RbcServer {
+ public:
+  /// Takes ownership of a *built* index, wraps it in a SearchService with
+  /// `service_options`, binds and listens, and starts the event loop.
+  /// Throws std::system_error on socket failures and the SearchService's
+  /// std::invalid_argument for a null/unbuilt index.
+  explicit RbcServer(std::unique_ptr<Index> index, ServerOptions options = {},
+                     ServiceOptions service_options = {});
+
+  /// Equivalent to stop().
+  ~RbcServer();
+
+  RbcServer(const RbcServer&) = delete;
+  RbcServer& operator=(const RbcServer&) = delete;
+
+  /// The bound port (the OS-assigned one when options.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// An eventfd; writing any 8-byte value requests a graceful drain.
+  /// write() is async-signal-safe, so SIGTERM/SIGINT handlers may use this
+  /// directly (see examples/serve_demo.cpp).
+  int stop_fd() const { return stop_event_fd_; }
+
+  /// Blocks until the event loop has fully drained and exited (either via
+  /// stop() or a stop_fd() write). Does not itself request the stop.
+  void wait();
+
+  /// Requests a graceful drain and joins every thread. Idempotent and
+  /// callable from any (non-signal) context.
+  void stop();
+
+  /// Wire-level counter snapshot. Thread-safe, callable any time.
+  NetServerStats stats() const;
+
+  /// The current service snapshot (swaps on reload). Never null.
+  std::shared_ptr<SearchService> service() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> in;  // unparsed bytes; consumed from in_off
+    std::size_t in_off = 0;
+    std::deque<std::vector<std::uint8_t>> out;
+    std::size_t out_off = 0;  // progress into out.front()
+    bool want_write = false;  // EPOLLOUT currently registered
+    bool closing = false;     // flush outbox, then close
+    std::chrono::steady_clock::time_point read_progress;
+    std::chrono::steady_clock::time_point write_progress;
+    ConnCounters counters;
+  };
+
+  // A reply produced off-loop (completer threads), routed back by conn id —
+  // the connection may be gone by delivery time, in which case it's dropped.
+  struct Reply {
+    std::uint64_t conn_id = 0;
+    std::vector<std::uint8_t> frame;
+    bool in_flight_done = false;  // decrements the drain counter
+  };
+
+  void event_loop();
+  void accept_ready();
+  void conn_readable(Connection& conn);
+  void conn_writable(Connection& conn);
+  // Handles one complete frame; returns false when the connection must
+  // close (unrecoverable framing error).
+  bool handle_frame(Connection& conn, const FrameHeader& header,
+                    std::span<const std::uint8_t> payload);
+  void send_reply(Connection& conn, std::vector<std::uint8_t> frame);
+  void send_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
+                  const std::string& message);
+  void flush(Connection& conn);
+  void close_conn(std::uint64_t conn_id, bool timed_out);
+  void sweep_timeouts();
+  void drain_replies();
+  void update_epoll(Connection& conn);
+
+  // Completer-side helpers.
+  void post_task(std::function<void()> task);
+  void completer_loop();
+  void post_reply(std::uint64_t conn_id, std::vector<std::uint8_t> frame,
+                  bool in_flight_done);
+  InfoMsg make_info(const Connection& conn) const;
+
+  ServerOptions options_;
+  ServiceOptions service_options_;
+  std::uint16_t port_ = 0;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int stop_event_fd_ = -1;   // external stop requests (signal-safe)
+  int wake_event_fd_ = -1;   // completer -> loop reply notifications
+
+  mutable std::mutex service_mutex_;
+  std::shared_ptr<SearchService> service_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  // epoll events carry the connection id in data.u64; ids 0..2 are reserved
+  // as the listen/stop/wake sentinel tags, so real connections start above.
+  std::uint64_t next_conn_id_ = 3;
+  std::uint64_t in_flight_ = 0;  // admitted requests not yet answered
+  bool draining_ = false;
+
+  std::mutex replies_mutex_;
+  std::vector<Reply> replies_;
+
+  std::mutex tasks_mutex_;
+  std::condition_variable tasks_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool tasks_stop_ = false;
+
+  mutable std::mutex stats_mutex_;
+  NetServerStats stats_;
+
+  std::mutex lifecycle_mutex_;  // serializes stop() (incl. the destructor)
+  bool loop_done_ = false;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> completer_threads_;
+};
+
+}  // namespace rbc::serve::net

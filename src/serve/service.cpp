@@ -85,6 +85,55 @@ std::future<KnnResult> SearchService::submit_batch(
   return future;
 }
 
+Admission SearchService::try_submit_batch(const Matrix<float>& queries,
+                                          index_t k,
+                                          std::future<KnnResult>& out) {
+  validate_submission(queries.rows(), queries.cols(), k);
+  if (queries.rows() == 0) {
+    std::promise<KnnResult> done;
+    done.set_value(KnnResult(0, k));
+    out = done.get_future();
+    return Admission::kAccepted;
+  }
+  Job job;
+  job.data.resize(static_cast<std::size_t>(queries.rows()) * dim_);
+  for (index_t i = 0; i < queries.rows(); ++i)
+    std::memcpy(job.data.data() + static_cast<std::size_t>(i) * dim_,
+                queries.row(i), sizeof(float) * dim_);
+  job.nq = queries.rows();
+  job.k = k;
+  job.single = false;
+  std::future<KnnResult> future = job.block_promise.get_future();
+  const std::size_t rows = job.nq;
+  const Admission admission = enqueue_try(job);
+  if (admission == Admission::kAccepted) {
+    out = std::move(future);
+    recorder_.record_submitted(rows);
+    cv_pending_.notify_one();
+  } else {
+    recorder_.record_rejected(rows);
+  }
+  return admission;
+}
+
+Admission SearchService::enqueue_try(Job& job) {
+  const std::size_t rows = job.nq;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return Admission::kStopped;
+  // Same backpressure bound as the blocking path (an oversized block is
+  // admitted alone rather than being unserveable), but expressed as an
+  // immediate answer: the caller translates kOverloaded into a
+  // retry-after rejection instead of parking a thread here.
+  if (outstanding_ != 0 && outstanding_ + rows > options_.max_queue)
+    return Admission::kOverloaded;
+  job.enqueued = std::chrono::steady_clock::now();
+  outstanding_ += rows;
+  pending_rows_[job.k] += rows;
+  pending_.push_back(std::move(job));
+  recorder_.set_queue_depth(outstanding_);
+  return Admission::kAccepted;
+}
+
 void SearchService::enqueue(Job job) {
   const std::size_t rows = job.nq;
   {

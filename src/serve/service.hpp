@@ -91,6 +91,13 @@ struct QueryResult {
   std::vector<dist_t> dists;
 };
 
+/// Outcome of a non-blocking submission attempt (try_submit_batch).
+enum class Admission : std::uint8_t {
+  kAccepted = 0,    ///< job queued; the out-future resolves it
+  kOverloaded = 1,  ///< queue full — caller should retry later
+  kStopped = 2,     ///< service stopped — no further submissions possible
+};
+
 /// A search service over one built index. Construction spawns the
 /// dispatcher and worker threads; destruction (or stop()) drains every
 /// accepted query and joins them. All public methods are thread-safe.
@@ -122,14 +129,31 @@ class SearchService {
   /// immediately with an empty result.
   std::future<KnnResult> submit_batch(const Matrix<float>& queries, index_t k);
 
+  /// Non-blocking, admission-controlled variant of submit_batch for callers
+  /// that must never block (the network server's event loop). Instead of
+  /// waiting out backpressure it returns kOverloaded — recording the
+  /// rejection in stats().rejected — when admitting the block would push
+  /// pending + in-flight rows past options.max_queue, and kStopped after
+  /// stop(). On kAccepted, `out` receives the future. Malformed submissions
+  /// throw std::invalid_argument exactly like submit_batch; a zero-row block
+  /// is accepted immediately with an empty result.
+  Admission try_submit_batch(const Matrix<float>& queries, index_t k,
+                             std::future<KnnResult>& out);
+
   /// Blocks until every query accepted so far has completed. Submissions
   /// from other threads may keep arriving; drain() returns once the queue is
   /// momentarily empty.
   void drain();
 
   /// Stops accepting new submissions (further submits throw
-  /// std::runtime_error), completes everything already accepted, and joins
-  /// the dispatcher and workers. Idempotent.
+  /// std::runtime_error; try_submit_batch returns kStopped), completes
+  /// everything already accepted, and joins the dispatcher and workers.
+  /// Idempotent, and race-free against concurrent submitters — the
+  /// server's drain path (drain(), then stop(), while connections may
+  /// still be submitting) relies on this contract: a submission racing
+  /// with stop() either lands before the cutoff and completes normally,
+  /// or observes the stop and fails with the clean "submit after stop()"
+  /// error — never an assert, a lost future, or a torn queue.
   void stop();
 
   /// Counter snapshot (see serve/stats.hpp). Cheap; callable any time.
@@ -165,6 +189,9 @@ class SearchService {
   };
 
   void enqueue(Job job);
+  // Queues `job` under the lock without blocking; the Admission result says
+  // whether it was taken (kOverloaded/kStopped leave `job` untouched).
+  Admission enqueue_try(Job& job);
   void dispatch_loop();
   void worker_loop();
   void execute(Batch& batch);

@@ -40,6 +40,11 @@ void StatsRecorder::record_submitted(std::size_t queries) {
   base_.submitted += queries;
 }
 
+void StatsRecorder::record_rejected(std::size_t queries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  base_.rejected += queries;
+}
+
 void StatsRecorder::record_batch(std::size_t rows,
                                  const std::vector<double>& latencies_ms,
                                  bool failed) {

@@ -35,6 +35,10 @@ struct ServiceStats {
   std::uint64_t submitted = 0;   ///< queries accepted by submit/submit_batch
   std::uint64_t completed = 0;   ///< queries whose future was fulfilled
   std::uint64_t failed = 0;      ///< queries whose future got an exception
+  /// Queries refused by try_submit_batch admission control (queue full or
+  /// service stopped) — the network server's reject-with-retry-after path.
+  /// Rejected queries are never counted as submitted.
+  std::uint64_t rejected = 0;
   std::uint64_t batches = 0;     ///< SearchRequests dispatched to the backend
   std::size_t queue_depth = 0;   ///< queries pending or in flight right now
   std::size_t max_queue_depth = 0;  ///< high-water mark of queue_depth
@@ -73,6 +77,9 @@ class StatsRecorder {
   StatsRecorder();
 
   void record_submitted(std::size_t queries);
+  /// Records queries turned away by admission control (ServiceStats::
+  /// rejected).
+  void record_rejected(std::size_t queries);
   /// Records one dispatched batch: its row count and, per query, the
   /// end-to-end latency. `failed` marks the whole batch as failed.
   void record_batch(std::size_t rows,
@@ -90,6 +97,19 @@ class StatsRecorder {
   std::size_t ring_next_ = 0;
   std::uint64_t dist_evals_start_ = 0;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-connection counters kept by the network server (serve/net/server.*)
+/// and surfaced through the protocol's INFO op. Plain data, single-writer:
+/// only the server's event loop mutates a connection's counters, and INFO
+/// responses are encoded on that same thread, so no synchronization is
+/// needed.
+struct ConnCounters {
+  std::uint64_t requests = 0;   ///< data frames admitted to the service
+  std::uint64_t rejected = 0;   ///< frames refused by admission control
+  std::uint64_t errors = 0;     ///< error frames sent (malformed/bad/internal)
+  std::uint64_t bytes_in = 0;   ///< wire bytes read from this connection
+  std::uint64_t bytes_out = 0;  ///< wire bytes written to this connection
 };
 
 }  // namespace rbc::serve

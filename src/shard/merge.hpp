@@ -1,0 +1,77 @@
+// Exact k-way merge of per-shard top-k blocks — the gather half of every
+// scatter/gather composite in the library.
+//
+// Two layers share this code path bit-for-bit: ShardedIndex (in-process
+// row-partitioned fan-out, shard/sharded_index.cpp) and NetRouter
+// (multi-process scatter over shard-owner servers, dist/net_router.cpp).
+// Keeping the merge in one place is what makes the distributed deployment's
+// exactness claim checkable: a router over N server processes returns
+// *identical* bytes to sharded:<inner> run in one process, because both feed
+// the same per-shard top-k rows through this same cursor merge.
+//
+// Requirements on the inputs (the callers' contract):
+//   * each shard's row holds its `k` nearest under ascending (distance, id)
+//     order with every entry populated (no padding — callers clamp the
+//     per-shard k to the shard's row count);
+//   * global_ids maps shard-local row ids to global row ids monotonically
+//     (ascending local -> ascending global), so each sorted shard row stays
+//     sorted after remapping;
+//   * the shard k's sum to at least the output k (guaranteed when k <= total
+//     database size, which the unified API validates).
+// Under those, a cursor-per-shard merge is exact: ties break on the global
+// id exactly as a single unsharded scan would.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bruteforce/bf.hpp"
+#include "common/matrix.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rbc::shard {
+
+/// One shard's contribution to the merge.
+struct MergeInput {
+  const KnnResult* knn = nullptr;  ///< per-query top-k block (nq rows)
+  index_t k = 0;                   ///< valid entries per row (<= knn cols)
+  /// Shard-local row id -> global row id, ascending.
+  const std::vector<index_t>* global_ids = nullptr;
+};
+
+/// Merges the shards' top-k rows into one nq x k result under the global
+/// (distance, id) order. Parallel across queries; each query's merge touches
+/// only its own output row, so the loop is lock-free.
+inline KnnResult merge_shard_topk(index_t nq, index_t k,
+                                  std::span<const MergeInput> shards) {
+  KnnResult out(nq, k);
+  parallel_for_dynamic(0, nq, [&](index_t qi) {
+    std::vector<index_t> cursor(shards.size(), 0);
+    dist_t* out_d = out.dists.row(qi);
+    index_t* out_i = out.ids.row(qi);
+    for (index_t slot = 0; slot < k; ++slot) {
+      std::size_t best_s = shards.size();
+      dist_t best_d = kInfDist;
+      index_t best_id = kInvalidIndex;
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (cursor[s] >= shards[s].k) continue;
+        const dist_t d = shards[s].knn->dists.at(qi, cursor[s]);
+        const index_t gid =
+            (*shards[s].global_ids)[shards[s].knn->ids.at(qi, cursor[s])];
+        if (d < best_d || (d == best_d && gid < best_id)) {
+          best_s = s;
+          best_d = d;
+          best_id = gid;
+        }
+      }
+      // The callers guarantee sum(shard k) >= k, so candidates never run
+      // out before the output row fills.
+      ++cursor[best_s];
+      out_d[slot] = best_d;
+      out_i[slot] = best_id;
+    }
+  });
+  return out;
+}
+
+}  // namespace rbc::shard

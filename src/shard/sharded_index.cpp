@@ -9,6 +9,7 @@
 #include "api/registry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rbc/serialize_io.hpp"
+#include "shard/merge.hpp"
 
 namespace rbc::shard {
 
@@ -120,38 +121,16 @@ SearchResponse ShardedIndex::knn_search(const SearchRequest& request) const {
     fanout[s] = shards_[s].index->knn_search(sub);
   }
 
-  // Exact k-way merge under the global (distance, id) order. Shard-local
-  // ids map to global ids monotonically (both partition schemes assign
-  // ascending local -> ascending global), so each shard's sorted row stays
-  // sorted after remapping and a cursor-per-shard merge is exact — ties
-  // break on the global id exactly as a single unsharded scan would.
+  // Exact k-way merge under the global (distance, id) order — shared with
+  // the multi-process NetRouter (see shard/merge.hpp for the exactness
+  // argument). Shard-local ids map to global ids monotonically (both
+  // partition schemes assign ascending local -> ascending global), and
+  // validate_knn guarantees k <= size, so the merge preconditions hold.
+  std::vector<MergeInput> inputs(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    inputs[s] = {&fanout[s].knn, shard_k[s], &shards_[s].global_ids};
   SearchResponse response;
-  response.knn = KnnResult(nq, k);
-  parallel_for_dynamic(0, nq, [&](index_t qi) {
-    std::vector<index_t> cursor(shards_.size(), 0);
-    dist_t* out_d = response.knn.dists.row(qi);
-    index_t* out_i = response.knn.ids.row(qi);
-    for (index_t slot = 0; slot < k; ++slot) {
-      std::size_t best_s = shards_.size();
-      dist_t best_d = kInfDist;
-      index_t best_id = kInvalidIndex;
-      for (std::size_t s = 0; s < shards_.size(); ++s) {
-        if (cursor[s] >= shard_k[s]) continue;
-        const dist_t d = fanout[s].knn.dists.at(qi, cursor[s]);
-        const index_t gid =
-            shards_[s].global_ids[fanout[s].knn.ids.at(qi, cursor[s])];
-        if (d < best_d || (d == best_d && gid < best_id)) {
-          best_s = s;
-          best_d = d;
-          best_id = gid;
-        }
-      }
-      // validate_knn guarantees k <= size, so candidates never run out.
-      ++cursor[best_s];
-      out_d[slot] = best_d;
-      out_i[slot] = best_id;
-    }
-  });
+  response.knn = merge_shard_topk(nq, k, inputs);
 
   if (request.options.collect_stats) {
     for (const SearchResponse& r : fanout) response.stats.merge(r.stats);

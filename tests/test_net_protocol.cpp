@@ -1,0 +1,278 @@
+// Wire-protocol codec tests: every message round-trips exactly, and every
+// way a frame can be malformed — truncation at any byte, garbage counts,
+// payload/length disagreement, trailing bytes, bad magic/version/flags —
+// throws a clean ProtocolError instead of crashing or allocating from
+// attacker-controlled lengths (the network mirror of test_corrupt_files.cpp).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "serve/net/protocol.hpp"
+#include "test_util.hpp"
+
+namespace rbc::serve::net {
+namespace {
+
+std::span<const std::uint8_t> payload_of(
+    const std::vector<std::uint8_t>& frame) {
+  return {frame.data() + kHeaderSize, frame.size() - kHeaderSize};
+}
+
+TEST(NetProtocol, HeaderRoundTrip) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(Op::kInfoRequest, 0xDEADBEEFCAFEBABEull, {});
+  ASSERT_EQ(frame.size(), kHeaderSize);
+  const auto header = parse_header(frame);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->version, kNetVersion);
+  EXPECT_EQ(header->op, Op::kInfoRequest);
+  EXPECT_EQ(header->request_id, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(header->payload_len, 0u);
+}
+
+TEST(NetProtocol, ShortHeaderAsksForMoreBytes) {
+  const std::vector<std::uint8_t> frame = encode_frame(Op::kInfoRequest, 7, {});
+  for (std::size_t n = 0; n < kHeaderSize; ++n)
+    EXPECT_FALSE(parse_header({frame.data(), n}).has_value()) << n;
+}
+
+TEST(NetProtocol, HeaderRejectsBadMagicVersionOpcodeFlagsAndOversize) {
+  const std::vector<std::uint8_t> good =
+      encode_frame(Op::kKnnRequest, 1, std::vector<std::uint8_t>(4, 0));
+
+  auto mutated = [&](std::size_t offset, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = good;
+    bad[offset] = value;
+    return bad;
+  };
+  EXPECT_THROW((void)parse_header(mutated(0, 0xFF)), ProtocolError);  // magic
+  EXPECT_THROW((void)parse_header(mutated(4, 99)), ProtocolError);  // version
+  EXPECT_THROW((void)parse_header(mutated(5, 0)), ProtocolError);    // opcode
+  EXPECT_THROW((void)parse_header(mutated(5, 200)), ProtocolError);  // opcode
+  EXPECT_THROW((void)parse_header(mutated(6, 1)), ProtocolError);    // flags
+
+  // payload_len over the configured cap is rejected before any payload read.
+  std::vector<std::uint8_t> oversize = good;
+  const std::uint32_t huge = 1u << 30;
+  std::memcpy(oversize.data() + 16, &huge, 4);
+  EXPECT_THROW((void)parse_header(oversize, /*max_payload=*/1 << 20),
+               ProtocolError);
+}
+
+TEST(NetProtocol, KnnRequestRoundTrip) {
+  const Matrix<float> queries = testutil::random_matrix(7, 5, 11);
+  const std::vector<std::uint8_t> frame = encode_knn_request(42, queries, 3);
+  const auto header = parse_header(frame);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->op, Op::kKnnRequest);
+  EXPECT_EQ(frame.size(), kHeaderSize + header->payload_len);
+
+  const KnnRequestMsg msg = decode_knn_request(payload_of(frame));
+  EXPECT_EQ(msg.k, 3u);
+  ASSERT_EQ(msg.queries.rows(), 7u);
+  ASSERT_EQ(msg.queries.cols(), 5u);
+  for (index_t i = 0; i < 7; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_EQ(msg.queries.at(i, j), queries.at(i, j));
+}
+
+TEST(NetProtocol, KnnResponseRoundTrip) {
+  KnnResult result(3, 2);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 2; ++j) {
+      result.ids.at(i, j) = i * 10 + j;
+      result.dists.at(i, j) = 0.5f * static_cast<float>(i + j);
+    }
+  const std::vector<std::uint8_t> frame = encode_knn_response(9, result);
+  const KnnResult back = decode_knn_response(payload_of(frame));
+  ASSERT_EQ(back.ids.rows(), 3u);
+  ASSERT_EQ(back.ids.cols(), 2u);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(back.ids.at(i, j), result.ids.at(i, j));
+      EXPECT_EQ(back.dists.at(i, j), result.dists.at(i, j));
+    }
+}
+
+TEST(NetProtocol, RangeRoundTrips) {
+  const Matrix<float> queries = testutil::random_matrix(4, 6, 13);
+  const std::vector<std::uint8_t> request =
+      encode_range_request(5, queries, 1.25f);
+  const RangeRequestMsg msg = decode_range_request(payload_of(request));
+  EXPECT_EQ(msg.radius, 1.25f);
+  EXPECT_EQ(msg.queries.rows(), 4u);
+  EXPECT_EQ(msg.queries.at(2, 3), queries.at(2, 3));
+
+  const std::vector<std::vector<index_t>> ids = {{1, 2, 3}, {}, {7}, {0, 9}};
+  const std::vector<std::uint8_t> response = encode_range_response(5, ids);
+  EXPECT_EQ(decode_range_response(payload_of(response)), ids);
+}
+
+TEST(NetProtocol, InfoRoundTrip) {
+  InfoMsg info;
+  info.backend = "rbc-exact";
+  info.metric = "cosine";
+  info.size = 12345;
+  info.dim = 32;
+  info.completed = 777;
+  info.rejected = 3;
+  info.p50_ms = 0.25;
+  info.p99_ms = 4.5;
+  info.conn_requests = 10;
+  info.conn_rejected = 1;
+  info.conn_bytes_in = 2048;
+  info.conn_bytes_out = 4096;
+  const std::vector<std::uint8_t> frame = encode_info_response(2, info);
+  const InfoMsg back = decode_info_response(payload_of(frame));
+  EXPECT_EQ(back.backend, info.backend);
+  EXPECT_EQ(back.metric, info.metric);
+  EXPECT_EQ(back.size, info.size);
+  EXPECT_EQ(back.dim, info.dim);
+  EXPECT_EQ(back.completed, info.completed);
+  EXPECT_EQ(back.rejected, info.rejected);
+  EXPECT_EQ(back.p50_ms, info.p50_ms);
+  EXPECT_EQ(back.p99_ms, info.p99_ms);
+  EXPECT_EQ(back.conn_requests, info.conn_requests);
+  EXPECT_EQ(back.conn_rejected, info.conn_rejected);
+  EXPECT_EQ(back.conn_bytes_in, info.conn_bytes_in);
+  EXPECT_EQ(back.conn_bytes_out, info.conn_bytes_out);
+}
+
+TEST(NetProtocol, ReloadAndErrorRoundTrip) {
+  const std::vector<std::uint8_t> reload =
+      encode_reload_request(1, "/tmp/index.rbc");
+  EXPECT_EQ(decode_reload_request(payload_of(reload)), "/tmp/index.rbc");
+
+  const ErrorMsg error{ErrorCode::kOverloaded, 75, "queue full"};
+  const std::vector<std::uint8_t> frame = encode_error(8, error);
+  const ErrorMsg back = decode_error(payload_of(frame));
+  EXPECT_EQ(back.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(back.retry_after_ms, 75u);
+  EXPECT_EQ(back.message, "queue full");
+}
+
+// ------------------------------------------------------------- hardening ---
+
+TEST(NetProtocol, EveryPayloadTruncationThrowsCleanly) {
+  const Matrix<float> queries = testutil::random_matrix(3, 4, 17);
+  KnnResult result(2, 3);
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_knn_request(1, queries, 2),
+      encode_knn_response(2, result),
+      encode_range_request(3, queries, 2.0f),
+      encode_range_response(4, {{1, 2}, {3}}),
+      encode_info_response(5, {"b", "l2", 10, 4, 0, 0, 0, 0, 0, 0, 0, 0}),
+      encode_reload_request(6, "some/path"),
+      encode_error(7, {ErrorCode::kInternal, 0, "boom"}),
+  };
+  for (const std::vector<std::uint8_t>& frame : frames) {
+    const auto header = parse_header(frame);
+    ASSERT_TRUE(header.has_value());
+    const std::span<const std::uint8_t> payload = payload_of(frame);
+    // Cut the payload at EVERY length short of complete: the decoder must
+    // throw ProtocolError each time, never read out of bounds (ASan-checked
+    // in the sanitize job) or allocate from a phantom count.
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::span<const std::uint8_t> sub = payload.subspan(0, cut);
+      switch (header->op) {
+        case Op::kKnnRequest:
+          EXPECT_THROW((void)decode_knn_request(sub), ProtocolError);
+          break;
+        case Op::kKnnResponse:
+          EXPECT_THROW((void)decode_knn_response(sub), ProtocolError);
+          break;
+        case Op::kRangeRequest:
+          EXPECT_THROW((void)decode_range_request(sub), ProtocolError);
+          break;
+        case Op::kRangeResponse:
+          EXPECT_THROW((void)decode_range_response(sub), ProtocolError);
+          break;
+        case Op::kInfoResponse:
+          EXPECT_THROW((void)decode_info_response(sub), ProtocolError);
+          break;
+        case Op::kReloadRequest:
+          EXPECT_THROW((void)decode_reload_request(sub), ProtocolError);
+          break;
+        case Op::kError:
+          EXPECT_THROW((void)decode_error(sub), ProtocolError);
+          break;
+        default:
+          FAIL() << "unexpected op";
+      }
+    }
+  }
+}
+
+TEST(NetProtocol, TrailingBytesAreRejected) {
+  const Matrix<float> queries = testutil::random_matrix(2, 3, 19);
+  std::vector<std::uint8_t> frame = encode_knn_request(1, queries, 2);
+  frame.push_back(0x42);  // one byte past the message's own end
+  const std::span<const std::uint8_t> payload{frame.data() + kHeaderSize,
+                                              frame.size() - kHeaderSize};
+  EXPECT_THROW((void)decode_knn_request(payload), ProtocolError);
+}
+
+TEST(NetProtocol, GarbageCountsNeverDriveAllocation) {
+  // A knn request claiming 2^31 rows in a 16-byte payload: the row-count
+  // caps and count-vs-bytes checks must fire before any allocation.
+  std::vector<std::uint8_t> payload(16, 0);
+  const std::uint32_t k = 1, nq = 1u << 31, dim = 64;
+  std::memcpy(payload.data(), &k, 4);
+  std::memcpy(payload.data() + 4, &nq, 4);
+  std::memcpy(payload.data() + 8, &dim, 4);
+  EXPECT_THROW((void)decode_knn_request(payload), ProtocolError);
+
+  // A range response whose per-row hit count exceeds the bytes present.
+  std::vector<std::uint8_t> range(8, 0);
+  const std::uint32_t rows = 1, hits = 1000;
+  std::memcpy(range.data(), &rows, 4);
+  std::memcpy(range.data() + 4, &hits, 4);
+  EXPECT_THROW((void)decode_range_response(range), ProtocolError);
+
+  // An info response claiming a 4 GiB backend-name string.
+  std::vector<std::uint8_t> info(8, 0);
+  const std::uint32_t len = 0xFFFFFFFF;
+  std::memcpy(info.data(), &len, 4);
+  EXPECT_THROW((void)decode_info_response(info), ProtocolError);
+
+  // k = 0 in a knn request is meaningless and must be rejected.
+  std::vector<std::uint8_t> zero_k(12, 0);
+  EXPECT_THROW((void)decode_knn_request(zero_k), ProtocolError);
+}
+
+TEST(NetProtocol, RandomGarbagePayloadsThrowOrDecode) {
+  // Deterministic fuzz: feed every decoder random bytes. Any outcome is
+  // fine except a crash/UB — decoders must either throw ProtocolError or
+  // (rarely) produce a structurally valid message.
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::uint8_t> bytes(rng.uniform_index(64));
+    for (std::uint8_t& b : bytes)
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto poke = [&](auto&& decode) {
+      try {
+        (void)decode(bytes);
+      } catch (const ProtocolError&) {
+      }
+    };
+    poke([](auto b) { return decode_knn_request(b); });
+    poke([](auto b) { return decode_knn_response(b); });
+    poke([](auto b) { return decode_range_request(b); });
+    poke([](auto b) { return decode_range_response(b); });
+    poke([](auto b) { return decode_info_response(b); });
+    poke([](auto b) { return decode_reload_request(b); });
+    poke([](auto b) { return decode_error(b); });
+  }
+}
+
+TEST(NetProtocol, UnknownErrorCodeIsRejected) {
+  std::vector<std::uint8_t> frame =
+      encode_error(1, {ErrorCode::kBadRequest, 0, "x"});
+  const std::uint16_t bogus = 999;
+  std::memcpy(frame.data() + kHeaderSize, &bogus, 2);
+  EXPECT_THROW((void)decode_error(payload_of(frame)), ProtocolError);
+}
+
+}  // namespace
+}  // namespace rbc::serve::net

@@ -292,6 +292,110 @@ TEST(ServeShutdown, DrainWaitsForOutstandingWork) {
   EXPECT_EQ(service.stats().completed, static_cast<std::uint64_t>(Q.rows()));
 }
 
+TEST(ServeShutdown, SubmissionsRacingWithStopEitherCompleteOrFailCleanly) {
+  // The network server's drain path calls drain() + stop() while client
+  // connections may still be submitting. Hammer that race: every submission
+  // must either complete with a correct-shaped answer or fail with the
+  // clean "submit after stop()" error / kStopped admission — never an
+  // assert, a lost future, or a hang.
+  const Matrix<float> X = testutil::clustered_matrix(300, 6, 4, 57);
+  Matrix<float> one_query = testutil::random_matrix(1, 6, 58);
+
+  for (int round = 0; round < 8; ++round) {
+    auto service = std::make_unique<SearchService>(
+        built_index("bruteforce", X),
+        ServiceOptions{.max_batch = 16, .max_wait_us = 50, .workers = 2});
+
+    std::atomic<bool> go{false}, done{false};
+    std::atomic<int> completed{0}, refused{0};
+    std::vector<std::string> failures(4);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t)
+      submitters.emplace_back([&, t] {
+        while (!go.load()) std::this_thread::yield();
+        while (!done.load()) {
+          try {
+            if (t % 2 == 0) {
+              QueryResult r =
+                  service->submit({one_query.row(0), 6}, 3).get();
+              if (r.ids.size() != 3) failures[t] = "short result";
+              completed.fetch_add(1);
+            } else {
+              std::future<KnnResult> f;
+              const serve::Admission admission =
+                  service->try_submit_batch(one_query, 3, f);
+              if (admission == serve::Admission::kAccepted) {
+                if (f.get().ids.cols() != 3) failures[t] = "short result";
+                completed.fetch_add(1);
+              } else {
+                // kStopped (or kOverloaded) is the documented clean refusal.
+                refused.fetch_add(1);
+                if (admission == serve::Admission::kStopped) return;
+              }
+            }
+          } catch (const std::runtime_error& e) {
+            // The documented late-submission error; anything else is a bug.
+            if (std::string(e.what()).find("submit after stop()") ==
+                std::string::npos)
+              failures[t] = e.what();
+            return;
+          }
+        }
+      });
+
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 + round));
+    service->drain();
+    service->stop();
+    done.store(true);
+    for (std::thread& t : submitters) t.join();
+    for (const std::string& f : failures) EXPECT_EQ(f, "");
+    service.reset();  // destructor after stop(): also clean
+  }
+}
+
+TEST(ServeAdmission, TrySubmitRejectsOverloadWithoutBlocking) {
+  const Matrix<float> X = testutil::clustered_matrix(200, 6, 4, 61);
+  std::vector<index_t> sizes;
+  std::mutex mutex;
+  auto slow =
+      std::make_unique<SlowRecordingIndex>(/*sleep_ms=*/100, &sizes, &mutex);
+  slow->build(X);
+  SearchService service(
+      std::move(slow),
+      {.max_batch = 1, .max_wait_us = 0, .workers = 1, .max_queue = 1});
+
+  Matrix<float> q = testutil::random_matrix(1, 6, 62);
+  std::future<KnnResult> first;
+  ASSERT_EQ(service.try_submit_batch(q, 2, first),
+            serve::Admission::kAccepted);
+
+  // The slot is taken: the non-blocking path answers kOverloaded im-
+  // mediately (well under the 100ms the in-flight search needs).
+  std::future<KnnResult> second;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(service.try_submit_batch(q, 2, second),
+            serve::Admission::kOverloaded);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(90));
+  EXPECT_FALSE(second.valid());
+
+  EXPECT_EQ(first.get().ids.rows(), 1u);
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().completed, 1u);
+
+  // Admission reopens once the queue drains; after stop() it's kStopped.
+  service.drain();
+  std::future<KnnResult> third;
+  EXPECT_EQ(service.try_submit_batch(q, 2, third),
+            serve::Admission::kAccepted);
+  EXPECT_EQ(third.get().ids.rows(), 1u);
+  service.stop();
+  std::future<KnnResult> after;
+  EXPECT_EQ(service.try_submit_batch(q, 2, after),
+            serve::Admission::kStopped);
+}
+
 TEST(ServeStats, SnapshotReportsLatencyAndThroughput) {
   const auto [X, Q] =
       testutil::split_rows(testutil::clustered_matrix(1'032, 8, 5, 43),
