@@ -120,6 +120,33 @@ KnnResult NetRouter::knn(const Matrix<float>& queries, index_t k) {
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
 
+  // Trust boundary: a shard's answer is wire data. Validate its shape and
+  // every shard-local id before the merge indexes global_ids_ and the
+  // result matrices with them (Matrix::at is assert-only in release), so a
+  // mismatched or buggy shard yields a clean error, never an out-of-bounds
+  // read.
+  for (std::size_t s = 0; s < S; ++s) {
+    const KnnResult& r = fanout[s];
+    if (r.ids.rows() != nq || r.ids.cols() != shard_k[s] ||
+        r.dists.rows() != nq || r.dists.cols() != shard_k[s])
+      throw serve::net::ProtocolError(
+          "rbc::dist::NetRouter: shard " + std::to_string(s) +
+          " answered a " + std::to_string(r.ids.rows()) + " x " +
+          std::to_string(r.ids.cols()) + " knn block for a " +
+          std::to_string(nq) + " x " + std::to_string(shard_k[s]) +
+          " request");
+    const index_t rows_held = static_cast<index_t>(global_ids_[s].size());
+    for (index_t qi = 0; qi < nq; ++qi) {
+      const index_t* row = r.ids.row(qi);
+      for (index_t j = 0; j < shard_k[s]; ++j)
+        if (row[j] >= rows_held)
+          throw serve::net::ProtocolError(
+              "rbc::dist::NetRouter: shard " + std::to_string(s) +
+              " answered local id " + std::to_string(row[j]) +
+              " but holds only " + std::to_string(rows_held) + " rows");
+    }
+  }
+
   // Gather: the same exact merge the in-process composite runs.
   std::vector<shard::MergeInput> inputs(S);
   for (std::size_t s = 0; s < S; ++s)
@@ -157,6 +184,24 @@ std::vector<std::vector<index_t>> NetRouter::range(
   stats_.requests += S;
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
+
+  // Same trust boundary as knn(): check shape and id ranges before the
+  // remap indexes global_ids_ with wire-supplied shard-local ids.
+  for (std::size_t s = 0; s < S; ++s) {
+    if (fanout[s].size() != static_cast<std::size_t>(nq))
+      throw serve::net::ProtocolError(
+          "rbc::dist::NetRouter: shard " + std::to_string(s) + " answered " +
+          std::to_string(fanout[s].size()) + " range rows for " +
+          std::to_string(nq) + " queries");
+    const index_t rows_held = static_cast<index_t>(global_ids_[s].size());
+    for (const std::vector<index_t>& hits : fanout[s])
+      for (index_t local : hits)
+        if (local >= rows_held)
+          throw serve::net::ProtocolError(
+              "rbc::dist::NetRouter: shard " + std::to_string(s) +
+              " answered local id " + std::to_string(local) +
+              " but holds only " + std::to_string(rows_held) + " rows");
+  }
 
   // Shard servers answer with shard-local ids sorted ascending; remapping
   // through the monotone global_ids keeps each shard's run sorted, and a

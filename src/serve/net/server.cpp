@@ -76,17 +76,33 @@ RbcServer::RbcServer(std::unique_ptr<Index> index, ServerOptions options,
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   stop_event_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   wake_event_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+
+  // No threads are running yet, and a throwing constructor skips the
+  // destructor — close whatever was created before propagating.
+  auto fail = [this](const char* what) {
+    const int saved = errno;
+    for (int* fd : {&listen_fd_, &epoll_fd_, &stop_event_fd_, &wake_event_fd_})
+      if (*fd >= 0) {
+        close(*fd);
+        *fd = -1;
+      }
+    errno = saved;
+    throw_errno(what);
+  };
   if (epoll_fd_ < 0 || stop_event_fd_ < 0 || wake_event_fd_ < 0)
-    throw_errno("epoll_create1/eventfd");
+    fail("epoll_create1/eventfd");
 
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.u64 = 0;  // listen fd sentinel
-  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0)
+    fail("epoll_ctl(ADD listen fd)");
   ev.data.u64 = 1;  // stop eventfd sentinel
-  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_event_fd_, &ev);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_event_fd_, &ev) < 0)
+    fail("epoll_ctl(ADD stop eventfd)");
   ev.data.u64 = 2;  // wake eventfd sentinel
-  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_event_fd_, &ev);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_event_fd_, &ev) < 0)
+    fail("epoll_ctl(ADD wake eventfd)");
 
   completer_threads_.reserve(static_cast<std::size_t>(options_.completers));
   for (int c = 0; c < options_.completers; ++c)
@@ -94,7 +110,15 @@ RbcServer::RbcServer(std::unique_ptr<Index> index, ServerOptions options,
   loop_thread_ = std::thread([this] { event_loop(); });
 }
 
-RbcServer::~RbcServer() { stop(); }
+RbcServer::~RbcServer() {
+  stop();
+  // All threads are joined once stop() returns, so no signal handler race
+  // remains within the object's lifetime: the eventfd can finally go.
+  if (stop_event_fd_ >= 0) {
+    close(stop_event_fd_);
+    stop_event_fd_ = -1;
+  }
+}
 
 std::shared_ptr<SearchService> RbcServer::service() const {
   std::lock_guard<std::mutex> lock(service_mutex_);
@@ -132,7 +156,8 @@ void RbcServer::stop() {
   if (epoll_fd_ >= 0) { close(epoll_fd_); epoll_fd_ = -1; }
   if (wake_event_fd_ >= 0) { close(wake_event_fd_); wake_event_fd_ = -1; }
   // stop_event_fd_ stays open until destruction: a signal handler may still
-  // hold the fd value (writes to it are harmless once the loop exited).
+  // hold the fd value (writes to it are harmless once the loop exited). The
+  // destructor closes it after this returns.
 }
 
 // ------------------------------------------------------------ event loop ---
@@ -151,6 +176,17 @@ void RbcServer::event_loop() {
       for (const auto& [id, conn] : conns_)
         if (!conn->out.empty()) outboxes_empty = false;
       if (in_flight_ == 0 && outboxes_empty) break;
+    }
+
+    // Re-arm a listener paused by fd exhaustion once the backoff elapsed
+    // (the 100ms epoll timeout bounds how long the pause can overshoot).
+    if (accept_paused_ && listen_fd_ >= 0 &&
+        std::chrono::steady_clock::now() >= accept_paused_until_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = 0;
+      if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0)
+        accept_paused_ = false;
     }
 
     const int n = epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/100);
@@ -220,7 +256,29 @@ void RbcServer::accept_ready() {
   for (;;) {
     const int fd = accept4(listen_fd_, nullptr, nullptr,
                            SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: nothing more to accept
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // The peer aborted between queueing and accept: not our exhaustion,
+      // keep draining the backlog.
+      if (errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds/buffers: accepting cannot succeed until something
+        // frees up, and the level-triggered listen fd would wake the loop
+        // immediately again. Unregister it and let the event loop re-arm
+        // after a short backoff.
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.accept_failures += 1;
+        }
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        accept_paused_ = true;
+        accept_paused_until_ =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+        return;
+      }
+      return;  // EAGAIN/EWOULDBLOCK: backlog drained
+    }
     if (conns_.size() >= options_.max_connections) {
       close(fd);
       continue;
@@ -272,8 +330,10 @@ void RbcServer::conn_readable(Connection& conn) {
 
   // Extract complete frames. A framing error (bad magic/version/oversize)
   // is unrecoverable on a byte stream: answer with one error frame and
-  // flush-close.
-  while (!conn.closing) {
+  // flush-close. A send failure inside handle_frame marks the connection
+  // dead (never frees it — we hold `conn` across iterations), ending the
+  // loop.
+  while (!conn.closing && !conn.dead) {
     const std::span<const std::uint8_t> avail(conn.in.data() + conn.in_off,
                                               conn.in.size() - conn.in_off);
     FrameHeader header;
@@ -317,7 +377,7 @@ void RbcServer::conn_readable(Connection& conn) {
     conn.in_off = 0;
   }
 
-  if (conn.closing && conn.out.empty()) close_conn(conn.id, false);
+  if (should_close(conn)) close_conn(conn.id, /*timed_out=*/false);
 }
 
 bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
@@ -534,14 +594,22 @@ void RbcServer::flush(Connection& conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    close_conn(conn.id, /*timed_out=*/false);
+    // Fatal send error (peer reset -> ECONNRESET/EPIPE, ...). Closing here
+    // would free the Connection while handle_frame / conn_readable's frame
+    // loop still hold it by reference; mark it dead instead and let the
+    // top-level call sites destroy it via should_close().
+    conn.dead = true;
+    conn.out.clear();
+    conn.out_off = 0;
     return;
   }
   update_epoll(conn);
-  if (conn.closing && conn.out.empty()) close_conn(conn.id, false);
 }
 
-void RbcServer::conn_writable(Connection& conn) { flush(conn); }
+void RbcServer::conn_writable(Connection& conn) {
+  flush(conn);
+  if (should_close(conn)) close_conn(conn.id, /*timed_out=*/false);
+}
 
 void RbcServer::update_epoll(Connection& conn) {
   const bool want = !conn.out.empty();
@@ -592,7 +660,9 @@ void RbcServer::drain_replies() {
     if (reply.in_flight_done) in_flight_ -= 1;
     auto it = conns_.find(reply.conn_id);
     if (it == conns_.end()) continue;  // connection gone: drop the reply
-    send_reply(*it->second, std::move(reply.frame));
+    Connection& conn = *it->second;
+    send_reply(conn, std::move(reply.frame));
+    if (should_close(conn)) close_conn(conn.id, /*timed_out=*/false);
   }
 }
 

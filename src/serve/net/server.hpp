@@ -89,6 +89,9 @@ struct NetServerStats {
   std::uint64_t requests = 0;  ///< data frames admitted to the service
   std::uint64_t rejected = 0;  ///< frames refused by admission control
   std::uint64_t reloads = 0;   ///< successful index reloads
+  /// accept4 failed with fd/buffer exhaustion (EMFILE/ENFILE/ENOBUFS/
+  /// ENOMEM); the listener backs off briefly when this happens.
+  std::uint64_t accept_failures = 0;
   std::size_t connections_open = 0;
 };
 
@@ -139,6 +142,12 @@ class RbcServer {
     std::size_t out_off = 0;  // progress into out.front()
     bool want_write = false;  // EPOLLOUT currently registered
     bool closing = false;     // flush outbox, then close
+    // Fatal socket error seen by flush(). flush() never destroys the
+    // connection itself — frames up the stack may still hold it by
+    // reference — so it sets this flag and the top-level call sites
+    // (event loop / conn_readable / drain_replies) close via
+    // should_close().
+    bool dead = false;
     std::chrono::steady_clock::time_point read_progress;
     std::chrono::steady_clock::time_point write_progress;
     ConnCounters counters;
@@ -163,7 +172,16 @@ class RbcServer {
   void send_reply(Connection& conn, std::vector<std::uint8_t> frame);
   void send_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
                   const std::string& message);
+  // Writes out as much of the outbox as the socket accepts. Never calls
+  // close_conn(): on a fatal send error it marks the connection dead and
+  // returns, leaving destruction to the top-level caller (see
+  // Connection::dead).
   void flush(Connection& conn);
+  // True when the connection must be destroyed: a fatal socket error, or a
+  // flush-close whose outbox has fully drained.
+  static bool should_close(const Connection& conn) {
+    return conn.dead || (conn.closing && conn.out.empty());
+  }
   void close_conn(std::uint64_t conn_id, bool timed_out);
   void sweep_timeouts();
   void drain_replies();
@@ -194,6 +212,11 @@ class RbcServer {
   std::uint64_t next_conn_id_ = 3;
   std::uint64_t in_flight_ = 0;  // admitted requests not yet answered
   bool draining_ = false;
+  // Set when accept4 hit fd/buffer exhaustion: the listener is unregistered
+  // from epoll (retrying immediately would busy-spin on the level-triggered
+  // fd) and re-armed by the event loop once the deadline passes.
+  bool accept_paused_ = false;
+  std::chrono::steady_clock::time_point accept_paused_until_{};
 
   std::mutex replies_mutex_;
   std::vector<Reply> replies_;

@@ -243,6 +243,41 @@ TEST(NetServer, MalformedAndOversizedFramesGetErrorThenCloseNotCrash) {
   EXPECT_GE(server.stats().protocol_errors, 2u);
 }
 
+TEST(NetServer, ClientResetMidPipelineDoesNotCorruptServer) {
+  // Regression: a fatal send error (peer RST -> ECONNRESET/EPIPE) while the
+  // frame loop was still delivering replies used to close_conn() from inside
+  // flush(), freeing the Connection the loop held by reference. Pipeline a
+  // burst of requests and abort-close (SO_LINGER 0 sends RST) so the reset
+  // races the replies; under ASan a regression is a hard failure.
+  RbcServer server(built_index("bruteforce"));
+  std::vector<std::uint8_t> burst;
+  for (std::uint64_t id = 1; id <= 512; ++id) {
+    const std::vector<std::uint8_t> frame =
+        serve::net::encode_info_request(id);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  for (int round = 0; round < 100; ++round) {
+    const int fd = raw_connect(server.port());
+    ASSERT_GT(send(fd, burst.data(), burst.size(), MSG_NOSIGNAL), 0);
+    // Sweep the reset across the server's reply loop: busy-wait a different
+    // sub-millisecond delay each round so some rounds reset before the
+    // server reads, some while its frame loop is mid-burst replying (the
+    // once-vulnerable window), some after.
+    const auto delay = std::chrono::microseconds((round * 37) % 1200);
+    const auto deadline = std::chrono::steady_clock::now() + delay;
+    while (std::chrono::steady_clock::now() < deadline) {
+    }
+    const linger abort_on_close{1, 0};
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_on_close,
+               sizeof abort_on_close);
+    close(fd);
+  }
+
+  // The server survived every reset and still answers correctly.
+  RbcClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.knn(test_queries(2), 3).ids.rows(), 2u);
+}
+
 TEST(NetServer, OverloadRejectsWithRetryAfterAndRetrySucceeds) {
   auto slow = std::make_unique<DelayIndex>(built_index("bruteforce"),
                                            /*delay_ms=*/150);
@@ -528,6 +563,131 @@ TEST(NetRouterTest, TwoProcessScatterGatherIsBitIdenticalToShardedIndex) {
     EXPECT_EQ(WEXITSTATUS(status), 0);
   }
   for (const std::string& file : port_files) std::remove(file.c_str());
+}
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = recv(fd, out + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// A wire-correct but lying shard server: answers INFO like a real
+/// `rows`-row shard, then knn/range responses whose shape or shard-local
+/// ids violate the contract. Exercises NetRouter's trust boundary — wire
+/// data from a buggy shard must raise ProtocolError, never index
+/// global_ids_ or the merge inputs out of bounds.
+class EvilShard {
+ public:
+  enum class Mode { kWrongRows, kWrongCols, kIdOutOfRange, kRangeIdOutOfRange };
+
+  EvilShard(Mode mode, index_t rows) : mode_(mode), rows_(rows) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    listen(listen_fd_, 1);
+    socklen_t len = sizeof addr;
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~EvilShard() {
+    shutdown(listen_fd_, SHUT_RDWR);  // wakes a still-pending accept
+    thread_.join();
+    close(listen_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve() {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    for (;;) {
+      std::uint8_t raw[serve::net::kHeaderSize];
+      if (!read_exact(fd, raw, sizeof raw)) break;
+      const auto header = serve::net::parse_header({raw, sizeof raw});
+      if (!header) break;
+      std::vector<std::uint8_t> payload(header->payload_len);
+      if (!read_exact(fd, payload.data(), payload.size())) break;
+
+      std::vector<std::uint8_t> reply;
+      switch (header->op) {
+        case serve::net::Op::kInfoRequest: {
+          InfoMsg info;
+          info.backend = "bruteforce";
+          info.metric = "l2";
+          info.size = rows_;
+          info.dim = kDim;
+          reply = serve::net::encode_info_response(header->request_id, info);
+          break;
+        }
+        case serve::net::Op::kKnnRequest: {
+          const auto request = serve::net::decode_knn_request(payload);
+          const index_t nq = request.queries.rows();
+          KnnResult bad(mode_ == Mode::kWrongRows ? nq + 1 : nq,
+                        mode_ == Mode::kWrongCols ? request.k + 1
+                                                  : request.k);
+          for (index_t i = 0; i < bad.ids.rows(); ++i)
+            for (index_t j = 0; j < bad.ids.cols(); ++j) {
+              // kIdOutOfRange: rows_ is one past the last valid local id.
+              bad.ids.at(i, j) = mode_ == Mode::kIdOutOfRange ? rows_ : j;
+              bad.dists.at(i, j) = 0.0f;
+            }
+          reply = serve::net::encode_knn_response(header->request_id, bad);
+          break;
+        }
+        case serve::net::Op::kRangeRequest: {
+          const auto request = serve::net::decode_range_request(payload);
+          std::vector<std::vector<index_t>> bad(request.queries.rows());
+          if (!bad.empty()) bad.front().push_back(rows_);  // out of range
+          reply =
+              serve::net::encode_range_response(header->request_id, bad);
+          break;
+        }
+        default:
+          return;
+      }
+      std::size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w =
+            send(fd, reply.data() + sent, reply.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+    }
+    close(fd);
+  }
+
+  Mode mode_;
+  index_t rows_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(NetRouterTest, RejectsMalformedShardResponses) {
+  const Matrix<float> queries = test_queries(3);
+  for (const EvilShard::Mode mode :
+       {EvilShard::Mode::kWrongRows, EvilShard::Mode::kWrongCols,
+        EvilShard::Mode::kIdOutOfRange}) {
+    EvilShard shard(mode, /*rows=*/100);
+    dist::NetRouter router({{"127.0.0.1", shard.port()}});
+    EXPECT_THROW((void)router.knn(queries, 5), serve::net::ProtocolError);
+  }
+  {
+    EvilShard shard(EvilShard::Mode::kRangeIdOutOfRange, /*rows=*/100);
+    dist::NetRouter router({{"127.0.0.1", shard.port()}});
+    EXPECT_THROW((void)router.range(queries, 1.0f),
+                 serve::net::ProtocolError);
+  }
 }
 
 }  // namespace
