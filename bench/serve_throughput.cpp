@@ -20,6 +20,7 @@
 // pipeline in seconds. Knobs: RBC_SERVE_BENCH_N (database size),
 // RBC_SERVE_BENCH_QUERIES (total queries per configuration).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -115,6 +116,92 @@ RunResult run_config(const Index& shared, const Matrix<float>& queries,
   r.batches = stats.batches;
   r.evals_per_query =
       static_cast<double>(work.delta()) / static_cast<double>(total);
+  return r;
+}
+
+struct MutateRunResult {
+  double write_fraction = 0.0;
+  int clients = 0;
+  index_t queries = 0;     // completed read queries
+  std::uint64_t writes = 0;  // insert() calls interleaved with the reads
+  double seconds = 0.0;
+  double qps = 0.0;  // read queries/sec under the write load
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One read/write-mix sweep point: `clients` threads each interleave
+/// single-row insert() calls into their query stream at `write_fraction`
+/// of operations. Writes land in the mutable delta shard and periodically
+/// trigger the background merge (max_delta is set low enough that full
+/// runs cross it), so the recorded qps shows what the streaming-mutability
+/// layer costs concurrent readers. The service must own a live mutable
+/// index here — the shared read-only view cannot forward writes — so each
+/// point rebuilds rbc-exact from the same database.
+MutateRunResult run_mutate_config(const Matrix<float>& database,
+                                  const Matrix<float>& queries, int clients,
+                                  index_t max_batch, index_t k,
+                                  double write_fraction) {
+  IndexOptions options{.rbc = {.seed = 3}};
+  options.max_delta = 128;  // full runs cross the merge threshold repeatedly
+  options.background_merge = true;
+  auto index = make_index("rbc-exact", options);
+  index->build(database);
+  serve::SearchService service(
+      std::move(index),
+      {.max_batch = max_batch, .max_wait_us = 300, .workers = 2});
+
+  const index_t total = queries.rows();
+  const index_t per_client = total / static_cast<index_t>(clients);
+  const index_t every =
+      write_fraction > 0.0
+          ? static_cast<index_t>(1.0 / write_fraction + 0.5)
+          : 0;
+  const index_t dim = queries.cols();
+  std::atomic<index_t> next_id{database.rows()};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<index_t> query_count{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      const index_t begin = static_cast<index_t>(c) * per_client;
+      const index_t end = c == clients - 1 ? total : begin + per_client;
+      std::vector<std::future<serve::QueryResult>> futures;
+      futures.reserve(end - begin);
+      for (index_t qi = begin; qi < end; ++qi) {
+        if (every != 0 && (qi - begin) % every == every - 1) {
+          // A write op: insert one fresh row (content recycled from the
+          // database, id globally unique so batches never collide).
+          const index_t id = next_id.fetch_add(1);
+          Matrix<float> one(1, dim);
+          std::copy_n(database.row(id % database.rows()), dim, one.row(0));
+          const index_t ids[] = {id};
+          service.insert(one, ids);
+          writes.fetch_add(1);
+          continue;
+        }
+        futures.push_back(
+            service.submit({queries.row(qi), queries.cols()}, k));
+      }
+      query_count.fetch_add(static_cast<index_t>(futures.size()));
+      for (auto& f : futures) (void)f.get();
+    });
+  for (auto& thread : threads) thread.join();
+  service.drain();
+  const double seconds = timer.seconds();
+
+  const serve::ServiceStats stats = service.stats();
+  MutateRunResult r;
+  r.write_fraction = write_fraction;
+  r.clients = clients;
+  r.queries = query_count.load();
+  r.writes = writes.load();
+  r.seconds = seconds;
+  r.qps = static_cast<double>(r.queries) / seconds;
+  r.p50_ms = stats.latency_p50_ms;
+  r.p99_ms = stats.latency_p99_ms;
   return r;
 }
 
@@ -292,6 +379,26 @@ int main(int argc, char** argv) {
     shard_results.push_back(r);
   }
 
+  // Read/write-mix sweep: the loaded configuration again, with each client
+  // interleaving single-row inserts into its query stream at increasing
+  // write fractions. write_fraction = 0 re-measures the pure-read baseline
+  // through the same owned-mutable-index path, so the nonzero rows isolate
+  // what delta-shard writes and background merges cost concurrent readers.
+  std::printf("\nmutate scaling (clients=%d, max_batch=%u, "
+              "backend=rbc-exact, writes interleaved):\n",
+              top_clients, top_batch);
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "write%", "qps", "p50_ms",
+              "p99_ms", "queries", "writes");
+  std::vector<MutateRunResult> mutate_results;
+  for (double write_fraction : {0.0, 0.01, 0.1}) {
+    const MutateRunResult r = run_mutate_config(
+        database, queries, top_clients, top_batch, k, write_fraction);
+    std::printf("%7.1f%% %10.0f %10.2f %10.2f %10u %10llu\n",
+                100.0 * r.write_fraction, r.qps, r.p50_ms, r.p99_ms,
+                r.queries, static_cast<unsigned long long>(r.writes));
+    mutate_results.push_back(r);
+  }
+
   // Network scaling sweep: the same index behind an RbcServer on loopback,
   // closed-loop single-row clients at increasing client counts. This is the
   // wire-level counterpart of the in-process client sweep above: each added
@@ -375,6 +482,20 @@ int main(int argc, char** argv) {
                "  \"shard_scaling\": [\n");
   for (std::size_t i = 0; i < shard_results.size(); ++i)
     write_row(shard_results[i], i + 1 == shard_results.size());
+  std::fprintf(out,
+               "  ],\n"
+               "  \"mutate_scaling\": [\n");
+  for (std::size_t i = 0; i < mutate_results.size(); ++i) {
+    const MutateRunResult& r = mutate_results[i];
+    std::fprintf(out,
+                 "    {\"write_fraction\": %.3f, \"clients\": %d, "
+                 "\"queries\": %u, \"writes\": %llu, \"seconds\": %.4f, "
+                 "\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 r.write_fraction, r.clients, r.queries,
+                 static_cast<unsigned long long>(r.writes), r.seconds, r.qps,
+                 r.p50_ms, r.p99_ms,
+                 i + 1 == mutate_results.size() ? "" : ",");
+  }
   std::fprintf(out,
                "  ],\n"
                "  \"net_scaling\": [\n");

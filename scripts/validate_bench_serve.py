@@ -30,8 +30,8 @@ def expect(cond: bool, message: str) -> None:
 
 TOP = {"bench": str, "backend": str, "smoke": bool, "n": int, "dim": int,
        "k": int, "total_queries": int, "results": list,
-       "worker_scaling": list, "shard_scaling": list, "net_scaling": list,
-       "acceptance": dict}
+       "worker_scaling": list, "shard_scaling": list,
+       "mutate_scaling": list, "net_scaling": list, "acceptance": dict}
 for key, kind in TOP.items():
     expect(isinstance(doc.get(key), kind),
            f"top-level '{key}' missing or not {kind.__name__}")
@@ -73,6 +73,40 @@ expect(any(row.get("num_shards", 0) > 1
 expect(any(row.get("num_shards", 0) == 1
            for row in doc.get("shard_scaling", [])),
        "shard_scaling has no num_shards == 1 baseline")
+
+# The read/write-mix sweep (streaming mutability under query load) records
+# the read qps at each write fraction; writes are counted so the mix is
+# auditable, and the 0%-writes row anchors the pure-read baseline.
+MUTATE_RESULT = {"write_fraction": (int, float), "clients": int,
+                 "queries": int, "writes": int, "seconds": (int, float),
+                 "qps": (int, float), "p50_ms": (int, float),
+                 "p99_ms": (int, float)}
+for i, row in enumerate(doc.get("mutate_scaling", [])):
+    for key, kind in MUTATE_RESULT.items():
+        expect(isinstance(row.get(key), kind),
+               f"mutate_scaling[{i}].{key} missing or wrong type")
+    if isinstance(row.get("seconds"), (int, float)) and row["seconds"] > 0:
+        implied = row["queries"] / row["seconds"]
+        expect(abs(implied - row["qps"]) <= 0.02 * implied + 1.0,
+               f"mutate_scaling[{i}].qps inconsistent with queries/seconds")
+    expect(row.get("p99_ms", 0) >= row.get("p50_ms", 0),
+           f"mutate_scaling[{i}]: p99 < p50")
+    frac = row.get("write_fraction", -1)
+    expect(isinstance(frac, (int, float)) and 0 <= frac < 1,
+           f"mutate_scaling[{i}].write_fraction outside [0, 1)")
+    if isinstance(frac, (int, float)) and frac == 0:
+        expect(row.get("writes", -1) == 0,
+               f"mutate_scaling[{i}]: writes != 0 at write_fraction 0")
+    elif isinstance(frac, (int, float)) and frac > 0:
+        expect(row.get("writes", 0) > 0,
+               f"mutate_scaling[{i}]: no writes at write_fraction > 0")
+# The sweep must anchor a pure-read baseline and apply real write load.
+expect(any(row.get("write_fraction", -1) == 0
+           for row in doc.get("mutate_scaling", [])),
+       "mutate_scaling has no write_fraction == 0 baseline")
+expect(any(row.get("write_fraction", 0) > 0
+           for row in doc.get("mutate_scaling", [])),
+       "mutate_scaling has no write_fraction > 0 configuration")
 
 # The network sweep (RbcServer over loopback) has its own row schema:
 # client-observed latency, no batching/work columns, and a rejection count

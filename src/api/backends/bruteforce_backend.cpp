@@ -17,6 +17,7 @@
 #include "api/registry.hpp"
 #include "bruteforce/bf.hpp"
 #include "distance/dispatch.hpp"
+#include "mutate/mutable_index.hpp"
 #include "rbc/serialize_io.hpp"
 
 namespace rbc::backends {
@@ -164,13 +165,15 @@ class BruteForceBackend final : public Index {
 }  // namespace
 
 void register_bruteforce() {
-  register_backend(
+  // Wrapped in the mutable delta-shard adapter: make_index("bruteforce")
+  // instances support insert()/remove() (mutate/mutable_index.hpp).
+  register_backend(mutate::wrap(
       {.name = "bruteforce",
        .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
          return std::make_unique<BruteForceBackend>(options);
        },
        .magic = io::kMagicBruteForce,
-       .load = BruteForceBackend::load});
+       .load = BruteForceBackend::load}));
 }
 
 }  // namespace rbc::backends

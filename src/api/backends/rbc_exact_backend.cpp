@@ -17,6 +17,7 @@
 #include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "distance/dispatch.hpp"
+#include "mutate/mutable_index.hpp"
 #include "rbc/rbc_exact.hpp"
 #include "rbc/serialize_io.hpp"
 
@@ -157,13 +158,15 @@ class RbcExactBackend final : public Index {
 }  // namespace
 
 void register_rbc_exact() {
-  register_backend(
+  // Wrapped in the mutable delta-shard adapter (mutate/mutable_index.hpp):
+  // the paper's cheap construction is what makes rebuild-on-merge viable.
+  register_backend(mutate::wrap(
       {.name = "rbc-exact",
        .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
          return std::make_unique<RbcExactBackend>(options);
        },
        .magic = io::kMagicExact,
-       .load = RbcExactBackend::load});
+       .load = RbcExactBackend::load}));
 }
 
 }  // namespace rbc::backends

@@ -13,6 +13,7 @@
 #include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "distance/dispatch.hpp"
+#include "mutate/mutable_index.hpp"
 #include "rbc/rbc_oneshot.hpp"
 #include "rbc/serialize_io.hpp"
 
@@ -131,13 +132,14 @@ class RbcOneShotBackend final : public Index {
 }  // namespace
 
 void register_rbc_oneshot() {
-  register_backend(
+  // Wrapped in the mutable delta-shard adapter (mutate/mutable_index.hpp).
+  register_backend(mutate::wrap(
       {.name = "rbc-oneshot",
        .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
          return std::make_unique<RbcOneShotBackend>(options);
        },
        .magic = io::kMagicOneShot,
-       .load = RbcOneShotBackend::load});
+       .load = RbcOneShotBackend::load}));
 }
 
 }  // namespace rbc::backends

@@ -25,6 +25,7 @@
 #include "baselines/balltree.hpp"
 #include "baselines/covertree.hpp"
 #include "baselines/kdtree.hpp"
+#include "mutate/mutable_index.hpp"
 #include "rbc/serialize_io.hpp"
 
 namespace rbc::backends {
@@ -191,13 +192,14 @@ struct CoverTreeTraits {
 
 template <class Traits>
 void register_tree() {
-  register_backend(
+  // Wrapped in the mutable delta-shard adapter (mutate/mutable_index.hpp).
+  register_backend(mutate::wrap(
       {.name = Traits::kName,
        .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
          return std::make_unique<TreeBackend<Traits>>(options);
        },
        .magic = Traits::kMagic,
-       .load = TreeBackend<Traits>::load});
+       .load = TreeBackend<Traits>::load}));
 }
 
 [[maybe_unused]] const bool auto_registered =

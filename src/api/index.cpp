@@ -20,6 +20,34 @@ void Index::save(std::ostream& /*os*/) const {
 
 namespace {
 
+[[noreturn]] void fail_mutation(const Index& index) {
+  throw std::runtime_error("rbc::Index: backend '" + index.info().backend +
+                           "' does not support mutation "
+                           "(info().supports_mutation is false)");
+}
+
+}  // namespace
+
+void Index::insert(const Matrix<float>& /*rows*/,
+                   std::span<const index_t> /*ids*/) {
+  fail_mutation(*this);
+}
+
+index_t Index::remove(std::span<const index_t> /*ids*/) {
+  fail_mutation(*this);
+}
+
+void Index::compact() { fail_mutation(*this); }
+
+void Index::build_with_ids(const Matrix<float>& /*X*/,
+                           std::span<const index_t> /*ids*/) {
+  fail_mutation(*this);
+}
+
+std::vector<index_t> Index::live_ids() const { fail_mutation(*this); }
+
+namespace {
+
 [[noreturn]] void fail(const char* backend, const std::string& what) {
   throw std::invalid_argument(std::string("rbc::Index[") + backend +
                               "]: " + what);

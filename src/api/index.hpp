@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -69,6 +70,18 @@ struct IndexOptions {
   /// row ids, so results are identical; they differ only in which rows
   /// land together (strided spreads clustered inserts evenly).
   std::string partition = "contiguous";
+
+  /// Mutation-capable backends: delta-shard row count that triggers a
+  /// rebuild of the main structure (insert() buffers rows in a small
+  /// brute-force delta; once it holds this many rows the main structure is
+  /// rebuilt over main + delta − tombstones and swapped in atomically).
+  index_t max_delta = 1024;
+
+  /// Mutation-capable backends: run the merge on a background thread
+  /// (searches keep answering from the pre-merge snapshot meanwhile). When
+  /// false the merge runs inline inside the insert()/remove() call that
+  /// crossed the threshold — deterministic timing, for tests.
+  bool background_merge = true;
 };
 
 /// Static metadata and capabilities of a (built) index.
@@ -94,6 +107,13 @@ struct IndexInfo {
   /// built (non-empty) shard count for sharded:* backends, whose size /
   /// memory_bytes / exact fields aggregate over the inner indices.
   index_t shards = 1;
+  /// insert() / remove() implemented (delta shard + tombstones + merge).
+  bool supports_mutation = false;
+  /// Mutation-capable backends: rows currently buffered in the delta shard
+  /// (not yet merged into the main structure), and main-structure rows
+  /// masked by a pending tombstone. Both drop to 0 after compact().
+  index_t delta_rows = 0;
+  index_t tombstones = 0;
 };
 
 /// Abstract search index. Implementations own every byte they need to
@@ -124,6 +144,41 @@ class Index {
   /// Serializes the built index; rbc::load_index() restores it. Default:
   /// throws std::runtime_error (see info().supports_save).
   virtual void save(std::ostream& os) const;
+
+  /// Streaming mutation (see info().supports_mutation; the default
+  /// implementations throw std::runtime_error with the uniform
+  /// unsupported-capability shape). Mutation-capable backends buffer
+  /// inserted rows in a brute-force delta shard and mask removed ids with
+  /// tombstones; past IndexOptions::max_delta buffered rows the main
+  /// structure is rebuilt over the live set and swapped in atomically
+  /// (shared_ptr snapshot), so concurrent const searches never block and
+  /// always see a consistent live set. Mutators are serialized against
+  /// each other by the implementation; searches may run concurrently.
+  ///
+  /// insert: adds rows.rows() points with caller-chosen ids. Throws
+  /// std::invalid_argument on an unbuilt index, dimension mismatch,
+  /// ids.size() != rows.rows(), duplicate ids within the batch, an id that
+  /// is currently live, or kInvalidIndex as an id. Re-using the id of a
+  /// *removed* point is allowed.
+  virtual void insert(const Matrix<float>& rows, std::span<const index_t> ids);
+
+  /// remove: tombstones each currently-live id in `ids`; unknown (never
+  /// inserted or already removed) ids are ignored. Returns how many points
+  /// were actually removed.
+  virtual index_t remove(std::span<const index_t> ids);
+
+  /// compact: blocks until every buffered mutation is merged into the main
+  /// structure (delta_rows == tombstones == 0). No-op on a clean index.
+  virtual void compact();
+
+  /// build, but with caller-chosen global ids (strictly ascending, no
+  /// kInvalidIndex) instead of 0..n-1 — the primitive mutation-capable
+  /// composites rebuild from. Throws std::invalid_argument on violation.
+  virtual void build_with_ids(const Matrix<float>& X,
+                              std::span<const index_t> ids);
+
+  /// Ascending ids of the currently-live points (size info().size).
+  virtual std::vector<index_t> live_ids() const;
 
   /// Metadata and capability flags.
   virtual IndexInfo info() const = 0;

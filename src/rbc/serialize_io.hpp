@@ -33,6 +33,12 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 /// file remembers which metric it was built for; version-1 files (written
 /// before metrics were runtime-selectable) load as "l2".
 inline constexpr std::uint32_t kFormatVersionMetric = 2;
+/// Format version 3: the mutable-index format (mutate/mutable_index.hpp) —
+/// metric tag, raw-backend build knobs, then explicit global ids + rows for
+/// the main structure, the delta shard, and the tombstone set. Only the
+/// mutation-capable wrappers write or read it; raw backend loaders (and
+/// read_metric_header) keep rejecting version >= 3 as unknown.
+inline constexpr std::uint32_t kFormatVersionMutable = 3;
 
 /// Bytes between the current read position and the end of the stream, or
 /// -1 when the stream is not seekable. Loaders use this to reject a

@@ -46,9 +46,30 @@ void SearchService::validate_submission(index_t nq, index_t cols,
     fail("query dimension " + std::to_string(cols) + " != index dimension " +
          std::to_string(dim_));
   if (k == 0) fail("k must be >= 1");
-  if (k > db_size_)
+  const index_t db_size = db_size_.load(std::memory_order_relaxed);
+  if (k > db_size)
     fail("k = " + std::to_string(k) + " exceeds database size " +
-         std::to_string(db_size_));
+         std::to_string(db_size));
+}
+
+void SearchService::insert(const Matrix<float>& rows,
+                           std::span<const index_t> ids) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  index_->insert(rows, ids);  // the index's own locking orders this
+                              // against in-flight worker searches
+  db_size_.store(index_->info().size, std::memory_order_relaxed);
+}
+
+index_t SearchService::remove(std::span<const index_t> ids) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  const index_t removed = index_->remove(ids);
+  db_size_.store(index_->info().size, std::memory_order_relaxed);
+  return removed;
+}
+
+void SearchService::compact() {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  index_->compact();
 }
 
 std::future<QueryResult> SearchService::submit(std::span<const float> query,

@@ -34,6 +34,7 @@
 // bench/serve_throughput.cpp for the measured batched-vs-singleton win.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -140,6 +141,25 @@ class SearchService {
   Admission try_submit_batch(const Matrix<float>& queries, index_t k,
                              std::future<KnnResult>& out);
 
+  /// Forwards an insert to the owned index (Index::insert contract: new
+  /// unique ids, rows copied). Mutation-capable backends apply it without
+  /// blocking in-flight searches — a search dispatched before the insert
+  /// answers over the old snapshot, one dispatched after sees the new rows.
+  /// Throws the index's own error for incapable backends or invalid batches;
+  /// the admission bound (k vs database size) tracks the new size.
+  /// Thread-safe against searches and against other mutators.
+  void insert(const Matrix<float>& rows, std::span<const index_t> ids);
+
+  /// Forwards a remove to the owned index; returns how many ids were live.
+  /// After the call, submissions validate k against the shrunken size
+  /// (a search already in flight may still race the shrink and fail with
+  /// the backend's k-exceeds-size error through its future).
+  index_t remove(std::span<const index_t> ids);
+
+  /// Forwards Index::compact(): blocks until the index has no pending
+  /// delta rows or tombstones. Searches keep being served meanwhile.
+  void compact();
+
   /// Blocks until every query accepted so far has completed. Submissions
   /// from other threads may keep arriving; drain() returns once the queue is
   /// momentarily empty.
@@ -202,8 +222,15 @@ class SearchService {
   std::unique_ptr<Index> index_;
   ServiceOptions options_;
   index_t dim_ = 0;
-  index_t db_size_ = 0;
+  /// Live row count, refreshed by the mutation entry points; atomic because
+  /// validate_submission reads it without taking the queue mutex.
+  std::atomic<index_t> db_size_{0};
   std::string metric_;  // index metric, stamped onto every dispatched batch
+
+  /// Serializes the mutation entry points with each other (the index's own
+  /// locks already serialize them against searches), so the db_size_
+  /// refresh can't interleave across two mutators.
+  std::mutex mutate_mutex_;
 
   std::mutex stop_mutex_;  // serializes stop() (see service.cpp)
   mutable std::mutex mutex_;

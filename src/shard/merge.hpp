@@ -11,15 +11,18 @@
 //
 // Requirements on the inputs (the callers' contract):
 //   * each shard's row holds its `k` nearest under ascending (distance, id)
-//     order with every entry populated (no padding — callers clamp the
-//     per-shard k to the shard's row count);
+//     order; an *approximate* shard may under-fill the row, padding the
+//     tail with (kInfDist, kInvalidIndex) entries;
 //   * global_ids maps shard-local row ids to global row ids monotonically
 //     (ascending local -> ascending global), so each sorted shard row stays
-//     sorted after remapping;
-//   * the shard k's sum to at least the output k (guaranteed when k <= total
-//     database size, which the unified API validates).
+//     sorted after remapping (padding ids are never remapped);
+//   * for exact shards the k's sum to at least the output k (guaranteed
+//     when k <= total database size, which the unified API validates).
 // Under those, a cursor-per-shard merge is exact: ties break on the global
-// id exactly as a single unsharded scan would.
+// id exactly as a single unsharded scan would. If every stream runs dry
+// before the output fills (only possible when an approximate shard
+// under-filled), the remaining slots carry the same padding convention the
+// backends themselves use.
 #pragma once
 
 #include <span>
@@ -31,11 +34,62 @@
 
 namespace rbc::shard {
 
+/// One sorted candidate stream's contribution to a single-row merge.
+struct MergeCursorInput {
+  const dist_t* dists = nullptr;  ///< k ascending (distance, id) entries
+  const index_t* ids = nullptr;   ///< matching local (or global) ids
+  index_t k = 0;                  ///< valid entries (no padding)
+  /// Local id -> global id, ascending; nullptr means ids are already
+  /// global (identity remap).
+  const std::vector<index_t>* global_ids = nullptr;
+};
+
+/// Merges the streams' sorted rows into one k-entry output row under the
+/// global (distance, id) order. The streams' k's must sum to >= k.
+inline void merge_topk_row(index_t k,
+                           std::span<const MergeCursorInput> streams,
+                           dist_t* out_d, index_t* out_i) {
+  std::vector<index_t> cursor(streams.size(), 0);
+  for (index_t slot = 0; slot < k; ++slot) {
+    std::size_t best_s = streams.size();
+    dist_t best_d = kInfDist;
+    index_t best_id = kInvalidIndex;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (cursor[s] >= streams[s].k) continue;
+      const index_t local = streams[s].ids[cursor[s]];
+      // Approximate shards pad under-filled rows with (kInfDist,
+      // kInvalidIndex); the padding is a sorted tail, so the stream is
+      // exhausted here — and must never reach the global_ids remap.
+      if (local == kInvalidIndex) continue;
+      const dist_t d = streams[s].dists[cursor[s]];
+      const index_t gid = streams[s].global_ids == nullptr
+                              ? local
+                              : (*streams[s].global_ids)[local];
+      if (d < best_d || (d == best_d && gid < best_id)) {
+        best_s = s;
+        best_d = d;
+        best_id = gid;
+      }
+    }
+    if (best_s == streams.size()) {
+      // Every stream ran dry before the row filled (an approximate shard
+      // under-filled): carry the backends' own padding convention through.
+      out_d[slot] = kInfDist;
+      out_i[slot] = kInvalidIndex;
+      continue;
+    }
+    ++cursor[best_s];
+    out_d[slot] = best_d;
+    out_i[slot] = best_id;
+  }
+}
+
 /// One shard's contribution to the merge.
 struct MergeInput {
   const KnnResult* knn = nullptr;  ///< per-query top-k block (nq rows)
   index_t k = 0;                   ///< valid entries per row (<= knn cols)
-  /// Shard-local row id -> global row id, ascending.
+  /// Shard-local row id -> global row id, ascending; nullptr = ids are
+  /// already global.
   const std::vector<index_t>* global_ids = nullptr;
 };
 
@@ -46,30 +100,13 @@ inline KnnResult merge_shard_topk(index_t nq, index_t k,
                                   std::span<const MergeInput> shards) {
   KnnResult out(nq, k);
   parallel_for_dynamic(0, nq, [&](index_t qi) {
-    std::vector<index_t> cursor(shards.size(), 0);
-    dist_t* out_d = out.dists.row(qi);
-    index_t* out_i = out.ids.row(qi);
-    for (index_t slot = 0; slot < k; ++slot) {
-      std::size_t best_s = shards.size();
-      dist_t best_d = kInfDist;
-      index_t best_id = kInvalidIndex;
-      for (std::size_t s = 0; s < shards.size(); ++s) {
-        if (cursor[s] >= shards[s].k) continue;
-        const dist_t d = shards[s].knn->dists.at(qi, cursor[s]);
-        const index_t gid =
-            (*shards[s].global_ids)[shards[s].knn->ids.at(qi, cursor[s])];
-        if (d < best_d || (d == best_d && gid < best_id)) {
-          best_s = s;
-          best_d = d;
-          best_id = gid;
-        }
-      }
-      // The callers guarantee sum(shard k) >= k, so candidates never run
-      // out before the output row fills.
-      ++cursor[best_s];
-      out_d[slot] = best_d;
-      out_i[slot] = best_id;
-    }
+    std::vector<MergeCursorInput> streams(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s)
+      streams[s] = {.dists = shards[s].knn->dists.row(qi),
+                    .ids = shards[s].knn->ids.row(qi),
+                    .k = shards[s].k,
+                    .global_ids = shards[s].global_ids};
+    merge_topk_row(k, streams, out.dists.row(qi), out.ids.row(qi));
   });
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -61,6 +62,11 @@ ShardedIndex::ShardedIndex(std::string_view inner, const IndexOptions& options)
   // queries until build() creates the real shards.
   probe_ = make_index(inner_, options_);
   metric_ = probe_->info().metric;
+  mutable_mode_ = probe_->info().supports_mutation;
+}
+
+void ShardedIndex::fail(const std::string& what) const {
+  throw std::invalid_argument("rbc::Index[" + name_ + "]: " + what);
 }
 
 void ShardedIndex::build_shard(const Matrix<float>& X,
@@ -72,7 +78,63 @@ void ShardedIndex::build_shard(const Matrix<float>& X,
   shard.index->build(part);
 }
 
+void ShardedIndex::build_shard_with_ids(const Matrix<float>& X,
+                                        const std::vector<index_t>& positions,
+                                        const std::vector<index_t>& ids,
+                                        Shard& shard) const {
+  Matrix<float> part(static_cast<index_t>(positions.size()), X.cols());
+  for (index_t local = 0; local < part.rows(); ++local)
+    part.copy_row_from(X, positions[local], local);
+  shard.index->build_with_ids(part, ids);
+}
+
+void ShardedIndex::build_id_native(const Matrix<float>& X,
+                                   const std::vector<index_t>& ids) {
+  // Positions are partitioned exactly as the legacy path partitions rows;
+  // each shard is built id-native over its positional slice of `ids`. All
+  // num_shards shards exist — an initially empty shard (num_shards > n) is
+  // built over zero rows so it can still absorb inserts later.
+  const std::vector<std::vector<index_t>> assignment =
+      partition_rows(X.rows(), options_.num_shards, partition_);
+
+  std::vector<Shard> shards(options_.num_shards);
+  std::vector<std::vector<index_t>> shard_ids(options_.num_shards);
+  for (index_t s = 0; s < options_.num_shards; ++s) {
+    shards[s].index = make_index(inner_, options_);
+    shard_ids[s].reserve(assignment[s].size());
+    for (index_t pos : assignment[s]) shard_ids[s].push_back(ids[pos]);
+    shards[s].live = static_cast<index_t>(assignment[s].size());
+  }
+
+  parallel_for_dynamic(
+      0, static_cast<std::int64_t>(shards.size()),
+      [&](index_t s) {
+        build_shard_with_ids(X, assignment[s], shard_ids[s], shards[s]);
+      },
+      /*chunk=*/1);
+
+  std::unordered_map<index_t, std::uint32_t> owners;
+  owners.reserve(ids.size());
+  for (index_t s = 0; s < options_.num_shards; ++s)
+    for (index_t id : shard_ids[s]) owners.emplace(id, s);
+
+  std::unique_lock lock(mutex_);
+  shards_ = std::move(shards);
+  id_to_shard_ = std::move(owners);
+  size_ = X.rows();
+  dim_ = X.cols();
+  built_ = true;
+}
+
 void ShardedIndex::build(const Matrix<float>& X) {
+  if (mutable_mode_) {
+    // build(X) is build_with_ids with the identity labelling.
+    std::vector<index_t> ids(X.rows());
+    for (index_t i = 0; i < X.rows(); ++i) ids[i] = i;
+    build_id_native(X, ids);
+    return;
+  }
+
   std::vector<std::vector<index_t>> assignment =
       partition_rows(X.rows(), options_.num_shards, partition_);
 
@@ -83,6 +145,7 @@ void ShardedIndex::build(const Matrix<float>& X) {
     Shard shard;
     shard.index = make_index(inner_, options_);
     shard.global_ids = std::move(rows);
+    shard.live = static_cast<index_t>(shard.global_ids.size());
     shards.push_back(std::move(shard));
   }
 
@@ -94,41 +157,67 @@ void ShardedIndex::build(const Matrix<float>& X) {
       [&](index_t s) { build_shard(X, shards[s].global_ids, shards[s]); },
       /*chunk=*/1);
 
+  std::unique_lock lock(mutex_);
   shards_ = std::move(shards);
+  id_to_shard_.clear();
   size_ = X.rows();
   dim_ = X.cols();
   built_ = true;
 }
 
+void ShardedIndex::build_with_ids(const Matrix<float>& X,
+                                  std::span<const index_t> ids) {
+  if (!mutable_mode_) return Index::build_with_ids(X, ids);  // uniform error
+  if (ids.size() != static_cast<std::size_t>(X.rows()))
+    fail("build_with_ids id count " + std::to_string(ids.size()) +
+         " != row count " + std::to_string(X.rows()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == kInvalidIndex)
+      fail("build_with_ids ids contain the reserved invalid id");
+    if (i > 0 && ids[i] <= ids[i - 1])
+      fail("build_with_ids ids must be strictly ascending");
+  }
+  build_id_native(X, std::vector<index_t>(ids.begin(), ids.end()));
+}
+
 SearchResponse ShardedIndex::knn_search(const SearchRequest& request) const {
+  std::shared_lock lock(mutex_);
   validate_knn(request, dim_, size_, built_, name_.c_str(), metric_);
   const Matrix<float>& Q = *request.queries;
   const index_t nq = Q.rows();
   const index_t k = request.k;
 
-  // Fan-out: every shard answers the full query block. Each shard's batch
-  // search fills its own per-query top-k heaps (inner backends never share
-  // state), so this stage is lock-free; with k clamped to the shard's row
-  // count every returned row is fully populated — no padding reaches the
-  // merge. Inner searches parallelize over queries internally.
+  // Fan-out: every live shard answers the full query block. Each shard's
+  // batch search fills its own per-query top-k heaps (inner backends never
+  // share state), so this stage is lock-free; with k clamped to the shard's
+  // live row count every returned row is fully populated — no padding
+  // reaches the merge. Shards with zero live rows (drained by remove(), or
+  // excess shards awaiting inserts) are skipped: they have nothing to
+  // contribute and k >= 1 would fail their validation.
   std::vector<SearchResponse> fanout(shards_.size());
-  std::vector<index_t> shard_k(shards_.size());
+  std::vector<index_t> shard_k(shards_.size(), 0);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].live == 0) continue;
     SearchRequest sub = request;
-    shard_k[s] = std::min<index_t>(
-        k, static_cast<index_t>(shards_[s].global_ids.size()));
+    shard_k[s] = std::min<index_t>(k, shards_[s].live);
     sub.k = shard_k[s];
     fanout[s] = shards_[s].index->knn_search(sub);
   }
 
   // Exact k-way merge under the global (distance, id) order — shared with
   // the multi-process NetRouter (see shard/merge.hpp for the exactness
-  // argument). Shard-local ids map to global ids monotonically (both
-  // partition schemes assign ascending local -> ascending global), and
-  // validate_knn guarantees k <= size, so the merge preconditions hold.
-  std::vector<MergeInput> inputs(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s)
-    inputs[s] = {&fanout[s].knn, shard_k[s], &shards_[s].global_ids};
+  // argument). In id-native (mutable) mode the shards already answer in
+  // global ids (identity remap); otherwise shard-local ids map to global
+  // ids monotonically (both partition schemes assign ascending local ->
+  // ascending global). validate_knn guarantees k <= live size, so the
+  // merge preconditions hold either way.
+  std::vector<MergeInput> inputs;
+  inputs.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_k[s] == 0) continue;
+    inputs.push_back({&fanout[s].knn, shard_k[s],
+                      mutable_mode_ ? nullptr : &shards_[s].global_ids});
+  }
   SearchResponse response;
   response.knn = merge_shard_topk(nq, k, inputs);
 
@@ -140,22 +229,29 @@ SearchResponse ShardedIndex::knn_search(const SearchRequest& request) const {
 }
 
 RangeResponse ShardedIndex::range_search(const RangeRequest& request) const {
-  if (!info().supports_range)
+  // Capability comes from the probe (not info()): this thread may not
+  // re-enter the shared lock it is about to take.
+  if (!probe_->info().supports_range)
     return Index::range_search(request);  // uniform unsupported error
+  std::shared_lock lock(mutex_);
   validate_range(request, dim_, built_, name_.c_str(), metric_);
   const index_t nq = request.queries->rows();
 
   std::vector<RangeResponse> fanout(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s)
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].live == 0) continue;
     fanout[s] = shards_[s].index->range_search(request);
+  }
 
   RangeResponse response;
   response.ids.resize(nq);
   parallel_for_dynamic(0, nq, [&](index_t qi) {
     std::vector<index_t>& hits = response.ids[qi];
-    for (std::size_t s = 0; s < shards_.size(); ++s)
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].live == 0) continue;
       for (index_t local : fanout[s].ids[qi])
-        hits.push_back(shards_[s].global_ids[local]);
+        hits.push_back(mutable_mode_ ? local : shards_[s].global_ids[local]);
+    }
     std::sort(hits.begin(), hits.end());
   });
 
@@ -166,10 +262,103 @@ RangeResponse ShardedIndex::range_search(const RangeRequest& request) const {
   return response;
 }
 
+void ShardedIndex::insert(const Matrix<float>& rows,
+                          std::span<const index_t> ids) {
+  if (!mutable_mode_) return Index::insert(rows, ids);  // uniform error
+  std::unique_lock lock(mutex_);
+  if (!built_) fail("insert on an unbuilt index (call build first)");
+  if (rows.cols() != dim_)
+    fail("insert row dimension " + std::to_string(rows.cols()) +
+         " != index dimension " + std::to_string(dim_));
+  if (ids.size() != static_cast<std::size_t>(rows.rows()))
+    fail("insert id count " + std::to_string(ids.size()) +
+         " != row count " + std::to_string(rows.rows()));
+  if (ids.empty()) return;
+
+  // Validate the whole batch before touching any shard, so a rejected
+  // insert leaves the composite unchanged. Cross-shard liveness lives in
+  // the routing map; in-batch duplicates are caught on a sorted copy.
+  std::vector<index_t> sorted(ids.begin(), ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] == kInvalidIndex)
+      fail("insert ids contain the reserved invalid id");
+    if (i > 0 && sorted[i] == sorted[i - 1])
+      fail("insert ids contain duplicate id " + std::to_string(sorted[i]));
+    if (id_to_shard_.count(sorted[i]) != 0)
+      fail("insert id " + std::to_string(sorted[i]) +
+           " is already live (remove it first)");
+  }
+
+  // Route the whole batch to the least-full shard (ties: lowest index) —
+  // one inner insert, and sustained insertion keeps the shards balanced.
+  std::uint32_t target = 0;
+  for (std::uint32_t s = 1; s < shards_.size(); ++s)
+    if (shards_[s].live < shards_[target].live) target = s;
+  shards_[target].index->insert(rows, ids);
+
+  for (index_t id : ids) id_to_shard_.emplace(id, target);
+  shards_[target].live += static_cast<index_t>(ids.size());
+  size_ += static_cast<index_t>(ids.size());
+}
+
+index_t ShardedIndex::remove(std::span<const index_t> ids) {
+  if (!mutable_mode_) return Index::remove(ids);  // uniform error
+  std::unique_lock lock(mutex_);
+  if (!built_) fail("remove on an unbuilt index (call build first)");
+
+  // Dedupe the request (removing an id twice in one call removes it once),
+  // then dispatch each live id to the shard that owns it.
+  std::vector<index_t> sorted(ids.begin(), ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<std::vector<index_t>> groups(shards_.size());
+  for (index_t id : sorted) {
+    const auto it = id_to_shard_.find(id);
+    if (it == id_to_shard_.end()) continue;  // not live: ignored, not counted
+    groups[it->second].push_back(id);
+  }
+
+  index_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (groups[s].empty()) continue;
+    const index_t removed = shards_[s].index->remove(groups[s]);
+    for (index_t id : groups[s]) id_to_shard_.erase(id);
+    shards_[s].live -= removed;
+    total += removed;
+  }
+  size_ -= total;
+  return total;
+}
+
+void ShardedIndex::compact() {
+  if (!mutable_mode_) return Index::compact();  // uniform error
+  // Shared lock: compaction changes no live set and no routing, only each
+  // shard's internal layout — searches keep running alongside it.
+  std::shared_lock lock(mutex_);
+  if (!built_) fail("compact on an unbuilt index (call build first)");
+  for (const Shard& shard : shards_) shard.index->compact();
+}
+
+std::vector<index_t> ShardedIndex::live_ids() const {
+  if (!mutable_mode_) return Index::live_ids();  // uniform error
+  std::shared_lock lock(mutex_);
+  std::vector<index_t> ids;
+  ids.reserve(size_);
+  for (const Shard& shard : shards_) {
+    const std::vector<index_t> shard_ids = shard.index->live_ids();
+    ids.insert(ids.end(), shard_ids.begin(), shard_ids.end());
+  }
+  std::sort(ids.begin(), ids.end());  // shard id sets are disjoint
+  return ids;
+}
+
 void ShardedIndex::save(std::ostream& os) const {
+  std::shared_lock lock(mutex_);
   if (!built_)
     throw std::runtime_error("rbc::ShardedIndex: save on an unbuilt index");
-  if (!info().supports_save)
+  if (!probe_->info().supports_save)
     return Index::save(os);  // uniform unsupported error
   io::write_pod(os, io::kMagicSharded);
   io::write_metric_header(os, metric_);
@@ -179,8 +368,10 @@ void ShardedIndex::save(std::ostream& os) const {
   io::write_pod(os, size_);
   io::write_pod(os, dim_);
   io::write_pod(os, static_cast<std::uint64_t>(shards_.size()));
-  // Row assignment is a pure function of (size, num_shards, partition) —
-  // load() re-derives it — so only the inner indices need persisting.
+  // Legacy (immutable) shards store no ids — the row assignment is a pure
+  // function of (size, num_shards, partition) that load() re-derives.
+  // Id-native shards persist their own id sets inside the nested mutable
+  // streams, so arbitrary post-mutation assignments round-trip.
   for (const Shard& shard : shards_) shard.index->save(os);
 }
 
@@ -216,25 +407,23 @@ std::unique_ptr<Index> ShardedIndex::load(std::istream& is) {
   std::uint64_t stored = 0;
   io::read_pod(is, stored);
 
-  // Both partition schemes leave exactly min(num_shards, n) shards
-  // non-empty; check the stored count (and 8 bytes of stream per shard —
-  // every inner format's magic + version — as another floor) before
-  // deriving the row sets.
-  const std::uint64_t expected =
+  // Legacy (immutable) saves persist exactly the min(num_shards, n)
+  // non-empty shards; id-native (mutable) saves persist all num_shards,
+  // empty ones included. Anything else is corrupt. The 8 bytes of stream
+  // per shard — every inner format's magic + version — is another floor.
+  const std::uint64_t expected_legacy =
       std::min<std::uint64_t>(options.num_shards, index->size_);
-  if (stored != expected)
+  if (stored != expected_legacy && stored != options.num_shards)
     throw std::runtime_error(
         "rbc::ShardedIndex: corrupt stream (stored shard count " +
-        std::to_string(stored) + " != derived " + std::to_string(expected) +
-        ")");
+        std::to_string(stored) + " matches neither the legacy layout (" +
+        std::to_string(expected_legacy) + ") nor num_shards (" +
+        std::to_string(options.num_shards) + "))");
   io::require_bytes(is, stored * 8, "sharded shard table");
 
-  std::vector<std::vector<index_t>> assignment = partition_rows(
-      index->size_, options.num_shards, index->partition_);
-
-  for (std::vector<index_t>& rows : assignment) {
-    if (rows.empty()) continue;
-    Shard shard;
+  std::vector<Shard> shards(stored);
+  std::uint64_t mutable_count = 0;
+  for (Shard& shard : shards) {
     shard.index = load_index(is);  // magic-dispatched to the inner backend
     if (shard.index->info().backend != inner)
       throw std::runtime_error(
@@ -246,17 +435,75 @@ std::unique_ptr<Index> ShardedIndex::load(std::istream& is) {
           "rbc::ShardedIndex: corrupt stream (shard metric '" +
           shard.index->info().metric + "' != declared metric '" + metric +
           "')");
-    if (shard.index->info().size != rows.size())
-      throw std::runtime_error(
-          "rbc::ShardedIndex: corrupt stream (shard size mismatch)");
-    shard.global_ids = std::move(rows);
-    index->shards_.push_back(std::move(shard));
+    if (shard.index->info().supports_mutation) ++mutable_count;
   }
+
+  if (mutable_count != 0 && mutable_count != stored)
+    throw std::runtime_error(
+        "rbc::ShardedIndex: corrupt stream (mixed mutable and immutable "
+        "shard streams)");
+
+  if (mutable_count == stored && stored != 0) {
+    // Id-native shards carry their own id sets: rebuild the routing map
+    // from them instead of deriving a positional assignment (which a
+    // mutated index no longer follows).
+    if (!index->mutable_mode_)
+      throw std::runtime_error(
+          "rbc::ShardedIndex: corrupt stream (mutable shard streams under "
+          "an immutable inner backend)");
+    for (std::uint32_t s = 0; s < shards.size(); ++s) {
+      const std::vector<index_t> ids = shards[s].index->live_ids();
+      if (shards[s].index->info().dim != index->dim_)
+        throw std::runtime_error(
+            "rbc::ShardedIndex: corrupt stream (shard dimension mismatch)");
+      shards[s].live = static_cast<index_t>(ids.size());
+      for (index_t id : ids)
+        if (!index->id_to_shard_.emplace(id, s).second)
+          throw std::runtime_error(
+              "rbc::ShardedIndex: corrupt stream (id " + std::to_string(id) +
+              " live in more than one shard)");
+    }
+    if (index->id_to_shard_.size() != index->size_)
+      throw std::runtime_error(
+          "rbc::ShardedIndex: corrupt stream (live id count " +
+          std::to_string(index->id_to_shard_.size()) +
+          " != stored row count " + std::to_string(index->size_) + ")");
+  } else {
+    // Raw inner streams (pre-mutability files, or a non-mutable inner):
+    // re-derive the positional assignment and keep the remap tables. The
+    // restored instance answers read-only even when the inner backend has
+    // since grown mutation support — it has no id-native shards to route to.
+    if (stored != expected_legacy)
+      throw std::runtime_error(
+          "rbc::ShardedIndex: corrupt stream (raw shard streams but stored "
+          "count " + std::to_string(stored) + " != legacy layout " +
+          std::to_string(expected_legacy) + ")");
+    index->mutable_mode_ = false;
+    std::vector<std::vector<index_t>> assignment = partition_rows(
+        index->size_, options.num_shards, index->partition_);
+    std::size_t next = 0;
+    for (std::vector<index_t>& rows : assignment) {
+      if (rows.empty()) continue;
+      Shard& shard = shards[next++];
+      if (shard.index->info().size != rows.size())
+        throw std::runtime_error(
+            "rbc::ShardedIndex: corrupt stream (shard size mismatch)");
+      shard.live = static_cast<index_t>(rows.size());
+      shard.global_ids = std::move(rows);
+    }
+  }
+
+  index->shards_ = std::move(shards);
   index->built_ = true;
   return index;
 }
 
 IndexInfo ShardedIndex::info() const {
+  std::shared_lock lock(mutex_);
+  return info_locked();
+}
+
+IndexInfo ShardedIndex::info_locked() const {
   // Capability flags come from the constructor's probe instance until the
   // real shards exist.
   IndexInfo inner_info = shards_.empty() ? probe_->info()
@@ -269,16 +516,27 @@ IndexInfo ShardedIndex::info() const {
   info.dim = dim_;
   info.supports_range = inner_info.supports_range;
   info.supports_save = inner_info.supports_save;
+  info.supports_mutation = mutable_mode_;
   info.kernel_isa = inner_info.kernel_isa;
-  info.shards = static_cast<index_t>(shards_.size());
   info.exact = true;
   info.memory_bytes = 0;
+  // Shard count reports the shards actually answering queries: in id-native
+  // mode the composite holds all num_shards slots but empty ones are
+  // search-invisible, so only live > 0 shards count — matching the legacy
+  // min(num_shards, n) convention on a freshly built index.
+  index_t answering = 0;
   for (const Shard& shard : shards_) {
+    if (shard.live > 0) ++answering;
     const IndexInfo si = shard.index->info();
     info.exact = info.exact && si.exact;
+    info.delta_rows += si.delta_rows;
+    info.tombstones += si.tombstones;
     info.memory_bytes +=
         si.memory_bytes + shard.global_ids.size() * sizeof(index_t);
   }
+  info.shards = answering;
+  info.memory_bytes +=
+      id_to_shard_.size() * sizeof(std::pair<index_t, std::uint32_t>);
   if (shards_.empty()) info.exact = inner_info.exact;
   return info;
 }

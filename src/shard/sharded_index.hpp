@@ -26,12 +26,24 @@
 // Capabilities mirror the inner backend: range_search unions per-shard hits;
 // save/load round-trips through io::kMagicSharded when the inner supports
 // save; IndexInfo aggregates size / memory / exactness over the shards.
+//
+// Mutation: when the inner backend supports insert()/remove() (the mutable
+// delta-shard adapter, mutate/mutable_index.hpp), the composite runs
+// *id-native*: every shard — including initially empty ones, which is why
+// all num_shards are instantiated up front — is built with its global row
+// ids via build_with_ids, answers in global ids directly (no remap table),
+// and the composite routes each insert batch to the least-full shard and
+// each remove to the shard that owns the id. Searches stay exact: the
+// per-shard live counts clamp k, and the same k-way merge applies.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "api/index.hpp"
@@ -59,6 +71,10 @@ std::vector<std::vector<index_t>> partition_rows(index_t n, index_t num_shards,
 /// A row-partitioned composite over any registered inner backend. Validates
 /// the inner name and shard parameters at construction; build() copies each
 /// shard's rows and builds the inner indices in parallel.
+///
+/// Thread safety: const searches may run concurrently with each other and
+/// with the inner shards' background merges; composite-level mutators
+/// (insert/remove/build) exclude searches briefly while they reroute ids.
 class ShardedIndex final : public Index {
  public:
   /// `inner` must name a registered backend ("rbc-exact", ...); `options`
@@ -67,8 +83,17 @@ class ShardedIndex final : public Index {
   ShardedIndex(std::string_view inner, const IndexOptions& options);
 
   void build(const Matrix<float>& X) override;
+  void build_with_ids(const Matrix<float>& X,
+                      std::span<const index_t> ids) override;
   SearchResponse knn_search(const SearchRequest& request) const override;
   RangeResponse range_search(const RangeRequest& request) const override;
+
+  void insert(const Matrix<float>& rows,
+              std::span<const index_t> ids) override;
+  index_t remove(std::span<const index_t> ids) override;
+  void compact() override;
+  std::vector<index_t> live_ids() const override;
+
   void save(std::ostream& os) const override;
   IndexInfo info() const override;
 
@@ -81,11 +106,21 @@ class ShardedIndex final : public Index {
   struct Shard {
     std::unique_ptr<Index> index;
     /// Global row id of each shard-local row (local id -> global id).
+    /// Empty in id-native (mutable) mode: the shard answers global ids.
     std::vector<index_t> global_ids;
+    index_t live = 0;  ///< rows this shard currently answers for
   };
 
   void build_shard(const Matrix<float>& X, const std::vector<index_t>& rows,
                    Shard& shard) const;
+  void build_shard_with_ids(const Matrix<float>& X,
+                            const std::vector<index_t>& positions,
+                            const std::vector<index_t>& ids,
+                            Shard& shard) const;
+  void build_id_native(const Matrix<float>& X,
+                       const std::vector<index_t>& ids);
+  IndexInfo info_locked() const;
+  [[noreturn]] void fail(const std::string& what) const;
 
   std::string inner_;
   std::string name_;  // "sharded:<inner>" (what info().backend reports)
@@ -95,7 +130,15 @@ class ShardedIndex final : public Index {
   /// answers capability queries (info()) until the real shards exist.
   std::unique_ptr<Index> probe_;
   Partition partition_ = Partition::kContiguous;
-  std::vector<Shard> shards_;  // non-empty shards only
+  /// Inner backend supports mutation => the composite runs id-native and
+  /// mutation entry points are live.
+  bool mutable_mode_ = false;
+
+  mutable std::shared_mutex mutex_;  // guards everything below
+  std::vector<Shard> shards_;  // id-native: all num_shards; legacy: non-empty
+  /// id-native mode only: which shard owns each live id (insert routing,
+  /// remove dispatch, duplicate-id detection).
+  std::unordered_map<index_t, std::uint32_t> id_to_shard_;
   index_t size_ = 0;
   index_t dim_ = 0;
   bool built_ = false;

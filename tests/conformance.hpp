@@ -19,7 +19,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -447,6 +449,357 @@ inline void check_metric_serialize_roundtrip(const std::string& backend) {
         restored->knn_search({.queries = &data.Q, .k = k}).knn;
     EXPECT_TRUE(testutil::knn_equal(before, after))
         << backend << ": restored " << name << " index diverged";
+  }
+}
+
+// ------------------------------------------------------ mutation checks ---
+
+/// The uniform mutation-capability contract: backends that declare
+/// supports_mutation must enforce the insert/remove argument contract with
+/// the shared invalid_argument shapes, and backends that don't must reject
+/// every mutation entry point with the uniform runtime_error — never a
+/// silent no-op or a crash.
+inline void check_mutation_contract(const std::string& backend) {
+  const Matrix<float> X = testutil::random_matrix(30, 6, 115);
+  auto index = build_index(backend, X);
+  Matrix<float> one(1, 6);
+  for (index_t j = 0; j < 6; ++j) one.at(0, j) = 0.25f * (j + 1);
+
+  if (!index->info().supports_mutation) {
+    const std::vector<index_t> id{500};
+    try {
+      index->insert(one, id);
+      FAIL() << backend << " accepted insert without declaring mutation";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("does not support mutation"),
+                std::string::npos)
+          << backend << " threw a different message: " << e.what();
+    }
+    EXPECT_THROW((void)index->remove(id), std::runtime_error) << backend;
+    EXPECT_THROW(index->compact(), std::runtime_error) << backend;
+    EXPECT_THROW((void)index->live_ids(), std::runtime_error) << backend;
+    EXPECT_THROW(index->build_with_ids(X, std::vector<index_t>{}),
+                 std::runtime_error)
+        << backend;
+    return;
+  }
+
+  // Unbuilt index: mutation is a caller error, same as search.
+  {
+    auto fresh = make_index(backend, suite_options());
+    const std::vector<index_t> id{500};
+    EXPECT_THROW(fresh->insert(one, id), std::invalid_argument)
+        << backend << ": insert before build";
+    EXPECT_THROW((void)fresh->remove(id), std::invalid_argument)
+        << backend << ": remove before build";
+  }
+
+  // Malformed insert batches leave the index untouched.
+  {
+    Matrix<float> wrong_dim(1, 4);
+    for (index_t j = 0; j < 4; ++j) wrong_dim.at(0, j) = 1.0f;
+    const std::vector<index_t> id{501};
+    EXPECT_THROW(index->insert(wrong_dim, id), std::invalid_argument)
+        << backend << ": dimension mismatch";
+    const std::vector<index_t> two_ids{501, 502};
+    EXPECT_THROW(index->insert(one, two_ids), std::invalid_argument)
+        << backend << ": id/row count mismatch";
+    Matrix<float> two(2, 6);
+    for (index_t j = 0; j < 6; ++j) two.at(0, j) = two.at(1, j) = 0.5f;
+    const std::vector<index_t> dup{501, 501};
+    EXPECT_THROW(index->insert(two, dup), std::invalid_argument)
+        << backend << ": duplicate ids in one batch";
+    const std::vector<index_t> invalid{kInvalidIndex};
+    EXPECT_THROW(index->insert(one, invalid), std::invalid_argument)
+        << backend << ": the reserved invalid id";
+    const std::vector<index_t> taken{3};
+    try {
+      index->insert(one, taken);
+      FAIL() << backend << " accepted an id that is already live";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("already live"), std::string::npos)
+          << backend << " threw a different message: " << e.what();
+    }
+    EXPECT_EQ(index->info().size, X.rows())
+        << backend << ": rejected inserts must not change the index";
+  }
+
+  // remove() dedupes its request and ignores unknown ids: {5, 5, 99}
+  // removes exactly one live row.
+  {
+    const std::vector<index_t> ids{5, 5, 99};
+    EXPECT_EQ(index->remove(ids), 1u) << backend;
+    EXPECT_EQ(index->info().size, X.rows() - 1) << backend;
+    const std::vector<index_t> again{5};
+    EXPECT_EQ(index->remove(again), 0u)
+        << backend << ": removing a dead id twice";
+    // A removed id is free for reuse — with fresh row content.
+    EXPECT_NO_THROW(index->insert(one, again)) << backend;
+  }
+
+  // The post-delete k > n contract (the deduped validation path): once
+  // removals drop the live count below k, the search must fail with the
+  // exact build-time k > n error shape, and k == live must still pass.
+  {
+    Matrix<float> three(3, 6);
+    for (index_t i = 0; i < 3; ++i)
+      for (index_t j = 0; j < 6; ++j) three.at(i, j) = 0.1f * (i * 6 + j);
+    auto small = make_index(backend, suite_options());
+    small->build(three);
+    const std::vector<index_t> drop{0};
+    ASSERT_EQ(small->remove(drop), 1u) << backend;
+    const Matrix<float> q = testutil::random_matrix(2, 6, 116);
+    try {
+      (void)small->knn_search({.queries = &q, .k = 3});
+      FAIL() << backend << " accepted k > live size after remove";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("exceeds database size"),
+                std::string::npos)
+          << backend << " threw a different message: " << e.what();
+    }
+    EXPECT_NO_THROW((void)small->knn_search({.queries = &q, .k = 2}))
+        << backend << ": k == live size after remove must pass";
+  }
+}
+
+/// Logical database the mutate-then-search matrix mirrors: live id -> row.
+using MutationMirror = std::map<index_t, std::vector<float>>;
+
+/// Rebuilds `backend` from scratch over exactly the mirror's live rows
+/// (ids ascending) — the reference a mutated index is compared against.
+inline std::unique_ptr<Index> rebuild_from_mirror(const std::string& backend,
+                                                  const IndexOptions& options,
+                                                  const MutationMirror& mirror,
+                                                  index_t dim) {
+  Matrix<float> X(static_cast<index_t>(mirror.size()), dim);
+  std::vector<index_t> ids;
+  ids.reserve(mirror.size());
+  for (const auto& [id, row] : mirror) {
+    for (index_t j = 0; j < dim; ++j)
+      X.at(static_cast<index_t>(ids.size()), j) = row[j];
+    ids.push_back(id);
+  }
+  auto scratch = make_index(backend, options);
+  scratch->build_with_ids(X, ids);
+  return scratch;
+}
+
+/// One checkpoint of the mutate-then-search matrix: the mutated index must
+/// agree with a scratch rebuild over the same logical rows. Exact backends
+/// must agree bit-for-bit (ids, distances, tie order) at EVERY checkpoint —
+/// delta rows and tombstones included; approximate backends must agree
+/// bit-for-bit whenever the structure is provably identical (delta empty,
+/// unsharded: the merge assembles rows in ascending-id order, exactly the
+/// scratch build's input, under the same seed) and satisfy the result
+/// invariants (live ids only, sorted, no duplicates) otherwise.
+inline void verify_mutation_checkpoint(Index& index,
+                                       const std::string& backend,
+                                       const IndexOptions& options,
+                                       const MutationMirror& mirror,
+                                       const Matrix<float>& Q) {
+  const index_t dim = Q.cols();
+  const IndexInfo info = index.info();
+  ASSERT_EQ(info.size, mirror.size());
+
+  std::vector<index_t> expected_ids;
+  expected_ids.reserve(mirror.size());
+  for (const auto& [id, row] : mirror) expected_ids.push_back(id);
+  EXPECT_EQ(index.live_ids(), expected_ids);
+
+  const auto k = static_cast<index_t>(
+      std::min<std::size_t>(5, mirror.size()));
+  ASSERT_GE(k, 1u);
+  const KnnResult result = index.knn_search({.queries = &Q, .k = k}).knn;
+
+  auto scratch = rebuild_from_mirror(backend, options, mirror, dim);
+  const KnnResult reference = scratch->knn_search({.queries = &Q, .k = k}).knn;
+
+  const bool sharded = backend.rfind("sharded:", 0) == 0;
+  const bool clean = info.delta_rows == 0 && info.tombstones == 0;
+  if (info.exact || (clean && !sharded)) {
+    EXPECT_TRUE(testutil::knn_equal(reference, result))
+        << backend << " diverged from a scratch rebuild over the same "
+        << mirror.size() << " live rows (delta_rows=" << info.delta_rows
+        << " tombstones=" << info.tombstones << ")";
+  } else {
+    const std::set<index_t> live(expected_ids.begin(), expected_ids.end());
+    for (index_t qi = 0; qi < Q.rows(); ++qi) {
+      std::set<index_t> seen;
+      for (index_t j = 0; j < k; ++j) {
+        const index_t id = result.ids.at(qi, j);
+        EXPECT_TRUE(live.count(id) == 1)
+            << backend << " answered dead/unknown id " << id;
+        EXPECT_TRUE(seen.insert(id).second)
+            << backend << " answered id " << id << " twice for one query";
+        if (j > 0)
+          EXPECT_GE(result.dists.at(qi, j), result.dists.at(qi, j - 1))
+              << backend << " returned unsorted distances";
+      }
+    }
+  }
+}
+
+/// The mutate-then-search conformance matrix (the tentpole's lock): drive a
+/// fixed insert/remove/merge/compact schedule against every mutation-capable
+/// backend and compare with a scratch rebuild at every checkpoint, across
+/// the backend's whole supported-metric set. Merges run inline
+/// (background_merge = false) so every phase is deterministic; max_delta = 6
+/// makes the schedule cross the merge threshold mid-run. No-op for backends
+/// without mutation support (check_mutation_contract pins their rejection).
+inline void check_mutate_then_search(const std::string& backend) {
+  if (!make_index(backend, suite_options())->info().supports_mutation) return;
+  const index_t dim = 8;
+  const Matrix<float> pool = testutil::clustered_matrix(80, dim, 5, 117);
+  const Matrix<float> Q = testutil::random_matrix(10, dim, 118);
+  const std::vector<std::string> supported =
+      make_index(backend, suite_options())->info().supported_metrics;
+
+  auto pool_row = [&](index_t r) {
+    return std::vector<float>(pool.row(r), pool.row(r) + dim);
+  };
+  auto insert_rows = [&](Index& index, MutationMirror& mirror,
+                         const std::vector<index_t>& ids, index_t pool_from) {
+    Matrix<float> rows(static_cast<index_t>(ids.size()), dim);
+    for (index_t i = 0; i < rows.rows(); ++i) {
+      rows.copy_row_from(pool, pool_from + i, i);
+      mirror[ids[i]] = pool_row(pool_from + i);
+    }
+    index.insert(rows, ids);
+  };
+  auto remove_rows = [&](Index& index, MutationMirror& mirror,
+                         const std::vector<index_t>& ids) {
+    index_t live = 0;
+    for (index_t id : ids) live += mirror.erase(id);
+    EXPECT_EQ(index.remove(ids), live) << backend;
+  };
+
+  // Sharded composites run the whole schedule at several shard counts —
+  // including more shards than the insert schedule fills evenly.
+  const bool is_sharded = backend.rfind("sharded:", 0) == 0;
+  const std::vector<index_t> shard_counts =
+      is_sharded ? std::vector<index_t>{1, 2, 7} : std::vector<index_t>{0};
+
+  for (const std::string& metric : supported) {
+  for (const index_t shards : shard_counts) {
+    SCOPED_TRACE(backend + " metric=" + metric +
+                 (is_sharded ? " shards=" + std::to_string(shards) : ""));
+    IndexOptions options = suite_options();
+    options.metric = metric;
+    if (shards != 0) options.num_shards = shards;
+    options.max_delta = 6;          // schedule crosses the merge threshold
+    options.background_merge = false;  // merges run inline: deterministic
+
+    auto index = make_index(backend, options);
+    MutationMirror mirror;
+
+    // Phase 0: plain build over ids 0..39.
+    Matrix<float> X0(40, dim);
+    for (index_t i = 0; i < 40; ++i) {
+      X0.copy_row_from(pool, i, i);
+      mirror[i] = pool_row(i);
+    }
+    index->build(X0);
+    verify_mutation_checkpoint(*index, backend, options, mirror, Q);
+
+    // Phase 1: a small insert lands in the delta shard (3 < max_delta).
+    insert_rows(*index, mirror, {100, 101, 102}, 40);
+    verify_mutation_checkpoint(*index, backend, options, mirror, Q);
+
+    // Phase 2: removes masking main rows (tombstones) and a delta row.
+    remove_rows(*index, mirror, {1, 7, 13, 25, 101});
+    verify_mutation_checkpoint(*index, backend, options, mirror, Q);
+
+    // Phase 3: this insert pushes the delta to max_delta — inline merge.
+    // (Sharded composites keep a delta per shard and route the batch to the
+    // least-full one, so only the unsharded index provably crosses the
+    // threshold here.)
+    insert_rows(*index, mirror, {200, 201, 202, 203}, 43);
+    if (!is_sharded)
+      EXPECT_EQ(index->info().delta_rows, 0u)
+          << backend << ": crossing max_delta must trigger the merge";
+    verify_mutation_checkpoint(*index, backend, options, mirror, Q);
+
+    // Phase 4: reinsert a previously removed id with different content.
+    insert_rows(*index, mirror, {7}, 47);
+    verify_mutation_checkpoint(*index, backend, options, mirror, Q);
+
+    // Phase 5: remove the reinserted id again plus unknown ids (ignored).
+    remove_rows(*index, mirror, {7, 999});
+    verify_mutation_checkpoint(*index, backend, options, mirror, Q);
+
+    // Phase 6: compact folds everything into the main structure.
+    index->compact();
+    EXPECT_EQ(index->info().delta_rows, 0u) << backend;
+    EXPECT_EQ(index->info().tombstones, 0u) << backend;
+    verify_mutation_checkpoint(*index, backend, options, mirror, Q);
+  }
+  }
+}
+
+/// A mutated index must round-trip through save/load with its delta rows
+/// and tombstones intact — the restored instance answers identically and
+/// stays mutable. Runs under "l2" and (when supported) "cosine", whose
+/// transform-space rows are the risky persistence path.
+inline void check_mutated_serialize_roundtrip(const std::string& backend) {
+  auto probe = make_index(backend, suite_options());
+  if (!probe->info().supports_mutation || !probe->info().supports_save)
+    return;
+  const std::vector<std::string> supported = probe->info().supported_metrics;
+
+  for (const std::string& metric : {std::string("l2"), std::string("cosine")}) {
+    if (std::find(supported.begin(), supported.end(), metric) ==
+        supported.end())
+      continue;
+    SCOPED_TRACE(backend + " metric=" + metric);
+    const index_t dim = 8;
+    const Matrix<float> pool = testutil::clustered_matrix(60, dim, 4, 119);
+    const Matrix<float> Q = testutil::random_matrix(6, dim, 120);
+    IndexOptions options = suite_options();
+    options.metric = metric;
+    options.max_delta = 64;  // keep the delta un-merged across the save
+    options.background_merge = false;
+
+    auto index = make_index(backend, options);
+    Matrix<float> X0(40, dim);
+    for (index_t i = 0; i < 40; ++i) X0.copy_row_from(pool, i, i);
+    index->build(X0);
+    Matrix<float> extra(4, dim);
+    for (index_t i = 0; i < 4; ++i) extra.copy_row_from(pool, 40 + i, i);
+    const std::vector<index_t> extra_ids{50, 60, 70, 80};
+    index->insert(extra, extra_ids);
+    const std::vector<index_t> dropped{2, 11, 60};
+    ASSERT_EQ(index->remove(dropped), 3u);
+
+    const IndexInfo before_info = index->info();
+    ASSERT_GT(before_info.delta_rows, 0u);
+    ASSERT_GT(before_info.tombstones, 0u);
+    const index_t k = 5;
+    const KnnResult before = index->knn_search({.queries = &Q, .k = k}).knn;
+
+    std::stringstream stream;
+    index->save(stream);
+    const auto restored = load_index(stream);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->info().backend, backend);
+    EXPECT_EQ(restored->info().metric, metric);
+    EXPECT_EQ(restored->info().size, before_info.size);
+    EXPECT_EQ(restored->info().delta_rows, before_info.delta_rows);
+    EXPECT_EQ(restored->info().tombstones, before_info.tombstones);
+    EXPECT_TRUE(restored->info().supports_mutation)
+        << backend << ": a restored mutable index must stay mutable";
+    EXPECT_EQ(restored->live_ids(), index->live_ids());
+    const KnnResult after = restored->knn_search({.queries = &Q, .k = k}).knn;
+    EXPECT_TRUE(testutil::knn_equal(before, after))
+        << backend << ": restored mutated index diverged";
+
+    // The restored instance keeps mutating: a delete and a fresh insert.
+    const std::vector<index_t> drop_after{50};
+    EXPECT_EQ(restored->remove(drop_after), 1u);
+    Matrix<float> one(1, dim);
+    one.copy_row_from(pool, 44, 0);
+    const std::vector<index_t> new_id{90};
+    EXPECT_NO_THROW(restored->insert(one, new_id));
+    EXPECT_EQ(restored->info().size, before_info.size);
   }
 }
 

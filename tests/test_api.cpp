@@ -201,6 +201,36 @@ TEST(ApiErrors, KBeyondDatabaseSizeThrowsIdenticallyAcrossAllBackends) {
   }
 }
 
+TEST(ApiErrors, KBeyondPostDeleteSizeThrowsTheSameUniformError) {
+  // Streaming-mutability satellite: when remove() shrinks the live set
+  // below a previously valid k, the next search must fail with the exact
+  // same uniform "exceeds database size" contract as build-time k > n —
+  // not stale padding from tombstoned rows, and not a different message.
+  const Matrix<float> X = testutil::clustered_matrix(12, 6, 3, 29);
+  const Matrix<float> Q = testutil::random_matrix(3, 6, 30);
+  for (const std::string& name : registered_backends()) {
+    auto index = make_index(
+        name, {.rbc = {.num_reps = 4, .seed = 31}, .num_shards = 2});
+    if (!index->info().supports_mutation) continue;
+    SCOPED_TRACE(name);
+    index->build(X);
+    EXPECT_NO_THROW((void)index->knn_search({.queries = &Q, .k = 10}));
+    // Drop 4 rows: 8 live, so k = 10 now exceeds the database size even
+    // though 12 physical rows sit behind the tombstones.
+    EXPECT_EQ(index->remove(std::vector<index_t>{1, 4, 7, 10}), 4u);
+    try {
+      (void)index->knn_search({.queries = &Q, .k = 10});
+      FAIL() << name << " accepted k > post-delete database size";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("exceeds database size"),
+                std::string::npos)
+          << name << " threw a different message: " << e.what();
+    }
+    // k == the shrunken live count is the boundary and must pass.
+    EXPECT_NO_THROW((void)index->knn_search({.queries = &Q, .k = 8}));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(CpuBackends, ApiBackendTest,
                          ::testing::ValuesIn(kCpuBackends),
                          [](const auto& info) {

@@ -56,6 +56,18 @@ TEST_P(ConformanceTest, ShardedCosineIsBitIdenticalToTheInner) {
   conformance::check_sharded_metric_parity(GetParam());
 }
 
+TEST_P(ConformanceTest, MutationEntryPointsFollowTheUniformContract) {
+  conformance::check_mutation_contract(GetParam());
+}
+
+TEST_P(ConformanceTest, MutateThenSearchMatchesAScratchRebuild) {
+  conformance::check_mutate_then_search(GetParam());
+}
+
+TEST_P(ConformanceTest, MutatedSerializeRoundTripIsExact) {
+  conformance::check_mutated_serialize_roundtrip(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, ConformanceTest,
                          ::testing::ValuesIn(registered_backends()),
                          [](const auto& info) {
@@ -128,6 +140,38 @@ TEST(ConformanceCoverage, EveryRegisteredBackendIsInstantiated) {
     EXPECT_TRUE(instantiated.count('"' + backend + '"') == 1)
         << "registered backend '" << backend
         << "' has no instantiated conformance tests";
+  }
+}
+
+// Same source-of-truth rule for the mutation matrix: every backend that
+// declares supports_mutation must have instantiated mutate-then-search
+// coverage — a backend opting into mutation without the conformance lock
+// (e.g. by instantiating the suite from a hardcoded subset) fails here.
+TEST(ConformanceCoverage, EveryMutableBackendHasMutationTests) {
+  std::set<std::string> instantiated;
+  const ::testing::UnitTest& unit = *::testing::UnitTest::GetInstance();
+  for (int i = 0; i < unit.total_test_suite_count(); ++i) {
+    const ::testing::TestSuite& suite = *unit.GetTestSuite(i);
+    if (std::string(suite.name()).find("ConformanceTest") == std::string::npos)
+      continue;
+    for (int j = 0; j < suite.total_test_count(); ++j) {
+      const ::testing::TestInfo& info = *suite.GetTestInfo(j);
+      if (std::string(info.name()).find("MutateThenSearch") ==
+          std::string::npos)
+        continue;
+      if (const char* param = info.value_param()) instantiated.insert(param);
+    }
+  }
+  for (const std::string& backend : registered_backends()) {
+    const bool mutable_backend =
+        make_index(backend, conformance::suite_options())
+            ->info()
+            .supports_mutation;
+    if (!mutable_backend) continue;
+    EXPECT_TRUE(instantiated.count('"' + backend + '"') == 1)
+        << "backend '" << backend
+        << "' declares supports_mutation but has no instantiated "
+           "mutate-then-search conformance tests";
   }
 }
 

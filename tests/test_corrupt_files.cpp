@@ -159,12 +159,62 @@ TEST(CorruptFiles, UnknownMetricTagIsRejectedAsCorruption) {
     EXPECT_THROW((void)load_index(stream), std::runtime_error);
   }
   {
-    // An unknown (version 3) header is rejected, not misparsed.
+    // An unknown (version 4 — one past the mutable v3) header is rejected,
+    // not misparsed as some future format.
     std::stringstream stream;
     io::write_pod(stream, io::kMagicBruteForce);
-    io::write_pod(stream, std::uint32_t{3});
+    io::write_pod(stream, std::uint32_t{4});
     EXPECT_THROW((void)load_index(stream), std::runtime_error);
   }
+}
+
+TEST(CorruptFiles, TruncatedMutableDeltaAndTombstoneSectionsThrowCleanly) {
+  // Version-3 streams append the delta rows, delta ids, and tombstone list
+  // after the main section. Save the same logical index twice — once
+  // compacted (clean tail) and once with a live delta + tombstones — so
+  // every cut between the two lengths provably lands inside the mutation
+  // sections, the exact bytes a crash mid-append would truncate.
+  const Matrix<float> X = testutil::clustered_matrix(40, 6, 4, 55);
+  IndexOptions options{.rbc = {.seed = 56}};
+  options.max_delta = 64;  // keep the delta unmerged across save
+  options.background_merge = false;
+
+  auto index = make_index("bruteforce", options);
+  index->build(X);
+  Matrix<float> extra = testutil::random_matrix(5, 6, 57);
+  index->insert(extra, std::vector<index_t>{100, 101, 102, 103, 104});
+  EXPECT_EQ(index->remove(std::vector<index_t>{3, 17, 102}), 3u);
+  ASSERT_GT(index->info().delta_rows, 0u);
+  ASSERT_GT(index->info().tombstones, 0u);
+
+  std::stringstream mutated_stream;
+  index->save(mutated_stream);
+  const std::string mutated = mutated_stream.str();
+  index->compact();
+  std::stringstream clean_stream;
+  index->save(clean_stream);
+  const std::size_t clean_size = clean_stream.str().size();
+  ASSERT_GT(mutated.size(), clean_size);
+
+  const std::size_t tail = mutated.size() - clean_size;
+  for (const std::size_t cut :
+       {clean_size, clean_size + tail / 4, clean_size + tail / 2,
+        mutated.size() - 1}) {
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " of " +
+                 std::to_string(mutated.size()) + " bytes");
+    std::stringstream stream(mutated.substr(0, cut));
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  // The untruncated mutated stream still loads with its delta and
+  // tombstones intact (the cuts above failed for the right reason).
+  std::stringstream intact(mutated);
+  // Removing delta-resident id 102 dropped its row in place; removing main
+  // ids 3 and 17 tombstoned them — so the tail holds 4 delta rows + 2
+  // tombstones.
+  const auto restored = load_index(intact);
+  EXPECT_EQ(restored->info().delta_rows, 4u);
+  EXPECT_EQ(restored->info().tombstones, 2u);
+  EXPECT_EQ(restored->info().size, 42u);
 }
 
 TEST(CorruptFiles, LegacyVersion1FilesLoadAsL2) {
