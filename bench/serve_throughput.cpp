@@ -25,12 +25,16 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "data/generators.hpp"
+#include "dist/net_router.hpp"
+#include "fault_proxy.hpp"
 #include "rbc/rbc.hpp"
 #include "serve/net/client.hpp"
 #include "serve/net/server.hpp"
@@ -289,6 +293,94 @@ NetRunResult run_net_config(const Index& shared, const Matrix<float>& queries,
   return r;
 }
 
+struct FaultRunResult {
+  std::string scenario;
+  int replicas = 1;
+  int dead_replicas = 0;
+  std::uint32_t slow_ms = 0;
+  index_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t failovers = 0;
+  std::uint64_t transport_errors = 0;
+};
+
+/// One fault sweep point: two shards of the database behind in-process
+/// RbcServers (`replicas` identical servers per shard), a NetRouter fanning
+/// closed-loop single-row queries over them under an injected failure mode:
+/// `dead_replicas` of shard 0's servers stopped before the run (failover +
+/// breaker cost), or shard 1 fronted by a FaultProxy adding `slow_ms` to
+/// every response chunk (slow-shard cost). Latency is client-observed, so
+/// the recorded qps/p99 is what a caller actually experiences while the
+/// fault is live.
+FaultRunResult run_fault_config(
+    const std::vector<std::unique_ptr<Index>>& shard_indexes,
+    const Matrix<float>& queries, index_t k, std::string scenario,
+    int replicas, int dead_replicas, std::uint32_t slow_ms) {
+  const std::size_t num_shards = shard_indexes.size();
+  std::vector<std::vector<std::unique_ptr<serve::net::RbcServer>>> servers(
+      num_shards);
+  std::vector<std::vector<dist::Endpoint>> topology(num_shards);
+  std::unique_ptr<rbc::testing::FaultProxy> proxy;
+  for (std::size_t s = 0; s < num_shards; ++s)
+    for (int r = 0; r < replicas; ++r) {
+      servers[s].push_back(std::make_unique<serve::net::RbcServer>(
+          std::make_unique<SharedIndexView>(shard_indexes[s].get()),
+          serve::net::ServerOptions{.port = 0},
+          serve::ServiceOptions{.max_batch = 64, .max_wait_us = 300,
+                                .workers = 2}));
+      std::uint16_t port = servers[s].back()->port();
+      if (slow_ms > 0 && s == num_shards - 1 && r == 0) {
+        proxy = std::make_unique<rbc::testing::FaultProxy>("127.0.0.1", port);
+        proxy->set_plan({.mode = rbc::testing::FaultPlan::Mode::kDelay,
+                         .delay_ms = slow_ms});
+        port = proxy->port();
+      }
+      topology[s].push_back({"127.0.0.1", port});
+    }
+  for (int d = 0; d < dead_replicas; ++d) servers[0][d]->stop();
+
+  dist::RouterOptions options;
+  options.client.timeout_ms = 30'000;
+  dist::NetRouter router(topology, options);
+
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(queries.rows()));
+  Matrix<float> one(1, queries.cols());
+  WallTimer timer;
+  for (index_t qi = 0; qi < queries.rows(); ++qi) {
+    std::copy_n(queries.row(qi), queries.cols(), one.row(0));
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)router.knn(one, k);
+    lat.push_back(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+  }
+  const double seconds = timer.seconds();
+
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&lat](double p) {
+    if (lat.empty()) return 0.0;
+    return lat[static_cast<std::size_t>(p *
+                                        static_cast<double>(lat.size() - 1))];
+  };
+  FaultRunResult r;
+  r.scenario = std::move(scenario);
+  r.replicas = replicas;
+  r.dead_replicas = dead_replicas;
+  r.slow_ms = slow_ms;
+  r.queries = static_cast<index_t>(lat.size());
+  r.seconds = seconds;
+  r.qps = static_cast<double>(lat.size()) / seconds;
+  r.p50_ms = pct(0.50);
+  r.p99_ms = pct(0.99);
+  r.failovers = router.stats().failovers;
+  r.transport_errors = router.stats().transport_errors;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -426,6 +518,51 @@ int main(int argc, char** argv) {
     net_results.push_back(r);
   }
 
+  // Fault scaling sweep: the same database split over two shard-owner
+  // servers and queried through the fault-tolerant NetRouter, under three
+  // failure modes — healthy (replicated baseline), one dead replica
+  // (failover + breaker cost on the hot path), and a 50ms slow shard
+  // injected with the chaos tests' FaultProxy (every scatter waits on the
+  // straggler). Answers stay exact in all three (the chaos suite asserts
+  // it); these rows record what each failure mode costs in qps and tail
+  // latency.
+  const index_t fault_queries = static_cast<index_t>(env_or(
+      "RBC_SERVE_BENCH_FAULT_QUERIES", std::int64_t{smoke ? 64 : 300}));
+  Matrix<float> fault_query_block = data::make_subspace_clusters(
+      fault_queries, dim, 30, 3, 0.05f, /*seed=*/5);
+  std::vector<std::unique_ptr<Index>> fault_shards;
+  {
+    const auto assignment = shard::partition_rows(
+        database.rows(), 2, shard::Partition::kContiguous);
+    for (const std::vector<index_t>& mine : assignment) {
+      Matrix<float> rows(static_cast<index_t>(mine.size()), database.cols());
+      for (index_t i = 0; i < rows.rows(); ++i)
+        rows.copy_row_from(database, mine[i], i);
+      fault_shards.push_back(make_index("rbc-exact", {.rbc = {.seed = 3}}));
+      fault_shards.back()->build(rows);
+    }
+  }
+  std::printf("\nfault scaling (2 shards via NetRouter, closed-loop "
+              "single-row client, %u queries/config):\n",
+              fault_queries);
+  std::printf("%18s %9s %6s %8s %10s %10s %10s %10s %10s\n", "scenario",
+              "replicas", "dead", "slow_ms", "qps", "p50_ms", "p99_ms",
+              "failovers", "transport");
+  std::vector<FaultRunResult> fault_results;
+  for (const auto& [scenario, replicas, dead, slow] :
+       {std::tuple{"healthy", 2, 0, 0u},
+        std::tuple{"one_dead_replica", 2, 1, 0u},
+        std::tuple{"slow_shard_50ms", 1, 0, 50u}}) {
+    const FaultRunResult r = run_fault_config(
+        fault_shards, fault_query_block, k, scenario, replicas, dead, slow);
+    std::printf("%18s %9d %6d %8u %10.0f %10.3f %10.3f %10llu %10llu\n",
+                r.scenario.c_str(), r.replicas, r.dead_replicas, r.slow_ms,
+                r.qps, r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.failovers),
+                static_cast<unsigned long long>(r.transport_errors));
+    fault_results.push_back(r);
+  }
+
   // Acceptance record: best batched (max_batch >= 64) vs unbatched at the
   // highest client count.
   double unbatched_qps = 0.0, batched_qps = 0.0;
@@ -508,6 +645,23 @@ int main(int argc, char** argv) {
                  r.clients, r.queries, r.seconds, r.qps, r.p50_ms, r.p99_ms,
                  static_cast<unsigned long long>(r.rejected),
                  i + 1 == net_results.size() ? "" : ",");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"fault_scaling\": [\n");
+  for (std::size_t i = 0; i < fault_results.size(); ++i) {
+    const FaultRunResult& r = fault_results[i];
+    std::fprintf(out,
+                 "    {\"scenario\": \"%s\", \"replicas\": %d, "
+                 "\"dead_replicas\": %d, \"slow_ms\": %u, \"queries\": %u, "
+                 "\"seconds\": %.4f, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"failovers\": %llu, "
+                 "\"transport_errors\": %llu}%s\n",
+                 r.scenario.c_str(), r.replicas, r.dead_replicas, r.slow_ms,
+                 r.queries, r.seconds, r.qps, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.failovers),
+                 static_cast<unsigned long long>(r.transport_errors),
+                 i + 1 == fault_results.size() ? "" : ",");
   }
   std::fprintf(out,
                "  ],\n"

@@ -117,12 +117,15 @@ int cmd_build(int argc, char** argv) {
   const Matrix<float> X = data::load_matrix(argv[2]);
   WallTimer timer;
   index->build(X);
-  std::ofstream os(argv[3], std::ios::binary);
-  if (!os) {
-    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+  try {
+    // Atomic replace (tmp + fsync + rename): a crash mid-save cannot
+    // destroy an index file already at this path — which a serving process
+    // may be hot-reloading from.
+    save_index(*index, argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot write %s: %s\n", argv[3], e.what());
     return 1;
   }
-  index->save(os);
   const IndexInfo info = index->info();
   std::printf("%s index (metric: %s) over %u points: %.1f MB, "
               "built in %.2fs\n",

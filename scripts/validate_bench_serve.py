@@ -31,7 +31,8 @@ def expect(cond: bool, message: str) -> None:
 TOP = {"bench": str, "backend": str, "smoke": bool, "n": int, "dim": int,
        "k": int, "total_queries": int, "results": list,
        "worker_scaling": list, "shard_scaling": list,
-       "mutate_scaling": list, "net_scaling": list, "acceptance": dict}
+       "mutate_scaling": list, "net_scaling": list,
+       "fault_scaling": list, "acceptance": dict}
 for key, kind in TOP.items():
     expect(isinstance(doc.get(key), kind),
            f"top-level '{key}' missing or not {kind.__name__}")
@@ -128,6 +129,44 @@ for i, row in enumerate(doc.get("net_scaling", [])):
 # The sweep must actually scale the client count (a clients > 1 point).
 expect(any(row.get("clients", 0) > 1 for row in doc.get("net_scaling", [])),
        "net_scaling has no clients > 1 configuration")
+
+# The fault sweep (NetRouter over shard-owner servers under injected
+# failures) records what each failure mode costs a live caller: a healthy
+# replicated baseline, a dead-replica point (failover/breaker path), and a
+# slow-shard point (deadline-relevant straggler drag).
+FAULT_RESULT = {"scenario": str, "replicas": int, "dead_replicas": int,
+                "slow_ms": int, "queries": int, "seconds": (int, float),
+                "qps": (int, float), "p50_ms": (int, float),
+                "p99_ms": (int, float), "failovers": int,
+                "transport_errors": int}
+for i, row in enumerate(doc.get("fault_scaling", [])):
+    for key, kind in FAULT_RESULT.items():
+        expect(isinstance(row.get(key), kind),
+               f"fault_scaling[{i}].{key} missing or wrong type")
+    if isinstance(row.get("seconds"), (int, float)) and row["seconds"] > 0:
+        implied = row["queries"] / row["seconds"]
+        expect(abs(implied - row["qps"]) <= 0.02 * implied + 1.0,
+               f"fault_scaling[{i}].qps inconsistent with queries/seconds")
+    expect(row.get("p99_ms", 0) >= row.get("p50_ms", 0),
+           f"fault_scaling[{i}]: p99 < p50")
+    expect(row.get("queries", 0) > 0,
+           f"fault_scaling[{i}]: zero completed queries (faults must not "
+           f"lose work)")
+# The sweep must anchor a fault-free baseline and apply real failure modes.
+fault_rows = doc.get("fault_scaling", [])
+expect(any(r.get("dead_replicas", -1) == 0 and r.get("slow_ms", -1) == 0
+           for r in fault_rows),
+       "fault_scaling has no healthy baseline row")
+expect(any(r.get("dead_replicas", 0) > 0 for r in fault_rows),
+       "fault_scaling has no dead-replica configuration")
+expect(any(r.get("slow_ms", 0) > 0 for r in fault_rows),
+       "fault_scaling has no slow-shard configuration")
+# A slow shard must actually show up in the client-observed tail.
+for i, row in enumerate(fault_rows):
+    if isinstance(row.get("slow_ms"), int) and row.get("slow_ms", 0) > 0:
+        expect(row.get("p99_ms", 0) >= row["slow_ms"],
+               f"fault_scaling[{i}]: p99 below the injected {row['slow_ms']}"
+               f"ms delay — the fault was not applied")
 
 acc = doc.get("acceptance", {})
 for key in ("clients", "unbatched_qps", "batched_qps", "batched_max_batch",

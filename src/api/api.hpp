@@ -6,11 +6,12 @@
 //   index->build(database);
 //   rbc::SearchResponse r = index->knn_search({.queries = &Q, .k = 5});
 //
-//   std::ofstream os("index.rbc", std::ios::binary);
-//   index->save(os);
+//   rbc::save_index(*index, "index.rbc");  // atomic: tmp + fsync + rename
 //   ...
-//   std::ifstream is("index.rbc", std::ios::binary);
-//   auto restored = rbc::load_index(is);   // backend resolved from magic
+//   auto restored = rbc::load_index_file("index.rbc");
+//
+// (Stream-level save/load — index->save(std::ostream&) and
+// rbc::load_index(std::istream&) — remain available for non-file sinks.)
 //
 // Shipped backend names: "bruteforce", "rbc-exact", "rbc-oneshot",
 // "kdtree", "balltree", "covertree", "gpu-bf", "gpu-oneshot", plus a
@@ -19,5 +20,6 @@
 #pragma once
 
 #include "api/index.hpp"
+#include "api/persist.hpp"
 #include "api/registry.hpp"
 #include "api/search.hpp"

@@ -1,0 +1,98 @@
+#include "api/persist.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "api/registry.hpp"
+
+namespace rbc {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, const std::string& path) {
+  throw std::system_error(errno, std::generic_category(),
+                          std::string("rbc::save_index: ") + what + " '" +
+                              path + "'");
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void save_index(const Index& index, const std::string& path) {
+  // Serialize to memory first: a backend that throws mid-save (or one that
+  // does not support save at all) must not leave a partial tmp file behind,
+  // and the write below becomes one straight byte run.
+  std::ostringstream buffer(std::ios::binary);
+  index.save(buffer);
+  const std::string bytes = buffer.str();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                      0644);
+  if (fd < 0) fail("cannot create", tmp);
+  auto abort_tmp = [&](const char* what) {
+    const int saved = errno;
+    close(fd);
+    unlink(tmp.c_str());
+    errno = saved;
+    fail(what, tmp);
+  };
+
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      abort_tmp("write to");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The data must be on disk *before* the rename publishes the name: a
+  // crash between rename and a later flush would otherwise leave `path`
+  // pointing at garbage — the exact corruption this helper exists to
+  // prevent.
+  if (fsync(fd) < 0) abort_tmp("fsync");
+  if (close(fd) < 0) {
+    const int saved = errno;
+    unlink(tmp.c_str());
+    errno = saved;
+    fail("close", tmp);
+  }
+  if (rename(tmp.c_str(), path.c_str()) < 0) {
+    const int saved = errno;
+    unlink(tmp.c_str());
+    errno = saved;
+    fail("rename into place", path);
+  }
+  // Make the rename itself durable. Best-effort: some filesystems refuse
+  // directory fsync, and by this point `path` is already atomic-or-old.
+  const int dir_fd =
+      open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    close(dir_fd);
+  }
+}
+
+std::unique_ptr<Index> load_index_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    throw std::runtime_error("rbc::load_index_file: cannot open '" + path +
+                             "'");
+  return load_index(is);
+}
+
+}  // namespace rbc

@@ -1,11 +1,14 @@
 #include "serve/net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -14,9 +17,23 @@ namespace rbc::serve::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// Sentinel for "no deadline": poll() blocks indefinitely.
+constexpr Clock::time_point kNoDeadline = Clock::time_point::min();
+
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("rbc::net::RbcClient: " + what + " (" +
                            std::strerror(errno) + ")");
+}
+
+/// Remaining milliseconds until `deadline` as a poll() timeout argument:
+/// -1 for unbounded, clamped at 0 once past due.
+int poll_timeout(Clock::time_point deadline) {
+  if (deadline == kNoDeadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<std::int64_t>(0, left.count()));
 }
 
 }  // namespace
@@ -24,16 +41,13 @@ namespace {
 RbcClient::RbcClient(const std::string& host, std::uint16_t port,
                      ClientOptions options)
     : options_(options) {
-  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // Non-blocking from birth: connect() below returns EINPROGRESS and the
+  // poll bounds the handshake by timeout_ms, so a blackholed endpoint
+  // (filtered port, dead host) fails fast instead of riding out the
+  // kernel's minutes-long SYN retry schedule. The socket then stays
+  // non-blocking; all later waits go through poll() with per-call budgets.
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) fail("socket");
-
-  if (options_.timeout_ms > 0) {
-    timeval tv{};
-    tv.tv_sec = options_.timeout_ms / 1000;
-    tv.tv_usec = static_cast<long>(options_.timeout_ms % 1000) * 1000;
-    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -44,12 +58,30 @@ RbcClient::RbcClient(const std::string& host, std::uint16_t port,
     throw std::runtime_error("rbc::net::RbcClient: bad address '" + host +
                              "' (numeric IPv4 expected)");
   }
-  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+
+  const std::string where = host + ":" + std::to_string(port);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 &&
+      errno != EINPROGRESS) {
     const int saved = errno;
     close(fd_);
     fd_ = -1;
     errno = saved;
-    fail("connect to " + host + ":" + std::to_string(port));
+    fail("connect to " + where);
+  }
+  try {
+    wait_ready(POLLOUT, call_deadline(0), ("connect to " + where).c_str());
+  } catch (...) {
+    close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  int soerr = 0;
+  socklen_t len = sizeof soerr;
+  if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 || soerr != 0) {
+    close(fd_);
+    fd_ = -1;
+    errno = soerr != 0 ? soerr : errno;
+    fail("connect to " + where);
   }
   const int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -65,7 +97,33 @@ RbcClient::RbcClient(RbcClient&& other) noexcept
   other.fd_ = -1;
 }
 
-void RbcClient::send_all(std::span<const std::uint8_t> bytes) {
+Clock::time_point RbcClient::call_deadline(std::uint32_t budget_ms) const {
+  std::uint32_t ms = options_.timeout_ms;
+  if (budget_ms > 0) ms = ms > 0 ? std::min(ms, budget_ms) : budget_ms;
+  if (ms == 0) return kNoDeadline;
+  return Clock::now() + std::chrono::milliseconds(ms);
+}
+
+void RbcClient::wait_ready(short events, Clock::time_point deadline,
+                           const char* what) {
+  for (;;) {
+    pollfd pfd{fd_, events, 0};
+    const int n = poll(&pfd, 1, poll_timeout(deadline));
+    if (n > 0) {
+      // POLLERR/POLLHUP fall through: the pending recv/send/getsockopt
+      // reports the specific error.
+      return;
+    }
+    if (n == 0)
+      throw std::runtime_error(std::string("rbc::net::RbcClient: ") + what +
+                               " timed out");
+    if (errno == EINTR) continue;
+    fail(what);
+  }
+}
+
+void RbcClient::send_all(std::span<const std::uint8_t> bytes,
+                         Clock::time_point deadline) {
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n =
@@ -75,13 +133,15 @@ void RbcClient::send_all(std::span<const std::uint8_t> bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-      fail("send timed out");
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(POLLOUT, deadline, "send");
+      continue;
+    }
     fail("send");
   }
 }
 
-void RbcClient::recv_some() {
+void RbcClient::recv_some(Clock::time_point deadline) {
   std::uint8_t chunk[64 * 1024];
   for (;;) {
     const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
@@ -93,22 +153,29 @@ void RbcClient::recv_some() {
       throw std::runtime_error(
           "rbc::net::RbcClient: server closed the connection");
     if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) fail("recv timed out");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(POLLIN, deadline, "recv");
+      continue;
+    }
     fail("recv");
   }
 }
 
-std::vector<std::uint8_t> RbcClient::roundtrip(
-    std::span<const std::uint8_t> frame, std::uint64_t request_id,
-    Op expected_op) {
-  send_all(frame);
+RbcClient::Response RbcClient::roundtrip(std::span<const std::uint8_t> frame,
+                                         std::uint64_t request_id,
+                                         Op expected_op,
+                                         std::uint32_t budget_ms) {
+  const Clock::time_point deadline = call_deadline(budget_ms);
+  send_all(frame, deadline);
   for (;;) {
     const auto header = parse_header(in_, options_.max_payload);
     if (!header || in_.size() < kHeaderSize + header->payload_len) {
-      recv_some();
+      recv_some(deadline);
       continue;
     }
-    std::vector<std::uint8_t> payload(
+    Response response;
+    response.version = header->version;
+    response.payload.assign(
         in_.begin() + kHeaderSize,
         in_.begin() + static_cast<std::ptrdiff_t>(kHeaderSize +
                                                   header->payload_len));
@@ -123,38 +190,60 @@ std::vector<std::uint8_t> RbcClient::roundtrip(
                           " does not match request id " +
                           std::to_string(request_id));
     if (header->op == Op::kError) {
-      const ErrorMsg error = decode_error(payload);
+      const ErrorMsg error = decode_error(response.payload);
       throw RemoteError(error.code, error.retry_after_ms, error.message);
     }
     if (header->op != expected_op)
       throw ProtocolError("rbc::net::RbcClient: unexpected response opcode " +
                           std::to_string(static_cast<int>(header->op)));
-    return payload;
+    return response;
   }
 }
 
-KnnResult RbcClient::knn(const Matrix<float>& queries, index_t k) {
+// Data calls pick the frame version from the deadline: no deadline means a
+// version-1 frame byte-identical to the pre-v2 protocol (old servers keep
+// working), a deadline needs the v2 layout that carries it. The server
+// echoes whatever version it was asked in, so the response decodes under
+// response.version either way.
+
+KnnResult RbcClient::knn(const Matrix<float>& queries, index_t k,
+                         std::uint32_t deadline_ms) {
   const std::uint64_t id = next_request_id_++;
-  return decode_knn_response(
-      roundtrip(encode_knn_request(id, queries, k), id, Op::kKnnResponse));
+  const std::uint8_t version =
+      deadline_ms > 0 ? kNetVersion : kNetVersionMin;
+  Response response =
+      roundtrip(encode_knn_request(id, queries, k, deadline_ms, version), id,
+                Op::kKnnResponse, deadline_ms);
+  return std::move(
+      decode_knn_response(response.payload, response.version).result);
 }
 
 std::vector<std::vector<index_t>> RbcClient::range(
-    const Matrix<float>& queries, dist_t radius) {
+    const Matrix<float>& queries, dist_t radius, std::uint32_t deadline_ms) {
   const std::uint64_t id = next_request_id_++;
-  return decode_range_response(roundtrip(
-      encode_range_request(id, queries, radius), id, Op::kRangeResponse));
+  const std::uint8_t version =
+      deadline_ms > 0 ? kNetVersion : kNetVersionMin;
+  Response response = roundtrip(
+      encode_range_request(id, queries, radius, deadline_ms, version), id,
+      Op::kRangeResponse, deadline_ms);
+  return std::move(
+      decode_range_response(response.payload, response.version).ids);
 }
 
 InfoMsg RbcClient::info() {
   const std::uint64_t id = next_request_id_++;
+  // Info/reload payloads are version-invariant; send the oldest version so
+  // these control frames work against any server.
   return decode_info_response(
-      roundtrip(encode_info_request(id), id, Op::kInfoResponse));
+      roundtrip(encode_info_request(id, kNetVersionMin), id, Op::kInfoResponse,
+                0)
+          .payload);
 }
 
 void RbcClient::reload(const std::string& path) {
   const std::uint64_t id = next_request_id_++;
-  roundtrip(encode_reload_request(id, path), id, Op::kReloadResponse);
+  roundtrip(encode_reload_request(id, path, kNetVersionMin), id,
+            Op::kReloadResponse, 0);
 }
 
 }  // namespace rbc::serve::net

@@ -10,12 +10,26 @@
 //   rbc::serve::net::RbcClient client("127.0.0.1", port);
 //   KnnResult r = client.knn(queries, /*k=*/5);
 //
+// Every blocking point is bounded: connect() is non-blocking + poll under
+// options.timeout_ms (a blackholed endpoint fails the constructor instead
+// of hanging in SYN retries), and each call's sends/receives share one
+// budget — min(options.timeout_ms, the call's deadline_ms) — measured
+// against a single absolute deadline, so a server that trickles bytes
+// cannot stretch the wait past it.
+//
+// A nonzero deadline_ms additionally rides the wire (protocol v2): the
+// server sheds the request and answers kDeadlineExceeded once the budget
+// expires. Calls without a deadline emit version-1 frames byte-identical
+// to the pre-v2 protocol, so this client interoperates with old servers as
+// long as deadlines stay off.
+//
 // Server-reported failures surface as RemoteError carrying the protocol
 // ErrorCode — notably kOverloaded with a retry_after_ms hint, which callers
 // should honor (sleep, retry) rather than hammering a loaded server.
 // Transport failures (connect/read/write/timeout) throw std::runtime_error.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,15 +57,16 @@ class RemoteError : public std::runtime_error {
 };
 
 struct ClientOptions {
-  /// SO_RCVTIMEO / SO_SNDTIMEO on the socket: any single read/write stalling
-  /// this long fails the call. 0 = no timeout.
+  /// Budget for connect() and for each call's combined socket waits; any
+  /// call stalling past it fails. 0 = no timeout.
   std::uint32_t timeout_ms = 30'000;
   std::uint32_t max_payload = kDefaultMaxPayload;
 };
 
 class RbcClient {
  public:
-  /// Connects immediately; throws std::runtime_error on failure.
+  /// Connects immediately (bounded by options.timeout_ms); throws
+  /// std::runtime_error on failure or timeout.
   RbcClient(const std::string& host, std::uint16_t port,
             ClientOptions options = {});
   ~RbcClient();
@@ -64,11 +79,15 @@ class RbcClient {
   /// k nearest neighbors of each query row, ascending (distance, id) —
   /// bit-identical to calling knn_search on the server's index directly
   /// (modulo the service's batching, which does not change answers).
-  KnnResult knn(const Matrix<float>& queries, index_t k);
+  /// `deadline_ms` > 0 caps the wait AND travels to the server, which sheds
+  /// the request past budget (RemoteError{kDeadlineExceeded}).
+  KnnResult knn(const Matrix<float>& queries, index_t k,
+                std::uint32_t deadline_ms = 0);
 
   /// All database ids within `radius` of each query, ascending by id.
   std::vector<std::vector<index_t>> range(const Matrix<float>& queries,
-                                          dist_t radius);
+                                          dist_t radius,
+                                          std::uint32_t deadline_ms = 0);
 
   /// Index identity + serving counters, including this connection's own
   /// ConnCounters as the server sees them.
@@ -79,13 +98,29 @@ class RbcClient {
   void reload(const std::string& path);
 
  private:
+  struct Response {
+    std::uint8_t version = kNetVersion;  // decode responses under this
+    std::vector<std::uint8_t> payload;
+  };
+
   // Writes one frame, then reads frames until the response for `request_id`
-  // arrives; decodes kError into RemoteError.
-  std::vector<std::uint8_t> roundtrip(std::span<const std::uint8_t> frame,
-                                      std::uint64_t request_id,
-                                      Op expected_op);
-  void send_all(std::span<const std::uint8_t> bytes);
-  void recv_some();
+  // arrives; decodes kError into RemoteError. `budget_ms` bounds the whole
+  // exchange (0 = options.timeout_ms alone applies).
+  Response roundtrip(std::span<const std::uint8_t> frame,
+                     std::uint64_t request_id, Op expected_op,
+                     std::uint32_t budget_ms);
+  // The call-level budget: min of the option timeout and the request
+  // deadline (0 entries ignored), as an absolute poll deadline. Negative
+  // steady_clock::time_point is the "unbounded" sentinel.
+  std::chrono::steady_clock::time_point call_deadline(
+      std::uint32_t budget_ms) const;
+  void send_all(std::span<const std::uint8_t> bytes,
+                std::chrono::steady_clock::time_point deadline);
+  void recv_some(std::chrono::steady_clock::time_point deadline);
+  // poll() for `events` until the deadline; throws on timeout/error.
+  void wait_ready(short events,
+                  std::chrono::steady_clock::time_point deadline,
+                  const char* what);
 
   ClientOptions options_;
   int fd_ = -1;

@@ -74,6 +74,15 @@ struct Reader {
   }
 };
 
+/// Decoders can be handed a version byte directly (tests, future callers),
+/// not only one that already passed parse_header — so they re-check it.
+void require_version(std::uint8_t version, const char* what) {
+  if (version < kNetVersionMin || version > kNetVersion)
+    throw ProtocolError(std::string("rbc::net: ") + what +
+                        " under unsupported protocol version " +
+                        std::to_string(version));
+}
+
 /// Validates a (rows, dim) pair against the caps and the remaining payload,
 /// then reads the packed row-major float block into a Matrix.
 Matrix<float> read_rows(Reader& r, std::uint32_t nq, std::uint32_t dim) {
@@ -99,6 +108,35 @@ void write_rows(Writer& w, const Matrix<float>& m) {
     w.raw(m.row(i), m.cols() * sizeof(float));
 }
 
+/// v2 response trailer. Coverage counts are shard counts, so the row cap is
+/// a generous plausibility bound.
+void write_coverage(Writer& w, Coverage coverage) {
+  w.pod<std::uint32_t>(coverage.covered);
+  w.pod<std::uint32_t>(coverage.total);
+}
+
+/// A version-1 frame has no coverage trailer: silently dropping a partial
+/// coverage would upgrade a degraded answer to a full one on the wire.
+void require_expressible(Coverage coverage, std::uint8_t version,
+                         const char* what) {
+  if (version < 2 && !coverage.full())
+    throw ProtocolError(std::string("rbc::net: partial coverage on a ") +
+                        what + " cannot be expressed in a version-1 frame");
+}
+
+Coverage read_coverage(Reader& r) {
+  Coverage c;
+  c.covered = r.pod<std::uint32_t>("covered shards");
+  c.total = r.pod<std::uint32_t>("total shards");
+  if (c.total == 0 || c.total > kMaxRowsPerFrame)
+    throw ProtocolError("rbc::net: implausible total shard count " +
+                        std::to_string(c.total));
+  if (c.covered > c.total)
+    throw ProtocolError("rbc::net: coverage " + std::to_string(c.covered) +
+                        "/" + std::to_string(c.total) + " exceeds total");
+  return c;
+}
+
 }  // namespace
 
 std::optional<FrameHeader> parse_header(std::span<const std::uint8_t> bytes,
@@ -114,7 +152,7 @@ std::optional<FrameHeader> parse_header(std::span<const std::uint8_t> bytes,
     }());
   FrameHeader h;
   h.version = bytes[4];
-  if (h.version != kNetVersion)
+  if (h.version < kNetVersionMin || h.version > kNetVersion)
     throw ProtocolError("rbc::net: unsupported protocol version " +
                         std::to_string(h.version));
   const std::uint8_t op = bytes[5];
@@ -138,11 +176,15 @@ std::optional<FrameHeader> parse_header(std::span<const std::uint8_t> bytes,
 }
 
 std::vector<std::uint8_t> encode_frame(Op op, std::uint64_t request_id,
-                                       std::span<const std::uint8_t> payload) {
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version) {
+  // A frame stamped with an out-of-band version could never be parsed back;
+  // catch the caller bug at the source.
+  require_version(version, "encoding frame");
   std::vector<std::uint8_t> frame(kHeaderSize + payload.size());
   const std::uint32_t magic = kNetMagic;
   std::memcpy(frame.data(), &magic, 4);
-  frame[4] = kNetVersion;
+  frame[4] = version;
   frame[5] = static_cast<std::uint8_t>(op);
   frame[6] = 0;  // flags
   frame[7] = 0;
@@ -158,22 +200,29 @@ std::vector<std::uint8_t> encode_frame(Op op, std::uint64_t request_id,
 
 std::vector<std::uint8_t> encode_knn_request(std::uint64_t request_id,
                                              const Matrix<float>& queries,
-                                             index_t k) {
+                                             index_t k,
+                                             std::uint32_t deadline_ms,
+                                             std::uint8_t version) {
+  require_version(version, "encoding knn request");
   Writer w;
   w.pod<std::uint32_t>(k);
+  if (version >= 2) w.pod<std::uint32_t>(deadline_ms);
   w.pod<std::uint32_t>(queries.rows());
   w.pod<std::uint32_t>(queries.cols());
   write_rows(w, queries);
-  return encode_frame(Op::kKnnRequest, request_id, w.buf);
+  return encode_frame(Op::kKnnRequest, request_id, w.buf, version);
 }
 
-KnnRequestMsg decode_knn_request(std::span<const std::uint8_t> payload) {
+KnnRequestMsg decode_knn_request(std::span<const std::uint8_t> payload,
+                                 std::uint8_t version) {
+  require_version(version, "decoding knn request");
   Reader r{payload, 0, "knn request"};
   KnnRequestMsg msg;
   const auto k = r.pod<std::uint32_t>("k");
   if (k == 0 || k > kMaxKPerFrame)
     throw ProtocolError("rbc::net: implausible k " + std::to_string(k));
   msg.k = static_cast<index_t>(k);
+  if (version >= 2) msg.deadline_ms = r.pod<std::uint32_t>("deadline_ms");
   const auto nq = r.pod<std::uint32_t>("nq");
   const auto dim = r.pod<std::uint32_t>("dim");
   msg.queries = read_rows(r, nq, dim);
@@ -182,7 +231,11 @@ KnnRequestMsg decode_knn_request(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> encode_knn_response(std::uint64_t request_id,
-                                              const KnnResult& result) {
+                                              const KnnResult& result,
+                                              Coverage coverage,
+                                              std::uint8_t version) {
+  require_version(version, "encoding knn response");
+  require_expressible(coverage, version, "knn response");
   Writer w;
   w.pod<std::uint32_t>(result.ids.rows());
   w.pod<std::uint32_t>(result.ids.cols());
@@ -190,10 +243,13 @@ std::vector<std::uint8_t> encode_knn_response(std::uint64_t request_id,
     w.raw(result.ids.row(i), result.ids.cols() * sizeof(index_t));
   for (index_t i = 0; i < result.dists.rows(); ++i)
     w.raw(result.dists.row(i), result.dists.cols() * sizeof(dist_t));
-  return encode_frame(Op::kKnnResponse, request_id, w.buf);
+  if (version >= 2) write_coverage(w, coverage);
+  return encode_frame(Op::kKnnResponse, request_id, w.buf, version);
 }
 
-KnnResult decode_knn_response(std::span<const std::uint8_t> payload) {
+KnnResponseMsg decode_knn_response(std::span<const std::uint8_t> payload,
+                                   std::uint8_t version) {
+  require_version(version, "decoding knn response");
   Reader r{payload, 0, "knn response"};
   const auto nq = r.pod<std::uint32_t>("nq");
   const auto k = r.pod<std::uint32_t>("k");
@@ -207,38 +263,47 @@ KnnResult decode_knn_response(std::span<const std::uint8_t> payload) {
   r.require(static_cast<std::size_t>(cells) *
                 (sizeof(index_t) + sizeof(dist_t)),
             "neighbor rows");
-  KnnResult result(static_cast<index_t>(nq), static_cast<index_t>(k));
+  KnnResponseMsg msg;
+  msg.result = KnnResult(static_cast<index_t>(nq), static_cast<index_t>(k));
   for (std::uint32_t i = 0; i < nq; ++i) {
-    std::memcpy(result.ids.row(i), r.bytes.data() + r.pos,
+    std::memcpy(msg.result.ids.row(i), r.bytes.data() + r.pos,
                 k * sizeof(index_t));
     r.pos += k * sizeof(index_t);
   }
   for (std::uint32_t i = 0; i < nq; ++i) {
-    std::memcpy(result.dists.row(i), r.bytes.data() + r.pos,
+    std::memcpy(msg.result.dists.row(i), r.bytes.data() + r.pos,
                 k * sizeof(dist_t));
     r.pos += k * sizeof(dist_t);
   }
+  if (version >= 2) msg.coverage = read_coverage(r);
   r.done();
-  return result;
+  return msg;
 }
 
 // --------------------------------------------------------------- range ----
 
 std::vector<std::uint8_t> encode_range_request(std::uint64_t request_id,
                                                const Matrix<float>& queries,
-                                               dist_t radius) {
+                                               dist_t radius,
+                                               std::uint32_t deadline_ms,
+                                               std::uint8_t version) {
+  require_version(version, "encoding range request");
   Writer w;
   w.pod<dist_t>(radius);
+  if (version >= 2) w.pod<std::uint32_t>(deadline_ms);
   w.pod<std::uint32_t>(queries.rows());
   w.pod<std::uint32_t>(queries.cols());
   write_rows(w, queries);
-  return encode_frame(Op::kRangeRequest, request_id, w.buf);
+  return encode_frame(Op::kRangeRequest, request_id, w.buf, version);
 }
 
-RangeRequestMsg decode_range_request(std::span<const std::uint8_t> payload) {
+RangeRequestMsg decode_range_request(std::span<const std::uint8_t> payload,
+                                     std::uint8_t version) {
+  require_version(version, "decoding range request");
   Reader r{payload, 0, "range request"};
   RangeRequestMsg msg;
   msg.radius = r.pod<dist_t>("radius");
+  if (version >= 2) msg.deadline_ms = r.pod<std::uint32_t>("deadline_ms");
   const auto nq = r.pod<std::uint32_t>("nq");
   const auto dim = r.pod<std::uint32_t>("dim");
   msg.queries = read_rows(r, nq, dim);
@@ -247,46 +312,57 @@ RangeRequestMsg decode_range_request(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> encode_range_response(
-    std::uint64_t request_id, const std::vector<std::vector<index_t>>& ids) {
+    std::uint64_t request_id, const std::vector<std::vector<index_t>>& ids,
+    Coverage coverage, std::uint8_t version) {
+  require_version(version, "encoding range response");
+  require_expressible(coverage, version, "range response");
   Writer w;
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(ids.size()));
   for (const std::vector<index_t>& row : ids) {
     w.pod<std::uint32_t>(static_cast<std::uint32_t>(row.size()));
     w.raw(row.data(), row.size() * sizeof(index_t));
   }
-  return encode_frame(Op::kRangeResponse, request_id, w.buf);
+  if (version >= 2) write_coverage(w, coverage);
+  return encode_frame(Op::kRangeResponse, request_id, w.buf, version);
 }
 
-std::vector<std::vector<index_t>> decode_range_response(
-    std::span<const std::uint8_t> payload) {
+RangeResponseMsg decode_range_response(std::span<const std::uint8_t> payload,
+                                       std::uint8_t version) {
+  require_version(version, "decoding range response");
   Reader r{payload, 0, "range response"};
   const auto nq = r.pod<std::uint32_t>("nq");
   if (nq > kMaxRowsPerFrame)
     throw ProtocolError("rbc::net: implausible row count " +
                         std::to_string(nq));
-  std::vector<std::vector<index_t>> ids(nq);
+  RangeResponseMsg msg;
+  msg.ids.resize(nq);
   for (std::uint32_t i = 0; i < nq; ++i) {
     const auto count = r.pod<std::uint32_t>("hit count");
     // 4 bytes/hit must still be present — checked before the allocation.
     r.require(static_cast<std::size_t>(count) * sizeof(index_t), "hit ids");
     if (count == 0) continue;  // empty row; data() may be null, skip memcpy
-    ids[i].resize(count);
-    std::memcpy(ids[i].data(), r.bytes.data() + r.pos,
+    msg.ids[i].resize(count);
+    std::memcpy(msg.ids[i].data(), r.bytes.data() + r.pos,
                 count * sizeof(index_t));
     r.pos += count * sizeof(index_t);
   }
+  if (version >= 2) msg.coverage = read_coverage(r);
   r.done();
-  return ids;
+  return msg;
 }
 
 // ---------------------------------------------------------------- info ----
 
-std::vector<std::uint8_t> encode_info_request(std::uint64_t request_id) {
-  return encode_frame(Op::kInfoRequest, request_id, {});
+std::vector<std::uint8_t> encode_info_request(std::uint64_t request_id,
+                                              std::uint8_t version) {
+  require_version(version, "encoding info request");
+  return encode_frame(Op::kInfoRequest, request_id, {}, version);
 }
 
 std::vector<std::uint8_t> encode_info_response(std::uint64_t request_id,
-                                               const InfoMsg& info) {
+                                               const InfoMsg& info,
+                                               std::uint8_t version) {
+  require_version(version, "encoding info response");
   Writer w;
   w.str(info.backend);
   w.str(info.metric);
@@ -300,7 +376,7 @@ std::vector<std::uint8_t> encode_info_response(std::uint64_t request_id,
   w.pod<std::uint64_t>(info.conn_rejected);
   w.pod<std::uint64_t>(info.conn_bytes_in);
   w.pod<std::uint64_t>(info.conn_bytes_out);
-  return encode_frame(Op::kInfoResponse, request_id, w.buf);
+  return encode_frame(Op::kInfoResponse, request_id, w.buf, version);
 }
 
 InfoMsg decode_info_response(std::span<const std::uint8_t> payload) {
@@ -325,10 +401,12 @@ InfoMsg decode_info_response(std::span<const std::uint8_t> payload) {
 // -------------------------------------------------------------- reload ----
 
 std::vector<std::uint8_t> encode_reload_request(std::uint64_t request_id,
-                                                const std::string& path) {
+                                                const std::string& path,
+                                                std::uint8_t version) {
+  require_version(version, "encoding reload request");
   Writer w;
   w.str(path);
-  return encode_frame(Op::kReloadRequest, request_id, w.buf);
+  return encode_frame(Op::kReloadRequest, request_id, w.buf, version);
 }
 
 std::string decode_reload_request(std::span<const std::uint8_t> payload) {
@@ -338,19 +416,23 @@ std::string decode_reload_request(std::span<const std::uint8_t> payload) {
   return path;
 }
 
-std::vector<std::uint8_t> encode_reload_response(std::uint64_t request_id) {
-  return encode_frame(Op::kReloadResponse, request_id, {});
+std::vector<std::uint8_t> encode_reload_response(std::uint64_t request_id,
+                                                 std::uint8_t version) {
+  require_version(version, "encoding reload response");
+  return encode_frame(Op::kReloadResponse, request_id, {}, version);
 }
 
 // --------------------------------------------------------------- error ----
 
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
-                                       const ErrorMsg& error) {
+                                       const ErrorMsg& error,
+                                       std::uint8_t version) {
+  require_version(version, "encoding error");
   Writer w;
   w.pod<std::uint16_t>(static_cast<std::uint16_t>(error.code));
   w.pod<std::uint32_t>(error.retry_after_ms);
   w.str(error.message);
-  return encode_frame(Op::kError, request_id, w.buf);
+  return encode_frame(Op::kError, request_id, w.buf, version);
 }
 
 ErrorMsg decode_error(std::span<const std::uint8_t> payload) {
@@ -358,7 +440,7 @@ ErrorMsg decode_error(std::span<const std::uint8_t> payload) {
   ErrorMsg error;
   const auto code = r.pod<std::uint16_t>("code");
   if (code < static_cast<std::uint16_t>(ErrorCode::kBadRequest) ||
-      code > static_cast<std::uint16_t>(ErrorCode::kMalformedFrame))
+      code > static_cast<std::uint16_t>(ErrorCode::kDeadlineExceeded))
     throw ProtocolError("rbc::net: unknown error code " +
                         std::to_string(code));
   error.code = static_cast<ErrorCode>(code);

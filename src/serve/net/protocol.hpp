@@ -7,11 +7,24 @@
 //
 //   offset  size  field
 //        0     4  magic        0x5242434E ("RBCN" in the io-magic style)
-//        4     1  version      kNetVersion (1)
+//        4     1  version      kNetVersionMin..kNetVersion, per frame
 //        5     1  opcode       Op below
 //        6     2  flags        reserved, must be 0
 //        8     8  request_id   caller-chosen, echoed on the response
 //       16     4  payload_len  payload bytes following the header
+//
+// Versioning is per-frame, not per-connection: there is no handshake. A
+// peer that never uses the v2 features emits byte-identical v1 frames, so
+// new clients interoperate with old servers (and vice versa) without
+// negotiation. A server echoes the request's version on its response so
+// each side only ever parses layouts it asked for. Version 2 adds:
+//   * deadline_ms on knn/range requests — the caller's remaining latency
+//     budget in milliseconds (0 = none); servers shed work past it and
+//     answer kError{kDeadlineExceeded}.
+//   * a shard-coverage trailer on knn/range responses — {covered, total}
+//     shard counts backing the answer, so routers can report partial
+//     results instead of failing closed. A single-shard server reports
+//     {1, 1}.
 //
 // Codec hardening is first-class: every decode validates claimed counts
 // against the bytes actually present *before* allocating (the same
@@ -21,9 +34,12 @@
 // throws ProtocolError — the server answers with an error frame and drops
 // the connection; it never crashes.
 //
-// Request/response pairs (client -> server unless noted):
-//   kKnnRequest   {k, nq, dim, rows}        -> kKnnResponse {nq, k, ids, dists}
-//   kRangeRequest {radius, nq, dim, rows}   -> kRangeResponse {per-query ids}
+// Request/response pairs (client -> server unless noted; [v2] fields are
+// absent from version-1 frames):
+//   kKnnRequest   {k, [v2] deadline_ms, nq, dim, rows}
+//       -> kKnnResponse {nq, k, ids, dists, [v2] covered, total}
+//   kRangeRequest {radius, [v2] deadline_ms, nq, dim, rows}
+//       -> kRangeResponse {per-query ids, [v2] covered, total}
 //   kInfoRequest  {}                        -> kInfoResponse {InfoMsg}
 //   kReloadRequest {path}                   -> kReloadResponse {}
 //   any request may instead be answered by kError {code, retry_after, text}
@@ -43,7 +59,8 @@
 namespace rbc::serve::net {
 
 inline constexpr std::uint32_t kNetMagic = 0x5242434E;  // "RBCN"
-inline constexpr std::uint8_t kNetVersion = 1;
+inline constexpr std::uint8_t kNetVersion = 2;
+inline constexpr std::uint8_t kNetVersionMin = 1;
 inline constexpr std::size_t kHeaderSize = 20;
 
 /// Default ceiling on a frame's payload. A query block of 1M rows x 64 dims
@@ -73,11 +90,12 @@ enum class Op : std::uint8_t {
 
 /// Machine-readable failure classes carried by kError frames.
 enum class ErrorCode : std::uint16_t {
-  kBadRequest = 1,      ///< request invalid for this index (dim/k mismatch)
-  kOverloaded = 2,      ///< admission queue full; honor retry_after_ms
-  kShuttingDown = 3,    ///< server draining; reconnect elsewhere/later
-  kInternal = 4,        ///< backend failure while executing the request
-  kMalformedFrame = 5,  ///< undecodable payload; connection will close
+  kBadRequest = 1,        ///< request invalid for this index (dim/k mismatch)
+  kOverloaded = 2,        ///< admission queue full; honor retry_after_ms
+  kShuttingDown = 3,      ///< server draining; reconnect elsewhere/later
+  kInternal = 4,          ///< backend failure while executing the request
+  kMalformedFrame = 5,    ///< undecodable payload; connection will close
+  kDeadlineExceeded = 6,  ///< v2: request's deadline_ms budget expired
 };
 
 /// Thrown by every decoder on malformed input (truncation, garbage counts,
@@ -98,7 +116,8 @@ struct FrameHeader {
 
 /// Parses a frame header from the front of `bytes`. Returns nullopt when
 /// fewer than kHeaderSize bytes are available (caller: read more). Throws
-/// ProtocolError on bad magic, unknown version/opcode, nonzero flags, or a
+/// ProtocolError on bad magic, a version outside
+/// [kNetVersionMin, kNetVersion], unknown opcode, nonzero flags, or a
 /// payload_len over `max_payload` — all conditions where the byte stream
 /// cannot be resynchronized and the connection must close.
 std::optional<FrameHeader> parse_header(
@@ -106,19 +125,46 @@ std::optional<FrameHeader> parse_header(
     std::uint32_t max_payload = kDefaultMaxPayload);
 
 /// One complete frame: header + payload, ready to write to a socket.
+/// `version` is stamped into the header byte; the payload must have been
+/// encoded under the same version.
 std::vector<std::uint8_t> encode_frame(Op op, std::uint64_t request_id,
-                                       std::span<const std::uint8_t> payload);
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version = kNetVersion);
 
 // ------------------------------------------------------------- messages ---
 
 struct KnnRequestMsg {
   index_t k = 0;
+  std::uint32_t deadline_ms = 0;  ///< v2: remaining budget; 0 = no deadline
   Matrix<float> queries;
 };
 
 struct RangeRequestMsg {
   dist_t radius = 0.0f;
+  std::uint32_t deadline_ms = 0;  ///< v2: remaining budget; 0 = no deadline
   Matrix<float> queries;
+};
+
+/// v2 response trailer: how many of the shards behind this answer actually
+/// contributed. A single-process server is its own single shard ({1, 1});
+/// a router in allow_partial mode may forward covered < total. Version-1
+/// responses carry no trailer and decode as full coverage.
+struct Coverage {
+  std::uint32_t covered = 1;
+  std::uint32_t total = 1;
+
+  bool full() const { return covered == total; }
+  friend bool operator==(const Coverage&, const Coverage&) = default;
+};
+
+struct KnnResponseMsg {
+  KnnResult result{0, 0};
+  Coverage coverage;
+};
+
+struct RangeResponseMsg {
+  std::vector<std::vector<index_t>> ids;
+  Coverage coverage;
 };
 
 struct ErrorMsg {
@@ -146,40 +192,69 @@ struct InfoMsg {
 };
 
 // Encoders return a complete frame (header included). Decoders take the
-// payload alone (header already parsed/validated) and throw ProtocolError
-// on any inconsistency, including unconsumed trailing bytes.
+// payload alone (header already parsed/validated) plus the header's version
+// byte, and throw ProtocolError on any inconsistency, including unconsumed
+// trailing bytes. Encoding under version 1 emits frames byte-identical to
+// the pre-v2 protocol (and therefore cannot carry a deadline or a partial
+// coverage trailer).
 
 std::vector<std::uint8_t> encode_knn_request(std::uint64_t request_id,
                                              const Matrix<float>& queries,
-                                             index_t k);
-KnnRequestMsg decode_knn_request(std::span<const std::uint8_t> payload);
+                                             index_t k,
+                                             std::uint32_t deadline_ms = 0,
+                                             std::uint8_t version =
+                                                 kNetVersion);
+KnnRequestMsg decode_knn_request(std::span<const std::uint8_t> payload,
+                                 std::uint8_t version = kNetVersion);
 
 std::vector<std::uint8_t> encode_knn_response(std::uint64_t request_id,
-                                              const KnnResult& result);
-KnnResult decode_knn_response(std::span<const std::uint8_t> payload);
+                                              const KnnResult& result,
+                                              Coverage coverage = {},
+                                              std::uint8_t version =
+                                                  kNetVersion);
+KnnResponseMsg decode_knn_response(std::span<const std::uint8_t> payload,
+                                   std::uint8_t version = kNetVersion);
 
 std::vector<std::uint8_t> encode_range_request(std::uint64_t request_id,
                                                const Matrix<float>& queries,
-                                               dist_t radius);
-RangeRequestMsg decode_range_request(std::span<const std::uint8_t> payload);
+                                               dist_t radius,
+                                               std::uint32_t deadline_ms = 0,
+                                               std::uint8_t version =
+                                                   kNetVersion);
+RangeRequestMsg decode_range_request(std::span<const std::uint8_t> payload,
+                                     std::uint8_t version = kNetVersion);
 
 std::vector<std::uint8_t> encode_range_response(
-    std::uint64_t request_id, const std::vector<std::vector<index_t>>& ids);
-std::vector<std::vector<index_t>> decode_range_response(
-    std::span<const std::uint8_t> payload);
+    std::uint64_t request_id, const std::vector<std::vector<index_t>>& ids,
+    Coverage coverage = {}, std::uint8_t version = kNetVersion);
+RangeResponseMsg decode_range_response(std::span<const std::uint8_t> payload,
+                                       std::uint8_t version = kNetVersion);
 
-std::vector<std::uint8_t> encode_info_request(std::uint64_t request_id);
+// Info/reload/error payloads are identical across versions; the version
+// parameter only stamps the frame header (a server echoes the request's
+// version, a client talking to an old server sends version 1).
+
+std::vector<std::uint8_t> encode_info_request(std::uint64_t request_id,
+                                              std::uint8_t version =
+                                                  kNetVersion);
 std::vector<std::uint8_t> encode_info_response(std::uint64_t request_id,
-                                               const InfoMsg& info);
+                                               const InfoMsg& info,
+                                               std::uint8_t version =
+                                                   kNetVersion);
 InfoMsg decode_info_response(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_reload_request(std::uint64_t request_id,
-                                                const std::string& path);
+                                                const std::string& path,
+                                                std::uint8_t version =
+                                                    kNetVersion);
 std::string decode_reload_request(std::span<const std::uint8_t> payload);
-std::vector<std::uint8_t> encode_reload_response(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_reload_response(std::uint64_t request_id,
+                                                 std::uint8_t version =
+                                                     kNetVersion);
 
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
-                                       const ErrorMsg& error);
+                                       const ErrorMsg& error,
+                                       std::uint8_t version = kNetVersion);
 ErrorMsg decode_error(std::span<const std::uint8_t> payload);
 
 }  // namespace rbc::serve::net

@@ -347,8 +347,11 @@ void RbcServer::conn_readable(Connection& conn) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         stats_.protocol_errors += 1;
       }
+      // The header never parsed, so the peer's version is unknown: answer
+      // under the oldest version — every peer can decode it.
       send_reply(conn,
-                 encode_error(0, {ErrorCode::kMalformedFrame, 0, e.what()}));
+                 encode_error(0, {ErrorCode::kMalformedFrame, 0, e.what()},
+                              kNetVersionMin));
       conn.closing = true;
       break;
     }
@@ -384,14 +387,19 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
                              std::span<const std::uint8_t> payload) {
   const std::uint64_t id = header.request_id;
   const std::uint64_t conn_id = conn.id;
+  // Responses are encoded under the request's version: a v1 peer never
+  // sees a v2 layout (or the v2-only kDeadlineExceeded code), a v2 peer
+  // gets the coverage trailer it expects.
+  const std::uint8_t version = header.version;
   std::shared_ptr<SearchService> svc = service();
 
   try {
     switch (header.op) {
       case Op::kKnnRequest: {
-        KnnRequestMsg msg = decode_knn_request(payload);
+        KnnRequestMsg msg = decode_knn_request(payload, version);
         if (draining_) {
-          send_error(conn, id, ErrorCode::kShuttingDown, "server draining");
+          send_error(conn, id, ErrorCode::kShuttingDown, "server draining",
+                     version);
           return true;
         }
         std::future<KnnResult> future;
@@ -403,13 +411,16 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
             std::lock_guard<std::mutex> lock(stats_mutex_);
             stats_.rejected += 1;
           }
-          send_reply(conn, encode_error(id, {ErrorCode::kOverloaded,
-                                             options_.retry_after_ms,
-                                             "admission queue full"}));
+          send_reply(conn, encode_error(id,
+                                        {ErrorCode::kOverloaded,
+                                         options_.retry_after_ms,
+                                         "admission queue full"},
+                                        version));
           return true;
         }
         if (admission == Admission::kStopped) {
-          send_error(conn, id, ErrorCode::kShuttingDown, "service stopped");
+          send_error(conn, id, ErrorCode::kShuttingDown, "service stopped",
+                     version);
           return true;
         }
         conn.counters.requests += 1;
@@ -418,16 +429,26 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
           std::lock_guard<std::mutex> lock(stats_mutex_);
           stats_.requests += 1;
         }
+        const auto deadline = request_deadline(msg.deadline_ms);
         // shared_ptr because std::function requires a copyable target and
         // futures are move-only.
         auto shared_future =
             std::make_shared<std::future<KnnResult>>(std::move(future));
-        post_task([this, conn_id, id, shared_future] {
+        post_task([this, conn_id, id, version, deadline, shared_future] {
           std::vector<std::uint8_t> frame;
           try {
-            frame = encode_knn_response(id, shared_future->get());
+            KnnResult result = shared_future->get();
+            // Shed at completion: the dispatcher already ran the batch (it
+            // cannot un-coalesce one member), but a peer past its budget
+            // has stopped listening — tell it so instead of shipping a
+            // payload it will discard.
+            if (deadline && std::chrono::steady_clock::now() > *deadline)
+              frame = deadline_error(id, version);
+            else
+              frame = encode_knn_response(id, result, {1, 1}, version);
           } catch (const std::exception& e) {
-            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()});
+            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()},
+                                 version);
           }
           post_reply(conn_id, std::move(frame), /*in_flight_done=*/true);
         });
@@ -435,9 +456,10 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
       }
 
       case Op::kRangeRequest: {
-        RangeRequestMsg msg = decode_range_request(payload);
+        RangeRequestMsg msg = decode_range_request(payload, version);
         if (draining_) {
-          send_error(conn, id, ErrorCode::kShuttingDown, "server draining");
+          send_error(conn, id, ErrorCode::kShuttingDown, "server draining",
+                     version);
           return true;
         }
         // Range queries bypass the coalescing dispatcher (no range batch
@@ -450,21 +472,32 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
           std::lock_guard<std::mutex> lock(stats_mutex_);
           stats_.requests += 1;
         }
+        const auto deadline = request_deadline(msg.deadline_ms);
         auto shared_msg =
             std::make_shared<RangeRequestMsg>(std::move(msg));  // Matrix is
                                                                 // move-only
-        post_task([this, conn_id, id, svc, shared_msg] {
+        post_task([this, conn_id, id, version, deadline, svc, shared_msg] {
           std::vector<std::uint8_t> frame;
           try {
-            RangeRequest request{.queries = &shared_msg->queries,
-                                 .radius = shared_msg->radius,
-                                 .options = {}};
-            frame = encode_range_response(
-                id, svc->index().range_search(request).ids);
+            // Shed before execution: unlike knn (already coalesced into a
+            // batch), the range scan has not started — skipping it frees
+            // the completer for requests that can still make their budget.
+            if (deadline && std::chrono::steady_clock::now() > *deadline) {
+              frame = deadline_error(id, version);
+            } else {
+              RangeRequest request{.queries = &shared_msg->queries,
+                                   .radius = shared_msg->radius,
+                                   .options = {}};
+              frame = encode_range_response(
+                  id, svc->index().range_search(request).ids, {1, 1},
+                  version);
+            }
           } catch (const std::invalid_argument& e) {
-            frame = encode_error(id, {ErrorCode::kBadRequest, 0, e.what()});
+            frame = encode_error(id, {ErrorCode::kBadRequest, 0, e.what()},
+                                 version);
           } catch (const std::exception& e) {
-            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()});
+            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()},
+                                 version);
           }
           post_reply(conn_id, std::move(frame), /*in_flight_done=*/true);
         });
@@ -472,13 +505,13 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
       }
 
       case Op::kInfoRequest:
-        send_reply(conn, encode_info_response(id, make_info(conn)));
+        send_reply(conn, encode_info_response(id, make_info(conn), version));
         return true;
 
       case Op::kReloadRequest: {
         const std::string path = decode_reload_request(payload);
         in_flight_ += 1;
-        post_task([this, conn_id, id, path] {
+        post_task([this, conn_id, id, version, path] {
           std::vector<std::uint8_t> frame;
           try {
             std::ifstream is(path, std::ios::binary);
@@ -502,9 +535,10 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
               std::lock_guard<std::mutex> lock(stats_mutex_);
               stats_.reloads += 1;
             }
-            frame = encode_reload_response(id);
+            frame = encode_reload_response(id, version);
           } catch (const std::exception& e) {
-            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()});
+            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()},
+                                 version);
           }
           post_reply(conn_id, std::move(frame), /*in_flight_done=*/true);
         });
@@ -514,7 +548,7 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
       default:
         // A response opcode arriving at the server is a peer bug.
         send_error(conn, id, ErrorCode::kBadRequest,
-                   "unexpected response opcode");
+                   "unexpected response opcode", version);
         return true;
     }
   } catch (const ProtocolError& e) {
@@ -523,16 +557,17 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
       std::lock_guard<std::mutex> lock(stats_mutex_);
       stats_.protocol_errors += 1;
     }
-    send_reply(conn,
-               encode_error(id, {ErrorCode::kMalformedFrame, 0, e.what()}));
+    send_reply(conn, encode_error(
+                         id, {ErrorCode::kMalformedFrame, 0, e.what()},
+                         version));
     return false;  // undecodable payload: close after flush
   } catch (const std::invalid_argument& e) {
     // Well-formed frame, invalid request for this index (dim/k mismatch):
     // the connection survives.
-    send_error(conn, id, ErrorCode::kBadRequest, e.what());
+    send_error(conn, id, ErrorCode::kBadRequest, e.what(), version);
     return true;
   } catch (const std::exception& e) {
-    send_error(conn, id, ErrorCode::kInternal, e.what());
+    send_error(conn, id, ErrorCode::kInternal, e.what(), version);
     return true;
   }
 }
@@ -558,9 +593,22 @@ InfoMsg RbcServer::make_info(const Connection& conn) const {
 }
 
 void RbcServer::send_error(Connection& conn, std::uint64_t request_id,
-                           ErrorCode code, const std::string& message) {
+                           ErrorCode code, const std::string& message,
+                           std::uint8_t version) {
   conn.counters.errors += 1;
-  send_reply(conn, encode_error(request_id, {code, 0, message}));
+  send_reply(conn, encode_error(request_id, {code, 0, message}, version));
+}
+
+std::vector<std::uint8_t> RbcServer::deadline_error(std::uint64_t request_id,
+                                                    std::uint8_t version) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.deadline_exceeded += 1;
+  }
+  return encode_error(request_id,
+                      {ErrorCode::kDeadlineExceeded, 0,
+                       "deadline_ms budget expired before the reply"},
+                      version);
 }
 
 void RbcServer::send_reply(Connection& conn,

@@ -21,6 +21,11 @@
 //   * Per-connection timeouts: a stalled partial frame (slow-loris) or a
 //     stalled response flush closes the connection after
 //     read_timeout_ms / write_timeout_ms.
+//   * Deadline shedding: a v2 request carrying deadline_ms is answered
+//     with kDeadlineExceeded once its budget expires — range work is shed
+//     before execution, knn replies are shed at completion — so a client
+//     that already timed out never costs encode/send work ("The Tail at
+//     Scale" discipline: finishing a dead request helps nobody).
 //   * Graceful drain: stop() — or a write to stop_fd(), which is
 //     async-signal-safe and what SIGTERM handlers should use — closes the
 //     listener, answers new data frames with kShuttingDown, finishes every
@@ -45,6 +50,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -89,6 +95,9 @@ struct NetServerStats {
   std::uint64_t requests = 0;  ///< data frames admitted to the service
   std::uint64_t rejected = 0;  ///< frames refused by admission control
   std::uint64_t reloads = 0;   ///< successful index reloads
+  /// Requests shed because their deadline_ms budget expired before the
+  /// reply could be sent (answered with kDeadlineExceeded).
+  std::uint64_t deadline_exceeded = 0;
   /// accept4 failed with fd/buffer exhaustion (EMFILE/ENFILE/ENOBUFS/
   /// ENOMEM); the listener backs off briefly when this happens.
   std::uint64_t accept_failures = 0;
@@ -171,7 +180,8 @@ class RbcServer {
                     std::span<const std::uint8_t> payload);
   void send_reply(Connection& conn, std::vector<std::uint8_t> frame);
   void send_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
-                  const std::string& message);
+                  const std::string& message,
+                  std::uint8_t version = kNetVersion);
   // Writes out as much of the outbox as the socket accepts. Never calls
   // close_conn(): on a fatal send error it marks the connection dead and
   // returns, leaving destruction to the top-level caller (see
@@ -193,6 +203,19 @@ class RbcServer {
   void post_reply(std::uint64_t conn_id, std::vector<std::uint8_t> frame,
                   bool in_flight_done);
   InfoMsg make_info(const Connection& conn) const;
+
+  // Deadline helpers: a v2 request's deadline_ms (remaining budget at send
+  // time, 0 = none) becomes an absolute steady_clock point at decode.
+  static std::optional<std::chrono::steady_clock::time_point>
+  request_deadline(std::uint32_t deadline_ms) {
+    if (deadline_ms == 0) return std::nullopt;
+    return std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(deadline_ms);
+  }
+  // Counts the shed and encodes the kDeadlineExceeded reply (thread-safe;
+  // called from completer threads).
+  std::vector<std::uint8_t> deadline_error(std::uint64_t request_id,
+                                           std::uint8_t version);
 
   ServerOptions options_;
   ServiceOptions service_options_;

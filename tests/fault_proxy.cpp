@@ -1,0 +1,315 @@
+#include "fault_proxy.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace rbc::testing {
+
+namespace {
+
+/// Abort-close: SO_LINGER{1, 0} makes close() send RST instead of FIN —
+/// the byte-level signature of a crashed peer.
+void rst_close(int fd) {
+  const linger abort_on_close{1, 0};
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_on_close,
+             sizeof abort_on_close);
+  close(fd);
+}
+
+int connect_loopback(const std::string& host, std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+}  // namespace
+
+/// One proxied connection: two pump threads share it via shared_ptr so the
+/// proxy can shut it down from any thread without racing the pumps.
+struct FaultProxy::Conn {
+  int client_fd = -1;
+  int upstream_fd = -1;
+  std::uint64_t index = 0;            ///< accept order, drives the schedule
+  std::atomic<std::uint64_t> forwarded{0};  ///< upstream->client bytes sent
+  std::atomic<bool> dead{false};
+  std::thread up;    // client -> upstream
+  std::thread down;  // upstream -> client
+
+  /// Idempotent teardown; `rst` aborts the client side (partition/crash
+  /// semantics) instead of a clean FIN.
+  void kill(bool rst) {
+    if (dead.exchange(true)) return;
+    shutdown(upstream_fd, SHUT_RDWR);
+    if (rst) {
+      const linger abort_on_close{1, 0};
+      setsockopt(client_fd, SOL_SOCKET, SO_LINGER, &abort_on_close,
+                 sizeof abort_on_close);
+    }
+    shutdown(client_fd, SHUT_RDWR);
+  }
+};
+
+FaultProxy::FaultProxy(std::string upstream_host, std::uint16_t upstream_port)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("FaultProxy: socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // OS-assigned, stable for the proxy's lifetime
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(listen_fd_, 64) < 0) {
+    close(listen_fd_);
+    throw std::runtime_error("FaultProxy: bind/listen failed");
+  }
+  socklen_t len = sizeof addr;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+FaultProxy::~FaultProxy() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  shutdown(listen_fd_, SHUT_RDWR);  // wakes the pending accept
+  accept_thread_.join();
+  close(listen_fd_);
+
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) conn->kill(/*rst=*/true);
+  for (const auto& conn : conns) {
+    if (conn->up.joinable()) conn->up.join();
+    if (conn->down.joinable()) conn->down.join();
+    close(conn->client_fd);
+    close(conn->upstream_fd);
+  }
+}
+
+void FaultProxy::set_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  scheduled_ = false;
+}
+
+void FaultProxy::set_schedule(std::vector<FaultPlan> menu,
+                              std::uint64_t seed) {
+  if (menu.empty()) throw std::invalid_argument("FaultProxy: empty schedule");
+  std::lock_guard<std::mutex> lock(mutex_);
+  schedule_ = std::move(menu);
+  schedule_seed_ = seed;
+  scheduled_ = true;
+}
+
+void FaultProxy::set_upstream(std::uint16_t upstream_port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  upstream_port_ = upstream_port;
+}
+
+void FaultProxy::drop_connections() {
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns = conns_;
+  }
+  for (const auto& conn : conns) conn->kill(/*rst=*/true);
+}
+
+std::uint64_t FaultProxy::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t FaultProxy::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_;
+}
+
+FaultPlan FaultProxy::plan_for(const Conn& conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!scheduled_) return plan_;
+  std::uint64_t state = schedule_seed_ ^ conn.index;
+  return schedule_[splitmix64(state) % schedule_.size()];
+}
+
+void FaultProxy::accept_loop() {
+  for (;;) {
+    const int client_fd = accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        if (client_fd >= 0) close(client_fd);
+        return;
+      }
+    }
+    if (client_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener gone
+    }
+    start_conn(client_fd);
+  }
+}
+
+void FaultProxy::start_conn(int client_fd) {
+  const int one = 1;
+  setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  auto conn = std::make_shared<Conn>();
+  conn->client_fd = client_fd;
+  std::string host;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn->index = accepted_++;
+    host = upstream_host_;
+    port = upstream_port_;
+  }
+  conn->upstream_fd = connect_loopback(host, port);
+  if (conn->upstream_fd < 0) {
+    // Upstream down: the client sees what it would have seen talking to the
+    // dead server directly — an abortive close.
+    rst_close(client_fd);
+    return;
+  }
+
+  conn->up = std::thread([this, conn] { pump_client_to_upstream(conn); });
+  conn->down = std::thread([this, conn] { pump_upstream_to_client(conn); });
+  std::lock_guard<std::mutex> lock(mutex_);
+  conns_.push_back(conn);
+}
+
+void FaultProxy::pump_client_to_upstream(const std::shared_ptr<Conn>& conn) {
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = recv(conn->client_fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn->kill(/*rst=*/false);
+      return;
+    }
+    if (plan_for(*conn).mode == FaultPlan::Mode::kBlackhole) continue;
+    std::size_t off = 0;
+    while (off < static_cast<std::size_t>(n)) {
+      const ssize_t w = send(conn->upstream_fd, chunk + off, n - off,
+                             MSG_NOSIGNAL);
+      if (w <= 0) {
+        if (w < 0 && errno == EINTR) continue;
+        conn->kill(/*rst=*/false);
+        return;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+}
+
+void FaultProxy::pump_upstream_to_client(const std::shared_ptr<Conn>& conn) {
+  std::uint8_t chunk[16 * 1024];
+  const auto forward = [&](const std::uint8_t* data, std::size_t len) {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t w =
+          send(conn->client_fd, data + off, len - off, MSG_NOSIGNAL);
+      if (w <= 0) {
+        if (w < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+    conn->forwarded += len;
+    return true;
+  };
+  const auto count_fault = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    faults_ += 1;
+  };
+
+  for (;;) {
+    const ssize_t n = recv(conn->upstream_fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn->kill(/*rst=*/false);
+      return;
+    }
+    const auto len = static_cast<std::size_t>(n);
+    const FaultPlan plan = plan_for(*conn);
+    const std::uint64_t done = conn->forwarded.load();
+    switch (plan.mode) {
+      case FaultPlan::Mode::kNone:
+        if (!forward(chunk, len)) return conn->kill(false);
+        break;
+      case FaultPlan::Mode::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan.delay_ms));
+        if (!forward(chunk, len)) return conn->kill(false);
+        break;
+      case FaultPlan::Mode::kBlackhole:
+        count_fault();
+        break;  // swallow; connection stays open and silent
+      case FaultPlan::Mode::kReset: {
+        // Forward exactly up to the trigger offset, then RST mid-frame.
+        const std::uint64_t keep =
+            plan.after_bytes > done
+                ? std::min<std::uint64_t>(plan.after_bytes - done, len)
+                : 0;
+        if (keep > 0 && !forward(chunk, keep)) return conn->kill(false);
+        if (keep < len) {
+          count_fault();
+          return conn->kill(/*rst=*/true);
+        }
+        break;
+      }
+      case FaultPlan::Mode::kTruncate: {
+        const std::uint64_t keep =
+            plan.after_bytes > done
+                ? std::min<std::uint64_t>(plan.after_bytes - done, len)
+                : 0;
+        if (keep > 0 && !forward(chunk, keep)) return conn->kill(false);
+        if (keep < len) {
+          count_fault();
+          return conn->kill(/*rst=*/false);  // clean FIN, frame cut short
+        }
+        break;
+      }
+      case FaultPlan::Mode::kCorrupt: {
+        // Flip the byte at stream offset after_bytes, pass the rest.
+        if (plan.after_bytes >= done && plan.after_bytes < done + len) {
+          chunk[plan.after_bytes - done] ^= 0xFF;
+          count_fault();
+        }
+        if (!forward(chunk, len)) return conn->kill(false);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rbc::testing

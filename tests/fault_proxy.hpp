@@ -1,0 +1,110 @@
+// FaultProxy: a deterministic in-process TCP proxy for fault-injection
+// tests (tests/test_net_faults.cpp) and the fault_scaling benchmark sweep.
+//
+// The proxy listens on an OS-assigned loopback port and forwards every
+// accepted connection to an upstream endpoint, applying one FaultPlan to
+// the upstream->client byte stream:
+//
+//   client ──> FaultProxy(port stays stable) ──> upstream RbcServer
+//                   │
+//                   └── kDelay / kReset / kTruncate / kCorrupt / kBlackhole
+//
+// Why a byte-level proxy rather than mocking the client: the faults hit the
+// real sockets the production stack reads, so a reset mid-frame exercises
+// RbcClient's actual EOF/ECONNRESET handling and NetRouter's real failover
+// path, not a simulation of them. The proxy's port outlives upstream
+// crashes — kill the backend, restart it on a new port, re-point with
+// set_upstream(), and the router's endpoint never changes (exactly how a
+// stable service address fronts churning processes).
+//
+// Determinism: faults trigger on exact byte offsets (after_bytes), never on
+// timing races. A seeded per-connection schedule (set_schedule) assigns the
+// n-th accepted connection a plan chosen by splitmix64(seed ^ n) — the same
+// seed always yields the same fault sequence, so a chaos run is replayable.
+//
+// Thread-safety: set_plan/set_upstream/set_schedule/drop_connections may be
+// called from any thread while traffic flows; plans are snapshotted per
+// forwarded chunk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rbc::testing {
+
+struct FaultPlan {
+  enum class Mode : std::uint8_t {
+    kNone,       ///< forward untouched
+    kDelay,      ///< sleep delay_ms before each upstream->client chunk
+    kReset,      ///< RST the client after after_bytes of response data
+    kTruncate,   ///< clean FIN after after_bytes (mid-frame truncation)
+    kCorrupt,    ///< XOR 0xFF the response byte at offset after_bytes
+    kBlackhole,  ///< swallow all bytes, both directions, close nothing
+  };
+  Mode mode = Mode::kNone;
+  std::uint64_t after_bytes = 0;  ///< response-byte offset for the trigger
+  std::uint32_t delay_ms = 0;     ///< kDelay: added latency per chunk
+};
+
+class FaultProxy {
+ public:
+  /// Starts listening immediately; upstream is only contacted per accepted
+  /// connection, so it may be down (or not yet started) at construction.
+  FaultProxy(std::string upstream_host, std::uint16_t upstream_port);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The stable front port clients connect to.
+  std::uint16_t port() const { return port_; }
+
+  /// Replaces the active plan; applies to bytes forwarded from now on
+  /// (including already-open connections) and clears any schedule.
+  void set_plan(FaultPlan plan);
+
+  /// Seeded schedule: accepted connection n runs menu[splitmix64(seed ^ n)
+  /// % menu.size()] for its whole lifetime. Deterministic and replayable.
+  void set_schedule(std::vector<FaultPlan> menu, std::uint64_t seed);
+
+  /// Re-points future connections at a restarted upstream.
+  void set_upstream(std::uint16_t upstream_port);
+
+  /// Hard-kills every live proxied connection (RST to the client): an
+  /// instantaneous network partition.
+  void drop_connections();
+
+  std::uint64_t connections_accepted() const;
+  std::uint64_t faults_injected() const;
+
+ private:
+  struct Conn;
+
+  void accept_loop();
+  void start_conn(int client_fd);
+  void pump_client_to_upstream(const std::shared_ptr<Conn>& conn);
+  void pump_upstream_to_client(const std::shared_ptr<Conn>& conn);
+  FaultPlan plan_for(const Conn& conn);
+
+  mutable std::mutex mutex_;
+  std::string upstream_host_;
+  std::uint16_t upstream_port_ = 0;
+  FaultPlan plan_;
+  std::vector<FaultPlan> schedule_;
+  std::uint64_t schedule_seed_ = 0;
+  bool scheduled_ = false;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool stopping_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t faults_ = 0;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::thread accept_thread_;
+};
+
+}  // namespace rbc::testing

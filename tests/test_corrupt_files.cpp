@@ -5,6 +5,8 @@
 // composite, whose loader recurses through load_index per shard).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -294,6 +296,123 @@ TEST(CorruptFiles, FlippedMagicByteIsRejected) {
   flipped[0] = static_cast<char>(flipped[0] ^ 0x5A);
   std::stringstream stream(flipped);
   EXPECT_THROW((void)load_index(stream), std::runtime_error);
+}
+
+// ------------------------------------------- atomic on-disk persistence --
+// save_index's atomic-replace protocol (api/persist.hpp): `path` only ever
+// holds a complete index — the previous good one or the new one — no
+// matter where a failed or interrupted save lands.
+
+/// An index whose save() writes a partial stream and then dies — the
+/// worst-case serialization failure an atomic saver must contain.
+class ExplodingSaveIndex : public Index {
+ public:
+  void build(const Matrix<float>&) override {}
+  SearchResponse knn_search(const SearchRequest&) const override {
+    throw std::runtime_error("not a real index");
+  }
+  IndexInfo info() const override { return {.backend = "exploding"}; }
+  void save(std::ostream& os) const override {
+    os << "half a file";
+    throw std::runtime_error("disk on fire mid-serialize");
+  }
+};
+
+TEST(CorruptFiles, SaveIndexRoundTripsThroughTheFilesystem) {
+  const Matrix<float> X = testutil::clustered_matrix(120, 6, 4, 61);
+  const Matrix<float> Q = testutil::random_matrix(5, 6, 62);
+  const std::string path = ::testing::TempDir() + "atomic_roundtrip.rbc";
+  std::remove(path.c_str());
+
+  auto index = make_index("sharded:rbc-exact",
+                          {.rbc = {.seed = 63}, .num_shards = 3});
+  index->build(X);
+  save_index(*index, path);
+
+  // No intermediate file survives a successful save.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "stray " << path << ".tmp after save_index";
+
+  const auto restored = load_index_file(path);
+  EXPECT_EQ(restored->info().backend, "sharded:rbc-exact");
+  EXPECT_TRUE(testutil::knn_equal(
+      index->knn_search({.queries = &Q, .k = 4}).knn,
+      restored->knn_search({.queries = &Q, .k = 4}).knn));
+  std::remove(path.c_str());
+}
+
+TEST(CorruptFiles, FailedSavePreservesThePreviousGoodIndex) {
+  const Matrix<float> X = testutil::clustered_matrix(90, 5, 3, 64);
+  const Matrix<float> Q = testutil::random_matrix(4, 5, 65);
+  const std::string path = ::testing::TempDir() + "atomic_failed_save.rbc";
+  std::remove(path.c_str());
+
+  auto good = make_index("bruteforce");
+  good->build(X);
+  save_index(*good, path);
+  const KnnResult expected = good->knn_search({.queries = &Q, .k = 3}).knn;
+
+  // A save that explodes mid-serialize must not touch `path` and must not
+  // leave a tmp file behind.
+  const ExplodingSaveIndex exploding;
+  EXPECT_THROW(save_index(exploding, path), std::runtime_error);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "stray tmp file after failed save";
+
+  const auto survivor = load_index_file(path);
+  EXPECT_TRUE(testutil::knn_equal(
+      expected, survivor->knn_search({.queries = &Q, .k = 3}).knn));
+  std::remove(path.c_str());
+}
+
+TEST(CorruptFiles, InterruptedWriteFixtureLeavesOldIndexLoadable) {
+  // The crash save_index exists to survive: power dies after the tmp file
+  // was partially written but before the rename. On restart, `path` must
+  // still hold the complete previous index, and the next save must succeed
+  // over the stale tmp.
+  const Matrix<float> X = testutil::clustered_matrix(80, 4, 3, 66);
+  const Matrix<float> Q = testutil::random_matrix(4, 4, 67);
+  const std::string path = ::testing::TempDir() + "atomic_interrupted.rbc";
+  std::remove(path.c_str());
+
+  auto index = make_index("rbc-exact", {.rbc = {.seed = 68}});
+  index->build(X);
+  save_index(*index, path);
+
+  // Forge the crash artifact: a truncated tmp exactly as an interrupted
+  // writer would leave it.
+  {
+    std::stringstream full;
+    index->save(full);
+    std::ofstream stale(path + ".tmp", std::ios::binary);
+    stale << full.str().substr(0, full.str().size() / 2);
+  }
+
+  // The published path is untouched by the dead tmp…
+  const auto survivor = load_index_file(path);
+  EXPECT_TRUE(testutil::knn_equal(
+      index->knn_search({.queries = &Q, .k = 3}).knn,
+      survivor->knn_search({.queries = &Q, .k = 3}).knn));
+  // …the stale tmp itself is the torn file load_index rejects…
+  EXPECT_THROW((void)load_index_file(path + ".tmp"), std::runtime_error);
+  // …and the next save replaces both cleanly.
+  save_index(*index, path);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "stale tmp not cleaned by the next save";
+  EXPECT_NO_THROW((void)load_index_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(CorruptFiles, LoadIndexFileReportsAMissingPath) {
+  const std::string path = ::testing::TempDir() + "no_such_index.rbc";
+  std::remove(path.c_str());
+  try {
+    (void)load_index_file(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error should name the path: " << e.what();
+  }
 }
 
 }  // namespace

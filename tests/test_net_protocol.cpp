@@ -47,10 +47,20 @@ TEST(NetProtocol, HeaderRejectsBadMagicVersionOpcodeFlagsAndOversize) {
     return bad;
   };
   EXPECT_THROW((void)parse_header(mutated(0, 0xFF)), ProtocolError);  // magic
-  EXPECT_THROW((void)parse_header(mutated(4, 99)), ProtocolError);  // version
   EXPECT_THROW((void)parse_header(mutated(5, 0)), ProtocolError);    // opcode
   EXPECT_THROW((void)parse_header(mutated(5, 200)), ProtocolError);  // opcode
   EXPECT_THROW((void)parse_header(mutated(6, 1)), ProtocolError);    // flags
+
+  // The accepted version band is [kNetVersionMin, kNetVersion]; both ends
+  // parse, everything outside throws.
+  EXPECT_THROW((void)parse_header(mutated(4, 0)), ProtocolError);
+  EXPECT_THROW((void)parse_header(mutated(4, kNetVersion + 1)), ProtocolError);
+  EXPECT_THROW((void)parse_header(mutated(4, 99)), ProtocolError);
+  for (std::uint8_t v = kNetVersionMin; v <= kNetVersion; ++v) {
+    const auto header = parse_header(mutated(4, v));
+    ASSERT_TRUE(header.has_value());
+    EXPECT_EQ(header->version, v);
+  }
 
   // payload_len over the configured cap is rejected before any payload read.
   std::vector<std::uint8_t> oversize = good;
@@ -85,14 +95,15 @@ TEST(NetProtocol, KnnResponseRoundTrip) {
       result.dists.at(i, j) = 0.5f * static_cast<float>(i + j);
     }
   const std::vector<std::uint8_t> frame = encode_knn_response(9, result);
-  const KnnResult back = decode_knn_response(payload_of(frame));
-  ASSERT_EQ(back.ids.rows(), 3u);
-  ASSERT_EQ(back.ids.cols(), 2u);
+  const KnnResponseMsg back = decode_knn_response(payload_of(frame));
+  ASSERT_EQ(back.result.ids.rows(), 3u);
+  ASSERT_EQ(back.result.ids.cols(), 2u);
   for (index_t i = 0; i < 3; ++i)
     for (index_t j = 0; j < 2; ++j) {
-      EXPECT_EQ(back.ids.at(i, j), result.ids.at(i, j));
-      EXPECT_EQ(back.dists.at(i, j), result.dists.at(i, j));
+      EXPECT_EQ(back.result.ids.at(i, j), result.ids.at(i, j));
+      EXPECT_EQ(back.result.dists.at(i, j), result.dists.at(i, j));
     }
+  EXPECT_EQ(back.coverage, (Coverage{1, 1}));  // default trailer: full
 }
 
 TEST(NetProtocol, RangeRoundTrips) {
@@ -106,7 +117,109 @@ TEST(NetProtocol, RangeRoundTrips) {
 
   const std::vector<std::vector<index_t>> ids = {{1, 2, 3}, {}, {7}, {0, 9}};
   const std::vector<std::uint8_t> response = encode_range_response(5, ids);
-  EXPECT_EQ(decode_range_response(payload_of(response)), ids);
+  const RangeResponseMsg back = decode_range_response(payload_of(response));
+  EXPECT_EQ(back.ids, ids);
+  EXPECT_EQ(back.coverage, (Coverage{1, 1}));
+}
+
+// ------------------------------------------------- v2 / version interop ---
+
+TEST(NetProtocol, DeadlineRidesV2RequestsAndRoundTrips) {
+  const Matrix<float> queries = testutil::random_matrix(3, 4, 23);
+  const std::vector<std::uint8_t> knn =
+      encode_knn_request(1, queries, 2, /*deadline_ms=*/750);
+  const auto knn_header = parse_header(knn);
+  ASSERT_TRUE(knn_header.has_value());
+  EXPECT_EQ(knn_header->version, 2u);
+  const KnnRequestMsg knn_msg =
+      decode_knn_request(payload_of(knn), knn_header->version);
+  EXPECT_EQ(knn_msg.deadline_ms, 750u);
+  EXPECT_EQ(knn_msg.k, 2u);
+
+  const std::vector<std::uint8_t> range =
+      encode_range_request(2, queries, 0.5f, /*deadline_ms=*/125);
+  const RangeRequestMsg range_msg = decode_range_request(payload_of(range), 2);
+  EXPECT_EQ(range_msg.deadline_ms, 125u);
+  EXPECT_EQ(range_msg.radius, 0.5f);
+}
+
+TEST(NetProtocol, Version1FramesAreByteIdenticalToPreV2Protocol) {
+  // The v1 knn request layout was {k, nq, dim, rows...}: no deadline word.
+  // Interop with old peers depends on v1 encodes reproducing it exactly.
+  const Matrix<float> queries = testutil::random_matrix(2, 3, 29);
+  const std::vector<std::uint8_t> v1 =
+      encode_knn_request(7, queries, 4, /*deadline_ms=*/0, /*version=*/1);
+  const auto header = parse_header(v1);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->version, 1u);
+  // Sized exactly as the old layout: k + nq + dim + 2*3 floats.
+  EXPECT_EQ(header->payload_len, 4u + 4u + 4u + 2u * 3u * 4u);
+  const KnnRequestMsg msg = decode_knn_request(payload_of(v1), 1);
+  EXPECT_EQ(msg.k, 4u);
+  EXPECT_EQ(msg.deadline_ms, 0u);  // v1 cannot carry one
+  EXPECT_EQ(msg.queries.at(1, 2), queries.at(1, 2));
+
+  // Same for the response: v1 carries no coverage trailer, and decodes as
+  // full coverage.
+  KnnResult result(2, 4);
+  const std::vector<std::uint8_t> response =
+      encode_knn_response(7, result, {1, 1}, /*version=*/1);
+  const auto response_header = parse_header(response);
+  ASSERT_TRUE(response_header.has_value());
+  EXPECT_EQ(response_header->payload_len,
+            4u + 4u + 2u * 4u * 4u + 2u * 4u * 4u);
+  EXPECT_EQ(decode_knn_response(payload_of(response), 1).coverage,
+            (Coverage{1, 1}));
+
+  // Decoding a v1 payload as v2 (or vice versa) is a framing bug and must
+  // fail loudly, not misparse rows as deadlines.
+  EXPECT_THROW((void)decode_knn_request(payload_of(v1), 2), ProtocolError);
+}
+
+TEST(NetProtocol, CoverageTrailerRoundTripsAndRejectsGarbage) {
+  KnnResult result(1, 1);
+  const std::vector<std::uint8_t> knn =
+      encode_knn_response(3, result, {2, 5});
+  EXPECT_EQ(decode_knn_response(payload_of(knn)).coverage, (Coverage{2, 5}));
+
+  const std::vector<std::uint8_t> range =
+      encode_range_response(4, {{1}}, {0, 3});
+  EXPECT_EQ(decode_range_response(payload_of(range)).coverage,
+            (Coverage{0, 3}));
+
+  // covered > total and total == 0 are nonsense whatever the transport did.
+  {
+    std::vector<std::uint8_t> bad = knn;
+    const std::uint32_t covered = 6;  // > total = 5, last 8 bytes of payload
+    std::memcpy(bad.data() + bad.size() - 8, &covered, 4);
+    EXPECT_THROW((void)decode_knn_response(payload_of(bad)), ProtocolError);
+  }
+  {
+    std::vector<std::uint8_t> bad = knn;
+    const std::uint32_t zero = 0;
+    std::memcpy(bad.data() + bad.size() - 4, &zero, 4);  // total = 0
+    EXPECT_THROW((void)decode_knn_response(payload_of(bad)), ProtocolError);
+  }
+
+  // v1 must not accept (or emit) a partial trailer: encoding a partial
+  // coverage under version 1 would silently drop it, so it throws.
+  EXPECT_THROW((void)encode_knn_response(5, result, {0, 2}, /*version=*/1),
+               ProtocolError);
+  EXPECT_THROW((void)encode_range_response(5, {{1}}, {0, 2}, /*version=*/1),
+               ProtocolError);
+}
+
+TEST(NetProtocol, CodecsRejectVersionsOutsideTheBand) {
+  const Matrix<float> queries = testutil::random_matrix(1, 2, 31);
+  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{3}}) {
+    EXPECT_THROW((void)encode_knn_request(1, queries, 1, 0, v), ProtocolError);
+    EXPECT_THROW((void)decode_knn_request({}, v), ProtocolError);
+    EXPECT_THROW((void)encode_knn_response(1, KnnResult(1, 1), {}, v),
+                 ProtocolError);
+    EXPECT_THROW((void)decode_range_response({}, v), ProtocolError);
+    EXPECT_THROW((void)encode_frame(Op::kInfoRequest, 1, {}, v),
+                 ProtocolError);
+  }
 }
 
 TEST(NetProtocol, InfoRoundTrip) {
@@ -157,18 +270,24 @@ TEST(NetProtocol, ReloadAndErrorRoundTrip) {
 TEST(NetProtocol, EveryPayloadTruncationThrowsCleanly) {
   const Matrix<float> queries = testutil::random_matrix(3, 4, 17);
   KnnResult result(2, 3);
-  const std::vector<std::vector<std::uint8_t>> frames = {
-      encode_knn_request(1, queries, 2),
-      encode_knn_response(2, result),
-      encode_range_request(3, queries, 2.0f),
-      encode_range_response(4, {{1, 2}, {3}}),
+  std::vector<std::vector<std::uint8_t>> frames = {
       encode_info_response(5, {"b", "l2", 10, 4, 0, 0, 0, 0, 0, 0, 0, 0}),
       encode_reload_request(6, "some/path"),
       encode_error(7, {ErrorCode::kInternal, 0, "boom"}),
   };
+  // Both wire versions of every versioned codec join the sweep: the v2
+  // layouts (deadline word, coverage trailer) must be as truncation-proof
+  // as the v1 ones.
+  for (std::uint8_t v = kNetVersionMin; v <= kNetVersion; ++v) {
+    frames.push_back(encode_knn_request(1, queries, 2, 30, v));
+    frames.push_back(encode_knn_response(2, result, {1, 1}, v));
+    frames.push_back(encode_range_request(3, queries, 2.0f, 30, v));
+    frames.push_back(encode_range_response(4, {{1, 2}, {3}}, {1, 1}, v));
+  }
   for (const std::vector<std::uint8_t>& frame : frames) {
     const auto header = parse_header(frame);
     ASSERT_TRUE(header.has_value());
+    const std::uint8_t v = header->version;
     const std::span<const std::uint8_t> payload = payload_of(frame);
     // Cut the payload at EVERY length short of complete: the decoder must
     // throw ProtocolError each time, never read out of bounds (ASan-checked
@@ -177,16 +296,16 @@ TEST(NetProtocol, EveryPayloadTruncationThrowsCleanly) {
       const std::span<const std::uint8_t> sub = payload.subspan(0, cut);
       switch (header->op) {
         case Op::kKnnRequest:
-          EXPECT_THROW((void)decode_knn_request(sub), ProtocolError);
+          EXPECT_THROW((void)decode_knn_request(sub, v), ProtocolError);
           break;
         case Op::kKnnResponse:
-          EXPECT_THROW((void)decode_knn_response(sub), ProtocolError);
+          EXPECT_THROW((void)decode_knn_response(sub, v), ProtocolError);
           break;
         case Op::kRangeRequest:
-          EXPECT_THROW((void)decode_range_request(sub), ProtocolError);
+          EXPECT_THROW((void)decode_range_request(sub, v), ProtocolError);
           break;
         case Op::kRangeResponse:
-          EXPECT_THROW((void)decode_range_response(sub), ProtocolError);
+          EXPECT_THROW((void)decode_range_response(sub, v), ProtocolError);
           break;
         case Op::kInfoResponse:
           EXPECT_THROW((void)decode_info_response(sub), ProtocolError);
@@ -256,10 +375,12 @@ TEST(NetProtocol, RandomGarbagePayloadsThrowOrDecode) {
       } catch (const ProtocolError&) {
       }
     };
-    poke([](auto b) { return decode_knn_request(b); });
-    poke([](auto b) { return decode_knn_response(b); });
-    poke([](auto b) { return decode_range_request(b); });
-    poke([](auto b) { return decode_range_response(b); });
+    for (std::uint8_t v = kNetVersionMin; v <= kNetVersion; ++v) {
+      poke([v](auto b) { return decode_knn_request(b, v); });
+      poke([v](auto b) { return decode_knn_response(b, v); });
+      poke([v](auto b) { return decode_range_request(b, v); });
+      poke([v](auto b) { return decode_range_response(b, v); });
+    }
     poke([](auto b) { return decode_info_response(b); });
     poke([](auto b) { return decode_reload_request(b); });
     poke([](auto b) { return decode_error(b); });

@@ -107,6 +107,16 @@ int raw_connect(std::uint16_t port) {
   return fd;
 }
 
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = recv(fd, out + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
 /// An exact index whose searches take at least `delay_ms`: makes admission-
 /// control overload deterministic to provoke.
 class DelayIndex final : public Index {
@@ -154,6 +164,85 @@ TEST(NetServer, KnnAndRangeMatchDirectSearchBitwise) {
   EXPECT_EQ(info.conn_requests, 2u);  // the knn + the range frame
   EXPECT_GT(info.conn_bytes_in, 0u);
   EXPECT_GT(info.conn_bytes_out, 0u);
+}
+
+TEST(NetServer, MixedVersionFramesInteropOnOneConnection) {
+  // The server answers each frame under the frame's own version: a v1
+  // request (what a pre-deadline client emits) gets a byte-layout-v1
+  // response with no coverage trailer; a v2 request on the same connection
+  // gets the trailer. No handshake, no connection state.
+  auto index = built_index("bruteforce");
+  const Matrix<float> queries = test_queries(4);
+  const index_t k = 3;
+  SearchRequest request{.queries = &queries, .k = k, .options = {}};
+  const SearchResponse direct = index->knn_search(request);
+
+  RbcServer server(std::move(index));
+  const int fd = raw_connect(server.port());
+  const auto exchange = [&](const std::vector<std::uint8_t>& frame) {
+    EXPECT_GT(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL), 0);
+    std::uint8_t raw[serve::net::kHeaderSize];
+    EXPECT_TRUE(read_exact(fd, raw, sizeof raw));
+    const auto header = serve::net::parse_header({raw, sizeof raw});
+    EXPECT_TRUE(header.has_value());
+    std::vector<std::uint8_t> payload(header->payload_len);
+    EXPECT_TRUE(read_exact(fd, payload.data(), payload.size()));
+    return std::pair(*header, payload);
+  };
+
+  {  // v1 in, v1 out.
+    const auto [header, payload] =
+        exchange(serve::net::encode_knn_request(1, queries, k,
+                                                /*deadline_ms=*/0,
+                                                /*version=*/1));
+    EXPECT_EQ(header.version, 1u);
+    ASSERT_EQ(header.op, serve::net::Op::kKnnResponse);
+    const auto msg = serve::net::decode_knn_response(payload, header.version);
+    expect_same_knn(direct.knn, msg.result);
+    EXPECT_TRUE(msg.coverage.full());
+  }
+  {  // v2 in (deadline riding along), v2 out (coverage trailer present).
+    const auto [header, payload] =
+        exchange(serve::net::encode_knn_request(2, queries, k,
+                                                /*deadline_ms=*/60'000,
+                                                /*version=*/2));
+    EXPECT_EQ(header.version, 2u);
+    ASSERT_EQ(header.op, serve::net::Op::kKnnResponse);
+    const auto msg = serve::net::decode_knn_response(payload, header.version);
+    expect_same_knn(direct.knn, msg.result);
+    EXPECT_EQ(msg.coverage, (serve::net::Coverage{1, 1}));
+  }
+  close(fd);
+}
+
+TEST(NetServer, ExpiredDeadlineIsShedWithDeadlineExceeded) {
+  auto slow = std::make_unique<DelayIndex>(built_index("bruteforce"),
+                                           /*delay_ms=*/100);
+  RbcServer server(std::move(slow));
+  const Matrix<float> queries = test_queries(2);
+
+  // A 1ms budget against a 100ms index: the server must shed the reply. A
+  // raw socket observes the verdict — RbcClient would (correctly) give up
+  // on its own 1ms budget before the server's error frame arrives.
+  const int fd = raw_connect(server.port());
+  const std::vector<std::uint8_t> frame =
+      serve::net::encode_knn_request(1, queries, 3, /*deadline_ms=*/1);
+  ASSERT_GT(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL), 0);
+  std::uint8_t raw[serve::net::kHeaderSize];
+  ASSERT_TRUE(read_exact(fd, raw, sizeof raw));
+  const auto header = serve::net::parse_header({raw, sizeof raw});
+  ASSERT_TRUE(header.has_value());
+  ASSERT_EQ(header->op, serve::net::Op::kError);
+  std::vector<std::uint8_t> payload(header->payload_len);
+  ASSERT_TRUE(read_exact(fd, payload.data(), payload.size()));
+  EXPECT_EQ(serve::net::decode_error(payload).code,
+            ErrorCode::kDeadlineExceeded);
+  close(fd);
+  EXPECT_GE(server.stats().deadline_exceeded, 1u);
+
+  // A generous budget sails through, end to end via the client.
+  RbcClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.knn(queries, 3, /*deadline_ms=*/60'000).ids.rows(), 2u);
 }
 
 TEST(NetServer, BadRequestGetsErrorFrameAndConnectionSurvives) {
@@ -565,16 +654,6 @@ TEST(NetRouterTest, TwoProcessScatterGatherIsBitIdenticalToShardedIndex) {
   for (const std::string& file : port_files) std::remove(file.c_str());
 }
 
-bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = recv(fd, out + got, n - got, 0);
-    if (r <= 0) return false;
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
 /// A wire-correct but lying shard server: answers INFO like a real
 /// `rows`-row shard, then knn/range responses whose shape or shard-local
 /// ids violate the contract. Exercises NetRouter's trust boundary — wire
@@ -626,11 +705,15 @@ class EvilShard {
           info.metric = "l2";
           info.size = rows_;
           info.dim = kDim;
-          reply = serve::net::encode_info_response(header->request_id, info);
+          reply = serve::net::encode_info_response(header->request_id, info,
+                                                   header->version);
           break;
         }
         case serve::net::Op::kKnnRequest: {
-          const auto request = serve::net::decode_knn_request(payload);
+          // Decode (and answer) under the *request's* version: the router's
+          // client speaks v1 when no deadline rides the call.
+          const auto request =
+              serve::net::decode_knn_request(payload, header->version);
           const index_t nq = request.queries.rows();
           KnnResult bad(mode_ == Mode::kWrongRows ? nq + 1 : nq,
                         mode_ == Mode::kWrongCols ? request.k + 1
@@ -641,15 +724,17 @@ class EvilShard {
               bad.ids.at(i, j) = mode_ == Mode::kIdOutOfRange ? rows_ : j;
               bad.dists.at(i, j) = 0.0f;
             }
-          reply = serve::net::encode_knn_response(header->request_id, bad);
+          reply = serve::net::encode_knn_response(header->request_id, bad,
+                                                  {1, 1}, header->version);
           break;
         }
         case serve::net::Op::kRangeRequest: {
-          const auto request = serve::net::decode_range_request(payload);
+          const auto request =
+              serve::net::decode_range_request(payload, header->version);
           std::vector<std::vector<index_t>> bad(request.queries.rows());
           if (!bad.empty()) bad.front().push_back(rows_);  // out of range
-          reply =
-              serve::net::encode_range_response(header->request_id, bad);
+          reply = serve::net::encode_range_response(header->request_id, bad,
+                                                    {1, 1}, header->version);
           break;
         }
         default:
