@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "distance/dispatch.hpp"
 #include "distance/kernels.hpp"
+#include "distance/quantized.hpp"
 #include "distance/pairwise.hpp"
 #include "distance/pairwise_gemm.hpp"
 
@@ -239,6 +240,39 @@ void bench_rows_metric(benchmark::State& state, dispatch::Isa isa, index_t d,
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows);
 }
 
+// ---------------------------------------------- compressed tier, per ISA ---
+//
+// The quantized single-query scans (rows_fp16, rows_int8) against the same
+// squared-L2 baseline. The interesting number is throughput per *vector
+// byte* — the compressed tier exists to shrink bytes/vector (4d float32 ->
+// 2d fp16 -> 1d int8), so each entry carries a qps_per_vector_byte counter
+// and the validator holds int8 to >= 2x the float `rows` kernel on that
+// axis (the acceptance bar of the compressed-scan-tier PR).
+
+void bench_rows_quant(benchmark::State& state, dispatch::Isa isa, index_t d,
+                      quant::Storage mode) {
+  const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+  const Matrix<float> db = make_points(kDbRows, d, 3);
+  const Matrix<float> q = make_points(1, d, 4);
+  const quant::QuantizedStore store = quant::quantize(mode, db);
+  std::vector<float> out(kDbRows);
+  for (auto _ : state) {
+    if (mode == quant::Storage::kFp16)
+      ops.rows_fp16(q.row(0), d, store.fp16.data(), d, 0, kDbRows,
+                    out.data());
+    else
+      ops.rows_int8(q.row(0), d, store.int8.data(), d, store.scale.data(),
+                    store.offset.data(), 0, kDbRows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDbRows);
+  const double bytes_per_vector =
+      static_cast<double>(d) * (mode == quant::Storage::kFp16 ? 2.0 : 1.0);
+  state.counters["qps_per_vector_byte"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kDbRows / bytes_per_vector,
+      benchmark::Counter::kIsRate);
+}
+
 void register_dispatch_benches(bool smoke) {
   const std::vector<index_t> dims = {21, 32, 74};
   auto tune = [smoke](benchmark::internal::Benchmark* b) {
@@ -280,6 +314,14 @@ void register_dispatch_benches(bool smoke) {
           ("rows_ip/" + suffix).c_str(),
           [isa, d](benchmark::State& s) {
             bench_rows_metric(s, isa, d, true);
+          }));
+      tune(benchmark::RegisterBenchmark(
+          ("rows_fp16/" + suffix).c_str(), [isa, d](benchmark::State& s) {
+            bench_rows_quant(s, isa, d, quant::Storage::kFp16);
+          }));
+      tune(benchmark::RegisterBenchmark(
+          ("rows_int8/" + suffix).c_str(), [isa, d](benchmark::State& s) {
+            bench_rows_quant(s, isa, d, quant::Storage::kInt8);
           }));
     }
   }

@@ -1,0 +1,55 @@
+// Checked command-line integer parsing shared by the examples.
+//
+// Every numeric knob used to go through bare std::atoi / std::strtoul,
+// which turn a typo into a silent zero ("12q" parses as 12, "bogus" as 0,
+// "-3" wraps through the unsigned cast) — and a zero-point benchmark or a
+// wrapped port number is far harder to diagnose than a usage error. These
+// helpers reject empty input, signs, trailing non-digits, and out-of-range
+// values, then exit with the examples' usage status (2).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace rbc::cli {
+
+/// Parses `arg` as an unsigned decimal integer in [min, max]; on any
+/// failure prints an error naming `what` and exits with status 2.
+inline unsigned long long parse_uint_or_die(const char* arg, const char* what,
+                                            unsigned long long min,
+                                            unsigned long long max) {
+  const char* s = arg != nullptr ? arg : "";
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(s, &end, 10);
+  // strtoull accepts "-3" by wrapping; a leading sign is a usage error here.
+  if (*s == '\0' || *s == '-' || *s == '+' || end == s || *end != '\0') {
+    std::fprintf(stderr, "invalid %s '%s': expected an unsigned integer\n",
+                 what, s);
+    std::exit(2);
+  }
+  if (errno == ERANGE || value < min || value > max) {
+    std::fprintf(stderr, "invalid %s '%s': must be in [%llu, %llu]\n", what, s,
+                 min, max);
+    std::exit(2);
+  }
+  return value;
+}
+
+/// An index-typed count (point counts, k, batch sizes, worker counts).
+inline index_t parse_index_or_die(const char* arg, const char* what,
+                                  unsigned long long min = 1,
+                                  unsigned long long max = 0xFFFFFFFFull) {
+  return static_cast<index_t>(parse_uint_or_die(arg, what, min, max));
+}
+
+/// A TCP port; 0 is allowed (the OS picks an ephemeral port).
+inline std::uint16_t parse_port_or_die(const char* arg, const char* what) {
+  return static_cast<std::uint16_t>(parse_uint_or_die(arg, what, 0, 65535));
+}
+
+}  // namespace rbc::cli

@@ -7,16 +7,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_parse.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "dist/distributed_rbc.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbc;
-  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
-                             : 100'000;
+  const index_t n =
+      argc > 1 ? cli::parse_index_or_die(argv[1], "n_points") : 100'000;
   const index_t workers =
-      argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 8;
+      argc > 2 ? cli::parse_index_or_die(argv[2], "workers", 1, 4096) : 8;
 
   data::DataSplit split = data::make_benchmark_data(
       data::dataset_by_name("bio"), n, 500, /*seed=*/3);

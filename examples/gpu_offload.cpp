@@ -7,14 +7,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_parse.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "gpu/gpu_rbc.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbc;
-  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
-                             : 50'000;
+  const index_t n =
+      argc > 1 ? cli::parse_index_or_die(argv[1], "n_points") : 50'000;
 
   Matrix<float> all = data::make_image_descriptors(n + 256, 16, 5);
   Matrix<float> database(n, 16);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_parse.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "data/random_projection.hpp"
@@ -15,10 +16,10 @@
 
 int main(int argc, char** argv) {
   using namespace rbc;
-  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
-                             : 100'000;
+  const index_t n =
+      argc > 1 ? cli::parse_index_or_die(argv[1], "n_images") : 100'000;
   const index_t d_out =
-      argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 16;
+      argc > 2 ? cli::parse_index_or_die(argv[2], "target_dim", 1, 128) : 16;
 
   // 1. "Raw" descriptors on a low-dimensional scene manifold (a stand-in
   //    for GIST descriptors of the 80M Tiny Images set).

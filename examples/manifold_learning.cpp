@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_parse.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "distance/graph_metric.hpp"
@@ -19,8 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace rbc;
-  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
-                             : 3'000;
+  const index_t n =
+      argc > 1 ? cli::parse_index_or_die(argv[1], "n_points") : 3'000;
   const index_t k = 8;
 
   Matrix<float> roll = data::make_swiss_roll(n, 3, 0.02f, 11);

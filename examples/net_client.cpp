@@ -14,6 +14,7 @@
 #include <string>
 #include <thread>
 
+#include "cli_parse.hpp"
 #include "data/generators.hpp"
 #include "serve/net/client.hpp"
 
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string host = argv[1];
-  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const std::uint16_t port = cli::parse_port_or_die(argv[2], "port");
   const std::string cmd = argv[3];
 
   try {
@@ -54,9 +55,8 @@ int main(int argc, char** argv) {
     }
 
     if (cmd == "knn") {
-      const index_t nq =
-          argc > 4 ? static_cast<index_t>(std::atoi(argv[4])) : 16;
-      const index_t k = argc > 5 ? static_cast<index_t>(std::atoi(argv[5])) : 5;
+      const index_t nq = argc > 4 ? cli::parse_index_or_die(argv[4], "nq") : 16;
+      const index_t k = argc > 5 ? cli::parse_index_or_die(argv[5], "k") : 5;
       const InfoMsg info = client.info();
       Matrix<float> queries = data::make_subspace_clusters(
           nq, info.dim, /*clusters=*/30, /*intrinsic_d=*/3, /*noise=*/0.05f,

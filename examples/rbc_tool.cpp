@@ -3,7 +3,8 @@
 //
 //   rbc_tool gen <dataset> <n> <out.bin>
 //   rbc_tool backends
-//   rbc_tool build [--metric=<m>] <db.bin> <index.rbc> [backend]
+//   rbc_tool build [--metric=<m>] [--storage=<s>] <db.bin> <index.rbc>
+//       [backend]
 //                  [num_reps|leaf_size]
 //   rbc_tool search <index.rbc> <queries.bin> <k>
 //   rbc_tool eval <db.bin> <queries.bin> <index.rbc>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_parse.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
@@ -34,7 +36,8 @@ int usage() {
                "  rbc_tool gen <bio|cov|phy|robot|tiny4|tiny8|tiny16|tiny32> "
                "<n> <out.bin>\n"
                "  rbc_tool backends\n"
-               "  rbc_tool build [--metric=<l2|l1|cosine|ip>] <db.bin> "
+               "  rbc_tool build [--metric=<l2|l1|cosine|ip>] "
+               "[--storage=<float32|fp16|int8>] <db.bin> "
                "<index.rbc> [backend] [num_reps|leaf_size]\n"
                "  rbc_tool search <index.rbc> <queries.bin> <k>\n"
                "  rbc_tool eval <db.bin> <queries.bin> <index.rbc>\n");
@@ -44,7 +47,7 @@ int usage() {
 int cmd_gen(int argc, char** argv) {
   if (argc != 5) return usage();
   const auto& spec = data::dataset_by_name(argv[2]);
-  const auto n = static_cast<index_t>(std::strtoul(argv[3], nullptr, 10));
+  const index_t n = cli::parse_index_or_die(argv[3], "n");
   WallTimer timer;
   const Matrix<float> X = data::make_dataset(spec, n, /*seed=*/1);
   data::save_matrix(X, argv[4]);
@@ -68,12 +71,17 @@ int cmd_backends() {
 }
 
 int cmd_build(int argc, char** argv) {
-  // Strip an optional --metric=<m> flag (any position after the command).
+  // Strip optional --metric=<m> / --storage=<s> flags (any position after
+  // the command).
   std::string metric = "l2";
+  std::string storage = "float32";
   std::vector<char*> args(argv, argv + argc);
   for (auto it = args.begin(); it != args.end();) {
     if (std::strncmp(*it, "--metric=", 9) == 0) {
       metric = *it + 9;
+      it = args.erase(it);
+    } else if (std::strncmp(*it, "--storage=", 10) == 0) {
+      storage = *it + 10;
       it = args.erase(it);
     } else {
       ++it;
@@ -88,11 +96,12 @@ int cmd_build(int argc, char** argv) {
   if (backend == "oneshot") backend = "rbc-oneshot";
   IndexOptions options;
   options.metric = metric;
+  options.storage = storage;
   if (argc == 6) {
     // The optional numeric knob means whatever the backend tunes; reject it
     // for backends that would silently ignore it.
-    const auto value =
-        static_cast<index_t>(std::strtoul(argv[5], nullptr, 10));
+    const index_t value =
+        cli::parse_index_or_die(argv[5], "num_reps|leaf_size");
     if (backend == "rbc-exact" || backend == "rbc-oneshot" ||
         backend == "gpu-oneshot") {
       options.rbc.num_reps = value;
@@ -127,17 +136,18 @@ int cmd_build(int argc, char** argv) {
     return 1;
   }
   const IndexInfo info = index->info();
-  std::printf("%s index (metric: %s) over %u points: %.1f MB, "
+  std::printf("%s index (metric: %s, storage: %s) over %u points: %.1f MB, "
               "built in %.2fs\n",
-              info.backend.c_str(), info.metric.c_str(), info.size,
-              static_cast<double>(info.memory_bytes) / 1e6, timer.seconds());
+              info.backend.c_str(), info.metric.c_str(), info.storage.c_str(),
+              info.size, static_cast<double>(info.memory_bytes) / 1e6,
+              timer.seconds());
   return 0;
 }
 
 int cmd_search(int argc, char** argv) {
   if (argc != 5) return usage();
   const Matrix<float> Q = data::load_matrix(argv[3]);
-  const auto k = static_cast<index_t>(std::strtoul(argv[4], nullptr, 10));
+  const index_t k = cli::parse_index_or_die(argv[4], "k");
 
   std::ifstream is(argv[2], std::ios::binary);
   if (!is) {

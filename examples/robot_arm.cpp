@@ -9,14 +9,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_parse.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "rbc/rbc.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbc;
-  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
-                             : 200'000;
+  const index_t n =
+      argc > 1 ? cli::parse_index_or_die(argv[1], "n_states") : 200'000;
 
   std::printf("simulating %u arm states (7 joints x [q, qdot, qddot])...\n",
               n + 1'000);

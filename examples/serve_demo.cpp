@@ -32,6 +32,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "cli_parse.hpp"
 #include "data/generators.hpp"
 #include "rbc/rbc.hpp"
 #include "serve/net/server.hpp"
@@ -63,13 +64,13 @@ int run_server(int argc, char** argv) {
       }
       return argv[++a];
     };
-    if (arg == "--listen") port = static_cast<std::uint16_t>(std::atoi(next()));
+    if (arg == "--listen") port = cli::parse_port_or_die(next(), "--listen");
     else if (arg == "--index") index_file = next();
     else if (arg == "--backend") backend = next();
     else if (arg == "--metric") metric = next();
-    else if (arg == "--n") n = static_cast<index_t>(std::atol(next()));
+    else if (arg == "--n") n = cli::parse_index_or_die(next(), "--n");
     else if (arg == "--max-batch")
-      max_batch = static_cast<index_t>(std::atoi(next()));
+      max_batch = cli::parse_index_or_die(next(), "--max-batch");
     else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return 2;
@@ -126,11 +127,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[a], "--listen") == 0) return run_server(argc, argv);
 
   const std::string backend = argc > 1 ? argv[1] : "rbc-exact";
-  const int clients = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int clients =
+      argc > 2
+          ? static_cast<int>(cli::parse_uint_or_die(argv[2], "clients", 1, 4096))
+          : 8;
   const index_t per_client =
-      argc > 3 ? static_cast<index_t>(std::atoi(argv[3])) : 2'000;
+      argc > 3 ? cli::parse_index_or_die(argv[3], "queries_per_client") : 2'000;
   const index_t max_batch =
-      argc > 4 ? static_cast<index_t>(std::atoi(argv[4])) : 256;
+      argc > 4 ? cli::parse_index_or_die(argv[4], "max_batch") : 256;
   const std::string metric = argc > 5 ? argv[5] : "l2";
   const index_t n = 50'000, dim = 32, k = 5;
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_parse.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "distance/edit_distance.hpp"
@@ -66,8 +67,8 @@ std::string corrupt(const std::string& word, rbc::Rng& rng) {
 
 int main(int argc, char** argv) {
   using namespace rbc;
-  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
-                             : 20'000;
+  const index_t n =
+      argc > 1 ? cli::parse_index_or_die(argv[1], "n_words") : 20'000;
 
   const StringSpace dictionary(make_dictionary(n, 1));
   std::printf("dictionary: %u words (e.g. \"%s\", \"%s\")\n",

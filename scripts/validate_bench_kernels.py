@@ -21,12 +21,17 @@ Checks:
     metric sweep's `rows_l1`/`rows_ip` — reach >= 2x, the acceptance bars
     of the runtime-dispatch and metric-generic-API PRs. The metric shapes
     compare against their own baselines (scalar_scan_l1 / scalar_scan_ip).
+    The compressed shapes (`rows_fp16`/`rows_int8`) additionally carry a
+    qps_per_vector_byte counter and, on the SIMD ISAs, are held to a
+    per-vector-byte bar against the float `rows` kernel of the same ISA:
+    fp16 >= 1x, int8 >= 2x (bytes/vector: 4d float32, 2d fp16, 1d int8).
 """
 import json
 import sys
 from pathlib import Path
 
-SHAPES = ("tile", "tile_gemm", "rows", "rows_l1", "rows_ip")
+SHAPES = ("tile", "tile_gemm", "rows", "rows_l1", "rows_ip",
+          "rows_fp16", "rows_int8")
 # Which scalar single-query baseline each shape's items/s is compared to.
 BASELINE_OF = {
     "tile": "scalar_scan",
@@ -34,10 +39,20 @@ BASELINE_OF = {
     "rows": "scalar_scan",
     "rows_l1": "scalar_scan_l1",
     "rows_ip": "scalar_scan_ip",
+    "rows_fp16": "scalar_scan",
+    "rows_int8": "scalar_scan",
 }
 BASELINES = tuple(sorted(set(BASELINE_OF.values())))
 # Shapes held to the >= 2x acceptance bar over their baseline.
 TWO_X_SHAPES = ("rows", "rows_l1", "rows_ip")
+# Compressed shapes carry a qps_per_vector_byte counter; their bar is
+# throughput per vector byte relative to the float `rows` kernel of the
+# same ISA (bytes/vector: float32 = 4d, fp16 = 2d, int8 = 1d).
+QUANT_SHAPES = ("rows_fp16", "rows_int8")
+BYTES_PER_DIM = {"rows": 4.0, "rows_fp16": 2.0, "rows_int8": 1.0}
+# int8 halves-then-halves the scan's byte traffic; the acceptance bar of the
+# compressed-tier PR. fp16 must at least break even per byte.
+QPVB_BAR = {"rows_fp16": 1.0, "rows_int8": 2.0}
 DIMS = ("21", "32", "74")
 
 args = [a for a in sys.argv[1:] if a != "--smoke"]
@@ -75,6 +90,10 @@ for row in benches or []:
            f"{name}: missing or non-positive items_per_second")
     if isinstance(ips, (int, float)):
         throughput[(shape, isa, dim)] = float(ips)
+    if shape in QUANT_SHAPES:
+        qpvb = row.get("qps_per_vector_byte")
+        expect(isinstance(qpvb, (int, float)) and qpvb > 0,
+               f"{name}: missing or non-positive qps_per_vector_byte")
 
 isas = sorted({isa for (_, isa, _) in throughput} - {"ref"})
 expect("scalar" in isas, "scalar ISA rows missing (always compiled)")
@@ -103,6 +122,25 @@ if not smoke and not errors:
                     expect(ratio >= 2.0,
                            f"{shape}/{isa}/{dim}: {ratio:.2f}x < 2x "
                            f"acceptance bar over {BASELINE_OF[shape]}")
+    # Compressed-tier bar: per-vector-byte throughput vs the float `rows`
+    # kernel of the SAME ISA — the win must come from the smaller codes, not
+    # from vectorizing harder than the comparison. Scalar is exempt (as in
+    # the speedup bars above): without hardware converts its fp16 decode is
+    # a software routine per element, and the bar would measure the codec,
+    # not the storage tier.
+    for isa in isas:
+        if isa == "scalar":
+            continue
+        for dim in DIMS:
+            rows_qpvb = (throughput[("rows", isa, dim)] /
+                         (BYTES_PER_DIM["rows"] * float(dim)))
+            for shape in QUANT_SHAPES:
+                qpvb = (throughput[(shape, isa, dim)] /
+                        (BYTES_PER_DIM[shape] * float(dim)))
+                bar = QPVB_BAR[shape]
+                expect(qpvb >= bar * rows_qpvb,
+                       f"{shape}/{isa}/{dim}: {qpvb / rows_qpvb:.2f}x "
+                       f"qps/vector-byte < {bar}x bar over rows/{isa}")
 
 if errors:
     print(f"{path}: INVALID")
@@ -118,6 +156,16 @@ for isa in isas:
         ratios = [throughput[(shape, isa, d)] /
                   throughput[(BASELINE_OF[shape], "ref", d)] for d in DIMS]
         summary.append(f"{isa} {shape} {min(ratios):.1f}-{max(ratios):.1f}x")
+for isa in isas:
+    if isa == "scalar":
+        continue
+    for shape in QUANT_SHAPES:
+        ratios = [(throughput[(shape, isa, d)] /
+                   (BYTES_PER_DIM[shape] * float(d))) /
+                  (throughput[("rows", isa, d)] /
+                   (BYTES_PER_DIM["rows"] * float(d))) for d in DIMS]
+        summary.append(
+            f"{isa} {shape} {min(ratios):.1f}-{max(ratios):.1f}x/byte")
 mode = "smoke" if smoke else "full"
 print(f"{path}: valid ({mode}, ISAs: {', '.join(isas)}"
       f"{'; ' + '; '.join(summary) if summary else ''})")

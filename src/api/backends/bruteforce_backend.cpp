@@ -30,7 +30,8 @@ class BruteForceBackend final : public Index {
       : kind_(metric::require(
             "bruteforce", options.metric,
             {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine,
-             metric::Kind::kIp})) {}
+             metric::Kind::kIp})),
+        storage_(require_scan_storage("bruteforce", options.storage, kind_)) {}
 
   void build(const Matrix<float>& X) override {
     db_ = X.clone();
@@ -40,6 +41,9 @@ class BruteForceBackend final : public Index {
     // and the ip prefilter's max-norm slack (an O(n d) pass that must not
     // be paid per search).
     norms_ = make_row_norms_cache(db_);
+    // Compressed scan tier: codes built over the transform-space rows (the
+    // space every scan and re-measure runs in).
+    qstore_ = quant::quantize(storage_, db_);
     built_ = true;  // an empty database is a valid built state (k-NN against
                     // it is a request error: k > size for every k >= 1)
   }
@@ -52,8 +56,14 @@ class BruteForceBackend final : public Index {
     switch (kind_) {
       case metric::Kind::kL2:
       case metric::Kind::kCosine:
-        response.knn = bf_knn(q.queries(), db_, request.k, Euclidean{},
-                              &norms_);
+        // Quantized tier: the hot scan reads the fp16/int8 codes; survivors
+        // of the error-inflated bound are re-measured against db_, so the
+        // answer is bit-identical to the float path (kernel_scan.hpp).
+        response.knn =
+            qstore_.active()
+                ? bf_knn_quantized(q.queries(), db_, qstore_, request.k,
+                                   Euclidean{})
+                : bf_knn(q.queries(), db_, request.k, Euclidean{}, &norms_);
         break;
       case metric::Kind::kL1:
         response.knn = bf_knn(q.queries(), db_, request.k, L1{});
@@ -114,24 +124,55 @@ class BruteForceBackend final : public Index {
 
   void save(std::ostream& os) const override {
     io::write_pod(os, io::kMagicBruteForce);
-    io::write_metric_header(os, metric::name(kind_));
+    // float32 keeps the version-2 byte layout; compressed builds write the
+    // version-4 header and append the code store after the matrix.
+    io::write_storage_header(os, metric::name(kind_), quant::name(storage_));
     io::write_matrix(os, db_);
+    if (storage_ != quant::Storage::kFloat32)
+      io::write_quantized_store(os, qstore_);
   }
 
   static std::unique_ptr<Index> load(std::istream& is) {
     io::expect_pod(is, io::kMagicBruteForce, "bruteforce magic");
+    std::string storage_name;
     const std::string metric_name =
-        io::read_metric_header(is, "bruteforce header");
+        io::read_metric_header(is, "bruteforce header", nullptr,
+                               &storage_name);
     metric::Kind kind{};
     if (!metric::lookup(metric_name, kind))
       throw std::runtime_error(
           "rbc::io: corrupt bruteforce stream (unknown metric tag '" +
           metric_name + "')");
+    quant::Storage storage{};
+    if (!quant::lookup(storage_name, storage))
+      throw std::runtime_error(
+          "rbc::io: corrupt bruteforce stream (unknown storage tag '" +
+          storage_name + "')");
     IndexOptions options;
     options.metric = metric_name;
-    auto index = std::make_unique<BruteForceBackend>(options);
+    options.storage = storage_name;
+    std::unique_ptr<BruteForceBackend> index;
+    try {
+      index = std::make_unique<BruteForceBackend>(options);
+    } catch (const std::invalid_argument& e) {
+      // e.g. a quantized tag on a metric that cannot serve it: file
+      // corruption, not a caller error.
+      throw std::runtime_error(
+          std::string("rbc::io: corrupt bruteforce stream (") + e.what() +
+          ")");
+    }
     index->db_ = io::read_matrix(is);  // cosine rows were saved normalized
     index->norms_ = make_row_norms_cache(index->db_);  // derived, not stored
+    if (storage != quant::Storage::kFloat32) {
+      index->qstore_ = io::read_quantized_store(is);
+      if (index->qstore_.mode != storage ||
+          index->qstore_.rows != index->db_.rows() ||
+          (index->qstore_.rows > 0 &&
+           index->qstore_.cols != index->db_.cols()))
+        throw std::runtime_error(
+            "rbc::io: corrupt bruteforce stream (quantized store disagrees "
+            "with the matrix)");
+    }
     index->built_ = true;
     return index;
   }
@@ -143,19 +184,24 @@ class BruteForceBackend final : public Index {
     info.supported_metrics =
         metric::names({metric::Kind::kL2, metric::Kind::kL1,
                        metric::Kind::kCosine, metric::Kind::kIp});
+    info.storage = quant::name(storage_);
+    info.supported_storage = scan_storage_names(kind_);
     info.size = db_.rows();
     info.dim = db_.cols();
     info.exact = true;
     info.supports_range = true;
     info.supports_save = true;
-    info.memory_bytes = db_.size() * sizeof(float);
+    info.memory_bytes =
+        db_.size() * sizeof(float) + qstore_.memory_bytes();
     info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
     return info;
   }
 
  private:
   metric::Kind kind_;
+  quant::Storage storage_;
   Matrix<float> db_;
+  quant::QuantizedStore qstore_;
   RowNormsCache norms_;
   bool built_ = false;
 };

@@ -34,8 +34,10 @@ class GpuBfBackend final : public Index {
   explicit GpuBfBackend(const IndexOptions& options)
       : device_(std::make_unique<simt::Device>(options.gpu_workers)),
         threads_per_block_(options.gpu_threads_per_block) {
-    // Device kernels are fixed-function squared-L2 pipelines: l2 only.
+    // Device kernels are fixed-function squared-L2 pipelines: l2 only,
+    // float32 only (no device-side dequantizers).
     metric::require("gpu-bf", options.metric, {metric::Kind::kL2});
+    quant::require("gpu-bf", options.storage, {quant::Storage::kFloat32});
   }
 
   void build(const Matrix<float>& X) override {
@@ -86,6 +88,8 @@ class GpuOneShotBackend final : public Index {
         params_(options.rbc),
         threads_per_block_(options.gpu_threads_per_block) {
     metric::require("gpu-oneshot", options.metric, {metric::Kind::kL2});
+    quant::require("gpu-oneshot", options.storage,
+                   {quant::Storage::kFloat32});
   }
 
   void build(const Matrix<float>& X) override {

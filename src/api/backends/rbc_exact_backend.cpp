@@ -31,8 +31,14 @@ class RbcExactBackend final : public Index {
       : kind_(metric::require(
             "rbc-exact", options.metric,
             {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine})),
+        storage_(require_scan_storage("rbc-exact", options.storage, kind_)),
         params_(options.rbc) {
     if (kind_ == metric::Kind::kL1) index_.emplace<RbcExactIndex<L1>>();
+    // Quantized modes imply the Euclidean variant (require_scan_storage
+    // rejects them for l1): the concrete index builds its code store next
+    // to the packed rows.
+    if (storage_ != quant::Storage::kFloat32)
+      std::get<RbcExactIndex<Euclidean>>(index_).set_storage(storage_);
   }
 
   void build(const Matrix<float>& X) override {
@@ -82,21 +88,34 @@ class RbcExactBackend final : public Index {
 
   void save(std::ostream& os) const override {
     io::write_pod(os, io::kMagicExact);
-    io::write_metric_header(os, metric::name(kind_));
+    // The header advertises a code store only when one is live (a store can
+    // be invalidated by concrete-level mutation; the float rows then serve
+    // every scan and the file degrades to the plain version-2 layout).
+    const quant::Storage live = live_storage();
+    io::write_storage_header(os, metric::name(kind_), quant::name(live));
     std::visit([&](const auto& index) { index.save(os); }, index_);
+    if (live != quant::Storage::kFloat32)
+      io::write_quantized_store(
+          os, std::get<RbcExactIndex<Euclidean>>(index_).quantized_store());
   }
 
   static std::unique_ptr<Index> load(std::istream& is) {
     const std::istream::pos_type start = is.tellg();
     io::expect_pod(is, io::kMagicExact, "rbc-exact magic");
     bool legacy = false;
-    const std::string metric_name =
-        io::read_metric_header(is, "rbc-exact header", &legacy);
+    std::string storage_name;
+    const std::string metric_name = io::read_metric_header(
+        is, "rbc-exact header", &legacy, &storage_name);
     metric::Kind kind{};
     if (!metric::lookup(metric_name, kind) || kind == metric::Kind::kIp)
       throw std::runtime_error(
           "rbc::io: corrupt rbc-exact stream (bad metric tag '" +
           metric_name + "')");
+    quant::Storage storage{};
+    if (!quant::lookup(storage_name, storage))
+      throw std::runtime_error(
+          "rbc::io: corrupt rbc-exact stream (unknown storage tag '" +
+          storage_name + "')");
     // Version-1 files are a bare concrete stream: rewind so the concrete
     // loader re-verifies its own (magic, version, metric) header.
     if (legacy) {
@@ -107,11 +126,23 @@ class RbcExactBackend final : public Index {
     }
     IndexOptions options;
     options.metric = metric_name;
-    auto backend = std::make_unique<RbcExactBackend>(options);
+    options.storage = storage_name;
+    std::unique_ptr<RbcExactBackend> backend;
+    try {
+      backend = std::make_unique<RbcExactBackend>(options);
+    } catch (const std::invalid_argument& e) {
+      // e.g. a quantized tag on l1: file corruption, not a caller error.
+      throw std::runtime_error(
+          std::string("rbc::io: corrupt rbc-exact stream (") + e.what() +
+          ")");
+    }
     if (kind == metric::Kind::kL1)
       backend->index_ = RbcExactIndex<L1>::load(is);
     else
       backend->index_ = RbcExactIndex<Euclidean>::load(is);
+    if (storage != quant::Storage::kFloat32)
+      std::get<RbcExactIndex<Euclidean>>(backend->index_)
+          .adopt_quantized_store(io::read_quantized_store(is));
     backend->params_ = std::visit(
         [](const auto& index) { return index.params(); }, backend->index_);
     backend->built_ = true;
@@ -124,9 +155,13 @@ class RbcExactBackend final : public Index {
     info.metric = metric::name(kind_);
     info.supported_metrics = metric::names(
         {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine});
+    info.storage = quant::name(live_storage());
+    info.supported_storage = scan_storage_names(kind_);
     info.size = size();
     info.dim = dim();
     // approx_eps > 0 switches the index to (1+eps)-approximate pruning.
+    // Quantized storage keeps exactness: the compressed scan is a prefilter
+    // whose survivors are re-measured against the float rows.
     info.exact = params_.approx_eps == 0.0f;
     info.supports_range = true;
     info.supports_save = true;
@@ -146,8 +181,17 @@ class RbcExactBackend final : public Index {
   index_t dim() const {
     return std::visit([](const auto& index) { return index.dim(); }, index_);
   }
+  /// The storage mode actually backing scans right now: the requested mode
+  /// while the concrete code store is live, float32 once invalidated (or
+  /// for an empty build, where there are no codes to scan).
+  quant::Storage live_storage() const {
+    if (storage_ == quant::Storage::kFloat32) return storage_;
+    const auto& index = std::get<RbcExactIndex<Euclidean>>(index_);
+    return built_ && index.size() > 0 ? index.storage() : storage_;
+  }
 
   metric::Kind kind_;
+  quant::Storage storage_;
   RbcParams params_;
   std::variant<RbcExactIndex<Euclidean>, RbcExactIndex<L1>> index_;
   bool built_ = false;

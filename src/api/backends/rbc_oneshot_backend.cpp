@@ -27,8 +27,14 @@ class RbcOneShotBackend final : public Index {
       : kind_(metric::require(
             "rbc-oneshot", options.metric,
             {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine})),
+        storage_(require_scan_storage("rbc-oneshot", options.storage, kind_)),
         params_(options.rbc) {
     if (kind_ == metric::Kind::kL1) index_.emplace<RbcOneShotIndex<L1>>();
+    // Quantized modes imply the Euclidean variant. One-shot search is
+    // already approximate, so the quantized scan runs standalone — no
+    // re-measure pass (see RbcOneShotIndex::search_one).
+    if (storage_ != quant::Storage::kFloat32)
+      std::get<RbcOneShotIndex<Euclidean>>(index_).set_storage(storage_);
   }
 
   void build(const Matrix<float>& X) override {
@@ -59,21 +65,32 @@ class RbcOneShotBackend final : public Index {
 
   void save(std::ostream& os) const override {
     io::write_pod(os, io::kMagicOneShot);
-    io::write_metric_header(os, metric::name(kind_));
+    const quant::Storage live = live_storage();
+    io::write_storage_header(os, metric::name(kind_), quant::name(live));
     std::visit([&](const auto& index) { index.save(os); }, index_);
+    if (live != quant::Storage::kFloat32)
+      io::write_quantized_store(
+          os,
+          std::get<RbcOneShotIndex<Euclidean>>(index_).quantized_store());
   }
 
   static std::unique_ptr<Index> load(std::istream& is) {
     const std::istream::pos_type start = is.tellg();
     io::expect_pod(is, io::kMagicOneShot, "rbc-oneshot magic");
     bool legacy = false;
-    const std::string metric_name =
-        io::read_metric_header(is, "rbc-oneshot header", &legacy);
+    std::string storage_name;
+    const std::string metric_name = io::read_metric_header(
+        is, "rbc-oneshot header", &legacy, &storage_name);
     metric::Kind kind{};
     if (!metric::lookup(metric_name, kind) || kind == metric::Kind::kIp)
       throw std::runtime_error(
           "rbc::io: corrupt rbc-oneshot stream (bad metric tag '" +
           metric_name + "')");
+    quant::Storage storage{};
+    if (!quant::lookup(storage_name, storage))
+      throw std::runtime_error(
+          "rbc::io: corrupt rbc-oneshot stream (unknown storage tag '" +
+          storage_name + "')");
     if (legacy) {
       is.seekg(start);
       if (!is)
@@ -82,11 +99,22 @@ class RbcOneShotBackend final : public Index {
     }
     IndexOptions options;
     options.metric = metric_name;
-    auto backend = std::make_unique<RbcOneShotBackend>(options);
+    options.storage = storage_name;
+    std::unique_ptr<RbcOneShotBackend> backend;
+    try {
+      backend = std::make_unique<RbcOneShotBackend>(options);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(
+          std::string("rbc::io: corrupt rbc-oneshot stream (") + e.what() +
+          ")");
+    }
     if (kind == metric::Kind::kL1)
       backend->index_ = RbcOneShotIndex<L1>::load(is);
     else
       backend->index_ = RbcOneShotIndex<Euclidean>::load(is);
+    if (storage != quant::Storage::kFloat32)
+      std::get<RbcOneShotIndex<Euclidean>>(backend->index_)
+          .adopt_quantized_store(io::read_quantized_store(is));
     backend->params_ = std::visit(
         [](const auto& index) { return index.params(); }, backend->index_);
     backend->built_ = true;
@@ -99,6 +127,8 @@ class RbcOneShotBackend final : public Index {
     info.metric = metric::name(kind_);
     info.supported_metrics = metric::names(
         {metric::Kind::kL2, metric::Kind::kL1, metric::Kind::kCosine});
+    info.storage = quant::name(live_storage());
+    info.supported_storage = scan_storage_names(kind_);
     info.size = size();
     info.dim = dim();
     info.exact = false;  // probabilistic recall (paper Theorem 2)
@@ -120,8 +150,16 @@ class RbcOneShotBackend final : public Index {
   index_t dim() const {
     return std::visit([](const auto& index) { return index.dim(); }, index_);
   }
+  /// The storage mode actually backing scans (float32 for an empty build,
+  /// where there are no codes to scan).
+  quant::Storage live_storage() const {
+    if (storage_ == quant::Storage::kFloat32) return storage_;
+    const auto& index = std::get<RbcOneShotIndex<Euclidean>>(index_);
+    return built_ && index.size() > 0 ? index.storage() : storage_;
+  }
 
   metric::Kind kind_;
+  quant::Storage storage_;
   RbcParams params_;
   std::variant<RbcOneShotIndex<Euclidean>, RbcOneShotIndex<L1>> index_;
   bool built_ = false;

@@ -38,7 +38,12 @@ class TreeBackend final : public Index {
   explicit TreeBackend(const IndexOptions& options)
       : kind_(metric::require(Traits::kName, options.metric,
                               Traits::supported())),
-        options_(options) {}
+        options_(options) {
+    // Tree traversals touch individual rows, not contiguous scan ranges —
+    // no compressed tier here.
+    quant::require(Traits::kName, options.storage,
+                   {quant::Storage::kFloat32});
+  }
 
   void build(const Matrix<float>& X) override {
     db_ = kind_ == metric::Kind::kCosine ? metric::normalized_clone(X)

@@ -43,6 +43,21 @@ struct IndexOptions {
   /// normalized rows, so their pruning stays correct).
   std::string metric = "l2";
 
+  /// Row storage the dense scans read — a registry name from
+  /// distance/quantized.hpp ("float32", "fp16", "int8"). "float32" (the
+  /// default) is the uncompressed row matrix every backend supports.
+  /// "fp16" / "int8" build a compressed code store at index time and run
+  /// the hot scans over it (2x / 4x less memory traffic); exact backends
+  /// (bruteforce, rbc-exact) re-measure every candidate against the float
+  /// rows through an error-inflated bound, so their results stay
+  /// bit-identical to float32, while rbc-oneshot ranks by the quantized
+  /// distances directly (approximate — recall is reported, not exactness).
+  /// Compressed storage requires the L2 metric family ("l2" / "cosine");
+  /// the supported set is declared in IndexInfo::supported_storage, and
+  /// unsupported (backend, storage) or (metric, storage) pairs fail at
+  /// make_index() time with the uniform message shape.
+  std::string storage = "float32";
+
   /// rbc-exact / rbc-oneshot / gpu-oneshot: representative count, pruning
   /// rules, approximation knobs.
   RbcParams rbc{};
@@ -92,6 +107,12 @@ struct IndexInfo {
   /// registry order (api/metrics.hpp). Sharded composites report the inner
   /// backend's set.
   std::vector<std::string> supported_metrics{"l2"};
+  /// Row storage this instance scans ("float32" / "fp16" / "int8"; see
+  /// IndexOptions::storage) and the names this backend accepts, in registry
+  /// order (distance/quantized.hpp). Sharded composites report the inner
+  /// backend's set.
+  std::string storage = "float32";
+  std::vector<std::string> supported_storage{"float32"};
   index_t size = 0;           ///< database points indexed
   index_t dim = 0;            ///< dimensionality
   bool exact = true;          ///< true NN guarantee vs probabilistic recall

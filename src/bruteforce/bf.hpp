@@ -23,6 +23,7 @@
 #include "common/counters.hpp"
 #include "common/matrix.hpp"
 #include "distance/metrics.hpp"
+#include "distance/quantized.hpp"
 
 namespace rbc {
 
@@ -81,6 +82,16 @@ RowNormsCache make_row_norms_cache(const Matrix<float>& X);
 template <DenseMetric M = Euclidean>
 KnnResult bf_knn(const Matrix<float>& Q, const Matrix<float>& X, index_t k,
                  M metric = {}, const RowNormsCache* norms = nullptr);
+
+/// BF(Q, X) through a compressed row store (quantize() of X, see
+/// distance/quantized.hpp): the hot scan reads fp16/int8 codes, candidates
+/// surviving the error-inflated bound are re-measured against the float
+/// rows of X — results identical to bf_knn. L2 family only
+/// (quantized_metric<M>); parallel across queries.
+template <DenseMetric M = Euclidean>
+KnnResult bf_knn_quantized(const Matrix<float>& Q, const Matrix<float>& X,
+                           const quant::QuantizedStore& store, index_t k,
+                           M metric = {});
 
 /// BF(q, X) for a single (streaming) query; parallel across database chunks
 /// with per-thread heaps merged by a reduction.

@@ -186,6 +186,25 @@ KnnResult bf_knn(const Matrix<float>& Q, const Matrix<float>& X, index_t k,
 }
 
 template <DenseMetric M>
+KnnResult bf_knn_quantized(const Matrix<float>& Q, const Matrix<float>& X,
+                           const quant::QuantizedStore& store, index_t k,
+                           M metric) {
+  static_assert(quantized_metric<M>);
+  KnnResult result(Q.rows(), k);
+  if (Q.rows() == 0) return result;
+  const int nt = max_threads();
+  std::vector<TopK> heaps(static_cast<std::size_t>(nt), TopK(k));
+  parallel_for_dynamic(0, Q.rows(), [&](index_t qi) {
+    TopK& top = heaps[static_cast<std::size_t>(thread_id())];
+    top.reset();
+    quantized_scan_rows(Q.row(qi), X, store, 0, X.rows(), metric, top);
+    counters::add_dist_evals(X.rows());
+    top.extract_sorted(result.dists.row(qi), result.ids.row(qi));
+  });
+  return result;
+}
+
+template <DenseMetric M>
 void bf_knn_stream(const float* q, const Matrix<float>& X, M metric,
                    TopK& out) {
   const int nt = max_threads();

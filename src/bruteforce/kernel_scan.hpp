@@ -34,12 +34,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <type_traits>
 
 #include "bruteforce/topk.hpp"
 #include "common/matrix.hpp"
 #include "distance/dispatch.hpp"
 #include "distance/metrics.hpp"
+#include "distance/quantized.hpp"
 
 namespace rbc {
 
@@ -214,6 +216,188 @@ void kernel_scan_gather(const float* q, index_t d, const float* x,
       if (buf[j - c] > scan_bound<M>(out.worst(), d, abs_slack)) continue;
       out.push(metric(q, x + static_cast<std::size_t>(rows[j]) * stride, d),
                id_of(rows[j]));
+    }
+  }
+}
+
+// ------------------------------------------------------ quantized scans ---
+//
+// The compressed scan tier (distance/quantized.hpp): the kernel reads fp16
+// or int8 row codes (2x / 4x less memory traffic than float rows) and the
+// prefilter bound absorbs the quantization error, so the exact scans stay
+// bit-identical to the float path. For a heap bound B in L2-distance space,
+// the triangle inequality gives d(q, x̂_r) <= d(q, x_r) + ||x_r - x̂_r||
+// <= B + err_r for every row the float scan would keep, so accepting
+//
+//   v_r <= (B + err_r + kQuantFpEps * (||q|| + amp_r))^2
+//          * (1 + tile_margin(d))
+//
+// — where v_r is the kernel's squared distance to the *decoded* row, err_r
+// the stored per-row quantization radius, and the kQuantFpEps term the
+// absolute accumulation slack of the fused int8 form (amp_r = 0 for fp16;
+// see QuantizedStore::amp) — can never drop a true neighbor. Survivors are
+// re-measured against the original float rows with the caller's scalar
+// metric, exactly like the float prefilter above. Only the L2 family
+// (Euclidean / SqEuclidean; cosine runs on normalized rows) is eligible:
+// the triangle-inequality argument lives in L2 space.
+
+/// Metrics the compressed tier can serve exactly.
+template <class M>
+inline constexpr bool quantized_metric =
+    std::is_same_v<M, Euclidean> || std::is_same_v<M, SqEuclidean>;
+
+/// Absolute accumulation-slack scale of the quantized kernels (in distance
+/// space, multiplied by ||q|| + amp_r). ~8 ulps — generous against the
+/// fused int8 form's cancellation; fp16 rows have amp_r = 0.
+inline constexpr float kQuantFpEps = 1e-6f;
+
+namespace detail {
+
+/// Heap bound (metric space) -> L2-distance space for the triangle
+/// inequality. Identity for Euclidean; sqrt for SqEuclidean. +inf maps to
+/// +inf, so an unfilled heap accepts everything.
+template <class M>
+inline float quant_l2_bound(float worst) noexcept {
+  static_assert(quantized_metric<M>);
+  if constexpr (std::is_same_v<M, Euclidean>)
+    return worst;
+  else
+    return std::sqrt(worst);
+}
+
+/// Margin-inflated acceptance bound in kernel (squared-L2) space.
+inline float quant_accept(float l2_bound, float err, float amp, float q_norm,
+                          index_t d) noexcept {
+  const float b = l2_bound + err + kQuantFpEps * (q_norm + amp);
+  return b * b * (1.0f + dispatch::tile_margin(d));
+}
+
+inline float quant_q_norm(const float* q, index_t d) noexcept {
+  double acc = 0.0;
+  for (index_t i = 0; i < d; ++i)
+    acc += static_cast<double>(q[i]) * static_cast<double>(q[i]);
+  return static_cast<float>(std::sqrt(acc));
+}
+
+/// Dispatched kernel call over a row range of the compressed store.
+inline float quant_rows(const dispatch::KernelOps& ops, const float* q,
+                        index_t d, const quant::QuantizedStore& store,
+                        index_t lo, index_t hi, float* out) {
+  if (store.mode == quant::Storage::kFp16)
+    return ops.rows_fp16(q, d, store.fp16.data(),
+                         static_cast<std::size_t>(store.cols), lo, hi, out);
+  return ops.rows_int8(q, d, store.int8.data(),
+                       static_cast<std::size_t>(store.cols),
+                       store.scale.data(), store.offset.data(), lo, hi, out);
+}
+
+inline float quant_gather(const dispatch::KernelOps& ops, const float* q,
+                          index_t d, const quant::QuantizedStore& store,
+                          const index_t* ids, index_t count, float* out) {
+  if (store.mode == quant::Storage::kFp16)
+    return ops.gather_fp16(q, d, store.fp16.data(),
+                           static_cast<std::size_t>(store.cols), ids, count,
+                           out);
+  return ops.gather_int8(q, d, store.int8.data(),
+                         static_cast<std::size_t>(store.cols),
+                         store.scale.data(), store.offset.data(), ids, count,
+                         out);
+}
+
+}  // namespace detail
+
+/// BF(q, X[lo..hi)) through the compressed store: the kernel scans codes,
+/// the error-inflated bound filters, survivors are re-measured against the
+/// float rows of X. Final heap identical to kernel_scan_rows / the plain
+/// loop. `store` must cover the same row indices as X (store.cols ==
+/// X.cols()). Caller accounts hi - lo evals.
+template <DenseMetric M, class IdOf = detail::IdentityId>
+void quantized_scan_rows(const float* q, const Matrix<float>& X,
+                         const quant::QuantizedStore& store, index_t lo,
+                         index_t hi, M metric, TopK& out, IdOf id_of = {}) {
+  static_assert(quantized_metric<M>);
+  constexpr index_t kChunk = 512;
+  float buf[kChunk];
+  const dispatch::KernelOps& ops = dispatch::ops();
+  const index_t d = X.cols();
+  const float q_norm = detail::quant_q_norm(q, d);
+  for (index_t c = lo; c < hi; c += kChunk) {
+    const index_t ce = std::min<index_t>(hi, c + kChunk);
+    const float chunk_min = detail::quant_rows(ops, q, d, store, c, ce, buf);
+    const float chunk_bound = detail::quant_l2_bound<M>(out.worst());
+    if (chunk_min > detail::quant_accept(chunk_bound, store.err_max,
+                                         store.amp_max, q_norm, d))
+      continue;
+    for (index_t p = c; p < ce; ++p) {
+      const float b = detail::quant_l2_bound<M>(out.worst());
+      const float amp = store.amp.empty() ? 0.0f : store.amp[p];
+      if (buf[p - c] > detail::quant_accept(b, store.err[p], amp, q_norm, d))
+        continue;
+      out.push(metric(q, X.row(p), d), id_of(p));
+    }
+  }
+}
+
+/// Gather-form variant: compressed rows addressed by `rows`, re-measured
+/// against the float buffer `x` (rows `stride` floats apart). Caller
+/// accounts the evals.
+template <DenseMetric M, class IdOf = detail::IdentityId>
+void quantized_scan_gather(const float* q, index_t d, const float* x,
+                           std::size_t stride,
+                           const quant::QuantizedStore& store,
+                           const index_t* rows, index_t count, M metric,
+                           TopK& out, IdOf id_of = {}) {
+  static_assert(quantized_metric<M>);
+  constexpr index_t kChunk = 512;
+  float buf[kChunk];
+  const dispatch::KernelOps& ops = dispatch::ops();
+  const float q_norm = detail::quant_q_norm(q, d);
+  for (index_t c = 0; c < count; c += kChunk) {
+    const index_t ce = std::min<index_t>(count, c + kChunk);
+    const float chunk_min =
+        detail::quant_gather(ops, q, d, store, rows + c, ce - c, buf);
+    const float chunk_bound = detail::quant_l2_bound<M>(out.worst());
+    if (chunk_min > detail::quant_accept(chunk_bound, store.err_max,
+                                         store.amp_max, q_norm, d))
+      continue;
+    for (index_t j = c; j < ce; ++j) {
+      const index_t p = rows[j];
+      const float b = detail::quant_l2_bound<M>(out.worst());
+      const float amp = store.amp.empty() ? 0.0f : store.amp[p];
+      if (buf[j - c] > detail::quant_accept(b, store.err[p], amp, q_norm, d))
+        continue;
+      out.push(metric(q, x + static_cast<std::size_t>(p) * stride, d),
+               id_of(p));
+    }
+  }
+}
+
+/// Approximate variant (the one-shot tier): pushes the quantized distance
+/// itself — mapped back to metric space — with NO float re-measure, so the
+/// float rows never have to be touched (or even resident). Results carry
+/// quantization error; callers report recall instead of claiming exactness.
+template <DenseMetric M, class IdOf = detail::IdentityId>
+void quantized_scan_rows_approx(const float* q, index_t d,
+                                const quant::QuantizedStore& store,
+                                index_t lo, index_t hi, TopK& out,
+                                IdOf id_of = {}) {
+  static_assert(quantized_metric<M>);
+  constexpr index_t kChunk = 512;
+  float buf[kChunk];
+  const dispatch::KernelOps& ops = dispatch::ops();
+  for (index_t c = lo; c < hi; c += kChunk) {
+    const index_t ce = std::min<index_t>(hi, c + kChunk);
+    const float chunk_min = detail::quant_rows(ops, q, d, store, c, ce, buf);
+    // Kernel space is squared-L2; the heap holds metric-space values.
+    const float worst_sq = ScanTraits<M>::map(out.worst());
+    if (chunk_min > worst_sq) continue;
+    for (index_t p = c; p < ce; ++p) {
+      const float v = buf[p - c];
+      if (v > ScanTraits<M>::map(out.worst())) continue;
+      if constexpr (std::is_same_v<M, Euclidean>)
+        out.push(std::sqrt(v), id_of(p));
+      else
+        out.push(v, id_of(p));
     }
   }
 }

@@ -1,24 +1,58 @@
 #include "common/env.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <utility>
 
 namespace rbc {
+
+namespace {
+
+/// Warns once per (variable, value) pair on stderr when a set variable is
+/// unparsable and the fallback is used instead. Silently falling back hides
+/// typos like RBC_BENCH_SCALE=2x, which then "works" with the wrong value
+/// for an entire benchmark run.
+void warn_bad_value(const char* name, const char* raw) {
+  static std::mutex mutex;
+  static std::set<std::pair<std::string, std::string>> warned;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.emplace(name, raw).second) return;
+  std::fprintf(stderr,
+               "rbc: ignoring %s='%s' (not a valid number); using the "
+               "built-in default\n",
+               name, raw);
+}
+
+}  // namespace
 
 std::int64_t env_or(const char* name, std::int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
+  errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(raw, &end, 10);
-  if (end == raw) return fallback;
+  // Trailing non-numeric characters ("2x") and overflow (ERANGE clamps the
+  // result to LLONG_MIN/MAX) are both misconfigurations, not values.
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    warn_bad_value(name, raw);
+    return fallback;
+  }
   return static_cast<std::int64_t>(parsed);
 }
 
 double env_or(const char* name, double fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
+  errno = 0;
   char* end = nullptr;
   const double parsed = std::strtod(raw, &end);
-  if (end == raw) return fallback;
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    warn_bad_value(name, raw);
+    return fallback;
+  }
   return parsed;
 }
 

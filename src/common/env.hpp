@@ -8,10 +8,13 @@
 namespace rbc {
 
 /// Returns the integer value of environment variable `name`, or `fallback`
-/// if unset or unparsable.
+/// if unset or unparsable. Trailing non-numeric characters and out-of-range
+/// magnitudes count as unparsable (a one-time warning is printed to stderr)
+/// — "2x" must not silently configure 2.
 std::int64_t env_or(const char* name, std::int64_t fallback);
 
-/// Returns the floating value of environment variable `name`, or `fallback`.
+/// Returns the floating value of environment variable `name`, or `fallback`;
+/// same strictness as the integer overload.
 double env_or(const char* name, double fallback);
 
 /// Returns the string value of environment variable `name`, or `fallback`.

@@ -42,7 +42,9 @@ bool cpu_supports(Isa isa) noexcept {
     case Isa::kScalar:
       return true;
     case Isa::kAvx2:
-      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+             (!detail::avx2_table_uses_f16c() ||
+              __builtin_cpu_supports("f16c"));
     case Isa::kAvx512:
       return __builtin_cpu_supports("avx512f");
   }

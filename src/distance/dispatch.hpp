@@ -36,6 +36,14 @@
 //                         ranks the largest dot product first, so every
 //                         heap/merge structure works unchanged.
 //
+// Compressed variants (the quantized scan tier, distance/quantized.hpp):
+//
+//   rows_fp16 / gather_fp16   squared L2 over binary16 row codes (2 B per
+//                             feature), dequantized in registers;
+//   rows_int8 / gather_int8   squared L2 over int8 codes with per-row
+//                             scale/offset (1 B per feature), fused
+//                             dequantize-and-accumulate.
+//
 // The tile shapes stay squared-L2 only (the GEMM formulation has no L1
 // analogue); cosine runs entirely through the L2 shapes on normalized rows.
 //
@@ -54,6 +62,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/types.hpp"
 
@@ -125,6 +134,31 @@ struct KernelOps {
   float (*gather_ip)(const float* q, index_t d, const float* x,
                      std::size_t stride, const index_t* ids, index_t count,
                      float* out);
+
+  /// Compressed scan tier (distance/quantized.hpp): fused
+  /// dequantize-and-accumulate squared L2 over binary16 row codes. Same
+  /// blocking and min-return contract as `rows`/`gather`; `x` is a packed
+  /// code matrix whose rows are `stride` codes apart. Half decode is exact
+  /// in float, so the rounding model (and tile_margin) matches `rows`.
+  float (*rows_fp16)(const float* q, index_t d, const std::uint16_t* x,
+                     std::size_t stride, index_t lo, index_t hi, float* out);
+  float (*gather_fp16)(const float* q, index_t d, const std::uint16_t* x,
+                       std::size_t stride, const index_t* ids, index_t count,
+                       float* out);
+
+  /// int8 variants: row p dequantizes as x̂_i = codes_i * scale[p] +
+  /// offset[p] (scale/offset indexed by absolute row id), accumulated in
+  /// the fused form ((q_i - offset[p]) - scale[p] * codes_i)^2. The two
+  /// subtractions can cancel, so callers add an absolute slack scaled by
+  /// the row magnitudes on top of tile_margin (see quantized_scan_rows in
+  /// kernel_scan.hpp).
+  float (*rows_int8)(const float* q, index_t d, const std::int8_t* x,
+                     std::size_t stride, const float* scale,
+                     const float* offset, index_t lo, index_t hi, float* out);
+  float (*gather_int8)(const float* q, index_t d, const std::int8_t* x,
+                       std::size_t stride, const float* scale,
+                       const float* offset, const index_t* ids, index_t count,
+                       float* out);
 };
 
 /// Human-readable ISA name ("scalar" / "avx2" / "avx512").

@@ -14,4 +14,10 @@ const KernelOps* scalar_table() noexcept;  // never null
 const KernelOps* avx2_table() noexcept;
 const KernelOps* avx512_table() noexcept;
 
+/// True when the AVX2 TU was compiled with -mf16c (its fp16 kernels then
+/// emit VCVTPH2PS, so the dispatcher must also require F16C from CPUID
+/// before selecting the table; without the flag they use the software
+/// codec and plain AVX2 suffices).
+bool avx2_table_uses_f16c() noexcept;
+
 }  // namespace rbc::dispatch::detail

@@ -17,6 +17,9 @@
 #include <immintrin.h>
 
 #include <cstdint>
+#include <cstring>
+
+#include "distance/quantized.hpp"
 
 namespace rbc::dispatch::detail {
 
@@ -310,15 +313,262 @@ float gather_metric_avx2(const float* q, index_t d, const float* x,
   return best;
 }
 
+// ------------------------------------------------ quantized (fp16 / int8) --
+
+/// Eight binary16 codes -> eight floats: VCVTPH2PS when the TU was built
+/// with F16C (the dispatcher then also requires it from CPUID), the exact
+/// software codec otherwise.
+inline __m256 load8_fp16(const std::uint16_t* p) {
+#if defined(__F16C__)
+  return _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+#else
+  alignas(32) float tmp[8];
+  for (int l = 0; l < 8; ++l) tmp[l] = quant::fp16_decode(p[l]);
+  return _mm256_load_ps(tmp);
+#endif
+}
+
+/// Eight int8 codes -> eight floats (sign-extend, convert — both exact).
+inline __m256 load8_int8(const std::int8_t* p) {
+  const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+}
+
+// Tail handling (d % 8 != 0). Per-element software decodes dominated whole
+// scans at the paper's dims (21 and 74 both carry tails), so for d >= 8 the
+// tail is one more full-width step over the row's LAST 8 elements — always
+// in-bounds — with the lanes the main loop already counted masked off. Only
+// d < 8, where no full window exists, falls back to zero-padded copies.
+
+alignas(32) constexpr std::uint32_t kLaneMask[24] = {
+    0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu,
+    0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu,
+    0,           0,           0,           0,
+    0,           0,           0,           0,
+    0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu,
+    0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu};
+
+/// All-ones in lanes [0, n), zeros above (n in [1, 7]).
+inline __m256 first_lanes(index_t n) {
+  return _mm256_loadu_ps(reinterpret_cast<const float*>(kLaneMask + 8 - n));
+}
+
+/// All-ones in lanes [8 - n, 8), zeros below (n in [1, 7]).
+inline __m256 last_lanes(index_t n) {
+  return _mm256_loadu_ps(reinterpret_cast<const float*>(kLaneMask + 8 + n));
+}
+
+/// Masked diff vector for the tail lanes [i, d) of an fp16 row; squares to
+/// the tail's contribution when fed to an FMA.
+inline __m256 tail_diff_fp16(const float* q, const std::uint16_t* row,
+                             index_t d, index_t i) {
+  if (d >= 8) {
+    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(q + d - 8),
+                                      load8_fp16(row + d - 8));
+    // Already-counted lanes may hold inf codes; the AND clears them to 0.
+    return _mm256_and_ps(diff, last_lanes(d - i));
+  }
+  alignas(32) float qbuf[8] = {};
+  alignas(16) std::uint16_t xbuf[8] = {};
+  std::memcpy(qbuf, q + i, static_cast<std::size_t>(d - i) * sizeof(float));
+  std::memcpy(xbuf, row + i,
+              static_cast<std::size_t>(d - i) * sizeof(std::uint16_t));
+  // Padded lanes: q = 0 and code 0 decodes to +0, so the diff is exactly 0.
+  return _mm256_sub_ps(_mm256_load_ps(qbuf), load8_fp16(xbuf));
+}
+
+/// Masked diff vector for the tail lanes [i, d) of an int8 row.
+inline __m256 tail_diff_int8(const float* q, const std::int8_t* row,
+                             index_t d, index_t i, __m256 sv, __m256 ov) {
+  if (d >= 8) {
+    const __m256 qo = _mm256_sub_ps(_mm256_loadu_ps(q + d - 8), ov);
+    const __m256 diff = _mm256_fnmadd_ps(sv, load8_int8(row + d - 8), qo);
+    return _mm256_and_ps(diff, last_lanes(d - i));
+  }
+  alignas(32) float qbuf[8] = {};
+  alignas(8) std::int8_t xbuf[8] = {};
+  std::memcpy(qbuf, q + i, static_cast<std::size_t>(d - i) * sizeof(float));
+  std::memcpy(xbuf, row + i, static_cast<std::size_t>(d - i));
+  // Padded lanes dequantize to -offset; mask them back to 0.
+  const __m256 qo = _mm256_sub_ps(_mm256_load_ps(qbuf), ov);
+  const __m256 diff = _mm256_fnmadd_ps(sv, load8_int8(xbuf), qo);
+  return _mm256_and_ps(diff, first_lanes(d - i));
+}
+
+inline float fp16_one(const float* q, const std::uint16_t* row, index_t d) {
+  __m256 acc = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(q + i),
+                                      load8_fp16(row + i));
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  if (i < d) {
+    const __m256 t = tail_diff_fp16(q, row, d, i);
+    acc = _mm256_fmadd_ps(t, t, acc);
+  }
+  return hsum(acc);
+}
+
+inline float int8_one(const float* q, const std::int8_t* row, index_t d,
+                      float scale, float offset) {
+  const __m256 sv = _mm256_set1_ps(scale);
+  const __m256 ov = _mm256_set1_ps(offset);
+  __m256 acc = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 qo = _mm256_sub_ps(_mm256_loadu_ps(q + i), ov);
+    const __m256 diff = _mm256_fnmadd_ps(sv, load8_int8(row + i), qo);
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  if (i < d) {
+    const __m256 t = tail_diff_int8(q, row, d, i, sv, ov);
+    acc = _mm256_fmadd_ps(t, t, acc);
+  }
+  return hsum(acc);
+}
+
+float rows_fp16_avx2(const float* q, index_t d, const std::uint16_t* x,
+                     std::size_t stride, index_t lo, index_t hi, float* out) {
+  float best = kInfDist;
+  index_t p = lo;
+  for (; p + kRowBlock <= hi; p += kRowBlock) {
+    const std::uint16_t* r[kRowBlock];
+    for (index_t b = 0; b < kRowBlock; ++b)
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+    __m256 acc[kRowBlock] = {
+        _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+        _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+        _mm256_setzero_ps(), _mm256_setzero_ps()};
+    index_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + i);
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m256 diff = _mm256_sub_ps(qv, load8_fp16(r[b] + i));
+        acc[b] = _mm256_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    if (i < d) {
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m256 t = tail_diff_fp16(q, r[b], d, i);
+        acc[b] = _mm256_fmadd_ps(t, t, acc[b]);
+      }
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      const float v = hsum(acc[b]);
+      o[b] = v;
+      if (v < best) best = v;
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v = fp16_one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_fp16_avx2(const float* q, index_t d, const std::uint16_t* x,
+                       std::size_t stride, const index_t* ids, index_t count,
+                       float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        fp16_one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+// int8 rows block four rows, not kRowBlock: per row the loop keeps an
+// accumulator plus broadcast scale and offset live, and 3 x 8 ymm registers
+// would spill (AVX2 has 16); 3 x 4 plus the shared query vector fits.
+constexpr index_t kInt8Block = 4;
+
+float rows_int8_avx2(const float* q, index_t d, const std::int8_t* x,
+                     std::size_t stride, const float* scale,
+                     const float* offset, index_t lo, index_t hi,
+                     float* out) {
+  float best = kInfDist;
+  index_t p = lo;
+  for (; p + kInt8Block <= hi; p += kInt8Block) {
+    const std::int8_t* r[kInt8Block];
+    __m256 sv[kInt8Block];
+    __m256 ov[kInt8Block];
+    for (index_t b = 0; b < kInt8Block; ++b) {
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+      sv[b] = _mm256_set1_ps(scale[p + b]);
+      ov[b] = _mm256_set1_ps(offset[p + b]);
+    }
+    __m256 acc[kInt8Block] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                              _mm256_setzero_ps(), _mm256_setzero_ps()};
+    index_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + i);
+      for (index_t b = 0; b < kInt8Block; ++b) {
+        const __m256 diff = _mm256_fnmadd_ps(sv[b], load8_int8(r[b] + i),
+                                             _mm256_sub_ps(qv, ov[b]));
+        acc[b] = _mm256_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    if (i < d) {
+      for (index_t b = 0; b < kInt8Block; ++b) {
+        const __m256 t = tail_diff_int8(q, r[b], d, i, sv[b], ov[b]);
+        acc[b] = _mm256_fmadd_ps(t, t, acc[b]);
+      }
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kInt8Block; ++b) {
+      const float v = hsum(acc[b]);
+      o[b] = v;
+      if (v < best) best = v;
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v = int8_one(q, x + static_cast<std::size_t>(p) * stride, d,
+                             scale[p], offset[p]);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_int8_avx2(const float* q, index_t d, const std::int8_t* x,
+                       std::size_t stride, const float* scale,
+                       const float* offset, const index_t* ids, index_t count,
+                       float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const index_t p = ids[j];
+    const float v = int8_one(q, x + static_cast<std::size_t>(p) * stride, d,
+                             scale[p], offset[p]);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
 constexpr KernelOps kAvx2Ops = {
     tile_avx2,    tile_gemm_avx2,
     rows_avx2,    gather_avx2,
     rows_metric_avx2<L1LaneOp>, gather_metric_avx2<L1LaneOp>,
-    rows_metric_avx2<IpLaneOp>, gather_metric_avx2<IpLaneOp>};
+    rows_metric_avx2<IpLaneOp>, gather_metric_avx2<IpLaneOp>,
+    rows_fp16_avx2, gather_fp16_avx2,
+    rows_int8_avx2, gather_int8_avx2};
 
 }  // namespace
 
 const KernelOps* avx2_table() noexcept { return &kAvx2Ops; }
+
+bool avx2_table_uses_f16c() noexcept {
+#if defined(__F16C__)
+  return true;
+#else
+  return false;
+#endif
+}
 
 }  // namespace rbc::dispatch::detail
 
@@ -326,6 +576,7 @@ const KernelOps* avx2_table() noexcept { return &kAvx2Ops; }
 
 namespace rbc::dispatch::detail {
 const KernelOps* avx2_table() noexcept { return nullptr; }
+bool avx2_table_uses_f16c() noexcept { return false; }
 }  // namespace rbc::dispatch::detail
 
 #endif

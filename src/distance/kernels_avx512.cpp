@@ -8,6 +8,11 @@
 #if defined(__AVX512F__)
 #include <immintrin.h>
 
+#include <cstdint>
+#include <cstring>
+
+#include "distance/quantized.hpp"
+
 namespace rbc::dispatch::detail {
 
 namespace {
@@ -296,11 +301,230 @@ float gather_metric_avx512(const float* q, index_t d, const float* x,
   return best;
 }
 
+// ------------------------------------------------ quantized (fp16 / int8) --
+
+/// Sixteen binary16 codes -> sixteen floats. VCVTPH2PS on zmm is plain
+/// AVX-512F (the EVEX form predates AVX512-FP16), so no extra CPUID gate.
+inline __m512 load16_fp16(const std::uint16_t* p) {
+  return _mm512_cvtph_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+/// Sixteen int8 codes -> sixteen floats (sign-extend, convert — both exact).
+inline __m512 load16_int8(const std::int8_t* p) {
+  return _mm512_cvtepi32_ps(
+      _mm512_cvtepi8_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))));
+}
+
+// Tail handling (d % 16 != 0). Per-element software decodes dominated whole
+// scans at the paper's dims (21 and 74 both carry tails), so for d >= 16 the
+// tail is one more full-width step over the row's LAST 16 elements — always
+// in-bounds — with the lanes the main loop already counted zero-masked.
+// Sub-32-bit masked loads would need AVX512BW; the full-window reload plus
+// __mmask16 zeroing keeps this TU F-only. Only d < 16, where no full window
+// exists, falls back to zero-padded copies.
+
+/// Set in lanes [16 - n, 16), clear below (n in [1, 15]).
+inline __mmask16 last_lanes(index_t n) {
+  return static_cast<__mmask16>(0xFFFFu << (16 - n));
+}
+
+/// Masked diff vector for the tail lanes [i, d) of an fp16 row; squares to
+/// the tail's contribution when fed to an FMA.
+inline __m512 tail_diff_fp16(const float* q, const std::uint16_t* row,
+                             index_t d, index_t i) {
+  if (d >= 16) {
+    // Already-counted lanes may hold inf codes; maskz clears them to 0.
+    return _mm512_maskz_sub_ps(last_lanes(d - i), _mm512_loadu_ps(q + d - 16),
+                               load16_fp16(row + d - 16));
+  }
+  alignas(64) float qbuf[16] = {};
+  alignas(32) std::uint16_t xbuf[16] = {};
+  std::memcpy(qbuf, q + i, static_cast<std::size_t>(d - i) * sizeof(float));
+  std::memcpy(xbuf, row + i,
+              static_cast<std::size_t>(d - i) * sizeof(std::uint16_t));
+  // Padded lanes: q = 0 and code 0 decodes to +0, so the diff is exactly 0.
+  return _mm512_sub_ps(_mm512_load_ps(qbuf), load16_fp16(xbuf));
+}
+
+/// Masked diff vector for the tail lanes [i, d) of an int8 row.
+inline __m512 tail_diff_int8(const float* q, const std::int8_t* row,
+                             index_t d, index_t i, __m512 sv, __m512 ov) {
+  if (d >= 16) {
+    const __m512 qo = _mm512_sub_ps(_mm512_loadu_ps(q + d - 16), ov);
+    return _mm512_maskz_fnmadd_ps(last_lanes(d - i), sv,
+                                  load16_int8(row + d - 16), qo);
+  }
+  alignas(64) float qbuf[16] = {};
+  alignas(16) std::int8_t xbuf[16] = {};
+  std::memcpy(qbuf, q + i, static_cast<std::size_t>(d - i) * sizeof(float));
+  std::memcpy(xbuf, row + i, static_cast<std::size_t>(d - i));
+  // Padded lanes dequantize to -offset; maskz forces them back to 0.
+  const __mmask16 m = static_cast<__mmask16>((1u << (d - i)) - 1u);
+  const __m512 qo = _mm512_sub_ps(_mm512_load_ps(qbuf), ov);
+  return _mm512_maskz_fnmadd_ps(m, sv, load16_int8(xbuf), qo);
+}
+
+inline float fp16_one(const float* q, const std::uint16_t* row, index_t d) {
+  __m512 acc = _mm512_setzero_ps();
+  index_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512 diff =
+        _mm512_sub_ps(_mm512_loadu_ps(q + i), load16_fp16(row + i));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  if (i < d) {
+    const __m512 t = tail_diff_fp16(q, row, d, i);
+    acc = _mm512_fmadd_ps(t, t, acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+inline float int8_one(const float* q, const std::int8_t* row, index_t d,
+                      float scale, float offset) {
+  const __m512 sv = _mm512_set1_ps(scale);
+  const __m512 ov = _mm512_set1_ps(offset);
+  __m512 acc = _mm512_setzero_ps();
+  index_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512 qo = _mm512_sub_ps(_mm512_loadu_ps(q + i), ov);
+    const __m512 diff = _mm512_fnmadd_ps(sv, load16_int8(row + i), qo);
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  if (i < d) {
+    const __m512 t = tail_diff_int8(q, row, d, i, sv, ov);
+    acc = _mm512_fmadd_ps(t, t, acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+float rows_fp16_avx512(const float* q, index_t d, const std::uint16_t* x,
+                       std::size_t stride, index_t lo, index_t hi,
+                       float* out) {
+  float best = kInfDist;
+  index_t p = lo;
+  for (; p + kRowBlock <= hi; p += kRowBlock) {
+    const std::uint16_t* r[kRowBlock];
+    for (index_t b = 0; b < kRowBlock; ++b)
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+    __m512 acc[kRowBlock] = {
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps()};
+    index_t i = 0;
+    for (; i + 16 <= d; i += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + i);
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m512 diff = _mm512_sub_ps(qv, load16_fp16(r[b] + i));
+        acc[b] = _mm512_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    if (i < d) {
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m512 t = tail_diff_fp16(q, r[b], d, i);
+        acc[b] = _mm512_fmadd_ps(t, t, acc[b]);
+      }
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      const float v = _mm512_reduce_add_ps(acc[b]);
+      o[b] = v;
+      if (v < best) best = v;
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v = fp16_one(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_fp16_avx512(const float* q, index_t d, const std::uint16_t* x,
+                         std::size_t stride, const index_t* ids,
+                         index_t count, float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        fp16_one(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float rows_int8_avx512(const float* q, index_t d, const std::int8_t* x,
+                       std::size_t stride, const float* scale,
+                       const float* offset, index_t lo, index_t hi,
+                       float* out) {
+  float best = kInfDist;
+  index_t p = lo;
+  for (; p + kRowBlock <= hi; p += kRowBlock) {
+    const std::int8_t* r[kRowBlock];
+    __m512 sv[kRowBlock];
+    __m512 ov[kRowBlock];
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      r[b] = x + static_cast<std::size_t>(p + b) * stride;
+      sv[b] = _mm512_set1_ps(scale[p + b]);
+      ov[b] = _mm512_set1_ps(offset[p + b]);
+    }
+    __m512 acc[kRowBlock] = {
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+        _mm512_setzero_ps(), _mm512_setzero_ps()};
+    index_t i = 0;
+    for (; i + 16 <= d; i += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + i);
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m512 diff = _mm512_fnmadd_ps(sv[b], load16_int8(r[b] + i),
+                                             _mm512_sub_ps(qv, ov[b]));
+        acc[b] = _mm512_fmadd_ps(diff, diff, acc[b]);
+      }
+    }
+    if (i < d) {
+      for (index_t b = 0; b < kRowBlock; ++b) {
+        const __m512 t = tail_diff_int8(q, r[b], d, i, sv[b], ov[b]);
+        acc[b] = _mm512_fmadd_ps(t, t, acc[b]);
+      }
+    }
+    float* o = out + (p - lo);
+    for (index_t b = 0; b < kRowBlock; ++b) {
+      const float v = _mm512_reduce_add_ps(acc[b]);
+      o[b] = v;
+      if (v < best) best = v;
+    }
+  }
+  for (; p < hi; ++p) {
+    const float v = int8_one(q, x + static_cast<std::size_t>(p) * stride, d,
+                             scale[p], offset[p]);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_int8_avx512(const float* q, index_t d, const std::int8_t* x,
+                         std::size_t stride, const float* scale,
+                         const float* offset, const index_t* ids,
+                         index_t count, float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const index_t p = ids[j];
+    const float v = int8_one(q, x + static_cast<std::size_t>(p) * stride, d,
+                             scale[p], offset[p]);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
 constexpr KernelOps kAvx512Ops = {
     tile_avx512,  tile_gemm_avx512,
     rows_avx512,  gather_avx512,
     rows_metric_avx512<L1LaneOp>, gather_metric_avx512<L1LaneOp>,
-    rows_metric_avx512<IpLaneOp>, gather_metric_avx512<IpLaneOp>};
+    rows_metric_avx512<IpLaneOp>, gather_metric_avx512<IpLaneOp>,
+    rows_fp16_avx512, gather_fp16_avx512,
+    rows_int8_avx512, gather_int8_avx512};
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 // accumulators) so the scalar path benefits from the same cache behavior
 // even without vector units.
 #include "distance/isa_tables.hpp"
+#include "distance/quantized.hpp"
 
 namespace rbc::dispatch::detail {
 
@@ -150,10 +151,90 @@ float gather_ip_scalar(const float* q, index_t d, const float* x,
   return best;
 }
 
+inline float sq_l2_one_fp16(const float* q, const std::uint16_t* row,
+                            index_t d) {
+  float acc = 0.0f;
+  for (index_t i = 0; i < d; ++i) {
+    const float diff = q[i] - quant::fp16_decode(row[i]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Fused dequant form (q_i - offset) - scale * code_i: one subtract and one
+/// FMA-shaped multiply-subtract per feature — the same op count the vector
+/// tables run, so the rounding model matches across ISAs.
+inline float sq_l2_one_int8(const float* q, const std::int8_t* row, index_t d,
+                            float scale, float offset) {
+  float acc = 0.0f;
+  for (index_t i = 0; i < d; ++i) {
+    const float diff = (q[i] - offset) - scale * static_cast<float>(row[i]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float rows_fp16_scalar(const float* q, index_t d, const std::uint16_t* x,
+                       std::size_t stride, index_t lo, index_t hi,
+                       float* out) {
+  float best = kInfDist;
+  for (index_t p = lo; p < hi; ++p) {
+    const float v =
+        sq_l2_one_fp16(q, x + static_cast<std::size_t>(p) * stride, d);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_fp16_scalar(const float* q, index_t d, const std::uint16_t* x,
+                         std::size_t stride, const index_t* ids,
+                         index_t count, float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const float v =
+        sq_l2_one_fp16(q, x + static_cast<std::size_t>(ids[j]) * stride, d);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float rows_int8_scalar(const float* q, index_t d, const std::int8_t* x,
+                       std::size_t stride, const float* scale,
+                       const float* offset, index_t lo, index_t hi,
+                       float* out) {
+  float best = kInfDist;
+  for (index_t p = lo; p < hi; ++p) {
+    const float v = sq_l2_one_int8(
+        q, x + static_cast<std::size_t>(p) * stride, d, scale[p], offset[p]);
+    out[p - lo] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+float gather_int8_scalar(const float* q, index_t d, const std::int8_t* x,
+                         std::size_t stride, const float* scale,
+                         const float* offset, const index_t* ids,
+                         index_t count, float* out) {
+  float best = kInfDist;
+  for (index_t j = 0; j < count; ++j) {
+    const index_t p = ids[j];
+    const float v = sq_l2_one_int8(
+        q, x + static_cast<std::size_t>(p) * stride, d, scale[p], offset[p]);
+    out[j] = v;
+    if (v < best) best = v;
+  }
+  return best;
+}
+
 constexpr KernelOps kScalarOps = {tile_scalar,      tile_gemm_scalar,
                                   rows_scalar,      gather_scalar,
                                   rows_l1_scalar,   gather_l1_scalar,
-                                  rows_ip_scalar,   gather_ip_scalar};
+                                  rows_ip_scalar,   gather_ip_scalar,
+                                  rows_fp16_scalar, gather_fp16_scalar,
+                                  rows_int8_scalar, gather_int8_scalar};
 
 }  // namespace
 

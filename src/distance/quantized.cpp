@@ -1,0 +1,205 @@
+#include "distance/quantized.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace rbc::quant {
+
+namespace {
+
+constexpr Storage kAll[] = {Storage::kFloat32, Storage::kFp16, Storage::kInt8};
+constexpr const char* kNames[] = {"float32", "fp16", "int8"};
+
+}  // namespace
+
+const char* name(Storage storage) noexcept {
+  return kNames[static_cast<int>(storage)];
+}
+
+bool lookup(std::string_view name, Storage& out) noexcept {
+  for (const Storage s : kAll) {
+    if (name == kNames[static_cast<int>(s)]) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+Storage require(const char* backend, std::string_view requested,
+                std::span<const Storage> supported) {
+  Storage s{};
+  if (lookup(requested, s)) {
+    for (const Storage ok : supported)
+      if (s == ok) return s;
+  }
+  std::string msg = "rbc::Index[";
+  msg += backend;
+  msg += "]: unsupported storage '";
+  msg += requested;
+  msg += "' (supported:";
+  for (std::size_t i = 0; i < supported.size(); ++i) {
+    msg += i == 0 ? " " : ", ";
+    msg += name(supported[i]);
+  }
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+std::vector<std::string> names(std::span<const Storage> supported) {
+  std::vector<std::string> out;
+  out.reserve(supported.size());
+  for (const Storage s : supported) out.emplace_back(name(s));
+  return out;
+}
+
+// -------------------------------------------------- software fp16 codec ---
+
+std::uint16_t fp16_encode(float value) noexcept {
+  std::uint32_t x = 0;
+  std::memcpy(&x, &value, sizeof x);
+  const auto sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t abs = x & 0x7fffffffu;
+  if (abs >= 0x7f800000u)  // inf / nan (nan keeps a payload bit set)
+    return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                      (abs > 0x7f800000u ? 0x0200u : 0u));
+  if (abs >= 0x47800000u)  // magnitude >= 65536 overflows half: +-inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  if (abs >= 0x38800000u) {
+    // Normal half: rebias exponent (127 -> 15), drop 13 mantissa bits with
+    // round-to-nearest-even. A mantissa carry overflows cleanly into the
+    // exponent field (1.111... rounds up to the next power of two).
+    const std::uint32_t base = abs - 0x38000000u;
+    std::uint32_t h = base >> 13;
+    const std::uint32_t rem = base & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  if (abs < 0x33000000u) return sign;  // below half the smallest subnormal
+  // Subnormal half: the value is mant24 * 2^(e-150), the target ulp 2^-24,
+  // so the code is mant24 >> (126 - e) with round-to-nearest-even.
+  const std::uint32_t e = abs >> 23;
+  const std::uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+  const std::uint32_t shift = 126u - e;
+  std::uint32_t h = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1u);
+  const std::uint32_t half = 1u << (shift - 1u);
+  if (rem > half || (rem == half && (h & 1u))) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+float fp16_decode(std::uint16_t code) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(code & 0x8000u) << 16;
+  const std::uint32_t exp = (code >> 10) & 0x1fu;
+  const std::uint32_t mant = code & 0x3ffu;
+  std::uint32_t bits;
+  if (exp == 0x1fu) {  // inf / nan
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else if (exp != 0) {  // normal: rebias 15 -> 127
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant != 0) {  // subnormal half: renormalize (exact in float)
+    std::uint32_t e = 0;
+    std::uint32_t m = mant << 1;
+    while (!(m & 0x400u)) {
+      m <<= 1;
+      ++e;
+    }
+    bits = sign | ((112u - e) << 23) | ((m & 0x3ffu) << 13);
+  } else {
+    bits = sign;  // +-0
+  }
+  float out = 0.0f;
+  std::memcpy(&out, &bits, sizeof out);
+  return out;
+}
+
+// ----------------------------------------------------- quantized row store --
+
+namespace {
+
+/// Inflation absorbing the double-precision residual computation's own
+/// rounding, so the stored err stays a true upper bound on ||x - x̂||.
+inline float inflate_err(double sq_sum) noexcept {
+  return static_cast<float>(std::sqrt(sq_sum)) * (1.0f + 1e-5f) + 1e-30f;
+}
+
+}  // namespace
+
+QuantizedStore quantize(Storage mode, const Matrix<float>& X) {
+  QuantizedStore store;
+  store.mode = mode;
+  store.rows = X.rows();
+  store.cols = X.cols();
+  if (mode == Storage::kFloat32 || store.rows == 0) return store;
+
+  const index_t n = store.rows;
+  const index_t d = store.cols;
+  const std::size_t total =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(d);
+  store.err.resize(n);
+  if (mode == Storage::kFp16) {
+    store.fp16.resize(total);
+    for (index_t r = 0; r < n; ++r) {
+      const float* row = X.row(r);
+      std::uint16_t* codes = store.fp16.data() + static_cast<std::size_t>(r) * d;
+      double sq = 0.0;
+      for (index_t i = 0; i < d; ++i) {
+        codes[i] = fp16_encode(row[i]);
+        const double diff =
+            static_cast<double>(row[i]) - fp16_decode(codes[i]);
+        sq += diff * diff;
+      }
+      store.err[r] = inflate_err(sq);
+      if (store.err[r] > store.err_max) store.err_max = store.err[r];
+    }
+    return store;
+  }
+
+  // int8: per-row affine codes. offset = midpoint and scale = range / 254
+  // put every value inside [-127, 127]; a constant row gets scale 0 and
+  // encodes exactly (code 0, dequant == offset).
+  store.int8.resize(total);
+  store.scale.resize(n);
+  store.offset.resize(n);
+  store.amp.resize(n);
+  const float sqrt_d = std::sqrt(static_cast<float>(d));
+  for (index_t r = 0; r < n; ++r) {
+    const float* row = X.row(r);
+    float mn = row[0];
+    float mx = row[0];
+    for (index_t i = 1; i < d; ++i) {
+      if (row[i] < mn) mn = row[i];
+      if (row[i] > mx) mx = row[i];
+    }
+    const float offset = 0.5f * (mx + mn);
+    const float scale = (mx - mn) / 254.0f;
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    std::int8_t* codes = store.int8.data() + static_cast<std::size_t>(r) * d;
+    double sq = 0.0;
+    double dequant_sq = 0.0;
+    for (index_t i = 0; i < d; ++i) {
+      float c = std::nearbyint((row[i] - offset) * inv);
+      if (c < -127.0f) c = -127.0f;
+      if (c > 127.0f) c = 127.0f;
+      codes[i] = static_cast<std::int8_t>(c);
+      const double dequant = static_cast<double>(c) * scale + offset;
+      const double diff = static_cast<double>(row[i]) - dequant;
+      sq += diff * diff;
+      dequant_sq += dequant * dequant;
+    }
+    store.scale[r] = scale;
+    store.offset[r] = offset;
+    store.err[r] = inflate_err(sq);
+    // Magnitude bound for the kernel's fused-dequant rounding slack:
+    // ||x̂_r|| + 2 |offset_r| sqrt(d) dominates the cancellation terms of
+    // (q_i - offset) - scale * code_i (see quantized_scan_rows).
+    store.amp[r] = static_cast<float>(std::sqrt(dequant_sq)) +
+                   2.0f * std::fabs(offset) * sqrt_d;
+    if (store.err[r] > store.err_max) store.err_max = store.err[r];
+    if (store.amp[r] > store.amp_max) store.amp_max = store.amp[r];
+  }
+  return store;
+}
+
+}  // namespace rbc::quant

@@ -67,10 +67,11 @@ BackendEntry wrap(BackendEntry raw) {
         std::make_unique<MutableIndex>(name, options, create, magic));
   };
   if (magic != 0 && raw_load) {
-    // Version-dispatching loader: version-3 streams carry mutable state;
-    // everything else (v1/v2 files written before this format, or streams
-    // too short to even peek) goes to the raw backend's loader, which owns
-    // the legacy formats and their error messages.
+    // Version-dispatching loader: version-3 (and its storage-tagged
+    // version-5 extension) streams carry mutable state; everything else
+    // (v1/v2/v4 files written by the raw formats, or streams too short to
+    // even peek) goes to the raw backend's loader, which owns the legacy
+    // formats and their error messages.
     wrapped.load = [name, create, magic,
                     raw_load](std::istream& is) -> std::unique_ptr<Index> {
       const std::istream::pos_type start = is.tellg();
@@ -79,7 +80,9 @@ BackendEntry wrap(BackendEntry raw) {
       is.read(reinterpret_cast<char*>(&m), sizeof m);
       is.read(reinterpret_cast<char*>(&version), sizeof version);
       const bool mutable_stream =
-          is.good() && m == magic && version == io::kFormatVersionMutable;
+          is.good() && m == magic &&
+          (version == io::kFormatVersionMutable ||
+           version == io::kFormatVersionMutableStorage);
       is.clear();
       is.seekg(start);
       if (mutable_stream) return MutableIndex::load(is, name, create, magic);
@@ -664,8 +667,14 @@ void MutableIndex::save(std::ostream& os) const {
   if (!built) fail(name_, "save on an unbuilt index (call build first)");
 
   io::write_pod(os, magic_);
-  io::write_pod(os, io::kFormatVersionMutable);
+  // float32 keeps the version-3 byte layout; compressed builds write the
+  // version-5 header (v3 plus the storage tag) so a reload re-quantizes the
+  // rebuilt inner structure the same way.
+  const bool storage_tagged = options_.storage != "float32";
+  io::write_pod(os, storage_tagged ? io::kFormatVersionMutableStorage
+                                   : io::kFormatVersionMutable);
   io::write_string(os, options_.metric);
+  if (storage_tagged) io::write_string(os, options_.storage);
   // Build knobs: everything needed to rebuild the raw structure
   // deterministically at load time (fields written individually — the
   // params struct has padding).
@@ -701,12 +710,22 @@ std::unique_ptr<Index> MutableIndex::load(std::istream& is,
                                           const Factory& create,
                                           std::uint32_t magic) {
   io::expect_pod(is, magic, "format magic");
-  io::expect_pod(is, io::kFormatVersionMutable, "format version");
+  std::uint32_t version = 0;
+  io::read_pod(is, version);
+  if (version != io::kFormatVersionMutable &&
+      version != io::kFormatVersionMutableStorage)
+    corrupt("unknown format version " + std::to_string(version));
   IndexOptions options;
   options.metric = io::read_string(is);
   metric::Kind kind;
   if (!metric::lookup(options.metric, kind))
     corrupt("unknown metric tag '" + options.metric + "'");
+  if (version == io::kFormatVersionMutableStorage) {
+    options.storage = io::read_string(is);
+    quant::Storage storage{};
+    if (!quant::lookup(options.storage, storage))
+      corrupt("unknown storage tag '" + options.storage + "'");
+  }
   RbcParams& p = options.rbc;
   io::read_pod(is, p.num_reps);
   io::read_pod(is, p.points_per_rep);

@@ -30,6 +30,7 @@
 #include <ostream>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "bruteforce/bf.hpp"
@@ -154,6 +155,39 @@ class RbcExactIndex {
     overflow_ids_.clear();
     overflow_dist_.clear();
     overflow_of_rep_.assign(nr, {});
+
+    // Compressed scan tier: quantize the packed rows once at build. The
+    // float packed_ stays resident — it is the re-measure source that keeps
+    // results bit-identical (kernel_scan.hpp, quantized scans).
+    if (storage_req_ != quant::Storage::kFloat32)
+      qstore_ = quant::quantize(storage_req_, packed_);
+    else
+      qstore_ = {};
+  }
+
+  // ----------------------------------------------------- compressed tier ---
+
+  /// Requests a compressed row store ("fp16"/"int8") for the hot list
+  /// scans; takes effect at the next build()/rebuild(). Euclidean only
+  /// (quantized_metric) — callers gate before requesting.
+  void set_storage(quant::Storage mode) { storage_req_ = mode; }
+
+  /// The storage mode the scans currently read (kFloat32 when no store is
+  /// active — including after a mutation invalidated it).
+  quant::Storage storage() const {
+    return qstore_.active() ? qstore_.mode : quant::Storage::kFloat32;
+  }
+
+  const quant::QuantizedStore& quantized_store() const { return qstore_; }
+
+  /// Installs a deserialized store (loader path). Throws when its shape
+  /// disagrees with the built index — a corrupt or mismatched file.
+  void adopt_quantized_store(quant::QuantizedStore store) {
+    if (store.rows != packed_.rows() || store.cols != dim_)
+      throw std::runtime_error(
+          "rbc::io: corrupt quantized store (shape disagrees with index)");
+    storage_req_ = store.mode;
+    qstore_ = std::move(store);
   }
 
   // ------------------------------------------------------ dynamic updates ---
@@ -181,6 +215,11 @@ class RbcExactIndex {
     }
     counters::add_dist_evals(nr);
 
+    // Mutations invalidate the compressed store (overflow rows and
+    // tombstones are not represented in it); scans fall back to the float
+    // rows — still exact, just uncompressed — until rebuild().
+    qstore_ = {};
+
     const index_t id = next_id_++;
     erased_.push_back(0);
     const std::size_t stride = reps_.stride();
@@ -206,6 +245,7 @@ class RbcExactIndex {
     if (id >= next_id_ || erased_[id]) return false;
     erased_[id] = 1;
     ++erased_count_;
+    qstore_ = {};  // see insert(): the store has no tombstone filter
     return true;
   }
 
@@ -299,6 +339,10 @@ class RbcExactIndex {
     if constexpr (!std::is_same_v<M, Euclidean>) {
       return false;  // the kernel computes squared L2 only
     } else {
+      // With a compressed store the per-query path's quantized list scans
+      // are the memory-bandwidth win; the blocked path would stream the
+      // float rows through tile_gemm instead.
+      if (qstore_.active()) return false;
       const index_t tiles = (nq + dispatch::kTile - 1) / dispatch::kTile;
       return nq >= kBlockedMinBatch &&
              (nq >= 64 || tiles >= static_cast<index_t>(max_threads())) &&
@@ -737,6 +781,24 @@ class RbcExactIndex {
       local.points_skipped_annulus += seg_lo - lo;
     }
 
+    // Compressed tier: the window scans fp16/int8 codes with the
+    // error-inflated bound and re-measures survivors against the float
+    // rows — identical results (see kernel_scan.hpp). The store is only
+    // ever active on an unmutated index (no tombstones, no overflow), so
+    // no erased filter is needed here.
+    if constexpr (quantized_metric<M>) {
+      if (qstore_.active()) {
+        quantized_scan_rows(q, packed_, qstore_, seg_lo, seg_hi, metric_,
+                            out,
+                            [this](index_t p) { return packed_ids_[p]; });
+        std::uint64_t computed = seg_hi - seg_lo;
+        computed += scan_overflow(q, r, dr, rep_bound, inv, out, local);
+        counters::add_dist_evals(computed);
+        local.list_dist_evals += computed;
+        return;
+      }
+    }
+
     constexpr index_t kChunk = 512;
     float buf[kChunk];
     const dispatch::KernelOps& ops = dispatch::ops();
@@ -875,7 +937,7 @@ class RbcExactIndex {
            packed_dist_.size() * sizeof(dist_t) +
            offsets_.size() * sizeof(index_t) + psi_.size() * sizeof(dist_t) +
            rep_ids_.size() * sizeof(index_t) +
-           packed_sq_norms_.size() * sizeof(float);
+           packed_sq_norms_.size() * sizeof(float) + qstore_.memory_bytes();
   }
 
   // ------------------------------------------------------- serialization ---
@@ -959,6 +1021,10 @@ class RbcExactIndex {
   std::vector<dist_t> packed_dist_;  // rho(x, owner(x)), sorted per list
   std::vector<float> packed_sq_norms_;  // ||row||^2 cache (GEMM-form kernel)
   float packed_sq_max_ = 0.0f;          // max norm (lane-skip threshold)
+
+  // ---- compressed scan tier (see "compressed tier" section above) ----
+  quant::Storage storage_req_ = quant::Storage::kFloat32;  // build request
+  quant::QuantizedStore qstore_;  // active when built compressed + unmutated
 
   // ---- dynamic-update state (see "dynamic updates" section above) ----
   index_t next_id_ = 0;       // ids handed out so far (build + inserts)

@@ -17,7 +17,9 @@
 #include <cassert>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bruteforce/bf.hpp"
@@ -84,6 +86,40 @@ class RbcOneShotIndex {
         packed_.copy_row_from(X, packed_ids_[base + j],
                               static_cast<index_t>(base + j));
     });
+
+    // Compressed scan tier: quantize the packed lists once at build. The
+    // one-shot tier is already probabilistic, so the quantized store is
+    // used as a standalone approximate mode — stage 2 ranks by the
+    // quantized distances directly, no float re-measure (kernel_scan.hpp,
+    // quantized_scan_rows_approx).
+    if (storage_req_ != quant::Storage::kFloat32)
+      qstore_ = quant::quantize(storage_req_, packed_);
+    else
+      qstore_ = {};
+  }
+
+  // ----------------------------------------------------- compressed tier ---
+
+  /// Requests a compressed row store ("fp16"/"int8") for the stage-2 list
+  /// scans; takes effect at the next build(). Euclidean only
+  /// (quantized_metric) — callers gate before requesting. Unlike the exact
+  /// index, searches then rank by quantized distances (approximate).
+  void set_storage(quant::Storage mode) { storage_req_ = mode; }
+
+  quant::Storage storage() const {
+    return qstore_.active() ? qstore_.mode : quant::Storage::kFloat32;
+  }
+
+  const quant::QuantizedStore& quantized_store() const { return qstore_; }
+
+  /// Installs a deserialized store (loader path); throws on a shape
+  /// mismatch (corrupt or mismatched file).
+  void adopt_quantized_store(quant::QuantizedStore store) {
+    if (store.rows != packed_.rows() || store.cols != dim_)
+      throw std::runtime_error(
+          "rbc::io: corrupt quantized store (shape disagrees with index)");
+    storage_req_ = store.mode;
+    qstore_ = std::move(store);
   }
 
   // ------------------------------------------------------------- queries ---
@@ -156,6 +192,22 @@ class RbcOneShotIndex {
       if (r == kInvalidIndex) break;
       ++local.reps_scanned;
       const std::size_t base = static_cast<std::size_t>(r) * s_;
+      // Compressed tier, single probe: rank by the quantized distances
+      // (approximate — this tier's contract is recall, not exactness; the
+      // store shaves another 2x/4x off the already-sublinear scan's memory
+      // traffic). Multi-probe keeps the float loop: its dedup must skip
+      // duplicate ids before they reach the heap.
+      if constexpr (quantized_metric<M>) {
+        if (!dedup && qstore_.active()) {
+          quantized_scan_rows_approx<M>(
+              q, dim_, qstore_, static_cast<index_t>(base),
+              static_cast<index_t>(base + s_), out,
+              [this](index_t p) { return packed_ids_[p]; });
+          counters::add_dist_evals(s_);
+          local.list_dist_evals += s_;
+          continue;
+        }
+      }
       if constexpr (kernel_metric<M> && !std::is_same_v<M, InnerProduct>) {
         if (!dedup) {
           kernel_scan_rows(
@@ -217,7 +269,7 @@ class RbcOneShotIndex {
     return packed_.size() * sizeof(float) + reps_.size() * sizeof(float) +
            packed_ids_.size() * sizeof(index_t) +
            packed_dist_.size() * sizeof(dist_t) + psi_.size() * sizeof(dist_t) +
-           rep_ids_.size() * sizeof(index_t);
+           rep_ids_.size() * sizeof(index_t) + qstore_.memory_bytes();
   }
 
   // ------------------------------------------------------- serialization ---
@@ -270,6 +322,10 @@ class RbcOneShotIndex {
   Matrix<float> packed_;             // (nr * s) x d; row r*s+j = j-th NN of rep r
   std::vector<index_t> packed_ids_;  // original ids, per-list ascending dist
   std::vector<dist_t> packed_dist_;  // rho(x, r) per packed row
+
+  // ---- compressed scan tier (see "compressed tier" section above) ----
+  quant::Storage storage_req_ = quant::Storage::kFloat32;
+  quant::QuantizedStore qstore_;
 };
 
 }  // namespace rbc

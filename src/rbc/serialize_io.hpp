@@ -15,6 +15,7 @@
 
 #include "common/matrix.hpp"
 #include "common/types.hpp"
+#include "distance/quantized.hpp"
 
 namespace rbc::io {
 
@@ -39,6 +40,16 @@ inline constexpr std::uint32_t kFormatVersionMetric = 2;
 /// mutation-capable wrappers write or read it; raw backend loaders (and
 /// read_metric_header) keep rejecting version >= 3 as unknown.
 inline constexpr std::uint32_t kFormatVersionMutable = 3;
+/// Format version 4: version 2 plus a storage tag (distance/quantized.hpp
+/// registry name) after the metric tag. Raw backends write it ONLY when
+/// built with compressed storage — float32 streams keep the version-2 byte
+/// layout, so every pre-storage file and reader stays compatible. The
+/// compressed code store itself follows the backend's concrete payload
+/// (write_quantized_store below).
+inline constexpr std::uint32_t kFormatVersionStorage = 4;
+/// Format version 5: the mutable-index format (version 3) plus a storage
+/// tag after the metric tag — again written only when storage != float32.
+inline constexpr std::uint32_t kFormatVersionMutableStorage = 5;
 
 /// Bytes between the current read position and the end of the stream, or
 /// -1 when the stream is not seekable. Loaders use this to reject a
@@ -120,20 +131,43 @@ inline void write_metric_header(std::ostream& os, const std::string& metric) {
   write_string(os, metric);
 }
 
+/// Writes the header tail for a backend with a storage mode: the version-2
+/// bytes for float32 (compatibility — see kFormatVersionStorage), the
+/// version-4 tail (version + metric tag + storage tag) otherwise.
+inline void write_storage_header(std::ostream& os, const std::string& metric,
+                                 const std::string& storage) {
+  if (storage == "float32") {
+    write_metric_header(os, metric);
+    return;
+  }
+  write_pod(os, kFormatVersionStorage);
+  write_string(os, metric);
+  write_string(os, storage);
+}
+
 /// Reads the version field written after a magic and returns the file's
 /// metric name: version 1 (pre-metric format) => "l2"; version 2 => the
-/// stored tag. Any other version is a corrupt/unknown file
-/// (std::runtime_error). `legacy`, when non-null, reports whether the
+/// stored tag; version 4 => metric + storage tags (rejected unless the
+/// caller passed `storage` — a loader that cannot carry a storage mode
+/// must not silently drop it). Any other version is a corrupt/unknown
+/// file (std::runtime_error). `legacy`, when non-null, reports whether the
 /// stream was version 1 (loaders whose v1 payload differs structurally
 /// from v2 — the rbc wrappers — branch on it). Callers still validate the
-/// returned name against the metric registry — a garbage tag is
+/// returned names against the metric/storage registries — a garbage tag is
 /// corruption, not a caller error.
 inline std::string read_metric_header(std::istream& is, const char* what,
-                                      bool* legacy = nullptr) {
+                                      bool* legacy = nullptr,
+                                      std::string* storage = nullptr) {
   std::uint32_t version = 0;
   read_pod(is, version);
   if (legacy != nullptr) *legacy = version == kFormatVersion;
+  if (storage != nullptr) *storage = "float32";
   if (version == kFormatVersion) return "l2";
+  if (version == kFormatVersionStorage && storage != nullptr) {
+    std::string metric = read_string(is);
+    *storage = read_string(is);
+    return metric;
+  }
   if (version != kFormatVersionMetric)
     throw std::runtime_error(
         std::string("rbc::io: unsupported format version ") +
@@ -186,6 +220,64 @@ inline Matrix<float> read_matrix(std::istream& is) {
   }
   if (!is) throw std::runtime_error("rbc::io: truncated matrix");
   return m;
+}
+
+/// Compressed row store (distance/quantized.hpp), appended after a
+/// version-4 backend's concrete payload. Persisting the codes (rather than
+/// re-quantizing on load) keeps a saved index byte-stable: quantize() is
+/// deterministic today, but the saved file must not depend on that.
+inline void write_quantized_store(std::ostream& os,
+                                  const quant::QuantizedStore& store) {
+  write_pod(os, static_cast<std::uint32_t>(store.mode));
+  write_pod(os, store.rows);
+  write_pod(os, store.cols);
+  write_vec(os, store.fp16);
+  write_vec(os, store.int8);
+  write_vec(os, store.scale);
+  write_vec(os, store.offset);
+  write_vec(os, store.err);
+  write_pod(os, store.err_max);
+  write_vec(os, store.amp);
+  write_pod(os, store.amp_max);
+}
+
+inline quant::QuantizedStore read_quantized_store(std::istream& is) {
+  quant::QuantizedStore store;
+  std::uint32_t mode = 0;
+  read_pod(is, mode);
+  if (mode != static_cast<std::uint32_t>(quant::Storage::kFp16) &&
+      mode != static_cast<std::uint32_t>(quant::Storage::kInt8))
+    throw std::runtime_error(
+        "rbc::io: corrupt quantized store (unknown storage mode " +
+        std::to_string(mode) + ")");
+  store.mode = static_cast<quant::Storage>(mode);
+  read_pod(is, store.rows);
+  read_pod(is, store.cols);
+  read_vec(is, store.fp16);
+  read_vec(is, store.int8);
+  read_vec(is, store.scale);
+  read_vec(is, store.offset);
+  read_vec(is, store.err);
+  read_pod(is, store.err_max);
+  read_vec(is, store.amp);
+  read_pod(is, store.amp_max);
+  const std::uint64_t cells = static_cast<std::uint64_t>(store.rows) *
+                              static_cast<std::uint64_t>(store.cols);
+  const std::uint64_t n = static_cast<std::uint64_t>(store.rows);
+  const bool codes_ok = store.mode == quant::Storage::kFp16
+                            ? store.fp16.size() == cells &&
+                                  store.int8.empty() && store.scale.empty() &&
+                                  store.offset.empty() && store.amp.empty()
+                            : store.int8.size() == cells &&
+                                  store.fp16.empty() &&
+                                  store.scale.size() == n &&
+                                  store.offset.size() == n &&
+                                  store.amp.size() == n;
+  if (!codes_ok || store.err.size() != n)
+    throw std::runtime_error(
+        "rbc::io: corrupt quantized store (size fields disagree with "
+        "payload)");
+  return store;
 }
 
 }  // namespace rbc::io

@@ -512,6 +512,8 @@ IndexInfo ShardedIndex::info_locked() const {
   info.backend = name_;
   info.metric = inner_info.metric;
   info.supported_metrics = inner_info.supported_metrics;
+  info.storage = inner_info.storage;
+  info.supported_storage = inner_info.supported_storage;
   info.size = size_;
   info.dim = dim_;
   info.supports_range = inner_info.supports_range;

@@ -120,6 +120,166 @@ TEST(MetricIsaParity, DispatchedBackendsAreBitIdenticalAcrossForcedIsas) {
   dispatch::clear_forced_isa();
 }
 
+// Acceptance bar of the compressed scan tier: for the exact dispatched
+// backends, building with storage "fp16" or "int8" must return answers
+// bit-identical to the float32 build — across every dataset, the L2-family
+// metrics, and every compiled ISA. The quantized kernels only prefilter;
+// survivors of the error-inflated bound are re-measured against the float
+// rows (kernel_scan.hpp), so nothing observable may change.
+TEST(QuantizedStorage, ExactBackendsAreBitIdenticalToFloat32AcrossIsas) {
+  std::vector<dispatch::Isa> isas;
+  for (const dispatch::Isa isa :
+       {dispatch::Isa::kScalar, dispatch::Isa::kAvx2, dispatch::Isa::kAvx512})
+    if (dispatch::isa_available(isa)) isas.push_back(isa);
+
+  const std::vector<conformance::Dataset> sets = conformance::datasets();
+  const index_t k = 5;
+  for (const std::string& backend :
+       {std::string("bruteforce"), std::string("rbc-exact")}) {
+    for (const std::string& metric : {std::string("l2"),
+                                      std::string("cosine")}) {
+      for (const conformance::Dataset& data : sets) {
+        for (const dispatch::Isa isa : isas) {
+          dispatch::force_isa(isa);
+          IndexOptions options = conformance::suite_options();
+          options.metric = metric;
+          auto reference = make_index(backend, options);
+          reference->build(data.X);
+          const KnnResult expected =
+              reference->knn_search({.queries = &data.Q, .k = k}).knn;
+          for (const std::string& storage : {std::string("fp16"),
+                                             std::string("int8")}) {
+            SCOPED_TRACE(backend + "/" + metric + "/" + storage + " on " +
+                         data.name + " isa=" + dispatch::isa_name(isa));
+            options.storage = storage;
+            auto index = make_index(backend, options);
+            index->build(data.X);
+            EXPECT_EQ(index->info().storage, storage);
+            EXPECT_TRUE(testutil::knn_equal(
+                expected,
+                index->knn_search({.queries = &data.Q, .k = k}).knn));
+          }
+        }
+      }
+    }
+  }
+  dispatch::clear_forced_isa();
+}
+
+// rbc-oneshot runs the quantized scan standalone (no re-measure — the
+// structure is already approximate), so it reports quantized distances.
+// Recall against the exact answer must stay essentially at the float32
+// build's level: the codes perturb each distance by at most err_max, which
+// only reorders near-ties.
+TEST(QuantizedStorage, OneShotQuantizedKeepsFloat32Recall) {
+  const conformance::Dataset data =
+      std::move(conformance::datasets().front());
+  auto exact = conformance::build_index("bruteforce", data.X);
+  const KnnResult truth =
+      exact->knn_search({.queries = &data.Q, .k = 1}).knn;
+
+  IndexOptions options = conformance::suite_options();
+  auto base = make_index("rbc-oneshot", options);
+  base->build(data.X);
+  const double base_recall = conformance::recall_at_1(
+      base->knn_search({.queries = &data.Q, .k = 1}).knn, truth);
+
+  for (const std::string& storage : {std::string("fp16"),
+                                     std::string("int8")}) {
+    SCOPED_TRACE("storage=" + storage);
+    options.storage = storage;
+    auto index = make_index("rbc-oneshot", options);
+    index->build(data.X);
+    EXPECT_FALSE(index->info().exact);
+    const double recall = conformance::recall_at_1(
+        index->knn_search({.queries = &data.Q, .k = 1}).knn, truth);
+    EXPECT_GE(recall, base_recall - 0.05)
+        << "quantized one-shot recall " << recall
+        << " fell below the float32 build's " << base_recall;
+  }
+}
+
+// Mutation composes with compressed storage: the delta-shard wrapper
+// rebuilds its inner structure through the same options, so a mutated
+// quantized index answers bit-identically to a mutated float32 one.
+TEST(QuantizedStorage, MutatedQuantizedIndexMatchesFloat32) {
+  const conformance::Dataset data =
+      std::move(conformance::datasets().front());
+  const Matrix<float> extra = testutil::random_matrix(7, data.X.cols(), 909);
+  const std::vector<index_t> extra_ids = {900, 901, 902, 903,
+                                          904, 905, 906};
+  const std::vector<index_t> removed = {3, 17, 902};
+
+  for (const std::string& backend :
+       {std::string("bruteforce"), std::string("rbc-exact")}) {
+    IndexOptions options = conformance::suite_options();
+    options.background_merge = false;
+    auto reference = make_index(backend, options);
+    options.storage = "int8";
+    auto quantized = make_index(backend, options);
+    for (Index* index : {reference.get(), quantized.get()}) {
+      index->build(data.X);
+      index->insert(extra, extra_ids);
+      ASSERT_EQ(index->remove(removed), 3u);
+    }
+    SCOPED_TRACE(backend);
+    EXPECT_TRUE(testutil::knn_equal(
+        reference->knn_search({.queries = &data.Q, .k = 4}).knn,
+        quantized->knn_search({.queries = &data.Q, .k = 4}).knn));
+  }
+}
+
+// The capability matrix: quantized modes exist exactly where the Euclidean
+// scan kernels run. Everything else rejects them with the uniform
+// invalid_argument shape, and declares float32-only support.
+TEST(QuantizedStorage, UnsupportedCombinationsFollowTheUniformContract) {
+  const auto expect_rejected = [](const std::string& backend,
+                                  IndexOptions options) {
+    options.storage = "int8";
+    try {
+      (void)make_index(backend, options);
+      FAIL() << backend << " accepted storage 'int8' under metric '"
+             << options.metric << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("unsupported storage"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  IndexOptions options = conformance::suite_options();
+  // Scan backends: quantized tied to the L2 family.
+  options.metric = "l1";
+  for (const std::string& backend :
+       {std::string("bruteforce"), std::string("rbc-exact"),
+        std::string("rbc-oneshot"), std::string("sharded:bruteforce")})
+    expect_rejected(backend, options);
+  options.metric = "ip";
+  expect_rejected("bruteforce", options);
+  // Trees and device backends: float32 only, every metric.
+  options.metric = "l2";
+  for (const std::string& backend :
+       {std::string("kdtree"), std::string("balltree"),
+        std::string("covertree"), std::string("gpu-bf"),
+        std::string("gpu-oneshot")})
+    expect_rejected(backend, options);
+  // Unknown names are caller errors too.
+  options.storage = "int4";
+  EXPECT_THROW((void)make_index("bruteforce", options),
+               std::invalid_argument);
+
+  // The declared capability matrix matches: quantized names present for
+  // the scan backends, absent for the trees.
+  const std::vector<std::string> quantized = {"float32", "fp16", "int8"};
+  EXPECT_EQ(make_index("bruteforce")->info().supported_storage, quantized);
+  EXPECT_EQ(make_index("rbc-exact")->info().supported_storage, quantized);
+  EXPECT_EQ(make_index("sharded:rbc-exact", conformance::suite_options())
+                ->info()
+                .supported_storage,
+            quantized);
+  EXPECT_EQ(make_index("kdtree")->info().supported_storage,
+            std::vector<std::string>{"float32"});
+}
+
 // The registry is the source of truth: every registered backend must have
 // instantiated conformance tests. This walks gtest's own test registry, so
 // replacing the ValuesIn source above with a hardcoded subset — the failure

@@ -161,11 +161,156 @@ TEST(CorruptFiles, UnknownMetricTagIsRejectedAsCorruption) {
     EXPECT_THROW((void)load_index(stream), std::runtime_error);
   }
   {
-    // An unknown (version 4 — one past the mutable v3) header is rejected,
-    // not misparsed as some future format.
+    // An unknown (version 6 — one past the mutable-storage v5) header is
+    // rejected, not misparsed as some future format.
     std::stringstream stream;
     io::write_pod(stream, io::kMagicBruteForce);
-    io::write_pod(stream, std::uint32_t{4});
+    io::write_pod(stream, std::uint32_t{6});
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+}
+
+TEST(CorruptFiles, QuantizedIndexesRoundTripThroughSaveAndLoad) {
+  // Compressed-storage indexes persist their storage tag (format v5 through
+  // make_index's mutable wrapper, v4 for raw streams) and their code store;
+  // a reloaded index answers identically and reports the same storage.
+  const Matrix<float> X = testutil::clustered_matrix(120, 6, 4, 70);
+  const Matrix<float> Q = testutil::random_matrix(5, 6, 71);
+  for (const std::string backend :
+       {"bruteforce", "rbc-exact", "rbc-oneshot", "sharded:rbc-exact"}) {
+    for (const std::string storage : {"fp16", "int8"}) {
+      SCOPED_TRACE(backend + " / " + storage);
+      IndexOptions options{.rbc = {.seed = 72}, .num_shards = 3};
+      options.storage = storage;
+      auto index = make_index(backend, options);
+      index->build(X);
+      std::stringstream stream;
+      index->save(stream);
+      const auto restored = load_index(stream);
+      EXPECT_EQ(restored->info().storage, storage);
+      EXPECT_EQ(restored->info().size, X.rows());
+      EXPECT_TRUE(testutil::knn_equal(
+          index->knn_search({.queries = &Q, .k = 4}).knn,
+          restored->knn_search({.queries = &Q, .k = 4}).knn));
+    }
+  }
+  // Cosine composes with storage through the same normalized-rows path.
+  {
+    IndexOptions options{.metric = "cosine"};
+    options.storage = "int8";
+    auto index = make_index("bruteforce", options);
+    index->build(X);
+    std::stringstream stream;
+    index->save(stream);
+    const auto restored = load_index(stream);
+    EXPECT_EQ(restored->info().metric, "cosine");
+    EXPECT_EQ(restored->info().storage, "int8");
+    EXPECT_TRUE(testutil::knn_equal(
+        index->knn_search({.queries = &Q, .k = 3}).knn,
+        restored->knn_search({.queries = &Q, .k = 3}).knn));
+  }
+}
+
+/// A hand-written raw (non-mutable) version-4 bruteforce stream: magic,
+/// v4 header (metric + storage tags), float matrix, quantized store —
+/// exactly the layout the raw backend's save() emits.
+std::string raw_v4_bruteforce_bytes(const Matrix<float>& X,
+                                    quant::Storage mode) {
+  std::stringstream stream;
+  io::write_pod(stream, io::kMagicBruteForce);
+  io::write_storage_header(stream, "l2", quant::name(mode));
+  io::write_matrix(stream, X);
+  io::write_quantized_store(stream, quant::quantize(mode, X));
+  return stream.str();
+}
+
+TEST(CorruptFiles, RawVersion4StreamsLoadAndRejectTruncatedStores) {
+  const Matrix<float> X = testutil::clustered_matrix(80, 5, 3, 73);
+  const Matrix<float> Q = testutil::random_matrix(4, 5, 74);
+  auto fresh = make_index("bruteforce");
+  fresh->build(X);
+  const KnnResult expected = fresh->knn_search({.queries = &Q, .k = 3}).knn;
+
+  for (const quant::Storage mode :
+       {quant::Storage::kFp16, quant::Storage::kInt8}) {
+    const std::string bytes = raw_v4_bruteforce_bytes(X, mode);
+    SCOPED_TRACE(quant::name(mode));
+    // The intact stream loads, reports its storage, and (exact re-measure)
+    // answers bit-identically to the float32 index.
+    std::stringstream intact(bytes);
+    const auto index = load_index(intact);
+    EXPECT_EQ(index->info().storage, quant::name(mode));
+    EXPECT_TRUE(testutil::knn_equal(
+        expected, index->knn_search({.queries = &Q, .k = 3}).knn));
+
+    // Every cut inside the appended quantized-store region — the bytes a
+    // crash mid-save would truncate — throws cleanly.
+    std::stringstream prefix_stream;
+    io::write_pod(prefix_stream, io::kMagicBruteForce);
+    io::write_storage_header(prefix_stream, "l2", quant::name(mode));
+    io::write_matrix(prefix_stream, X);
+    const std::size_t prefix = prefix_stream.str().size();
+    ASSERT_GT(bytes.size(), prefix);
+    const std::size_t tail = bytes.size() - prefix;
+    for (const std::size_t cut :
+         {prefix, prefix + tail / 4, prefix + tail / 2, bytes.size() - 1}) {
+      SCOPED_TRACE("truncated to " + std::to_string(cut) + " of " +
+                   std::to_string(bytes.size()) + " bytes");
+      std::stringstream stream(bytes.substr(0, cut));
+      EXPECT_THROW((void)load_index(stream), std::runtime_error);
+    }
+  }
+}
+
+TEST(CorruptFiles, CorruptStorageTagsAndStoreFieldsAreRejected) {
+  const Matrix<float> X = testutil::clustered_matrix(40, 4, 3, 75);
+  // Raw v4 header carrying an unregistered storage tag: corruption
+  // (runtime_error naming the tag), never the factory's invalid_argument.
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicBruteForce);
+    io::write_pod(stream, io::kFormatVersionStorage);
+    io::write_string(stream, "l2");
+    io::write_string(stream, "int4");
+    io::write_matrix(stream, X);
+    try {
+      (void)load_index(stream);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("storage"), std::string::npos)
+          << "error should mention the storage tag: " << e.what();
+    }
+  }
+  // Mutable v5 header with an unknown storage tag.
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicBruteForce);
+    io::write_pod(stream, io::kFormatVersionMutableStorage);
+    io::write_string(stream, "l2");
+    io::write_string(stream, "int4");
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  // A store whose mode byte is garbage fails in read_quantized_store.
+  {
+    std::string bytes = raw_v4_bruteforce_bytes(X, quant::Storage::kInt8);
+    std::stringstream prefix;
+    io::write_pod(prefix, io::kMagicBruteForce);
+    io::write_storage_header(prefix, "l2", "int8");
+    io::write_matrix(prefix, X);
+    bytes[prefix.str().size()] = 0x7F;  // first byte of the store's mode
+    std::stringstream stream(bytes);
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  // A store whose shape disagrees with the matrix (one row short) is
+  // rejected instead of silently scanning the wrong geometry.
+  {
+    const Matrix<float> X_short = testutil::clustered_matrix(39, 4, 3, 75);
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicBruteForce);
+    io::write_storage_header(stream, "l2", "int8");
+    io::write_matrix(stream, X);
+    io::write_quantized_store(stream,
+                              quant::quantize(quant::Storage::kInt8, X_short));
     EXPECT_THROW((void)load_index(stream), std::runtime_error);
   }
 }

@@ -19,11 +19,40 @@ TEST(Env, IntegerParsingAndFallback) {
   ::unsetenv("RBC_TEST_INT");
 }
 
+TEST(Env, TrailingGarbageFallsBackInsteadOfTruncating) {
+  // strtoll stops at the first bad character, so "2x" used to configure 2 —
+  // a typo silently taking effect with the wrong value. It must fall back.
+  ::setenv("RBC_TEST_INT", "2x", 1);
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), 7);
+  ::setenv("RBC_TEST_INT", "12 ", 1);
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), 7);
+  // Negative values themselves stay valid (no trailing chars).
+  ::setenv("RBC_TEST_INT", "-3", 1);
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), -3);
+  ::unsetenv("RBC_TEST_INT");
+}
+
+TEST(Env, OutOfRangeValuesFallBack) {
+  // Magnitudes strtoll/strtod clamp (ERANGE) are misconfigurations, not
+  // values: 99999999999999999999 must not quietly become INT64_MAX.
+  ::setenv("RBC_TEST_INT", "99999999999999999999", 1);
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), 7);
+  ::setenv("RBC_TEST_INT", "-99999999999999999999", 1);
+  EXPECT_EQ(env_or("RBC_TEST_INT", std::int64_t{7}), 7);
+  ::unsetenv("RBC_TEST_INT");
+  ::setenv("RBC_TEST_DBL", "1e999", 1);
+  EXPECT_DOUBLE_EQ(env_or("RBC_TEST_DBL", 1.5), 1.5);
+  ::unsetenv("RBC_TEST_DBL");
+}
+
 TEST(Env, DoubleParsing) {
   ::setenv("RBC_TEST_DBL", "2.5", 1);
   EXPECT_DOUBLE_EQ(env_or("RBC_TEST_DBL", 1.0), 2.5);
   ::unsetenv("RBC_TEST_DBL");
   EXPECT_DOUBLE_EQ(env_or("RBC_TEST_DBL", 1.0), 1.0);
+  ::setenv("RBC_TEST_DBL", "2.5 qps", 1);
+  EXPECT_DOUBLE_EQ(env_or("RBC_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("RBC_TEST_DBL");
 }
 
 TEST(Env, StringFallback) {

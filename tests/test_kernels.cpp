@@ -6,12 +6,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "distance/dispatch.hpp"
 #include "distance/kernels.hpp"
+#include "distance/quantized.hpp"
 
 namespace rbc {
 namespace {
@@ -291,9 +294,214 @@ TEST_P(DispatchFuzzTest, L1AndIpShapesMatchScalarReference) {
   }
 }
 
+// The compressed-tier shapes (rows_fp16/gather_fp16, rows_int8/gather_int8)
+// measure against the *dequantized* point x̂, so the reference is the
+// double-precision distance to x̂ — not to x. Edge rows bake in the codec's
+// hard cases: a constant row (int8 scale 0), fp16 overflow (codes go ±inf),
+// float denormals (flush to ±0 in half), and a huge-scale int8 row where
+// the fused dequant's cancellation slack matters.
+TEST_P(DispatchFuzzTest, QuantizedShapesMatchDequantizedReference) {
+  const index_t d = GetParam();
+  const index_t rows = 61;  // 7 full 8-row blocks + a 5-row remainder
+  Matrix<float> X = random_points(rows, d, 7'000 + d);
+  for (index_t j = 0; j < d; ++j) {
+    X.at(0, j) = 2.5f;                                // constant row
+    X.at(1, j) = (j % 2 ? 1.0f : -1.0f) * 7.0e4f;     // fp16 overflow
+    X.at(2, j) = (j % 2 ? 1.0f : -1.0f) * 3.0e-40f;   // denormal floats
+    X.at(3, j) = j == 0 ? 1.0e4f : 1.0e-4f;           // huge int8 scale
+  }
+  const Matrix<float> Q = random_points(1, d, 8'000 + d);
+  const float* q = Q.row(0);
+  const double q_norm = std::sqrt(
+      static_cast<double>(kernels::dot_scalar(q, q, d)));
+
+  std::vector<index_t> ids;  // gather pattern: every other row, reversed
+  for (index_t p = rows; p-- > 0;)
+    if (p % 2 == 0) ids.push_back(p);
+
+  const float mrel = dispatch::tile_margin(d);
+  for (const quant::Storage mode :
+       {quant::Storage::kFp16, quant::Storage::kInt8}) {
+    const quant::QuantizedStore store = quant::quantize(mode, X);
+    // Distance to the dequantized row, accumulated in double.
+    const auto ref_l2 = [&](index_t p) {
+      double sq = 0.0;
+      for (index_t j = 0; j < d; ++j) {
+        const std::size_t at = static_cast<std::size_t>(p) * d + j;
+        const double xq =
+            mode == quant::Storage::kFp16
+                ? static_cast<double>(quant::fp16_decode(store.fp16[at]))
+                : static_cast<double>(store.int8[at]) * store.scale[p] +
+                      store.offset[p];
+        const double diff = static_cast<double>(q[j]) - xq;
+        sq += diff * diff;
+      }
+      return std::sqrt(sq);
+    };
+    // The fused int8 dequant's rounding slack scales with the row's
+    // magnitude bound (see quantized_scan_rows); fp16 decodes exactly.
+    const auto tol = [&](index_t p, double ref) {
+      const double amp = mode == quant::Storage::kInt8
+                             ? static_cast<double>(store.amp[p])
+                             : 0.0;
+      return 1e-6 + mrel * ref + 2e-6 * (q_norm + amp);
+    };
+
+    for (const dispatch::Isa isa : runnable_isas()) {
+      const dispatch::KernelOps& ops = *dispatch::ops_for(isa);
+      const std::string what = std::string(quant::name(mode)) + " " +
+                               dispatch::isa_name(isa) +
+                               " d=" + std::to_string(d);
+      std::vector<float> out(rows, -1.0f);
+      const float ret =
+          mode == quant::Storage::kFp16
+              ? ops.rows_fp16(q, d, store.fp16.data(), d, 0, rows,
+                              out.data())
+              : ops.rows_int8(q, d, store.int8.data(), d,
+                              store.scale.data(), store.offset.data(), 0,
+                              rows, out.data());
+      float written_min = kInfDist;
+      for (index_t p = 0; p < rows; ++p) {
+        const double ref = ref_l2(p);
+        if (std::isinf(ref)) {
+          EXPECT_EQ(out[p], kInfDist) << what << " p=" << p;
+        } else {
+          EXPECT_NEAR(std::sqrt(static_cast<double>(out[p])), ref,
+                      tol(p, ref))
+              << what << " p=" << p;
+        }
+        written_min = std::min(written_min, out[p]);
+      }
+      // The min-return contract gates chunk skips: it must equal the min
+      // of the written values exactly (an overshoot would drop points).
+      EXPECT_EQ(ret, written_min) << what;
+
+      // Offset start: lo != 0 block alignment.
+      if (rows > 9) {
+        if (mode == quant::Storage::kFp16) {
+          ops.rows_fp16(q, d, store.fp16.data(), d, 9, rows, out.data());
+        } else {
+          ops.rows_int8(q, d, store.int8.data(), d, store.scale.data(),
+                        store.offset.data(), 9, rows, out.data());
+        }
+        for (index_t p = 9; p < rows; ++p) {
+          const double ref = ref_l2(p);
+          if (std::isinf(ref)) continue;
+          EXPECT_NEAR(std::sqrt(static_cast<double>(out[p - 9])), ref,
+                      tol(p, ref))
+              << what << "(lo=9) p=" << p;
+        }
+      }
+
+      std::vector<float> gout(ids.size(), -1.0f);
+      const float gret =
+          mode == quant::Storage::kFp16
+              ? ops.gather_fp16(q, d, store.fp16.data(), d, ids.data(),
+                                static_cast<index_t>(ids.size()),
+                                gout.data())
+              : ops.gather_int8(q, d, store.int8.data(), d,
+                                store.scale.data(), store.offset.data(),
+                                ids.data(),
+                                static_cast<index_t>(ids.size()),
+                                gout.data());
+      written_min = kInfDist;
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        const double ref = ref_l2(ids[j]);
+        if (std::isinf(ref)) {
+          EXPECT_EQ(gout[j], kInfDist) << "gather_" << what;
+        } else {
+          EXPECT_NEAR(std::sqrt(static_cast<double>(gout[j])), ref,
+                      tol(ids[j], ref))
+              << "gather_" << what << " j=" << j;
+        }
+        written_min = std::min(written_min, gout[j]);
+      }
+      EXPECT_EQ(gret, written_min) << "gather_" << what;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Dims, DispatchFuzzTest,
                          ::testing::Values(1, 2, 7, 8, 15, 16, 17, 21, 31,
                                            32, 54, 74, 128, 333));
+
+// The software binary16 codec underpinning the scalar table (and the err
+// bounds of every store): known encodings, saturation, subnormals, and
+// round-to-nearest-even at the exact midpoint.
+TEST(QuantizedCodec, Fp16EncodesLikeTheIeeeReference) {
+  EXPECT_EQ(quant::fp16_encode(0.0f), 0x0000u);
+  EXPECT_EQ(quant::fp16_encode(-0.0f), 0x8000u);
+  EXPECT_EQ(quant::fp16_encode(1.0f), 0x3C00u);
+  EXPECT_EQ(quant::fp16_encode(-2.0f), 0xC000u);
+  EXPECT_EQ(quant::fp16_encode(65504.0f), 0x7BFFu);  // largest finite half
+  EXPECT_EQ(quant::fp16_encode(65520.0f), 0x7C00u);  // overflows to +inf
+  EXPECT_EQ(quant::fp16_encode(-1.0e6f), 0xFC00u);
+  EXPECT_EQ(quant::fp16_decode(0x7C00u), kInfDist);
+  // Smallest subnormal half (2^-24) and below-half-ulp flush to zero.
+  EXPECT_EQ(quant::fp16_encode(5.9604645e-8f), 0x0001u);
+  EXPECT_EQ(quant::fp16_encode(1.0e-9f), 0x0000u);
+  // Midpoint 1 + 2^-11 is equidistant between 1.0 and 1 + 2^-10: RNE picks
+  // the even code (1.0); the next representable float above rounds up.
+  EXPECT_EQ(quant::fp16_encode(1.00048828125f), 0x3C00u);
+  EXPECT_EQ(quant::fp16_encode(std::nextafter(1.00048828125f, 2.0f)),
+            0x3C01u);
+  // Round-trip: every half code decodes then re-encodes to itself (skip
+  // NaNs — payload bits are not preserved exactly).
+  for (std::uint32_t code = 0; code <= 0xFFFFu; ++code) {
+    const float value = quant::fp16_decode(static_cast<std::uint16_t>(code));
+    if (std::isnan(value)) continue;
+    EXPECT_EQ(quant::fp16_encode(value), code) << "code " << code;
+  }
+}
+
+// The stored per-row err must be a true upper bound on ||x - x̂|| — the
+// whole exactness argument rides on it — and int8 codes must stay in the
+// clamped [-127, 127] range with exact constant-row encodings.
+TEST(QuantizedCodec, StoreErrBoundsTheReconstructionResidual) {
+  const index_t rows = 37, d = 21;
+  Matrix<float> X = random_points(rows, d, 11'000);
+  for (index_t j = 0; j < d; ++j) {
+    X.at(0, j) = -1.25f;                         // constant row
+    X.at(1, j) = j == 0 ? 7.0e4f : -7.0e4f;      // fp16-saturating range
+  }
+  for (const quant::Storage mode :
+       {quant::Storage::kFp16, quant::Storage::kInt8}) {
+    const quant::QuantizedStore store = quant::quantize(mode, X);
+    EXPECT_TRUE(store.active());
+    EXPECT_EQ(store.rows, rows);
+    EXPECT_EQ(store.cols, d);
+    float err_max = 0.0f, amp_max = 0.0f;
+    for (index_t p = 0; p < rows; ++p) {
+      double sq = 0.0;
+      for (index_t j = 0; j < d; ++j) {
+        const std::size_t at = static_cast<std::size_t>(p) * d + j;
+        double xq;
+        if (mode == quant::Storage::kFp16) {
+          xq = quant::fp16_decode(store.fp16[at]);
+        } else {
+          EXPECT_GE(store.int8[at], -127);
+          EXPECT_LE(store.int8[at], 127);
+          xq = static_cast<double>(store.int8[at]) * store.scale[p] +
+               store.offset[p];
+        }
+        const double diff = X.at(p, j) - xq;
+        sq += diff * diff;
+      }
+      if (std::isinf(sq)) continue;  // saturated fp16 row: err is +inf too
+      EXPECT_LE(std::sqrt(sq), store.err[p]) << quant::name(mode) << " row "
+                                             << p;
+      err_max = std::max(err_max, store.err[p]);
+      if (mode == quant::Storage::kInt8)
+        amp_max = std::max(amp_max, store.amp[p]);
+    }
+    EXPECT_GE(store.err_max, err_max);
+    EXPECT_GE(store.amp_max, amp_max);
+  }
+  // Constant row encodes exactly under int8 (scale 0, dequant == offset).
+  const quant::QuantizedStore store = quant::quantize(quant::Storage::kInt8, X);
+  EXPECT_EQ(store.scale[0], 0.0f);
+  EXPECT_EQ(store.offset[0], -1.25f);
+}
 
 TEST(Dispatch, ScalarAlwaysCompiledAndDetectionConsistent) {
   EXPECT_TRUE(dispatch::isa_compiled(dispatch::Isa::kScalar));
