@@ -1,18 +1,18 @@
 // Robot-arm state lookup — the paper's Robot workload ([22]: learning
-// inverse dynamics for a Barrett WAM arm). Model-based controllers look up
-// the nearest previously-seen arm states (q, qdot, qddot) to predict torques;
-// the lookup must be exact (a wrong neighbor means a wrong torque) and fast
-// (control loops run at hundreds of Hz), which is precisely the exact-RBC
-// use case.
+// inverse dynamics for a Barrett WAM arm), through the unified API.
+// Model-based controllers look up the nearest previously-seen arm states
+// (q, qdot, qddot) to predict torques; the lookup must be exact (a wrong
+// neighbor means a wrong torque) and fast (control loops run at hundreds of
+// Hz), which is precisely the exact-RBC use case.
 //
 //   ./robot_arm [n_states]
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/api.hpp"
 #include "cli_parse.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
-#include "rbc/rbc.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbc;
@@ -36,40 +36,43 @@ int main(int argc, char** argv) {
       database.copy_row_from(all, i, di++);
   }
 
-  RbcExactIndex<> index;
+  IndexOptions options;
+  options.rbc.seed = 3;
+  auto index = make_index("rbc-exact", options);
   WallTimer build_timer;
-  index.build(database, {.seed = 3});
-  std::printf("exact index: nr=%u, built in %.2fs\n", index.num_reps(),
+  index->build(database);
+  std::printf("exact index: n=%u, built in %.2fs\n", index->info().size,
               build_timer.seconds());
 
   // Control-loop style: one state at a time, 5-NN for local regression.
-  RbcExactIndex<>::Scratch scratch;
-  TopK top(5);
-  SearchStats stats;
+  Matrix<float> one(1, live.cols());
+  SearchRequest single{.queries = &one, .k = 5, .options = {}};
+  single.options.collect_stats = true;
   WallTimer loop_timer;
+  std::uint64_t evals = 0;
   for (index_t i = 0; i < live.rows(); ++i) {
-    top.reset();
-    index.search_one(live.row(i), 5, top, scratch, &stats);
+    one.copy_row_from(live, i, 0);
+    evals += index->knn_search(single).stats.dist_evals();
   }
   const double elapsed = loop_timer.seconds();
   std::printf("%u single-state lookups in %.3fs -> %.0f us/lookup "
               "(%.0f Hz control budget), %.0f evals/lookup\n",
               live.rows(), elapsed, elapsed / live.rows() * 1e6,
-              live.rows() / elapsed, stats.dist_evals_per_query());
+              live.rows() / elapsed,
+              static_cast<double>(evals) / live.rows());
 
   // Show one lookup in detail.
-  top.reset();
-  index.search_one(live.row(0), 5, top, scratch);
-  std::vector<dist_t> d(5);
-  std::vector<index_t> ids(5);
-  top.extract_sorted(d.data(), ids.data());
+  one.copy_row_from(live, 0, 0);
+  const SearchResponse detail = index->knn_search(single);
   std::printf("5 nearest stored states to live state 0:\n");
-  for (int j = 0; j < 5; ++j)
-    std::printf("  state %-8u distance %.4f\n", ids[j], d[j]);
+  for (index_t j = 0; j < 5; ++j)
+    std::printf("  state %-8u distance %.4f\n", detail.knn.ids.at(0, j),
+                detail.knn.dists.at(0, j));
 
   // Batch mode for offline training-set cleanup: all queries at once.
+  SearchRequest batch{.queries = &live, .k = 1, .options = {}};
   WallTimer batch_timer;
-  (void)index.search(live, 1);
+  (void)index->knn_search(batch);
   std::printf("batch mode: %u lookups in %.3fs (all cores)\n", live.rows(),
               batch_timer.seconds());
   return 0;

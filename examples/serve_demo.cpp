@@ -7,6 +7,13 @@
 //   ./serve_demo [backend] [clients] [queries_per_client] [max_batch] [metric]
 //   ./serve_demo rbc-exact 8 2000 256 cosine
 //
+// With metric "edit" the same demo serves a *string* workload: the database
+// is a synthetic dictionary, each client submits typo'd words through
+// submit_payload, and the work line reports edit-distance DP cells instead
+// of vector distance evaluations — one serving stack, two data kinds.
+//
+//   ./serve_demo rbc-exact 8 2000 256 edit
+//
 // Each client plays an independent user: it submits one query at a time and
 // waits for the answer (request/response, like a web frontend would). The
 // service turns that anti-batch workload into large BF(Q, X) blocks — watch
@@ -33,12 +40,52 @@
 #include <vector>
 
 #include "cli_parse.hpp"
+#include "common/rng.hpp"
 #include "data/generators.hpp"
+#include "metricspace/dataset.hpp"
 #include "rbc/rbc.hpp"
 #include "serve/net/server.hpp"
 #include "serve/service.hpp"
 
 namespace {
+
+/// Synthetic dictionary + typo streams for the "edit" workload: stems with
+/// morphological suffixes (clustered, like real vocabularies), corrupted by
+/// 1-2 random edits per query.
+std::vector<std::string> make_words(rbc::index_t size, std::uint64_t seed) {
+  rbc::Rng rng(seed);
+  const char* const kSuffixes[] = {"", "s", "ed", "ing", "er", "ly"};
+  std::vector<std::string> words;
+  words.reserve(size);
+  while (words.size() < size) {
+    std::string stem;
+    const rbc::index_t syllables = 2 + rng.uniform_index(3);
+    for (rbc::index_t s = 0; s < syllables; ++s) {
+      stem += "bcdfghklmnprstvw"[rng.uniform_index(16)];
+      stem += "aeiou"[rng.uniform_index(5)];
+    }
+    for (const char* suffix : kSuffixes) {
+      if (words.size() >= size) break;
+      words.push_back(stem + suffix);
+    }
+  }
+  return words;
+}
+
+std::vector<std::string> make_typos(const std::vector<std::string>& words,
+                                    rbc::index_t count, std::uint64_t seed) {
+  rbc::Rng rng(seed);
+  std::vector<std::string> typos;
+  typos.reserve(count);
+  for (rbc::index_t i = 0; i < count; ++i) {
+    std::string w = words[rng.uniform_index(
+        static_cast<rbc::index_t>(words.size()))];
+    const auto pos = rng.uniform_index(static_cast<rbc::index_t>(w.size()));
+    w[pos] = static_cast<char>('a' + rng.uniform_index(26));
+    typos.push_back(std::move(w));
+  }
+  return typos;
+}
 
 // SIGINT/SIGTERM write 8 bytes to the server's stop eventfd — the only
 // async-signal-safe way to request the graceful drain.
@@ -118,6 +165,67 @@ int run_server(int argc, char** argv) {
   return 0;
 }
 
+/// The "edit" workload: same client/service shape as the dense demo below,
+/// but the database is a string dictionary and every query rides
+/// submit_payload. The work line is per-metric (DP cells), not distance
+/// evaluations.
+int run_string_demo(const std::string& backend, int clients,
+                    rbc::index_t per_client, rbc::index_t max_batch) {
+  using namespace rbc;
+  const index_t n = 20'000, k = 3;
+
+  const std::vector<std::string> words = make_words(n, 1);
+  std::vector<std::vector<std::string>> streams;
+  streams.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    streams.push_back(
+        make_typos(words, per_client, 100 + static_cast<std::uint64_t>(c)));
+
+  auto index = make_index(backend, {.metric = "edit"});
+  index->build_payload(metricspace::make_string_dataset(words));
+  const IndexInfo info = index->info();
+  std::printf("serving %s over %u dictionary words (metric: edit, cost "
+              "unit: %s)\n",
+              backend.c_str(), n, info.cost_unit.c_str());
+
+  serve::SearchService service(std::move(index),
+                               {.max_batch = max_batch, .max_wait_us = 300});
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      for (const std::string& typo : streams[static_cast<std::size_t>(c)]) {
+        serve::QueryResult r = service.submit_payload(typo, k).get();
+        if (r.ids.empty()) std::abort();  // unreachable; keeps r observable
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  service.drain();
+
+  const serve::ServiceStats stats = service.stats();
+  std::printf("\n%d clients x %u typo lookups, max_batch=%u max_wait=%uus\n",
+              clients, per_client, service.options().max_batch,
+              service.options().max_wait_us);
+  std::printf("  completed:   %llu queries in %.2fs  (%.0f queries/s)\n",
+              static_cast<unsigned long long>(stats.completed),
+              stats.wall_seconds, stats.throughput_qps);
+  std::printf("  latency:     p50 %.2fms  p99 %.2fms  max %.2fms\n",
+              stats.latency_p50_ms, stats.latency_p99_ms,
+              stats.latency_max_ms);
+  std::printf("  batches:     %llu dispatched, mean %.1f queries each\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.mean_batch());
+  std::printf("  work:        %.0f %s/query, %.0f edit-distance "
+              "evals/query\n",
+              static_cast<double>(stats.metric_cost) /
+                  static_cast<double>(stats.completed),
+              info.cost_unit.c_str(),
+              static_cast<double>(stats.dist_evals) /
+                  static_cast<double>(stats.completed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,6 +244,8 @@ int main(int argc, char** argv) {
   const index_t max_batch =
       argc > 4 ? cli::parse_index_or_die(argv[4], "max_batch") : 256;
   const std::string metric = argc > 5 ? argv[5] : "l2";
+  if (metric == "edit")
+    return run_string_demo(backend, clients, per_client, max_batch);
   const index_t n = 50'000, dim = 32, k = 5;
 
   // Database and one private query stream per client, all from the same

@@ -1,8 +1,10 @@
 // Metric-space generality: nearest-neighbor search over *strings* under the
-// Levenshtein edit distance, using the generic RBC index. The paper (§6)
+// Levenshtein edit distance, through the unified API. The paper (§6)
 // stresses that the expansion-rate framework "makes sense for the edit
 // distance on strings" — this example is that claim running: a fuzzy
-// dictionary matcher (the classic spell-correction workload).
+// dictionary matcher (the classic spell-correction workload) served by the
+// same make_index factory, options struct, and request/response types as
+// every dense backend.
 //
 //   ./string_search [dictionary_size]
 #include <cstdio>
@@ -10,11 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "api/api.hpp"
 #include "cli_parse.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
-#include "distance/edit_distance.hpp"
-#include "rbc/rbc_generic.hpp"
+#include "metricspace/dataset.hpp"
 
 namespace {
 
@@ -70,46 +72,60 @@ int main(int argc, char** argv) {
   const index_t n =
       argc > 1 ? cli::parse_index_or_die(argv[1], "n_words") : 20'000;
 
-  const StringSpace dictionary(make_dictionary(n, 1));
+  const std::vector<std::string> words = make_dictionary(n, 1);
+  const auto dictionary = metricspace::make_string_dataset(words);
   std::printf("dictionary: %u words (e.g. \"%s\", \"%s\")\n",
-              dictionary.size(), dictionary[0].c_str(),
-              dictionary[1].c_str());
+              dictionary->size(), words[0].c_str(), words[1].c_str());
 
-  RbcGenericExact<StringSpace> index;
+  // The same factory call that builds a dense L2 index; the "edit" metric
+  // routes it to the generic payload backend.
+  IndexOptions options;
+  options.metric = "edit";
+  options.rbc.seed = 2;
+  auto index = make_index("rbc-exact", options);
   WallTimer build_timer;
-  index.build(dictionary, {.seed = 2});
-  std::printf("generic exact RBC built in %.2fs (%u representatives)\n",
-              build_timer.seconds(), index.num_reps());
+  index->build_payload(dictionary);
+  std::printf("%s over \"%s\" built in %.2fs (cost unit: %s)\n",
+              index->info().backend.c_str(), index->info().metric.c_str(),
+              build_timer.seconds(), index->info().cost_unit.c_str());
 
   // Typo correction: corrupt dictionary words, then look them up.
   Rng rng(3);
   index_t recovered = 0;
-  SearchStats stats;
-  WallTimer query_timer;
   const index_t kQueries = 200;
+  std::vector<std::string> typos;
+  std::vector<index_t> targets;
+  typos.reserve(kQueries);
   for (index_t i = 0; i < kQueries; ++i) {
-    const index_t target = rng.uniform_index(dictionary.size());
-    const std::string typo = corrupt(dictionary[target], rng);
-    const auto result = index.search(typo, 3, &stats);
-    if (i < 5) {
-      std::printf("  \"%s\" -> ", typo.c_str());
-      for (const auto& neighbor : result)
-        std::printf("\"%s\"(%.0f) ", dictionary[neighbor.id].c_str(),
-                    neighbor.dist);
-      std::printf("\n");
-    }
-    // Recovered if the original word appears among the top 3 suggestions.
-    for (const auto& neighbor : result)
-      if (dictionary[neighbor.id] == dictionary[target]) {
+    targets.push_back(rng.uniform_index(dictionary->size()));
+    typos.push_back(corrupt(words[targets.back()], rng));
+  }
+
+  PayloadSearchRequest request{.queries = &typos, .k = 3, .options = {}};
+  request.options.metric = "edit";
+  request.options.collect_stats = true;
+  WallTimer query_timer;
+  const SearchResponse response = index->knn_search_payload(request);
+  const double elapsed = query_timer.seconds();
+
+  for (index_t i = 0; i < 5; ++i) {
+    std::printf("  \"%s\" -> ", typos[i].c_str());
+    for (index_t j = 0; j < 3; ++j)
+      std::printf("\"%s\"(%.0f) ", words[response.knn.ids.at(i, j)].c_str(),
+                  response.knn.dists.at(i, j));
+    std::printf("\n");
+  }
+  // Recovered if the original word appears among the top 3 suggestions.
+  for (index_t i = 0; i < kQueries; ++i)
+    for (index_t j = 0; j < 3; ++j)
+      if (words[response.knn.ids.at(i, j)] == words[targets[i]]) {
         ++recovered;
         break;
       }
-  }
-  const double elapsed = query_timer.seconds();
   std::printf("%u corrections in %.2fs (%.1f ms each), %.0f edit-distance "
               "evals/query vs %u brute force\n",
               kQueries, elapsed, elapsed / kQueries * 1e3,
-              stats.dist_evals_per_query(), dictionary.size());
+              response.stats.dist_evals_per_query(), dictionary->size());
   std::printf("top-3 recovery rate: %.1f%%\n",
               100.0 * recovered / kQueries);
   return 0;

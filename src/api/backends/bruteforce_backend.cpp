@@ -17,6 +17,8 @@
 #include "api/registry.hpp"
 #include "bruteforce/bf.hpp"
 #include "distance/dispatch.hpp"
+#include "metricspace/generic_backend.hpp"
+#include "metricspace/space.hpp"
 #include "mutate/mutable_index.hpp"
 #include "rbc/serialize_io.hpp"
 
@@ -194,6 +196,9 @@ class BruteForceBackend final : public Index {
     info.memory_bytes =
         db_.size() * sizeof(float) + qstore_.memory_bytes();
     info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
+    // Metric-space names this host also serves (through the generic payload
+    // dispatch in the factory lambda below).
+    info.supported_spaces = metricspace::space_names();
     return info;
   }
 
@@ -216,6 +221,12 @@ void register_bruteforce() {
   register_backend(mutate::wrap(
       {.name = "bruteforce",
        .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
+         // A metric-space name selects the generic payload variant of this
+         // host algorithm (strings, graphs, user metrics); dense names
+         // build the matrix-backed index as always.
+         if (metricspace::space_registered(options.metric))
+           return metricspace::make_generic(metricspace::Algo::kBruteForce,
+                                            options);
          return std::make_unique<BruteForceBackend>(options);
        },
        .magic = io::kMagicBruteForce,

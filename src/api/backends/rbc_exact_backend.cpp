@@ -17,6 +17,8 @@
 #include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "distance/dispatch.hpp"
+#include "metricspace/generic_backend.hpp"
+#include "metricspace/space.hpp"
 #include "mutate/mutable_index.hpp"
 #include "rbc/rbc_exact.hpp"
 #include "rbc/serialize_io.hpp"
@@ -171,6 +173,9 @@ class RbcExactBackend final : public Index {
                      index_)
                : 0;
     info.kernel_isa = dispatch::isa_name(dispatch::active_isa());
+    // Metric-space names this host also serves (through the generic payload
+    // dispatch in the factory lambda below).
+    info.supported_spaces = metricspace::space_names();
     return info;
   }
 
@@ -207,6 +212,12 @@ void register_rbc_exact() {
   register_backend(mutate::wrap(
       {.name = "rbc-exact",
        .create = [](const IndexOptions& options) -> std::unique_ptr<Index> {
+         // A metric-space name selects the generic payload variant of this
+         // host algorithm (strings, graphs, user metrics); dense names
+         // build the matrix-backed index as always.
+         if (metricspace::space_registered(options.metric))
+           return metricspace::make_generic(metricspace::Algo::kRbcExact,
+                                            options);
          return std::make_unique<RbcExactBackend>(options);
        },
        .magic = io::kMagicExact,

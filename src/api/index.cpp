@@ -48,6 +48,25 @@ std::vector<index_t> Index::live_ids() const { fail_mutation(*this); }
 
 namespace {
 
+[[noreturn]] void fail_payload(const Index& index) {
+  throw std::runtime_error("rbc::Index: backend '" + index.info().backend +
+                           "' does not support payload datasets "
+                           "(info().supported_spaces is empty)");
+}
+
+}  // namespace
+
+void Index::build_payload(const metricspace::DatasetHandle& /*data*/) {
+  fail_payload(*this);
+}
+
+SearchResponse Index::knn_search_payload(
+    const PayloadSearchRequest& /*request*/) const {
+  fail_payload(*this);
+}
+
+namespace {
+
 [[noreturn]] void fail(const char* backend, const std::string& what) {
   throw std::invalid_argument(std::string("rbc::Index[") + backend +
                               "]: " + what);
@@ -83,6 +102,19 @@ void Index::validate_knn(const SearchRequest& request, index_t dim,
   if (request.k == 0) fail(backend, "request.k must be >= 1");
   // k > n is a request error everywhere (not backend-specific padding or
   // UB): an index over n points cannot name more than n neighbors.
+  if (request.k > size)
+    fail(backend, "request.k = " + std::to_string(request.k) +
+                      " exceeds database size " + std::to_string(size));
+}
+
+void Index::validate_knn_payload(const PayloadSearchRequest& request,
+                                 index_t size, bool built,
+                                 const char* backend,
+                                 std::string_view metric) {
+  if (!built) fail(backend, "search on an unbuilt index (call build first)");
+  if (request.queries == nullptr) fail(backend, "request.queries is null");
+  validate_metric(request.options, metric, backend);
+  if (request.k == 0) fail(backend, "request.k must be >= 1");
   if (request.k > size)
     fail(backend, "request.k = " + std::to_string(request.k) +
                       " exceeds database size " + std::to_string(size));

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -26,6 +27,14 @@
 #include "api/search.hpp"
 #include "common/types.hpp"
 #include "rbc/params.hpp"
+
+namespace rbc::metricspace {
+// Payload dataset layer (metricspace/dataset.hpp) — forward-declared so
+// the payload entry points below can name the handle without pulling the
+// subsystem into every include of this header.
+class Dataset;
+using DatasetHandle = std::shared_ptr<const Dataset>;
+}  // namespace rbc::metricspace
 
 namespace rbc {
 
@@ -135,6 +144,20 @@ struct IndexInfo {
   /// masked by a pending tombstone. Both drop to 0 after compact().
   index_t delta_rows = 0;
   index_t tombstones = 0;
+  /// True when this instance is built over a payload dataset
+  /// (metricspace/: strings, graph nodes, user blobs) instead of a dense
+  /// row matrix. Payload indexes answer knn_search_payload and reject the
+  /// dense entry points; dim stays 0.
+  bool payload = false;
+  /// Payload instances: the unit counters::add_metric_cost reports work in
+  /// for this metric ("chars_compared", "edges_relaxed", ...). Empty for
+  /// dense instances, whose work unit is the distance evaluation.
+  std::string cost_unit;
+  /// Metric-space names (metricspace/space.hpp registry) this backend can
+  /// host through IndexOptions::metric, in registry order. Empty for
+  /// backends without a payload path; disjoint from supported_metrics,
+  /// which stays the dense registry subset.
+  std::vector<std::string> supported_spaces;
 };
 
 /// Abstract search index. Implementations own every byte they need to
@@ -198,6 +221,24 @@ class Index {
   virtual void build_with_ids(const Matrix<float>& X,
                               std::span<const index_t> ids);
 
+  /// Builds (or rebuilds) over a payload dataset — the non-vector
+  /// counterpart of build(), live when info().supported_spaces names the
+  /// instance's metric. The handle is shared, not copied. Default: throws
+  /// std::runtime_error with the uniform unsupported-capability shape
+  /// (check info().supported_spaces before calling on an arbitrary
+  /// backend). Throws std::invalid_argument when the dataset's kind does
+  /// not match the metric's declared kind.
+  virtual void build_payload(const metricspace::DatasetHandle& data);
+
+  /// Batched k-NN over a payload-built index. The error contract mirrors
+  /// knn_search (null queries, k == 0, k > size, unbuilt index, metric
+  /// assertion — identical std::invalid_argument shapes), plus a
+  /// per-metric payload validity check (e.g. a graph query must be an
+  /// 8-byte node id in range). Dense instances throw the
+  /// unsupported-capability std::runtime_error.
+  virtual SearchResponse knn_search_payload(
+      const PayloadSearchRequest& request) const;
+
   /// Ascending ids of the currently-live points (size info().size).
   virtual std::vector<index_t> live_ids() const;
 
@@ -222,6 +263,12 @@ class Index {
   static void validate_range(const RangeRequest& request, index_t dim,
                              bool built, const char* backend,
                              std::string_view metric);
+  // Payload counterpart of validate_knn: same conditions minus the
+  // dimension check (payload elements have none).
+  static void validate_knn_payload(const PayloadSearchRequest& request,
+                                   index_t size, bool built,
+                                   const char* backend,
+                                   std::string_view metric);
 };
 
 }  // namespace rbc

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "api/backends/backends.hpp"
+#include "metricspace/generic_backend.hpp"
 #include "rbc/serialize_io.hpp"
 #include "shard/sharded_index.hpp"
 
@@ -59,9 +60,10 @@ bool register_backend(BackendEntry entry) {
   if (reg.find_locked(entry.name) != nullptr) return false;
   // A non-zero magic must be unique too: load_index dispatches on it, and a
   // duplicate would let a later registration hijack existing files. The
-  // sharded composite's magic is dispatched natively, so it is never
-  // claimable either.
-  if (entry.magic == io::kMagicSharded) return false;
+  // sharded composite's and the payload backend's magics are dispatched
+  // natively, so they are never claimable either.
+  if (entry.magic == io::kMagicSharded || entry.magic == io::kMagicPayload)
+    return false;
   if (entry.magic != 0)
     for (const BackendEntry& e : reg.entries)
       if (e.magic == entry.magic) return false;
@@ -118,6 +120,11 @@ std::unique_ptr<Index> load_index(std::istream& is) {
   // "sharded:<inner>" variant (the inner backend is named inside the
   // stream), which the one-magic-per-entry registry table cannot express.
   if (magic == io::kMagicSharded) return shard::ShardedIndex::load(is);
+
+  // Payload (generic metric-space) files dispatch natively too: one magic
+  // covers every host algorithm, and the hosts' registry entries already
+  // own their dense magics.
+  if (magic == io::kMagicPayload) return metricspace::load_payload_index(is);
 
   std::function<std::unique_ptr<Index>(std::istream&)> loader;
   {

@@ -50,6 +50,18 @@ struct SearchRequest {
   SearchOptions options{};
 };
 
+/// A batched k-NN query over a payload-built index (metricspace/: strings,
+/// graph nodes, user blobs). Each element of `queries` is one query's
+/// payload bytes in the dataset's encoding (the string itself under
+/// "edit"; the 8-byte little-endian node id under "graph-sp"). The same
+/// error contract as SearchRequest applies — plus a payload-validity check
+/// per metric space — through Index::knn_search_payload.
+struct PayloadSearchRequest {
+  const std::vector<std::string>* queries = nullptr;  // borrowed
+  index_t k = 1;
+  SearchOptions options{};
+};
+
 /// k-NN answers: row i of `knn` holds query i's neighbors in ascending
 /// (distance, id) order. Rows are always fully populated: the unified API
 /// rejects k > database size up front (std::invalid_argument; the concrete

@@ -9,7 +9,9 @@
 // top of this to be correct.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -25,6 +27,18 @@ concept MetricSpace = requires(const S s, index_t i) {
   { s[i] } -> std::convertible_to<const typename S::Point&>;
   { s.distance(s[i], s[i]) } -> std::convertible_to<double>;
 };
+
+/// A metric space with a cheap bounded evaluation: distance_bounded(a, b,
+/// band) must return the exact distance whenever it is <= band, and any
+/// value strictly greater than band otherwise (banded edit distance bails
+/// out of the DP once the whole band overflows). The generic searches pass
+/// their current kth-best bound, which provably never changes a returned
+/// k-set (see generic_knn_subset_pruned and the RBC offer loop).
+template <class S>
+concept BoundedMetricSpace =
+    MetricSpace<S> && requires(const S s, index_t i, double band) {
+      { s.distance_bounded(s[i], s[i], band) } -> std::convertible_to<double>;
+    };
 
 /// One (distance, id) neighbor in a generic space.
 struct GenericNeighbor {
@@ -55,6 +69,40 @@ std::vector<GenericNeighbor> generic_knn_subset(
                     all.end());
   all.resize(keep);
   return all;
+}
+
+/// Like generic_knn_subset, but when the space supports bounded evaluation
+/// each candidate is measured only up to the current kth-best distance.
+/// Returns exactly the same k-set (ties included): the band is only applied
+/// once `best` holds k entries, so a clamped value d' > band == back.dist
+/// describes a candidate that the plain scan would also have rejected, and
+/// a candidate at d == band is returned exact so tie displacement by id
+/// behaves identically.
+template <MetricSpace S>
+std::vector<GenericNeighbor> generic_knn_subset_pruned(
+    const S& space, const typename S::Point& query,
+    const std::vector<index_t>& ids, index_t k) {
+  std::vector<GenericNeighbor> best;
+  best.reserve(std::min<std::size_t>(k + 1, ids.size() + 1));
+  for (const index_t id : ids) {
+    double d;
+    if constexpr (BoundedMetricSpace<S>) {
+      const double band = best.size() >= k
+                              ? best.back().dist
+                              : std::numeric_limits<double>::infinity();
+      d = space.distance_bounded(query, space[id], band);
+    } else {
+      d = space.distance(query, space[id]);
+    }
+    const GenericNeighbor cand{d, id};
+    if (best.size() >= k) {
+      if (!(cand < best.back())) continue;
+      best.pop_back();
+    }
+    best.insert(std::lower_bound(best.begin(), best.end(), cand), cand);
+  }
+  counters::add_dist_evals(ids.size());
+  return best;
 }
 
 /// Brute-force k-NN of `query` among all points of the space.

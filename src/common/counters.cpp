@@ -10,6 +10,7 @@ namespace {
 // One cache line per thread slot to avoid false sharing between workers.
 struct alignas(64) Slot {
   std::atomic<std::uint64_t> value{0};
+  std::atomic<std::uint64_t> metric_cost{0};
 };
 
 // Registry of every thread's slot. Slots are never removed: a thread that
@@ -49,9 +50,24 @@ std::uint64_t total_dist_evals() noexcept {
   return sum;
 }
 
+void add_metric_cost(std::uint64_t n) noexcept {
+  local_slot().metric_cost.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t total_metric_cost() noexcept {
+  std::lock_guard lock(g_registry_mutex);
+  std::uint64_t sum = 0;
+  for (const Slot* slot : registry())
+    sum += slot->metric_cost.load(std::memory_order_relaxed);
+  return sum;
+}
+
 void reset() noexcept {
   std::lock_guard lock(g_registry_mutex);
-  for (Slot* slot : registry()) slot->value.store(0, std::memory_order_relaxed);
+  for (Slot* slot : registry()) {
+    slot->value.store(0, std::memory_order_relaxed);
+    slot->metric_cost.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace rbc::counters

@@ -21,8 +21,19 @@ void add_dist_evals(std::uint64_t n) noexcept;
 /// Sum of distance evaluations over all threads since the last reset().
 std::uint64_t total_dist_evals() noexcept;
 
-/// Zeroes every thread's counter. Call only while worker threads are
-/// quiescent (between benchmark phases).
+/// Adds `n` units of metric-specific work (DP cells filled under edit
+/// distance, edges relaxed under graph shortest-path, ...) to the calling
+/// thread's counter. Generic metric spaces report cost in their own unit
+/// (IndexInfo::cost_unit) because "one distance evaluation" says nothing
+/// about work when a single evaluation can be an O(|a||b|) dynamic program
+/// or a whole Dijkstra pass.
+void add_metric_cost(std::uint64_t n) noexcept;
+
+/// Sum of metric-cost units over all threads since the last reset().
+std::uint64_t total_metric_cost() noexcept;
+
+/// Zeroes every thread's counters (distance evals and metric cost). Call
+/// only while worker threads are quiescent (between benchmark phases).
 void reset() noexcept;
 
 /// RAII helper: records the counter at construction; delta() gives evals

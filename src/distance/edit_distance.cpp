@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "common/counters.hpp"
+
 namespace rbc {
 
 index_t edit_distance(std::string_view a, std::string_view b) {
   if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
   const std::size_t m = b.size();
+  // Cost accounting: one unit per DP cell filled (character comparison).
+  counters::add_metric_cost(static_cast<std::uint64_t>(a.size()) * m);
   if (m == 0) return static_cast<index_t>(a.size());
 
   // Single rolling row of the DP table.
@@ -40,10 +44,12 @@ index_t edit_distance_banded(std::string_view a, std::string_view b,
   for (std::size_t j = 0; j <= std::min<std::size_t>(m, band); ++j)
     row[j] = static_cast<index_t>(j);
 
+  std::uint64_t cells = 0;  // DP cells actually filled (the banded saving)
   for (std::size_t i = 1; i <= n; ++i) {
     // Only cells with |i-j| <= band can hold values <= band.
     const std::size_t lo = i > band ? i - band : 1;
     const std::size_t hi = std::min<std::size_t>(m, i + band);
+    cells += hi >= lo ? hi - lo + 1 : 0;
     index_t prev_diag = (lo == 1) ? row[0] : big;
     if (lo > 1) prev_diag = row[lo - 1];
     row[lo - 1] = (lo == 1 && i <= band) ? static_cast<index_t>(i) : big;
@@ -58,8 +64,12 @@ index_t edit_distance_banded(std::string_view a, std::string_view b,
       row_min = std::min(row_min, row[j]);
     }
     if (hi < m) row[hi + 1] = big;  // invalidate stale cell right of the band
-    if (row_min >= big) return big;  // the whole band overflowed: early out
+    if (row_min >= big) {            // the whole band overflowed: early out
+      counters::add_metric_cost(cells);
+      return big;
+    }
   }
+  counters::add_metric_cost(cells);
   return std::min(row[m], big);
 }
 

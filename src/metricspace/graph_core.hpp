@@ -1,0 +1,56 @@
+// Shared graph store behind graph datasets: adjacency plus a lazily filled
+// per-source shortest-path row cache.
+//
+// The seed's GraphSpace (distance/graph_metric.hpp) precomputes all pairs
+// up front — fine for examples, wrong for the serving path where a shard
+// only ever queries a slice of sources. Here Dijkstra runs on first use of
+// a source row and the row is cached; every row is computed from the
+// *smaller* endpoint of the (u, v) pair, so the floating-point sum order is
+// a function of the graph alone and distance(u, v) == distance(v, u) bit
+// for bit, on every shard, across save/load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metricspace/dataset.hpp"
+
+namespace rbc::metricspace {
+
+class GraphCore {
+ public:
+  /// Validates and adopts the edge list (endpoints < num_nodes, positive
+  /// finite weights). Throws std::invalid_argument on violation.
+  GraphCore(index_t num_nodes, std::vector<GraphEdge> edges);
+
+  index_t num_nodes() const { return num_nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Shortest-path distance between nodes u and v (infinity when
+  /// disconnected). Exactly representable as float — rows are rounded to
+  /// float once at cache-fill time, so the value survives the dist_t wire
+  /// and merge layers unchanged. Thread-safe; counts one metric-cost unit
+  /// per edge relaxation examined (cache hits cost zero).
+  double distance(index_t u, index_t v) const;
+
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Arc {
+    index_t to;
+    float weight;
+  };
+
+  const std::vector<float>& row_locked(index_t source) const;
+
+  index_t num_nodes_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<Arc>> adjacency_;
+  mutable std::mutex mutex_;
+  mutable std::vector<std::unique_ptr<std::vector<float>>> rows_;
+};
+
+}  // namespace rbc::metricspace

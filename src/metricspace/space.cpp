@@ -1,0 +1,202 @@
+#include "metricspace/space.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "api/metrics.hpp"
+#include "distance/edit_distance.hpp"
+#include "metricspace/graph_core.hpp"
+
+namespace rbc::metricspace {
+
+namespace {
+
+// ----------------------------------------------------------- edit space ----
+
+class EditSpace final : public Space {
+ public:
+  explicit EditSpace(DatasetHandle data) : data_(std::move(data)) {}
+
+  index_t size() const override { return data_->size(); }
+
+  double distance(index_t i, index_t j) const override {
+    return static_cast<double>(edit_distance(data_->item(i), data_->item(j)));
+  }
+
+  double query_distance(std::string_view query, index_t j) const override {
+    return static_cast<double>(edit_distance(query, data_->item(j)));
+  }
+
+  double query_distance_bounded(std::string_view query, index_t j,
+                                double band) const override {
+    // Edit distances are integral, so d <= band iff d <= floor(band): the
+    // integer band loses nothing. Bands beyond any string length mean "no
+    // useful bound yet" — run the plain scan.
+    if (!(band < 1e9)) return query_distance(query, j);
+    const auto b = static_cast<index_t>(band < 0.0 ? 0.0 : band);
+    return static_cast<double>(edit_distance_banded(query, data_->item(j), b));
+  }
+
+  std::string validate_query(std::string_view query) const override {
+    if (query.size() > kMaxPayloadBytes)
+      return "query string exceeds " + std::to_string(kMaxPayloadBytes) +
+             " bytes";
+    return {};
+  }
+
+ private:
+  DatasetHandle data_;
+};
+
+// ---------------------------------------------------------- graph space ----
+
+class GraphSpSpace final : public Space {
+ public:
+  explicit GraphSpSpace(DatasetHandle data)
+      : data_(std::move(data)),
+        core_(graph_core_of(*data_)),
+        nodes_(graph_nodes_of(*data_)) {}
+
+  index_t size() const override { return data_->size(); }
+
+  double distance(index_t i, index_t j) const override {
+    return core_->distance(nodes_[i], nodes_[j]);
+  }
+
+  double query_distance(std::string_view query, index_t j) const override {
+    return core_->distance(decode_node(query), nodes_[j]);
+  }
+
+  std::string validate_query(std::string_view query) const override {
+    if (query.size() != 8)
+      return "graph query payload must be exactly 8 bytes (little-endian "
+             "node id)";
+    const std::uint64_t id = decode_node(query);
+    if (id >= core_->num_nodes())
+      return "graph query node id " + std::to_string(id) +
+             " out of range (graph has " +
+             std::to_string(core_->num_nodes()) + " nodes)";
+    return {};
+  }
+
+ private:
+  static std::uint64_t decode_node(std::string_view query) {
+    std::uint64_t id = 0;
+    std::memcpy(&id, query.data(), 8);
+    return id;
+  }
+
+  DatasetHandle data_;
+  std::shared_ptr<const GraphCore> core_;
+  std::span<const index_t> nodes_;
+};
+
+// ------------------------------------------------------------- registry ----
+
+struct SpaceRegistry {
+  std::mutex mutex;
+  // deque: push_back never moves existing entries, so the pointers
+  // find_space hands out stay valid for the program's lifetime (entries
+  // are never removed).
+  std::deque<SpaceEntry> entries;
+
+  static SpaceRegistry& instance() {
+    static SpaceRegistry r;
+    return r;
+  }
+
+  const SpaceEntry* find_locked(std::string_view name) const {
+    for (const SpaceEntry& e : entries)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+};
+
+void ensure_builtins() {
+  // Pushes straight into the registry (not through register_space, which
+  // itself calls ensure_builtins): the shipped names are fresh by
+  // construction, and the direct push keeps the guarded static
+  // non-reentrant.
+  static const bool once = [] {
+    SpaceRegistry& reg = SpaceRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.entries.push_back(
+        {.name = "edit",
+         .dataset_kind = "strings",
+         .cost_unit = "chars_compared",
+         .bind = [](DatasetHandle data) -> std::unique_ptr<Space> {
+           return std::make_unique<EditSpace>(std::move(data));
+         }});
+    reg.entries.push_back(
+        {.name = "graph-sp",
+         .dataset_kind = "graph",
+         .cost_unit = "edges_relaxed",
+         .bind = [](DatasetHandle data) -> std::unique_ptr<Space> {
+           return std::make_unique<GraphSpSpace>(std::move(data));
+         }});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+bool register_space(SpaceEntry entry) {
+  // Shipped spaces register first even when a user registers before any
+  // lookup: space_names() promises registration order with shipped names
+  // leading, and "edit" / "graph-sp" must never be claimable.
+  ensure_builtins();
+  // A space name must not shadow a dense metric: the factory dispatches on
+  // "is this name in the space registry", so a shadowed "l2" would silently
+  // reroute every default build.
+  metric::Kind dense{};
+  if (metric::lookup(entry.name, dense)) return false;
+  if (entry.name.empty() || !entry.bind) return false;
+  SpaceRegistry& reg = SpaceRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.find_locked(entry.name) != nullptr) return false;
+  reg.entries.push_back(std::move(entry));
+  return true;
+}
+
+bool space_registered(std::string_view name) {
+  return find_space(name) != nullptr;
+}
+
+const SpaceEntry* find_space(std::string_view name) {
+  ensure_builtins();
+  SpaceRegistry& reg = SpaceRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.find_locked(name);
+}
+
+std::vector<std::string> space_names() {
+  ensure_builtins();
+  SpaceRegistry& reg = SpaceRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.entries.size());
+  for (const SpaceEntry& e : reg.entries) names.push_back(e.name);
+  return names;
+}
+
+std::unique_ptr<Space> bind_space(std::string_view metric_name,
+                                  const DatasetHandle& data) {
+  const SpaceEntry* entry = find_space(metric_name);
+  if (entry == nullptr)
+    throw std::invalid_argument("unknown metric space '" +
+                                std::string(metric_name) + "'");
+  if (data == nullptr)
+    throw std::invalid_argument("dataset handle is null");
+  if (data->kind() != entry->dataset_kind)
+    throw std::invalid_argument(
+        "metric '" + entry->name + "' requires a '" + entry->dataset_kind +
+        "' dataset, got '" + std::string(data->kind()) + "'");
+  return entry->bind(data);
+}
+
+}  // namespace rbc::metricspace

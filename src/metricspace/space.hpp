@@ -1,0 +1,112 @@
+// Metric-functor registry of the generic metric-space subsystem.
+//
+// The dense metric registry (api/metrics.hpp) names distances over float
+// rows; this registry names distances over *payload datasets* (dataset.hpp).
+// IndexOptions::metric resolves against both: a dense name builds the usual
+// matrix-backed backend, a name registered here routes the same
+// make_index() call to the generic payload backend (generic_backend.hpp),
+// and a name in neither fails with the uniform unsupported-metric error.
+//
+// Shipped spaces:
+//
+//   "edit"      Levenshtein edit distance over string collections
+//               (dataset kind "strings"; cost unit "chars_compared" — DP
+//               cells filled). Supports banded evaluation, so the generic
+//               RBC/BF scans bail out of hopeless comparisons early
+//               without changing any result bit.
+//   "graph-sp"  Shortest-path distance between graph nodes (dataset kind
+//               "graph"; cost unit "edges_relaxed"). Queries are 8-byte
+//               little-endian node ids; rows are lazy cached Dijkstra
+//               passes over the shared graph core.
+//
+// User metrics: register_space() accepts any functor over a shipped
+// dataset kind — see tests/test_metricspace.cpp for a registered
+// user-defined metric served end-to-end. Distances must satisfy the metric
+// axioms (RBC pruning relies on the triangle inequality) and must be
+// exactly representable as float (return double(float(d))) so sharded
+// merges preserve tie order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metricspace/dataset.hpp"
+
+namespace rbc::metricspace {
+
+/// A bound metric space: a distance function closed over one dataset.
+/// Element indices are dataset positions; query payloads use the same
+/// encoding as Dataset::item(). Implementations must be thread-safe for
+/// concurrent const calls and should report work through
+/// counters::add_metric_cost in their cost unit.
+class Space {
+ public:
+  virtual ~Space() = default;
+
+  virtual index_t size() const = 0;
+
+  /// Distance between elements i and j (exact; used at build time).
+  virtual double distance(index_t i, index_t j) const = 0;
+
+  /// Distance between a query payload and element j (exact).
+  virtual double query_distance(std::string_view query, index_t j) const = 0;
+
+  /// Bounded variant: must return the exact distance when it is <= band,
+  /// and any value > band otherwise. Default: the exact distance (always
+  /// valid). Spaces with a cheap early-out (banded edit distance) override
+  /// this; the generic searches pass their current kth-best bound.
+  virtual double query_distance_bounded(std::string_view query, index_t j,
+                                        double band) const {
+    (void)band;
+    return query_distance(query, j);
+  }
+
+  /// Validates a query payload. Returns the empty string when valid, else
+  /// a description ("query payload must be ...") that the caller wraps in
+  /// its uniform error shape.
+  virtual std::string validate_query(std::string_view query) const {
+    (void)query;
+    return {};
+  }
+};
+
+/// One registry row: how IndexOptions::metric binds to a dataset.
+struct SpaceEntry {
+  /// Registry name ("edit", "graph-sp") — the IndexOptions::metric value.
+  std::string name;
+  /// Dataset kind this metric runs over ("strings", "graph"); a
+  /// build_payload with a mismatched dataset is a request error.
+  std::string dataset_kind;
+  /// The unit counters::add_metric_cost is reported in for this metric
+  /// ("chars_compared", "edges_relaxed"); surfaced as IndexInfo::cost_unit.
+  std::string cost_unit;
+  /// Binds the metric over a dataset (already kind-checked).
+  std::function<std::unique_ptr<Space>(DatasetHandle)> bind;
+};
+
+/// Registers a metric space. Returns false (and changes nothing) when the
+/// name is taken — idempotent like rbc::register_backend, and a name must
+/// not shadow a dense metric (api/metrics.hpp), which also returns false.
+bool register_space(SpaceEntry entry);
+
+/// True when `name` resolves in this registry (the factory's dispatch
+/// test: such metrics build the generic payload backend).
+bool space_registered(std::string_view name);
+
+/// The registry row for `name`, or nullptr.
+const SpaceEntry* find_space(std::string_view name);
+
+/// Registered space names, in registration order (shipped first) — what
+/// the payload-capable backends report as IndexInfo::supported_spaces.
+std::vector<std::string> space_names();
+
+/// Binds metric `metric_name` over `data`, validating the dataset kind.
+/// Throws std::invalid_argument (caller-shaped messages are wrapped by the
+/// generic backend) on an unknown name or kind mismatch.
+std::unique_ptr<Space> bind_space(std::string_view metric_name,
+                                  const DatasetHandle& data);
+
+}  // namespace rbc::metricspace

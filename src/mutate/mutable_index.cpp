@@ -13,6 +13,7 @@
 
 #include "bruteforce/topk.hpp"
 #include "distance/metrics.hpp"
+#include "metricspace/space.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rbc/serialize_io.hpp"
 #include "shard/merge.hpp"
@@ -62,9 +63,15 @@ BackendEntry wrap(BackendEntry raw) {
   const auto raw_load = raw.load;
 
   BackendEntry wrapped = std::move(raw);
-  wrapped.create = [name, create, magic](const IndexOptions& options) {
-    return std::unique_ptr<Index>(
-        std::make_unique<MutableIndex>(name, options, create, magic));
+  wrapped.create =
+      [name, create, magic](const IndexOptions& options) -> std::unique_ptr<Index> {
+    // A metric-space name (metricspace/space.hpp) routes to the generic
+    // payload backend inside the raw factory; that path does not mutate
+    // (and the delta-shard machinery is row-matrix-shaped anyway), so the
+    // mutable wrapper steps aside instead of failing its dense-metric
+    // probe.
+    if (metricspace::space_registered(options.metric)) return create(options);
+    return std::make_unique<MutableIndex>(name, options, create, magic);
   };
   if (magic != 0 && raw_load) {
     // Version-dispatching loader: version-3 (and its storage-tagged

@@ -170,7 +170,18 @@ class RbcGenericExact {
           ++local.points_skipped_annulus;
           continue;
         }
-        offer(space.distance(query, space[member_ids_[p]]), member_ids_[p]);
+        // Bounded spaces measure only up to the current bound. A clamped
+        // value d' > bb >= T (the true kth distance; rep_bound >= T when
+        // nr >= k, and bb is infinite otherwise) can transiently sit in
+        // `best` while it is not yet full, but the >= k true neighbors all
+        // arrive exact (their d <= T <= band) and displace it, so the final
+        // k-set — ties included — matches the unbounded scan.
+        if constexpr (BoundedMetricSpace<S>) {
+          offer(space.distance_bounded(query, space[member_ids_[p]], bb),
+                member_ids_[p]);
+        } else {
+          offer(space.distance(query, space[member_ids_[p]]), member_ids_[p]);
+        }
         ++computed;
       }
       counters::add_dist_evals(computed);
@@ -259,7 +270,7 @@ class RbcGenericOneShot {
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
 
-    auto result = generic_knn_subset(space, query, candidates, k);
+    auto result = generic_knn_subset_pruned(space, query, candidates, k);
     local.list_dist_evals = candidates.size();
     if (stats != nullptr) stats->merge(local);
     return result;

@@ -50,6 +50,13 @@ inline constexpr std::uint32_t kFormatVersionStorage = 4;
 /// Format version 5: the mutable-index format (version 3) plus a storage
 /// tag after the metric tag — again written only when storage != float32.
 inline constexpr std::uint32_t kFormatVersionMutableStorage = 5;
+/// Payload-dataset index files (metricspace/: strings, graphs, user blobs)
+/// lead with their own magic — they carry a dataset, not a matrix, so no
+/// dense loader could misread one. Layout (version 6): magic, version,
+/// backend tag, metric-space tag, RbcParams, serialized dataset; search
+/// structures are rebuilt deterministically from the params on load.
+inline constexpr std::uint32_t kMagicPayload = 0x52424350;  // "RBCP"
+inline constexpr std::uint32_t kFormatVersionPayload = 6;
 
 /// Bytes between the current read position and the end of the stream, or
 /// -1 when the stream is not seekable. Loaders use this to reject a

@@ -218,6 +218,18 @@ KnnResult RbcClient::knn(const Matrix<float>& queries, index_t k,
       decode_knn_response(response.payload, response.version).result);
 }
 
+KnnResult RbcClient::knn_payload(const std::vector<std::string>& queries,
+                                 index_t k, std::uint32_t deadline_ms) {
+  const std::uint64_t id = next_request_id_++;
+  // Payload queries exist only in the v3 layout; there is no older frame to
+  // fall back to, so this call always requires a v3 server.
+  Response response = roundtrip(
+      encode_knn_payload_request(id, queries, k, deadline_ms, kNetVersion),
+      id, Op::kKnnResponse, deadline_ms);
+  return std::move(
+      decode_knn_response(response.payload, response.version).result);
+}
+
 std::vector<std::vector<index_t>> RbcClient::range(
     const Matrix<float>& queries, dist_t radius, std::uint32_t deadline_ms) {
   const std::uint64_t id = next_request_id_++;
@@ -232,12 +244,12 @@ std::vector<std::vector<index_t>> RbcClient::range(
 
 InfoMsg RbcClient::info() {
   const std::uint64_t id = next_request_id_++;
-  // Info/reload payloads are version-invariant; send the oldest version so
-  // these control frames work against any server.
-  return decode_info_response(
-      roundtrip(encode_info_request(id, kNetVersionMin), id, Op::kInfoResponse,
-                0)
-          .payload);
+  // Ask under the current version to receive the v3 tail (cost_unit,
+  // metric_cost); the server echoes the request's version, so the response
+  // decodes under response.version either way.
+  Response response = roundtrip(encode_info_request(id, kNetVersion), id,
+                                Op::kInfoResponse, 0);
+  return decode_info_response(response.payload, response.version);
 }
 
 void RbcClient::reload(const std::string& path) {

@@ -84,6 +84,14 @@ class RbcClient {
   KnnResult knn(const Matrix<float>& queries, index_t k,
                 std::uint32_t deadline_ms = 0);
 
+  /// Payload-query counterpart of knn() for servers whose index is
+  /// payload-built (strings under "edit", 8-byte node ids under
+  /// "graph-sp"). Always emits a v3 frame — payload queries have no older
+  /// wire layout — so it requires a v3 server. A dense-built server answers
+  /// RemoteError{kBadRequest}.
+  KnnResult knn_payload(const std::vector<std::string>& queries, index_t k,
+                        std::uint32_t deadline_ms = 0);
+
   /// All database ids within `radius` of each query, ascending by id.
   std::vector<std::vector<index_t>> range(const Matrix<float>& queries,
                                           dist_t radius,

@@ -157,9 +157,15 @@ std::optional<FrameHeader> parse_header(std::span<const std::uint8_t> bytes,
                         std::to_string(h.version));
   const std::uint8_t op = bytes[5];
   if (op < static_cast<std::uint8_t>(Op::kKnnRequest) ||
-      op > static_cast<std::uint8_t>(Op::kError))
+      op > static_cast<std::uint8_t>(Op::kKnnPayloadRequest))
     throw ProtocolError("rbc::net: unknown opcode " + std::to_string(op));
   h.op = static_cast<Op>(op);
+  // Opcodes introduced by a later version are malformed under an earlier
+  // one: a v2 frame claiming the v3 payload op cannot have a valid layout.
+  if (h.op == Op::kKnnPayloadRequest && h.version < 3)
+    throw ProtocolError(
+        "rbc::net: payload request opcode in a version-" +
+        std::to_string(h.version) + " frame (payload queries need v3)");
   std::uint16_t flags = 0;
   std::memcpy(&flags, bytes.data() + 6, 2);
   if (flags != 0)
@@ -280,6 +286,58 @@ KnnResponseMsg decode_knn_response(std::span<const std::uint8_t> payload,
   return msg;
 }
 
+// ------------------------------------------------------- knn (payload) ----
+
+std::vector<std::uint8_t> encode_knn_payload_request(
+    std::uint64_t request_id, const std::vector<std::string>& queries,
+    index_t k, std::uint32_t deadline_ms, std::uint8_t version) {
+  require_version(version, "encoding knn payload request");
+  if (version < 3)
+    throw ProtocolError(
+        "rbc::net: payload queries cannot be expressed in a version-" +
+        std::to_string(version) + " frame");
+  for (const std::string& q : queries)
+    if (q.size() > kMaxStringLen)
+      throw ProtocolError("rbc::net: payload query of " +
+                          std::to_string(q.size()) +
+                          " bytes exceeds the per-query limit of " +
+                          std::to_string(kMaxStringLen));
+  Writer w;
+  w.pod<std::uint32_t>(k);
+  w.pod<std::uint32_t>(deadline_ms);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(queries.size()));
+  for (const std::string& q : queries) w.str(q);
+  return encode_frame(Op::kKnnPayloadRequest, request_id, w.buf, version);
+}
+
+KnnPayloadRequestMsg decode_knn_payload_request(
+    std::span<const std::uint8_t> payload, std::uint8_t version) {
+  require_version(version, "decoding knn payload request");
+  if (version < 3)
+    throw ProtocolError(
+        "rbc::net: knn payload request under protocol version " +
+        std::to_string(version) + " (payload queries need v3)");
+  Reader r{payload, 0, "knn payload request"};
+  KnnPayloadRequestMsg msg;
+  const auto k = r.pod<std::uint32_t>("k");
+  if (k == 0 || k > kMaxKPerFrame)
+    throw ProtocolError("rbc::net: implausible k " + std::to_string(k));
+  msg.k = static_cast<index_t>(k);
+  msg.deadline_ms = r.pod<std::uint32_t>("deadline_ms");
+  const auto nq = r.pod<std::uint32_t>("nq");
+  if (nq > kMaxRowsPerFrame)
+    throw ProtocolError("rbc::net: implausible row count " +
+                        std::to_string(nq));
+  // Reader::str caps each query at kMaxStringLen and validates the claimed
+  // length against the bytes present before allocating, so total decode
+  // allocation is bounded by the payload actually received.
+  msg.queries.reserve(nq);
+  for (std::uint32_t i = 0; i < nq; ++i)
+    msg.queries.push_back(r.str("query"));
+  r.done();
+  return msg;
+}
+
 // --------------------------------------------------------------- range ----
 
 std::vector<std::uint8_t> encode_range_request(std::uint64_t request_id,
@@ -376,10 +434,16 @@ std::vector<std::uint8_t> encode_info_response(std::uint64_t request_id,
   w.pod<std::uint64_t>(info.conn_rejected);
   w.pod<std::uint64_t>(info.conn_bytes_in);
   w.pod<std::uint64_t>(info.conn_bytes_out);
+  if (version >= 3) {
+    w.str(info.cost_unit);
+    w.pod<std::uint64_t>(info.metric_cost);
+  }
   return encode_frame(Op::kInfoResponse, request_id, w.buf, version);
 }
 
-InfoMsg decode_info_response(std::span<const std::uint8_t> payload) {
+InfoMsg decode_info_response(std::span<const std::uint8_t> payload,
+                             std::uint8_t version) {
+  require_version(version, "decoding info response");
   Reader r{payload, 0, "info response"};
   InfoMsg info;
   info.backend = r.str("backend");
@@ -394,6 +458,10 @@ InfoMsg decode_info_response(std::span<const std::uint8_t> payload) {
   info.conn_rejected = r.pod<std::uint64_t>("conn_rejected");
   info.conn_bytes_in = r.pod<std::uint64_t>("conn_bytes_in");
   info.conn_bytes_out = r.pod<std::uint64_t>("conn_bytes_out");
+  if (version >= 3) {
+    info.cost_unit = r.str("cost_unit");
+    info.metric_cost = r.pod<std::uint64_t>("metric_cost");
+  }
   r.done();
   return info;
 }

@@ -25,6 +25,15 @@
 //     shard counts backing the answer, so routers can report partial
 //     results instead of failing closed. A single-shard server reports
 //     {1, 1}.
+// Version 3 adds:
+//   * kKnnPayloadRequest — length-prefixed payload queries (strings under
+//     "edit", 8-byte node ids under "graph-sp", ...) against a
+//     payload-built index (src/metricspace/). Answered by an ordinary
+//     kKnnResponse; v3 frames only (a v1/v2 frame with this opcode is
+//     malformed).
+//   * cost_unit + metric_cost on kInfoResponse — the per-metric work
+//     counter of payload indexes (IndexInfo::cost_unit names the unit).
+//     Absent from v1/v2 info frames.
 //
 // Codec hardening is first-class: every decode validates claimed counts
 // against the bytes actually present *before* allocating (the same
@@ -38,6 +47,8 @@
 // absent from version-1 frames):
 //   kKnnRequest   {k, [v2] deadline_ms, nq, dim, rows}
 //       -> kKnnResponse {nq, k, ids, dists, [v2] covered, total}
+//   kKnnPayloadRequest [v3] {k, deadline_ms, nq, nq x (len, bytes)}
+//       -> kKnnResponse (same layout as above)
 //   kRangeRequest {radius, [v2] deadline_ms, nq, dim, rows}
 //       -> kRangeResponse {per-query ids, [v2] covered, total}
 //   kInfoRequest  {}                        -> kInfoResponse {InfoMsg}
@@ -59,7 +70,7 @@
 namespace rbc::serve::net {
 
 inline constexpr std::uint32_t kNetMagic = 0x5242434E;  // "RBCN"
-inline constexpr std::uint8_t kNetVersion = 2;
+inline constexpr std::uint8_t kNetVersion = 3;
 inline constexpr std::uint8_t kNetVersionMin = 1;
 inline constexpr std::size_t kHeaderSize = 20;
 
@@ -86,6 +97,7 @@ enum class Op : std::uint8_t {
   kReloadRequest = 7,
   kReloadResponse = 8,
   kError = 9,
+  kKnnPayloadRequest = 10,  ///< v3: payload queries; answered by kKnnResponse
 };
 
 /// Machine-readable failure classes carried by kError frames.
@@ -139,6 +151,16 @@ struct KnnRequestMsg {
   Matrix<float> queries;
 };
 
+/// v3: payload queries against a payload-built index. The codec bounds each
+/// query at kMaxStringLen bytes (matching metricspace's kMaxPayloadBytes
+/// dataset cap) and validates per-query lengths against the bytes actually
+/// present before allocating.
+struct KnnPayloadRequestMsg {
+  index_t k = 0;
+  std::uint32_t deadline_ms = 0;  ///< remaining budget; 0 = no deadline
+  std::vector<std::string> queries;
+};
+
 struct RangeRequestMsg {
   dist_t radius = 0.0f;
   std::uint32_t deadline_ms = 0;  ///< v2: remaining budget; 0 = no deadline
@@ -189,6 +211,12 @@ struct InfoMsg {
   std::uint64_t conn_rejected = 0;  ///< this connection's rejections
   std::uint64_t conn_bytes_in = 0;
   std::uint64_t conn_bytes_out = 0;
+  /// v3: per-metric work accounting of payload indexes. cost_unit names
+  /// the unit ("chars_compared", "edges_relaxed"; empty for dense indexes),
+  /// metric_cost is the service-lifetime total. Absent from v1/v2 frames
+  /// (decode leaves the defaults).
+  std::string cost_unit;
+  std::uint64_t metric_cost = 0;
 };
 
 // Encoders return a complete frame (header included). Decoders take the
@@ -215,6 +243,16 @@ std::vector<std::uint8_t> encode_knn_response(std::uint64_t request_id,
 KnnResponseMsg decode_knn_response(std::span<const std::uint8_t> payload,
                                    std::uint8_t version = kNetVersion);
 
+// v3-only: both encoder and decoder throw ProtocolError under version < 3
+// (there is no older layout to fall back to — an old server cannot serve
+// payload queries at all).
+std::vector<std::uint8_t> encode_knn_payload_request(
+    std::uint64_t request_id, const std::vector<std::string>& queries,
+    index_t k, std::uint32_t deadline_ms = 0,
+    std::uint8_t version = kNetVersion);
+KnnPayloadRequestMsg decode_knn_payload_request(
+    std::span<const std::uint8_t> payload, std::uint8_t version = kNetVersion);
+
 std::vector<std::uint8_t> encode_range_request(std::uint64_t request_id,
                                                const Matrix<float>& queries,
                                                dist_t radius,
@@ -230,9 +268,11 @@ std::vector<std::uint8_t> encode_range_response(
 RangeResponseMsg decode_range_response(std::span<const std::uint8_t> payload,
                                        std::uint8_t version = kNetVersion);
 
-// Info/reload/error payloads are identical across versions; the version
+// Reload/error payloads are identical across versions; the version
 // parameter only stamps the frame header (a server echoes the request's
-// version, a client talking to an old server sends version 1).
+// version, a client talking to an old server sends version 1). Info
+// responses gained a v3 tail (cost_unit, metric_cost): v1/v2 frames omit
+// it, and the decoder leaves the InfoMsg defaults.
 
 std::vector<std::uint8_t> encode_info_request(std::uint64_t request_id,
                                               std::uint8_t version =
@@ -241,7 +281,8 @@ std::vector<std::uint8_t> encode_info_response(std::uint64_t request_id,
                                                const InfoMsg& info,
                                                std::uint8_t version =
                                                    kNetVersion);
-InfoMsg decode_info_response(std::span<const std::uint8_t> payload);
+InfoMsg decode_info_response(std::span<const std::uint8_t> payload,
+                             std::uint8_t version = kNetVersion);
 
 std::vector<std::uint8_t> encode_reload_request(std::uint64_t request_id,
                                                 const std::string& path,

@@ -455,6 +455,65 @@ bool RbcServer::handle_frame(Connection& conn, const FrameHeader& header,
         return true;
       }
 
+      case Op::kKnnPayloadRequest: {
+        // v3 payload queries. The service's payload validator rejects this
+        // on a dense-built index with invalid_argument -> kBadRequest below;
+        // the admission/deadline/coverage handling mirrors kKnnRequest
+        // exactly (the response is an ordinary kKnnResponse).
+        KnnPayloadRequestMsg msg = decode_knn_payload_request(payload,
+                                                              version);
+        if (draining_) {
+          send_error(conn, id, ErrorCode::kShuttingDown, "server draining",
+                     version);
+          return true;
+        }
+        std::future<KnnResult> future;
+        const Admission admission =
+            svc->try_submit_payload_batch(msg.queries, msg.k, future);
+        if (admission == Admission::kOverloaded) {
+          conn.counters.rejected += 1;
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            stats_.rejected += 1;
+          }
+          send_reply(conn, encode_error(id,
+                                        {ErrorCode::kOverloaded,
+                                         options_.retry_after_ms,
+                                         "admission queue full"},
+                                        version));
+          return true;
+        }
+        if (admission == Admission::kStopped) {
+          send_error(conn, id, ErrorCode::kShuttingDown, "service stopped",
+                     version);
+          return true;
+        }
+        conn.counters.requests += 1;
+        in_flight_ += 1;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.requests += 1;
+        }
+        const auto deadline = request_deadline(msg.deadline_ms);
+        auto shared_future =
+            std::make_shared<std::future<KnnResult>>(std::move(future));
+        post_task([this, conn_id, id, version, deadline, shared_future] {
+          std::vector<std::uint8_t> frame;
+          try {
+            KnnResult result = shared_future->get();
+            if (deadline && std::chrono::steady_clock::now() > *deadline)
+              frame = deadline_error(id, version);
+            else
+              frame = encode_knn_response(id, result, {1, 1}, version);
+          } catch (const std::exception& e) {
+            frame = encode_error(id, {ErrorCode::kInternal, 0, e.what()},
+                                 version);
+          }
+          post_reply(conn_id, std::move(frame), /*in_flight_done=*/true);
+        });
+        return true;
+      }
+
       case Op::kRangeRequest: {
         RangeRequestMsg msg = decode_range_request(payload, version);
         if (draining_) {
@@ -589,6 +648,8 @@ InfoMsg RbcServer::make_info(const Connection& conn) const {
   info.conn_rejected = conn.counters.rejected;
   info.conn_bytes_in = conn.counters.bytes_in;
   info.conn_bytes_out = conn.counters.bytes_out;
+  info.cost_unit = index_info.cost_unit;
+  info.metric_cost = service_stats.metric_cost;
   return info;
 }
 

@@ -18,7 +18,8 @@ SearchService::SearchService(std::unique_ptr<Index> index,
   dim_ = info.dim;
   db_size_ = info.size;
   metric_ = info.metric;
-  if (dim_ == 0)
+  payload_ = info.payload;
+  if (dim_ == 0 && !payload_)
     throw std::invalid_argument(
         "rbc::serve::SearchService: index is unbuilt (info().dim == 0); "
         "build it before constructing the service");
@@ -42,9 +43,25 @@ void SearchService::validate_submission(index_t nq, index_t cols,
   auto fail = [](const std::string& what) {
     throw std::invalid_argument("rbc::serve::SearchService: " + what);
   };
+  if (payload_ && nq > 0)
+    fail("index is payload-built (use submit_payload / "
+         "submit_payload_batch)");
   if (cols != dim_ && nq > 0)
     fail("query dimension " + std::to_string(cols) + " != index dimension " +
          std::to_string(dim_));
+  if (k == 0) fail("k must be >= 1");
+  const index_t db_size = db_size_.load(std::memory_order_relaxed);
+  if (k > db_size)
+    fail("k = " + std::to_string(k) + " exceeds database size " +
+         std::to_string(db_size));
+}
+
+void SearchService::validate_payload_submission(index_t nq, index_t k) const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("rbc::serve::SearchService: " + what);
+  };
+  if (!payload_ && nq > 0)
+    fail("index is dense-built (use submit / submit_batch)");
   if (k == 0) fail("k must be >= 1");
   const index_t db_size = db_size_.load(std::memory_order_relaxed);
   if (k > db_size)
@@ -122,6 +139,65 @@ Admission SearchService::try_submit_batch(const Matrix<float>& queries,
     std::memcpy(job.data.data() + static_cast<std::size_t>(i) * dim_,
                 queries.row(i), sizeof(float) * dim_);
   job.nq = queries.rows();
+  job.k = k;
+  job.single = false;
+  std::future<KnnResult> future = job.block_promise.get_future();
+  const std::size_t rows = job.nq;
+  const Admission admission = enqueue_try(job);
+  if (admission == Admission::kAccepted) {
+    out = std::move(future);
+    recorder_.record_submitted(rows);
+    cv_pending_.notify_one();
+  } else {
+    recorder_.record_rejected(rows);
+  }
+  return admission;
+}
+
+std::future<QueryResult> SearchService::submit_payload(std::string_view query,
+                                                       index_t k) {
+  validate_payload_submission(1, k);
+  Job job;
+  job.payloads.emplace_back(query);
+  job.nq = 1;
+  job.k = k;
+  job.single = true;
+  std::future<QueryResult> future = job.single_promise.get_future();
+  enqueue(std::move(job));
+  return future;
+}
+
+std::future<KnnResult> SearchService::submit_payload_batch(
+    const std::vector<std::string>& queries, index_t k) {
+  validate_payload_submission(static_cast<index_t>(queries.size()), k);
+  if (queries.empty()) {
+    std::promise<KnnResult> done;
+    done.set_value(KnnResult(0, k));
+    return done.get_future();
+  }
+  Job job;
+  job.payloads = queries;
+  job.nq = static_cast<index_t>(queries.size());
+  job.k = k;
+  job.single = false;
+  std::future<KnnResult> future = job.block_promise.get_future();
+  enqueue(std::move(job));
+  return future;
+}
+
+Admission SearchService::try_submit_payload_batch(
+    const std::vector<std::string>& queries, index_t k,
+    std::future<KnnResult>& out) {
+  validate_payload_submission(static_cast<index_t>(queries.size()), k);
+  if (queries.empty()) {
+    std::promise<KnnResult> done;
+    done.set_value(KnnResult(0, k));
+    out = done.get_future();
+    return Admission::kAccepted;
+  }
+  Job job;
+  job.payloads = queries;
+  job.nq = static_cast<index_t>(queries.size());
   job.k = k;
   job.single = false;
   std::future<KnnResult> future = job.block_promise.get_future();
@@ -259,15 +335,25 @@ void SearchService::worker_loop() {
 }
 
 void SearchService::execute(Batch& batch) {
-  // Assemble the coalesced query block. Matrix zero-initializes padding
-  // lanes, so a plain per-row memcpy of the logical columns is enough.
-  Matrix<float> block(batch.rows, dim_);
+  // Assemble the coalesced query block. A service's jobs are all one kind
+  // (the index is either dense- or payload-built), so the batch is too:
+  // payload jobs concatenate into one string vector, dense jobs into one
+  // Matrix (which zero-initializes padding lanes, so a plain per-row memcpy
+  // of the logical columns is enough).
+  Matrix<float> block(payload_ ? 0 : batch.rows, dim_);
+  std::vector<std::string> payload_block;
   index_t row = 0;
-  for (const Job& job : batch.jobs) {
-    for (index_t i = 0; i < job.nq; ++i, ++row)
-      std::memcpy(block.row(row),
-                  job.data.data() + static_cast<std::size_t>(i) * dim_,
-                  sizeof(float) * dim_);
+  if (payload_) {
+    payload_block.reserve(batch.rows);
+    for (Job& job : batch.jobs)
+      for (std::string& q : job.payloads) payload_block.push_back(std::move(q));
+  } else {
+    for (const Job& job : batch.jobs) {
+      for (index_t i = 0; i < job.nq; ++i, ++row)
+        std::memcpy(block.row(row),
+                    job.data.data() + static_cast<std::size_t>(i) * dim_,
+                    sizeof(float) * dim_);
+    }
   }
 
   // Stamp the batch with the index's metric: the shared validator then
@@ -275,6 +361,9 @@ void SearchService::execute(Batch& batch) {
   // returned distances mean.
   SearchRequest request{.queries = &block, .k = batch.k, .options = {}};
   request.options.metric = metric_;
+  PayloadSearchRequest payload_request{
+      .queries = &payload_block, .k = batch.k, .options = {}};
+  payload_request.options.metric = metric_;
   std::vector<double> latencies_ms;
   latencies_ms.reserve(batch.jobs.size());
   const auto finish_time = [&latencies_ms](const Job& job) {
@@ -286,7 +375,8 @@ void SearchService::execute(Batch& batch) {
   SearchResponse response;
   std::exception_ptr error;
   try {
-    response = index_->knn_search(request);
+    response = payload_ ? index_->knn_search_payload(payload_request)
+                        : index_->knn_search(request);
   } catch (...) {
     error = std::current_exception();
   }

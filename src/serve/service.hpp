@@ -44,6 +44,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -105,7 +106,7 @@ enum class Admission : std::uint8_t {
 class SearchService {
  public:
   /// Takes ownership of a *built* index. Throws std::invalid_argument if
-  /// `index` is null or unbuilt (info().dim == 0).
+  /// `index` is null or unbuilt (info().dim == 0 and not payload-built).
   explicit SearchService(std::unique_ptr<Index> index,
                          ServiceOptions options = {});
 
@@ -140,6 +141,21 @@ class SearchService {
   /// is accepted immediately with an empty result.
   Admission try_submit_batch(const Matrix<float>& queries, index_t k,
                              std::future<KnnResult>& out);
+
+  /// Payload counterparts of submit / submit_batch / try_submit_batch, live
+  /// when the owned index is payload-built (info().payload; strings under
+  /// "edit", 8-byte node ids under "graph-sp", ...). Payloads are copied
+  /// before returning; batching, backpressure, admission control, and the
+  /// error contract are identical to the dense paths — including synchronous
+  /// std::invalid_argument on k == 0 / k > database size, and on calling
+  /// these on a dense service (or the dense entry points on a payload one).
+  /// Per-metric payload validity (e.g. a graph node id out of range) is the
+  /// backend's check and surfaces through the future.
+  std::future<QueryResult> submit_payload(std::string_view query, index_t k);
+  std::future<KnnResult> submit_payload_batch(
+      const std::vector<std::string>& queries, index_t k);
+  Admission try_submit_payload_batch(const std::vector<std::string>& queries,
+                                     index_t k, std::future<KnnResult>& out);
 
   /// Forwards an insert to the owned index (Index::insert contract: new
   /// unique ids, rows copied). Mutation-capable backends apply it without
@@ -191,9 +207,12 @@ class SearchService {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  // One submission: a packed row block plus the promise that resolves it.
+  // One submission: a packed row block (dense) or a payload list, plus the
+  // promise that resolves it. A service's jobs are all one kind — the index
+  // is either dense- or payload-built — so batches never mix.
   struct Job {
-    std::vector<float> data;  // nq * dim, tightly packed row-major
+    std::vector<float> data;  // nq * dim, tightly packed row-major (dense)
+    std::vector<std::string> payloads;  // nq payload strings (payload mode)
     index_t nq = 0;
     index_t k = 0;
     std::chrono::steady_clock::time_point enqueued;
@@ -218,10 +237,12 @@ class SearchService {
   // Total rows of pending jobs with this k (what the next batch could hold).
   index_t matching_rows_locked(index_t k) const;
   void validate_submission(index_t nq, index_t cols, index_t k) const;
+  void validate_payload_submission(index_t nq, index_t k) const;
 
   std::unique_ptr<Index> index_;
   ServiceOptions options_;
   index_t dim_ = 0;
+  bool payload_ = false;  // payload-built index: payload entry points live
   /// Live row count, refreshed by the mutation entry points; atomic because
   /// validate_submission reads it without taking the queue mutex.
   std::atomic<index_t> db_size_{0};

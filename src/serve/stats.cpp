@@ -31,6 +31,7 @@ std::size_t hist_bucket(std::size_t rows) {
 
 StatsRecorder::StatsRecorder()
     : dist_evals_start_(counters::total_dist_evals()),
+      metric_cost_start_(counters::total_metric_cost()),
       start_(std::chrono::steady_clock::now()) {
   latency_ring_.reserve(kLatencyWindow);
 }
@@ -88,6 +89,7 @@ ServiceStats StatsRecorder::snapshot() const {
                                  out.wall_seconds
                            : 0.0;
   out.dist_evals = counters::total_dist_evals() - dist_evals_start_;
+  out.metric_cost = counters::total_metric_cost() - metric_cost_start_;
   return out;
 }
 

@@ -57,6 +57,11 @@ struct ServiceStats {
                                  ///< service start (process-wide facility:
                                  ///< includes any concurrent non-service
                                  ///< searches in the same process)
+  /// counters::total_metric_cost delta since service start — the per-metric
+  /// work of payload indexes (DP cells for "edit", relaxed edges for
+  /// "graph-sp"; unit in IndexInfo::cost_unit). 0 for dense services, whose
+  /// unit of work is the distance evaluation above.
+  std::uint64_t metric_cost = 0;
 
   /// Mean rows per dispatched batch (0 before the first dispatch).
   double mean_batch() const {
@@ -96,6 +101,7 @@ class StatsRecorder {
   std::vector<double> latency_ring_;   // most recent latencies, ms
   std::size_t ring_next_ = 0;
   std::uint64_t dist_evals_start_ = 0;
+  std::uint64_t metric_cost_start_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "metricspace/dataset.hpp"
+#include "metricspace/space.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rbc/serialize_io.hpp"
 #include "shard/merge.hpp"
@@ -63,6 +65,7 @@ ShardedIndex::ShardedIndex(std::string_view inner, const IndexOptions& options)
   probe_ = make_index(inner_, options_);
   metric_ = probe_->info().metric;
   mutable_mode_ = probe_->info().supports_mutation;
+  payload_ = probe_->info().payload;
 }
 
 void ShardedIndex::fail(const std::string& what) const {
@@ -127,6 +130,9 @@ void ShardedIndex::build_id_native(const Matrix<float>& X,
 }
 
 void ShardedIndex::build(const Matrix<float>& X) {
+  if (payload_)
+    fail("dense build() on payload metric '" + metric_ +
+         "' (use build_payload)");
   if (mutable_mode_) {
     // build(X) is build_with_ids with the identity labelling.
     std::vector<index_t> ids(X.rows());
@@ -180,7 +186,91 @@ void ShardedIndex::build_with_ids(const Matrix<float>& X,
   build_id_native(X, std::vector<index_t>(ids.begin(), ids.end()));
 }
 
+void ShardedIndex::build_payload(const metricspace::DatasetHandle& data) {
+  if (!payload_) return Index::build_payload(data);  // uniform unsupported
+  if (data == nullptr) fail("dataset handle is null");
+  // Kind-check before the fan-out: the per-shard builds below run inside an
+  // OpenMP region, where an inner backend's mismatch exception would
+  // terminate the process instead of reaching the caller.
+  if (const metricspace::SpaceEntry* entry = metricspace::find_space(metric_);
+      entry != nullptr && data->kind() != entry->dataset_kind)
+    fail("metric '" + metric_ + "' requires a '" + entry->dataset_kind +
+         "' dataset, got '" + std::string(data->kind()) + "'");
+
+  // The legacy (immutable) layout, over dataset subsets instead of row
+  // copies: shard s's element j is global element global_ids[j], and
+  // subset() preserves ascending order, so the merge remap below is the
+  // same monotone map the dense path relies on.
+  std::vector<std::vector<index_t>> assignment =
+      partition_rows(data->size(), options_.num_shards, partition_);
+
+  std::vector<Shard> shards;
+  shards.reserve(assignment.size());
+  for (std::vector<index_t>& rows : assignment) {
+    if (rows.empty()) continue;  // num_shards > n: excess shards stay unbuilt
+    Shard shard;
+    shard.index = make_index(inner_, options_);
+    shard.global_ids = std::move(rows);
+    shard.live = static_cast<index_t>(shard.global_ids.size());
+    shards.push_back(std::move(shard));
+  }
+
+  parallel_for_dynamic(
+      0, static_cast<std::int64_t>(shards.size()),
+      [&](index_t s) {
+        shards[s].index->build_payload(data->subset(shards[s].global_ids));
+      },
+      /*chunk=*/1);
+
+  std::unique_lock lock(mutex_);
+  shards_ = std::move(shards);
+  id_to_shard_.clear();
+  size_ = data->size();
+  dim_ = 0;
+  built_ = true;
+}
+
+SearchResponse ShardedIndex::knn_search_payload(
+    const PayloadSearchRequest& request) const {
+  if (!payload_) return Index::knn_search_payload(request);  // unsupported
+  std::shared_lock lock(mutex_);
+  validate_knn_payload(request, size_, built_, name_.c_str(), metric_);
+  const index_t nq = static_cast<index_t>(request.queries->size());
+  const index_t k = request.k;
+
+  // Fan-out / exact k-way merge, exactly as the dense path below: k is
+  // clamped to each shard's live count so every returned row is fully
+  // populated, and shard-local ids remap to global ids monotonically.
+  std::vector<SearchResponse> fanout(shards_.size());
+  std::vector<index_t> shard_k(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].live == 0) continue;
+    PayloadSearchRequest sub = request;
+    shard_k[s] = std::min<index_t>(k, shards_[s].live);
+    sub.k = shard_k[s];
+    fanout[s] = shards_[s].index->knn_search_payload(sub);
+  }
+
+  std::vector<MergeInput> inputs;
+  inputs.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_k[s] == 0) continue;
+    inputs.push_back({&fanout[s].knn, shard_k[s], &shards_[s].global_ids});
+  }
+  SearchResponse response;
+  response.knn = merge_shard_topk(nq, k, inputs);
+
+  if (request.options.collect_stats) {
+    for (const SearchResponse& r : fanout) response.stats.merge(r.stats);
+    response.stats.queries = nq;  // each query answered once, not once/shard
+  }
+  return response;
+}
+
 SearchResponse ShardedIndex::knn_search(const SearchRequest& request) const {
+  if (payload_)
+    fail("dense knn_search() on payload metric '" + metric_ +
+         "' (use knn_search_payload)");
   std::shared_lock lock(mutex_);
   validate_knn(request, dim_, size_, built_, name_.c_str(), metric_);
   const Matrix<float>& Q = *request.queries;
@@ -540,6 +630,10 @@ IndexInfo ShardedIndex::info_locked() const {
   info.memory_bytes +=
       id_to_shard_.size() * sizeof(std::pair<index_t, std::uint32_t>);
   if (shards_.empty()) info.exact = inner_info.exact;
+  // Payload composites mirror the inner payload capability surface.
+  info.payload = inner_info.payload;
+  info.cost_unit = inner_info.cost_unit;
+  info.supported_spaces = inner_info.supported_spaces;
   return info;
 }
 

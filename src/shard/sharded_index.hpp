@@ -88,6 +88,16 @@ class ShardedIndex final : public Index {
   SearchResponse knn_search(const SearchRequest& request) const override;
   RangeResponse range_search(const RangeRequest& request) const override;
 
+  /// Payload (generic metric-space) composites: live when the inner backend
+  /// resolved IndexOptions::metric to a payload space. Each shard is built
+  /// over Dataset::subset of its row set — ascending order is preserved, so
+  /// the same global-id remap and k-way merge the dense path uses apply
+  /// unchanged, and the composite stays bit-identical to the inner backend
+  /// run unsharded.
+  void build_payload(const metricspace::DatasetHandle& data) override;
+  SearchResponse knn_search_payload(
+      const PayloadSearchRequest& request) const override;
+
   void insert(const Matrix<float>& rows,
               std::span<const index_t> ids) override;
   index_t remove(std::span<const index_t> ids) override;
@@ -133,6 +143,9 @@ class ShardedIndex final : public Index {
   /// Inner backend supports mutation => the composite runs id-native and
   /// mutation entry points are live.
   bool mutable_mode_ = false;
+  /// Inner backend resolved the metric to a payload space => the payload
+  /// entry points are live and the dense ones are rejected.
+  bool payload_ = false;
 
   mutable std::shared_mutex mutex_;  // guards everything below
   std::vector<Shard> shards_;  // id-native: all num_shards; legacy: non-empty

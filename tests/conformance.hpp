@@ -29,6 +29,8 @@
 
 #include "api/api.hpp"
 #include "api/metrics.hpp"
+#include "metricspace/dataset.hpp"
+#include "metricspace/space.hpp"
 #include "test_util.hpp"
 
 namespace rbc::conformance {
@@ -803,9 +805,432 @@ inline void check_mutated_serialize_roundtrip(const std::string& backend) {
   }
 }
 
-/// The parameterized suite type; test_conformance.cpp instantiates it from
-/// registered_backends() and a coverage test asserts nothing was skipped.
+// ------------------------------------------ generic metric-space matrix ---
+//
+// The payload counterpart of the dense checks above: every backend that
+// declares supported_spaces must serve each registered metric space
+// (strings under "edit", graph nodes under "graph-sp", user functors) with
+// the same contracts the dense suite pins — exactness against an
+// independent naive reference including tie order, the uniform
+// request-error shapes, serialize round-trips, and sharded bit-parity.
+// test_conformance.cpp instantiates GenericSpaceConformanceTest over the
+// payload-capable subset of the registry, with its own coverage gate.
+
+/// A named (dataset, queries) pair of one payload kind. Queries use the
+/// same payload encoding Dataset::item() exposes.
+struct PayloadDataset {
+  std::string name;
+  metricspace::DatasetHandle data;
+  std::vector<std::string> queries;
+};
+
+/// The 8-byte little-endian node-id payload — the graph-space query
+/// encoding (dataset.hpp).
+inline std::string encoded_node(std::uint64_t id) {
+  std::string payload(8, '\0');
+  for (int b = 0; b < 8; ++b)
+    payload[b] = static_cast<char>((id >> (8 * b)) & 0xffu);
+  return payload;
+}
+
+/// Clustered word list (a few base words plus 1-2 single-character
+/// mutations each): the string analogue of the dense suite's blob
+/// datasets, with the low intrinsic dimension RBC pruning exploits.
+inline std::vector<std::string> payload_words(index_t count, index_t bases,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> base(bases);
+  for (auto& b : base) {
+    b.resize(12 + rng.uniform_index(8));
+    for (auto& ch : b) ch = static_cast<char>('a' + rng.uniform_index(26));
+  }
+  std::vector<std::string> words(count);
+  for (auto& w : words) {
+    w = base[rng.uniform_index(bases)];
+    const index_t mutations = 1 + rng.uniform_index(2);
+    for (index_t m = 0; m < mutations; ++m)
+      w[rng.uniform_index(static_cast<index_t>(w.size()))] =
+          static_cast<char>('a' + rng.uniform_index(26));
+  }
+  return words;
+}
+
+/// The suite's fixed payload datasets per dataset kind: clustered strings,
+/// strings with duplicated items (guaranteed distance ties), a chord-ring
+/// graph over every node, and the same style of graph over a node subset
+/// (exercising the element -> node-id remap). Queries come from the same
+/// distribution (held-out words / arbitrary valid nodes). Unknown kinds —
+/// user-registered spaces in other test binaries — get an empty list;
+/// check_payload_space_coverage pins the shipped kinds non-empty.
+inline std::vector<PayloadDataset> payload_datasets(std::string_view kind) {
+  std::vector<PayloadDataset> sets;
+  if (kind == "strings") {
+    sets.push_back({"strings-clustered",
+                    metricspace::make_string_dataset(payload_words(260, 9, 201)),
+                    payload_words(18, 9, 202)});
+    auto words = payload_words(90, 5, 203);
+    words.insert(words.end(), words.begin(), words.begin() + 45);  // ties
+    sets.push_back({"strings-ties",
+                    metricspace::make_string_dataset(std::move(words)),
+                    payload_words(14, 5, 204)});
+  } else if (kind == "graph") {
+    // Ring with random chords: connected, irregular shortest paths.
+    const auto make_edges = [](index_t n, std::uint64_t seed) {
+      Rng rng(seed);
+      std::vector<metricspace::GraphEdge> edges;
+      for (index_t i = 0; i < n; ++i)
+        edges.push_back({i, (i + 1) % n, rng.uniform_float(0.5f, 2.0f)});
+      for (index_t e = 0; e < n / 2; ++e) {
+        const index_t u = rng.uniform_index(n), v = rng.uniform_index(n);
+        if (u != v) edges.push_back({u, v, rng.uniform_float(1.0f, 4.0f)});
+      }
+      return edges;
+    };
+    const index_t n = 160;
+    std::vector<std::string> queries;
+    Rng rng(205);
+    for (index_t q = 0; q < 15; ++q)
+      queries.push_back(encoded_node(rng.uniform_index(n)));
+    sets.push_back({"graph-ring",
+                    metricspace::make_graph_dataset(n, make_edges(n, 206)),
+                    queries});
+    std::vector<index_t> subset;
+    for (index_t i = 0; i < n; i += 3) subset.push_back(i);
+    // Same query nodes: elements are the subset, but distances run in the
+    // full graph, so non-indexed query nodes are legal.
+    sets.push_back({"graph-subset",
+                    metricspace::make_graph_dataset(n, make_edges(n, 207),
+                                                    std::move(subset)),
+                    queries});
+  }
+  return sets;
+}
+
+/// Naive exact k-NN reference over a bound metric space, under the
+/// library's (distance, id) order and its double -> dist_t narrowing —
+/// deliberately a straight loop over std::sort, sharing no code with the
+/// generic backend's search structures.
+inline KnnResult payload_reference_knn(const std::string& metric,
+                                       const metricspace::DatasetHandle& data,
+                                       const std::vector<std::string>& queries,
+                                       index_t k) {
+  const std::unique_ptr<metricspace::Space> space =
+      metricspace::bind_space(metric, data);
+  const auto nq = static_cast<index_t>(queries.size());
+  KnnResult result(nq, k);
+  for (index_t qi = 0; qi < nq; ++qi) {
+    std::vector<std::pair<dist_t, index_t>> all;
+    all.reserve(space->size());
+    for (index_t j = 0; j < space->size(); ++j)
+      all.emplace_back(
+          static_cast<dist_t>(
+              space->query_distance(queries[static_cast<std::size_t>(qi)], j)),
+          j);
+    std::sort(all.begin(), all.end());
+    for (index_t j = 0; j < k; ++j) {
+      if (static_cast<std::size_t>(j) < all.size()) {
+        result.dists.at(qi, j) = all[static_cast<std::size_t>(j)].first;
+        result.ids.at(qi, j) = all[static_cast<std::size_t>(j)].second;
+      } else {
+        result.dists.at(qi, j) = kInfDist;
+        result.ids.at(qi, j) = kInvalidIndex;
+      }
+    }
+  }
+  return result;
+}
+
+/// Recall@1 by rank-0 *distance* — the acceptance measure for approximate
+/// backends over payload spaces, where integral distances make large tie
+/// groups the norm (an equally-near different id is a correct answer).
+inline double payload_recall_at_1(const KnnResult& result,
+                                  const KnnResult& exact) {
+  index_t agree = 0;
+  for (index_t qi = 0; qi < result.ids.rows(); ++qi)
+    if (result.dists.at(qi, 0) == exact.dists.at(qi, 0)) ++agree;
+  return result.ids.rows() == 0
+             ? 1.0
+             : static_cast<double>(agree) / result.ids.rows();
+}
+
+/// The payload build options: the dense suite options plus the space name.
+inline IndexOptions payload_suite_options(const std::string& space_name) {
+  IndexOptions options = suite_options();
+  options.metric = space_name;
+  return options;
+}
+
+/// Every space in supported_spaces must resolve in the registry and have
+/// matrix datasets — the "declaring a space *is* opting into the matrix"
+/// gate, mirroring what ConformanceCoverage does for backends.
+inline void check_payload_space_coverage(const std::string& backend) {
+  const std::vector<std::string> supported =
+      make_index(backend, suite_options())->info().supported_spaces;
+  ASSERT_FALSE(supported.empty()) << backend;
+  for (const std::string& name : supported) {
+    const metricspace::SpaceEntry* entry = metricspace::find_space(name);
+    ASSERT_NE(entry, nullptr)
+        << backend << " declares unregistered space '" << name << "'";
+    EXPECT_FALSE(entry->cost_unit.empty()) << name;
+    EXPECT_FALSE(payload_datasets(entry->dataset_kind).empty())
+        << "space '" << name << "' (kind '" << entry->dataset_kind
+        << "') has no conformance datasets";
+  }
+}
+
+/// Exact backends must equal the naive per-space reference including tie
+/// order; approximate backends must keep a sane recall@1. Also pins the
+/// payload info surface (payload flag, dim 0, cost unit, dense metrics
+/// cleared).
+inline void check_payload_answers(const std::string& backend) {
+  const std::vector<std::string> supported =
+      make_index(backend, suite_options())->info().supported_spaces;
+  for (const std::string& name : supported) {
+    const metricspace::SpaceEntry* entry = metricspace::find_space(name);
+    ASSERT_NE(entry, nullptr) << name;
+    for (const PayloadDataset& data : payload_datasets(entry->dataset_kind)) {
+      SCOPED_TRACE(backend + " space=" + name + " on " + data.name);
+      auto index = make_index(backend, payload_suite_options(name));
+      index->build_payload(data.data);
+      const IndexInfo info = index->info();
+      EXPECT_TRUE(info.payload);
+      EXPECT_EQ(info.metric, name);
+      EXPECT_EQ(info.dim, 0u);
+      EXPECT_EQ(info.size, data.data->size());
+      EXPECT_EQ(info.cost_unit, entry->cost_unit);
+      EXPECT_TRUE(info.supported_metrics.empty())
+          << backend << ": payload instances must not advertise dense metrics";
+      for (index_t k : {index_t{1}, index_t{5}}) {
+        const KnnResult reference =
+            payload_reference_knn(name, data.data, data.queries, k);
+        PayloadSearchRequest request{.queries = &data.queries, .k = k};
+        request.options.metric = name;  // assert-the-built-metric contract
+        const SearchResponse response = index->knn_search_payload(request);
+        ASSERT_EQ(response.knn.ids.rows(), data.queries.size());
+        ASSERT_EQ(response.knn.ids.cols(), k);
+        if (info.exact) {
+          EXPECT_TRUE(testutil::knn_equal(reference, response.knn))
+              << backend << " diverged from the " << name
+              << " reference at k=" << k;
+        } else {
+          EXPECT_GT(payload_recall_at_1(response.knn, reference), 1.0 / 3.0)
+              << backend << " recall collapsed under " << name;
+        }
+      }
+    }
+  }
+}
+
+/// The unified payload request-error contract: the dense error shapes
+/// (unbuilt, null queries, k == 0, k > n) carried over verbatim, plus the
+/// payload-specific ones — dense entry points on a payload build, payload
+/// entry points on a dense build, dataset-kind mismatches, and per-space
+/// query-payload validation.
+inline void check_payload_error_contract(const std::string& backend) {
+  const std::vector<std::string> words = payload_words(30, 4, 210);
+  const metricspace::DatasetHandle strings =
+      metricspace::make_string_dataset(words);
+  const std::vector<std::string> queries{"abc", "abd"};
+
+  auto index = make_index(backend, payload_suite_options("edit"));
+  EXPECT_THROW(
+      (void)index->knn_search_payload({.queries = &queries, .k = 1}),
+      std::invalid_argument)
+      << backend << ": unbuilt payload index";
+  const Matrix<float> X = testutil::random_matrix(10, 4, 211);
+  EXPECT_THROW(index->build(X), std::invalid_argument)
+      << backend << ": dense build on a payload metric";
+  EXPECT_THROW(index->build_payload(nullptr), std::invalid_argument)
+      << backend << ": null dataset handle";
+  const metricspace::DatasetHandle graph = metricspace::make_graph_dataset(
+      8, {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}, {3, 4, 1.0f},
+          {4, 5, 1.0f}, {5, 6, 1.0f}, {6, 7, 1.0f}});
+  EXPECT_THROW(index->build_payload(graph), std::invalid_argument)
+      << backend << ": dataset-kind mismatch";
+
+  index->build_payload(strings);
+  EXPECT_THROW((void)index->knn_search({.queries = &X, .k = 1}),
+               std::invalid_argument)
+      << backend << ": dense search on a payload build";
+  EXPECT_THROW(
+      (void)index->knn_search_payload({.queries = nullptr, .k = 1}),
+      std::invalid_argument)
+      << backend << ": null queries";
+  EXPECT_THROW(
+      (void)index->knn_search_payload({.queries = &queries, .k = 0}),
+      std::invalid_argument)
+      << backend << ": k == 0";
+  try {
+    (void)index->knn_search_payload(
+        {.queries = &queries, .k = strings->size() + 1});
+    FAIL() << backend << " accepted k > database size";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds database size"),
+              std::string::npos)
+        << backend << " threw a different message: " << e.what();
+  }
+  PayloadSearchRequest mismatched{.queries = &queries, .k = 1};
+  mismatched.options.metric = "l2";
+  EXPECT_THROW((void)index->knn_search_payload(mismatched),
+               std::invalid_argument)
+      << backend << ": metric-assertion mismatch must throw";
+  PayloadSearchRequest asserted{.queries = &queries, .k = 1};
+  asserted.options.metric = "edit";
+  EXPECT_NO_THROW((void)index->knn_search_payload(asserted))
+      << backend << ": asserting the built metric must pass";
+
+  // Per-space query validation: a graph query must be an 8-byte node id.
+  auto graph_index = make_index(backend, payload_suite_options("graph-sp"));
+  graph_index->build_payload(graph);
+  const std::vector<std::string> bad_queries{"xyz"};
+  try {
+    (void)graph_index->knn_search_payload({.queries = &bad_queries, .k = 1});
+    FAIL() << backend << " accepted a malformed graph query payload";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("query"), std::string::npos)
+        << backend << " threw a different message: " << e.what();
+  }
+
+  // The reverse direction: a dense build rejects the payload entry points
+  // with the uniform unsupported shape (runtime_error, like save()).
+  auto dense = make_index(backend, suite_options());
+  EXPECT_THROW(dense->build_payload(strings), std::runtime_error)
+      << backend << ": payload build on a dense-metric instance";
+  dense->build(X);
+  EXPECT_THROW(
+      (void)dense->knn_search_payload({.queries = &queries, .k = 1}),
+      std::runtime_error)
+      << backend << ": payload search on a dense build";
+}
+
+/// save -> load_index -> search must reproduce payload answers exactly, for
+/// every supported space.
+inline void check_payload_serialize_roundtrip(const std::string& backend) {
+  const std::vector<std::string> supported =
+      make_index(backend, suite_options())->info().supported_spaces;
+  for (const std::string& name : supported) {
+    const metricspace::SpaceEntry* entry = metricspace::find_space(name);
+    ASSERT_NE(entry, nullptr) << name;
+    const std::vector<PayloadDataset> sets =
+        payload_datasets(entry->dataset_kind);
+    ASSERT_FALSE(sets.empty()) << name;
+    const PayloadDataset& data = sets.front();
+    SCOPED_TRACE(backend + " space=" + name + " on " + data.name);
+    auto index = make_index(backend, payload_suite_options(name));
+    index->build_payload(data.data);
+    if (!index->info().supports_save) {
+      std::stringstream reject;
+      EXPECT_THROW(index->save(reject), std::runtime_error) << backend;
+      continue;
+    }
+    const index_t k = 4;
+    const KnnResult before =
+        index->knn_search_payload({.queries = &data.queries, .k = k}).knn;
+    std::stringstream stream;
+    index->save(stream);
+    const auto restored = load_index(stream);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->info().backend, backend);
+    EXPECT_EQ(restored->info().metric, name);
+    EXPECT_TRUE(restored->info().payload);
+    EXPECT_EQ(restored->info().size, data.data->size());
+    const KnnResult after =
+        restored->knn_search_payload({.queries = &data.queries, .k = k}).knn;
+    EXPECT_TRUE(testutil::knn_equal(before, after))
+        << backend << ": restored payload index diverged";
+  }
+}
+
+/// The sharded composites' payload obligation: bit-identical (ids,
+/// distances, tie order) to the wrapped backend at shard counts {1, 2, 7}
+/// under both partition schemes, on every dataset of every supported space
+/// — enforced for exact inners, exactly like the dense parity check.
+inline void check_payload_sharded_parity(const std::string& backend) {
+  constexpr std::string_view kPrefix = "sharded:";
+  if (backend.substr(0, kPrefix.size()) != kPrefix) return;
+  const std::string inner = backend.substr(kPrefix.size());
+  const std::vector<std::string> supported =
+      make_index(inner, suite_options())->info().supported_spaces;
+
+  for (const std::string& name : supported) {
+    const metricspace::SpaceEntry* entry = metricspace::find_space(name);
+    ASSERT_NE(entry, nullptr) << name;
+    for (const PayloadDataset& data : payload_datasets(entry->dataset_kind)) {
+      auto reference_index = make_index(inner, payload_suite_options(name));
+      reference_index->build_payload(data.data);
+      if (!reference_index->info().exact) return;
+      const index_t k = 5;
+      const KnnResult reference =
+          reference_index->knn_search_payload({.queries = &data.queries,
+                                               .k = k}).knn;
+
+      for (index_t shards : {index_t{1}, index_t{2}, index_t{7}}) {
+        for (const char* partition : {"contiguous", "strided"}) {
+          SCOPED_TRACE(backend + " space=" + name + " on " + data.name +
+                       " shards=" + std::to_string(shards) + " partition=" +
+                       partition);
+          IndexOptions options = payload_suite_options(name);
+          options.num_shards = shards;
+          options.partition = partition;
+          auto sharded = make_index(backend, options);
+          sharded->build_payload(data.data);
+          const KnnResult result =
+              sharded->knn_search_payload({.queries = &data.queries,
+                                           .k = k}).knn;
+          EXPECT_TRUE(testutil::knn_equal(reference, result))
+              << backend << " is not bit-identical to " << inner;
+        }
+      }
+    }
+  }
+}
+
+/// Concurrent const payload searches: same contract as the dense check —
+/// every thread must see what a lone caller sees.
+inline void check_payload_concurrent_search(const std::string& backend) {
+  const std::vector<PayloadDataset> sets = payload_datasets("strings");
+  const PayloadDataset& data = sets.front();
+  auto index = make_index(backend, payload_suite_options("edit"));
+  index->build_payload(data.data);
+  const index_t k = 3;
+  const KnnResult reference =
+      index->knn_search_payload({.queries = &data.queries, .k = k}).knn;
+
+  constexpr int kThreads = 4, kRounds = 3;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const KnnResult result =
+            index->knn_search_payload({.queries = &data.queries, .k = k}).knn;
+        if (!testutil::knn_equal(reference, result)) ++mismatches[t];
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0)
+        << backend << ": thread " << t << " saw diverging payload results";
+}
+
+/// The parameterized suite types; test_conformance.cpp instantiates them
+/// (ConformanceTest from registered_backends(), GenericSpaceConformanceTest
+/// from its payload-capable subset) and coverage tests assert nothing was
+/// skipped.
 class ConformanceTest : public ::testing::TestWithParam<std::string> {};
+class GenericSpaceConformanceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+/// The payload-capable subset of the registry — the instantiation source
+/// for GenericSpaceConformanceTest.
+inline std::vector<std::string> payload_capable_backends() {
+  std::vector<std::string> out;
+  for (const std::string& backend : registered_backends())
+    if (!make_index(backend, suite_options())->info().supported_spaces.empty())
+      out.push_back(backend);
+  return out;
+}
 
 /// gtest-safe test-name suffix for a backend name.
 inline std::string sanitized(std::string name) {

@@ -74,6 +74,41 @@ INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, ConformanceTest,
                            return conformance::sanitized(info.param);
                          });
 
+// ---------------------------------------- generic metric-space conformance
+
+using conformance::GenericSpaceConformanceTest;
+
+TEST_P(GenericSpaceConformanceTest, DeclaredSpacesHaveMatrixCoverage) {
+  conformance::check_payload_space_coverage(GetParam());
+}
+
+TEST_P(GenericSpaceConformanceTest, AnswersMatchThePerSpaceReference) {
+  conformance::check_payload_answers(GetParam());
+}
+
+TEST_P(GenericSpaceConformanceTest, RequestErrorsFollowTheUnifiedContract) {
+  conformance::check_payload_error_contract(GetParam());
+}
+
+TEST_P(GenericSpaceConformanceTest, SerializeRoundTripIsExact) {
+  conformance::check_payload_serialize_roundtrip(GetParam());
+}
+
+TEST_P(GenericSpaceConformanceTest, ShardedVariantsAreBitIdenticalToTheirInner) {
+  conformance::check_payload_sharded_parity(GetParam());
+}
+
+TEST_P(GenericSpaceConformanceTest, ConcurrentSearchesAreConsistent) {
+  conformance::check_payload_concurrent_search(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadCapableBackends, GenericSpaceConformanceTest,
+                         ::testing::ValuesIn(
+                             conformance::payload_capable_backends()),
+                         [](const auto& info) {
+                           return conformance::sanitized(info.param);
+                         });
+
 // The acceptance bar of the metric redesign: for every supported
 // (backend, metric) pair of the dispatched backends, forcing each compiled
 // ISA must return bit-identical results — the prefilter + scalar-re-measure
@@ -300,6 +335,35 @@ TEST(ConformanceCoverage, EveryRegisteredBackendIsInstantiated) {
     EXPECT_TRUE(instantiated.count('"' + backend + '"') == 1)
         << "registered backend '" << backend
         << "' has no instantiated conformance tests";
+  }
+}
+
+// Same source-of-truth rule for the generic metric-space matrix: every
+// backend that declares payload capability (non-empty supported_spaces)
+// must have instantiated generic-space conformance tests — narrowing the
+// ValuesIn source above to a hardcoded subset fails here.
+TEST(ConformanceCoverage, EveryPayloadCapableBackendIsInstantiated) {
+  std::set<std::string> instantiated;
+  const ::testing::UnitTest& unit = *::testing::UnitTest::GetInstance();
+  for (int i = 0; i < unit.total_test_suite_count(); ++i) {
+    const ::testing::TestSuite& suite = *unit.GetTestSuite(i);
+    if (std::string(suite.name()).find("GenericSpaceConformanceTest") ==
+        std::string::npos)
+      continue;
+    for (int j = 0; j < suite.total_test_count(); ++j)
+      if (const char* param = suite.GetTestInfo(j)->value_param())
+        instantiated.insert(param);
+  }
+  for (const std::string& backend : registered_backends()) {
+    const bool payload_capable =
+        !make_index(backend, conformance::suite_options())
+             ->info()
+             .supported_spaces.empty();
+    if (!payload_capable) continue;
+    EXPECT_TRUE(instantiated.count('"' + backend + '"') == 1)
+        << "backend '" << backend
+        << "' declares supported_spaces but has no instantiated "
+           "generic-space conformance tests";
   }
 }
 

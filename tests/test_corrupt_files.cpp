@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "metricspace/dataset.hpp"
 #include "rbc/rbc_exact.hpp"
 #include "rbc/serialize_io.hpp"
 #include "test_util.hpp"
@@ -431,6 +432,163 @@ TEST(CorruptFiles, LegacyVersion1FilesLoadAsL2) {
     EXPECT_EQ(index->info().backend, "sharded:bruteforce");
     EXPECT_EQ(index->info().metric, "l2");
     EXPECT_EQ(index->info().size, X.rows());
+  }
+}
+
+// ------------------------------------------ payload (v6) corrupt fixtures --
+// The generic metric-space format: kMagicPayload, version 6, host backend
+// tag, metric-space tag, RbcParams, then the serialized dataset (kind tag +
+// store). Each fixture forges the bytes a bit-flip or torn write would
+// produce and pins the clean runtime_error the loader must answer with.
+
+/// Serialized bytes of a small payload index (strings under "edit").
+std::string saved_payload_bytes(const std::string& backend) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 40; ++i)
+    words.push_back("word" + std::to_string(i % 13) + std::to_string(i));
+  IndexOptions options{.rbc = {.seed = 58}, .num_shards = 3};
+  options.metric = "edit";
+  auto index = make_index(backend, options);
+  index->build_payload(metricspace::make_string_dataset(std::move(words)));
+  std::stringstream stream;
+  index->save(stream);
+  return stream.str();
+}
+
+/// The v6 header bytes up to (and excluding) the dataset payload.
+void write_payload_header(std::ostream& os, const std::string& backend,
+                          const std::string& metric) {
+  io::write_pod(os, io::kMagicPayload);
+  io::write_pod(os, io::kFormatVersionPayload);
+  io::write_string(os, backend);
+  io::write_string(os, metric);
+  io::write_pod(os, RbcParams{});
+}
+
+TEST(CorruptFiles, PayloadTruncationAtEveryRegionThrowsCleanly) {
+  for (const std::string backend :
+       {"bruteforce", "rbc-exact", "rbc-oneshot", "sharded:rbc-exact"}) {
+    const std::string bytes = saved_payload_bytes(backend);
+    ASSERT_FALSE(bytes.empty()) << backend;
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{2}, std::size_t{7}, bytes.size() / 3,
+          bytes.size() / 2, bytes.size() - 1}) {
+      SCOPED_TRACE(backend + " truncated to " + std::to_string(cut) + " of " +
+                   std::to_string(bytes.size()) + " bytes");
+      std::stringstream stream(bytes.substr(0, cut));
+      EXPECT_THROW((void)load_index(stream), std::runtime_error);
+    }
+    std::stringstream intact(bytes);
+    const auto restored = load_index(intact);
+    EXPECT_EQ(restored->info().backend, backend);
+    EXPECT_EQ(restored->info().metric, "edit");
+    EXPECT_TRUE(restored->info().payload) << backend;
+  }
+}
+
+TEST(CorruptFiles, PayloadTableWithGarbageCountFailsBeforeAllocating) {
+  // A corrupt item count must be rejected against the remaining stream
+  // length (8 length-bytes per item is the floor) before the table is
+  // allocated for it.
+  std::stringstream stream;
+  write_payload_header(stream, "bruteforce", "edit");
+  io::write_string(stream, "strings");
+  io::write_pod(stream, std::uint64_t{1} << 27);  // items that aren't there
+  try {
+    (void)load_index(stream);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("payload table"), std::string::npos)
+        << "error should mention the payload table: " << e.what();
+  }
+  // A count beyond kMaxPayloadItems is rejected by the absolute cap even
+  // if a huge stream could cover it.
+  std::stringstream absurd;
+  write_payload_header(absurd, "bruteforce", "edit");
+  io::write_string(absurd, "strings");
+  io::write_pod(absurd, std::uint64_t{1} << 40);
+  EXPECT_THROW((void)load_index(absurd), std::runtime_error);
+}
+
+TEST(CorruptFiles, OversizedStringLengthIsRejectedAsCorruption) {
+  // One stored string whose length field exceeds kMaxPayloadBytes: the
+  // loader must refuse the allocation, naming the oversized length.
+  std::stringstream stream;
+  write_payload_header(stream, "bruteforce", "edit");
+  io::write_string(stream, "strings");
+  io::write_pod(stream, std::uint64_t{2});
+  io::write_string(stream, "fine");
+  io::write_pod(stream, metricspace::kMaxPayloadBytes + 1);  // length field
+  stream << "x";
+  try {
+    (void)load_index(stream);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("oversized string length"),
+              std::string::npos)
+        << "error should mention the oversized length: " << e.what();
+  }
+}
+
+TEST(CorruptFiles, PayloadStreamWithBadTagsIsRejected) {
+  // Unknown metric-space tag: corruption, named in the error.
+  {
+    std::stringstream stream;
+    write_payload_header(stream, "rbc-exact", "no-such-space");
+    io::write_string(stream, "strings");
+    io::write_pod(stream, std::uint64_t{0});
+    try {
+      (void)load_index(stream);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("metric-space tag"),
+                std::string::npos)
+          << "error should mention the metric tag: " << e.what();
+    }
+  }
+  // Unknown host-backend tag.
+  {
+    std::stringstream stream;
+    write_payload_header(stream, "no-such-host", "edit");
+    try {
+      (void)load_index(stream);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("backend tag"), std::string::npos)
+          << "error should mention the backend tag: " << e.what();
+    }
+  }
+  // Unknown dataset kind tag.
+  {
+    std::stringstream stream;
+    write_payload_header(stream, "bruteforce", "edit");
+    io::write_string(stream, "blobs");
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  // A future payload version is rejected, not misparsed.
+  {
+    std::stringstream stream;
+    io::write_pod(stream, io::kMagicPayload);
+    io::write_pod(stream, std::uint32_t{7});
+    EXPECT_THROW((void)load_index(stream), std::runtime_error);
+  }
+  // A dataset whose kind disagrees with the header's metric (a "graph"
+  // store under "edit") is stream corruption — runtime_error, never the
+  // factory's invalid_argument.
+  {
+    std::stringstream stream;
+    write_payload_header(stream, "bruteforce", "edit");
+    metricspace::make_graph_dataset(4, {{0, 1, 1.0f}, {1, 2, 1.0f},
+                                        {2, 3, 1.0f}})
+        ->save(stream);
+    try {
+      (void)load_index(stream);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("corrupt payload stream"),
+                std::string::npos)
+          << e.what();
+    }
   }
 }
 

@@ -1,0 +1,187 @@
+// The metric-functor registry (metricspace/space.hpp): registration
+// contracts, and a user-defined metric registered at runtime and served
+// end-to-end — through the factory, the conformance matrix, serialization,
+// the sharded composite, and SearchService. This is the extension story the
+// generic subsystem promises: register_space() is the only step a user
+// metric needs to ride the whole stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "conformance.hpp"
+#include "metricspace/dataset.hpp"
+#include "metricspace/space.hpp"
+#include "serve/service.hpp"
+
+namespace rbc {
+namespace {
+
+/// A user metric: the trie-path distance d(a, b) = |a| + |b| - 2 * lcp(a, b)
+/// — the path length between two strings in the prefix trie. A tree metric
+/// (so the triangle inequality holds), integral (so exactly
+/// float-representable, as the registry requires), and nothing the shipped
+/// spaces compute.
+class TriePathSpace final : public metricspace::Space {
+ public:
+  explicit TriePathSpace(metricspace::DatasetHandle data)
+      : data_(std::move(data)) {}
+
+  index_t size() const override { return data_->size(); }
+
+  double distance(index_t i, index_t j) const override {
+    return query_distance(data_->item(i), j);
+  }
+
+  double query_distance(std::string_view query, index_t j) const override {
+    const std::string_view item = data_->item(j);
+    std::size_t lcp = 0;
+    const std::size_t cap = std::min(query.size(), item.size());
+    while (lcp < cap && query[lcp] == item[lcp]) ++lcp;
+    counters::add_metric_cost(lcp + 1);  // prefix chars examined
+    return static_cast<double>(query.size() + item.size() - 2 * lcp);
+  }
+
+ private:
+  metricspace::DatasetHandle data_;
+};
+
+/// Registers "trie-path" once per process; later calls return the first
+/// call's outcome (register_space itself is idempotent-by-rejection).
+bool register_trie_path() {
+  static const bool registered = metricspace::register_space(
+      {.name = "trie-path",
+       .dataset_kind = "strings",
+       .cost_unit = "prefix_chars",
+       .bind = [](metricspace::DatasetHandle data)
+           -> std::unique_ptr<metricspace::Space> {
+         return std::make_unique<TriePathSpace>(std::move(data));
+       }});
+  return registered;
+}
+
+TEST(MetricSpaceRegistry, UserRegistrationFollowsTheRegistryContract) {
+  ASSERT_TRUE(register_trie_path());
+
+  // Idempotent-by-rejection: a taken name changes nothing.
+  EXPECT_FALSE(metricspace::register_space(
+      {.name = "trie-path", .dataset_kind = "strings", .cost_unit = "x",
+       .bind = nullptr}));
+  // Shipped space names and dense metric names cannot be shadowed.
+  EXPECT_FALSE(metricspace::register_space(
+      {.name = "edit", .dataset_kind = "strings", .cost_unit = "x",
+       .bind = nullptr}));
+  EXPECT_FALSE(metricspace::register_space(
+      {.name = "l2", .dataset_kind = "strings", .cost_unit = "x",
+       .bind = nullptr}));
+
+  EXPECT_TRUE(metricspace::space_registered("trie-path"));
+  EXPECT_FALSE(metricspace::space_registered("no-such-space"));
+  EXPECT_EQ(metricspace::find_space("no-such-space"), nullptr);
+
+  const metricspace::SpaceEntry* entry = metricspace::find_space("trie-path");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->dataset_kind, "strings");
+  EXPECT_EQ(entry->cost_unit, "prefix_chars");
+
+  // Registration order: shipped spaces first, user spaces after.
+  const std::vector<std::string> names = metricspace::space_names();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "edit");
+  EXPECT_EQ(names[1], "graph-sp");
+  EXPECT_NE(std::find(names.begin(), names.end(), "trie-path"), names.end());
+}
+
+TEST(MetricSpaceRegistry, BindValidatesNameHandleAndKind) {
+  ASSERT_TRUE(register_trie_path());
+  const metricspace::DatasetHandle strings =
+      metricspace::make_string_dataset({"ab", "abc", "b"});
+  const metricspace::DatasetHandle graph =
+      metricspace::make_graph_dataset(3, {{0, 1, 1.0f}, {1, 2, 1.0f}});
+
+  EXPECT_THROW((void)metricspace::bind_space("no-such-space", strings),
+               std::invalid_argument);
+  EXPECT_THROW((void)metricspace::bind_space("trie-path", nullptr),
+               std::invalid_argument);
+  EXPECT_THROW((void)metricspace::bind_space("trie-path", graph),
+               std::invalid_argument);
+
+  const auto space = metricspace::bind_space("trie-path", strings);
+  ASSERT_NE(space, nullptr);
+  EXPECT_EQ(space->size(), 3u);
+  EXPECT_EQ(space->distance(0, 1), 1.0);   // "ab" -> "abc": one trie edge
+  EXPECT_EQ(space->distance(0, 2), 3.0);   // "ab" vs "b": no shared prefix
+  EXPECT_EQ(space->query_distance("abd", 1), 2.0);
+}
+
+// Registering a space *is* opting into the conformance matrix: once
+// "trie-path" exists, the generic-space checks pick it up from
+// supported_spaces and run the user metric through the same exactness,
+// round-trip, and sharded bit-parity obligations as the shipped spaces.
+TEST(MetricSpaceRegistry, UserSpaceRidesTheConformanceMatrix) {
+  ASSERT_TRUE(register_trie_path());
+  ASSERT_NE(std::find(make_index("rbc-exact", conformance::suite_options())
+                          ->info()
+                          .supported_spaces.begin(),
+                      make_index("rbc-exact", conformance::suite_options())
+                          ->info()
+                          .supported_spaces.end(),
+                      std::string("trie-path")),
+            make_index("rbc-exact", conformance::suite_options())
+                ->info()
+                .supported_spaces.end());
+  conformance::check_payload_space_coverage("rbc-exact");
+  conformance::check_payload_answers("rbc-exact");
+  conformance::check_payload_serialize_roundtrip("rbc-exact");
+  conformance::check_payload_sharded_parity("sharded:rbc-exact");
+}
+
+// The user metric served end-to-end: SearchService batches trie-path
+// queries through the same payload path as the shipped spaces, answers
+// bit-identically to a direct search, and meters work in the functor's own
+// cost unit.
+TEST(MetricSpaceRegistry, UserSpaceIsServedThroughSearchService) {
+  ASSERT_TRUE(register_trie_path());
+  const std::vector<std::string> words =
+      conformance::payload_words(150, 6, 301);
+  const metricspace::DatasetHandle data =
+      metricspace::make_string_dataset(words);
+
+  IndexOptions options;
+  options.metric = "trie-path";
+  options.rbc.seed = 5;
+  auto direct = make_index("rbc-exact", options);
+  direct->build_payload(data);
+  EXPECT_EQ(direct->info().cost_unit, "prefix_chars");
+  const std::vector<std::string> queries =
+      conformance::payload_words(8, 6, 302);
+  const KnnResult expected =
+      direct->knn_search_payload({.queries = &queries, .k = 3}).knn;
+
+  auto served = make_index("rbc-exact", options);
+  served->build_payload(data);
+  serve::SearchService service(std::move(served));
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const serve::QueryResult result =
+        service.submit_payload(queries[qi], 3).get();
+    ASSERT_EQ(result.ids.size(), 3u);
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(result.ids[j], expected.ids.at(static_cast<index_t>(qi), j));
+      EXPECT_EQ(result.dists[j],
+                expected.dists.at(static_cast<index_t>(qi), j));
+    }
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, queries.size());
+  EXPECT_GT(stats.metric_cost, 0u)
+      << "the user functor's add_metric_cost must reach ServiceStats";
+}
+
+}  // namespace
+}  // namespace rbc

@@ -14,6 +14,8 @@
 namespace rbc::serve::net {
 namespace {
 
+using namespace std::string_literals;
+
 std::span<const std::uint8_t> payload_of(
     const std::vector<std::uint8_t>& frame) {
   return {frame.data() + kHeaderSize, frame.size() - kHeaderSize};
@@ -127,7 +129,7 @@ TEST(NetProtocol, RangeRoundTrips) {
 TEST(NetProtocol, DeadlineRidesV2RequestsAndRoundTrips) {
   const Matrix<float> queries = testutil::random_matrix(3, 4, 23);
   const std::vector<std::uint8_t> knn =
-      encode_knn_request(1, queries, 2, /*deadline_ms=*/750);
+      encode_knn_request(1, queries, 2, /*deadline_ms=*/750, /*version=*/2);
   const auto knn_header = parse_header(knn);
   ASSERT_TRUE(knn_header.has_value());
   EXPECT_EQ(knn_header->version, 2u);
@@ -136,8 +138,8 @@ TEST(NetProtocol, DeadlineRidesV2RequestsAndRoundTrips) {
   EXPECT_EQ(knn_msg.deadline_ms, 750u);
   EXPECT_EQ(knn_msg.k, 2u);
 
-  const std::vector<std::uint8_t> range =
-      encode_range_request(2, queries, 0.5f, /*deadline_ms=*/125);
+  const std::vector<std::uint8_t> range = encode_range_request(
+      2, queries, 0.5f, /*deadline_ms=*/125, /*version=*/2);
   const RangeRequestMsg range_msg = decode_range_request(payload_of(range), 2);
   EXPECT_EQ(range_msg.deadline_ms, 125u);
   EXPECT_EQ(range_msg.radius, 0.5f);
@@ -211,7 +213,8 @@ TEST(NetProtocol, CoverageTrailerRoundTripsAndRejectsGarbage) {
 
 TEST(NetProtocol, CodecsRejectVersionsOutsideTheBand) {
   const Matrix<float> queries = testutil::random_matrix(1, 2, 31);
-  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{3}}) {
+  for (const std::uint8_t v :
+       {std::uint8_t{0}, std::uint8_t{kNetVersion + 1}}) {
     EXPECT_THROW((void)encode_knn_request(1, queries, 1, 0, v), ProtocolError);
     EXPECT_THROW((void)decode_knn_request({}, v), ProtocolError);
     EXPECT_THROW((void)encode_knn_response(1, KnnResult(1, 1), {}, v),
@@ -236,6 +239,8 @@ TEST(NetProtocol, InfoRoundTrip) {
   info.conn_rejected = 1;
   info.conn_bytes_in = 2048;
   info.conn_bytes_out = 4096;
+  info.cost_unit = "chars_compared";
+  info.metric_cost = 123456;
   const std::vector<std::uint8_t> frame = encode_info_response(2, info);
   const InfoMsg back = decode_info_response(payload_of(frame));
   EXPECT_EQ(back.backend, info.backend);
@@ -250,6 +255,82 @@ TEST(NetProtocol, InfoRoundTrip) {
   EXPECT_EQ(back.conn_rejected, info.conn_rejected);
   EXPECT_EQ(back.conn_bytes_in, info.conn_bytes_in);
   EXPECT_EQ(back.conn_bytes_out, info.conn_bytes_out);
+  EXPECT_EQ(back.cost_unit, info.cost_unit);
+  EXPECT_EQ(back.metric_cost, info.metric_cost);
+
+  // v1/v2 info frames have no cost tail; the decoder leaves the defaults.
+  const std::vector<std::uint8_t> v2 =
+      encode_info_response(2, info, /*version=*/2);
+  EXPECT_LT(v2.size(), frame.size());
+  const InfoMsg old = decode_info_response(payload_of(v2), 2);
+  EXPECT_EQ(old.backend, info.backend);
+  EXPECT_EQ(old.cost_unit, "");
+  EXPECT_EQ(old.metric_cost, 0u);
+}
+
+// ------------------------------------------------- v3 / payload queries ---
+
+TEST(NetProtocol, KnnPayloadRequestRoundTrip) {
+  const std::vector<std::string> queries = {"kitten", "", "a\0b\x7f"s};
+  const std::vector<std::uint8_t> frame =
+      encode_knn_payload_request(21, queries, 4, /*deadline_ms=*/300);
+  const auto header = parse_header(frame);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->op, Op::kKnnPayloadRequest);
+  EXPECT_EQ(header->version, kNetVersion);
+  const KnnPayloadRequestMsg msg =
+      decode_knn_payload_request(payload_of(frame), header->version);
+  EXPECT_EQ(msg.k, 4u);
+  EXPECT_EQ(msg.deadline_ms, 300u);
+  EXPECT_EQ(msg.queries, queries);  // embedded NUL and all
+}
+
+TEST(NetProtocol, PayloadRequestsAreV3Only) {
+  const std::vector<std::string> queries = {"q"};
+  // Neither side can express a payload query in an older frame.
+  EXPECT_THROW(
+      (void)encode_knn_payload_request(1, queries, 1, 0, /*version=*/2),
+      ProtocolError);
+  EXPECT_THROW((void)decode_knn_payload_request({}, /*version=*/2),
+               ProtocolError);
+
+  // A frame claiming the payload opcode under v1/v2 is malformed at the
+  // header: the opcode did not exist in those versions.
+  std::vector<std::uint8_t> frame = encode_knn_payload_request(1, queries, 1);
+  frame[4] = 2;  // version byte
+  EXPECT_THROW((void)parse_header(frame), ProtocolError);
+}
+
+TEST(NetProtocol, PayloadRequestRejectsGarbageCounts) {
+  // k = 0, an implausible row count, and a per-query length past
+  // kMaxStringLen must all be rejected before any allocation.
+  const std::vector<std::string> queries = {"abc"};
+  std::vector<std::uint8_t> frame = encode_knn_payload_request(1, queries, 2);
+  {
+    std::vector<std::uint8_t> bad = frame;
+    const std::uint32_t zero = 0;
+    std::memcpy(bad.data() + kHeaderSize, &zero, 4);  // k = 0
+    EXPECT_THROW((void)decode_knn_payload_request(payload_of(bad)),
+                 ProtocolError);
+  }
+  {
+    std::vector<std::uint8_t> bad = frame;
+    const std::uint32_t huge = 1u << 30;
+    std::memcpy(bad.data() + kHeaderSize + 8, &huge, 4);  // nq
+    EXPECT_THROW((void)decode_knn_payload_request(payload_of(bad)),
+                 ProtocolError);
+  }
+  {
+    std::vector<std::uint8_t> bad = frame;
+    const std::uint32_t len = kMaxStringLen + 1;
+    std::memcpy(bad.data() + kHeaderSize + 12, &len, 4);  // query length
+    EXPECT_THROW((void)decode_knn_payload_request(payload_of(bad)),
+                 ProtocolError);
+  }
+  // The encoder enforces the same per-query cap.
+  EXPECT_THROW((void)encode_knn_payload_request(
+                   1, {std::string(kMaxStringLen + 1, 'x')}, 1),
+               ProtocolError);
 }
 
 TEST(NetProtocol, ReloadAndErrorRoundTrip) {
@@ -284,6 +365,8 @@ TEST(NetProtocol, EveryPayloadTruncationThrowsCleanly) {
     frames.push_back(encode_range_request(3, queries, 2.0f, 30, v));
     frames.push_back(encode_range_response(4, {{1, 2}, {3}}, {1, 1}, v));
   }
+  // v3-only codec: one frame version to sweep.
+  frames.push_back(encode_knn_payload_request(8, {"ab", "", "cde"}, 2, 30));
   for (const std::vector<std::uint8_t>& frame : frames) {
     const auto header = parse_header(frame);
     ASSERT_TRUE(header.has_value());
@@ -297,6 +380,10 @@ TEST(NetProtocol, EveryPayloadTruncationThrowsCleanly) {
       switch (header->op) {
         case Op::kKnnRequest:
           EXPECT_THROW((void)decode_knn_request(sub, v), ProtocolError);
+          break;
+        case Op::kKnnPayloadRequest:
+          EXPECT_THROW((void)decode_knn_payload_request(sub, v),
+                       ProtocolError);
           break;
         case Op::kKnnResponse:
           EXPECT_THROW((void)decode_knn_response(sub, v), ProtocolError);
@@ -380,6 +467,8 @@ TEST(NetProtocol, RandomGarbagePayloadsThrowOrDecode) {
       poke([v](auto b) { return decode_knn_response(b, v); });
       poke([v](auto b) { return decode_range_request(b, v); });
       poke([v](auto b) { return decode_range_response(b, v); });
+      if (v >= 3)
+        poke([v](auto b) { return decode_knn_payload_request(b, v); });
     }
     poke([](auto b) { return decode_info_response(b); });
     poke([](auto b) { return decode_reload_request(b); });

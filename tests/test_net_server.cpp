@@ -33,6 +33,7 @@
 
 #include "api/api.hpp"
 #include "dist/net_router.hpp"
+#include "metricspace/dataset.hpp"
 #include "serve/net/client.hpp"
 #include "serve/net/server.hpp"
 #include "shard/sharded_index.hpp"
@@ -164,6 +165,56 @@ TEST(NetServer, KnnAndRangeMatchDirectSearchBitwise) {
   EXPECT_EQ(info.conn_requests, 2u);  // the knn + the range frame
   EXPECT_GT(info.conn_bytes_in, 0u);
   EXPECT_GT(info.conn_bytes_out, 0u);
+}
+
+TEST(NetServer, PayloadKnnOverWireMatchesDirectSearchBitwise) {
+  // A string dictionary under "edit", served over loopback: wire answers
+  // must be bit-identical to direct knn_search_payload, INFO must carry the
+  // v3 cost tail, and a dense knn against the payload index must get a
+  // clean kBadRequest without killing the connection.
+  const std::vector<std::string> words = {"kitten", "sitting", "kitchen",
+                                          "mitten", "sit",     "knitting",
+                                          "fitting", "bitten"};
+  auto data = metricspace::make_string_dataset(words);
+  IndexOptions options;
+  options.metric = "edit";
+  auto index = make_index("rbc-exact", options);
+  index->build_payload(data);
+
+  const std::vector<std::string> queries = {"mitten", "sat", "splitting"};
+  PayloadSearchRequest direct_request{
+      .queries = &queries, .k = 3, .options = {}};
+  const SearchResponse direct = index->knn_search_payload(direct_request);
+
+  RbcServer server(std::move(index));
+  RbcClient client("127.0.0.1", server.port());
+  expect_same_knn(direct.knn, client.knn_payload(queries, 3));
+
+  try {
+    (void)client.knn(test_queries(1), 1);
+    FAIL() << "dense knn on a payload index must be refused";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+
+  const InfoMsg info = client.info();
+  EXPECT_EQ(info.backend, "rbc-exact");
+  EXPECT_EQ(info.metric, "edit");
+  EXPECT_EQ(info.dim, 0u);
+  EXPECT_EQ(info.size, words.size());
+  EXPECT_EQ(info.cost_unit, "chars_compared");
+  EXPECT_GT(info.metric_cost, 0u);
+
+  // The reverse refusal: payload queries against a dense-built server.
+  RbcServer dense_server(built_index("bruteforce"));
+  RbcClient dense_client("127.0.0.1", dense_server.port());
+  try {
+    (void)dense_client.knn_payload(queries, 1);
+    FAIL() << "payload knn on a dense index must be refused";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  EXPECT_EQ(dense_client.info().cost_unit, "");  // dense: no payload unit
 }
 
 TEST(NetServer, MixedVersionFramesInteropOnOneConnection) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.hpp"
 #include "common/rng.hpp"
 #include "distance/edit_distance.hpp"
 #include "distance/graph_metric.hpp"
@@ -125,6 +126,88 @@ TEST(RbcGenericExact, WorkBelowBruteForceOnClusteredStrings) {
   for (const auto& q : clustered_words(10, 20, 12))  // same distribution
     (void)index.search(q, 1, &stats);
   EXPECT_LT(stats.dist_evals_per_query(), 0.5 * space.size());
+}
+
+/// StringSpace with the banded DP hooked in: distance_bounded returns the
+/// exact distance when it is <= band and any value > band otherwise (the
+/// BoundedMetricSpace contract), in O(band * len) instead of O(len^2).
+class BandedStringSpace {
+ public:
+  using Point = std::string;
+
+  explicit BandedStringSpace(std::vector<std::string> items)
+      : items_(std::move(items)) {}
+
+  index_t size() const { return static_cast<index_t>(items_.size()); }
+  const std::string& operator[](index_t i) const { return items_[i]; }
+  double distance(const std::string& a, const std::string& b) const {
+    return static_cast<double>(edit_distance(a, b));
+  }
+  double distance_bounded(const std::string& a, const std::string& b,
+                          double band) const {
+    // Same clamping as metricspace's EditSpace: an infinite band means "no
+    // useful bound yet" (full DP), a finite one floors to an integer band
+    // (edit distances are integral, so nothing is lost).
+    if (!(band < 1e9)) return distance(a, b);
+    const auto b_int = static_cast<index_t>(band < 0.0 ? 0.0 : band);
+    return static_cast<double>(edit_distance_banded(a, b, b_int));
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+static_assert(!BoundedMetricSpace<StringSpace>);
+static_assert(BoundedMetricSpace<BandedStringSpace>);
+
+TEST(RbcGenericExact, BandedPruningIsBitIdenticalToPlainScan) {
+  // A/B exactness: the same searches through the banded fast path
+  // (distance_bounded) and the plain full-DP path must agree on every
+  // (dist, id) pair — including tie order, which heavy duplication forces.
+  // This locks the clamp-never-displaces-a-true-neighbor argument in
+  // rbc_generic.hpp's offer loop and bf_generic.hpp's pruned subset scan.
+  auto words = clustered_words(500, 12, 21);
+  words.insert(words.end(), words.begin(), words.begin() + 100);  // ties
+  const StringSpace plain(words);
+  const BandedStringSpace banded(words);
+
+  RbcParams params;
+  params.num_reps = 20;
+  params.seed = 22;
+  RbcGenericExact<StringSpace> plain_index;
+  RbcGenericExact<BandedStringSpace> banded_index;
+  plain_index.build(plain, params);
+  banded_index.build(banded, params);
+
+  std::vector<index_t> all_ids(words.size());
+  for (index_t i = 0; i < static_cast<index_t>(all_ids.size()); ++i)
+    all_ids[i] = i;
+
+  for (const auto& q : clustered_words(25, 12, 23)) {
+    for (const index_t k : {index_t{1}, index_t{4}, index_t{10}}) {
+      EXPECT_EQ(plain_index.search(q, k), banded_index.search(q, k))
+          << "rbc query " << q << " k " << k;
+      // The pruned subset scan (banded) vs the compute-everything reference.
+      EXPECT_EQ(generic_knn_subset(plain, q, all_ids, k),
+                generic_knn_subset_pruned(banded, q, all_ids, k))
+          << "bf query " << q << " k " << k;
+    }
+  }
+
+  // The banded path must do measurably less DP work: band * len vs len^2
+  // cells per comparison on 24-char clustered words.
+  counters::reset();
+  SearchStats banded_stats;
+  for (const auto& q : clustered_words(25, 12, 23))
+    (void)banded_index.search(q, 5, &banded_stats);
+  const std::uint64_t banded_cells = counters::total_metric_cost();
+  counters::reset();
+  SearchStats plain_stats;
+  for (const auto& q : clustered_words(25, 12, 23))
+    (void)plain_index.search(q, 5, &plain_stats);
+  const std::uint64_t plain_cells = counters::total_metric_cost();
+  EXPECT_EQ(banded_stats.dist_evals(), plain_stats.dist_evals());
+  EXPECT_LT(banded_cells, plain_cells);
 }
 
 TEST(RbcGenericOneShot, HighRecallWithLargeLists) {
